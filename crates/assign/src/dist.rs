@@ -1,0 +1,372 @@
+//! Priority synthesis for *distributed* systems: search per-resource
+//! priority assignments under which end-to-end path goals hold.
+//!
+//! The oracle is the holistic analysis of [`twca_dist`]; the search
+//! reuses the same lexicographic scoring as the uniprocessor engines
+//! ([`crate::AssignmentScore`]), applied to paths instead of chains.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use twca_chains::MkConstraint;
+use twca_dist::{analyze, DistError, DistOptions, DistPath, DistributedSystem};
+use twca_gen::random_priority_permutation;
+use twca_model::Priority;
+
+use crate::{AssignmentScore, SearchConfig};
+
+/// One end-to-end goal: a linked path (as `(resource, chain)` name
+/// pairs) and the `(m, k)` constraint its composite deadline must
+/// satisfy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathGoal {
+    hops: Vec<(String, String)>,
+    constraint: MkConstraint,
+}
+
+impl PathGoal {
+    /// Creates a path goal from `(resource, chain)` name pairs.
+    pub fn new(
+        hops: impl IntoIterator<Item = (impl Into<String>, impl Into<String>)>,
+        constraint: MkConstraint,
+    ) -> Self {
+        PathGoal {
+            hops: hops
+                .into_iter()
+                .map(|(r, c)| (r.into(), c.into()))
+                .collect(),
+            constraint,
+        }
+    }
+
+    /// The hops, as `(resource, chain)` names.
+    pub fn hops(&self) -> &[(String, String)] {
+        &self.hops
+    }
+
+    /// The required constraint.
+    pub fn constraint(&self) -> MkConstraint {
+        self.constraint
+    }
+
+    fn resolve(&self, system: &DistributedSystem) -> Result<DistPath, DistError> {
+        let mut sites = Vec::with_capacity(self.hops.len());
+        for (resource, chain) in &self.hops {
+            let site = system
+                .site(resource, chain)
+                .ok_or_else(|| DistError::UnknownChain {
+                    resource: resource.clone(),
+                    chain: chain.clone(),
+                })?;
+            sites.push(site);
+        }
+        DistPath::new(system, sites)
+    }
+}
+
+/// A per-resource priority assignment, in resource order; each inner
+/// vector follows [`twca_model::System::task_refs`] order.
+pub type DistAssignment = Vec<Vec<Priority>>;
+
+/// Outcome of a distributed synthesis run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistSearchOutcome {
+    /// The best per-resource assignment found.
+    pub best_priorities: DistAssignment,
+    /// Its score.
+    pub best_score: AssignmentScore,
+    /// Number of assignments evaluated.
+    pub evaluated: usize,
+}
+
+/// The current priorities of every resource.
+fn current_assignment(system: &DistributedSystem) -> DistAssignment {
+    system
+        .resources()
+        .iter()
+        .map(|r| {
+            let s = r.system();
+            s.task_refs().map(|t| s.task(t).priority()).collect()
+        })
+        .collect()
+}
+
+/// Applies a per-resource assignment.
+fn apply(system: &DistributedSystem, assignment: &DistAssignment) -> DistributedSystem {
+    let mut index = 0usize;
+    system
+        .map_systems(|r| {
+            let priorities = &assignment[index];
+            index += 1;
+            r.system().with_priorities(priorities)
+        })
+        .expect("priorities preserve chain structure")
+}
+
+/// Scores one concrete distributed system against the path goals.
+///
+/// Divergent or non-converging systems score every goal as violated
+/// with saturated tie-breakers, so the search can still rank them.
+pub fn evaluate_dist(
+    system: &DistributedSystem,
+    goals: &[PathGoal],
+    options: DistOptions,
+) -> AssignmentScore {
+    let worst = AssignmentScore {
+        violated_goals: goals.len(),
+        total_miss_bound: u64::MAX / 4,
+        total_latency: u64::MAX / 4,
+    };
+    let Ok(results) = analyze(system, options) else {
+        return worst;
+    };
+    let mut violated = 0usize;
+    let mut total_bound = 0u64;
+    let mut total_latency = 0u64;
+    for goal in goals {
+        let Ok(path) = goal.resolve(system) else {
+            violated += 1;
+            continue;
+        };
+        match path.deadline_miss_model(&results, goal.constraint.k) {
+            Ok(dmm) => {
+                total_bound = total_bound.saturating_add(dmm);
+                if !goal.constraint.admits(dmm) {
+                    violated += 1;
+                }
+            }
+            Err(_) => violated += 1,
+        }
+        match path.latency(&results) {
+            Ok(latency) => total_latency = total_latency.saturating_add(latency),
+            Err(_) => total_latency = total_latency.saturating_add(u64::MAX / 4),
+        }
+    }
+    AssignmentScore {
+        violated_goals: violated,
+        total_miss_bound: total_bound,
+        total_latency,
+    }
+}
+
+/// Hill climbing over per-resource priority permutations: each step
+/// swaps two priorities *within one resource* (cross-resource priorities
+/// are incomparable under SPP), with random restarts.
+///
+/// The `options` field of `config` configures the per-resource chain
+/// analysis inside the holistic oracle.
+///
+/// # Examples
+///
+/// ```
+/// use twca_assign::{hill_climb_dist, PathGoal, SearchConfig};
+/// use twca_chains::MkConstraint;
+/// use twca_dist::DistributedSystemBuilder;
+/// use twca_model::SystemBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ecu0 = SystemBuilder::new()
+///     .chain("sense").periodic(100)?.deadline(100)
+///     .task("s1", 1, 10).done()
+///     .chain("local").periodic(100)?.deadline(100)
+///     .task("l1", 2, 80).done()
+///     .build()?;
+/// let ecu1 = SystemBuilder::new()
+///     .chain("act").periodic(100)?.deadline(100)
+///     .task("a1", 1, 20).done()
+///     .build()?;
+/// let dist = DistributedSystemBuilder::new()
+///     .resource("ecu0", ecu0)
+///     .resource("ecu1", ecu1)
+///     .link(("ecu0", "sense"), ("ecu1", "act"))
+///     .build()?;
+///
+/// // As declared, `local` preempts `sense` (10 + 80 > 100 every other
+/// // window is tight); ask the search for a (0, 10) end-to-end path.
+/// let goals = vec![PathGoal::new(
+///     [("ecu0", "sense"), ("ecu1", "act")],
+///     MkConstraint::new(0, 10),
+/// )];
+/// let outcome = hill_climb_dist(&dist, &goals, &SearchConfig::default());
+/// assert_eq!(outcome.best_score.violated_goals, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hill_climb_dist(
+    system: &DistributedSystem,
+    goals: &[PathGoal],
+    config: &SearchConfig,
+) -> DistSearchOutcome {
+    let dist_options = DistOptions {
+        chain_options: config.options,
+        ..DistOptions::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let task_counts: Vec<usize> = system
+        .resources()
+        .iter()
+        .map(|r| r.system().task_count())
+        .collect();
+
+    let mut best_priorities = current_assignment(system);
+    let mut best_score = evaluate_dist(system, goals, dist_options);
+    let mut evaluated = 1usize;
+    let budget_per_restart = (config.evaluations / config.restarts.max(1)).max(2);
+
+    for restart in 0..config.restarts.max(1) {
+        let mut current = if restart == 0 {
+            best_priorities.clone()
+        } else {
+            task_counts
+                .iter()
+                .map(|&n| random_priority_permutation(&mut rng, n))
+                .collect()
+        };
+        let mut current_score = evaluate_dist(&apply(system, &current), goals, dist_options);
+        evaluated += usize::from(restart != 0);
+        if current_score < best_score {
+            best_score = current_score;
+            best_priorities = current.clone();
+        }
+
+        let mut steps = 0usize;
+        while steps < budget_per_restart {
+            // Swap two priorities within one random resource.
+            let candidates: Vec<usize> = (0..task_counts.len())
+                .filter(|&i| task_counts[i] >= 2)
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let resource = candidates[rng.gen_range(0..candidates.len())];
+            let n = task_counts[resource];
+            let (i, j) = {
+                let i = rng.gen_range(0..n);
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                (i, j)
+            };
+            let mut candidate = current.clone();
+            candidate[resource].swap(i, j);
+            let score = evaluate_dist(&apply(system, &candidate), goals, dist_options);
+            evaluated += 1;
+            steps += 1;
+            if score < current_score {
+                current = candidate;
+                current_score = score;
+                if score < best_score {
+                    best_score = score;
+                    best_priorities = current.clone();
+                }
+            }
+            if best_score.violated_goals == 0 && best_score.total_miss_bound == 0 {
+                return DistSearchOutcome {
+                    best_priorities,
+                    best_score,
+                    evaluated,
+                };
+            }
+        }
+    }
+    DistSearchOutcome {
+        best_priorities,
+        best_score,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_dist::DistributedSystemBuilder;
+    use twca_model::SystemBuilder;
+
+    /// ecu0 runs a chain pair where the declared priorities starve the
+    /// linked chain; a swap fixes it.
+    fn contended() -> DistributedSystem {
+        let ecu0 = SystemBuilder::new()
+            .chain("sense")
+            .periodic(100)
+            .unwrap()
+            .deadline(100)
+            .task("s1", 1, 30)
+            .done()
+            .chain("local")
+            .periodic(100)
+            .unwrap()
+            .deadline(200)
+            .task("l1", 2, 75)
+            .done()
+            .build()
+            .unwrap();
+        let ecu1 = SystemBuilder::new()
+            .chain("act")
+            .periodic(100)
+            .unwrap()
+            .deadline(100)
+            .task("a1", 1, 20)
+            .done()
+            .build()
+            .unwrap();
+        DistributedSystemBuilder::new()
+            .resource("ecu0", ecu0)
+            .resource("ecu1", ecu1)
+            .link(("ecu0", "sense"), ("ecu1", "act"))
+            .build()
+            .unwrap()
+    }
+
+    fn goals() -> Vec<PathGoal> {
+        vec![PathGoal::new(
+            [("ecu0", "sense"), ("ecu1", "act")],
+            MkConstraint::new(0, 10),
+        )]
+    }
+
+    #[test]
+    fn declared_assignment_violates_the_goal() {
+        // sense (prio 1, C 30) is preempted by local (prio 2, C 75):
+        // B(1) = 105 > 100 — the path goal fails as declared.
+        let score = evaluate_dist(&contended(), &goals(), DistOptions::default());
+        assert_eq!(score.violated_goals, 1);
+    }
+
+    #[test]
+    fn hill_climb_repairs_the_assignment() {
+        let outcome = hill_climb_dist(&contended(), &goals(), &SearchConfig::default());
+        assert_eq!(outcome.best_score.violated_goals, 0);
+        assert_eq!(outcome.best_score.total_miss_bound, 0);
+        // The repaired system really satisfies the goal.
+        let repaired = {
+            let dist = contended();
+            let mut index = 0;
+            dist.map_systems(|r| {
+                let p = &outcome.best_priorities[index];
+                index += 1;
+                r.system().with_priorities(p)
+            })
+            .unwrap()
+        };
+        let score = evaluate_dist(&repaired, &goals(), DistOptions::default());
+        assert_eq!(score.violated_goals, 0);
+    }
+
+    #[test]
+    fn unknown_path_counts_as_violated() {
+        let goals = vec![PathGoal::new(
+            [("ecu0", "ghost"), ("ecu1", "act")],
+            MkConstraint::new(0, 10),
+        )];
+        let score = evaluate_dist(&contended(), &goals, DistOptions::default());
+        assert_eq!(score.violated_goals, 1);
+    }
+
+    #[test]
+    fn search_is_reproducible() {
+        let a = hill_climb_dist(&contended(), &goals(), &SearchConfig::default());
+        let b = hill_climb_dist(&contended(), &goals(), &SearchConfig::default());
+        assert_eq!(a, b);
+    }
+}

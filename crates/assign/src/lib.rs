@@ -1,0 +1,479 @@
+//! Priority-assignment synthesis for weakly-hard task-chain systems.
+//!
+//! Experiment 2 of the DATE 2017 paper shows that the priority assignment
+//! decides whether a chain is schedulable, weakly-hard bounded, or
+//! hopeless. This crate closes the loop: it *searches* the assignment
+//! space for priorities under which a set of weakly-hard goals holds,
+//! using the analysis of [`twca_chains`] as the oracle.
+//!
+//! Two engines are provided:
+//!
+//! * [`random_search`] — independent uniform samples (the Experiment 2
+//!   generator turned into an optimizer);
+//! * [`hill_climb`] — local search by pairwise priority swaps from a
+//!   random start, with restarts;
+//! * [`hill_climb_dist`] — the same local search lifted to distributed
+//!   systems ([`twca_dist`]) with end-to-end [`PathGoal`]s.
+//!
+//! Both optimize the lexicographic score
+//! ([`AssignmentScore`]): first the number of violated goals, then the
+//! summed miss bounds, then the summed latencies — so progress is made
+//! even while goals are still violated.
+//!
+//! # Examples
+//!
+//! ```
+//! use twca_assign::{hill_climb, Goal, SearchConfig};
+//! use twca_chains::MkConstraint;
+//! use twca_model::case_study;
+//!
+//! let system = case_study();
+//! let goals = vec![
+//!     Goal::new("sigma_c", MkConstraint::new(2, 10)),
+//!     Goal::new("sigma_d", MkConstraint::new(2, 10)),
+//! ];
+//! let outcome = hill_climb(&system, &goals, &SearchConfig::default());
+//! // The original assignment already satisfies these goals; the search
+//! // must find one at least as good.
+//! assert_eq!(outcome.best_score.violated_goals, 0);
+//! ```
+
+mod dist;
+
+pub use dist::{evaluate_dist, hill_climb_dist, DistAssignment, DistSearchOutcome, PathGoal};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use twca_chains::{AnalysisOptions, ChainAnalysis, MkConstraint};
+use twca_gen::random_priority_permutation;
+use twca_model::{Priority, System};
+
+/// One weakly-hard goal: a chain (by name) and the `(m, k)` constraint it
+/// must satisfy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Goal {
+    chain: String,
+    constraint: MkConstraint,
+}
+
+impl Goal {
+    /// Creates a goal.
+    pub fn new(chain: impl Into<String>, constraint: MkConstraint) -> Self {
+        Goal {
+            chain: chain.into(),
+            constraint,
+        }
+    }
+
+    /// The target chain name.
+    pub fn chain(&self) -> &str {
+        &self.chain
+    }
+
+    /// The required constraint.
+    pub fn constraint(&self) -> MkConstraint {
+        self.constraint
+    }
+}
+
+/// Lexicographic quality of an assignment (smaller is better).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AssignmentScore {
+    /// Number of goals whose constraint is violated (primary).
+    pub violated_goals: usize,
+    /// Sum of `dmm(k)` bounds over all goals (secondary).
+    pub total_miss_bound: u64,
+    /// Sum of worst-case latencies over all goal chains, saturated
+    /// (tertiary tie-break; unbounded latencies count as `u64::MAX / 4`).
+    pub total_latency: u64,
+}
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// Total assignment evaluations allowed.
+    pub evaluations: usize,
+    /// For [`hill_climb`]: restarts (each consumes part of the budget).
+    pub restarts: usize,
+    /// Analysis options used by the oracle.
+    pub options: AnalysisOptions,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            seed: 2017,
+            evaluations: 200,
+            restarts: 4,
+            options: AnalysisOptions::default(),
+        }
+    }
+}
+
+/// Outcome of a search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// The best assignment found, in [`System::task_refs`] order.
+    pub best_priorities: Vec<Priority>,
+    /// Its score.
+    pub best_score: AssignmentScore,
+    /// Number of assignments evaluated.
+    pub evaluated: usize,
+}
+
+/// Scores one concrete system against the goals.
+pub fn evaluate(system: &System, goals: &[Goal], options: AnalysisOptions) -> AssignmentScore {
+    let analysis = ChainAnalysis::new(system).with_options(options);
+    let mut violated = 0usize;
+    let mut total_bound = 0u64;
+    let mut total_latency = 0u64;
+    for goal in goals {
+        let Some((id, _)) = system.chain_by_name(&goal.chain) else {
+            violated += 1;
+            continue;
+        };
+        match analysis.deadline_miss_model(id, goal.constraint.k) {
+            Ok(dmm) => {
+                total_bound = total_bound.saturating_add(dmm.bound);
+                if !goal.constraint.admits(dmm.bound) {
+                    violated += 1;
+                }
+            }
+            Err(_) => violated += 1,
+        }
+        match analysis.try_worst_case_latency(id) {
+            Ok(Some(r)) => total_latency = total_latency.saturating_add(r.worst_case_latency),
+            _ => total_latency = total_latency.saturating_add(u64::MAX / 4),
+        }
+    }
+    AssignmentScore {
+        violated_goals: violated,
+        total_miss_bound: total_bound,
+        total_latency,
+    }
+}
+
+/// Exhaustive search over *all* priority permutations — the
+/// guaranteed-optimal baseline for small systems.
+///
+/// Uses Heap's algorithm to enumerate the `n!` permutations of the
+/// priority levels `1..=n`.
+///
+/// # Panics
+///
+/// Panics if the system has more than `max_tasks` tasks (default guard
+/// against factorial blow-up; 8 tasks = 40320 analyses).
+pub fn exhaustive_search(
+    system: &System,
+    goals: &[Goal],
+    max_tasks: usize,
+    options: AnalysisOptions,
+) -> SearchOutcome {
+    let n = system.task_count();
+    assert!(
+        n <= max_tasks,
+        "exhaustive search over {n} tasks exceeds the {max_tasks}-task guard"
+    );
+    let mut levels: Vec<u32> = (1..=n as u32).collect();
+    let mut best_priorities: Vec<Priority> = levels.iter().map(|&l| Priority::new(l)).collect();
+    let mut best_score = evaluate(
+        &system.with_priorities(&best_priorities),
+        goals,
+        options,
+    );
+    let mut evaluated = 1usize;
+
+    // Heap's algorithm (iterative).
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                levels.swap(0, i);
+            } else {
+                levels.swap(c[i], i);
+            }
+            let candidate: Vec<Priority> = levels.iter().map(|&l| Priority::new(l)).collect();
+            let score = evaluate(&system.with_priorities(&candidate), goals, options);
+            evaluated += 1;
+            if score < best_score {
+                best_score = score;
+                best_priorities = candidate;
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    SearchOutcome {
+        best_priorities,
+        best_score,
+        evaluated,
+    }
+}
+
+/// Pure random search over uniform priority permutations.
+pub fn random_search(system: &System, goals: &[Goal], config: &SearchConfig) -> SearchOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let n = system.task_count();
+    let mut best_priorities: Vec<Priority> = system
+        .task_refs()
+        .map(|r| system.task(r).priority())
+        .collect();
+    let mut best_score = evaluate(system, goals, config.options);
+    let mut evaluated = 1usize;
+    while evaluated < config.evaluations {
+        let candidate = random_priority_permutation(&mut rng, n);
+        let score = evaluate(&system.with_priorities(&candidate), goals, config.options);
+        evaluated += 1;
+        if score < best_score {
+            best_score = score;
+            best_priorities = candidate;
+        }
+        if best_score.violated_goals == 0 && best_score.total_miss_bound == 0 {
+            break; // cannot improve the primary objectives further
+        }
+    }
+    SearchOutcome {
+        best_priorities,
+        best_score,
+        evaluated,
+    }
+}
+
+/// Hill climbing by pairwise priority swaps with random restarts.
+pub fn hill_climb(system: &System, goals: &[Goal], config: &SearchConfig) -> SearchOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let n = system.task_count();
+    let budget_per_restart = (config.evaluations / config.restarts.max(1)).max(2);
+
+    // Seed the incumbent with the system's own assignment.
+    let mut best_priorities: Vec<Priority> = system
+        .task_refs()
+        .map(|r| system.task(r).priority())
+        .collect();
+    let mut best_score = evaluate(system, goals, config.options);
+    let mut evaluated = 1usize;
+
+    for restart in 0..config.restarts.max(1) {
+        let mut current = if restart == 0 {
+            best_priorities.clone()
+        } else {
+            random_priority_permutation(&mut rng, n)
+        };
+        let mut current_score =
+            evaluate(&system.with_priorities(&current), goals, config.options);
+        evaluated += 1;
+
+        let mut local_budget = budget_per_restart;
+        while local_budget > 0 {
+            // Propose a random swap.
+            let i = rng.gen_range(0..n);
+            let mut j = rng.gen_range(0..n);
+            while j == i && n > 1 {
+                j = rng.gen_range(0..n);
+            }
+            current.swap(i, j);
+            let score = evaluate(&system.with_priorities(&current), goals, config.options);
+            evaluated += 1;
+            local_budget -= 1;
+            if score <= current_score {
+                current_score = score; // accept (plateaus allowed)
+            } else {
+                current.swap(i, j); // revert
+            }
+            if current_score < best_score {
+                best_score = current_score;
+                best_priorities = current.clone();
+            }
+            if best_score.violated_goals == 0 && best_score.total_miss_bound == 0 {
+                return SearchOutcome {
+                    best_priorities,
+                    best_score,
+                    evaluated,
+                };
+            }
+        }
+    }
+    SearchOutcome {
+        best_priorities,
+        best_score,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::case_study;
+
+    fn goals() -> Vec<Goal> {
+        vec![
+            Goal::new("sigma_c", MkConstraint::new(0, 10)),
+            Goal::new("sigma_d", MkConstraint::new(0, 10)),
+        ]
+    }
+
+    #[test]
+    fn evaluate_scores_the_original_assignment() {
+        let s = case_study();
+        let score = evaluate(&s, &goals(), AnalysisOptions::default());
+        // σc violates (0, 10), σd satisfies it.
+        assert_eq!(score.violated_goals, 1);
+        assert!(score.total_miss_bound > 0);
+        assert_eq!(score.total_latency, 331 + 175);
+    }
+
+    #[test]
+    fn random_search_improves_or_keeps_score() {
+        let s = case_study();
+        let config = SearchConfig {
+            evaluations: 60,
+            ..SearchConfig::default()
+        };
+        let baseline = evaluate(&s, &goals(), config.options);
+        let outcome = random_search(&s, &goals(), &config);
+        assert!(outcome.best_score <= baseline);
+        assert!(outcome.evaluated <= config.evaluations);
+    }
+
+    #[test]
+    fn search_finds_fully_schedulable_assignment() {
+        // Experiment 2 says ~2/3 of random assignments make σc
+        // schedulable and ~1/3 σd; a short search should find one that
+        // satisfies both.
+        let s = case_study();
+        let config = SearchConfig {
+            evaluations: 150,
+            ..SearchConfig::default()
+        };
+        let outcome = random_search(&s, &goals(), &config);
+        assert_eq!(
+            outcome.best_score.violated_goals, 0,
+            "no fully schedulable assignment found in {} tries",
+            outcome.evaluated
+        );
+        // Verify the returned assignment really achieves the score.
+        let check = evaluate(
+            &s.with_priorities(&outcome.best_priorities),
+            &goals(),
+            config.options,
+        );
+        assert_eq!(check, outcome.best_score);
+    }
+
+    #[test]
+    fn hill_climb_matches_or_beats_its_seed() {
+        let s = case_study();
+        let config = SearchConfig {
+            evaluations: 120,
+            restarts: 3,
+            ..SearchConfig::default()
+        };
+        let outcome = hill_climb(&s, &goals(), &config);
+        let baseline = evaluate(&s, &goals(), config.options);
+        assert!(outcome.best_score <= baseline);
+    }
+
+    /// A 5-task system small enough for exhaustive search.
+    fn small_system() -> twca_model::System {
+        use twca_model::SystemBuilder;
+        SystemBuilder::new()
+            .chain("p")
+            .periodic(100)
+            .unwrap()
+            .deadline(100)
+            .task("p1", 1, 15)
+            .task("p2", 2, 20)
+            .done()
+            .chain("q")
+            .periodic(150)
+            .unwrap()
+            .deadline(150)
+            .task("q1", 3, 30)
+            .task("q2", 4, 25)
+            .done()
+            .chain("isr")
+            .sporadic(2_000)
+            .unwrap()
+            .overload()
+            .task("i1", 5, 20)
+            .done()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn exhaustive_enumerates_all_permutations() {
+        let s = small_system();
+        let goals = vec![
+            Goal::new("p", MkConstraint::new(0, 10)),
+            Goal::new("q", MkConstraint::new(0, 10)),
+        ];
+        let outcome = exhaustive_search(&s, &goals, 8, AnalysisOptions::default());
+        assert_eq!(outcome.evaluated, 120); // 5!
+    }
+
+    #[test]
+    fn heuristics_never_beat_exhaustive() {
+        let s = small_system();
+        let goals = vec![
+            Goal::new("p", MkConstraint::new(0, 10)),
+            Goal::new("q", MkConstraint::new(0, 10)),
+        ];
+        let opts = AnalysisOptions::default();
+        let optimal = exhaustive_search(&s, &goals, 8, opts);
+        let config = SearchConfig {
+            evaluations: 200,
+            ..SearchConfig::default()
+        };
+        let hc = hill_climb(&s, &goals, &config);
+        let rs = random_search(&s, &goals, &config);
+        assert!(optimal.best_score <= hc.best_score);
+        assert!(optimal.best_score <= rs.best_score);
+        // With 200 evaluations over a 120-permutation space, random
+        // search must actually reach the optimum's primary objective.
+        assert_eq!(
+            rs.best_score.violated_goals,
+            optimal.best_score.violated_goals
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn exhaustive_guard_panics_on_large_systems() {
+        let s = case_study(); // 13 tasks
+        let _ = exhaustive_search(&s, &goals(), 8, AnalysisOptions::default());
+    }
+
+    #[test]
+    fn unknown_goal_chain_counts_as_violated() {
+        let s = case_study();
+        let score = evaluate(
+            &s,
+            &[Goal::new("nope", MkConstraint::new(0, 1))],
+            AnalysisOptions::default(),
+        );
+        assert_eq!(score.violated_goals, 1);
+    }
+
+    #[test]
+    fn scores_order_lexicographically() {
+        let a = AssignmentScore {
+            violated_goals: 0,
+            total_miss_bound: 100,
+            total_latency: 100,
+        };
+        let b = AssignmentScore {
+            violated_goals: 1,
+            total_miss_bound: 0,
+            total_latency: 0,
+        };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,89 @@
+//! Ablation: the specialized packing solver vs the general exact ILP
+//! (simplex + branch and bound) on DMM-shaped packing instances.
+//!
+//! Both must return identical optima (asserted before measuring); the
+//! benchmark quantifies what the dedicated solver buys.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use twca_ilp::{solve_ilp, PackingProblem};
+
+/// Random DMM-shaped instance: `segments` resources with budgets in
+/// 1..=8, `items` combinations of 1..=3 distinct segments.
+fn instance(rng: &mut impl Rng, segments: usize, items: usize) -> PackingProblem {
+    let capacities: Vec<u64> = (0..segments).map(|_| rng.gen_range(1..=8)).collect();
+    let mut all_items = Vec::with_capacity(items);
+    for _ in 0..items {
+        let size = rng.gen_range(1..=3.min(segments));
+        let mut item: Vec<usize> = Vec::new();
+        while item.len() < size {
+            let s = rng.gen_range(0..segments);
+            if !item.contains(&s) {
+                item.push(s);
+            }
+        }
+        all_items.push(item);
+    }
+    PackingProblem::new(capacities, all_items).expect("valid instance")
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_ilp");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for (segments, items) in [(4usize, 4usize), (6, 8), (8, 12)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let problems: Vec<PackingProblem> =
+            (0..8).map(|_| instance(&mut rng, segments, items)).collect();
+
+        // Cross-validate once before timing.
+        for p in &problems {
+            let fast = p.solve().packed_total();
+            let general = solve_ilp(&p.to_ilp())
+                .expect("solvable")
+                .expect_optimal()
+                .objective_value() as u64;
+            assert_eq!(fast, general, "solvers disagree on {p:?}");
+        }
+
+        let label = format!("{segments}seg_{items}items");
+        group.bench_with_input(
+            BenchmarkId::new("specialized_packing", &label),
+            &problems,
+            |b, problems| {
+                b.iter(|| {
+                    for p in problems {
+                        black_box(p.solve().packed_total());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("general_bb_ilp", &label),
+            &problems,
+            |b, problems| {
+                b.iter(|| {
+                    for p in problems {
+                        let v = solve_ilp(&p.to_ilp())
+                            .expect("solvable")
+                            .expect_optimal()
+                            .objective_value();
+                        black_box(v);
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Distributed extension: holistic-iteration cost vs pipeline depth,
+//! and the cost split between propagation and per-resource analysis.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use twca_bench::distributed_pipeline;
+use twca_dist::{analyze, jitter_shifted, DistOptions};
+use twca_model::case_study;
+
+fn bench_dist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_scaling");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    for stages in [2usize, 4, 8] {
+        let dist = distributed_pipeline(stages);
+        group.bench_with_input(
+            BenchmarkId::new("holistic_analysis", stages),
+            &dist,
+            |b, dist| {
+                b.iter(|| {
+                    let r = analyze(black_box(dist), DistOptions::default())
+                        .expect("pipeline converges");
+                    black_box(r.sweeps())
+                })
+            },
+        );
+    }
+
+    // Propagation primitive in isolation: shifting each activation model
+    // of the case study by a representative jitter.
+    let system = case_study();
+    group.bench_function("jitter_shift_case_study_models", |b| {
+        b.iter(|| {
+            for (_, chain) in system.iter() {
+                black_box(jitter_shifted(black_box(chain.activation()), 331));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dist);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates Figure 5 (dmm(10) histograms over random priority
+//! assignments) and measures per-assignment analysis throughput.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use twca_bench::figure5;
+use twca_chains::ChainAnalysis;
+use twca_gen::priority_permutations;
+use twca_model::{case_study, CASE_STUDY_TASK_COUNT};
+
+fn bench_fig5(c: &mut Criterion) {
+    // Regenerate the figure with a reduced round count so `cargo bench`
+    // stays fast; the `experiments fig5` binary runs the full 1000.
+    let outcome = figure5(2017, 200);
+    println!("\n== Figure 5 (regenerated, 200 assignments) ==");
+    println!(
+        "  sigma_c schedulable: {}/{} (paper: 633/1000)",
+        outcome.schedulable_c, outcome.rounds
+    );
+    println!(
+        "  sigma_d schedulable: {}/{} (paper: 307/1000)",
+        outcome.schedulable_d, outcome.rounds
+    );
+    println!("  dmm_c(10) histogram: {:?}", outcome.histogram_c);
+    println!("  dmm_d(10) histogram: {:?}", outcome.histogram_d);
+
+    let base = case_study();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let assignments = priority_permutations(&mut rng, CASE_STUDY_TASK_COUNT, 64);
+
+    let mut group = c.benchmark_group("fig5_random");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("analyze_one_assignment", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let system = base.with_priorities(&assignments[i % assignments.len()]);
+            i += 1;
+            let analysis = ChainAnalysis::new(&system);
+            let (cid, _) = system.chain_by_name("sigma_c").unwrap();
+            let (did, _) = system.chain_by_name("sigma_d").unwrap();
+            let c_bound = analysis.deadline_miss_model(cid, 10).unwrap().bound;
+            let d_bound = analysis.deadline_miss_model(did, 10).unwrap().bound;
+            black_box((c_bound, d_bound))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

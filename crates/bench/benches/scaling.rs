@@ -1,0 +1,52 @@
+//! Runtime scaling of the full analysis pipeline with system size, and
+//! simulator throughput.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use twca_bench::scaled_case_study;
+use twca_chains::ChainAnalysis;
+use twca_model::case_study;
+use twca_sim::{Simulation, TraceSet};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for factor in [1usize, 2, 4, 8] {
+        let system = scaled_case_study(factor);
+        group.bench_with_input(
+            BenchmarkId::new("full_report", factor),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    let analysis = ChainAnalysis::new(black_box(system));
+                    black_box(analysis.report())
+                })
+            },
+        );
+    }
+
+    let system = case_study();
+    for horizon in [10_000u64, 100_000] {
+        let traces = TraceSet::max_rate(&system, horizon);
+        group.bench_with_input(
+            BenchmarkId::new("simulate_case_study", horizon),
+            &traces,
+            |b, traces| {
+                b.iter(|| {
+                    let r = Simulation::new(black_box(&system)).run(traces);
+                    black_box(r.chains().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates Table I (worst-case latencies of σc and σd) and measures
+//! the latency-analysis runtime.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use twca_bench::table1;
+use twca_chains::{latency_analysis, AnalysisContext, AnalysisOptions, OverloadMode};
+use twca_model::case_study;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table once, so `cargo bench` output contains
+    // the reproduction artifact itself.
+    println!("\n== Table I (regenerated) ==");
+    for row in table1() {
+        println!(
+            "  {:<10} WCL {:>4}   typical {:>4}   D {}",
+            row.chain,
+            row.wcl.map_or("unbounded".into(), |w| w.to_string()),
+            row.typical_wcl.map_or("unbounded".into(), |w| w.to_string()),
+            row.deadline
+        );
+    }
+
+    let system = case_study();
+    let ctx = AnalysisContext::new(&system);
+    let (sigma_c, _) = system.chain_by_name("sigma_c").unwrap();
+    let (sigma_d, _) = system.chain_by_name("sigma_d").unwrap();
+    let opts = AnalysisOptions::default();
+
+    let mut group = c.benchmark_group("table1_wcl");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("sigma_c_full", |b| {
+        b.iter(|| {
+            latency_analysis(black_box(&ctx), sigma_c, OverloadMode::Include, opts)
+                .expect("closes")
+        })
+    });
+    group.bench_function("sigma_d_full", |b| {
+        b.iter(|| {
+            latency_analysis(black_box(&ctx), sigma_d, OverloadMode::Include, opts)
+                .expect("closes")
+        })
+    });
+    group.bench_function("sigma_c_typical", |b| {
+        b.iter(|| {
+            latency_analysis(black_box(&ctx), sigma_c, OverloadMode::Exclude, opts)
+                .expect("closes")
+        })
+    });
+    group.bench_function("context_construction", |b| {
+        b.iter(|| AnalysisContext::new(black_box(&system)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Regenerates Table II (the deadline miss model of σc) and measures the
+//! full DMM pipeline runtime at the paper's sample points.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use twca_bench::table2;
+use twca_chains::{
+    deadline_miss_model, deadline_miss_model_exact, AnalysisContext, AnalysisOptions,
+};
+use twca_model::case_study;
+
+fn bench_table2(c: &mut Criterion) {
+    println!("\n== Table II (regenerated) ==");
+    println!("  paper: dmm_c(3) = 3, dmm_c(76) = 4, dmm_c(250) = 5");
+    for dmm in table2(&[3, 76, 250]) {
+        println!(
+            "  ours : dmm_c({}) = {} (N_b = {}, packed = {}, slack = {})",
+            dmm.k, dmm.bound, dmm.misses_per_window, dmm.packed_windows, dmm.typical_slack
+        );
+    }
+    println!("  (k = 76/250 differ from the paper; see EXPERIMENTS.md)");
+
+    let system = case_study();
+    let ctx = AnalysisContext::new(&system);
+    let (sigma_c, _) = system.chain_by_name("sigma_c").unwrap();
+    let opts = AnalysisOptions::default();
+
+    let mut group = c.benchmark_group("table2_dmm");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for k in [3u64, 76, 250] {
+        group.bench_with_input(BenchmarkId::new("dmm_sigma_c", k), &k, |b, &k| {
+            b.iter(|| deadline_miss_model(black_box(&ctx), sigma_c, k, opts).expect("deadline"))
+        });
+    }
+
+    // Ablation: sufficient (Eq. 5) vs exact (Eq. 3) combination
+    // criterion.
+    group.bench_function("dmm_sufficient_k76", |b| {
+        b.iter(|| deadline_miss_model(black_box(&ctx), sigma_c, 76, opts).expect("deadline"))
+    });
+    group.bench_function("dmm_exact_k76", |b| {
+        b.iter(|| {
+            deadline_miss_model_exact(black_box(&ctx), sigma_c, 76, opts).expect("deadline")
+        })
+    });
+
+    // Ablation: a full curve via repeated pointwise analysis vs the
+    // shared-state sweep.
+    let ks: Vec<u64> = (1..=100).collect();
+    group.bench_function("curve_pointwise_1_to_100", |b| {
+        b.iter(|| {
+            for &k in &ks {
+                let r = deadline_miss_model(black_box(&ctx), sigma_c, k, opts).expect("deadline");
+                black_box(r.bound);
+            }
+        })
+    });
+    group.bench_function("curve_sweep_1_to_100", |b| {
+        b.iter(|| {
+            let sweep =
+                twca_chains::DmmSweep::prepare(black_box(&ctx), sigma_c, opts).expect("deadline");
+            for &k in &ks {
+                black_box(sweep.at(k).bound);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

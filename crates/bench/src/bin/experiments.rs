@@ -1,0 +1,220 @@
+//! Experiment driver: regenerates every table and figure of the paper's
+//! evaluation plus this reproduction's validation experiments.
+//!
+//! ```text
+//! experiments             # run everything
+//! experiments table1      # Table I   — WCL of σc and σd
+//! experiments table2      # Table II  — dmm_c(k)
+//! experiments fig5        # Figure 5  — dmm(10) histograms, 1000 assignments
+//! experiments validate    # simulation-based soundness check
+//! ```
+
+use std::env;
+
+use twca_bench::{
+    collapsed_baseline, distributed_experiment, figure5, markdown_report, table1, table2,
+    tightness, validate_case_study, validation_is_sound, Figure5Outcome,
+};
+
+fn print_table1() {
+    println!("== Experiment 1 / Table I: worst-case latencies ==");
+    println!("{:<10} {:>6} {:>12} {:>6}  paper", "chain", "WCL", "typical WCL", "D");
+    let paper = [("sigma_c", 331u64), ("sigma_d", 175u64)];
+    for row in table1() {
+        let wcl = row.wcl.map_or("unbounded".into(), |w| w.to_string());
+        let typ = row.typical_wcl.map_or("unbounded".into(), |w| w.to_string());
+        let reference = paper
+            .iter()
+            .find(|(n, _)| *n == row.chain)
+            .map(|&(_, w)| w.to_string())
+            .unwrap_or_default();
+        println!(
+            "{:<10} {:>6} {:>12} {:>6}  {}",
+            row.chain, wcl, typ, row.deadline, reference
+        );
+    }
+    println!();
+}
+
+fn print_table2() {
+    println!("== Experiment 1 / Table II: dmm_c(k) ==");
+    println!(
+        "{:>5} {:>6} {:>4} {:>7} {:>7} {:>9} {:>8}  paper",
+        "k", "dmm", "N_b", "packed", "slack", "combos", "unsched"
+    );
+    let paper = [(3u64, 3u64), (76, 4), (250, 5)];
+    for dmm in table2(&[3, 10, 76, 250]) {
+        let reference = paper
+            .iter()
+            .find(|&&(k, _)| k == dmm.k)
+            .map(|&(_, v)| v.to_string())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>5} {:>6} {:>4} {:>7} {:>7} {:>9} {:>8}  {}",
+            dmm.k,
+            dmm.bound,
+            dmm.misses_per_window,
+            dmm.packed_windows,
+            dmm.typical_slack,
+            dmm.combinations,
+            dmm.unschedulable_combinations,
+            reference
+        );
+    }
+    println!("(paper values for k=76/250 are not derivable from the paper's");
+    println!(" formulas — see EXPERIMENTS.md for the discrepancy analysis)");
+    println!();
+}
+
+fn print_histogram(label: &str, outcome: &Figure5Outcome, histogram_c: bool) {
+    let histogram = if histogram_c {
+        &outcome.histogram_c
+    } else {
+        &outcome.histogram_d
+    };
+    println!("{label}: dmm(10) -> count (of {})", outcome.rounds);
+    for (bound, count) in histogram {
+        let bar = "#".repeat((count * 60 / outcome.rounds.max(1)).max(1));
+        println!("  {bound:>2}: {count:>4} {bar}");
+    }
+}
+
+fn print_fig5(rounds: usize) {
+    println!("== Experiment 2 / Figure 5: {rounds} random priority assignments ==");
+    let outcome = figure5(2017, rounds);
+    print_histogram("sigma_c", &outcome, true);
+    println!(
+        "  schedulable: {} / {} (paper: 633 / 1000)",
+        outcome.schedulable_c, outcome.rounds
+    );
+    print_histogram("sigma_d", &outcome, false);
+    println!(
+        "  schedulable: {} / {} (paper: 307 / 1000)",
+        outcome.schedulable_d, outcome.rounds
+    );
+    println!();
+}
+
+fn print_validation() {
+    println!("== Validation: simulation vs analytic bounds (not in paper) ==");
+    println!(
+        "{:<10} {:<12} {:>9} {:>9} {:>9} {:>9}",
+        "chain", "scenario", "sim lat", "WCL", "sim miss", "dmm(10)"
+    );
+    let rows = validate_case_study(200_000, 10);
+    for r in &rows {
+        println!(
+            "{:<10} {:<12} {:>9} {:>9} {:>9} {:>9}",
+            r.chain,
+            r.scenario,
+            r.observed_latency.map_or("-".into(), |v| v.to_string()),
+            r.analytic_latency.map_or("unbnd".into(), |v| v.to_string()),
+            r.observed_misses,
+            r.dmm_bound
+        );
+    }
+    println!(
+        "soundness (every observation within its bound): {}",
+        if validation_is_sound(&rows) { "PASS" } else { "FAIL" }
+    );
+    println!();
+}
+
+fn print_baseline() {
+    println!("== Chain-aware analysis vs collapsed independent-task baseline ==");
+    println!("{:<10} {:>12} {:>16}", "chain", "chain WCL", "collapsed WCRT");
+    for row in collapsed_baseline() {
+        println!(
+            "{:<10} {:>12} {:>16}",
+            row.chain,
+            row.chain_wcl.map_or("unbounded".into(), |v| v.to_string()),
+            row.collapsed_wcrt
+                .map_or("unbounded".into(), |v| v.to_string())
+        );
+    }
+    println!("(segment-aware interference accounting is what the paper adds)");
+    println!();
+}
+
+fn print_tightness() {
+    println!("== Tightness: analytic upper bounds vs falsified lower bounds ==");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}  scenario",
+        "chain", "WCL upper", "WCL lower", "dmm upper", "dmm lower"
+    );
+    for row in tightness(10, 300_000, 15) {
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10}  {}",
+            row.chain,
+            row.wcl_upper.map_or("unbnd".into(), |v| v.to_string()),
+            row.wcl_lower.map_or("-".into(), |v| v.to_string()),
+            row.dmm_upper,
+            row.dmm_lower,
+            row.scenario
+        );
+    }
+    println!("(lower bounds come from legal, model-conforming traces)");
+    println!();
+}
+
+fn print_dist() {
+    println!("== Distributed extension: case study feeding a pipeline (not in paper) ==");
+    for stages in [2usize, 3, 4] {
+        let outcome = distributed_experiment(stages, 60_000);
+        println!("-- {stages} resources (converged in {} sweep(s)) --", outcome.sweeps);
+        println!("{:<16} {:>10} {:>12}", "site", "WCL", "jitter out");
+        for row in &outcome.rows {
+            println!(
+                "{:<16} {:>10} {:>12}",
+                row.site,
+                row.wcl.map_or("unbounded".into(), |v| v.to_string()),
+                row.jitter_out
+            );
+        }
+        println!(
+            "path: bound {} / observed {}  dmm(10) = {}",
+            outcome.path_bound,
+            outcome
+                .observed
+                .map_or("-".into(), |v| v.to_string()),
+            outcome.path_dmm10
+        );
+        if let Some(observed) = outcome.observed {
+            assert!(observed <= outcome.path_bound, "simulation above bound");
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let arg = env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "table1" => print_table1(),
+        "table2" => print_table2(),
+        "fig5" => print_fig5(1000),
+        "fig5-small" => print_fig5(100),
+        "validate" => print_validation(),
+        "baseline" => print_baseline(),
+        "tightness" => print_tightness(),
+        "dist" => print_dist(),
+        "report" => print!("{}", markdown_report(1000)),
+        "report-small" => print!("{}", markdown_report(100)),
+        "all" => {
+            print_table1();
+            print_table2();
+            print_fig5(1000);
+            print_validation();
+            print_baseline();
+            print_tightness();
+            print_dist();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!(
+                "usage: experiments [table1|table2|fig5|fig5-small|validate|baseline|\
+                 tightness|dist|report|report-small|all]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! Library backing the `twca` command-line tool.
+//!
+//! Every subcommand is a pure function from parsed arguments to a
+//! rendered string, so the whole CLI is unit-testable without spawning
+//! processes. The `twca` binary in `main.rs` is a thin wrapper.
+//!
+//! ```text
+//! twca analyze <file>                 latency report + miss models
+//! twca explain <file> <chain>         full analysis derivation
+//! twca dmm <file> <chain> <k>...      miss model at given window lengths
+//! twca simulate <file> [horizon]      adversarial simulation vs bounds
+//! twca dot <file>                     Graphviz export
+//! twca gantt <file> [horizon]         textual Gantt of an adversarial run
+//! twca report <file>                  Markdown analysis report
+//! twca synthesize <file> <m> <k>      search priorities satisfying (m,k)
+//! ```
+
+use std::fmt::Write as _;
+
+use twca_assign::{hill_climb, Goal, SearchConfig};
+use twca_chains::{explain, AnalysisContext, AnalysisOptions, ChainAnalysis, MkConstraint};
+use twca_model::{parse_system, render_dot, System};
+use twca_sim::{adversarial_aligned_traces, Simulation};
+
+/// Errors surfaced to the command line.
+#[derive(Debug)]
+pub enum CliError {
+    /// Wrong usage; the string is the usage text to print.
+    Usage(String),
+    /// The input file could not be read.
+    Io(std::io::Error),
+    /// The system description did not parse or validate.
+    Parse(twca_model::ParseError),
+    /// The analysis failed.
+    Analysis(twca_chains::AnalysisError),
+    /// A named chain does not exist in the system.
+    NoSuchChain(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(u) => write!(f, "usage: {u}"),
+            CliError::Io(e) => write!(f, "cannot read input: {e}"),
+            CliError::Parse(e) => write!(f, "invalid system description: {e}"),
+            CliError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            CliError::NoSuchChain(name) => write!(f, "no chain named `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(value: std::io::Error) -> Self {
+        CliError::Io(value)
+    }
+}
+
+impl From<twca_model::ParseError> for CliError {
+    fn from(value: twca_model::ParseError) -> Self {
+        CliError::Parse(value)
+    }
+}
+
+impl From<twca_chains::AnalysisError> for CliError {
+    fn from(value: twca_chains::AnalysisError) -> Self {
+        CliError::Analysis(value)
+    }
+}
+
+fn load(path: &str) -> Result<System, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_system(&text)?)
+}
+
+fn chain_id(system: &System, name: &str) -> Result<twca_model::ChainId, CliError> {
+    system
+        .chain_by_name(name)
+        .map(|(id, _)| id)
+        .ok_or_else(|| CliError::NoSuchChain(name.to_owned()))
+}
+
+/// `twca analyze <file>`: latency report plus `dmm(10)` per deadline
+/// chain.
+pub fn cmd_analyze(system: &System) -> Result<String, CliError> {
+    let analysis = ChainAnalysis::new(system);
+    let mut out = analysis.report().to_string();
+    let _ = writeln!(out);
+    for (id, chain) in system.iter() {
+        if chain.deadline().is_none() {
+            continue;
+        }
+        let dmm = analysis.deadline_miss_model(id, 10)?;
+        let _ = writeln!(
+            out,
+            "{}: dmm(10) = {}{}",
+            chain.name(),
+            dmm.bound,
+            if dmm.informative { "" } else { " (trivial)" }
+        );
+    }
+    Ok(out)
+}
+
+/// `twca explain <file> <chain>`: the full derivation.
+pub fn cmd_explain(system: &System, chain: &str) -> Result<String, CliError> {
+    let id = chain_id(system, chain)?;
+    let ctx = AnalysisContext::new(system);
+    Ok(explain(&ctx, id, AnalysisOptions::default())?)
+}
+
+/// `twca dmm <file> <chain> <k>...`: miss model values with packing
+/// witnesses.
+pub fn cmd_dmm(system: &System, chain: &str, ks: &[u64]) -> Result<String, CliError> {
+    use twca_chains::DmmSweep;
+    let id = chain_id(system, chain)?;
+    let ctx = AnalysisContext::new(system);
+    let sweep = DmmSweep::prepare(&ctx, id, AnalysisOptions::default())?;
+    let mut out = String::new();
+    for &k in ks {
+        match sweep.witness(k) {
+            Some(witness) => out.push_str(&witness.render(system)),
+            None => {
+                let dmm = sweep.at(k);
+                let _ = writeln!(
+                    out,
+                    "dmm({}) = {}{}",
+                    dmm.k,
+                    dmm.bound,
+                    if dmm.informative { "" } else { " (trivial)" }
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `twca simulate <file> [horizon]`: adversarial run vs analytic bounds.
+pub fn cmd_simulate(system: &System, horizon: u64) -> Result<String, CliError> {
+    let analysis = ChainAnalysis::new(system);
+    let traces = adversarial_aligned_traces(system, horizon);
+    let result = Simulation::new(system).run(&traces);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>10} {:>10} {:>10}",
+        "chain", "instances", "max lat", "WCL", "misses"
+    );
+    for (id, chain) in system.iter() {
+        let stats = result.chain(id);
+        let wcl = analysis
+            .try_worst_case_latency(id)?
+            .map_or("unbounded".to_owned(), |r| r.worst_case_latency.to_string());
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>10} {:>10} {:>10}",
+            chain.name(),
+            stats.completed_instances(),
+            stats.max_latency().map_or("-".into(), |l| l.to_string()),
+            wcl,
+            stats.miss_count()
+        );
+    }
+    Ok(out)
+}
+
+/// `twca dot <file>`: Graphviz export.
+pub fn cmd_dot(system: &System) -> Result<String, CliError> {
+    Ok(render_dot(system))
+}
+
+/// `twca gantt <file> [horizon]`: adversarial simulation rendered as a
+/// textual Gantt trace (one line per execution span).
+pub fn cmd_gantt(system: &System, horizon: u64) -> Result<String, CliError> {
+    let traces = adversarial_aligned_traces(system, horizon);
+    let result = Simulation::new(system)
+        .with_execution_trace(true)
+        .run(&traces);
+    let trace = result
+        .execution_trace()
+        .expect("trace recording was enabled");
+    let names: Vec<&str> = system.chains().iter().map(|c| c.name()).collect();
+    Ok(trace.render(&names))
+}
+
+/// `twca report <file>`: Markdown analysis report (latencies, verdicts,
+/// miss-model curve per deadline chain).
+pub fn cmd_report(system: &System) -> Result<String, CliError> {
+    use twca_report::{Align, Document, Table};
+    let analysis = ChainAnalysis::new(system);
+    let report = analysis.report();
+
+    let mut doc = Document::new("TWCA analysis report");
+    doc.section("Worst-case latencies");
+    let mut latencies = Table::new();
+    latencies.column("chain", Align::Left);
+    latencies.column("WCL", Align::Right);
+    latencies.column("typical WCL", Align::Right);
+    latencies.column("D", Align::Right);
+    latencies.column("verdict", Align::Left);
+    for row in &report.rows {
+        let verdict = match row.schedulable() {
+            Some(true) => "schedulable",
+            Some(false) if row.typically_schedulable() == Some(true) => "weakly hard",
+            Some(false) => "unschedulable",
+            None => if row.overload { "overload" } else { "no deadline" },
+        };
+        latencies.row([
+            row.name.clone(),
+            row.worst_case_latency
+                .map_or("unbounded".into(), |v| v.to_string()),
+            row.typical_latency
+                .map_or("unbounded".into(), |v| v.to_string()),
+            row.deadline.map_or("-".into(), |v| v.to_string()),
+            verdict.to_owned(),
+        ]);
+    }
+    doc.table(&latencies);
+
+    doc.section("Deadline miss models");
+    let ks = [1u64, 5, 10, 25, 50, 100];
+    let mut misses = Table::new();
+    misses.column("chain", Align::Left);
+    for k in ks {
+        misses.column(format!("dmm({k})"), Align::Right);
+    }
+    for (id, chain) in system.iter() {
+        if chain.deadline().is_none() {
+            continue;
+        }
+        let mut cells = vec![chain.name().to_owned()];
+        for dmm in analysis.dmm_curve(id, &ks)? {
+            cells.push(dmm.bound.to_string());
+        }
+        misses.row(cells);
+    }
+    if misses.is_empty() {
+        doc.paragraph("No chain declares a deadline.");
+    } else {
+        doc.table(&misses);
+    }
+    Ok(doc.to_markdown())
+}
+
+/// `twca synthesize <file> <m> <k>`: search priorities under which every
+/// deadline chain satisfies `(m, k)`.
+pub fn cmd_synthesize(system: &System, m: u64, k: u64) -> Result<String, CliError> {
+    let goals: Vec<Goal> = system
+        .iter()
+        .filter(|(_, c)| c.deadline().is_some())
+        .map(|(_, c)| Goal::new(c.name(), MkConstraint::new(m, k)))
+        .collect();
+    let outcome = hill_climb(
+        system,
+        &goals,
+        &SearchConfig {
+            evaluations: 500,
+            restarts: 5,
+            ..SearchConfig::default()
+        },
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "evaluated {} assignments; best: {} violated goal(s), total dmm {}",
+        outcome.evaluated, outcome.best_score.violated_goals, outcome.best_score.total_miss_bound
+    );
+    let synthesized = system.with_priorities(&outcome.best_priorities);
+    for r in synthesized.task_refs() {
+        let t = synthesized.task(r);
+        let _ = writeln!(out, "{} -> priority {}", t.name(), t.priority().level());
+    }
+    if outcome.best_score.violated_goals == 0 {
+        let _ = writeln!(out, "all ({m}, {k}) goals satisfied");
+    } else {
+        let _ = writeln!(out, "no fully satisfying assignment found");
+    }
+    Ok(out)
+}
+
+/// Dispatches a full argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage errors, unreadable files, parse
+/// failures and analysis failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    const USAGE: &str =
+        "twca <analyze|explain|dmm|simulate|dot|gantt|report|synthesize> <file> [...]";
+    let command = args.first().ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let path = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let system = load(path)?;
+    match command.as_str() {
+        "analyze" => cmd_analyze(&system),
+        "explain" => {
+            let chain = args
+                .get(2)
+                .ok_or_else(|| CliError::Usage("twca explain <file> <chain>".into()))?;
+            cmd_explain(&system, chain)
+        }
+        "dmm" => {
+            let chain = args
+                .get(2)
+                .ok_or_else(|| CliError::Usage("twca dmm <file> <chain> <k>...".into()))?;
+            let ks: Vec<u64> = args[3..]
+                .iter()
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| CliError::Usage(format!("`{s}` is not a window length")))
+                })
+                .collect::<Result<_, _>>()?;
+            if ks.is_empty() {
+                return Err(CliError::Usage("twca dmm <file> <chain> <k>...".into()));
+            }
+            cmd_dmm(&system, chain, &ks)
+        }
+        "simulate" => {
+            let horizon = match args.get(2) {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("`{s}` is not a horizon")))?,
+                None => 100_000,
+            };
+            cmd_simulate(&system, horizon)
+        }
+        "dot" => cmd_dot(&system),
+        "report" => cmd_report(&system),
+        "gantt" => {
+            let horizon = match args.get(2) {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("`{s}` is not a horizon")))?,
+                None => 2_000,
+            };
+            cmd_gantt(&system, horizon)
+        }
+        "synthesize" => {
+            let m: u64 = args
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| CliError::Usage("twca synthesize <file> <m> <k>".into()))?;
+            let k: u64 = args
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| CliError::Usage("twca synthesize <file> <m> <k>".into()))?;
+            cmd_synthesize(&system, m, k)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; {USAGE}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = "
+chain control periodic=100 deadline=100 sync {
+    task sense prio=5 wcet=10
+    task act prio=1 wcet=25
+}
+chain recovery sporadic=1000 overload {
+    task fix prio=3 wcet=40
+}
+";
+
+    fn system() -> System {
+        parse_system(EXAMPLE).unwrap()
+    }
+
+    fn write_example() -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("twca_cli_test_{}.twca", std::process::id()));
+        std::fs::write(&path, EXAMPLE).unwrap();
+        path
+    }
+
+    #[test]
+    fn analyze_reports_all_chains() {
+        let out = cmd_analyze(&system()).unwrap();
+        assert!(out.contains("control"));
+        assert!(out.contains("recovery"));
+        assert!(out.contains("dmm(10)"));
+    }
+
+    #[test]
+    fn explain_and_dot_render() {
+        let s = system();
+        let ex = cmd_explain(&s, "control").unwrap();
+        assert!(ex.contains("busy window"));
+        let dot = cmd_dot(&s).unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn dmm_lists_requested_ks() {
+        let out = cmd_dmm(&system(), "control", &[1, 5, 10]).unwrap();
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("dmm(5)"));
+    }
+
+    #[test]
+    fn simulate_table_is_sound_looking() {
+        let out = cmd_simulate(&system(), 50_000).unwrap();
+        assert!(out.contains("control"));
+        assert!(out.contains("WCL"));
+    }
+
+    #[test]
+    fn synthesize_produces_assignment() {
+        let out = cmd_synthesize(&system(), 1, 10).unwrap();
+        assert!(out.contains("priority"));
+    }
+
+    #[test]
+    fn bursty_dsl_system_analyzes_end_to_end() {
+        let system = parse_system(
+            "
+chain frames periodic=400 burst=4 inner=5 deadline=60 async {
+    task rx prio=2 wcet=6
+    task tx prio=1 wcet=10
+}
+chain diag sporadic=1500 overload {
+    task dump prio=3 wcet=25
+}
+",
+        )
+        .unwrap();
+        let out = cmd_analyze(&system).unwrap();
+        assert!(out.contains("frames"));
+        let report = cmd_report(&system).unwrap();
+        assert!(report.contains("| frames |"));
+    }
+
+    #[test]
+    fn gantt_renders_spans() {
+        let out = cmd_gantt(&system(), 500).unwrap();
+        assert!(out.contains("control#0 task 0"));
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn report_renders_markdown() {
+        let out = cmd_report(&system()).unwrap();
+        assert!(out.starts_with("# TWCA analysis report"));
+        assert!(out.contains("| control |"));
+        assert!(out.contains("dmm(10)"));
+        assert!(out.contains("overload"));
+    }
+
+    #[test]
+    fn unknown_chain_is_reported() {
+        assert!(matches!(
+            cmd_explain(&system(), "ghost"),
+            Err(CliError::NoSuchChain(_))
+        ));
+    }
+
+    #[test]
+    fn run_dispatches_and_validates() {
+        let path = write_example();
+        let p = path.to_string_lossy().to_string();
+        let out = run(&["analyze".into(), p.clone()]).unwrap();
+        assert!(out.contains("control"));
+        assert!(matches!(
+            run(&["bogus".into(), p.clone()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["analyze".into(), "/nonexistent/file".into()]),
+            Err(CliError::Io(_))
+        ));
+        assert!(matches!(
+            run(&["dmm".into(), p.clone(), "control".into()]),
+            Err(CliError::Usage(_))
+        ));
+        let dmm = run(&[
+            "dmm".into(),
+            p.clone(),
+            "control".into(),
+            "3".into(),
+            "7".into(),
+        ])
+        .unwrap();
+        assert!(dmm.contains("dmm(7)"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,13 @@
+//! The `twca` command-line tool: analyze, explain, simulate, export and
+//! synthesize task-chain systems described in the text DSL.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match twca_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("twca: {e}");
+            std::process::exit(2);
+        }
+    }
+}

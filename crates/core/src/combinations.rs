@@ -1,0 +1,307 @@
+//! Combinations of active segments (Definition 9 of the paper).
+//!
+//! A combination is a set of active segments of overload chains w.r.t.
+//! the observed chain, with the restriction that two active segments of
+//! the *same* chain may only appear together when they belong to the same
+//! segment (otherwise they provably cannot execute in one busy window,
+//! Lemma 1).
+
+use crate::config::AnalysisOptions;
+use crate::context::AnalysisContext;
+use crate::error::AnalysisError;
+use twca_curves::Time;
+use twca_model::ChainId;
+
+/// One active segment of an overload chain w.r.t. the observed chain,
+/// with its cost and packing metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverloadSegment {
+    /// The overload chain owning the segment.
+    pub chain: ChainId,
+    /// Index of the active segment within
+    /// [`twca_model::SegmentView::active_segments`].
+    pub active_index: usize,
+    /// Index of the parent segment within
+    /// [`twca_model::SegmentView::segments`].
+    pub parent_segment: usize,
+    /// Total execution time of the active segment.
+    pub wcet: Time,
+}
+
+/// One combination `c̄`: indices into [`CombinationSet::segments`] plus
+/// the combination's total execution cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Combination {
+    /// Indices of the member active segments (global, see
+    /// [`CombinationSet::segments`]).
+    pub members: Vec<usize>,
+    /// `Σ_{s ∈ c̄} C_s`.
+    pub wcet: Time,
+}
+
+/// All valid combinations of overload active segments w.r.t. one observed
+/// chain.
+///
+/// # Examples
+///
+/// Experiment 1 of the paper: σa and σb contribute one active segment
+/// each, giving three combinations `{a}`, `{b}`, `{a, b}`.
+///
+/// ```
+/// use twca_chains::{AnalysisContext, AnalysisOptions, CombinationSet};
+/// use twca_model::case_study;
+///
+/// # fn main() -> Result<(), twca_chains::AnalysisError> {
+/// let system = case_study();
+/// let ctx = AnalysisContext::new(&system);
+/// let (c, _) = system.chain_by_name("sigma_c").unwrap();
+/// let set = CombinationSet::enumerate(&ctx, c, AnalysisOptions::default())?;
+/// assert_eq!(set.segments().len(), 2);
+/// assert_eq!(set.combinations().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinationSet {
+    segments: Vec<OverloadSegment>,
+    combinations: Vec<Combination>,
+}
+
+impl CombinationSet {
+    /// Enumerates every combination of active segments of the system's
+    /// overload chains w.r.t. `observed` (Definition 9).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::TooManyCombinations`] if the enumeration
+    /// would exceed `options.max_combinations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed` is out of range.
+    pub fn enumerate(
+        ctx: &AnalysisContext<'_>,
+        observed: ChainId,
+        options: AnalysisOptions,
+    ) -> Result<Self, AnalysisError> {
+        let system = ctx.system();
+
+        // Collect the active segments of every overload chain, grouped by
+        // chain and parent segment.
+        let mut segments: Vec<OverloadSegment> = Vec::new();
+        // Per chain: per parent segment: global segment ids.
+        let mut per_chain_groups: Vec<Vec<Vec<usize>>> = Vec::new();
+        for a in system.overload_chains() {
+            if a == observed {
+                continue;
+            }
+            let chain_a = system.chain(a);
+            let view = ctx.view(a, observed);
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); view.segments().len()];
+            for (idx, active) in view.active_segments().iter().enumerate() {
+                let id = segments.len();
+                segments.push(OverloadSegment {
+                    chain: a,
+                    active_index: idx,
+                    parent_segment: active.segment_index(),
+                    wcet: active.wcet(chain_a),
+                });
+                groups[active.segment_index()].push(id);
+            }
+            groups.retain(|g| !g.is_empty());
+            if !groups.is_empty() {
+                per_chain_groups.push(groups);
+            }
+        }
+
+        // Per-chain options: "absent", or any non-empty subset of the
+        // active segments of one parent segment.
+        let mut per_chain_options: Vec<Vec<Vec<usize>>> = Vec::new();
+        for groups in &per_chain_groups {
+            let mut options_for_chain: Vec<Vec<usize>> = vec![Vec::new()]; // absent
+            for group in groups {
+                let g = group.len();
+                debug_assert!(g < usize::BITS as usize);
+                for mask in 1usize..(1 << g) {
+                    let subset: Vec<usize> = (0..g)
+                        .filter(|&b| mask & (1 << b) != 0)
+                        .map(|b| group[b])
+                        .collect();
+                    options_for_chain.push(subset);
+                }
+            }
+            per_chain_options.push(options_for_chain);
+        }
+
+        // Check the product size before materializing.
+        let mut product: usize = 1;
+        for o in &per_chain_options {
+            product = product.saturating_mul(o.len());
+            if product > options.max_combinations {
+                return Err(AnalysisError::TooManyCombinations {
+                    limit: options.max_combinations,
+                });
+            }
+        }
+
+        // Cartesian product, skipping the all-absent choice.
+        let mut combinations: Vec<Combination> = Vec::new();
+        let mut cursor = vec![0usize; per_chain_options.len()];
+        loop {
+            let mut members: Vec<usize> = Vec::new();
+            for (chain_idx, &opt) in cursor.iter().enumerate() {
+                members.extend_from_slice(&per_chain_options[chain_idx][opt]);
+            }
+            if !members.is_empty() {
+                let wcet = members.iter().map(|&m| segments[m].wcet).sum();
+                combinations.push(Combination { members, wcet });
+            }
+            // Advance the mixed-radix cursor.
+            let mut done = true;
+            for (pos, c) in cursor.iter_mut().enumerate() {
+                *c += 1;
+                if *c < per_chain_options[pos].len() {
+                    done = false;
+                    break;
+                }
+                *c = 0;
+            }
+            if done {
+                break;
+            }
+        }
+
+        Ok(CombinationSet {
+            segments,
+            combinations,
+        })
+    }
+
+    /// The global list of overload active segments (the packing
+    /// resources).
+    pub fn segments(&self) -> &[OverloadSegment] {
+        &self.segments
+    }
+
+    /// All valid combinations (Definition 9), each a non-empty set of
+    /// segment ids.
+    pub fn combinations(&self) -> &[Combination] {
+        &self.combinations
+    }
+
+    /// The combinations whose total cost exceeds `slack` — the
+    /// unschedulable set `U` per Equation 5.
+    pub fn unschedulable(&self, slack: i128) -> impl Iterator<Item = &Combination> {
+        self.combinations
+            .iter()
+            .filter(move |c| c.wcet as i128 > slack)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::{case_study, SystemBuilder};
+
+    #[test]
+    fn experiment1_combinations() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (c, _) = s.chain_by_name("sigma_c").unwrap();
+        let set = CombinationSet::enumerate(&ctx, c, AnalysisOptions::default()).unwrap();
+        // Two active segments (whole σa, whole σb); combinations:
+        // {a}, {b}, {a,b}.
+        assert_eq!(set.segments().len(), 2);
+        let mut costs: Vec<Time> = set.combinations().iter().map(|c| c.wcet).collect();
+        costs.sort_unstable();
+        assert_eq!(costs, vec![20, 30, 50]);
+        // Only {a,b} is unschedulable at slack 34.
+        let unsched: Vec<_> = set.unschedulable(34).collect();
+        assert_eq!(unsched.len(), 1);
+        assert_eq!(unsched[0].wcet, 50);
+        assert_eq!(unsched[0].members.len(), 2);
+    }
+
+    #[test]
+    fn paper_figure1_combination_count() {
+        // Section V example: active segments (τ1a,τ2a), (τ3a), (τ5a) with
+        // parents seg0, seg0, seg1 → 4 combinations:
+        // {1}, {2}, {3}, {1,2}.
+        let s = SystemBuilder::new()
+            .chain("a")
+            .sporadic(1_000)
+            .unwrap()
+            .overload()
+            .task("a1", 7, 1)
+            .task("a2", 9, 2)
+            .task("a3", 5, 4)
+            .task("a4", 2, 8)
+            .task("a5", 4, 16)
+            .task("a6", 1, 32)
+            .done()
+            .chain("b")
+            .periodic(100)
+            .unwrap()
+            .deadline(100)
+            .task("b1", 8, 1)
+            .task("b2", 3, 2)
+            .task("b3", 6, 4)
+            .done()
+            .build()
+            .unwrap();
+        let ctx = AnalysisContext::new(&s);
+        let (b, _) = s.chain_by_name("b").unwrap();
+        let set = CombinationSet::enumerate(&ctx, b, AnalysisOptions::default()).unwrap();
+        assert_eq!(set.segments().len(), 3);
+        assert_eq!(set.combinations().len(), 4);
+        // The pair must join segments of the same parent segment only.
+        let pairs: Vec<_> = set
+            .combinations()
+            .iter()
+            .filter(|c| c.members.len() == 2)
+            .collect();
+        assert_eq!(pairs.len(), 1);
+        let p0 = set.segments()[pairs[0].members[0]].parent_segment;
+        let p1 = set.segments()[pairs[0].members[1]].parent_segment;
+        assert_eq!(p0, p1);
+    }
+
+    #[test]
+    fn no_overload_chains_means_no_combinations() {
+        let s = SystemBuilder::new()
+            .chain("x")
+            .periodic(10)
+            .unwrap()
+            .deadline(10)
+            .task("x1", 1, 1)
+            .done()
+            .build()
+            .unwrap();
+        let ctx = AnalysisContext::new(&s);
+        let set = CombinationSet::enumerate(
+            &ctx,
+            twca_model::ChainId::from_index(0),
+            AnalysisOptions::default(),
+        )
+        .unwrap();
+        assert!(set.segments().is_empty());
+        assert!(set.combinations().is_empty());
+    }
+
+    #[test]
+    fn combination_limit_is_enforced() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (c, _) = s.chain_by_name("sigma_c").unwrap();
+        let err = CombinationSet::enumerate(
+            &ctx,
+            c,
+            AnalysisOptions {
+                max_combinations: 2,
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, AnalysisError::TooManyCombinations { limit: 2 });
+    }
+}

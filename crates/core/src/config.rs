@@ -1,0 +1,28 @@
+//! Analysis configuration.
+
+use twca_curves::Time;
+
+/// Limits and switches for the fixed-point computations and the
+/// combination enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Abort a busy-time fixed point once it exceeds this horizon; the
+    /// chain is then reported as divergent (worst-case overloaded).
+    pub horizon: Time,
+    /// Maximum number of activations `q` explored when searching for the
+    /// end of the busy window (`K_b`).
+    pub max_q: u64,
+    /// Maximum number of combinations materialized by the DMM
+    /// computation.
+    pub max_combinations: usize,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            horizon: 100_000_000,
+            max_q: 100_000,
+            max_combinations: 1_000_000,
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Cached structural data for all ordered chain pairs of a system.
+
+use twca_model::{ChainId, SegmentView, System};
+
+/// Precomputed [`SegmentView`]s for every ordered pair of distinct chains,
+/// so repeated analyses (latency sweeps, DMM curves, priority-assignment
+/// experiments) do not recompute segment structure.
+///
+/// # Examples
+///
+/// ```
+/// use twca_chains::AnalysisContext;
+/// use twca_model::{case_study, InterferenceClass};
+///
+/// let system = case_study();
+/// let ctx = AnalysisContext::new(&system);
+/// let (a, _) = system.chain_by_name("sigma_a").unwrap();
+/// let (c, _) = system.chain_by_name("sigma_c").unwrap();
+/// assert_eq!(
+///     ctx.view(a, c).class(),
+///     InterferenceClass::ArbitrarilyInterfering
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisContext<'a> {
+    system: &'a System,
+    /// `views[a][b]`: structure of chain `a` w.r.t. chain `b`; the
+    /// diagonal holds `None`.
+    views: Vec<Vec<Option<SegmentView>>>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Computes segment structure for all ordered chain pairs.
+    pub fn new(system: &'a System) -> Self {
+        let n = system.chains().len();
+        let mut views = Vec::with_capacity(n);
+        for a in 0..n {
+            let mut row = Vec::with_capacity(n);
+            for b in 0..n {
+                row.push((a != b).then(|| {
+                    SegmentView::new(&system.chains()[a], &system.chains()[b])
+                }));
+            }
+            views.push(row);
+        }
+        AnalysisContext { system, views }
+    }
+
+    /// The analyzed system.
+    pub fn system(&self) -> &'a System {
+        self.system
+    }
+
+    /// The segment structure of `interferer` w.r.t. `observed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range or equal (a chain has no view of
+    /// itself).
+    pub fn view(&self, interferer: ChainId, observed: ChainId) -> &SegmentView {
+        self.views[interferer.index()][observed.index()]
+            .as_ref()
+            .expect("no segment view of a chain w.r.t. itself")
+    }
+
+    /// Ids of all chains other than `observed`.
+    pub fn others(&self, observed: ChainId) -> impl Iterator<Item = ChainId> + '_ {
+        self.system
+            .iter()
+            .map(|(id, _)| id)
+            .filter(move |&id| id != observed)
+    }
+
+    /// Whether `id` is valid for this system.
+    pub fn contains(&self, id: ChainId) -> bool {
+        id.index() < self.system.chains().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::case_study;
+
+    #[test]
+    fn context_covers_all_pairs() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        for (a, _) in s.iter() {
+            for (b, _) in s.iter() {
+                if a != b {
+                    let _ = ctx.view(a, b); // must not panic
+                }
+            }
+        }
+        assert_eq!(ctx.others(ChainId::from_index(0)).count(), 3);
+        assert!(ctx.contains(ChainId::from_index(3)));
+        assert!(!ctx.contains(ChainId::from_index(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no segment view")]
+    fn diagonal_panics() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let id = ChainId::from_index(0);
+        let _ = ctx.view(id, id);
+    }
+}

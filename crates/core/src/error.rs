@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+use twca_ilp::IlpError;
+use twca_model::ChainId;
+
+/// Failure modes of the chain analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A chain id did not belong to the analyzed system.
+    UnknownChain {
+        /// The offending id.
+        chain: ChainId,
+    },
+    /// The chain's busy window does not provably close: no finite
+    /// latency bound exists within the configured limits.
+    Unbounded {
+        /// The offending chain.
+        chain: ChainId,
+    },
+    /// A deadline miss model was requested for a chain without a
+    /// deadline.
+    MissingDeadline {
+        /// The offending chain.
+        chain: ChainId,
+    },
+    /// The combination enumeration exceeded its configured limit.
+    TooManyCombinations {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The packing/ILP stage failed.
+    Ilp(IlpError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnknownChain { chain } => {
+                write!(f, "{chain} does not belong to the analyzed system")
+            }
+            AnalysisError::Unbounded { chain } => {
+                write!(f, "{chain} has no finite latency bound (worst-case overload)")
+            }
+            AnalysisError::MissingDeadline { chain } => {
+                write!(f, "{chain} has no deadline, cannot compute a miss model")
+            }
+            AnalysisError::TooManyCombinations { limit } => {
+                write!(f, "combination enumeration exceeded the limit of {limit}")
+            }
+            AnalysisError::Ilp(e) => write!(f, "packing failed: {e}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Ilp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IlpError> for AnalysisError {
+    fn from(value: IlpError) -> Self {
+        AnalysisError::Ilp(value)
+    }
+}

@@ -1,0 +1,266 @@
+//! Human-readable analysis explanations: *why* a chain has the latency
+//! and miss bounds it has.
+//!
+//! Real-time engineers rarely trust a bare number; this module renders
+//! the full derivation — interference classes, segments, busy-time
+//! components per `q`, the slack computation and the combination table —
+//! as text suitable for reports or code review.
+
+use std::fmt::Write as _;
+
+use crate::busy_time::busy_time_breakdown;
+use crate::combinations::CombinationSet;
+use crate::config::AnalysisOptions;
+use crate::context::AnalysisContext;
+use crate::criterion::{typical_load, typical_slack};
+use crate::error::AnalysisError;
+use crate::latency::{latency_analysis, OverloadMode};
+use twca_curves::EventModel;
+use twca_model::{ChainId, InterferenceClass};
+
+/// Renders a complete, human-readable derivation of the latency analysis
+/// and (if the chain has a deadline) the combination analysis of
+/// `observed`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::UnknownChain`] for an invalid id and
+/// propagates combination-enumeration failures.
+///
+/// # Examples
+///
+/// ```
+/// use twca_chains::{explain, AnalysisContext, AnalysisOptions};
+/// use twca_model::case_study;
+///
+/// # fn main() -> Result<(), twca_chains::AnalysisError> {
+/// let system = case_study();
+/// let ctx = AnalysisContext::new(&system);
+/// let (c, _) = system.chain_by_name("sigma_c").unwrap();
+/// let text = explain(&ctx, c, AnalysisOptions::default())?;
+/// assert!(text.contains("B(1) = 331"));
+/// assert!(text.contains("UNSCHEDULABLE"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn explain(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    options: AnalysisOptions,
+) -> Result<String, AnalysisError> {
+    if !ctx.contains(observed) {
+        return Err(AnalysisError::UnknownChain { chain: observed });
+    }
+    let system = ctx.system();
+    let chain_b = system.chain(observed);
+    let mut out = String::new();
+
+    let _ = writeln!(out, "=== analysis of {} ===", chain_b.name());
+    let _ = writeln!(
+        out,
+        "total execution time C = {}, {} tasks, {} semantics",
+        chain_b.total_wcet(),
+        chain_b.len(),
+        if chain_b.kind().is_synchronous() {
+            "synchronous"
+        } else {
+            "asynchronous"
+        }
+    );
+
+    // Interference structure.
+    let _ = writeln!(out, "\n-- interference structure (Definitions 2-5, 8) --");
+    for a in ctx.others(observed) {
+        let chain_a = system.chain(a);
+        let view = ctx.view(a, observed);
+        let class = match view.class() {
+            InterferenceClass::ArbitrarilyInterfering => "arbitrarily interfering",
+            InterferenceClass::Deferred => "deferred",
+        };
+        let _ = write!(
+            out,
+            "{}{}: {class}, {} segment(s), {} active segment(s)",
+            chain_a.name(),
+            if chain_a.is_overload() { " [overload]" } else { "" },
+            view.segments().len(),
+            view.active_segments().len(),
+        );
+        if view.class() == InterferenceClass::Deferred {
+            let crit = view.critical_segment().map_or(0, |s| s.wcet(chain_a));
+            let _ = write!(
+                out,
+                ", header wcet {}, critical segment wcet {crit}",
+                view.header_segment_wcet(chain_a)
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    // Busy-window walk.
+    let _ = writeln!(out, "\n-- busy window (Theorems 1-2) --");
+    match latency_analysis(ctx, observed, OverloadMode::Include, options) {
+        None => {
+            let _ = writeln!(out, "busy window does NOT close: no finite latency bound");
+            return Ok(out);
+        }
+        Some(full) => {
+            for (i, &b) in full.busy_times.iter().enumerate() {
+                let q = i as u64 + 1;
+                let breakdown = busy_time_breakdown(ctx, observed, q, OverloadMode::Include, options)
+                    .expect("latency analysis converged, so each q converges");
+                let arrival = chain_b.activation().delta_min(q);
+                let _ = writeln!(
+                    out,
+                    "B({q}) = {b} = own {} + self {} + arbitrary {} + deferred-async {} + deferred-sync {}; latency {}",
+                    breakdown.own_work,
+                    breakdown.self_interference,
+                    breakdown.arbitrary,
+                    breakdown.deferred_async,
+                    breakdown.deferred_sync,
+                    b.saturating_sub(arrival)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "K = {}, worst-case latency = {}",
+                full.busy_window_activations, full.worst_case_latency
+            );
+
+            let Some(deadline) = chain_b.deadline() else {
+                let _ = writeln!(out, "no deadline: no miss model needed");
+                return Ok(out);
+            };
+            let _ = writeln!(
+                out,
+                "deadline {} -> {}",
+                deadline,
+                if full.worst_case_latency <= deadline {
+                    "schedulable in the full worst case"
+                } else {
+                    "deadline misses possible"
+                }
+            );
+            if full.worst_case_latency <= deadline {
+                return Ok(out);
+            }
+
+            // TWCA part.
+            let _ = writeln!(out, "\n-- typical worst case (Equations 4-5) --");
+            let kb = full.busy_window_activations;
+            for q in 1..=kb {
+                let l = typical_load(ctx, observed, q);
+                let rhs = chain_b.activation().delta_min(q).saturating_add(deadline);
+                let _ = writeln!(out, "L({q}) = {l} vs threshold {rhs} (slack {})", rhs as i128 - l as i128);
+            }
+            let slack = typical_slack(ctx, observed, kb);
+            let _ = writeln!(out, "typical slack = {slack}");
+            if slack < 0 {
+                let _ = writeln!(out, "negative slack: misses even without overload");
+                return Ok(out);
+            }
+
+            let _ = writeln!(out, "\n-- combinations (Definition 9) --");
+            let set = CombinationSet::enumerate(ctx, observed, options)?;
+            for combo in set.combinations() {
+                let names: Vec<&str> = combo
+                    .members
+                    .iter()
+                    .map(|&m| system.chain(set.segments()[m].chain).name())
+                    .collect();
+                let verdict = if combo.wcet as i128 > slack {
+                    "UNSCHEDULABLE"
+                } else {
+                    "schedulable"
+                };
+                let _ = writeln!(
+                    out,
+                    "{{{}}}: cost {} -> {verdict}",
+                    names.join(", "),
+                    combo.wcet
+                );
+            }
+
+            // Theorem 3 packing witness at a representative window.
+            let sweep = crate::dmm::DmmSweep::prepare(ctx, observed, options)?;
+            if let Some(witness) = sweep.witness(10) {
+                let _ = writeln!(out, "\n-- Theorem 3 packing witness (k = 10) --");
+                out.push_str(&witness.render(system));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::{case_study, SystemBuilder};
+
+    #[test]
+    fn explains_the_case_study() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (c, _) = s.chain_by_name("sigma_c").unwrap();
+        let text = explain(&ctx, c, AnalysisOptions::default()).unwrap();
+        assert!(text.contains("B(1) = 331"));
+        assert!(text.contains("B(2) = 382"));
+        assert!(text.contains("K = 2"));
+        assert!(text.contains("typical slack = 34"));
+        assert!(text.contains("UNSCHEDULABLE"));
+        assert!(text.contains("arbitrarily interfering"));
+        assert!(text.contains("packing witness"));
+        assert!(text.contains("spoils 5 window(s)"));
+    }
+
+    #[test]
+    fn schedulable_chain_explanation_stops_early() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (d, _) = s.chain_by_name("sigma_d").unwrap();
+        let text = explain(&ctx, d, AnalysisOptions::default()).unwrap();
+        assert!(text.contains("schedulable in the full worst case"));
+        assert!(!text.contains("combinations"));
+        assert!(text.contains("deferred"));
+    }
+
+    #[test]
+    fn chain_without_deadline_is_explained() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (a, _) = s.chain_by_name("sigma_a").unwrap();
+        let text = explain(&ctx, a, AnalysisOptions::default()).unwrap();
+        assert!(text.contains("no deadline"));
+    }
+
+    #[test]
+    fn divergent_chain_is_reported() {
+        let s = SystemBuilder::new()
+            .chain("x")
+            .periodic(10)
+            .unwrap()
+            .deadline(10)
+            .task("x1", 1, 6)
+            .done()
+            .chain("y")
+            .periodic(10)
+            .unwrap()
+            .task("y1", 2, 6)
+            .done()
+            .build()
+            .unwrap();
+        let ctx = AnalysisContext::new(&s);
+        let opts = AnalysisOptions {
+            horizon: 10_000,
+            ..AnalysisOptions::default()
+        };
+        let text = explain(&ctx, ChainId::from_index(0), opts).unwrap();
+        assert!(text.contains("does NOT close"));
+    }
+
+    #[test]
+    fn unknown_chain_errors() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        assert!(explain(&ctx, ChainId::from_index(9), AnalysisOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! Worst-case latency of task chains (Theorem 2 of the paper).
+
+use crate::busy_time::busy_time;
+use crate::config::AnalysisOptions;
+use crate::context::AnalysisContext;
+use twca_curves::{EventModel, Time};
+use twca_model::ChainId;
+
+/// Whether overload chains contribute interference to an analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverloadMode {
+    /// Overload chains interfere like any other chain (the full
+    /// worst case).
+    Include,
+    /// Overload chains are abstracted away (the *typical* system of
+    /// TWCA).
+    Exclude,
+}
+
+/// Result of a latency analysis of one chain.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LatencyResult {
+    /// `K_b`: number of activations in the longest `σb`-busy-window.
+    pub busy_window_activations: u64,
+    /// Busy times `B_b(q)` for `q = 1..=K_b`.
+    pub busy_times: Vec<Time>,
+    /// `WCL_b = max_q (B_b(q) − δ−_b(q))`.
+    pub worst_case_latency: Time,
+}
+
+impl LatencyResult {
+    /// Whether the chain provably meets `deadline` in the analyzed mode.
+    pub fn is_schedulable(&self, deadline: Time) -> bool {
+        self.worst_case_latency <= deadline
+    }
+
+    /// Number of deadline misses attributable to one busy window
+    /// (Lemma 3): `N_b = #{q : B_b(q) − δ−_b(q) > D_b}`.
+    pub fn misses_per_window(&self, deadline: Time, delta_min: impl Fn(u64) -> Time) -> u64 {
+        self.busy_times
+            .iter()
+            .enumerate()
+            .filter(|&(i, &b)| b.saturating_sub(delta_min(i as u64 + 1)) > deadline)
+            .count() as u64
+    }
+}
+
+/// Computes `K_b`, the busy times and the worst-case latency of
+/// `observed` (Theorem 2):
+///
+/// ```text
+/// K_b   = min{ q ≥ 1 | B_b(q) ≤ δ−_b(q+1) }
+/// WCL_b = max_{q ∈ [1, K_b]} ( B_b(q) − δ−_b(q) )
+/// ```
+///
+/// Returns `None` when the busy window does not provably close within
+/// `options` (the chain is worst-case overloaded and has no finite
+/// latency bound).
+///
+/// # Panics
+///
+/// Panics if `observed` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use twca_chains::{latency_analysis, AnalysisContext, AnalysisOptions, OverloadMode};
+/// use twca_model::case_study;
+///
+/// let system = case_study();
+/// let ctx = AnalysisContext::new(&system);
+/// let (c, _) = system.chain_by_name("sigma_c").unwrap();
+/// let full = latency_analysis(&ctx, c, OverloadMode::Include, AnalysisOptions::default())
+///     .expect("busy window closes");
+/// assert_eq!(full.worst_case_latency, 331);
+/// assert_eq!(full.busy_window_activations, 2);
+/// ```
+pub fn latency_analysis(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    mode: OverloadMode,
+    options: AnalysisOptions,
+) -> Option<LatencyResult> {
+    let activation = ctx.system().chain(observed).activation().clone();
+    let mut busy_times = Vec::new();
+    let mut wcl: Time = 0;
+    let mut q = 1u64;
+    loop {
+        if q > options.max_q {
+            return None;
+        }
+        let busy = busy_time(ctx, observed, q, mode, options)?;
+        busy_times.push(busy);
+        wcl = wcl.max(busy.saturating_sub(activation.delta_min(q)));
+        if busy <= activation.delta_min(q + 1) {
+            break;
+        }
+        q += 1;
+    }
+    Some(LatencyResult {
+        busy_window_activations: q,
+        busy_times,
+        worst_case_latency: wcl,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::case_study;
+
+    #[test]
+    fn table1_is_reproduced() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let opts = AnalysisOptions::default();
+        let (c, _) = s.chain_by_name("sigma_c").unwrap();
+        let (d, _) = s.chain_by_name("sigma_d").unwrap();
+
+        let rc = latency_analysis(&ctx, c, OverloadMode::Include, opts).unwrap();
+        assert_eq!(rc.worst_case_latency, 331);
+        assert_eq!(rc.busy_window_activations, 2);
+        assert_eq!(rc.busy_times, vec![331, 382]);
+        assert!(!rc.is_schedulable(200));
+
+        let rd = latency_analysis(&ctx, d, OverloadMode::Include, opts).unwrap();
+        assert_eq!(rd.worst_case_latency, 175);
+        assert_eq!(rd.busy_window_activations, 1);
+        assert!(rd.is_schedulable(200));
+    }
+
+    #[test]
+    fn typical_system_is_schedulable() {
+        // "σc meets its deadline if neither σa nor σb are activated."
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let opts = AnalysisOptions::default();
+        let (c, _) = s.chain_by_name("sigma_c").unwrap();
+        let r = latency_analysis(&ctx, c, OverloadMode::Exclude, opts).unwrap();
+        assert_eq!(r.worst_case_latency, 166);
+        assert!(r.is_schedulable(200));
+    }
+
+    #[test]
+    fn misses_per_window_counts_late_qs() {
+        // σc: B = [331, 382], δ− = [0, 200], D = 200:
+        // 331 > 200 miss, 382 − 200 = 182 ≤ 200 ok → N = 1.
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (c, chain) = s.chain_by_name("sigma_c").unwrap();
+        let r = latency_analysis(&ctx, c, OverloadMode::Include, AnalysisOptions::default())
+            .unwrap();
+        let act = chain.activation().clone();
+        use twca_curves::EventModel;
+        assert_eq!(r.misses_per_window(200, |k| act.delta_min(k)), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! **Extension (footnote 1 of the paper)**: compositional bounds for
+//! *paths* — sequences of distinct task chains in which the output of one
+//! chain activates the next.
+//!
+//! The paper restricts itself to disjoint chains and notes that systems
+//! with forks and joins (but no cycles) can be handled by additionally
+//! defining paths over chains. This module provides that layer under the
+//! standard compositional-analysis assumption: **each member chain's
+//! declared activation model covers its actual trigger stream** (as in
+//! compositional performance analysis, where event models are propagated
+//! along the path and abstracted at each step).
+//!
+//! Under that assumption:
+//!
+//! * the end-to-end latency of a path is at most the sum of the member
+//!   chains' worst-case latencies, and
+//! * out of `k` consecutive path instances, the number violating the
+//!   composite deadline `Σ D_i` is at most `Σ dmm_i(k)` — a path
+//!   instance can only be late end-to-end if at least one member
+//!   instance was late against its own deadline, and member instances
+//!   correspond 1:1 to path instances.
+
+use crate::config::AnalysisOptions;
+use crate::context::AnalysisContext;
+use crate::dmm::deadline_miss_model;
+use crate::error::AnalysisError;
+use crate::latency::{latency_analysis, OverloadMode};
+use twca_curves::Time;
+use twca_model::ChainId;
+
+/// A path: an ordered sequence of distinct chains, each activating the
+/// next.
+///
+/// # Examples
+///
+/// ```
+/// use twca_chains::paths::Path;
+/// use twca_chains::{AnalysisContext, AnalysisOptions};
+/// use twca_model::case_study;
+///
+/// # fn main() -> Result<(), twca_chains::AnalysisError> {
+/// let system = case_study();
+/// let ctx = AnalysisContext::new(&system);
+/// let (c, _) = system.chain_by_name("sigma_c").unwrap();
+/// let (d, _) = system.chain_by_name("sigma_d").unwrap();
+/// let path = Path::new(vec![c, d])?;
+/// let latency = path.latency(&ctx, AnalysisOptions::default());
+/// assert_eq!(latency, Some(331 + 175));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    members: Vec<ChainId>,
+}
+
+impl Path {
+    /// Creates a path over distinct chains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::UnknownChain`] if the member list is
+    /// empty or contains a duplicate (a path visits each chain once).
+    pub fn new(members: Vec<ChainId>) -> Result<Self, AnalysisError> {
+        if members.is_empty() {
+            return Err(AnalysisError::UnknownChain {
+                chain: ChainId::from_index(usize::MAX >> 1),
+            });
+        }
+        for (i, &m) in members.iter().enumerate() {
+            if members[i + 1..].contains(&m) {
+                return Err(AnalysisError::UnknownChain { chain: m });
+            }
+        }
+        Ok(Path { members })
+    }
+
+    /// The member chains, in path order.
+    pub fn members(&self) -> &[ChainId] {
+        &self.members
+    }
+
+    /// Compositional end-to-end latency bound: `Σ WCL_i`. `None` if any
+    /// member's busy window diverges.
+    pub fn latency(&self, ctx: &AnalysisContext<'_>, options: AnalysisOptions) -> Option<Time> {
+        let mut total: Time = 0;
+        for &m in &self.members {
+            let r = latency_analysis(ctx, m, OverloadMode::Include, options)?;
+            total = total.saturating_add(r.worst_case_latency);
+        }
+        Some(total)
+    }
+
+    /// The composite deadline `Σ D_i`, or `None` if a member lacks a
+    /// deadline.
+    pub fn composite_deadline(&self, ctx: &AnalysisContext<'_>) -> Option<Time> {
+        self.members
+            .iter()
+            .map(|&m| ctx.system().chain(m).deadline())
+            .try_fold(0u64, |acc, d| d.map(|d| acc.saturating_add(d)))
+    }
+
+    /// Compositional miss model against the composite deadline:
+    /// `dmm_path(k) ≤ min(k, Σ dmm_i(k))`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates member-chain errors (e.g. a member without a deadline).
+    pub fn deadline_miss_model(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        k: u64,
+        options: AnalysisOptions,
+    ) -> Result<u64, AnalysisError> {
+        let mut total: u64 = 0;
+        for &m in &self.members {
+            let dmm = deadline_miss_model(ctx, m, k, options)?;
+            total = total.saturating_add(dmm.bound);
+        }
+        Ok(total.min(k))
+    }
+
+    /// Whether the path provably satisfies "at most `m` end-to-end misses
+    /// in any `k` consecutive instances".
+    ///
+    /// # Errors
+    ///
+    /// See [`Path::deadline_miss_model`].
+    pub fn satisfies(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        m: u64,
+        k: u64,
+        options: AnalysisOptions,
+    ) -> Result<bool, AnalysisError> {
+        Ok(self.deadline_miss_model(ctx, k, options)? <= m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::case_study;
+
+    fn ctx_and_ids(
+        s: &twca_model::System,
+    ) -> (AnalysisContext<'_>, ChainId, ChainId) {
+        let ctx = AnalysisContext::new(s);
+        let c = s.chain_by_name("sigma_c").unwrap().0;
+        let d = s.chain_by_name("sigma_d").unwrap().0;
+        (ctx, c, d)
+    }
+
+    #[test]
+    fn path_latency_is_sum_of_member_latencies() {
+        let s = case_study();
+        let (ctx, c, d) = ctx_and_ids(&s);
+        let path = Path::new(vec![c, d]).unwrap();
+        assert_eq!(path.latency(&ctx, AnalysisOptions::default()), Some(506));
+        assert_eq!(path.composite_deadline(&ctx), Some(400));
+    }
+
+    #[test]
+    fn path_dmm_sums_member_dmms() {
+        let s = case_study();
+        let (ctx, c, d) = ctx_and_ids(&s);
+        let path = Path::new(vec![c, d]).unwrap();
+        let opts = AnalysisOptions::default();
+        // σd contributes 0, σc contributes its own bound.
+        let k = 10;
+        let expected = deadline_miss_model(&ctx, c, k, opts).unwrap().bound;
+        assert_eq!(path.deadline_miss_model(&ctx, k, opts).unwrap(), expected);
+        assert!(path.satisfies(&ctx, expected, k, opts).unwrap());
+        assert!(!path.satisfies(&ctx, expected - 1, k, opts).unwrap());
+    }
+
+    #[test]
+    fn path_dmm_is_capped_at_k() {
+        let s = case_study();
+        let (ctx, c, _) = ctx_and_ids(&s);
+        let path = Path::new(vec![c]).unwrap();
+        let bound = path
+            .deadline_miss_model(&ctx, 2, AnalysisOptions::default())
+            .unwrap();
+        assert!(bound <= 2);
+    }
+
+    #[test]
+    fn duplicate_members_are_rejected() {
+        let s = case_study();
+        let (_, c, _) = ctx_and_ids(&s);
+        assert!(Path::new(vec![c, c]).is_err());
+        assert!(Path::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn member_without_deadline_fails_dmm() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (a, _) = s.chain_by_name("sigma_a").unwrap();
+        let path = Path::new(vec![a]).unwrap();
+        assert!(path
+            .deadline_miss_model(&ctx, 5, AnalysisOptions::default())
+            .is_err());
+        assert_eq!(path.composite_deadline(&ctx), None);
+    }
+}

@@ -1,0 +1,460 @@
+//! Weakly-hard `(m, k)` constraints on top of deadline miss models, and
+//! overload sensitivity analysis.
+//!
+//! A chain satisfies the weakly-hard constraint `(m, k)` — "at most `m`
+//! deadline misses in any `k` consecutive activations" (Bernat et al.) —
+//! whenever its deadline miss model proves `dmm(k) ≤ m`.
+
+use crate::config::AnalysisOptions;
+use crate::context::AnalysisContext;
+use crate::dmm::deadline_miss_model;
+use crate::error::AnalysisError;
+use twca_model::{ChainId, System};
+
+/// A weakly-hard constraint: at most `m` misses in any `k` consecutive
+/// activations.
+///
+/// # Examples
+///
+/// ```
+/// use twca_chains::MkConstraint;
+///
+/// let c = MkConstraint::new(1, 10);
+/// assert!(c.admits(1));
+/// assert!(!c.admits(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct MkConstraint {
+    /// Maximum tolerated misses.
+    pub m: u64,
+    /// Window length in activations.
+    pub k: u64,
+}
+
+impl MkConstraint {
+    /// Creates an `(m, k)` constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `m > k`.
+    pub fn new(m: u64, k: u64) -> Self {
+        assert!(k > 0, "window must be non-empty");
+        assert!(m <= k, "cannot miss more than the window holds");
+        MkConstraint { m, k }
+    }
+
+    /// Whether a miss count is within the constraint.
+    pub fn admits(self, misses: u64) -> bool {
+        misses <= self.m
+    }
+
+    /// Checks the constraint against the analytic miss model of
+    /// `observed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of
+    /// [`deadline_miss_model`].
+    pub fn verify(
+        self,
+        ctx: &AnalysisContext<'_>,
+        observed: ChainId,
+        options: AnalysisOptions,
+    ) -> Result<bool, AnalysisError> {
+        let dmm = deadline_miss_model(ctx, observed, self.k, options)?;
+        Ok(self.admits(dmm.bound))
+    }
+}
+
+impl std::fmt::Display for MkConstraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.m, self.k)
+    }
+}
+
+/// Finds the largest overload execution-time scaling (in percent) under
+/// which `chain_name` still satisfies `constraint`.
+///
+/// All tasks of overload chains are scaled to `p%` of their WCET
+/// (rounded up) and the constraint re-verified; the largest satisfying
+/// `p ∈ [0, max_percent]` is returned by binary search (the constraint is
+/// monotone in the overload size). Returns `None` if even `p = 0`
+/// violates the constraint (the system is broken without any overload).
+///
+/// # Errors
+///
+/// Propagates analysis errors; returns
+/// [`AnalysisError::UnknownChain`] if `chain_name` does not exist.
+///
+/// # Examples
+///
+/// ```
+/// use twca_chains::{max_overload_scaling, MkConstraint, AnalysisOptions};
+/// use twca_model::case_study;
+///
+/// # fn main() -> Result<(), twca_chains::AnalysisError> {
+/// let system = case_study();
+/// // σc tolerates (0, 10) only if overloads shrink enough to be
+/// // schedulable in combination: combined cost 5·⌈p/10⌉ must fit the
+/// // typical slack of 34 → at most ⌈p/10⌉ = 6, i.e. p = 60.
+/// let p = max_overload_scaling(
+///     &system,
+///     "sigma_c",
+///     MkConstraint::new(0, 10),
+///     200,
+///     AnalysisOptions::default(),
+/// )?
+/// .expect("zero overload is schedulable");
+/// assert_eq!(p, 60);
+/// # Ok(())
+/// # }
+/// ```
+pub fn max_overload_scaling(
+    system: &System,
+    chain_name: &str,
+    constraint: MkConstraint,
+    max_percent: u64,
+    options: AnalysisOptions,
+) -> Result<Option<u64>, AnalysisError> {
+    let lookup = |s: &System| -> Option<ChainId> { s.chain_by_name(chain_name).map(|(id, _)| id) };
+    let Some(_) = lookup(system) else {
+        return Err(AnalysisError::UnknownChain {
+            chain: ChainId::from_index(usize::MAX >> 1),
+        });
+    };
+
+    let satisfied_at = |percent: u64| -> Result<bool, AnalysisError> {
+        let scaled = system.with_scaled_overload_wcets(percent, 100);
+        let ctx = AnalysisContext::new(&scaled);
+        let id = lookup(&scaled).expect("scaling preserves names");
+        constraint.verify(&ctx, id, options)
+    };
+
+    if !satisfied_at(0)? {
+        return Ok(None);
+    }
+    if satisfied_at(max_percent)? {
+        return Ok(Some(max_percent));
+    }
+    // Invariant: satisfied at `lo`, violated at `hi`.
+    let (mut lo, mut hi) = (0u64, max_percent);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if satisfied_at(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+/// Finds the smallest deadline for `chain_name` under which `m` misses in
+/// any `k` activations are still guaranteed, searching `[1, max_deadline]`
+/// by binary search (the miss bound is monotone in the deadline).
+///
+/// Returns `None` when even `max_deadline` is insufficient.
+///
+/// # Errors
+///
+/// Propagates analysis errors; [`AnalysisError::UnknownChain`] if
+/// `chain_name` does not exist.
+///
+/// # Examples
+///
+/// ```
+/// use twca_chains::{min_deadline_for, MkConstraint, AnalysisOptions};
+/// use twca_model::case_study;
+///
+/// # fn main() -> Result<(), twca_chains::AnalysisError> {
+/// let system = case_study();
+/// // σc's worst-case latency is 331, so (0, 10) needs a deadline ≥ 331.
+/// let d = min_deadline_for(
+///     &system,
+///     "sigma_c",
+///     MkConstraint::new(0, 10),
+///     1_000,
+///     AnalysisOptions::default(),
+/// )?;
+/// assert_eq!(d, Some(331));
+/// # Ok(())
+/// # }
+/// ```
+pub fn min_deadline_for(
+    system: &System,
+    chain_name: &str,
+    constraint: MkConstraint,
+    max_deadline: u64,
+    options: AnalysisOptions,
+) -> Result<Option<u64>, AnalysisError> {
+    let Some((id, _)) = system.chain_by_name(chain_name) else {
+        return Err(AnalysisError::UnknownChain {
+            chain: ChainId::from_index(usize::MAX >> 1),
+        });
+    };
+    assert!(max_deadline >= 1, "search range must be non-empty");
+
+    let satisfied_at = |deadline: u64| -> Result<bool, AnalysisError> {
+        let adjusted = system.with_deadline(id, Some(deadline));
+        let ctx = AnalysisContext::new(&adjusted);
+        constraint.verify(&ctx, id, options)
+    };
+
+    if !satisfied_at(max_deadline)? {
+        return Ok(None);
+    }
+    if satisfied_at(1)? {
+        return Ok(Some(1));
+    }
+    // Invariant: violated at `lo`, satisfied at `hi`.
+    let (mut lo, mut hi) = (1u64, max_deadline);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if satisfied_at(mid)? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(hi))
+}
+
+/// Bounds the number of *consecutive* deadline misses of `observed` —
+/// the `⟨m⟩` constraint of the weakly-hard literature (Bernat et al.).
+///
+/// A run of `m + 1` consecutive misses would put `m + 1` misses into a
+/// window of `m + 1` activations, so whenever the miss model proves
+/// `dmm(m + 1) ≤ m`, runs are limited to length `m`. This searches the
+/// smallest such `m` (using one shared [`DmmSweep`] so the `k`-independent
+/// analysis runs once) and returns `None` if no `m < cutoff` qualifies —
+/// either the chain is badly overloaded or `cutoff` is too small.
+///
+/// # Errors
+///
+/// Propagates the errors of [`deadline_miss_model`] (e.g. the chain has
+/// no deadline).
+///
+/// # Examples
+///
+/// ```
+/// use twca_chains::{max_consecutive_misses, AnalysisContext, AnalysisOptions};
+/// use twca_model::case_study;
+///
+/// # fn main() -> Result<(), twca_chains::AnalysisError> {
+/// let system = case_study();
+/// let ctx = AnalysisContext::new(&system);
+/// let (c, _) = system.chain_by_name("sigma_c").unwrap();
+/// // σc can miss several deadlines in a row when σa and σb keep firing.
+/// let bound = max_consecutive_misses(&ctx, c, 64, AnalysisOptions::default())?;
+/// assert!(bound.is_some());
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [`DmmSweep`]: crate::DmmSweep
+pub fn max_consecutive_misses(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    cutoff: u64,
+    options: AnalysisOptions,
+) -> Result<Option<u64>, AnalysisError> {
+    let sweep = crate::dmm::DmmSweep::prepare(ctx, observed, options)?;
+    for m in 0..cutoff {
+        if sweep.at(m + 1).bound <= m {
+            return Ok(Some(m));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::case_study;
+
+    #[test]
+    fn constraint_construction_and_admission() {
+        let c = MkConstraint::new(3, 10);
+        assert!(c.admits(0));
+        assert!(c.admits(3));
+        assert!(!c.admits(4));
+        assert_eq!(c.to_string(), "(3, 10)");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot miss more")]
+    fn invalid_constraint_panics() {
+        let _ = MkConstraint::new(11, 10);
+    }
+
+    #[test]
+    fn sigma_d_satisfies_zero_miss_constraint() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (d, _) = s.chain_by_name("sigma_d").unwrap();
+        assert!(MkConstraint::new(0, 10)
+            .verify(&ctx, d, AnalysisOptions::default())
+            .unwrap());
+    }
+
+    #[test]
+    fn sigma_c_needs_nonzero_m() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (c, _) = s.chain_by_name("sigma_c").unwrap();
+        assert!(!MkConstraint::new(0, 10)
+            .verify(&ctx, c, AnalysisOptions::default())
+            .unwrap());
+        // dmm_c(10) = min(10, 2·3) = 6 with Ω = 3 at k=10? δ+(10)=1800,
+        // +331 → 2131: η_a = 4, η_b = 4 → Ω = 5,5... bound = min(10, 2·5).
+        assert!(MkConstraint::new(10, 10)
+            .verify(&ctx, c, AnalysisOptions::default())
+            .unwrap());
+    }
+
+    #[test]
+    fn scaling_search_finds_threshold() {
+        // Combined overload cost 5·⌈p/10⌉ must fit the slack of 34 → 60%.
+        let s = case_study();
+        let p = max_overload_scaling(
+            &s,
+            "sigma_c",
+            MkConstraint::new(0, 10),
+            100,
+            AnalysisOptions::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(p, 60);
+    }
+
+    #[test]
+    fn scaling_search_reports_saturation() {
+        // σd tolerates full overload already.
+        let s = case_study();
+        let p = max_overload_scaling(
+            &s,
+            "sigma_d",
+            MkConstraint::new(0, 10),
+            100,
+            AnalysisOptions::default(),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(p, 100);
+    }
+
+    #[test]
+    fn unknown_chain_is_an_error() {
+        let s = case_study();
+        assert!(max_overload_scaling(
+            &s,
+            "nonexistent",
+            MkConstraint::new(0, 1),
+            100,
+            AnalysisOptions::default(),
+        )
+        .is_err());
+        assert!(min_deadline_for(
+            &s,
+            "nonexistent",
+            MkConstraint::new(0, 1),
+            100,
+            AnalysisOptions::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn min_deadline_matches_wcl_for_zero_misses() {
+        let s = case_study();
+        let opts = AnalysisOptions::default();
+        // (0, k): the deadline must cover the worst-case latency exactly.
+        assert_eq!(
+            min_deadline_for(&s, "sigma_c", MkConstraint::new(0, 10), 1_000, opts).unwrap(),
+            Some(331)
+        );
+        assert_eq!(
+            min_deadline_for(&s, "sigma_d", MkConstraint::new(0, 10), 1_000, opts).unwrap(),
+            Some(175)
+        );
+    }
+
+    #[test]
+    fn min_deadline_relaxes_with_tolerated_misses() {
+        let s = case_study();
+        let opts = AnalysisOptions::default();
+        let strict = min_deadline_for(&s, "sigma_c", MkConstraint::new(0, 10), 1_000, opts)
+            .unwrap()
+            .unwrap();
+        let relaxed = min_deadline_for(&s, "sigma_c", MkConstraint::new(5, 10), 1_000, opts)
+            .unwrap()
+            .unwrap();
+        assert!(relaxed <= strict);
+    }
+
+    #[test]
+    fn min_deadline_reports_insufficient_range() {
+        let s = case_study();
+        assert_eq!(
+            min_deadline_for(
+                &s,
+                "sigma_c",
+                MkConstraint::new(0, 10),
+                100, // below WCL 331
+                AnalysisOptions::default()
+            )
+            .unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn consecutive_misses_of_schedulable_chain_is_zero() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (d, _) = s.chain_by_name("sigma_d").unwrap();
+        assert_eq!(
+            max_consecutive_misses(&ctx, d, 16, AnalysisOptions::default()).unwrap(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn consecutive_misses_bound_is_consistent_with_the_dmm() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (c, _) = s.chain_by_name("sigma_c").unwrap();
+        let opts = AnalysisOptions::default();
+        let m = max_consecutive_misses(&ctx, c, 64, opts)
+            .unwrap()
+            .expect("bounded");
+        assert!(m >= 1, "σc does miss under overload");
+        // Defining property: dmm(m+1) ≤ m, and m is minimal.
+        let at = |k| deadline_miss_model(&ctx, c, k, opts).unwrap().bound;
+        assert!(at(m + 1) <= m);
+        for shorter in 1..=m {
+            assert_eq!(at(shorter), shorter, "m must be the first qualifying value");
+        }
+    }
+
+    #[test]
+    fn consecutive_misses_without_deadline_is_an_error() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (a, _) = s.chain_by_name("sigma_a").unwrap();
+        assert!(max_consecutive_misses(&ctx, a, 8, AnalysisOptions::default()).is_err());
+    }
+
+    #[test]
+    fn consecutive_misses_cutoff_is_respected() {
+        let s = case_study();
+        let ctx = AnalysisContext::new(&s);
+        let (c, _) = s.chain_by_name("sigma_c").unwrap();
+        // With cutoff 1 only m = 0 is tested, and σc does miss.
+        assert_eq!(
+            max_consecutive_misses(&ctx, c, 1, AnalysisOptions::default()).unwrap(),
+            None
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Pseudo-inversion helpers between the `η` (events per window) and `δ`
+//! (distance per event count) views of an event model.
+
+use crate::model::Time;
+
+/// Practical cap on event counts during inversion searches. Far above any
+/// count reachable by real analyses, but small enough that saturating
+/// distance arithmetic cannot wrap a search.
+const MAX_EVENTS: u64 = 1 << 40;
+
+/// Derives `η+(Δ) = max{k : δ-(k) < Δ}` from a non-decreasing minimum
+/// distance function.
+///
+/// Returns `0` for `Δ = 0`. The supplied `delta_min` must satisfy
+/// `delta_min(k) = 0` for `k ≤ 1` and be non-decreasing; then the result is
+/// the standard upper arrival curve.
+///
+/// Note that for a source that never emits events this formula still yields
+/// `1` (a single event has zero span); such sources should implement
+/// `eta_plus` directly instead of relying on inversion.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::eta_plus_from_delta_min;
+///
+/// // Periodic with period 100, expressed as a distance function.
+/// let eta = |delta| eta_plus_from_delta_min(|k| (k.saturating_sub(1)) * 100, delta);
+/// assert_eq!(eta(0), 0);
+/// assert_eq!(eta(100), 1);
+/// assert_eq!(eta(101), 2);
+/// ```
+pub fn eta_plus_from_delta_min(delta_min: impl Fn(u64) -> Time, delta: Time) -> u64 {
+    if delta == 0 {
+        return 0;
+    }
+    // Exponential search for an upper bound with delta_min(hi) >= delta.
+    let mut hi = 2u64;
+    while hi < MAX_EVENTS && delta_min(hi) < delta {
+        hi = hi.saturating_mul(2);
+    }
+    if delta_min(hi) < delta {
+        // The distance function never reaches `delta`; the source allows
+        // unbounded accumulation. Report the cap.
+        return MAX_EVENTS;
+    }
+    // Binary search for the largest k with delta_min(k) < delta.
+    let mut lo = 1u64; // delta_min(1) = 0 < delta
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if delta_min(mid) < delta {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Derives `δ-(k) = min{Δ : η+(Δ + 1) ≥ k}` from a non-decreasing upper
+/// arrival curve.
+///
+/// Returns `0` for `k ≤ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::delta_min_from_eta_plus;
+///
+/// // Periodic with period 100, expressed as an arrival curve.
+/// let delta = |k| delta_min_from_eta_plus(|d| d.div_ceil(100), k);
+/// assert_eq!(delta(1), 0);
+/// assert_eq!(delta(2), 100);
+/// assert_eq!(delta(3), 200);
+/// ```
+pub fn delta_min_from_eta_plus(eta_plus: impl Fn(Time) -> u64, k: u64) -> Time {
+    if k <= 1 {
+        return 0;
+    }
+    // Exponential search for a window that already admits k events.
+    let mut hi = 1u64;
+    while eta_plus(hi.saturating_add(1)) < k {
+        if hi >= Time::MAX / 2 {
+            return Time::MAX;
+        }
+        hi *= 2;
+    }
+    let mut lo = 0u64; // eta_plus(1) >= 1 only guarantees k = 1
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if eta_plus(mid + 1) >= k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    if eta_plus(lo + 1) >= k {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// Derives `η-(Δ) = max{k : δ+(k + 1) ≤ Δ}` from a maximum distance
+/// function, i.e. the number of events guaranteed inside any half-open
+/// window of length `Δ`.
+///
+/// `delta_plus` returning `None` means the source may stay silent, in which
+/// case no events are guaranteed and the result is `0`.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::eta_minus_from_delta_plus;
+///
+/// // Periodic with period 100: any window of length 250 holds >= 2 events.
+/// let eta = |d| eta_minus_from_delta_plus(|k| Some((k.saturating_sub(1)) * 100), d);
+/// assert_eq!(eta(250), 2);
+/// assert_eq!(eta(99), 0);
+/// ```
+pub fn eta_minus_from_delta_plus(
+    delta_plus: impl Fn(u64) -> Option<Time>,
+    delta: Time,
+) -> u64 {
+    match delta_plus(2) {
+        None => 0,
+        Some(_) => {
+            let span = |k: u64| delta_plus(k).unwrap_or(Time::MAX);
+            // Largest k with span(k + 1) <= delta.
+            let mut hi = 2u64;
+            while hi < MAX_EVENTS && span(hi + 1) <= delta {
+                hi = hi.saturating_mul(2);
+            }
+            let mut lo = 0u64; // span(1) = 0 <= delta
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if span(mid + 1) <= delta {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EventModel;
+    use crate::models::{Burst, Periodic, PeriodicJitter, Sporadic};
+
+    #[test]
+    fn inversion_roundtrip_periodic() {
+        let p = Periodic::new(137).unwrap();
+        for delta in 0..1000 {
+            assert_eq!(
+                p.eta_plus(delta),
+                eta_plus_from_delta_min(|k| p.delta_min(k), delta),
+                "delta={delta}"
+            );
+        }
+        for k in 0..30 {
+            assert_eq!(
+                p.delta_min(k),
+                delta_min_from_eta_plus(|d| p.eta_plus(d), k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn inversion_roundtrip_sporadic() {
+        let s = Sporadic::new(60).unwrap();
+        for delta in 0..500 {
+            assert_eq!(
+                s.eta_plus(delta),
+                eta_plus_from_delta_min(|k| s.delta_min(k), delta)
+            );
+        }
+    }
+
+    #[test]
+    fn inversion_roundtrip_jitter() {
+        let j = PeriodicJitter::new(100, 37, 11).unwrap();
+        for k in 0..40 {
+            assert_eq!(
+                j.delta_min(k),
+                delta_min_from_eta_plus(|d| j.eta_plus(d), k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_uses_inversion_consistently() {
+        let b = Burst::new(50, 4, 3).unwrap();
+        for k in 0..40 {
+            assert_eq!(
+                b.delta_min(k),
+                delta_min_from_eta_plus(|d| b.eta_plus(d), k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn eta_minus_from_periodic_delta_plus() {
+        let p = Periodic::new(100).unwrap();
+        for delta in 0..1000 {
+            assert_eq!(
+                p.eta_minus(delta),
+                eta_minus_from_delta_plus(|k| p.delta_plus(k), delta),
+                "delta={delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn unbounded_accumulation_is_capped() {
+        // delta_min constant at zero: infinitely many events may coincide.
+        assert_eq!(eta_plus_from_delta_min(|_| 0, 10), MAX_EVENTS);
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when constructing an ill-formed event model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CurveError {
+    /// A period or minimum distance of zero would allow infinitely many
+    /// activations in a finite window.
+    ZeroDistance,
+    /// A burst must contain at least one event.
+    EmptyBurst,
+    /// A burst of `size` events spaced `inner_distance` apart must fit into
+    /// the outer period.
+    BurstExceedsPeriod {
+        /// Span of one burst, `(size - 1) * inner_distance`.
+        burst_span: u64,
+        /// Outer period the burst must fit into.
+        period: u64,
+    },
+    /// A distance table must be non-decreasing in `k`.
+    NonMonotonicTable {
+        /// Index (number of events, starting at 2) where monotonicity broke.
+        k: u64,
+    },
+    /// A distance table needs at least the entry for two events.
+    EmptyTable,
+    /// `δ+(k) < δ-(k)` would be contradictory.
+    CrossingBounds {
+        /// Index (number of events) where `δ+` dropped below `δ-`.
+        k: u64,
+    },
+}
+
+impl fmt::Display for CurveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CurveError::ZeroDistance => {
+                write!(f, "period or minimum event distance must be positive")
+            }
+            CurveError::EmptyBurst => write!(f, "burst size must be at least one event"),
+            CurveError::BurstExceedsPeriod { burst_span, period } => write!(
+                f,
+                "burst span {burst_span} does not fit into outer period {period}"
+            ),
+            CurveError::NonMonotonicTable { k } => {
+                write!(f, "distance table decreases at k = {k}")
+            }
+            CurveError::EmptyTable => write!(f, "distance table needs an entry for k = 2"),
+            CurveError::CrossingBounds { k } => {
+                write!(f, "maximum distance drops below minimum distance at k = {k}")
+            }
+        }
+    }
+}
+
+impl Error for CurveError {}

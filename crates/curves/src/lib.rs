@@ -1,0 +1,49 @@
+//! Arrival-curve event models for compositional real-time analysis.
+//!
+//! This crate implements the activation models used by the DATE 2017 paper
+//! *"Bounding Deadline Misses in Weakly-Hard Real-Time Systems with Task
+//! Dependencies"*: upper/lower **arrival curves** `η+ / η-` and their
+//! pseudo-inverse **distance functions** `δ- / δ+`.
+//!
+//! * `η+(Δ)` — maximum number of activations that can occur in any
+//!   half-open time window of length `Δ` (`η+(0) = 0`).
+//! * `η-(Δ)` — minimum number of activations in any such window.
+//! * `δ-(k)` — minimum distance between the first and the last activation
+//!   of any `k` consecutive activations (`δ-(k) = 0` for `k ≤ 1`).
+//! * `δ+(k)` — maximum such distance, which may be unbounded (e.g. for
+//!   sporadic sources), represented as `None`.
+//!
+//! The two views are pseudo-inverses of each other:
+//! `η+(Δ) = max{k : δ-(k) < Δ}` and `δ-(k) = min{Δ : η+(Δ + 1) ≥ k}`.
+//!
+//! # Examples
+//!
+//! ```
+//! use twca_curves::{EventModel, Periodic, Sporadic};
+//!
+//! # fn main() -> Result<(), twca_curves::CurveError> {
+//! let periodic = Periodic::new(200)?;
+//! assert_eq!(periodic.eta_plus(331), 2);
+//! assert_eq!(periodic.delta_min(3), 400);
+//! assert_eq!(periodic.delta_plus(3), Some(400));
+//!
+//! let sporadic = Sporadic::new(700)?;
+//! assert_eq!(sporadic.eta_plus(731), 2);
+//! assert_eq!(sporadic.delta_plus(2), None); // may stay silent forever
+//! # Ok(())
+//! # }
+//! ```
+
+mod convert;
+mod error;
+mod model;
+mod models;
+mod ops;
+mod table;
+
+pub use convert::{delta_min_from_eta_plus, eta_minus_from_delta_plus, eta_plus_from_delta_min};
+pub use error::CurveError;
+pub use model::{ActivationModel, EventModel, Time};
+pub use models::{Burst, Never, Periodic, PeriodicJitter, Sporadic};
+pub use ops::{Sum, Tightest};
+pub use table::DeltaTable;

@@ -1,0 +1,244 @@
+use serde::{Deserialize, Serialize};
+
+use crate::models::{Burst, Never, Periodic, PeriodicJitter, Sporadic};
+use crate::table::DeltaTable;
+
+/// Discrete model time. All analyses in this workspace use integer ticks.
+pub type Time = u64;
+
+/// An activation source described by arrival curves.
+///
+/// Implementors must satisfy the usual consistency conditions of real-time
+/// calculus event models:
+///
+/// * `eta_plus` and `eta_minus` are non-decreasing, `eta_plus(0) = 0`,
+///   `eta_minus(Δ) ≤ eta_plus(Δ)`;
+/// * `delta_min` is non-decreasing with `delta_min(k) = 0` for `k ≤ 1`;
+/// * `delta_plus(k) ≥ delta_min(k)` whenever bounded;
+/// * pseudo-inversion: `eta_plus(Δ) = max{k : delta_min(k) < Δ}`.
+///
+/// The helper functions [`crate::eta_plus_from_delta_min`],
+/// [`crate::delta_min_from_eta_plus`] and
+/// [`crate::eta_minus_from_delta_plus`] derive one view from the other;
+/// concrete models should prefer closed forms.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{EventModel, Periodic};
+///
+/// # fn main() -> Result<(), twca_curves::CurveError> {
+/// let p = Periodic::new(100)?;
+/// // A window one tick longer than the period can catch two events.
+/// assert_eq!(p.eta_plus(101), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub trait EventModel: std::fmt::Debug + Send + Sync {
+    /// Maximum number of activations in any half-open window of length
+    /// `delta`.
+    fn eta_plus(&self, delta: Time) -> u64;
+
+    /// Minimum number of activations in any half-open window of length
+    /// `delta`.
+    fn eta_minus(&self, delta: Time) -> u64;
+
+    /// Minimum distance between the first and last of `k` consecutive
+    /// activations. Zero for `k ≤ 1`.
+    fn delta_min(&self, k: u64) -> Time;
+
+    /// Maximum distance between the first and last of `k` consecutive
+    /// activations, or `None` if the source may stay silent indefinitely.
+    fn delta_plus(&self, k: u64) -> Option<Time>;
+
+    /// Whether the source can produce unboundedly many events over time.
+    ///
+    /// All recurring models return `true`; [`Never`] returns `false`.
+    fn is_recurring(&self) -> bool {
+        true
+    }
+}
+
+/// A closed, serializable union of the event models shipped with this crate.
+///
+/// Analyses accept `&dyn EventModel`; systems that need to be stored,
+/// hashed, compared or serialized hold an `ActivationModel` instead. The
+/// enum implements [`EventModel`] by delegation.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{ActivationModel, EventModel};
+///
+/// # fn main() -> Result<(), twca_curves::CurveError> {
+/// let m = ActivationModel::periodic(200)?;
+/// assert_eq!(m.eta_plus(200), 1);
+/// assert_eq!(m.delta_min(2), 200);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ActivationModel {
+    /// Strictly periodic activation.
+    Periodic(Periodic),
+    /// Sporadic activation with a minimum inter-arrival distance.
+    Sporadic(Sporadic),
+    /// Periodic activation with release jitter and a minimum distance.
+    PeriodicJitter(PeriodicJitter),
+    /// Sporadically recurring bursts of events.
+    Burst(Burst),
+    /// Piecewise distance-function table.
+    Table(DeltaTable),
+    /// A source that never activates.
+    Never(Never),
+}
+
+impl ActivationModel {
+    /// Strictly periodic model with the given period.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CurveError::ZeroDistance`] if `period` is zero.
+    pub fn periodic(period: Time) -> Result<Self, crate::CurveError> {
+        Ok(ActivationModel::Periodic(Periodic::new(period)?))
+    }
+
+    /// Sporadic model with the given minimum inter-arrival distance
+    /// (`δ-(2)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CurveError::ZeroDistance`] if `min_distance` is zero.
+    pub fn sporadic(min_distance: Time) -> Result<Self, crate::CurveError> {
+        Ok(ActivationModel::Sporadic(Sporadic::new(min_distance)?))
+    }
+
+    /// Periodic model with release jitter and minimum distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CurveError::ZeroDistance`] if `period` or `min_distance`
+    /// is zero.
+    pub fn periodic_jitter(
+        period: Time,
+        jitter: Time,
+        min_distance: Time,
+    ) -> Result<Self, crate::CurveError> {
+        Ok(ActivationModel::PeriodicJitter(PeriodicJitter::new(
+            period,
+            jitter,
+            min_distance,
+        )?))
+    }
+
+    /// A source that never produces events (used to abstract overload away).
+    pub fn never() -> Self {
+        ActivationModel::Never(Never::new())
+    }
+
+    fn as_dyn(&self) -> &dyn EventModel {
+        match self {
+            ActivationModel::Periodic(m) => m,
+            ActivationModel::Sporadic(m) => m,
+            ActivationModel::PeriodicJitter(m) => m,
+            ActivationModel::Burst(m) => m,
+            ActivationModel::Table(m) => m,
+            ActivationModel::Never(m) => m,
+        }
+    }
+}
+
+impl EventModel for ActivationModel {
+    fn eta_plus(&self, delta: Time) -> u64 {
+        self.as_dyn().eta_plus(delta)
+    }
+
+    fn eta_minus(&self, delta: Time) -> u64 {
+        self.as_dyn().eta_minus(delta)
+    }
+
+    fn delta_min(&self, k: u64) -> Time {
+        self.as_dyn().delta_min(k)
+    }
+
+    fn delta_plus(&self, k: u64) -> Option<Time> {
+        self.as_dyn().delta_plus(k)
+    }
+
+    fn is_recurring(&self) -> bool {
+        self.as_dyn().is_recurring()
+    }
+}
+
+impl From<Periodic> for ActivationModel {
+    fn from(value: Periodic) -> Self {
+        ActivationModel::Periodic(value)
+    }
+}
+
+impl From<Sporadic> for ActivationModel {
+    fn from(value: Sporadic) -> Self {
+        ActivationModel::Sporadic(value)
+    }
+}
+
+impl From<PeriodicJitter> for ActivationModel {
+    fn from(value: PeriodicJitter) -> Self {
+        ActivationModel::PeriodicJitter(value)
+    }
+}
+
+impl From<Burst> for ActivationModel {
+    fn from(value: Burst) -> Self {
+        ActivationModel::Burst(value)
+    }
+}
+
+impl From<DeltaTable> for ActivationModel {
+    fn from(value: DeltaTable) -> Self {
+        ActivationModel::Table(value)
+    }
+}
+
+impl From<Never> for ActivationModel {
+    fn from(value: Never) -> Self {
+        ActivationModel::Never(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_model_delegates() {
+        let m = ActivationModel::periodic(10).unwrap();
+        assert_eq!(m.eta_plus(25), 3);
+        assert_eq!(m.eta_minus(25), 2);
+        assert_eq!(m.delta_min(4), 30);
+        assert_eq!(m.delta_plus(4), Some(30));
+        assert!(m.is_recurring());
+    }
+
+    #[test]
+    fn never_is_not_recurring() {
+        let m = ActivationModel::never();
+        assert!(!m.is_recurring());
+        assert_eq!(m.eta_plus(1_000_000), 0);
+    }
+
+    #[test]
+    fn conversions_from_concrete_models() {
+        let p: ActivationModel = Periodic::new(5).unwrap().into();
+        assert_eq!(p.delta_min(3), 10);
+        let s: ActivationModel = Sporadic::new(7).unwrap().into();
+        assert_eq!(s.delta_plus(3), None);
+    }
+
+    #[test]
+    fn models_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ActivationModel>();
+    }
+}

@@ -1,0 +1,489 @@
+//! Closed-form event models: periodic, sporadic, periodic-with-jitter,
+//! bursty, and the empty source.
+
+use serde::{Deserialize, Serialize};
+
+use crate::convert::eta_plus_from_delta_min;
+use crate::error::CurveError;
+use crate::model::{EventModel, Time};
+
+/// Ceiling division for model time, with `0 / p = 0`.
+fn div_ceil(n: Time, d: Time) -> u64 {
+    debug_assert!(d > 0);
+    n.div_ceil(d)
+}
+
+/// Strictly periodic activation: events exactly `period` apart.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{EventModel, Periodic};
+///
+/// # fn main() -> Result<(), twca_curves::CurveError> {
+/// let p = Periodic::new(200)?;
+/// assert_eq!(p.eta_plus(400), 2);
+/// assert_eq!(p.eta_plus(401), 3);
+/// assert_eq!(p.delta_min(76), 15_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Periodic {
+    period: Time,
+}
+
+impl Periodic {
+    /// Creates a periodic model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::ZeroDistance`] if `period` is zero.
+    pub fn new(period: Time) -> Result<Self, CurveError> {
+        if period == 0 {
+            return Err(CurveError::ZeroDistance);
+        }
+        Ok(Periodic { period })
+    }
+
+    /// The activation period.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+}
+
+impl EventModel for Periodic {
+    fn eta_plus(&self, delta: Time) -> u64 {
+        div_ceil(delta, self.period)
+    }
+
+    fn eta_minus(&self, delta: Time) -> u64 {
+        delta / self.period
+    }
+
+    fn delta_min(&self, k: u64) -> Time {
+        k.saturating_sub(1).saturating_mul(self.period)
+    }
+
+    fn delta_plus(&self, k: u64) -> Option<Time> {
+        Some(self.delta_min(k))
+    }
+}
+
+/// Sporadic activation: events at least `min_distance` apart, with no
+/// guarantee that any event ever occurs.
+///
+/// This is the model used for the overload chains `σa[700]` and `σb[600]`
+/// of the paper's case study, where the bracketed value is `δ-(2)`.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{EventModel, Sporadic};
+///
+/// # fn main() -> Result<(), twca_curves::CurveError> {
+/// let s = Sporadic::new(700)?;
+/// assert_eq!(s.eta_plus(731), 2);
+/// assert_eq!(s.eta_minus(10_000), 0); // may never fire
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Sporadic {
+    min_distance: Time,
+}
+
+impl Sporadic {
+    /// Creates a sporadic model from the minimum inter-arrival distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::ZeroDistance`] if `min_distance` is zero.
+    pub fn new(min_distance: Time) -> Result<Self, CurveError> {
+        if min_distance == 0 {
+            return Err(CurveError::ZeroDistance);
+        }
+        Ok(Sporadic { min_distance })
+    }
+
+    /// The minimum distance between two consecutive events (`δ-(2)`).
+    pub fn min_distance(&self) -> Time {
+        self.min_distance
+    }
+}
+
+impl EventModel for Sporadic {
+    fn eta_plus(&self, delta: Time) -> u64 {
+        div_ceil(delta, self.min_distance)
+    }
+
+    fn eta_minus(&self, _delta: Time) -> u64 {
+        0
+    }
+
+    fn delta_min(&self, k: u64) -> Time {
+        k.saturating_sub(1).saturating_mul(self.min_distance)
+    }
+
+    fn delta_plus(&self, _k: u64) -> Option<Time> {
+        None
+    }
+}
+
+/// Periodic activation with release jitter and a minimum event distance
+/// (the classic *PJd* model of compositional performance analysis).
+///
+/// `η+(Δ) = min(⌈(Δ + J) / P⌉, ⌈Δ / d⌉)` and
+/// `δ-(k) = max((k-1)·d, (k-1)·P − J)`.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{EventModel, PeriodicJitter};
+///
+/// # fn main() -> Result<(), twca_curves::CurveError> {
+/// let m = PeriodicJitter::new(100, 150, 10)?;
+/// // Jitter lets two events land almost together, but never closer than d.
+/// assert_eq!(m.delta_min(2), 10);
+/// assert_eq!(m.eta_plus(20), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PeriodicJitter {
+    period: Time,
+    jitter: Time,
+    min_distance: Time,
+}
+
+impl PeriodicJitter {
+    /// Creates a periodic-with-jitter model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CurveError::ZeroDistance`] if `period` or `min_distance`
+    /// is zero.
+    pub fn new(period: Time, jitter: Time, min_distance: Time) -> Result<Self, CurveError> {
+        if period == 0 || min_distance == 0 {
+            return Err(CurveError::ZeroDistance);
+        }
+        Ok(PeriodicJitter {
+            period,
+            jitter,
+            min_distance,
+        })
+    }
+
+    /// The activation period.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The release jitter.
+    pub fn jitter(&self) -> Time {
+        self.jitter
+    }
+
+    /// The minimum distance between consecutive events.
+    pub fn min_distance(&self) -> Time {
+        self.min_distance
+    }
+}
+
+impl EventModel for PeriodicJitter {
+    fn eta_plus(&self, delta: Time) -> u64 {
+        if delta == 0 {
+            return 0;
+        }
+        let by_period = div_ceil(delta.saturating_add(self.jitter), self.period);
+        let by_distance = div_ceil(delta, self.min_distance);
+        by_period.min(by_distance)
+    }
+
+    fn eta_minus(&self, delta: Time) -> u64 {
+        delta.saturating_sub(self.jitter) / self.period
+    }
+
+    fn delta_min(&self, k: u64) -> Time {
+        let n = k.saturating_sub(1);
+        let by_distance = n.saturating_mul(self.min_distance);
+        let by_period = n.saturating_mul(self.period).saturating_sub(self.jitter);
+        by_distance.max(by_period)
+    }
+
+    fn delta_plus(&self, k: u64) -> Option<Time> {
+        Some(
+            k.saturating_sub(1)
+                .saturating_mul(self.period)
+                .saturating_add(self.jitter),
+        )
+    }
+}
+
+/// Sporadically recurring bursts: up to `size` events spaced
+/// `inner_distance` apart, with consecutive bursts starting at least
+/// `period` apart.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{Burst, EventModel};
+///
+/// # fn main() -> Result<(), twca_curves::CurveError> {
+/// // Bursts of 3 events, 5 apart, at most every 100 ticks.
+/// let b = Burst::new(100, 3, 5)?;
+/// assert_eq!(b.delta_min(3), 10);  // one full burst
+/// assert_eq!(b.delta_min(4), 100); // spills into the next burst
+/// assert_eq!(b.eta_plus(11), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Burst {
+    period: Time,
+    size: u64,
+    inner_distance: Time,
+}
+
+impl Burst {
+    /// Creates a burst model.
+    ///
+    /// # Errors
+    ///
+    /// * [`CurveError::ZeroDistance`] if `period` or `inner_distance` is
+    ///   zero;
+    /// * [`CurveError::EmptyBurst`] if `size` is zero;
+    /// * [`CurveError::BurstExceedsPeriod`] if one burst does not fit into
+    ///   the outer period.
+    pub fn new(period: Time, size: u64, inner_distance: Time) -> Result<Self, CurveError> {
+        if period == 0 || inner_distance == 0 {
+            return Err(CurveError::ZeroDistance);
+        }
+        if size == 0 {
+            return Err(CurveError::EmptyBurst);
+        }
+        let burst_span = (size - 1).saturating_mul(inner_distance);
+        if burst_span >= period {
+            return Err(CurveError::BurstExceedsPeriod { burst_span, period });
+        }
+        Ok(Burst {
+            period,
+            size,
+            inner_distance,
+        })
+    }
+
+    /// Minimum distance between the starts of two bursts.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// Maximum number of events per burst.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Distance between consecutive events inside a burst.
+    pub fn inner_distance(&self) -> Time {
+        self.inner_distance
+    }
+}
+
+impl EventModel for Burst {
+    fn eta_plus(&self, delta: Time) -> u64 {
+        eta_plus_from_delta_min(|k| self.delta_min(k), delta)
+    }
+
+    fn eta_minus(&self, _delta: Time) -> u64 {
+        0
+    }
+
+    fn delta_min(&self, k: u64) -> Time {
+        let n = k.saturating_sub(1);
+        let full_periods = n / self.size;
+        let rest = n % self.size;
+        full_periods
+            .saturating_mul(self.period)
+            .saturating_add(rest.saturating_mul(self.inner_distance))
+    }
+
+    fn delta_plus(&self, _k: u64) -> Option<Time> {
+        None
+    }
+}
+
+/// A source that never produces events.
+///
+/// Used by TWCA to abstract overload chains away when computing the
+/// *typical* (overload-free) behaviour of a system.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{EventModel, Never};
+///
+/// let n = Never::new();
+/// assert_eq!(n.eta_plus(u64::MAX), 0);
+/// assert!(!n.is_recurring());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Never;
+
+impl Never {
+    /// Creates the empty source.
+    pub fn new() -> Self {
+        Never
+    }
+}
+
+impl EventModel for Never {
+    fn eta_plus(&self, _delta: Time) -> u64 {
+        0
+    }
+
+    fn eta_minus(&self, _delta: Time) -> u64 {
+        0
+    }
+
+    fn delta_min(&self, k: u64) -> Time {
+        // No sequence of two or more events exists; report an effectively
+        // infinite distance so pseudo-inversion stays consistent.
+        if k <= 1 {
+            0
+        } else {
+            Time::MAX
+        }
+    }
+
+    fn delta_plus(&self, _k: u64) -> Option<Time> {
+        None
+    }
+
+    fn is_recurring(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_eta_plus_matches_case_study() {
+        let p = Periodic::new(200).unwrap();
+        assert_eq!(p.eta_plus(0), 0);
+        assert_eq!(p.eta_plus(1), 1);
+        assert_eq!(p.eta_plus(200), 1);
+        assert_eq!(p.eta_plus(201), 2);
+        assert_eq!(p.eta_plus(331), 2);
+        assert_eq!(p.eta_plus(547), 3);
+    }
+
+    #[test]
+    fn periodic_eta_minus_is_floor() {
+        let p = Periodic::new(100).unwrap();
+        assert_eq!(p.eta_minus(99), 0);
+        assert_eq!(p.eta_minus(100), 1);
+        assert_eq!(p.eta_minus(250), 2);
+    }
+
+    #[test]
+    fn periodic_distances_are_linear() {
+        let p = Periodic::new(100).unwrap();
+        assert_eq!(p.delta_min(0), 0);
+        assert_eq!(p.delta_min(1), 0);
+        assert_eq!(p.delta_min(2), 100);
+        assert_eq!(p.delta_plus(5), Some(400));
+    }
+
+    #[test]
+    fn periodic_rejects_zero_period() {
+        assert_eq!(Periodic::new(0).unwrap_err(), CurveError::ZeroDistance);
+    }
+
+    #[test]
+    fn sporadic_matches_overload_chains() {
+        let a = Sporadic::new(700).unwrap();
+        assert_eq!(a.eta_plus(700), 1);
+        assert_eq!(a.eta_plus(701), 2);
+        assert_eq!(a.eta_plus(15_331), 22);
+        let b = Sporadic::new(600).unwrap();
+        assert_eq!(b.eta_plus(15_331), 26);
+    }
+
+    #[test]
+    fn sporadic_never_guarantees_events() {
+        let s = Sporadic::new(10).unwrap();
+        assert_eq!(s.eta_minus(1_000_000), 0);
+        assert_eq!(s.delta_plus(2), None);
+    }
+
+    #[test]
+    fn jitter_model_degenerates_to_periodic() {
+        let p = Periodic::new(100).unwrap();
+        let j = PeriodicJitter::new(100, 0, 1).unwrap();
+        for delta in [0, 1, 50, 100, 101, 399, 400, 1000] {
+            assert_eq!(p.eta_plus(delta), j.eta_plus(delta), "delta={delta}");
+        }
+        for k in 0..20 {
+            assert_eq!(p.delta_min(k), j.delta_min(k).max(p.delta_min(k)));
+        }
+    }
+
+    #[test]
+    fn jitter_model_bounds_bursts_by_min_distance() {
+        let j = PeriodicJitter::new(100, 1_000, 10).unwrap();
+        // With huge jitter many events can pile up, but never closer than 10.
+        assert_eq!(j.eta_plus(10), 1);
+        assert_eq!(j.eta_plus(11), 2);
+        assert_eq!(j.delta_min(2), 10);
+        assert_eq!(j.delta_plus(2), Some(1_100));
+    }
+
+    #[test]
+    fn jitter_eta_minus_accounts_for_jitter() {
+        let j = PeriodicJitter::new(100, 50, 1).unwrap();
+        assert_eq!(j.eta_minus(149), 0);
+        assert_eq!(j.eta_minus(150), 1);
+        assert_eq!(j.eta_minus(350), 3);
+    }
+
+    #[test]
+    fn burst_distances() {
+        let b = Burst::new(100, 3, 5).unwrap();
+        assert_eq!(b.delta_min(1), 0);
+        assert_eq!(b.delta_min(2), 5);
+        assert_eq!(b.delta_min(3), 10);
+        assert_eq!(b.delta_min(4), 100);
+        assert_eq!(b.delta_min(6), 110);
+        assert_eq!(b.delta_min(7), 200);
+    }
+
+    #[test]
+    fn burst_eta_plus_is_consistent_with_delta_min() {
+        let b = Burst::new(100, 3, 5).unwrap();
+        assert_eq!(b.eta_plus(0), 0);
+        assert_eq!(b.eta_plus(1), 1);
+        assert_eq!(b.eta_plus(6), 2);
+        assert_eq!(b.eta_plus(11), 3);
+        assert_eq!(b.eta_plus(101), 4);
+    }
+
+    #[test]
+    fn burst_validation() {
+        assert!(matches!(
+            Burst::new(10, 3, 5),
+            Err(CurveError::BurstExceedsPeriod { .. })
+        ));
+        assert_eq!(Burst::new(10, 0, 5).unwrap_err(), CurveError::EmptyBurst);
+        assert_eq!(Burst::new(0, 1, 5).unwrap_err(), CurveError::ZeroDistance);
+    }
+
+    #[test]
+    fn never_produces_nothing() {
+        let n = Never::new();
+        assert_eq!(n.eta_plus(Time::MAX), 0);
+        assert_eq!(n.eta_minus(Time::MAX), 0);
+        assert_eq!(n.delta_min(2), Time::MAX);
+    }
+}

@@ -1,0 +1,271 @@
+//! Compositions of event models.
+
+use crate::convert::delta_min_from_eta_plus;
+use crate::model::{EventModel, Time};
+
+/// The superposition (merge) of two activation sources.
+///
+/// The merged stream sees the events of both inputs:
+/// `η+(Δ) = η+₁(Δ) + η+₂(Δ)` and `η-(Δ) = η-₁(Δ) + η-₂(Δ)`; the distance
+/// functions are obtained by pseudo-inversion, which keeps the model
+/// internally consistent (and conservative where the inputs correlate).
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{EventModel, Periodic, Sum};
+///
+/// # fn main() -> Result<(), twca_curves::CurveError> {
+/// let merged = Sum::new(Periodic::new(100)?, Periodic::new(150)?);
+/// assert_eq!(merged.eta_plus(300), 3 + 2);
+/// // Two events may coincide, so the minimum distance collapses to zero.
+/// assert_eq!(merged.delta_min(2), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sum<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: EventModel, B: EventModel> Sum<A, B> {
+    /// Merges two sources into one stream.
+    pub fn new(first: A, second: B) -> Self {
+        Sum { first, second }
+    }
+
+    /// The first merged source.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second merged source.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+}
+
+impl<A: EventModel, B: EventModel> EventModel for Sum<A, B> {
+    fn eta_plus(&self, delta: Time) -> u64 {
+        self.first
+            .eta_plus(delta)
+            .saturating_add(self.second.eta_plus(delta))
+    }
+
+    fn eta_minus(&self, delta: Time) -> u64 {
+        self.first
+            .eta_minus(delta)
+            .saturating_add(self.second.eta_minus(delta))
+    }
+
+    fn delta_min(&self, k: u64) -> Time {
+        delta_min_from_eta_plus(|d| self.eta_plus(d), k)
+    }
+
+    fn delta_plus(&self, k: u64) -> Option<Time> {
+        // The span of k consecutive merged events is bounded by the largest
+        // window guaranteeing fewer than k events strictly inside.
+        if k <= 1 {
+            return Some(0);
+        }
+        if self.first.delta_plus(2).is_none() && self.second.delta_plus(2).is_none() {
+            return None;
+        }
+        // Largest Δ with η-(Δ) <= k - 1; search with an exponential cap.
+        let target = k - 1;
+        let mut hi = 1u64;
+        while self.eta_minus(hi) <= target {
+            if hi >= Time::MAX / 2 {
+                return None;
+            }
+            hi *= 2;
+        }
+        let mut lo = 0u64;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.eta_minus(mid) <= target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+
+    fn is_recurring(&self) -> bool {
+        self.first.is_recurring() || self.second.is_recurring()
+    }
+}
+
+/// The tightest combination of two models of the *same* event source.
+///
+/// If both `A` and `B` are valid descriptions of one source — e.g. a
+/// datasheet specification and a model extracted from measurements
+/// ([`crate::DeltaTable::from_trace`]) — then the source also satisfies
+/// the pointwise-tightest bounds: `η+ = min`, `η- = max`, `δ- = max`,
+/// `δ+ = min`.
+///
+/// Do **not** use this to merge two *different* sources; that is
+/// [`Sum`].
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{EventModel, Periodic, Sporadic, Tightest};
+///
+/// # fn main() -> Result<(), twca_curves::CurveError> {
+/// // Spec says "at least 70 apart"; measurement says "looks periodic 100".
+/// let spec = Sporadic::new(70)?;
+/// let measured = Periodic::new(100)?;
+/// let combined = Tightest::new(spec, measured);
+/// assert_eq!(combined.delta_min(2), 100);   // max of 70 and 100
+/// assert_eq!(combined.eta_minus(250), 2);   // periodic side guarantees
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tightest<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: EventModel, B: EventModel> Tightest<A, B> {
+    /// Combines two descriptions of the same source.
+    pub fn new(first: A, second: B) -> Self {
+        Tightest { first, second }
+    }
+
+    /// The first description.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second description.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+}
+
+impl<A: EventModel, B: EventModel> EventModel for Tightest<A, B> {
+    fn eta_plus(&self, delta: Time) -> u64 {
+        self.first.eta_plus(delta).min(self.second.eta_plus(delta))
+    }
+
+    fn eta_minus(&self, delta: Time) -> u64 {
+        self.first
+            .eta_minus(delta)
+            .max(self.second.eta_minus(delta))
+    }
+
+    fn delta_min(&self, k: u64) -> Time {
+        self.first.delta_min(k).max(self.second.delta_min(k))
+    }
+
+    fn delta_plus(&self, k: u64) -> Option<Time> {
+        match (self.first.delta_plus(k), self.second.delta_plus(k)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    fn is_recurring(&self) -> bool {
+        self.first.is_recurring() && self.second.is_recurring()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::eta_minus_from_delta_plus;
+    use crate::models::{Never, Periodic, Sporadic};
+
+    #[test]
+    fn sum_adds_arrival_curves() {
+        let s = Sum::new(Periodic::new(10).unwrap(), Periodic::new(20).unwrap());
+        assert_eq!(s.eta_plus(40), 4 + 2);
+        assert_eq!(s.eta_minus(40), 4 + 2);
+    }
+
+    #[test]
+    fn sum_with_never_is_identity_on_eta() {
+        let p = Periodic::new(10).unwrap();
+        let s = Sum::new(p, Never::new());
+        for delta in 0..200 {
+            assert_eq!(s.eta_plus(delta), p.eta_plus(delta));
+            assert_eq!(s.eta_minus(delta), p.eta_minus(delta));
+        }
+    }
+
+    #[test]
+    fn sum_delta_min_is_consistent() {
+        let s = Sum::new(Periodic::new(10).unwrap(), Periodic::new(15).unwrap());
+        // Two independent sources can fire together.
+        assert_eq!(s.delta_min(2), 0);
+        // Consistency with its own eta_plus.
+        for k in 0..20 {
+            let d = s.delta_min(k);
+            if k >= 1 {
+                assert!(s.eta_plus(d.saturating_add(1)) >= k, "k={k} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_delta_plus_bounded_by_denser_source() {
+        let s = Sum::new(Periodic::new(100).unwrap(), Periodic::new(100).unwrap());
+        // In any window of length 201 at least 4 events occur, so 5
+        // consecutive events can never span more than ~200.
+        let span = s.delta_plus(5).unwrap();
+        assert!(span <= 300, "span={span}");
+    }
+
+    #[test]
+    fn sum_of_sporadics_has_unbounded_delta_plus() {
+        let s = Sum::new(Sporadic::new(10).unwrap(), Sporadic::new(20).unwrap());
+        assert_eq!(s.delta_plus(2), None);
+    }
+
+    #[test]
+    fn tightest_takes_best_of_both() {
+        let spec = Sporadic::new(70).unwrap();
+        let measured = Periodic::new(100).unwrap();
+        let t = Tightest::new(spec, measured);
+        for delta in 0..500 {
+            assert_eq!(
+                t.eta_plus(delta),
+                spec.eta_plus(delta).min(measured.eta_plus(delta))
+            );
+            assert!(t.eta_minus(delta) >= spec.eta_minus(delta));
+        }
+        assert_eq!(t.delta_plus(3), Some(200)); // from the periodic side
+        assert!(t.is_recurring());
+    }
+
+    #[test]
+    fn tightest_stays_internally_consistent() {
+        // The tightest combination of two self-consistent models keeps
+        // η- ≤ η+ when the models describe a common source; a periodic
+        // model combined with a looser sporadic one must stay consistent.
+        let a = Periodic::new(100).unwrap();
+        let b = Sporadic::new(60).unwrap();
+        let t = Tightest::new(a, b);
+        for delta in 0..1_000 {
+            assert!(t.eta_minus(delta) <= t.eta_plus(delta), "delta={delta}");
+        }
+        for k in 0..30 {
+            if let Some(up) = t.delta_plus(k) {
+                assert!(up >= t.delta_min(k), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn eta_minus_helper_agrees_with_sum() {
+        let s = Sum::new(Periodic::new(10).unwrap(), Periodic::new(15).unwrap());
+        let viaspan = eta_minus_from_delta_plus(|k| s.delta_plus(k), 60);
+        assert!(viaspan <= s.eta_minus(60));
+    }
+}

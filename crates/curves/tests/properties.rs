@@ -1,0 +1,120 @@
+//! Property-based tests for the event-model invariants shared by all
+//! curve implementations.
+
+use proptest::prelude::*;
+
+use twca_curves::{
+    delta_min_from_eta_plus, eta_plus_from_delta_min, ActivationModel, Burst, DeltaTable,
+    EventModel, Periodic, PeriodicJitter, Sporadic, Sum,
+};
+
+/// Strategy producing one of each concrete model with small parameters.
+fn any_model() -> impl Strategy<Value = ActivationModel> {
+    prop_oneof![
+        (1u64..500).prop_map(|p| Periodic::new(p).unwrap().into()),
+        (1u64..500).prop_map(|d| Sporadic::new(d).unwrap().into()),
+        (1u64..300, 0u64..600, 1u64..50).prop_map(|(p, j, d)| {
+            let d = d.min(p);
+            PeriodicJitter::new(p, j, d).unwrap().into()
+        }),
+        (2u64..6, 1u64..20).prop_map(|(size, inner)| {
+            let period = (size - 1) * inner + 1 + 50;
+            Burst::new(period, size, inner).unwrap().into()
+        }),
+        proptest::collection::vec(1u64..200, 1..6).prop_map(|increments| {
+            // Build a strictly increasing table so the implied tail
+            // increment is always positive.
+            let mut acc = 0u64;
+            let distances: Vec<u64> = increments
+                .into_iter()
+                .map(|inc| {
+                    acc += inc;
+                    acc
+                })
+                .collect();
+            DeltaTable::new(distances).unwrap().into()
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn eta_plus_is_monotone(m in any_model(), d1 in 0u64..2_000, d2 in 0u64..2_000) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.eta_plus(lo) <= m.eta_plus(hi));
+    }
+
+    #[test]
+    fn eta_minus_never_exceeds_eta_plus(m in any_model(), d in 0u64..2_000) {
+        prop_assert!(m.eta_minus(d) <= m.eta_plus(d));
+    }
+
+    #[test]
+    fn delta_min_is_monotone(m in any_model(), k1 in 0u64..200, k2 in 0u64..200) {
+        let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+        prop_assert!(m.delta_min(lo) <= m.delta_min(hi));
+    }
+
+    #[test]
+    fn delta_plus_dominates_delta_min(m in any_model(), k in 0u64..200) {
+        if let Some(up) = m.delta_plus(k) {
+            prop_assert!(up >= m.delta_min(k));
+        }
+    }
+
+    #[test]
+    fn eta_of_zero_window_is_zero(m in any_model()) {
+        prop_assert_eq!(m.eta_plus(0), 0);
+        prop_assert_eq!(m.eta_minus(0), 0);
+    }
+
+    #[test]
+    fn delta_of_single_event_is_zero(m in any_model()) {
+        prop_assert_eq!(m.delta_min(0), 0);
+        prop_assert_eq!(m.delta_min(1), 0);
+    }
+
+    /// η+ and δ- must be pseudo-inverses of each other.
+    #[test]
+    fn pseudo_inverse_roundtrip(m in any_model(), d in 0u64..1_500, k in 0u64..100) {
+        prop_assert_eq!(
+            m.eta_plus(d),
+            eta_plus_from_delta_min(|k| m.delta_min(k), d),
+            "eta mismatch at d={}", d
+        );
+        prop_assert_eq!(
+            m.delta_min(k),
+            delta_min_from_eta_plus(|d| m.eta_plus(d), k),
+            "delta mismatch at k={}", k
+        );
+    }
+
+    /// k events fit into any window strictly longer than δ-(k).
+    #[test]
+    fn window_just_past_delta_admits_k(m in any_model(), k in 1u64..100) {
+        let d = m.delta_min(k);
+        prop_assert!(m.eta_plus(d.saturating_add(1)) >= k);
+    }
+
+    #[test]
+    fn sum_eta_is_sum_of_etas(p1 in 1u64..100, p2 in 1u64..100, d in 0u64..2_000) {
+        let a = Periodic::new(p1).unwrap();
+        let b = Periodic::new(p2).unwrap();
+        let s = Sum::new(a, b);
+        prop_assert_eq!(s.eta_plus(d), a.eta_plus(d) + b.eta_plus(d));
+        prop_assert_eq!(s.eta_minus(d), a.eta_minus(d) + b.eta_minus(d));
+    }
+
+    /// Closed-form δ- for concrete models is superadditive, which justifies
+    /// using them as self-consistent lower distance bounds.
+    #[test]
+    fn closed_form_models_are_superadditive(m in any_model(), a in 2u64..40, b in 2u64..40) {
+        if let ActivationModel::Table(_) = m {
+            // Arbitrary tables need not be superadditive; checked separately.
+            return Ok(());
+        }
+        let lhs = m.delta_min(a + b - 1);
+        let rhs = m.delta_min(a).saturating_add(m.delta_min(b));
+        prop_assert!(lhs >= rhs, "a={} b={} lhs={} rhs={}", a, b, lhs, rhs);
+    }
+}

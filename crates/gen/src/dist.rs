@@ -1,0 +1,145 @@
+//! Random distributed-system generation.
+
+use rand::Rng;
+
+use crate::systems::{random_system, RandomSystemConfig};
+use twca_dist::{DistError, DistributedSystem, DistributedSystemBuilder};
+use twca_model::System;
+
+/// Configuration for [`random_pipeline`].
+///
+/// Defaults produce small sense→process→act style pipelines: every
+/// resource carries its own random local load, and one regular chain per
+/// resource is wired to the next resource.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomPipelineConfig {
+    /// Number of resources in the pipeline (≥ 1).
+    pub resources: usize,
+    /// Shape of each resource's local system.
+    pub resource: RandomSystemConfig,
+}
+
+impl Default for RandomPipelineConfig {
+    fn default() -> Self {
+        RandomPipelineConfig {
+            resources: 3,
+            resource: RandomSystemConfig {
+                regular_chains: 2,
+                overload_chains: 1,
+                tasks_per_chain: (1, 3),
+                period_range: (100, 400),
+                regular_utilization: 0.5,
+                overload_utilization: 0.05,
+                ..RandomSystemConfig::default()
+            },
+        }
+    }
+}
+
+/// Generates a random linear pipeline of resources.
+///
+/// Each resource is an independent [`random_system`]; the first regular
+/// chain of resource `i` feeds the first regular chain of resource
+/// `i + 1` (whose declared activation model then acts as a placeholder
+/// replaced by event-model propagation).
+///
+/// # Errors
+///
+/// Propagates [`DistError`] from validation and the model errors of
+/// [`random_system`] (rendered into `DistError::DuplicateResource` never
+/// occurs — resources are named `r0`, `r1`, …).
+///
+/// # Panics
+///
+/// Panics if `config.resources == 0` or a resource configuration has no
+/// regular chains (there would be nothing to link).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use twca_gen::{random_pipeline, RandomPipelineConfig};
+///
+/// # fn main() -> Result<(), twca_dist::DistError> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let dist = random_pipeline(&mut rng, &RandomPipelineConfig::default())?;
+/// assert_eq!(dist.resources().len(), 3);
+/// assert_eq!(dist.links().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_pipeline(
+    rng: &mut impl Rng,
+    config: &RandomPipelineConfig,
+) -> Result<DistributedSystem, DistError> {
+    assert!(config.resources >= 1, "pipeline needs at least one resource");
+    assert!(
+        config.resource.regular_chains >= 1,
+        "resources need a regular chain to link"
+    );
+    let systems: Vec<System> = (0..config.resources)
+        .map(|_| random_system(rng, &config.resource).expect("valid configuration"))
+        .collect();
+
+    let mut builder = DistributedSystemBuilder::new();
+    let mut link_chains = Vec::with_capacity(systems.len());
+    for (i, system) in systems.into_iter().enumerate() {
+        let chain_name = system
+            .regular_chains()
+            .map(|id| system.chain(id).name().to_owned())
+            .next()
+            .expect("at least one regular chain");
+        builder = builder.resource(format!("r{i}"), system);
+        link_chains.push(chain_name);
+    }
+    for i in 0..config.resources - 1 {
+        builder = builder.link(
+            (format!("r{i}"), link_chains[i].clone()),
+            (format!("r{}", i + 1), link_chains[i + 1].clone()),
+        );
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generates_reproducible_pipelines() {
+        let config = RandomPipelineConfig::default();
+        let a = random_pipeline(&mut ChaCha8Rng::seed_from_u64(1), &config).unwrap();
+        let b = random_pipeline(&mut ChaCha8Rng::seed_from_u64(1), &config).unwrap();
+        assert_eq!(a, b);
+        let c = random_pipeline(&mut ChaCha8Rng::seed_from_u64(2), &config).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pipeline_links_first_regular_chains() {
+        let config = RandomPipelineConfig {
+            resources: 4,
+            ..RandomPipelineConfig::default()
+        };
+        let dist = random_pipeline(&mut ChaCha8Rng::seed_from_u64(3), &config).unwrap();
+        assert_eq!(dist.resources().len(), 4);
+        assert_eq!(dist.links().len(), 3);
+        for link in dist.links() {
+            let src = dist.resource(link.from().resource()).system();
+            assert!(!src.chain(link.from().chain()).is_overload());
+        }
+        assert!(dist.resource_topological_order().is_ok());
+    }
+
+    #[test]
+    fn single_resource_pipeline_has_no_links() {
+        let config = RandomPipelineConfig {
+            resources: 1,
+            ..RandomPipelineConfig::default()
+        };
+        let dist = random_pipeline(&mut ChaCha8Rng::seed_from_u64(4), &config).unwrap();
+        assert_eq!(dist.links().len(), 0);
+    }
+}

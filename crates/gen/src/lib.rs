@@ -1,0 +1,44 @@
+//! Synthetic workload generation for TWCA experiments.
+//!
+//! Experiment 2 of the paper evaluates the analysis over **1000 random
+//! priority assignments** of the industrial case study; this crate
+//! provides the reproducible generators for that experiment and for
+//! broader synthetic studies:
+//!
+//! * [`random_priority_permutation`] / [`priority_permutations`] — uniform
+//!   random priority assignments (distinct priorities, as in Figure 4);
+//! * [`uunifast`] — the UUniFast utilization-splitting algorithm;
+//! * [`RandomSystemConfig`] / [`random_system`] — random chain systems
+//!   with controlled utilization, chain lengths and overload sources;
+//! * [`RandomPipelineConfig`] / [`random_pipeline`] — random
+//!   multi-resource pipelines for the distributed extension
+//!   ([`twca_dist`]).
+//!
+//! All generators take explicit RNGs; seed a
+//! [`rand_chacha::ChaCha8Rng`] for reproducible experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use twca_gen::random_priority_permutation;
+//! use twca_model::{case_study, CASE_STUDY_TASK_COUNT};
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(42);
+//! let priorities = random_priority_permutation(&mut rng, CASE_STUDY_TASK_COUNT);
+//! let randomized = case_study().with_priorities(&priorities);
+//! assert_eq!(randomized.task_count(), CASE_STUDY_TASK_COUNT);
+//! ```
+
+mod dist;
+mod priorities;
+mod systems;
+mod threads;
+mod unifast;
+
+pub use dist::{random_pipeline, RandomPipelineConfig};
+pub use priorities::{priority_permutations, random_priority_permutation};
+pub use systems::{random_system, RandomSystemConfig};
+pub use threads::{communicating_threads_system, ThreadSystemConfig};
+pub use unifast::uunifast;

@@ -1,0 +1,85 @@
+//! Random priority assignments (Experiment 2 of the paper).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use twca_model::Priority;
+
+/// Draws a uniformly random assignment of the distinct priorities
+/// `1..=n` to `n` tasks (a random permutation).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use twca_gen::random_priority_permutation;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(1);
+/// let p = random_priority_permutation(&mut rng, 13);
+/// let mut levels: Vec<u32> = p.iter().map(|p| p.level()).collect();
+/// levels.sort_unstable();
+/// assert_eq!(levels, (1..=13).collect::<Vec<_>>());
+/// ```
+pub fn random_priority_permutation(rng: &mut impl Rng, n: usize) -> Vec<Priority> {
+    let mut levels: Vec<u32> = (1..=n as u32).collect();
+    levels.shuffle(rng);
+    levels.into_iter().map(Priority::new).collect()
+}
+
+/// Produces `count` independent random priority permutations.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use twca_gen::priority_permutations;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(7);
+/// let all = priority_permutations(&mut rng, 13, 1000);
+/// assert_eq!(all.len(), 1000);
+/// ```
+pub fn priority_permutations(
+    rng: &mut impl Rng,
+    n: usize,
+    count: usize,
+) -> Vec<Vec<Priority>> {
+    (0..count)
+        .map(|_| random_priority_permutation(rng, n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn permutation_covers_all_levels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for n in [1usize, 2, 5, 13, 40] {
+            let p = random_priority_permutation(&mut rng, n);
+            assert_eq!(p.len(), n);
+            let mut levels: Vec<u32> = p.iter().map(|p| p.level()).collect();
+            levels.sort_unstable();
+            assert_eq!(levels, (1..=n as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_reproducible() {
+        let a = priority_permutations(&mut ChaCha8Rng::seed_from_u64(9), 13, 10);
+        let b = priority_permutations(&mut ChaCha8Rng::seed_from_u64(9), 13, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_draws_differ() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let all = priority_permutations(&mut rng, 13, 50);
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert!(distinct.len() > 40, "50 draws of 13! permutations collide?");
+    }
+}

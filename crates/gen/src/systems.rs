@@ -1,0 +1,247 @@
+//! Random chain-system generation.
+
+use rand::Rng;
+
+use crate::priorities::random_priority_permutation;
+use crate::unifast::uunifast;
+use twca_model::{ModelError, System, SystemBuilder, Time};
+
+/// Configuration for [`random_system`].
+///
+/// Defaults approximate the shape of the paper's case study: a few
+/// periodic deadline-constrained chains plus sporadic overload chains,
+/// distinct priorities across all tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomSystemConfig {
+    /// Number of regular (periodic, deadline-constrained) chains.
+    pub regular_chains: usize,
+    /// Number of sporadic overload chains.
+    pub overload_chains: usize,
+    /// Inclusive range of tasks per chain.
+    pub tasks_per_chain: (usize, usize),
+    /// Inclusive range of periods for regular chains (deadline = period).
+    pub period_range: (Time, Time),
+    /// Multiplier on the period for overload chain inter-arrival
+    /// distances (overloads are rare).
+    pub overload_rarity: Time,
+    /// Total utilization of the regular chains (UUniFast split).
+    pub regular_utilization: f64,
+    /// Total utilization of the overload chains at their maximum rate.
+    pub overload_utilization: f64,
+}
+
+impl Default for RandomSystemConfig {
+    fn default() -> Self {
+        RandomSystemConfig {
+            regular_chains: 2,
+            overload_chains: 2,
+            tasks_per_chain: (2, 5),
+            period_range: (100, 1_000),
+            overload_rarity: 3,
+            regular_utilization: 0.6,
+            overload_utilization: 0.1,
+        }
+    }
+}
+
+/// Generates a random task-chain system.
+///
+/// Regular chains are strictly periodic with deadline = period; overload
+/// chains are sporadic with an inter-arrival distance of
+/// `overload_rarity` periods. Task execution times are derived from
+/// UUniFast utilization shares, split evenly across a chain's tasks
+/// (each at least 1 tick). Priorities form a random permutation across
+/// all tasks.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from system validation (not expected for
+/// valid configurations).
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no chains, empty task
+/// range, zero periods, non-positive utilizations).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use twca_gen::{random_system, RandomSystemConfig};
+///
+/// # fn main() -> Result<(), twca_model::ModelError> {
+/// let mut rng = ChaCha8Rng::seed_from_u64(5);
+/// let system = random_system(&mut rng, &RandomSystemConfig::default())?;
+/// assert_eq!(system.chains().len(), 4);
+/// assert_eq!(system.overload_chains().count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_system(
+    rng: &mut impl Rng,
+    config: &RandomSystemConfig,
+) -> Result<System, ModelError> {
+    assert!(
+        config.regular_chains + config.overload_chains > 0,
+        "need at least one chain"
+    );
+    assert!(
+        config.tasks_per_chain.0 >= 1 && config.tasks_per_chain.0 <= config.tasks_per_chain.1,
+        "invalid task range"
+    );
+    assert!(
+        config.period_range.0 >= 1 && config.period_range.0 <= config.period_range.1,
+        "invalid period range"
+    );
+    assert!(config.overload_rarity >= 1, "overload rarity must be >= 1");
+
+    let regular_utils = if config.regular_chains > 0 {
+        uunifast(rng, config.regular_chains, config.regular_utilization)
+    } else {
+        Vec::new()
+    };
+    let overload_utils = if config.overload_chains > 0 {
+        uunifast(rng, config.overload_chains, config.overload_utilization)
+    } else {
+        Vec::new()
+    };
+
+    // Chain shapes first, to know the total task count for priorities.
+    struct Shape {
+        tasks: usize,
+        period: Time,
+        utilization: f64,
+        overload: bool,
+    }
+    let mut shapes = Vec::new();
+    for &u in &regular_utils {
+        shapes.push(Shape {
+            tasks: rng.gen_range(config.tasks_per_chain.0..=config.tasks_per_chain.1),
+            period: rng.gen_range(config.period_range.0..=config.period_range.1),
+            utilization: u,
+            overload: false,
+        });
+    }
+    for &u in &overload_utils {
+        let period = rng.gen_range(config.period_range.0..=config.period_range.1)
+            * config.overload_rarity;
+        shapes.push(Shape {
+            tasks: rng.gen_range(config.tasks_per_chain.0..=config.tasks_per_chain.1),
+            period,
+            utilization: u,
+            overload: true,
+        });
+    }
+
+    let total_tasks: usize = shapes.iter().map(|s| s.tasks).sum();
+    let priorities = random_priority_permutation(rng, total_tasks);
+    let mut priority_iter = priorities.into_iter();
+
+    let mut builder = SystemBuilder::new();
+    for (i, shape) in shapes.iter().enumerate() {
+        let budget = ((shape.period as f64 * shape.utilization).floor() as Time).max(1);
+        let per_task = (budget / shape.tasks as Time).max(1);
+        let name = if shape.overload {
+            format!("overload_{i}")
+        } else {
+            format!("chain_{i}")
+        };
+        let mut cb = if shape.overload {
+            builder.chain(&name).sporadic(shape.period)?.overload()
+        } else {
+            builder
+                .chain(&name)
+                .periodic(shape.period)?
+                .deadline(shape.period)
+        };
+        for t in 0..shape.tasks {
+            let p = priority_iter.next().expect("permutation covers all tasks");
+            cb = cb.task(format!("{name}_t{t}"), p.level(), per_task);
+        }
+        builder = cb.done();
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use twca_curves::EventModel;
+
+    #[test]
+    fn generated_system_is_well_formed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let config = RandomSystemConfig::default();
+        for _ in 0..20 {
+            let s = random_system(&mut rng, &config).unwrap();
+            assert_eq!(
+                s.chains().len(),
+                config.regular_chains + config.overload_chains
+            );
+            for (_, chain) in s.iter() {
+                assert!(!chain.is_empty());
+                assert!(chain.total_wcet() >= chain.len() as u64);
+                if chain.is_overload() {
+                    assert!(chain.deadline().is_none());
+                } else {
+                    assert_eq!(chain.deadline(), Some(chain.activation().delta_min(2)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_is_controlled() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let config = RandomSystemConfig {
+            regular_utilization: 0.5,
+            overload_utilization: 0.05,
+            ..RandomSystemConfig::default()
+        };
+        let mut total = 0.0;
+        const ROUNDS: usize = 30;
+        for _ in 0..ROUNDS {
+            let s = random_system(&mut rng, &config).unwrap();
+            total += s.utilization_bound(1_000_000);
+        }
+        let mean = total / ROUNDS as f64;
+        // Floor effects push utilization below the target; it must stay
+        // in a sane band.
+        assert!((0.2..=0.7).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn priorities_are_distinct_across_chains() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = random_system(&mut rng, &RandomSystemConfig::default()).unwrap();
+        let mut levels: Vec<u32> = s
+            .task_refs()
+            .map(|r| s.task(r).priority().level())
+            .collect();
+        levels.sort_unstable();
+        let expected: Vec<u32> = (1..=levels.len() as u32).collect();
+        assert_eq!(levels, expected);
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let config = RandomSystemConfig::default();
+        let a = random_system(&mut ChaCha8Rng::seed_from_u64(77), &config).unwrap();
+        let b = random_system(&mut ChaCha8Rng::seed_from_u64(77), &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pure_regular_configuration() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let config = RandomSystemConfig {
+            overload_chains: 0,
+            ..RandomSystemConfig::default()
+        };
+        let s = random_system(&mut rng, &config).unwrap();
+        assert_eq!(s.overload_chains().count(), 0);
+    }
+}

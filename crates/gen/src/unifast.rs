@@ -1,0 +1,78 @@
+//! The UUniFast utilization-splitting algorithm (Bini & Buttazzo).
+
+use rand::Rng;
+
+/// Splits a total utilization uniformly into `n` per-task utilizations
+/// using UUniFast.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total` is not finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use twca_gen::uunifast;
+///
+/// let mut rng = ChaCha8Rng::seed_from_u64(11);
+/// let parts = uunifast(&mut rng, 5, 0.8);
+/// assert_eq!(parts.len(), 5);
+/// assert!((parts.iter().sum::<f64>() - 0.8).abs() < 1e-9);
+/// assert!(parts.iter().all(|&u| u >= 0.0));
+/// ```
+pub fn uunifast(rng: &mut impl Rng, n: usize, total: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(
+        total.is_finite() && total > 0.0,
+        "total utilization must be positive"
+    );
+    let mut result = Vec::with_capacity(n);
+    let mut remaining = total;
+    for i in 1..n {
+        let exponent = 1.0 / (n - i) as f64;
+        let next = remaining * rng.gen::<f64>().powf(exponent);
+        result.push(remaining - next);
+        remaining = next;
+    }
+    result.push(remaining);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sums_to_total() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for n in [1usize, 2, 7, 25] {
+            let parts = uunifast(&mut rng, n, 0.9);
+            assert_eq!(parts.len(), n);
+            assert!((parts.iter().sum::<f64>() - 0.9).abs() < 1e-9);
+            assert!(parts.iter().all(|&u| (0.0..=0.9 + 1e-12).contains(&u)));
+        }
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(uunifast(&mut rng, 1, 0.5), vec![0.5]);
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        // All mass should not land on one task systematically.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut first_share = 0.0;
+        const ROUNDS: usize = 200;
+        for _ in 0..ROUNDS {
+            first_share += uunifast(&mut rng, 4, 1.0)[0];
+        }
+        let mean = first_share / ROUNDS as f64;
+        assert!((0.15..0.35).contains(&mean), "mean={mean}");
+    }
+}

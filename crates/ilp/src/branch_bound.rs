@@ -1,0 +1,297 @@
+//! Branch-and-bound integer optimization on top of the exact simplex.
+
+use crate::error::IlpError;
+use crate::problem::Problem;
+use crate::rational::Rational;
+use crate::simplex::{solve_lp, LpOutcome};
+
+/// Options controlling the branch-and-bound search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IlpOptions {
+    /// Maximum number of explored nodes before giving up.
+    pub node_limit: usize,
+}
+
+impl Default for IlpOptions {
+    fn default() -> Self {
+        IlpOptions { node_limit: 100_000 }
+    }
+}
+
+/// An optimal integer solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IlpSolution {
+    values: Vec<i128>,
+    objective: Rational,
+}
+
+impl IlpSolution {
+    /// The optimal integer assignment.
+    pub fn values(&self) -> &[i128] {
+        &self.values
+    }
+
+    /// The optimal objective value (exact; integer iff the objective
+    /// coefficients are integers).
+    pub fn objective(&self) -> Rational {
+        self.objective
+    }
+
+    /// The optimal objective value as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the objective value is not integral.
+    pub fn objective_value(&self) -> i128 {
+        self.objective
+            .to_integer()
+            .expect("objective value is not integral")
+    }
+}
+
+/// Result of an integer optimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IlpOutcome {
+    /// An optimal integer point was found.
+    Optimal(IlpSolution),
+    /// No feasible integer point exists.
+    Infeasible,
+    /// The integer program is unbounded above.
+    Unbounded,
+}
+
+impl IlpOutcome {
+    /// Unwraps the optimal solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`IlpOutcome::Optimal`].
+    pub fn expect_optimal(self) -> IlpSolution {
+        match self {
+            IlpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal ILP outcome, got {other:?}"),
+        }
+    }
+}
+
+/// Solves `problem` over the non-negative integers with default options.
+///
+/// All variables are treated as integers (the workspace's TWCA problems
+/// are pure integer programs).
+///
+/// # Errors
+///
+/// * [`IlpError::NodeLimitExceeded`] if the search exceeds the node
+///   budget;
+/// * [`IlpError::PivotLimitExceeded`] propagated from the simplex.
+pub fn solve_ilp(problem: &Problem) -> Result<IlpOutcome, IlpError> {
+    solve_ilp_with(problem, IlpOptions::default())
+}
+
+/// Solves `problem` over the non-negative integers with explicit options.
+///
+/// # Errors
+///
+/// See [`solve_ilp`].
+pub fn solve_ilp_with(problem: &Problem, options: IlpOptions) -> Result<IlpOutcome, IlpError> {
+    // Depth-first branch and bound; the stack holds per-variable bound
+    // refinements layered on the base problem.
+    struct Node {
+        lower: Vec<i128>,
+        upper: Vec<Option<i128>>,
+    }
+
+    let n = problem.num_vars();
+    let root = Node {
+        lower: vec![0; n],
+        upper: problem
+            .upper_bounds()
+            .iter()
+            .map(|ub| ub.map(|u| u.floor()))
+            .collect(),
+    };
+
+    let mut stack = vec![root];
+    let mut best: Option<IlpSolution> = None;
+    let mut explored = 0usize;
+
+    while let Some(node) = stack.pop() {
+        explored += 1;
+        if explored > options.node_limit {
+            return Err(IlpError::NodeLimitExceeded {
+                limit: options.node_limit,
+            });
+        }
+
+        // Infeasible by crossed bounds?
+        if node
+            .lower
+            .iter()
+            .zip(&node.upper)
+            .any(|(&lo, &up)| matches!(up, Some(u) if u < lo))
+        {
+            continue;
+        }
+
+        // Build the node LP: base problem plus the node's bound cuts.
+        let mut lp = problem.clone();
+        for v in 0..n {
+            if node.lower[v] > 0 {
+                lp.add_ge_constraint(vec![(v, Rational::ONE)], Rational::from(node.lower[v]))
+                    .expect("variable index is valid");
+            }
+            if let Some(u) = node.upper[v] {
+                lp.set_upper_bound(v, Rational::from(u));
+            }
+        }
+
+        let relaxed = match solve_lp(&lp)? {
+            LpOutcome::Infeasible => continue,
+            LpOutcome::Unbounded => return Ok(IlpOutcome::Unbounded),
+            LpOutcome::Optimal(s) => s,
+        };
+
+        // Bound: prune if the relaxation cannot beat the incumbent.
+        if let Some(ref incumbent) = best {
+            if relaxed.objective_value() <= incumbent.objective {
+                continue;
+            }
+        }
+
+        // Find a fractional variable to branch on.
+        match relaxed
+            .values()
+            .iter()
+            .position(|v| !v.is_integer())
+        {
+            None => {
+                let values: Vec<i128> = relaxed
+                    .values()
+                    .iter()
+                    .map(|v| v.to_integer().expect("checked integral"))
+                    .collect();
+                let objective = relaxed.objective_value();
+                if best
+                    .as_ref()
+                    .is_none_or(|incumbent| objective > incumbent.objective)
+                {
+                    best = Some(IlpSolution { values, objective });
+                }
+            }
+            Some(v) => {
+                let x = relaxed.values()[v];
+                let floor = x.floor();
+                // Down-branch: x_v <= floor.
+                let mut down = Node {
+                    lower: node.lower.clone(),
+                    upper: node.upper.clone(),
+                };
+                down.upper[v] = Some(match down.upper[v] {
+                    Some(u) => u.min(floor),
+                    None => floor,
+                });
+                // Up-branch: x_v >= floor + 1.
+                let mut up = Node {
+                    lower: node.lower,
+                    upper: node.upper,
+                };
+                up.lower[v] = up.lower[v].max(floor + 1);
+                // Explore the up-branch first: for packing problems it
+                // reaches good incumbents sooner.
+                stack.push(down);
+                stack.push(up);
+            }
+        }
+    }
+
+    Ok(match best {
+        Some(s) => IlpOutcome::Optimal(s),
+        None => IlpOutcome::Infeasible,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integral_lp_needs_no_branching() {
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, 1);
+        p.add_le_constraint(vec![(0, 1)], 7).unwrap();
+        let s = solve_ilp(&p).unwrap().expect_optimal();
+        assert_eq!(s.values(), &[7]);
+        assert_eq!(s.objective_value(), 7);
+    }
+
+    #[test]
+    fn fractional_vertex_is_rounded_by_branching() {
+        // max x + y s.t. 2x + y <= 4, x + 3y <= 6: LP optimum (6/5, 8/5) =
+        // 14/5; best integer point is worth 2 (e.g. (1,1) or (2,0) or (0,2)).
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 1);
+        p.set_objective(1, 1);
+        p.add_le_constraint(vec![(0, 2), (1, 1)], 4).unwrap();
+        p.add_le_constraint(vec![(0, 1), (1, 3)], 6).unwrap();
+        let s = solve_ilp(&p).unwrap().expect_optimal();
+        assert_eq!(s.objective_value(), 2);
+        assert!(p.is_feasible(&s.values().iter().map(|&v| v.into()).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn knapsack_instance() {
+        // Classic: max 8a + 11b + 6c + 4d, 5a + 7b + 4c + 3d <= 14, 0/1.
+        let mut p = Problem::maximize(4);
+        for (v, profit) in [(0, 8), (1, 11), (2, 6), (3, 4)] {
+            p.set_objective(v, profit);
+            p.set_upper_bound(v, 1);
+        }
+        p.add_le_constraint(vec![(0, 5), (1, 7), (2, 4), (3, 3)], 14)
+            .unwrap();
+        let s = solve_ilp(&p).unwrap().expect_optimal();
+        assert_eq!(s.objective_value(), 21); // b + c + d = 11 + 6 + 4
+        assert_eq!(s.values(), &[0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 1/2 <= x <= 3/4 has no integer point.
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, 1);
+        p.add_ge_constraint(vec![(0, Rational::ONE)], Rational::new(1, 2))
+            .unwrap();
+        p.set_upper_bound(0, Rational::new(3, 4));
+        assert_eq!(solve_ilp(&p).unwrap(), IlpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_integer_program() {
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, 1);
+        assert_eq!(solve_ilp(&p).unwrap(), IlpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 1);
+        p.set_objective(1, 1);
+        p.add_le_constraint(vec![(0, 2), (1, 1)], 4).unwrap();
+        p.add_le_constraint(vec![(0, 1), (1, 3)], 6).unwrap();
+        let err = solve_ilp_with(&p, IlpOptions { node_limit: 1 }).unwrap_err();
+        assert_eq!(err, IlpError::NodeLimitExceeded { limit: 1 });
+    }
+
+    #[test]
+    fn twca_packing_shape() {
+        // The Theorem 3 structure from Experiment 1: one unschedulable
+        // combination consuming one activation of σa and one of σb per
+        // busy window, with budgets Ω = 3 each.
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, 1);
+        p.add_le_constraint(vec![(0, 1)], 3).unwrap(); // segment of σa
+        p.add_le_constraint(vec![(0, 1)], 3).unwrap(); // segment of σb
+        let s = solve_ilp(&p).unwrap().expect_optimal();
+        assert_eq!(s.objective_value(), 3);
+    }
+}

@@ -1,0 +1,44 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when building or solving a (integer) linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IlpError {
+    /// A variable index exceeded the declared number of variables.
+    VariableOutOfRange {
+        /// The offending variable index.
+        index: usize,
+        /// The number of variables declared.
+        num_vars: usize,
+    },
+    /// The branch-and-bound search exceeded its node budget.
+    NodeLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The simplex exceeded its pivot budget (should not happen with
+    /// Bland's rule unless the problem is degenerate beyond the budget).
+    PivotLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::VariableOutOfRange { index, num_vars } => {
+                write!(f, "variable {index} out of range (have {num_vars})")
+            }
+            IlpError::NodeLimitExceeded { limit } => {
+                write!(f, "branch-and-bound node limit {limit} exceeded")
+            }
+            IlpError::PivotLimitExceeded { limit } => {
+                write!(f, "simplex pivot limit {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl Error for IlpError {}

@@ -1,0 +1,316 @@
+//! Specialized exact solver for the multi-dimensional packing structure
+//! produced by TWCA (Theorem 3 of the paper).
+//!
+//! The problem: items (unschedulable combinations) each consume one unit
+//! of every resource (active segment) they contain; resources have
+//! integer capacities (`Ω` budgets); maximize the total number of packed
+//! item instances. Formally
+//!
+//! ```text
+//! max Σ_i x_i   s.t.   ∀r: Σ_{i ∋ r} x_i ≤ cap_r,   x_i ∈ ℕ
+//! ```
+//!
+//! This is an integer program with a 0/1 constraint matrix and an all-ones
+//! objective. The dedicated depth-first search below is exact and usually
+//! much faster than the general branch-and-bound; `cargo bench
+//! ablation_ilp` compares the two.
+
+use crate::error::IlpError;
+use crate::problem::Problem;
+use crate::rational::Rational;
+
+/// A multi-dimensional packing problem instance.
+///
+/// # Examples
+///
+/// ```
+/// use twca_ilp::PackingProblem;
+///
+/// # fn main() -> Result<(), twca_ilp::IlpError> {
+/// // Two resources with capacity 3; one item uses both.
+/// let p = PackingProblem::new(vec![3, 3], vec![vec![0, 1]])?;
+/// assert_eq!(p.solve().packed_total(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackingProblem {
+    capacities: Vec<u64>,
+    items: Vec<Vec<usize>>,
+}
+
+/// Solution of a [`PackingProblem`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackingSolution {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl PackingSolution {
+    /// How many instances of each item were packed.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of packed item instances (the objective).
+    pub fn packed_total(&self) -> u64 {
+        self.total
+    }
+}
+
+impl PackingProblem {
+    /// Creates a packing problem from resource capacities and items, each
+    /// item given as the sorted-or-unsorted list of resource indices it
+    /// consumes. Duplicate indices within an item are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::VariableOutOfRange`] if an item references a
+    /// resource index out of range. Items with no resources are rejected
+    /// the same way (they would be packable infinitely often).
+    pub fn new(capacities: Vec<u64>, items: Vec<Vec<usize>>) -> Result<Self, IlpError> {
+        let num = capacities.len();
+        let mut normalized = Vec::with_capacity(items.len());
+        for mut item in items {
+            item.sort_unstable();
+            item.dedup();
+            if item.is_empty() {
+                return Err(IlpError::VariableOutOfRange {
+                    index: usize::MAX,
+                    num_vars: num,
+                });
+            }
+            if let Some(&bad) = item.iter().find(|&&r| r >= num) {
+                return Err(IlpError::VariableOutOfRange {
+                    index: bad,
+                    num_vars: num,
+                });
+            }
+            normalized.push(item);
+        }
+        Ok(PackingProblem {
+            capacities,
+            items: normalized,
+        })
+    }
+
+    /// The resource capacities.
+    pub fn capacities(&self) -> &[u64] {
+        &self.capacities
+    }
+
+    /// The items (resource index lists, sorted and deduplicated).
+    pub fn items(&self) -> &[Vec<usize>] {
+        &self.items
+    }
+
+    /// Solves the packing problem exactly with a bounded depth-first
+    /// search.
+    ///
+    /// The search assigns item counts one item at a time, highest count
+    /// first, pruning with two admissible bounds on the remaining items:
+    /// the total leftover capacity divided by the smallest remaining item
+    /// size, and the sum of each remaining item's individual maximum.
+    pub fn solve(&self) -> PackingSolution {
+        let n = self.items.len();
+        if n == 0 {
+            return PackingSolution {
+                counts: Vec::new(),
+                total: 0,
+            };
+        }
+        // Order items by decreasing resource count: constrained items
+        // first tightens the bound early.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.items[i].len()));
+
+        let mut remaining = self.capacities.clone();
+        let mut counts = vec![0u64; n];
+        let mut best_counts = vec![0u64; n];
+        let mut best_total = 0u64;
+        self.dfs(
+            &order,
+            0,
+            &mut remaining,
+            &mut counts,
+            0,
+            &mut best_counts,
+            &mut best_total,
+        );
+        PackingSolution {
+            counts: best_counts,
+            total: best_total,
+        }
+    }
+
+    /// Admissible upper bound on how many more instances can be packed
+    /// using items `order[at..]` with capacities `remaining`.
+    fn upper_bound(&self, order: &[usize], at: usize, remaining: &[u64]) -> u64 {
+        let mut by_item_sum: u64 = 0;
+        let mut min_size = usize::MAX;
+        for &i in &order[at..] {
+            let item = &self.items[i];
+            min_size = min_size.min(item.len());
+            let item_max = item
+                .iter()
+                .map(|&r| remaining[r])
+                .min()
+                .unwrap_or(0);
+            by_item_sum = by_item_sum.saturating_add(item_max);
+        }
+        if min_size == usize::MAX {
+            return 0;
+        }
+        let capacity_sum: u64 = remaining.iter().sum();
+        by_item_sum.min(capacity_sum / min_size as u64)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        order: &[usize],
+        at: usize,
+        remaining: &mut [u64],
+        counts: &mut [u64],
+        packed: u64,
+        best_counts: &mut Vec<u64>,
+        best_total: &mut u64,
+    ) {
+        if packed > *best_total {
+            *best_total = packed;
+            best_counts.copy_from_slice(counts);
+        }
+        if at == order.len() {
+            return;
+        }
+        if packed + self.upper_bound(order, at, remaining) <= *best_total {
+            return; // cannot improve
+        }
+        let item_index = order[at];
+        let item = &self.items[item_index];
+        let max_here = item.iter().map(|&r| remaining[r]).min().unwrap_or(0);
+        // Try larger counts first: reaches strong incumbents quickly.
+        for count in (0..=max_here).rev() {
+            for &r in item {
+                remaining[r] -= count;
+            }
+            counts[item_index] = count;
+            self.dfs(
+                order,
+                at + 1,
+                remaining,
+                counts,
+                packed + count,
+                best_counts,
+                best_total,
+            );
+            counts[item_index] = 0;
+            for &r in item {
+                remaining[r] += count;
+            }
+        }
+    }
+
+    /// Converts this packing problem into the equivalent general ILP
+    /// (used for the ablation benchmark and cross-validation tests).
+    pub fn to_ilp(&self) -> Problem {
+        let mut p = Problem::maximize(self.items.len());
+        for v in 0..self.items.len() {
+            p.set_objective(v, Rational::ONE);
+        }
+        for (r, &cap) in self.capacities.iter().enumerate() {
+            let users: Vec<(usize, Rational)> = self
+                .items
+                .iter()
+                .enumerate()
+                .filter(|(_, item)| item.contains(&r))
+                .map(|(i, _)| (i, Rational::ONE))
+                .collect();
+            if !users.is_empty() {
+                p.add_le_constraint(users, Rational::from(cap as i128))
+                    .expect("indices are in range by construction");
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::solve_ilp;
+
+    #[test]
+    fn empty_problem() {
+        let p = PackingProblem::new(vec![5, 5], vec![]).unwrap();
+        assert_eq!(p.solve().packed_total(), 0);
+    }
+
+    #[test]
+    fn single_item_single_resource() {
+        let p = PackingProblem::new(vec![4], vec![vec![0]]).unwrap();
+        let s = p.solve();
+        assert_eq!(s.packed_total(), 4);
+        assert_eq!(s.counts(), &[4]);
+    }
+
+    #[test]
+    fn experiment1_shape() {
+        // One unschedulable combination using both overload segments,
+        // budgets 3 and 3 → 3 packed windows.
+        let p = PackingProblem::new(vec![3, 3], vec![vec![0, 1]]).unwrap();
+        assert_eq!(p.solve().packed_total(), 3);
+    }
+
+    #[test]
+    fn items_share_resources() {
+        // r0: cap 3 shared by items {0} and {0,1}; r1: cap 2.
+        let p = PackingProblem::new(vec![3, 2], vec![vec![0], vec![0, 1]]).unwrap();
+        let s = p.solve();
+        // Best: item0 × 3 (exhausts r0) = 3, or item0 × 1 + item1 × 2 = 3.
+        assert_eq!(s.packed_total(), 3);
+    }
+
+    #[test]
+    fn duplicate_resource_indices_are_deduped() {
+        let p = PackingProblem::new(vec![2], vec![vec![0, 0, 0]]).unwrap();
+        assert_eq!(p.items()[0], vec![0]);
+        assert_eq!(p.solve().packed_total(), 2);
+    }
+
+    #[test]
+    fn invalid_items_rejected() {
+        assert!(PackingProblem::new(vec![2], vec![vec![5]]).is_err());
+        assert!(PackingProblem::new(vec![2], vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn matches_general_ilp_on_handcrafted_instances() {
+        let instances = vec![
+            PackingProblem::new(vec![3, 3], vec![vec![0, 1]]).unwrap(),
+            PackingProblem::new(vec![3, 2], vec![vec![0], vec![0, 1]]).unwrap(),
+            PackingProblem::new(
+                vec![5, 4, 3],
+                vec![vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2], vec![0, 1, 2]],
+            )
+            .unwrap(),
+            PackingProblem::new(vec![0, 7], vec![vec![0], vec![1], vec![0, 1]]).unwrap(),
+        ];
+        for inst in instances {
+            let fast = inst.solve().packed_total();
+            let general = solve_ilp(&inst.to_ilp())
+                .unwrap()
+                .expect_optimal()
+                .objective_value() as u64;
+            assert_eq!(fast, general, "instance {inst:?}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_blocks_items() {
+        let p = PackingProblem::new(vec![0, 3], vec![vec![0, 1], vec![1]]).unwrap();
+        let s = p.solve();
+        assert_eq!(s.packed_total(), 3);
+        assert_eq!(s.counts(), &[0, 3]);
+    }
+}

@@ -1,0 +1,381 @@
+//! Problem definition for (integer) linear programs.
+
+use crate::error::IlpError;
+use crate::rational::Rational;
+
+/// One `a · x ≤ b` constraint in sparse form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices are unique.
+    pub coefficients: Vec<(usize, Rational)>,
+    /// The right-hand side.
+    pub rhs: Rational,
+}
+
+/// A maximization problem `max c·x` subject to `A·x ≤ b` and `x ≥ 0`,
+/// optionally with per-variable upper bounds and integrality.
+///
+/// Greater-or-equal constraints are expressed by negating coefficients and
+/// right-hand side; equalities by a `≤` pair.
+///
+/// # Examples
+///
+/// ```
+/// use twca_ilp::{Problem, solve_lp};
+///
+/// # fn main() -> Result<(), twca_ilp::IlpError> {
+/// let mut p = Problem::maximize(2);
+/// p.set_objective(0, 1);
+/// p.set_objective(1, 1);
+/// p.add_le_constraint(vec![(0, 2), (1, 1)], 4)?;
+/// p.add_le_constraint(vec![(0, 1), (1, 3)], 6)?;
+/// let lp = solve_lp(&p)?.expect_optimal();
+/// assert_eq!(lp.objective_value().to_f64(), 2.8); // x = 6/5, y = 8/5
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Problem {
+    num_vars: usize,
+    objective: Vec<Rational>,
+    constraints: Vec<Constraint>,
+    upper_bounds: Vec<Option<Rational>>,
+}
+
+impl Problem {
+    /// Creates a maximization problem over `num_vars` non-negative
+    /// variables with an all-zero objective.
+    pub fn maximize(num_vars: usize) -> Self {
+        Problem {
+            num_vars,
+            objective: vec![Rational::ZERO; num_vars],
+            constraints: Vec::new(),
+            upper_bounds: vec![None; num_vars],
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The objective coefficients.
+    pub fn objective(&self) -> &[Rational] {
+        &self.objective
+    }
+
+    /// The `≤` constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Per-variable upper bounds (`None` = unbounded above).
+    pub fn upper_bounds(&self) -> &[Option<Rational>] {
+        &self.upper_bounds
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_objective(&mut self, var: usize, coefficient: impl Into<Rational>) {
+        assert!(var < self.num_vars, "variable out of range");
+        self.objective[var] = coefficient.into();
+    }
+
+    /// Adds the constraint `Σ coefficient·x_var ≤ rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::VariableOutOfRange`] if a variable index is out
+    /// of range.
+    pub fn add_le_constraint<C: Into<Rational>, R: Into<Rational>>(
+        &mut self,
+        coefficients: Vec<(usize, C)>,
+        rhs: R,
+    ) -> Result<(), IlpError> {
+        let mut coeffs = Vec::with_capacity(coefficients.len());
+        for (var, c) in coefficients {
+            if var >= self.num_vars {
+                return Err(IlpError::VariableOutOfRange {
+                    index: var,
+                    num_vars: self.num_vars,
+                });
+            }
+            coeffs.push((var, c.into()));
+        }
+        self.constraints.push(Constraint {
+            coefficients: coeffs,
+            rhs: rhs.into(),
+        });
+        Ok(())
+    }
+
+    /// Adds the constraint `Σ coefficient·x_var ≥ rhs` (stored negated).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::VariableOutOfRange`] if a variable index is out
+    /// of range.
+    pub fn add_ge_constraint<C: Into<Rational>, R: Into<Rational>>(
+        &mut self,
+        coefficients: Vec<(usize, C)>,
+        rhs: R,
+    ) -> Result<(), IlpError> {
+        let negated: Vec<(usize, Rational)> = coefficients
+            .into_iter()
+            .map(|(v, c)| (v, -c.into()))
+            .collect();
+        let rhs = -rhs.into();
+        self.add_le_constraint(negated, rhs)
+    }
+
+    /// Adds the constraint `Σ coefficient·x_var = rhs` (stored as a `≤`
+    /// pair).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::VariableOutOfRange`] if a variable index is out
+    /// of range.
+    pub fn add_eq_constraint<C: Into<Rational> + Clone, R: Into<Rational> + Clone>(
+        &mut self,
+        coefficients: Vec<(usize, C)>,
+        rhs: R,
+    ) -> Result<(), IlpError> {
+        self.add_le_constraint(coefficients.clone(), rhs.clone())?;
+        self.add_ge_constraint(coefficients, rhs)
+    }
+
+    /// Sets an upper bound on variable `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range.
+    pub fn set_upper_bound(&mut self, var: usize, bound: impl Into<Rational>) {
+        assert!(var < self.num_vars, "variable out of range");
+        self.upper_bounds[var] = Some(bound.into());
+    }
+
+    /// Evaluates the objective at `point`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != num_vars`.
+    pub fn objective_at(&self, point: &[Rational]) -> Rational {
+        assert_eq!(point.len(), self.num_vars, "dimension mismatch");
+        self.objective
+            .iter()
+            .zip(point)
+            .map(|(&c, &x)| c * x)
+            .sum()
+    }
+
+    /// Renders the problem in the classic LP text format (as understood
+    /// by CPLEX, Gurobi, lp_solve, …), for inspection or for feeding an
+    /// external solver.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use twca_ilp::Problem;
+    ///
+    /// # fn main() -> Result<(), twca_ilp::IlpError> {
+    /// let mut p = Problem::maximize(2);
+    /// p.set_objective(0, 3);
+    /// p.set_objective(1, 2);
+    /// p.add_le_constraint(vec![(0, 1), (1, 1)], 4)?;
+    /// let text = p.to_lp_format();
+    /// assert!(text.contains("Maximize"));
+    /// assert!(text.contains("3 x0 + 2 x1"));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_lp_format(&self) -> String {
+        use std::fmt::Write as _;
+        fn term(first: bool, coefficient: Rational, var: usize, out: &mut String) {
+            if coefficient.is_zero() {
+                return;
+            }
+            let sign = if coefficient.is_negative() { "-" } else { "+" };
+            let magnitude = if coefficient.is_negative() {
+                -coefficient
+            } else {
+                coefficient
+            };
+            if first {
+                if coefficient.is_negative() {
+                    let _ = write!(out, "- ");
+                }
+            } else {
+                let _ = write!(out, " {sign} ");
+            }
+            if magnitude == Rational::ONE {
+                let _ = write!(out, "x{var}");
+            } else {
+                let _ = write!(out, "{magnitude} x{var}");
+            }
+        }
+
+        let mut out = String::from("Maximize\n obj: ");
+        let mut first = true;
+        for (v, &c) in self.objective.iter().enumerate() {
+            if !c.is_zero() {
+                term(first, c, v, &mut out);
+                first = false;
+            }
+        }
+        if first {
+            out.push('0');
+        }
+        out.push_str("\nSubject To\n");
+        for (i, c) in self.constraints.iter().enumerate() {
+            let _ = write!(out, " c{i}: ");
+            let mut first = true;
+            for &(v, a) in &c.coefficients {
+                term(first, a, v, &mut out);
+                first = false;
+            }
+            if first {
+                out.push('0');
+            }
+            let _ = writeln!(out, " <= {}", c.rhs);
+        }
+        out.push_str("Bounds\n");
+        for (v, ub) in self.upper_bounds.iter().enumerate() {
+            match ub {
+                Some(u) => {
+                    let _ = writeln!(out, " 0 <= x{v} <= {u}");
+                }
+                None => {
+                    let _ = writeln!(out, " 0 <= x{v}");
+                }
+            }
+        }
+        out.push_str("General\n");
+        for v in 0..self.num_vars {
+            let _ = writeln!(out, " x{v}");
+        }
+        out.push_str("End\n");
+        out
+    }
+
+    /// Checks whether `point` satisfies all constraints, bounds and
+    /// non-negativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != num_vars`.
+    pub fn is_feasible(&self, point: &[Rational]) -> bool {
+        assert_eq!(point.len(), self.num_vars, "dimension mismatch");
+        if point.iter().any(|x| x.is_negative()) {
+            return false;
+        }
+        for (x, ub) in point.iter().zip(&self.upper_bounds) {
+            if let Some(u) = ub {
+                if x > u {
+                    return false;
+                }
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: Rational = c.coefficients.iter().map(|&(v, a)| a * point[v]).sum();
+            lhs <= c.rhs
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_accessors() {
+        let mut p = Problem::maximize(3);
+        p.set_objective(0, 2);
+        p.add_le_constraint(vec![(0, 1), (2, 1)], 5).unwrap();
+        p.set_upper_bound(1, 7);
+        assert_eq!(p.num_vars(), 3);
+        assert_eq!(p.constraints().len(), 1);
+        assert_eq!(p.upper_bounds()[1], Some(Rational::from(7)));
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let mut p = Problem::maximize(1);
+        let err = p.add_le_constraint(vec![(3, 1)], 5).unwrap_err();
+        assert_eq!(
+            err,
+            IlpError::VariableOutOfRange {
+                index: 3,
+                num_vars: 1
+            }
+        );
+    }
+
+    #[test]
+    fn ge_constraint_is_negated_le() {
+        let mut p = Problem::maximize(1);
+        p.add_ge_constraint(vec![(0, 1)], 2).unwrap();
+        let c = &p.constraints()[0];
+        assert_eq!(c.coefficients[0].1, Rational::from(-1));
+        assert_eq!(c.rhs, Rational::from(-2));
+        assert!(!p.is_feasible(&[Rational::ONE]));
+        assert!(p.is_feasible(&[Rational::from(2)]));
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_and_sign() {
+        let mut p = Problem::maximize(2);
+        p.set_upper_bound(0, 1);
+        assert!(!p.is_feasible(&[Rational::from(2), Rational::ZERO]));
+        assert!(!p.is_feasible(&[Rational::from(-1), Rational::ZERO]));
+        assert!(p.is_feasible(&[Rational::ONE, Rational::from(100)]));
+    }
+
+    #[test]
+    fn eq_constraint_pins_value() {
+        use crate::simplex::solve_lp;
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 1);
+        p.add_eq_constraint(vec![(0, 1), (1, 1)], 5).unwrap();
+        p.set_upper_bound(1, 2);
+        let s = solve_lp(&p).unwrap().expect_optimal();
+        // x0 maximal means x1 = 0 and x0 = 5.
+        assert_eq!(s.values()[0], Rational::from(5));
+        assert_eq!(p.constraints().len(), 2);
+    }
+
+    #[test]
+    fn lp_format_contains_all_sections() {
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 3);
+        p.set_objective(1, -1);
+        p.add_le_constraint(vec![(0, 2), (1, 1)], 7).unwrap();
+        p.set_upper_bound(0, 4);
+        let text = p.to_lp_format();
+        assert!(text.contains("Maximize"));
+        assert!(text.contains("3 x0 - x1"));
+        assert!(text.contains("c0: 2 x0 + x1 <= 7"));
+        assert!(text.contains("0 <= x0 <= 4"));
+        assert!(text.contains("0 <= x1\n"));
+        assert!(text.contains("General"));
+        assert!(text.ends_with("End\n"));
+    }
+
+    #[test]
+    fn lp_format_handles_empty_objective() {
+        let p = Problem::maximize(1);
+        let text = p.to_lp_format();
+        assert!(text.contains("obj: 0"));
+    }
+
+    #[test]
+    fn objective_evaluation() {
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 3);
+        p.set_objective(1, -1);
+        let v = p.objective_at(&[Rational::from(2), Rational::from(4)]);
+        assert_eq!(v, Rational::from(2));
+    }
+}

@@ -1,0 +1,365 @@
+//! Exact rational arithmetic over `i128`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An exact rational number `numerator / denominator` with the invariants
+/// `denominator > 0` and `gcd(|numerator|, denominator) = 1`.
+///
+/// All arithmetic panics on `i128` overflow; for the moderately-sized
+/// analysis problems in this workspace that headroom is ample, and
+/// panicking beats silently corrupting a schedulability verdict.
+///
+/// # Examples
+///
+/// ```
+/// use twca_ilp::Rational;
+///
+/// let half = Rational::new(1, 2);
+/// let third = Rational::new(1, 3);
+/// assert_eq!(half + third, Rational::new(5, 6));
+/// assert!(half > third);
+/// assert_eq!((half * Rational::from(4)).to_integer(), Some(2));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a rational from a numerator and denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: i128, den: i128) -> Self {
+        assert!(den != 0, "denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The reduced numerator (sign-carrying).
+    pub fn numerator(self) -> i128 {
+        self.num
+    }
+
+    /// The reduced denominator (always positive).
+    pub fn denominator(self) -> i128 {
+        self.den
+    }
+
+    /// Whether the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// The value as an integer if it is one.
+    pub fn to_integer(self) -> Option<i128> {
+        self.is_integer().then_some(self.num)
+    }
+
+    /// Largest integer not above the value.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer not below the value.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether the value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    pub fn recip(self) -> Self {
+        assert!(self.num != 0, "cannot invert zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// Approximate `f64` value (for reporting only; never used in solver
+    /// decisions).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i128> for Rational {
+    fn from(value: i128) -> Self {
+        Rational { num: value, den: 1 }
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(value: i64) -> Self {
+        Rational::from(value as i128)
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(value: u64) -> Self {
+        Rational::from(value as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(value: i32) -> Self {
+        Rational::from(value as i128)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+
+    fn add(self, rhs: Rational) -> Rational {
+        // Reduce by the denominators' gcd first to delay overflow.
+        let g = gcd(self.den, rhs.den).max(1);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        Rational::new(
+            self.num
+                .checked_mul(lhs_scale)
+                .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
+                .expect("rational addition overflow"),
+            self.den
+                .checked_mul(lhs_scale)
+                .expect("rational addition overflow"),
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+
+    fn mul(self, rhs: Rational) -> Rational {
+        // Cross-reduce before multiplying to delay overflow.
+        let g1 = gcd(self.num, rhs.den).max(1);
+        let g2 = gcd(rhs.num, self.den).max(1);
+        Rational::new(
+            (self.num / g1)
+                .checked_mul(rhs.num / g2)
+                .expect("rational multiplication overflow"),
+            (self.den / g2)
+                .checked_mul(rhs.den / g1)
+                .expect("rational multiplication overflow"),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+
+    #[allow(clippy::suspicious_arithmetic_impl)] // division *is* multiplication by the reciprocal
+    fn div(self, rhs: Rational) -> Rational {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b  (b, d > 0)
+        let lhs = self
+            .num
+            .checked_mul(other.den)
+            .expect("rational comparison overflow");
+        let rhs = other
+            .num
+            .checked_mul(self.den)
+            .expect("rational comparison overflow");
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+        assert_eq!(Rational::new(-3, 3).numerator(), -1);
+        assert!(Rational::new(5, -3).denominator() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 6);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(1, 2));
+        assert_eq!(b - a, a);
+        assert_eq!(a * b, Rational::new(1, 18));
+        assert_eq!(b / a, Rational::from(2));
+        assert_eq!(-a, Rational::new(-1, 6));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(Rational::new(7, 2).floor(), 3);
+        assert_eq!(Rational::new(7, 2).ceil(), 4);
+        assert_eq!(Rational::new(-7, 2).floor(), -4);
+        assert_eq!(Rational::new(-7, 2).ceil(), -3);
+        assert_eq!(Rational::from(5).floor(), 5);
+        assert_eq!(Rational::from(5).ceil(), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(3, 2) > Rational::ONE);
+        let mut v = vec![
+            Rational::new(3, 2),
+            Rational::new(-1, 4),
+            Rational::ONE,
+            Rational::ZERO,
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Rational::new(-1, 4),
+                Rational::ZERO,
+                Rational::ONE,
+                Rational::new(3, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Rational::ZERO.is_zero());
+        assert!(Rational::ONE.is_positive());
+        assert!((-Rational::ONE).is_negative());
+        assert!(Rational::new(4, 2).is_integer());
+        assert_eq!(Rational::new(4, 2).to_integer(), Some(2));
+        assert_eq!(Rational::new(1, 2).to_integer(), None);
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let s: Rational = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)]
+            .into_iter()
+            .sum();
+        assert_eq!(s, Rational::ONE);
+        assert_eq!(format!("{}", Rational::new(1, 2)), "1/2");
+        assert_eq!(format!("{}", Rational::from(3)), "3");
+    }
+
+    #[test]
+    fn large_values_cross_reduce() {
+        // Would overflow without cross-reduction.
+        let big = Rational::new(i64::MAX as i128, 3);
+        let r = big * Rational::new(3, i64::MAX as i128);
+        assert_eq!(r, Rational::ONE);
+    }
+}

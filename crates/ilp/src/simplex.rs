@@ -1,0 +1,410 @@
+//! Two-phase primal simplex over exact rationals.
+
+use crate::error::IlpError;
+use crate::problem::Problem;
+use crate::rational::Rational;
+
+/// Default bound on simplex pivots; Bland's rule guarantees termination,
+/// this is a safety net against pathological inputs.
+const PIVOT_LIMIT: usize = 200_000;
+
+/// An optimal solution of an LP relaxation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LpSolution {
+    values: Vec<Rational>,
+    objective: Rational,
+}
+
+impl LpSolution {
+    /// The optimal values of the structural variables.
+    pub fn values(&self) -> &[Rational] {
+        &self.values
+    }
+
+    /// The optimal objective value.
+    pub fn objective_value(&self) -> Rational {
+        self.objective
+    }
+}
+
+/// Result of solving a linear program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// An optimal vertex was found.
+    Optimal(LpSolution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// Unwraps the optimal solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`LpOutcome::Optimal`].
+    pub fn expect_optimal(self) -> LpSolution {
+        match self {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal LP outcome, got {other:?}"),
+        }
+    }
+}
+
+/// Dense simplex tableau in the basis representation `B⁻¹A x = B⁻¹b`.
+struct Tableau {
+    /// `rows[i][j]`: coefficient of variable `j` in basic row `i`.
+    rows: Vec<Vec<Rational>>,
+    /// Right-hand sides (always ≥ 0 for a feasible basis).
+    rhs: Vec<Rational>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Total number of columns currently in the tableau.
+    cols: usize,
+}
+
+enum SimplexEnd {
+    Optimal,
+    Unbounded,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.rows[row][col];
+        debug_assert!(!pivot.is_zero());
+        let inv = pivot.recip();
+        for x in self.rows[row].iter_mut() {
+            *x = *x * inv;
+        }
+        self.rhs[row] = self.rhs[row] * inv;
+        for i in 0..self.rows.len() {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i][col];
+            if factor.is_zero() {
+                continue;
+            }
+            for j in 0..self.cols {
+                let delta = factor * self.rows[row][j];
+                self.rows[i][j] -= delta;
+            }
+            let delta = factor * self.rhs[row];
+            self.rhs[i] -= delta;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs primal simplex with Bland's rule for the objective `cost`
+    /// (maximization). The tableau must start primal-feasible.
+    fn run(&mut self, cost: &[Rational], pivot_limit: usize) -> Result<SimplexEnd, IlpError> {
+        for _ in 0..pivot_limit {
+            // Reduced costs r_j = c_j - c_B · (B⁻¹ A)_j, computed fresh
+            // each iteration: O(m·n), simple and numerically exact.
+            let entering = (0..self.cols).find(|&j| {
+                if self.basis.contains(&j) {
+                    return false;
+                }
+                let mut r = cost[j];
+                for (i, row) in self.rows.iter().enumerate() {
+                    let cb = cost[self.basis[i]];
+                    if !cb.is_zero() && !row[j].is_zero() {
+                        r -= cb * row[j];
+                    }
+                }
+                r.is_positive()
+            });
+            let Some(col) = entering else {
+                return Ok(SimplexEnd::Optimal);
+            };
+            // Ratio test; Bland: break ties by smallest basis variable.
+            let mut best: Option<(Rational, usize, usize)> = None;
+            for (i, row) in self.rows.iter().enumerate() {
+                if row[col].is_positive() {
+                    let ratio = self.rhs[i] / row[col];
+                    let candidate = (ratio, self.basis[i], i);
+                    best = Some(match best {
+                        None => candidate,
+                        Some(b) if (candidate.0, candidate.1) < (b.0, b.1) => candidate,
+                        Some(b) => b,
+                    });
+                }
+            }
+            let Some((_, _, row)) = best else {
+                return Ok(SimplexEnd::Unbounded);
+            };
+            self.pivot(row, col);
+        }
+        Err(IlpError::PivotLimitExceeded { limit: pivot_limit })
+    }
+
+    fn objective_value(&self, cost: &[Rational]) -> Rational {
+        self.basis
+            .iter()
+            .zip(&self.rhs)
+            .map(|(&b, &v)| cost[b] * v)
+            .sum()
+    }
+}
+
+/// Solves the LP relaxation of `problem` (ignoring integrality) with a
+/// two-phase exact simplex.
+///
+/// # Errors
+///
+/// Returns [`IlpError::PivotLimitExceeded`] if the pivot budget is
+/// exhausted (not expected with Bland's rule on well-formed input).
+///
+/// # Examples
+///
+/// ```
+/// use twca_ilp::{Problem, solve_lp, LpOutcome, Rational};
+///
+/// # fn main() -> Result<(), twca_ilp::IlpError> {
+/// let mut p = Problem::maximize(1);
+/// p.set_objective(0, 1);
+/// p.add_le_constraint(vec![(0, 1)], 5)?;
+/// let s = solve_lp(&p)?.expect_optimal();
+/// assert_eq!(s.objective_value(), Rational::from(5));
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_lp(problem: &Problem) -> Result<LpOutcome, IlpError> {
+    let n = problem.num_vars();
+
+    // Materialize rows: structural constraints plus upper-bound rows.
+    let mut dense_rows: Vec<Vec<Rational>> = Vec::new();
+    let mut rhs: Vec<Rational> = Vec::new();
+    for c in problem.constraints() {
+        let mut row = vec![Rational::ZERO; n];
+        for &(v, a) in &c.coefficients {
+            row[v] += a;
+        }
+        dense_rows.push(row);
+        rhs.push(c.rhs);
+    }
+    for (v, ub) in problem.upper_bounds().iter().enumerate() {
+        if let Some(u) = ub {
+            let mut row = vec![Rational::ZERO; n];
+            row[v] = Rational::ONE;
+            dense_rows.push(row);
+            rhs.push(*u);
+        }
+    }
+
+    let m = dense_rows.len();
+    // Columns: structural, slacks, then (possibly) artificials.
+    let slack_start = n;
+    let artificial_start = n + m;
+    let mut artificials: Vec<usize> = Vec::new();
+
+    let mut rows: Vec<Vec<Rational>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    for (i, mut row) in dense_rows.into_iter().enumerate() {
+        row.resize(artificial_start, Rational::ZERO);
+        row[slack_start + i] = Rational::ONE;
+        if rhs[i].is_negative() {
+            // Negate the row so the rhs is non-negative; the slack column
+            // becomes -1, so an artificial variable provides the basis.
+            for x in row.iter_mut() {
+                *x = -*x;
+            }
+            rhs[i] = -rhs[i];
+            artificials.push(i);
+            basis.push(usize::MAX); // patched below
+        } else {
+            basis.push(slack_start + i);
+        }
+        rows.push(row);
+    }
+
+    let total_cols = artificial_start + artificials.len();
+    for row in rows.iter_mut() {
+        row.resize(total_cols, Rational::ZERO);
+    }
+    for (k, &i) in artificials.iter().enumerate() {
+        rows[i][artificial_start + k] = Rational::ONE;
+        basis[i] = artificial_start + k;
+    }
+
+    let mut tableau = Tableau {
+        rows,
+        rhs,
+        basis,
+        cols: total_cols,
+    };
+
+    // Phase 1: drive artificials to zero.
+    if !artificials.is_empty() {
+        let mut phase1_cost = vec![Rational::ZERO; total_cols];
+        for cost in phase1_cost.iter_mut().skip(artificial_start) {
+            *cost = -Rational::ONE;
+        }
+        match tableau.run(&phase1_cost, PIVOT_LIMIT)? {
+            SimplexEnd::Unbounded => unreachable!("phase-1 objective is bounded above by 0"),
+            SimplexEnd::Optimal => {}
+        }
+        if tableau.objective_value(&phase1_cost).is_negative() {
+            return Ok(LpOutcome::Infeasible);
+        }
+        // Pivot remaining (zero-valued) artificials out of the basis.
+        for i in 0..tableau.rows.len() {
+            if tableau.basis[i] >= artificial_start {
+                if let Some(col) =
+                    (0..artificial_start).find(|&j| !tableau.rows[i][j].is_zero())
+                {
+                    tableau.pivot(i, col);
+                }
+                // A row with no structural pivot is redundant; leaving the
+                // zero-valued artificial basic is harmless because its
+                // column is about to be frozen at zero.
+            }
+        }
+        // Freeze artificial columns at zero.
+        for row in tableau.rows.iter_mut() {
+            row.truncate(artificial_start);
+        }
+        tableau.cols = artificial_start;
+    }
+
+    // Phase 2: optimize the real objective. A leftover artificial in the
+    // basis (redundant row) is mapped to a zero cost via the guard below.
+    let mut cost = vec![Rational::ZERO; tableau.cols.max(artificial_start)];
+    cost[..n].copy_from_slice(problem.objective());
+    // Basis entries may still reference artificial indices >= cols; give
+    // them zero cost by extending the vector.
+    let max_basis = tableau.basis.iter().copied().max().unwrap_or(0);
+    if max_basis >= cost.len() {
+        cost.resize(max_basis + 1, Rational::ZERO);
+    }
+
+    match tableau.run(&cost, PIVOT_LIMIT)? {
+        SimplexEnd::Unbounded => Ok(LpOutcome::Unbounded),
+        SimplexEnd::Optimal => {
+            let mut values = vec![Rational::ZERO; n];
+            for (i, &b) in tableau.basis.iter().enumerate() {
+                if b < n {
+                    values[b] = tableau.rhs[i];
+                }
+            }
+            let objective = problem.objective_at(&values);
+            Ok(LpOutcome::Optimal(LpSolution { values, objective }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(n: i128, d: i128) -> Rational {
+        Rational::new(n, d)
+    }
+
+    #[test]
+    fn textbook_two_variable_lp() {
+        // max x + y s.t. 2x + y <= 4, x + 3y <= 6 → (6/5, 8/5), obj 14/5.
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 1);
+        p.set_objective(1, 1);
+        p.add_le_constraint(vec![(0, 2), (1, 1)], 4).unwrap();
+        p.add_le_constraint(vec![(0, 1), (1, 3)], 6).unwrap();
+        let s = solve_lp(&p).unwrap().expect_optimal();
+        assert_eq!(s.objective_value(), rat(14, 5));
+        assert_eq!(s.values(), &[rat(6, 5), rat(8, 5)]);
+    }
+
+    #[test]
+    fn unbounded_lp() {
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, 1);
+        assert_eq!(solve_lp(&p).unwrap(), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_lp() {
+        // x <= 1 and x >= 2.
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, 1);
+        p.add_le_constraint(vec![(0, 1)], 1).unwrap();
+        p.add_ge_constraint(vec![(0, 1)], 2).unwrap();
+        assert_eq!(solve_lp(&p).unwrap(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn ge_constraints_need_phase_one() {
+        // max -x s.t. x >= 3 → x = 3.
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, -1);
+        p.add_ge_constraint(vec![(0, 1)], 3).unwrap();
+        let s = solve_lp(&p).unwrap().expect_optimal();
+        assert_eq!(s.values(), &[Rational::from(3)]);
+        assert_eq!(s.objective_value(), Rational::from(-3));
+    }
+
+    #[test]
+    fn upper_bounds_are_respected() {
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 5);
+        p.set_objective(1, 1);
+        p.set_upper_bound(0, 2);
+        p.add_le_constraint(vec![(0, 1), (1, 1)], 10).unwrap();
+        let s = solve_lp(&p).unwrap().expect_optimal();
+        assert_eq!(s.values(), &[Rational::from(2), Rational::from(8)]);
+        assert_eq!(s.objective_value(), Rational::from(18));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 1);
+        p.set_objective(1, 1);
+        p.add_le_constraint(vec![(0, 1)], 1).unwrap();
+        p.add_le_constraint(vec![(0, 1), (1, 1)], 1).unwrap();
+        p.add_le_constraint(vec![(0, 2), (1, 2)], 2).unwrap();
+        p.add_le_constraint(vec![(1, 1)], 1).unwrap();
+        let s = solve_lp(&p).unwrap().expect_optimal();
+        assert_eq!(s.objective_value(), Rational::ONE);
+    }
+
+    #[test]
+    fn equality_via_le_pair() {
+        // x + y = 3 (as <= and >=), max x - y with x <= 2 → (2, 1).
+        let mut p = Problem::maximize(2);
+        p.set_objective(0, 1);
+        p.set_objective(1, -1);
+        p.add_le_constraint(vec![(0, 1), (1, 1)], 3).unwrap();
+        p.add_ge_constraint(vec![(0, 1), (1, 1)], 3).unwrap();
+        p.set_upper_bound(0, 2);
+        let s = solve_lp(&p).unwrap().expect_optimal();
+        assert_eq!(s.values(), &[Rational::from(2), Rational::from(1)]);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_tolerated() {
+        // Duplicated equality creates a redundant phase-1 row.
+        let mut p = Problem::maximize(1);
+        p.set_objective(0, 1);
+        p.add_ge_constraint(vec![(0, 1)], 2).unwrap();
+        p.add_ge_constraint(vec![(0, 1)], 2).unwrap();
+        p.add_le_constraint(vec![(0, 1)], 5).unwrap();
+        let s = solve_lp(&p).unwrap().expect_optimal();
+        assert_eq!(s.objective_value(), Rational::from(5));
+    }
+
+    #[test]
+    fn packing_shape_lp() {
+        // The TWCA packing LP: max x1+x2+x3 with per-resource capacities.
+        // x1 uses r1; x2 uses r2; x3 uses r1+r2; caps 3 and 3.
+        let mut p = Problem::maximize(3);
+        for v in 0..3 {
+            p.set_objective(v, 1);
+        }
+        p.add_le_constraint(vec![(0, 1), (2, 1)], 3).unwrap();
+        p.add_le_constraint(vec![(1, 1), (2, 1)], 3).unwrap();
+        let s = solve_lp(&p).unwrap().expect_optimal();
+        assert_eq!(s.objective_value(), Rational::from(6));
+    }
+}

@@ -1,0 +1,38 @@
+//! Baseline analyses for systems of *independent* tasks.
+//!
+//! The DATE 2017 paper generalizes two prior results to task chains:
+//!
+//! * classic **busy-window response-time analysis** for static-priority
+//!   preemptive uniprocessors (here: [`response_time_analysis`]);
+//! * **TWCA for independent tasks** in the style of Quinton et al.
+//!   (DATE'12) and Xu et al. (ECRTS'15) (here: [`IndependentTwca`]).
+//!
+//! These serve as the comparison baselines in the benchmark suite: a task
+//! chain collapsed to a single task (with the chain's total WCET) can be
+//! analyzed by both the baseline and the chain-aware analysis, and the
+//! chain-aware analysis must agree on such degenerate inputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use twca_curves::ActivationModel;
+//! use twca_independent::{response_time_analysis, IndependentTask};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let tasks = vec![
+//!     IndependentTask::new("hi", 2, 3, ActivationModel::periodic(10)?),
+//!     IndependentTask::new("lo", 1, 4, ActivationModel::periodic(20)?),
+//! ];
+//! let r = response_time_analysis(&tasks, 1)?; // analyze "lo"
+//! assert_eq!(r.worst_case_response_time, 7); // 4 + 1·3
+//! # Ok(())
+//! # }
+//! ```
+
+mod propagate;
+mod rta;
+mod twca;
+
+pub use propagate::propagate_output_model;
+pub use rta::{response_time_analysis, AnalysisLimits, IndependentTask, RtaError, RtaResult};
+pub use twca::{IndependentDmm, IndependentTwca};

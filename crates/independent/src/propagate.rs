@@ -1,0 +1,155 @@
+//! Output event-model propagation: the compositional-performance-analysis
+//! step that turns a task's *input* activation model plus its response
+//! time bounds into the event model of its *output* stream.
+//!
+//! This is the mechanism behind path-level composition (chains of chains
+//! feed each other): a stage with worst-case response time `R` and
+//! best-case response time `B` delays each event by something in
+//! `[B, R]`, which adds `R − B` of jitter and can compress minimum
+//! distances down to `B`.
+
+use twca_curves::{ActivationModel, Time};
+
+/// Propagates an activation model through a processing stage with
+/// response times in `[best_case, worst_case]`.
+///
+/// * periodic inputs gain jitter `R − B`;
+/// * jittery inputs accumulate it;
+/// * sporadic inputs keep their sporadicity with the minimum distance
+///   compressed to `max(d − (R − B), B, 1)`.
+///
+/// Returns `None` for model classes this transformation does not support
+/// (burst, table, never).
+///
+/// # Panics
+///
+/// Panics if `worst_case < best_case`.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{ActivationModel, EventModel};
+/// use twca_independent::propagate_output_model;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let input = ActivationModel::periodic(100)?;
+/// let output = propagate_output_model(&input, 30, 10).expect("supported");
+/// // The stage adds R − B = 20 of jitter: consecutive outputs can come
+/// // as close as 100 − 20 = 80 apart.
+/// assert_eq!(output.delta_min(2), 80);
+/// // But the long-run rate is unchanged.
+/// assert_eq!(output.eta_plus(1_000), input.eta_plus(1_000) + 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn propagate_output_model(
+    input: &ActivationModel,
+    worst_case: Time,
+    best_case: Time,
+) -> Option<ActivationModel> {
+    assert!(
+        worst_case >= best_case,
+        "worst-case response below best case"
+    );
+    let added_jitter = worst_case - best_case;
+    let floor_distance = best_case.max(1);
+    match input {
+        ActivationModel::Periodic(p) => ActivationModel::periodic_jitter(
+            p.period(),
+            added_jitter,
+            floor_distance.min(p.period()),
+        )
+        .ok(),
+        ActivationModel::PeriodicJitter(pj) => {
+            let distance = pj
+                .min_distance()
+                .saturating_sub(added_jitter)
+                .max(floor_distance)
+                .min(pj.period());
+            ActivationModel::periodic_jitter(
+                pj.period(),
+                pj.jitter().saturating_add(added_jitter),
+                distance,
+            )
+            .ok()
+        }
+        ActivationModel::Sporadic(s) => {
+            let distance = s
+                .min_distance()
+                .saturating_sub(added_jitter)
+                .max(floor_distance);
+            ActivationModel::sporadic(distance).ok()
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_curves::EventModel;
+
+    #[test]
+    fn zero_jitter_stage_preserves_distances() {
+        let input = ActivationModel::periodic(100).unwrap();
+        let output = propagate_output_model(&input, 10, 10).unwrap();
+        assert_eq!(output.delta_min(2), 100); // jitter 0 → still 100
+        for delta in 0..1_000 {
+            assert_eq!(output.eta_plus(delta), input.eta_plus(delta));
+        }
+    }
+
+    #[test]
+    fn jitter_accumulates_across_stages() {
+        let input = ActivationModel::periodic(100).unwrap();
+        let after_one = propagate_output_model(&input, 30, 10).unwrap();
+        let after_two = propagate_output_model(&after_one, 25, 5).unwrap();
+        match after_two {
+            ActivationModel::PeriodicJitter(pj) => {
+                assert_eq!(pj.period(), 100);
+                assert_eq!(pj.jitter(), 20 + 20);
+            }
+            other => panic!("unexpected model {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sporadic_distance_is_compressed_but_floored() {
+        let input = ActivationModel::sporadic(50).unwrap();
+        let output = propagate_output_model(&input, 45, 5).unwrap();
+        match output {
+            ActivationModel::Sporadic(s) => assert_eq!(s.min_distance(), 10),
+            other => panic!("unexpected model {other:?}"),
+        }
+        // Compression never goes below the best case (or 1).
+        let heavy = propagate_output_model(&input, 500, 5).unwrap();
+        match heavy {
+            ActivationModel::Sporadic(s) => assert_eq!(s.min_distance(), 5),
+            other => panic!("unexpected model {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_rate_never_exceeds_input_rate_plus_backlog() {
+        // Long-run: the output η+ over a large window is at most the
+        // input count plus one backlogged event.
+        let input = ActivationModel::periodic(100).unwrap();
+        let output = propagate_output_model(&input, 80, 10).unwrap();
+        for delta in [1_000u64, 10_000, 100_000] {
+            assert!(output.eta_plus(delta) <= input.eta_plus(delta) + 1);
+        }
+    }
+
+    #[test]
+    fn unsupported_models_return_none() {
+        let never = ActivationModel::never();
+        assert!(propagate_output_model(&never, 10, 5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "worst-case response below best case")]
+    fn inverted_response_times_panic() {
+        let input = ActivationModel::periodic(100).unwrap();
+        let _ = propagate_output_model(&input, 5, 10);
+    }
+}

@@ -1,0 +1,355 @@
+//! TWCA deadline miss models for independent tasks (the ECRTS'15-style
+//! baseline the paper generalizes).
+
+use crate::rta::{
+    response_time_analysis_with, AnalysisLimits, IndependentTask, RtaError,
+};
+use twca_curves::{EventModel, Time};
+use twca_ilp::PackingProblem;
+
+/// A deadline miss model computed for one independent task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndependentDmm {
+    /// The window length `k` the bound refers to.
+    pub k: u64,
+    /// The bound: at most this many of any `k` consecutive executions
+    /// miss their deadline.
+    pub bound: u64,
+    /// Maximum misses attributable to a single busy window (`N_i`).
+    pub misses_per_window: u64,
+    /// Overload budgets `Ω_a` per overload task, in the order the
+    /// overload indices were supplied.
+    pub omegas: Vec<u64>,
+    /// Number of unschedulable combinations found.
+    pub unschedulable_combinations: usize,
+}
+
+/// TWCA analyzer for a fixed set of independent tasks with identified
+/// overload tasks.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::ActivationModel;
+/// use twca_independent::{IndependentTask, IndependentTwca};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tasks = vec![
+///     IndependentTask::new("isr", 3, 60, ActivationModel::sporadic(1_000)?),
+///     IndependentTask::new("ctrl", 2, 50, ActivationModel::periodic(100)?)
+///         .with_deadline(100),
+/// ];
+/// let twca = IndependentTwca::new(&tasks, vec![0])?;
+/// let dmm = twca.dmm(1, 20)?;
+/// // One ISR burst spoils at most 2 windows out of any 20.
+/// assert!(dmm.bound >= 1 && dmm.bound < 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IndependentTwca<'a> {
+    tasks: &'a [IndependentTask],
+    overload: Vec<usize>,
+    limits: AnalysisLimits,
+}
+
+impl<'a> IndependentTwca<'a> {
+    /// Creates an analyzer; `overload` lists the indices of the overload
+    /// tasks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtaError::TaskOutOfRange`] for a bad overload index.
+    pub fn new(tasks: &'a [IndependentTask], overload: Vec<usize>) -> Result<Self, RtaError> {
+        if let Some(&bad) = overload.iter().find(|&&i| i >= tasks.len()) {
+            return Err(RtaError::TaskOutOfRange {
+                index: bad,
+                len: tasks.len(),
+            });
+        }
+        Ok(IndependentTwca {
+            tasks,
+            overload,
+            limits: AnalysisLimits::default(),
+        })
+    }
+
+    /// Replaces the analysis limits.
+    #[must_use]
+    pub fn with_limits(mut self, limits: AnalysisLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Computes `dmm_i(k)` for `tasks[index]`.
+    ///
+    /// The bound is `min(k, N_i · P*)` where `P*` is the optimal packing
+    /// of unschedulable overload combinations into busy windows subject to
+    /// the per-overload-task budgets `Ω_a` (Theorem 3 of the paper,
+    /// specialized to independent tasks), and `N_i` the worst-case misses
+    /// per busy window. A task that is unschedulable even without overload
+    /// (or whose busy window diverges) gets the trivial bound `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtaError::TaskOutOfRange`] for a bad index. A task
+    /// without a deadline is treated as having an infinite one (bound 0).
+    pub fn dmm(&self, index: usize, k: u64) -> Result<IndependentDmm, RtaError> {
+        let task = self.tasks.get(index).ok_or(RtaError::TaskOutOfRange {
+            index,
+            len: self.tasks.len(),
+        })?;
+        let Some(deadline) = task.deadline() else {
+            return Ok(IndependentDmm {
+                k,
+                bound: 0,
+                misses_per_window: 0,
+                omegas: vec![0; self.overload.len()],
+                unschedulable_combinations: 0,
+            });
+        };
+
+        // Full analysis with overload; divergence means no bound better
+        // than k.
+        let full = match response_time_analysis_with(self.tasks, index, self.limits) {
+            Ok(r) => r,
+            Err(RtaError::Divergent) => {
+                return Ok(IndependentDmm {
+                    k,
+                    bound: k,
+                    misses_per_window: k,
+                    omegas: vec![k; self.overload.len()],
+                    unschedulable_combinations: 0,
+                });
+            }
+            Err(e) => return Err(e),
+        };
+
+        let misses_per_window = full
+            .busy_times
+            .iter()
+            .enumerate()
+            .filter(|&(i, &b)| {
+                let q = i as u64 + 1;
+                b.saturating_sub(task.activation().delta_min(q)) > deadline
+            })
+            .count() as u64;
+        if misses_per_window == 0 {
+            return Ok(IndependentDmm {
+                k,
+                bound: 0,
+                misses_per_window: 0,
+                omegas: vec![0; self.overload.len()],
+                unschedulable_combinations: 0,
+            });
+        }
+
+        // Overload tasks that can actually interfere with this task.
+        let relevant: Vec<usize> = self
+            .overload
+            .iter()
+            .copied()
+            .filter(|&a| a != index && self.tasks[a].priority() > task.priority())
+            .collect();
+
+        // Budgets Ω_a = η+_a(δ+_i(k) + R_i) + 1, capped at k (a window of
+        // k activations spans at most k distinct busy windows).
+        let omegas: Vec<u64> = relevant
+            .iter()
+            .map(|&a| {
+                let horizon = task
+                    .activation()
+                    .delta_plus(k)
+                    .map(|d| d.saturating_add(full.worst_case_response_time));
+                match horizon {
+                    Some(h) => self.tasks[a]
+                        .activation()
+                        .eta_plus(h)
+                        .saturating_add(1)
+                        .min(k),
+                    None => k,
+                }
+            })
+            .collect();
+
+        // Typical busy times (overload excluded), evaluated at the
+        // deadline horizon: L_i(q).
+        let higher_typical: Vec<&IndependentTask> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|&(j, t)| {
+                j != index && t.priority() > task.priority() && !self.overload.contains(&j)
+            })
+            .map(|(_, t)| t)
+            .collect();
+        let k_max = full.busy_window_activations;
+        let typical_l: Vec<Time> = (1..=k_max)
+            .map(|q| {
+                let horizon = task.activation().delta_min(q).saturating_add(deadline);
+                q.saturating_mul(task.wcet())
+                    + higher_typical
+                        .iter()
+                        .map(|t| t.activation().eta_plus(horizon).saturating_mul(t.wcet()))
+                        .sum::<Time>()
+            })
+            .collect();
+
+        // Enumerate combinations (subsets of relevant overload tasks) and
+        // keep the unschedulable ones.
+        let n = relevant.len();
+        let mut items: Vec<Vec<usize>> = Vec::new();
+        for mask in 1u64..(1 << n) {
+            let extra: Time = (0..n)
+                .filter(|&b| mask & (1 << b) != 0)
+                .map(|b| self.tasks[relevant[b]].wcet())
+                .sum();
+            let unschedulable = (1..=k_max).any(|q| {
+                let slack = task
+                    .activation()
+                    .delta_min(q)
+                    .saturating_add(deadline);
+                typical_l[(q - 1) as usize].saturating_add(extra) > slack
+            });
+            if unschedulable {
+                items.push((0..n).filter(|&b| mask & (1 << b) != 0).collect());
+            }
+        }
+        let unschedulable_combinations = items.len();
+        let packed = if items.is_empty() {
+            0
+        } else {
+            PackingProblem::new(omegas.clone(), items)
+                .expect("indices are in range by construction")
+                .solve()
+                .packed_total()
+        };
+
+        Ok(IndependentDmm {
+            k,
+            bound: k.min(misses_per_window.saturating_mul(packed)),
+            misses_per_window,
+            omegas,
+            unschedulable_combinations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_curves::ActivationModel;
+
+    fn periodic(p: Time) -> ActivationModel {
+        ActivationModel::periodic(p).unwrap()
+    }
+
+    fn sporadic(d: Time) -> ActivationModel {
+        ActivationModel::sporadic(d).unwrap()
+    }
+
+    /// app (C=50, P=D=100) + rare ISR (C=60): one ISR activation makes the
+    /// app miss; without it the app is schedulable.
+    fn base_tasks() -> Vec<IndependentTask> {
+        vec![
+            IndependentTask::new("isr", 3, 60, sporadic(1_000)),
+            IndependentTask::new("app", 2, 50, periodic(100)).with_deadline(100),
+        ]
+    }
+
+    #[test]
+    fn schedulable_without_overload() {
+        let tasks = base_tasks();
+        let typical = vec![tasks[1].clone()];
+        let r = response_time_analysis_with(&typical, 0, AnalysisLimits::default()).unwrap();
+        assert!(r.is_schedulable(100));
+    }
+
+    #[test]
+    fn dmm_bounds_misses() {
+        let tasks = base_tasks();
+        let twca = IndependentTwca::new(&tasks, vec![0]).unwrap();
+        let dmm = twca.dmm(1, 10).unwrap();
+        assert_eq!(dmm.unschedulable_combinations, 1);
+        assert!(dmm.bound >= 1, "one ISR can cause a miss");
+        assert!(dmm.bound <= 10);
+        // In 10 periods (δ+ = 900) + R, at most 2 ISR arrivals fit the
+        // budget formula: η+(900 + R) + 1.
+        assert!(dmm.omegas[0] <= 3);
+    }
+
+    #[test]
+    fn dmm_zero_for_schedulable_task() {
+        // ISR too small to cause a miss.
+        let tasks = vec![
+            IndependentTask::new("isr", 3, 10, sporadic(1_000)),
+            IndependentTask::new("app", 2, 50, periodic(100)).with_deadline(100),
+        ];
+        let twca = IndependentTwca::new(&tasks, vec![0]).unwrap();
+        let dmm = twca.dmm(1, 10).unwrap();
+        assert_eq!(dmm.bound, 0);
+        assert_eq!(dmm.misses_per_window, 0);
+    }
+
+    #[test]
+    fn dmm_k_for_divergent_task() {
+        let tasks = vec![
+            IndependentTask::new("hog", 3, 90, periodic(100)),
+            IndependentTask::new("app", 2, 50, periodic(100)).with_deadline(100),
+        ];
+        let twca = IndependentTwca::new(&tasks, vec![0])
+            .unwrap()
+            .with_limits(AnalysisLimits {
+                horizon: 100_000,
+                max_q: 200,
+            });
+        let dmm = twca.dmm(1, 7).unwrap();
+        assert_eq!(dmm.bound, 7);
+    }
+
+    #[test]
+    fn lower_priority_overload_is_ignored() {
+        let tasks = vec![
+            IndependentTask::new("bg", 1, 500, sporadic(1_000)),
+            IndependentTask::new("app", 2, 50, periodic(100)).with_deadline(100),
+        ];
+        let twca = IndependentTwca::new(&tasks, vec![0]).unwrap();
+        let dmm = twca.dmm(1, 10).unwrap();
+        assert_eq!(dmm.bound, 0);
+    }
+
+    #[test]
+    fn task_without_deadline_never_misses() {
+        let tasks = vec![
+            IndependentTask::new("isr", 3, 60, sporadic(1_000)),
+            IndependentTask::new("app", 2, 50, periodic(100)),
+        ];
+        let twca = IndependentTwca::new(&tasks, vec![0]).unwrap();
+        assert_eq!(twca.dmm(1, 10).unwrap().bound, 0);
+    }
+
+    #[test]
+    fn two_overload_tasks_pack_independently() {
+        // Each ISR alone causes a miss → two unschedulable singletons plus
+        // their union.
+        let tasks = vec![
+            IndependentTask::new("isr1", 4, 60, sporadic(10_000)),
+            IndependentTask::new("isr2", 3, 60, sporadic(10_000)),
+            IndependentTask::new("app", 2, 50, periodic(100)).with_deadline(100),
+        ];
+        let twca = IndependentTwca::new(&tasks, vec![0, 1]).unwrap();
+        let dmm = twca.dmm(2, 50).unwrap();
+        assert_eq!(dmm.unschedulable_combinations, 3);
+        // Budgets are 2 per ISR (η+(δ+(50)+R)+1): two windows each.
+        assert!(dmm.bound >= 2);
+        assert!(dmm.bound <= 8);
+    }
+
+    #[test]
+    fn bad_indices_are_rejected() {
+        let tasks = base_tasks();
+        assert!(IndependentTwca::new(&tasks, vec![9]).is_err());
+        let twca = IndependentTwca::new(&tasks, vec![0]).unwrap();
+        assert!(twca.dmm(9, 1).is_err());
+    }
+}

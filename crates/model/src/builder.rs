@@ -1,0 +1,240 @@
+//! Fluent construction of systems.
+
+use crate::chain::{Chain, ChainKind};
+use crate::error::ModelError;
+use crate::system::System;
+use crate::task::Task;
+use twca_curves::{ActivationModel, Time};
+
+/// Builder for a [`System`].
+///
+/// # Examples
+///
+/// ```
+/// use twca_model::{SystemBuilder, ChainKind};
+///
+/// # fn main() -> Result<(), twca_model::ModelError> {
+/// let system = SystemBuilder::new()
+///     .chain("sigma_d")
+///     .periodic(200)?
+///     .deadline(200)
+///     .kind(ChainKind::Synchronous)
+///     .task("d1", 11, 38)
+///     .task("d2", 10, 6)
+///     .done()
+///     .build()?;
+/// assert_eq!(system.task_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SystemBuilder {
+    chains: Vec<Chain>,
+}
+
+impl SystemBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SystemBuilder::default()
+    }
+
+    /// Starts a new chain with the given name.
+    pub fn chain(self, name: impl Into<String>) -> ChainBuilder {
+        ChainBuilder {
+            parent: self,
+            name: name.into(),
+            tasks: Vec::new(),
+            activation: None,
+            deadline: None,
+            kind: ChainKind::Synchronous,
+            overload: false,
+        }
+    }
+
+    /// Adds an already-constructed chain.
+    pub fn push_chain(mut self, chain: Chain) -> Self {
+        self.chains.push(chain);
+        self
+    }
+
+    /// Validates and produces the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ModelError`] if a chain is missing an activation model
+    /// or the resulting system violates a validation rule (duplicate
+    /// names, empty chains, zero deadlines, no chains at all).
+    pub fn build(self) -> Result<System, ModelError> {
+        for chain in &self.chains {
+            // `ChainBuilder::done` cannot enforce this because activation
+            // setters are fallible and may have been skipped.
+            if let ActivationModel::Never(_) = chain.activation {
+                // `never` is a legitimate explicit choice; nothing to check.
+            }
+        }
+        System::new(self.chains)
+    }
+}
+
+/// Builder for one chain within a [`SystemBuilder`] flow.
+#[derive(Debug)]
+pub struct ChainBuilder {
+    parent: SystemBuilder,
+    name: String,
+    tasks: Vec<Task>,
+    activation: Option<ActivationModel>,
+    deadline: Option<Time>,
+    kind: ChainKind,
+    overload: bool,
+}
+
+impl ChainBuilder {
+    /// Sets a strictly periodic activation model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Curve`] if `period` is zero.
+    pub fn periodic(mut self, period: Time) -> Result<Self, ModelError> {
+        self.activation = Some(ActivationModel::periodic(period)?);
+        Ok(self)
+    }
+
+    /// Sets a sporadic activation model with minimum inter-arrival
+    /// distance `min_distance`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Curve`] if `min_distance` is zero.
+    pub fn sporadic(mut self, min_distance: Time) -> Result<Self, ModelError> {
+        self.activation = Some(ActivationModel::sporadic(min_distance)?);
+        Ok(self)
+    }
+
+    /// Sets an arbitrary activation model.
+    pub fn activation(mut self, model: ActivationModel) -> Self {
+        self.activation = Some(model);
+        self
+    }
+
+    /// Sets the end-to-end relative deadline.
+    pub fn deadline(mut self, deadline: Time) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the chain semantics (synchronous by default).
+    pub fn kind(mut self, kind: ChainKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Marks the chain as asynchronous (shorthand for
+    /// [`ChainBuilder::kind`]).
+    pub fn asynchronous(mut self) -> Self {
+        self.kind = ChainKind::Asynchronous;
+        self
+    }
+
+    /// Flags the chain as a rarely-activated overload chain.
+    pub fn overload(mut self) -> Self {
+        self.overload = true;
+        self
+    }
+
+    /// Appends a task with the given name, priority (larger = higher) and
+    /// worst-case execution time.
+    pub fn task(mut self, name: impl Into<String>, priority: u32, wcet: Time) -> Self {
+        self.tasks.push(Task::new(name, priority, wcet));
+        self
+    }
+
+    /// Finishes this chain and returns to the system builder.
+    ///
+    /// A chain without an explicit activation model gets
+    /// [`ActivationModel::never`]; `build` on the system reports empty
+    /// chains and other violations.
+    pub fn done(mut self) -> SystemBuilder {
+        let activation = self.activation.take().unwrap_or_else(ActivationModel::never);
+        self.parent.chains.push(Chain {
+            name: self.name,
+            tasks: self.tasks,
+            activation,
+            deadline: self.deadline,
+            kind: self.kind,
+            overload: self.overload,
+        });
+        self.parent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_curves::EventModel;
+
+    #[test]
+    fn builder_defaults() {
+        let s = SystemBuilder::new()
+            .chain("x")
+            .periodic(10)
+            .unwrap()
+            .task("t", 1, 1)
+            .done()
+            .build()
+            .unwrap();
+        let (_, c) = s.chain_by_name("x").unwrap();
+        assert_eq!(c.kind(), ChainKind::Synchronous);
+        assert!(!c.is_overload());
+        assert_eq!(c.deadline(), None);
+    }
+
+    #[test]
+    fn builder_without_activation_defaults_to_never() {
+        let s = SystemBuilder::new()
+            .chain("x")
+            .task("t", 1, 1)
+            .done()
+            .build()
+            .unwrap();
+        let (_, c) = s.chain_by_name("x").unwrap();
+        assert_eq!(c.activation().eta_plus(1_000), 0);
+    }
+
+    #[test]
+    fn builder_rejects_zero_period() {
+        let err = SystemBuilder::new().chain("x").periodic(0).unwrap_err();
+        assert!(matches!(err, ModelError::Curve(_)));
+    }
+
+    #[test]
+    fn push_chain_appends() {
+        let s1 = SystemBuilder::new()
+            .chain("x")
+            .periodic(5)
+            .unwrap()
+            .task("t", 1, 1)
+            .done()
+            .build()
+            .unwrap();
+        let chain = s1.chains()[0].clone();
+        let s2 = SystemBuilder::new()
+            .push_chain(chain)
+            .build()
+            .unwrap();
+        assert_eq!(s2.chains().len(), 1);
+    }
+
+    #[test]
+    fn asynchronous_shorthand() {
+        let s = SystemBuilder::new()
+            .chain("x")
+            .periodic(5)
+            .unwrap()
+            .asynchronous()
+            .task("t", 1, 1)
+            .done()
+            .build()
+            .unwrap();
+        assert_eq!(s.chains()[0].kind(), ChainKind::Asynchronous);
+    }
+}

@@ -1,0 +1,229 @@
+//! The industrial case study of the paper (Figure 4), derived from
+//! practice at Thales Research & Technology.
+//!
+//! A single-core SPP processor runs four chains:
+//!
+//! * `σd [200:200]`: τ1d[11:38] τ2d[10:6] τ3d[9:27] τ4d[5:6] τ5d[2:38]
+//! * `σc [200:200]`: τ1c[8:4] τ2c[7:6] τ3c[1:41]
+//! * `σb [600]` (sporadic, overload): τ1b[13:10] τ2b[12:10] τ3b[6:10]
+//! * `σa [700]` (sporadic, overload): τ1a[4:10] τ2a[3:10]
+//!
+//! Chains are specified `σ[δ-(2) : D]`, tasks `τ[π : C]`. `σc` and `σd`
+//! are periodic, `σa` and `σb` sporadic overload chains. The paper does
+//! not state the chain semantics; the synchronous reading reproduces
+//! Table I exactly (see `DESIGN.md`).
+
+use crate::builder::SystemBuilder;
+use crate::chain::ChainKind;
+use crate::ids::Priority;
+use crate::system::System;
+
+/// Number of tasks in the case study (5 + 3 + 3 + 2).
+pub const CASE_STUDY_TASK_COUNT: usize = 13;
+
+/// Builds the case-study system of Figure 4.
+///
+/// Chain order (and thus [`crate::ChainId`] order) is `σd, σc, σb, σa`,
+/// matching the figure's left-to-right layout.
+///
+/// # Examples
+///
+/// ```
+/// use twca_model::case_study;
+///
+/// let s = case_study();
+/// let (_, c) = s.chain_by_name("sigma_c").unwrap();
+/// assert_eq!(c.total_wcet(), 51);
+/// assert_eq!(c.deadline(), Some(200));
+/// ```
+pub fn case_study() -> System {
+    SystemBuilder::new()
+        .chain("sigma_d")
+        .periodic(200)
+        .expect("static period is positive")
+        .deadline(200)
+        .kind(ChainKind::Synchronous)
+        .task("tau_d1", 11, 38)
+        .task("tau_d2", 10, 6)
+        .task("tau_d3", 9, 27)
+        .task("tau_d4", 5, 6)
+        .task("tau_d5", 2, 38)
+        .done()
+        .chain("sigma_c")
+        .periodic(200)
+        .expect("static period is positive")
+        .deadline(200)
+        .kind(ChainKind::Synchronous)
+        .task("tau_c1", 8, 4)
+        .task("tau_c2", 7, 6)
+        .task("tau_c3", 1, 41)
+        .done()
+        .chain("sigma_b")
+        .sporadic(600)
+        .expect("static distance is positive")
+        .kind(ChainKind::Synchronous)
+        .overload()
+        .task("tau_b1", 13, 10)
+        .task("tau_b2", 12, 10)
+        .task("tau_b3", 6, 10)
+        .done()
+        .chain("sigma_a")
+        .sporadic(700)
+        .expect("static distance is positive")
+        .kind(ChainKind::Synchronous)
+        .overload()
+        .task("tau_a1", 4, 10)
+        .task("tau_a2", 3, 10)
+        .done()
+        .build()
+        .expect("case study is well-formed")
+}
+
+/// The priority vector of the original case study, in
+/// [`System::task_refs`] order (`σd, σc, σb, σa`).
+pub fn case_study_priorities() -> Vec<Priority> {
+    [11, 10, 9, 5, 2, 8, 7, 1, 13, 12, 6, 4, 3]
+        .into_iter()
+        .map(Priority::new)
+        .collect()
+}
+
+/// Builds the running example of the paper's Figure 1: two chains
+/// `σa = (τ1a..τ6a)` with priorities `7, 9, 5, 2, 4, 1` and
+/// `σb = (τ1b..τ3b)` with priorities `8, 3, 6`.
+///
+/// The figure specifies priorities only; execution times here are unit
+/// (1) and the activation models are placeholder periodics, since the
+/// figure is used for *structural* illustrations (segments, active
+/// segments, combinations).
+///
+/// # Examples
+///
+/// ```
+/// use twca_model::{figure1_example, SegmentView};
+///
+/// let s = figure1_example();
+/// let (_, a) = s.chain_by_name("sigma_a").unwrap();
+/// let (_, b) = s.chain_by_name("sigma_b").unwrap();
+/// let view = SegmentView::new(a, b);
+/// assert_eq!(view.segments().len(), 2);       // (τ1a,τ2a,τ3a) and (τ5a)
+/// assert_eq!(view.active_segments().len(), 3); // (τ1a,τ2a), (τ3a), (τ5a)
+/// ```
+pub fn figure1_example() -> System {
+    SystemBuilder::new()
+        .chain("sigma_a")
+        .periodic(1_000)
+        .expect("static period is positive")
+        .task("tau_a1", 7, 1)
+        .task("tau_a2", 9, 1)
+        .task("tau_a3", 5, 1)
+        .task("tau_a4", 2, 1)
+        .task("tau_a5", 4, 1)
+        .task("tau_a6", 1, 1)
+        .done()
+        .chain("sigma_b")
+        .periodic(1_000)
+        .expect("static period is positive")
+        .task("tau_b1", 8, 1)
+        .task("tau_b2", 3, 1)
+        .task("tau_b3", 6, 1)
+        .done()
+        .build()
+        .expect("figure 1 example is well-formed")
+}
+
+/// The case study with all 13 task priorities replaced, in
+/// [`System::task_refs`] order. Used by Experiment 2 (random priority
+/// assignments).
+///
+/// # Panics
+///
+/// Panics if `priorities.len() != CASE_STUDY_TASK_COUNT`.
+///
+/// # Examples
+///
+/// ```
+/// use twca_model::{case_study_priorities, case_study_with_priorities, case_study};
+///
+/// let original = case_study_with_priorities(&case_study_priorities());
+/// assert_eq!(original, case_study());
+/// ```
+pub fn case_study_with_priorities(priorities: &[Priority]) -> System {
+    case_study().with_priorities(priorities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segments::{classify, InterferenceClass, SegmentView};
+
+    #[test]
+    fn shape_matches_figure4() {
+        let s = case_study();
+        assert_eq!(s.chains().len(), 4);
+        assert_eq!(s.task_count(), CASE_STUDY_TASK_COUNT);
+        let (_, d) = s.chain_by_name("sigma_d").unwrap();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.total_wcet(), 115);
+        let (_, c) = s.chain_by_name("sigma_c").unwrap();
+        assert_eq!(c.total_wcet(), 51);
+        let (_, b) = s.chain_by_name("sigma_b").unwrap();
+        assert!(b.is_overload());
+        assert_eq!(b.total_wcet(), 30);
+        let (_, a) = s.chain_by_name("sigma_a").unwrap();
+        assert!(a.is_overload());
+        assert_eq!(a.total_wcet(), 20);
+    }
+
+    #[test]
+    fn all_chains_arbitrarily_interfere_with_sigma_c() {
+        // Experiment 1: "Both chains σa and σb arbitrarily interfere with
+        // σc because neither has a task with a priority lower than 1".
+        let s = case_study();
+        let (_, c) = s.chain_by_name("sigma_c").unwrap();
+        for name in ["sigma_d", "sigma_b", "sigma_a"] {
+            let (_, other) = s.chain_by_name(name).unwrap();
+            assert_eq!(
+                classify(other, c),
+                InterferenceClass::ArbitrarilyInterfering,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn sigma_c_is_deferred_by_sigma_d() {
+        // τ3c has priority 1 < min(σd) = 2.
+        let s = case_study();
+        let (_, c) = s.chain_by_name("sigma_c").unwrap();
+        let (_, d) = s.chain_by_name("sigma_d").unwrap();
+        assert_eq!(classify(c, d), InterferenceClass::Deferred);
+        let view = SegmentView::new(c, d);
+        assert_eq!(view.segments().len(), 1);
+        assert_eq!(view.segments()[0].task_indices(), &[0, 1]);
+        assert_eq!(view.segments()[0].wcet(c), 10);
+    }
+
+    #[test]
+    fn overload_segments_wrt_sigma_c_are_whole_chains_and_active() {
+        // Experiment 1: σa and σb have one segment each — the whole chain —
+        // and those segments are also active segments w.r.t. σc.
+        let s = case_study();
+        let (_, c) = s.chain_by_name("sigma_c").unwrap();
+        for (name, len) in [("sigma_a", 2), ("sigma_b", 3)] {
+            let (_, o) = s.chain_by_name(name).unwrap();
+            let view = SegmentView::new(o, c);
+            assert_eq!(view.segments().len(), 1, "{name}");
+            assert_eq!(view.segments()[0].len(), len, "{name}");
+            assert_eq!(view.active_segments().len(), 1, "{name}");
+            assert_eq!(view.active_segments()[0].len(), len, "{name}");
+        }
+    }
+
+    #[test]
+    fn priority_roundtrip() {
+        let ps = case_study_priorities();
+        assert_eq!(ps.len(), CASE_STUDY_TASK_COUNT);
+        assert_eq!(case_study_with_priorities(&ps), case_study());
+    }
+}

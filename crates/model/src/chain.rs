@@ -1,0 +1,217 @@
+//! Task chains: sequences of tasks activating each other.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Priority;
+use crate::task::Task;
+use twca_curves::{ActivationModel, Time};
+
+/// Execution semantics of a chain (Section II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChainKind {
+    /// An incoming activation is not processed until the previous instance
+    /// of the chain has finished; tasks of a synchronous chain never
+    /// preempt other tasks of the same chain.
+    Synchronous,
+    /// Incoming activations are processed independently of previous
+    /// instances; backlogged instances of the same chain can preempt each
+    /// other according to task priorities.
+    Asynchronous,
+}
+
+impl ChainKind {
+    /// Whether this is the synchronous semantics.
+    pub fn is_synchronous(self) -> bool {
+        matches!(self, ChainKind::Synchronous)
+    }
+}
+
+/// A task chain `σ = (τ¹, …, τⁿ)` with an activation model at its head and
+/// an optional end-to-end deadline.
+///
+/// Constructed through [`crate::SystemBuilder`]; the accessors expose the
+/// structural quantities used throughout the analysis (total execution
+/// time, lowest priority, tail priority, …).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chain {
+    pub(crate) name: String,
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) activation: ActivationModel,
+    pub(crate) deadline: Option<Time>,
+    pub(crate) kind: ChainKind,
+    pub(crate) overload: bool,
+}
+
+impl Chain {
+    /// The chain's name (unique within its system).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tasks of the chain, in activation order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks in the chain (`n_a`).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the chain has no tasks. Validated systems never contain
+    /// empty chains; this exists for the usual `len`/`is_empty` pairing.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The activation model of the chain's header task.
+    pub fn activation(&self) -> &ActivationModel {
+        &self.activation
+    }
+
+    /// The end-to-end relative deadline, if one is specified.
+    pub fn deadline(&self) -> Option<Time> {
+        self.deadline
+    }
+
+    /// Synchronous or asynchronous execution semantics.
+    pub fn kind(&self) -> ChainKind {
+        self.kind
+    }
+
+    /// Whether this chain is a rarely-activated overload chain.
+    pub fn is_overload(&self) -> bool {
+        self.overload
+    }
+
+    /// The first task of the chain (its *header task*).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain; validated systems never contain one.
+    pub fn header_task(&self) -> &Task {
+        self.tasks.first().expect("chain must not be empty")
+    }
+
+    /// The last task of the chain (its *tail task*).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain; validated systems never contain one.
+    pub fn tail_task(&self) -> &Task {
+        self.tasks.last().expect("chain must not be empty")
+    }
+
+    /// Total execution-time bound `C_σ = Σᵢ Cⁱ`.
+    pub fn total_wcet(&self) -> Time {
+        self.tasks.iter().map(Task::wcet).sum()
+    }
+
+    /// The lowest priority among the chain's tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty chain; validated systems never contain one.
+    pub fn min_priority(&self) -> Priority {
+        self.tasks
+            .iter()
+            .map(Task::priority)
+            .min()
+            .expect("chain must not be empty")
+    }
+
+    /// The priority of the chain's tail task, `π_tail`.
+    pub fn tail_priority(&self) -> Priority {
+        self.tail_task().priority()
+    }
+
+    /// Sum of the execution times of the tasks at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn wcet_of(&self, indices: &[usize]) -> Time {
+        indices.iter().map(|&i| self.tasks[i].wcet()).sum()
+    }
+
+    /// Returns a copy of this chain with priorities replaced position-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `priorities` has a different length than the chain.
+    pub fn with_priorities(&self, priorities: &[Priority]) -> Self {
+        assert_eq!(
+            priorities.len(),
+            self.tasks.len(),
+            "priority vector must match chain length"
+        );
+        let tasks = self
+            .tasks
+            .iter()
+            .zip(priorities)
+            .map(|(t, &p)| t.with_priority(p))
+            .collect();
+        Chain {
+            name: self.name.clone(),
+            tasks,
+            activation: self.activation.clone(),
+            deadline: self.deadline,
+            kind: self.kind,
+            overload: self.overload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Chain {
+        Chain {
+            name: "c".into(),
+            tasks: vec![
+                Task::new("c1", 8u32, 4),
+                Task::new("c2", 7u32, 6),
+                Task::new("c3", 1u32, 41),
+            ],
+            activation: ActivationModel::periodic(200).unwrap(),
+            deadline: Some(200),
+            kind: ChainKind::Synchronous,
+            overload: false,
+        }
+    }
+
+    #[test]
+    fn structural_accessors() {
+        let c = chain();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.header_task().name(), "c1");
+        assert_eq!(c.tail_task().name(), "c3");
+        assert_eq!(c.total_wcet(), 51);
+        assert_eq!(c.min_priority(), Priority::new(1));
+        assert_eq!(c.tail_priority(), Priority::new(1));
+        assert_eq!(c.wcet_of(&[0, 1]), 10);
+    }
+
+    #[test]
+    fn with_priorities_replaces_position_wise() {
+        let c = chain();
+        let c2 = c.with_priorities(&[Priority::new(1), Priority::new(2), Priority::new(3)]);
+        assert_eq!(c2.min_priority(), Priority::new(1));
+        assert_eq!(c2.tail_priority(), Priority::new(3));
+        assert_eq!(c2.total_wcet(), c.total_wcet());
+    }
+
+    #[test]
+    #[should_panic(expected = "priority vector must match")]
+    fn with_priorities_checks_length() {
+        chain().with_priorities(&[Priority::new(1)]);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(ChainKind::Synchronous.is_synchronous());
+        assert!(!ChainKind::Asynchronous.is_synchronous());
+    }
+}

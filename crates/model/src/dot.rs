@@ -1,0 +1,85 @@
+//! Graphviz export: render a system's chain structure in the style of
+//! the paper's Figure 1 / Figure 4.
+
+use std::fmt::Write as _;
+
+use crate::system::System;
+
+/// Renders the system as a Graphviz `digraph`: one cluster per chain,
+/// tasks as nodes labeled `name [priority : wcet]`, chain order as edges.
+/// Overload chains are drawn dashed.
+///
+/// # Examples
+///
+/// ```
+/// use twca_model::{case_study, render_dot};
+///
+/// let dot = render_dot(&case_study());
+/// assert!(dot.starts_with("digraph system {"));
+/// assert!(dot.contains("tau_c1"));
+/// ```
+pub fn render_dot(system: &System) -> String {
+    let mut out = String::from("digraph system {\n");
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    node [shape=box];");
+    for (id, chain) in system.iter() {
+        let _ = writeln!(out, "    subgraph cluster_{} {{", id.index());
+        let activation = match chain.deadline() {
+            Some(d) => format!("{} [D={}]", chain.name(), d),
+            None => chain.name().to_owned(),
+        };
+        let _ = writeln!(out, "        label=\"{activation}\";");
+        if chain.is_overload() {
+            let _ = writeln!(out, "        style=dashed;");
+        }
+        for (t, task) in chain.tasks().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        t_{}_{} [label=\"{} [{}:{}]\"];",
+                id.index(),
+                t,
+                task.name(),
+                task.priority().level(),
+                task.wcet()
+            );
+        }
+        for t in 1..chain.len() {
+            let _ = writeln!(
+                out,
+                "        t_{0}_{1} -> t_{0}_{2};",
+                id.index(),
+                t - 1,
+                t
+            );
+        }
+        let _ = writeln!(out, "    }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_study::case_study;
+
+    #[test]
+    fn dot_contains_all_chains_and_tasks() {
+        let dot = render_dot(&case_study());
+        for name in ["sigma_c", "sigma_d", "sigma_a", "sigma_b"] {
+            assert!(dot.contains(name), "{name} missing");
+        }
+        assert!(dot.contains("tau_d5 [2:38]"));
+        assert!(dot.contains("style=dashed")); // overload chains
+        assert!(dot.contains("-> t_0_1"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn deadlines_are_rendered_in_labels() {
+        let dot = render_dot(&case_study());
+        assert!(dot.contains("sigma_c [D=200]"));
+        // Overload chains carry no deadline annotation.
+        assert!(dot.contains("label=\"sigma_a\""));
+    }
+}

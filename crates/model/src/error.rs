@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+use twca_curves::CurveError;
+
+/// Error raised when constructing an ill-formed system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A system must contain at least one chain.
+    NoChains,
+    /// Chains must contain at least one task.
+    EmptyChain {
+        /// Name of the offending chain.
+        chain: String,
+    },
+    /// Chain names must be unique within a system.
+    DuplicateChainName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// Task names must be unique within a system (tasks are *distinct*).
+    DuplicateTaskName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A chain was declared without an activation model.
+    MissingActivation {
+        /// Name of the offending chain.
+        chain: String,
+    },
+    /// Deadlines must be positive when present.
+    ZeroDeadline {
+        /// Name of the offending chain.
+        chain: String,
+    },
+    /// An invalid activation model was supplied.
+    Curve(CurveError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NoChains => write!(f, "a system needs at least one chain"),
+            ModelError::EmptyChain { chain } => {
+                write!(f, "chain `{chain}` has no tasks")
+            }
+            ModelError::DuplicateChainName { name } => {
+                write!(f, "chain name `{name}` is used more than once")
+            }
+            ModelError::DuplicateTaskName { name } => {
+                write!(f, "task name `{name}` is used more than once")
+            }
+            ModelError::MissingActivation { chain } => {
+                write!(f, "chain `{chain}` has no activation model")
+            }
+            ModelError::ZeroDeadline { chain } => {
+                write!(f, "chain `{chain}` has a zero deadline")
+            }
+            ModelError::Curve(e) => write!(f, "invalid activation model: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Curve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CurveError> for ModelError {
+    fn from(value: CurveError) -> Self {
+        ModelError::Curve(value)
+    }
+}

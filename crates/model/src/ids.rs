@@ -1,0 +1,121 @@
+//! Strongly-typed identifiers for chains, tasks and priorities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a chain within its [`crate::System`].
+///
+/// `ChainId`s are assigned in insertion order by [`crate::SystemBuilder`]
+/// and are only meaningful relative to the system that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ChainId(pub(crate) usize);
+
+impl ChainId {
+    /// The zero-based position of the chain in the system.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates a chain id from a raw index.
+    ///
+    /// Useful when replaying stored analysis results; passing an index that
+    /// does not exist in the target system will surface as a lookup panic
+    /// there, not here.
+    pub fn from_index(index: usize) -> Self {
+        ChainId(index)
+    }
+}
+
+impl fmt::Display for ChainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chain#{}", self.0)
+    }
+}
+
+/// A reference to a task: its chain and its position within the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskRef {
+    /// The chain the task belongs to.
+    pub chain: ChainId,
+    /// Zero-based position of the task within the chain.
+    pub index: usize,
+}
+
+impl TaskRef {
+    /// Creates a task reference.
+    pub fn new(chain: ChainId, index: usize) -> Self {
+        TaskRef { chain, index }
+    }
+}
+
+impl fmt::Display for TaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.task#{}", self.chain, self.index)
+    }
+}
+
+/// A static scheduling priority. **Larger numeric values denote higher
+/// priority**, matching the convention of the paper's figures (the task
+/// annotated `τ/9` preempts the task annotated `τ/5`).
+///
+/// # Examples
+///
+/// ```
+/// use twca_model::Priority;
+///
+/// assert!(Priority::new(9) > Priority::new(5));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Priority(pub u32);
+
+impl Priority {
+    /// Wraps a raw priority level.
+    pub fn new(level: u32) -> Self {
+        Priority(level)
+    }
+
+    /// The raw priority level.
+    pub fn level(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio {}", self.0)
+    }
+}
+
+impl From<u32> for Priority {
+    fn from(level: u32) -> Self {
+        Priority(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_numerically() {
+        assert!(Priority::new(13) > Priority::new(1));
+        assert_eq!(Priority::new(5), Priority::from(5));
+        assert_eq!(Priority::new(7).level(), 7);
+    }
+
+    #[test]
+    fn ids_display() {
+        let c = ChainId::from_index(2);
+        assert_eq!(c.to_string(), "chain#2");
+        assert_eq!(TaskRef::new(c, 1).to_string(), "chain#2.task#1");
+        assert_eq!(Priority::new(3).to_string(), "prio 3");
+    }
+
+    #[test]
+    fn chain_id_roundtrip() {
+        assert_eq!(ChainId::from_index(7).index(), 7);
+    }
+}

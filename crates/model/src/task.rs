@@ -1,0 +1,97 @@
+//! Individual tasks within a chain.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Priority;
+use twca_curves::Time;
+
+/// A task: the unit of scheduling on the SPP processor.
+///
+/// A task is defined by an arbitrary static priority and an upper bound on
+/// its execution time (the paper takes `0` as the lower bound, so only the
+/// upper bound is modeled).
+///
+/// # Examples
+///
+/// ```
+/// use twca_model::{Priority, Task};
+///
+/// let t = Task::new("tau_c1", 8, 4);
+/// assert_eq!(t.priority(), Priority::new(8));
+/// assert_eq!(t.wcet(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Task {
+    name: String,
+    priority: Priority,
+    wcet: Time,
+}
+
+impl Task {
+    /// Creates a task from a name, a raw priority level (larger = higher)
+    /// and a worst-case execution time bound.
+    pub fn new(name: impl Into<String>, priority: impl Into<Priority>, wcet: Time) -> Self {
+        Task {
+            name: name.into(),
+            priority: priority.into(),
+            wcet,
+        }
+    }
+
+    /// The task's name (unique within its system).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The task's static priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Upper bound on the task's execution time.
+    pub fn wcet(&self) -> Time {
+        self.wcet
+    }
+
+    /// Returns a copy of this task with a different priority; used by
+    /// priority-assignment experiments.
+    pub fn with_priority(&self, priority: impl Into<Priority>) -> Self {
+        Task {
+            name: self.name.clone(),
+            priority: priority.into(),
+            wcet: self.wcet,
+        }
+    }
+
+    /// Returns a copy of this task with a different execution-time bound;
+    /// used by sensitivity analyses.
+    pub fn with_wcet(&self, wcet: Time) -> Self {
+        Task {
+            name: self.name.clone(),
+            priority: self.priority,
+            wcet,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_accessors() {
+        let t = Task::new("x", Priority::new(3), 17);
+        assert_eq!(t.name(), "x");
+        assert_eq!(t.priority().level(), 3);
+        assert_eq!(t.wcet(), 17);
+    }
+
+    #[test]
+    fn with_priority_keeps_rest() {
+        let t = Task::new("x", 3u32, 17);
+        let u = t.with_priority(9u32);
+        assert_eq!(u.name(), "x");
+        assert_eq!(u.wcet(), 17);
+        assert_eq!(u.priority(), Priority::new(9));
+    }
+}

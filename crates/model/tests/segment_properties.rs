@@ -1,0 +1,169 @@
+//! Property-based tests of the segment calculus (Definitions 2–5, 8)
+//! over randomly shaped chain pairs, including priority ties.
+
+use proptest::prelude::*;
+
+use twca_model::{
+    segments::{classify, self_header_segment},
+    Chain, InterferenceClass, SegmentView, SystemBuilder,
+};
+
+/// Builds a two-chain system from raw (priority, wcet) lists.
+fn build(a: &[(u32, u64)], b: &[(u32, u64)]) -> (Chain, Chain) {
+    let mut builder = SystemBuilder::new()
+        .chain("a")
+        .periodic(1_000)
+        .expect("static period");
+    for (i, &(p, c)) in a.iter().enumerate() {
+        builder = builder.task(format!("a{i}"), p, c);
+    }
+    let mut builder = builder.done().chain("b").periodic(1_000).expect("static period");
+    for (i, &(p, c)) in b.iter().enumerate() {
+        builder = builder.task(format!("b{i}"), p, c);
+    }
+    let system = builder.done().build().expect("well-formed");
+    (system.chains()[0].clone(), system.chains()[1].clone())
+}
+
+fn tasks() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    proptest::collection::vec((0u32..12, 0u64..50), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Definition 2: deferred iff a task lies strictly below the observed
+    /// minimum.
+    #[test]
+    fn classification_matches_definition(a in tasks(), b in tasks()) {
+        let (ca, cb) = build(&a, &b);
+        let min_b = b.iter().map(|&(p, _)| p).min().expect("non-empty");
+        let expected = if a.iter().any(|&(p, _)| p < min_b) {
+            InterferenceClass::Deferred
+        } else {
+            InterferenceClass::ArbitrarilyInterfering
+        };
+        prop_assert_eq!(classify(&ca, &cb), expected);
+    }
+
+    /// Definition 3: every segment task is strictly above the observed
+    /// minimum (for deferred chains), and segments cover exactly the set
+    /// of such tasks.
+    #[test]
+    fn segments_cover_high_tasks_exactly(a in tasks(), b in tasks()) {
+        let (ca, cb) = build(&a, &b);
+        let view = SegmentView::new(&ca, &cb);
+        if view.class() == InterferenceClass::ArbitrarilyInterfering {
+            prop_assert_eq!(view.segments().len(), 1);
+            prop_assert_eq!(view.segments()[0].len(), a.len());
+            return Ok(());
+        }
+        let min_b = b.iter().map(|&(p, _)| p).min().expect("non-empty");
+        let mut covered: Vec<usize> = Vec::new();
+        for seg in view.segments() {
+            for &i in seg.task_indices() {
+                prop_assert!(a[i].0 > min_b, "segment task {} not above min", i);
+                covered.push(i);
+            }
+        }
+        covered.sort_unstable();
+        let mut expected: Vec<usize> = (0..a.len()).filter(|&i| a[i].0 > min_b).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(covered, expected);
+    }
+
+    /// Definition 8: active segments partition each segment in order, and
+    /// every non-first member is above the observed tail priority.
+    #[test]
+    fn active_segments_partition_segments(a in tasks(), b in tasks()) {
+        let (ca, cb) = build(&a, &b);
+        let view = SegmentView::new(&ca, &cb);
+        let tail_b = b.last().expect("non-empty").0;
+        for (seg_idx, seg) in view.segments().iter().enumerate() {
+            let concatenated: Vec<usize> = view
+                .active_segments()
+                .iter()
+                .filter(|s| s.segment_index() == seg_idx)
+                .flat_map(|s| s.task_indices().iter().copied())
+                .collect();
+            prop_assert_eq!(&concatenated[..], seg.task_indices(), "partition broken");
+        }
+        for active in view.active_segments() {
+            for &i in &active.task_indices()[1..] {
+                prop_assert!(a[i].0 > tail_b, "non-first active member not above tail");
+            }
+        }
+    }
+
+    /// Definition 4: the critical segment maximizes total execution time.
+    #[test]
+    fn critical_segment_is_heaviest(a in tasks(), b in tasks()) {
+        let (ca, cb) = build(&a, &b);
+        let view = SegmentView::new(&ca, &cb);
+        match view.critical_segment() {
+            None => {
+                // A deferred chain whose every task is at or below the
+                // observed minimum has no segments at all.
+                prop_assert!(view.segments().is_empty());
+            }
+            Some(crit) => {
+                let max = view
+                    .segments()
+                    .iter()
+                    .map(|s| s.wcet(&ca))
+                    .max()
+                    .expect("critical segment implies a segment");
+                prop_assert_eq!(crit.wcet(&ca), max);
+            }
+        }
+    }
+
+    /// Definition 5: the header segment w.r.t. the observed chain is the
+    /// maximal prefix strictly above the observed minimum.
+    #[test]
+    fn header_segment_is_maximal_prefix(a in tasks(), b in tasks()) {
+        let (ca, cb) = build(&a, &b);
+        let view = SegmentView::new(&ca, &cb);
+        if view.class() == InterferenceClass::ArbitrarilyInterfering {
+            prop_assert!(view.header_segment().is_empty());
+            return Ok(());
+        }
+        let min_b = b.iter().map(|&(p, _)| p).min().expect("non-empty");
+        let expected_len = a.iter().take_while(|&&(p, _)| p >= min_b).count();
+        // The paper's definition breaks at the first task strictly below
+        // every priority of b; tasks equal to min_b do not defer but they
+        // are not "lower than all tasks in σb" either — the prefix runs to
+        // the first strictly-lower task.
+        let expected_len = a
+            .iter()
+            .position(|&(p, _)| p < min_b)
+            .unwrap_or(expected_len);
+        prop_assert_eq!(view.header_segment().len(), expected_len);
+        prop_assert!(view.header_segment().iter().eq((0..expected_len).collect::<Vec<_>>().iter()));
+    }
+
+    /// The self header segment stops right before the first
+    /// lowest-priority task.
+    #[test]
+    fn self_header_stops_at_lowest(a in tasks()) {
+        let (ca, _) = build(&a, &[(1, 1)]);
+        let header = self_header_segment(&ca);
+        let min = a.iter().map(|&(p, _)| p).min().expect("non-empty");
+        let first_low = a.iter().position(|&(p, _)| p == min).expect("exists");
+        prop_assert_eq!(header.len(), first_low);
+    }
+
+    /// Segment structure only depends on priorities, not on wcets.
+    #[test]
+    fn segments_ignore_wcets(a in tasks(), b in tasks(), scale in 1u64..5) {
+        let (ca, cb) = build(&a, &b);
+        let scaled_a: Vec<(u32, u64)> = a.iter().map(|&(p, c)| (p, c * scale)).collect();
+        let (ca2, _) = build(&scaled_a, &b);
+        let v1 = SegmentView::new(&ca, &cb);
+        let v2 = SegmentView::new(&ca2, &cb);
+        prop_assert_eq!(v1.class(), v2.class());
+        let idx1: Vec<_> = v1.segments().iter().map(|s| s.task_indices().to_vec()).collect();
+        let idx2: Vec<_> = v2.segments().iter().map(|s| s.task_indices().to_vec()).collect();
+        prop_assert_eq!(idx1, idx2);
+    }
+}

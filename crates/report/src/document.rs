@@ -1,0 +1,151 @@
+//! Markdown report assembly.
+
+use std::fmt;
+
+use crate::histogram::Histogram;
+use crate::table::Table;
+
+/// A Markdown document built from sections, paragraphs, tables and
+/// histograms — the shape of this repository's `EXPERIMENTS.md`.
+///
+/// # Examples
+///
+/// ```
+/// use twca_report::{Align, Document, Table};
+///
+/// let mut table = Table::new();
+/// table.column("chain", Align::Left);
+/// table.column("WCL", Align::Right);
+/// table.row(["sigma_c", "331"]);
+///
+/// let mut doc = Document::new("Experiments");
+/// doc.section("Table I")
+///    .paragraph("Worst-case latencies of the case study.")
+///    .table(&table);
+/// let md = doc.to_markdown();
+/// assert!(md.starts_with("# Experiments"));
+/// assert!(md.contains("## Table I"));
+/// assert!(md.contains("| sigma_c | 331 |"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Document {
+    title: String,
+    blocks: Vec<Block>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Block {
+    Section(String),
+    Paragraph(String),
+    Table(String),
+    Code(String),
+}
+
+impl Document {
+    /// A document with a top-level title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Document {
+            title: title.into(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Starts a new `##` section.
+    pub fn section(&mut self, heading: impl Into<String>) -> &mut Self {
+        self.blocks.push(Block::Section(heading.into()));
+        self
+    }
+
+    /// Adds a prose paragraph.
+    pub fn paragraph(&mut self, text: impl Into<String>) -> &mut Self {
+        self.blocks.push(Block::Paragraph(text.into()));
+        self
+    }
+
+    /// Adds a table (rendered as Markdown).
+    pub fn table(&mut self, table: &Table) -> &mut Self {
+        self.blocks.push(Block::Table(table.to_markdown()));
+        self
+    }
+
+    /// Adds a histogram as a fenced ASCII block.
+    pub fn histogram(&mut self, histogram: &Histogram, width: usize) -> &mut Self {
+        self.blocks.push(Block::Code(histogram.to_ascii(width)));
+        self
+    }
+
+    /// Adds a pre-formatted fenced code block.
+    pub fn code(&mut self, text: impl Into<String>) -> &mut Self {
+        self.blocks.push(Block::Code(text.into()));
+        self
+    }
+
+    /// Renders the document.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("# {}\n", self.title);
+        for block in &self.blocks {
+            out.push('\n');
+            match block {
+                Block::Section(h) => {
+                    out.push_str("## ");
+                    out.push_str(h);
+                    out.push('\n');
+                }
+                Block::Paragraph(p) => {
+                    out.push_str(p);
+                    out.push('\n');
+                }
+                Block::Table(t) => out.push_str(t),
+                Block::Code(c) => {
+                    out.push_str("```text\n");
+                    out.push_str(c);
+                    if !c.ends_with('\n') {
+                        out.push('\n');
+                    }
+                    out.push_str("```\n");
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Align;
+
+    #[test]
+    fn renders_all_block_kinds() {
+        let mut table = Table::new();
+        table.column("k", Align::Right);
+        table.row(["3"]);
+        let histogram: Histogram = [0u64, 0, 1].into_iter().collect();
+
+        let mut doc = Document::new("Report");
+        doc.section("Results")
+            .paragraph("All bounds hold.")
+            .table(&table)
+            .histogram(&histogram, 10)
+            .code("raw");
+        let md = doc.to_markdown();
+        assert!(md.contains("# Report"));
+        assert!(md.contains("## Results"));
+        assert!(md.contains("All bounds hold."));
+        assert!(md.contains("| k |"));
+        assert!(md.matches("```text").count() == 2);
+        assert!(md.contains("raw\n```"));
+    }
+
+    #[test]
+    fn display_matches_markdown() {
+        let doc = Document::new("T");
+        assert_eq!(doc.to_string(), doc.to_markdown());
+    }
+}

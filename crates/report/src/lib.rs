@@ -1,0 +1,41 @@
+//! Rendering substrate for TWCA experiment artifacts.
+//!
+//! The paper's evaluation reports two tables and one histogram figure.
+//! This crate provides the small, dependency-free rendering layer the
+//! experiment harness uses to regenerate them in three interchangeable
+//! formats:
+//!
+//! * [`Table`] — aligned text for the terminal, GitHub Markdown for
+//!   `EXPERIMENTS.md`, CSV for external plotting;
+//! * [`Histogram`] — discrete histograms with ASCII bars (the shape of
+//!   the paper's Figure 5);
+//! * [`Document`] — Markdown report assembly from sections, tables and
+//!   histograms.
+//!
+//! # Examples
+//!
+//! ```
+//! use twca_report::{Align, Histogram, Table};
+//!
+//! // Table I of the paper, as data.
+//! let mut table = Table::new();
+//! table.column("chain", Align::Left);
+//! table.column("WCL", Align::Right);
+//! table.column("D", Align::Right);
+//! table.row(["sigma_c", "331", "200"]);
+//! table.row(["sigma_d", "175", "200"]);
+//! assert_eq!(table.to_text().lines().count(), 3);
+//!
+//! // Figure 5, as data: dmm(10) over random priority assignments.
+//! let dmm_values = [0u64, 0, 3, 3, 3, 10];
+//! let histogram: Histogram = dmm_values.into_iter().collect();
+//! assert_eq!(histogram.mode(), Some(3));
+//! ```
+
+mod document;
+mod histogram;
+mod table;
+
+pub use document::Document;
+pub use histogram::Histogram;
+pub use table::{Align, Table};

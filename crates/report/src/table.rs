@@ -1,0 +1,301 @@
+//! Aligned tables renderable as plain text, Markdown or CSV.
+
+use std::fmt;
+
+/// Horizontal alignment of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Flush left (default).
+    #[default]
+    Left,
+    /// Flush right — numeric columns.
+    Right,
+}
+
+/// A rectangular table of strings with named, aligned columns.
+///
+/// The experiment binaries build their Table-I/Table-II style outputs
+/// with this type so the same data renders as terminal text
+/// ([`Table::to_text`]), Markdown ([`Table::to_markdown`]) for
+/// EXPERIMENTS.md, or CSV ([`Table::to_csv`]) for external plotting.
+///
+/// # Examples
+///
+/// ```
+/// use twca_report::{Align, Table};
+///
+/// let mut t = Table::new();
+/// t.column("chain", Align::Left);
+/// t.column("WCL", Align::Right);
+/// t.row(["sigma_c", "331"]);
+/// t.row(["sigma_d", "175"]);
+/// let text = t.to_text();
+/// assert!(text.contains("sigma_c  331"));
+/// assert!(t.to_markdown().starts_with("| chain | WCL |"));
+/// assert_eq!(t.to_csv().lines().count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    columns: Vec<(String, Align)>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Appends a column. Call before adding rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows were already added.
+    pub fn column(&mut self, header: impl Into<String>, align: Align) -> &mut Self {
+        assert!(
+            self.rows.is_empty(),
+            "declare all columns before adding rows"
+        );
+        self.columns.push((header.into(), align));
+        self
+    }
+
+    /// Appends a row of cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match column count"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|(h, _)| h.as_str())
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self
+            .columns
+            .iter()
+            .map(|(h, _)| h.chars().count())
+            .collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    /// Renders with space-aligned columns (two spaces between columns).
+    pub fn to_text(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        let render_row = |cells: Vec<&str>, out: &mut String| {
+            let mut first = true;
+            for ((cell, width), (_, align)) in
+                cells.iter().zip(&widths).zip(&self.columns)
+            {
+                if !first {
+                    out.push_str("  ");
+                }
+                first = false;
+                match align {
+                    Align::Left => {
+                        out.push_str(cell);
+                        for _ in cell.chars().count()..*width {
+                            out.push(' ');
+                        }
+                    }
+                    Align::Right => {
+                        for _ in cell.chars().count()..*width {
+                            out.push(' ');
+                        }
+                        out.push_str(cell);
+                    }
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(self.headers().collect(), &mut out);
+        for row in &self.rows {
+            render_row(row.iter().map(String::as_str).collect(), &mut out);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table. Pipes inside cells
+    /// are escaped so they cannot break the row structure.
+    pub fn to_markdown(&self) -> String {
+        fn escape(cell: &str) -> String {
+            cell.replace('|', "\\|")
+        }
+        let mut out = String::new();
+        out.push('|');
+        for (h, _) in &self.columns {
+            out.push(' ');
+            out.push_str(&escape(h));
+            out.push_str(" |");
+        }
+        out.push('\n');
+        out.push('|');
+        for (_, align) in &self.columns {
+            out.push_str(match align {
+                Align::Left => "---|",
+                Align::Right => "---:|",
+            });
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for cell in row {
+                out.push(' ');
+                out.push_str(&escape(cell));
+                out.push_str(" |");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as RFC-4180-style CSV (quoting cells containing commas,
+    /// quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers()
+                .map(escape)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new();
+        t.column("chain", Align::Left);
+        t.column("WCL", Align::Right);
+        t.row(["sigma_c", "331"]);
+        t.row(["sigma_d", "175"]);
+        t
+    }
+
+    #[test]
+    fn text_aligns_columns() {
+        let text = sample().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "chain    WCL");
+        assert_eq!(lines[1], "sigma_c  331");
+        assert_eq!(lines[2], "sigma_d  175");
+    }
+
+    #[test]
+    fn right_alignment_pads_short_cells() {
+        let mut t = Table::new();
+        t.column("k", Align::Right);
+        t.row(["3"]);
+        t.row(["250"]);
+        let lines: Vec<String> = t.to_text().lines().map(str::to_owned).collect();
+        assert_eq!(lines[1], "  3");
+        assert_eq!(lines[2], "250");
+    }
+
+    #[test]
+    fn markdown_has_alignment_row() {
+        let md = sample().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| chain | WCL |");
+        assert_eq!(lines[1], "|---|---:|");
+        assert_eq!(lines[2], "| sigma_c | 331 |");
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new();
+        t.column("name", Align::Left);
+        t.column("note", Align::Left);
+        t.row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "\"a,b\",\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new();
+        t.column("only", Align::Left);
+        t.row(["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns before")]
+    fn late_column_panics() {
+        let mut t = Table::new();
+        t.column("a", Align::Left);
+        t.row(["x"]);
+        t.column("b", Align::Left);
+    }
+
+    #[test]
+    fn display_matches_text() {
+        let t = sample();
+        assert_eq!(t.to_string(), t.to_text());
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

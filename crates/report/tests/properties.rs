@@ -1,0 +1,91 @@
+//! Property-based tests for the rendering substrate.
+
+use proptest::prelude::*;
+
+use twca_report::{Align, Histogram, Table};
+
+fn arb_cell() -> impl Strategy<Value = String> {
+    // Printable cells including CSV-hostile characters.
+    proptest::string::string_regex("[ -~]{0,12}").expect("valid regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every rendering of a table preserves the row/column structure.
+    #[test]
+    fn table_renderings_preserve_shape(
+        headers in proptest::collection::vec("[a-z]{1,8}", 1..5),
+        rows in proptest::collection::vec(
+            proptest::collection::vec(arb_cell(), 1..5), 0..8),
+    ) {
+        let cols = headers.len();
+        let mut t = Table::new();
+        for h in &headers {
+            t.column(h.clone(), Align::Left);
+        }
+        let mut used = 0usize;
+        for row in &rows {
+            if row.len() == cols {
+                t.row(row.clone());
+                used += 1;
+            }
+        }
+        // Text: one line per row plus the header.
+        prop_assert_eq!(t.to_text().lines().count(), used + 1);
+        // Markdown: header + alignment row + data rows.
+        let md = t.to_markdown();
+        prop_assert_eq!(md.lines().count(), used + 2);
+        for line in md.lines() {
+            // Unescaped pipes delimit exactly the declared columns.
+            let structural = line.matches('|').count() - line.matches("\\|").count();
+            prop_assert_eq!(structural, cols + 1);
+        }
+        // CSV: header + data rows; no unescaped quotes leak.
+        let csv = t.to_csv();
+        prop_assert!(csv.lines().count() > used);
+    }
+
+    /// Histogram totals and counts agree with the inserted data, and
+    /// the cumulative fraction is monotone reaching 1.
+    #[test]
+    fn histogram_accounts_for_every_observation(
+        values in proptest::collection::vec(0u64..40, 1..200),
+    ) {
+        let h: Histogram = values.iter().copied().collect();
+        prop_assert_eq!(h.total(), values.len());
+        let max = *values.iter().max().expect("non-empty");
+        prop_assert!((h.cumulative_fraction(max) - 1.0).abs() < 1e-12);
+        let mut previous = 0.0;
+        for v in 0..=max {
+            let f = h.cumulative_fraction(v);
+            prop_assert!(f >= previous);
+            previous = f;
+        }
+        // Each distinct value's count matches a direct tally.
+        for v in 0..=max {
+            let expected = values.iter().filter(|&&x| x == v).count();
+            prop_assert_eq!(h.count(v), expected);
+        }
+        // The ASCII art has one line per distinct value.
+        let distinct = {
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            sorted.len()
+        };
+        prop_assert_eq!(h.to_ascii(30).lines().count(), distinct);
+    }
+
+    /// Bars never exceed the requested width.
+    #[test]
+    fn histogram_bars_respect_width(
+        values in proptest::collection::vec(0u64..10, 1..100),
+        width in 1usize..40,
+    ) {
+        let h: Histogram = values.into_iter().collect();
+        for line in h.to_ascii(width).lines() {
+            prop_assert!(line.matches('#').count() <= width);
+        }
+    }
+}

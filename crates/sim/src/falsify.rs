@@ -1,0 +1,221 @@
+//! Falsification: search concrete, model-conforming scenarios that
+//! maximize observed latencies and window miss counts.
+//!
+//! Analytic bounds are upper bounds; falsification produces *lower*
+//! bounds from the same model, so the pair brackets the true worst case.
+//! A small gap certifies the analysis is tight; a huge gap flags
+//! pessimism (or, if the lower bound ever exceeded the upper one, an
+//! unsound analysis — which is exactly how this workspace refutes the
+//! published Table II values, see `EXPERIMENTS.md`).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::engine::Simulation;
+use crate::trace::{adversarial_aligned_traces, max_rate_trace, periodic_trace, Trace, TraceSet};
+use twca_curves::{EventModel, Time};
+use twca_model::{ChainId, System};
+
+/// Search budget and shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FalsificationConfig {
+    /// Simulated horizon per scenario.
+    pub horizon: Time,
+    /// Number of randomized scenarios (on top of the deterministic
+    /// ones).
+    pub random_rounds: usize,
+    /// Window length for the miss metric.
+    pub k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FalsificationConfig {
+    fn default() -> Self {
+        FalsificationConfig {
+            horizon: 200_000,
+            random_rounds: 20,
+            k: 10,
+            seed: 0xF415,
+        }
+    }
+}
+
+/// Best scenario found by [`falsify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FalsificationOutcome {
+    /// Largest observed end-to-end latency of the target chain.
+    pub worst_latency: Option<Time>,
+    /// Scenario label achieving `worst_latency`.
+    pub latency_scenario: String,
+    /// Largest observed miss count in any window of `k` activations.
+    pub worst_misses: usize,
+    /// Scenario label achieving `worst_misses`.
+    pub miss_scenario: String,
+    /// Total scenarios simulated.
+    pub scenarios: usize,
+}
+
+/// Searches for scenarios maximizing the latency and windowed misses of
+/// `target`. All generated traces conform to the chains' declared event
+/// models, so every observation is a sound lower bound on the true worst
+/// case.
+///
+/// Deterministic scenarios: all chains at max rate (aligned), overload
+/// chains aligned on the slowest overload grid. Randomized scenarios:
+/// overload chains run periodically at their minimum distance with random
+/// offsets; the target and other chains stay at max rate.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use twca_model::case_study;
+/// use twca_sim::{falsify, FalsificationConfig};
+///
+/// let system = case_study();
+/// let (c, _) = system.chain_by_name("sigma_c").unwrap();
+/// let outcome = falsify(&system, c, FalsificationConfig {
+///     horizon: 50_000,
+///     random_rounds: 5,
+///     ..FalsificationConfig::default()
+/// });
+/// // The adversarial scenario reaches the analytic WCL of 331 exactly.
+/// assert_eq!(outcome.worst_latency, Some(331));
+/// ```
+pub fn falsify(
+    system: &System,
+    target: ChainId,
+    config: FalsificationConfig,
+) -> FalsificationOutcome {
+    assert!(
+        target.index() < system.chains().len(),
+        "target chain out of range"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut outcome = FalsificationOutcome {
+        worst_latency: None,
+        latency_scenario: String::new(),
+        worst_misses: 0,
+        miss_scenario: String::new(),
+        scenarios: 0,
+    };
+
+    let consider = |label: &str, traces: &TraceSet, outcome: &mut FalsificationOutcome| {
+        let result = Simulation::new(system).run(traces);
+        let stats = result.chain(target);
+        outcome.scenarios += 1;
+        if let Some(lat) = stats.max_latency() {
+            if outcome.worst_latency.is_none_or(|w| lat > w) {
+                outcome.worst_latency = Some(lat);
+                outcome.latency_scenario = label.to_owned();
+            }
+        }
+        let misses = stats.max_misses_in_window(config.k);
+        if misses > outcome.worst_misses {
+            outcome.worst_misses = misses;
+            outcome.miss_scenario = label.to_owned();
+        }
+    };
+
+    // Deterministic scenarios.
+    consider(
+        "max-rate aligned",
+        &TraceSet::max_rate(system, config.horizon),
+        &mut outcome,
+    );
+    consider(
+        "overload aligned (slowest grid)",
+        &adversarial_aligned_traces(system, config.horizon),
+        &mut outcome,
+    );
+
+    // Randomized overload offsets.
+    for round in 0..config.random_rounds {
+        let mut traces = TraceSet::max_rate(system, config.horizon);
+        for (id, chain) in system.iter() {
+            if !chain.is_overload() {
+                continue;
+            }
+            let gap = chain.activation().delta_min(2).max(1);
+            let offset = rng.gen_range(0..gap);
+            traces.set_trace(id, periodic_trace(offset, gap, config.horizon));
+        }
+        consider(&format!("random offsets #{round}"), &traces, &mut outcome);
+    }
+
+    // Phase sweep of the target itself against the overload grid: shift
+    // the target's activations to catch different alignments.
+    let target_chain = system.chain(target);
+    let base_target = max_rate_trace(target_chain.activation(), config.horizon);
+    for shift_step in 1..=4u64 {
+        let gap = target_chain.activation().delta_min(2).max(4);
+        let shift = shift_step * gap / 5;
+        let mut traces = TraceSet::max_rate(system, config.horizon);
+        let shifted: Trace = base_target.times().iter().map(|&t| t + shift).collect();
+        traces.set_trace(target, shifted);
+        consider(&format!("target shifted by {shift}"), &traces, &mut outcome);
+    }
+
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::case_study;
+
+    #[test]
+    fn reaches_known_tight_latency() {
+        let s = case_study();
+        let (c, _) = s.chain_by_name("sigma_c").unwrap();
+        let outcome = falsify(
+            &s,
+            c,
+            FalsificationConfig {
+                horizon: 50_000,
+                random_rounds: 4,
+                k: 10,
+                seed: 1,
+            },
+        );
+        assert_eq!(outcome.worst_latency, Some(331));
+        assert!(outcome.worst_misses >= 3, "adversarial scenario finds 3+");
+        assert!(outcome.scenarios >= 6);
+        assert!(!outcome.miss_scenario.is_empty());
+    }
+
+    #[test]
+    fn schedulable_chain_shows_no_misses() {
+        let s = case_study();
+        let (d, _) = s.chain_by_name("sigma_d").unwrap();
+        let outcome = falsify(
+            &s,
+            d,
+            FalsificationConfig {
+                horizon: 50_000,
+                random_rounds: 4,
+                k: 10,
+                seed: 2,
+            },
+        );
+        assert_eq!(outcome.worst_misses, 0);
+        assert_eq!(outcome.worst_latency, Some(175));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let s = case_study();
+        let (c, _) = s.chain_by_name("sigma_c").unwrap();
+        let config = FalsificationConfig {
+            horizon: 30_000,
+            random_rounds: 3,
+            k: 5,
+            seed: 3,
+        };
+        assert_eq!(falsify(&s, c, config), falsify(&s, c, config));
+    }
+}

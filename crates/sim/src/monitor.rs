@@ -1,0 +1,172 @@
+//! Online weakly-hard monitoring: track `(m, k)` constraint satisfaction
+//! over a sliding window of deadline outcomes, as a runtime monitor
+//! would.
+
+use std::collections::VecDeque;
+
+/// A sliding-window monitor for an `(m, k)` weakly-hard constraint:
+/// at most `m` misses in any `k` consecutive outcomes.
+///
+/// # Examples
+///
+/// ```
+/// use twca_sim::MkMonitor;
+///
+/// let mut monitor = MkMonitor::new(1, 3);
+/// assert!(monitor.observe(false)); // hit
+/// assert!(monitor.observe(true));  // one miss: still fine
+/// assert!(!monitor.observe(true)); // two misses in the last 3: violated
+/// assert_eq!(monitor.violations(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MkMonitor {
+    m: u64,
+    k: usize,
+    window: VecDeque<bool>,
+    misses_in_window: u64,
+    violations: u64,
+    observed: u64,
+    total_misses: u64,
+}
+
+impl MkMonitor {
+    /// Creates a monitor for "at most `m` misses in any `k` consecutive
+    /// outcomes".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `m > k as u64`.
+    pub fn new(m: u64, k: usize) -> Self {
+        assert!(k > 0, "window must be non-empty");
+        assert!(m <= k as u64, "cannot tolerate more misses than the window holds");
+        MkMonitor {
+            m,
+            k,
+            window: VecDeque::with_capacity(k),
+            misses_in_window: 0,
+            violations: 0,
+            observed: 0,
+            total_misses: 0,
+        }
+    }
+
+    /// Feeds the outcome of one activation (`true` = deadline missed).
+    /// Returns whether the constraint still holds for the current window.
+    pub fn observe(&mut self, miss: bool) -> bool {
+        if self.window.len() == self.k
+            && self.window.pop_front() == Some(true) {
+                self.misses_in_window -= 1;
+            }
+        self.window.push_back(miss);
+        self.observed += 1;
+        if miss {
+            self.misses_in_window += 1;
+            self.total_misses += 1;
+        }
+        let ok = self.misses_in_window <= self.m;
+        if !ok {
+            self.violations += 1;
+        }
+        ok
+    }
+
+    /// Feeds a whole sequence; returns the number of violating windows.
+    pub fn observe_all<I: IntoIterator<Item = bool>>(&mut self, outcomes: I) -> u64 {
+        let before = self.violations;
+        for o in outcomes {
+            self.observe(o);
+        }
+        self.violations - before
+    }
+
+    /// Misses within the current window.
+    pub fn current_misses(&self) -> u64 {
+        self.misses_in_window
+    }
+
+    /// Number of windows that violated the constraint so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Whether no violation has occurred yet.
+    pub fn is_satisfied(&self) -> bool {
+        self.violations == 0
+    }
+
+    /// Total outcomes observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Total misses observed.
+    pub fn total_misses(&self) -> u64 {
+        self.total_misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_slides_correctly() {
+        let mut m = MkMonitor::new(1, 3);
+        // miss, hit, hit, miss → the first miss has left the window.
+        assert!(m.observe(true));
+        assert!(m.observe(false));
+        assert!(m.observe(false));
+        assert!(m.observe(true));
+        assert!(m.is_satisfied());
+        assert_eq!(m.current_misses(), 1);
+    }
+
+    #[test]
+    fn violation_is_latched_in_counts() {
+        let mut m = MkMonitor::new(0, 2);
+        assert!(m.observe(false));
+        assert!(!m.observe(true));
+        assert!(!m.observe(true)); // still ≥ 1 miss in window
+        assert!(!m.observe(false)); // window [miss, hit]: 1 > 0
+        assert!(m.observe(false)); // window [hit, hit]
+        assert_eq!(m.violations(), 3);
+        assert_eq!(m.total_misses(), 2);
+        assert_eq!(m.observed(), 5);
+    }
+
+    #[test]
+    fn observe_all_counts_new_violations() {
+        let mut m = MkMonitor::new(1, 4);
+        let violations = m.observe_all([false, true, false, true, true]);
+        // windows: [f],[f,t],[f,t,f],[f,t,f,t] (2 misses → violation),
+        // [t,f,t,t] (3 → violation).
+        assert_eq!(violations, 2);
+    }
+
+    #[test]
+    fn agrees_with_offline_window_maximum() {
+        // Consistency with ChainStats::max_misses_in_window: a monitor
+        // with m = max-1 must report a violation, with m = max none.
+        let outcomes = [true, false, true, true, false, false, true, true, true];
+        let k = 4;
+        let max = {
+            let mut best = 0;
+            for w in outcomes.windows(k) {
+                best = best.max(w.iter().filter(|&&x| x).count());
+            }
+            best as u64
+        };
+        let mut strict = MkMonitor::new(max - 1, k);
+        strict.observe_all(outcomes);
+        assert!(!strict.is_satisfied());
+        let mut lenient = MkMonitor::new(max, k);
+        lenient.observe_all(outcomes);
+        assert!(lenient.is_satisfied());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_panics() {
+        let _ = MkMonitor::new(0, 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Concrete activation traces and their generators.
+
+use rand::Rng;
+
+use twca_curves::{EventModel, Time};
+use twca_model::{ChainId, System};
+
+/// A finite, sorted list of activation instants for one chain.
+///
+/// # Examples
+///
+/// ```
+/// use twca_sim::Trace;
+///
+/// let t = Trace::new(vec![0, 200, 400]);
+/// assert_eq!(t.len(), 3);
+/// assert!(t.respects_min_distance(200));
+/// assert!(!t.respects_min_distance(201));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    times: Vec<Time>,
+}
+
+impl Trace {
+    /// Creates a trace, sorting the instants.
+    pub fn new(mut times: Vec<Time>) -> Self {
+        times.sort_unstable();
+        Trace { times }
+    }
+
+    /// An empty trace (the chain never activates).
+    pub fn empty() -> Self {
+        Trace::default()
+    }
+
+    /// The activation instants in ascending order.
+    pub fn times(&self) -> &[Time] {
+        &self.times
+    }
+
+    /// Number of activations.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the trace has no activations.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Checks that consecutive activations are at least `min_distance`
+    /// apart.
+    pub fn respects_min_distance(&self, min_distance: Time) -> bool {
+        self.times
+            .windows(2)
+            .all(|w| w[1] - w[0] >= min_distance)
+    }
+
+    /// Checks the trace against an event model: every window of the trace
+    /// must contain no more events than `η+` allows.
+    ///
+    /// This is `O(n²)` and intended for tests and validation harnesses.
+    pub fn conforms_to(&self, model: &dyn EventModel) -> bool {
+        for i in 0..self.times.len() {
+            for j in i..self.times.len() {
+                let span = self.times[j] - self.times[i];
+                let events = (j - i + 1) as u64;
+                // j - i + 1 events within a half-open window of length
+                // span + 1 starting just before times[i].
+                if events > model.eta_plus(span + 1) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl FromIterator<Time> for Trace {
+    fn from_iter<I: IntoIterator<Item = Time>>(iter: I) -> Self {
+        Trace::new(iter.into_iter().collect())
+    }
+}
+
+/// Strictly periodic trace `offset, offset+period, …` up to `horizon`
+/// (exclusive).
+///
+/// # Panics
+///
+/// Panics if `period` is zero.
+pub fn periodic_trace(offset: Time, period: Time, horizon: Time) -> Trace {
+    assert!(period > 0, "period must be positive");
+    let mut times = Vec::new();
+    let mut t = offset;
+    while t < horizon {
+        times.push(t);
+        t += period;
+    }
+    Trace { times }
+}
+
+/// The densest trace permitted by an event model: event `i` (0-based) at
+/// `δ-(i + 1)`. For superadditive distance functions this trace conforms
+/// to the model and maximizes load.
+pub fn max_rate_trace(model: &dyn EventModel, horizon: Time) -> Trace {
+    let mut times = Vec::new();
+    if !model.is_recurring() {
+        return Trace { times };
+    }
+    let mut k = 1u64;
+    loop {
+        let t = model.delta_min(k);
+        if t >= horizon {
+            break;
+        }
+        times.push(t);
+        k += 1;
+    }
+    Trace { times }
+}
+
+/// Random sporadic trace: consecutive gaps are `min_distance` plus a
+/// random slack in `[0, max_extra]`.
+///
+/// # Panics
+///
+/// Panics if `min_distance` is zero.
+pub fn random_sporadic_trace(
+    rng: &mut impl Rng,
+    min_distance: Time,
+    max_extra: Time,
+    horizon: Time,
+) -> Trace {
+    assert!(min_distance > 0, "min distance must be positive");
+    let mut times = Vec::new();
+    let mut t = rng.gen_range(0..=max_extra.min(horizon));
+    while t < horizon {
+        times.push(t);
+        t += min_distance + rng.gen_range(0..=max_extra);
+    }
+    Trace { times }
+}
+
+/// A set of traces, one per chain of a system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSet {
+    traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates a trace set from one trace per chain, in chain-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of traces differs from the number of chains.
+    pub fn new(system: &System, traces: Vec<Trace>) -> Self {
+        assert_eq!(
+            traces.len(),
+            system.chains().len(),
+            "need exactly one trace per chain"
+        );
+        TraceSet { traces }
+    }
+
+    /// Maximum-rate traces for every chain (aligned at time zero), the
+    /// canonical stress scenario.
+    pub fn max_rate(system: &System, horizon: Time) -> Self {
+        let traces = system
+            .chains()
+            .iter()
+            .map(|c| max_rate_trace(c.activation(), horizon))
+            .collect();
+        TraceSet { traces }
+    }
+
+    /// Maximum-rate traces for the regular chains, empty traces for all
+    /// overload chains — the *typical* scenario of TWCA.
+    pub fn max_rate_without_overload(system: &System, horizon: Time) -> Self {
+        let traces = system
+            .chains()
+            .iter()
+            .map(|c| {
+                if c.is_overload() {
+                    Trace::empty()
+                } else {
+                    max_rate_trace(c.activation(), horizon)
+                }
+            })
+            .collect();
+        TraceSet { traces }
+    }
+
+    /// The trace of one chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn trace(&self, id: ChainId) -> &Trace {
+        &self.traces[id.index()]
+    }
+
+    /// Replaces the trace of one chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_trace(&mut self, id: ChainId, trace: Trace) {
+        self.traces[id.index()] = trace;
+    }
+
+    /// All traces in chain-id order.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+}
+
+/// Adversarial scenario: regular chains at maximum rate from time zero;
+/// every overload chain fires at the instants of the *slowest* overload
+/// chain's maximum-rate grid, so all overload activations coincide.
+///
+/// Coinciding overload activations are what unschedulable combinations
+/// need (Experiment 1's `c̄3` requires σa and σb in the same busy window),
+/// so this scenario tends to maximize observed deadline misses while
+/// remaining legal for every sporadic model.
+pub fn adversarial_aligned_traces(system: &System, horizon: Time) -> TraceSet {
+    // Find the largest minimum distance among overload chains.
+    let slowest_gap = system
+        .overload_chains()
+        .map(|id| system.chain(id).activation().delta_min(2))
+        .max()
+        .unwrap_or(0);
+    let traces = system
+        .chains()
+        .iter()
+        .map(|c| {
+            if c.is_overload() {
+                if slowest_gap == 0 {
+                    max_rate_trace(c.activation(), horizon)
+                } else {
+                    periodic_trace(0, slowest_gap, horizon)
+                }
+            } else {
+                max_rate_trace(c.activation(), horizon)
+            }
+        })
+        .collect();
+    TraceSet { traces }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use twca_curves::{Periodic, Sporadic};
+    use twca_model::case_study;
+
+    #[test]
+    fn periodic_trace_contents() {
+        let t = periodic_trace(5, 10, 40);
+        assert_eq!(t.times(), &[5, 15, 25, 35]);
+        assert!(t.respects_min_distance(10));
+    }
+
+    #[test]
+    fn max_rate_trace_matches_model() {
+        let m = Periodic::new(200).unwrap();
+        let t = max_rate_trace(&m, 1000);
+        assert_eq!(t.times(), &[0, 200, 400, 600, 800]);
+        assert!(t.conforms_to(&m));
+    }
+
+    #[test]
+    fn max_rate_trace_for_sporadic_conforms() {
+        let m = Sporadic::new(700).unwrap();
+        let t = max_rate_trace(&m, 3000);
+        assert_eq!(t.times(), &[0, 700, 1400, 2100, 2800]);
+        assert!(t.conforms_to(&m));
+    }
+
+    #[test]
+    fn conformance_detects_violations() {
+        let m = Periodic::new(100).unwrap();
+        let t = Trace::new(vec![0, 50]);
+        assert!(!t.conforms_to(&m));
+    }
+
+    #[test]
+    fn random_sporadic_respects_distance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let t = random_sporadic_trace(&mut rng, 100, 300, 10_000);
+        assert!(t.respects_min_distance(100));
+        assert!(t.conforms_to(&Sporadic::new(100).unwrap()));
+    }
+
+    #[test]
+    fn trace_set_shapes() {
+        let s = case_study();
+        let all = TraceSet::max_rate(&s, 5_000);
+        assert_eq!(all.traces().len(), 4);
+        let typical = TraceSet::max_rate_without_overload(&s, 5_000);
+        let (a_id, _) = s.chain_by_name("sigma_a").unwrap();
+        assert!(typical.trace(a_id).is_empty());
+        let (c_id, _) = s.chain_by_name("sigma_c").unwrap();
+        assert!(!typical.trace(c_id).is_empty());
+    }
+
+    #[test]
+    fn adversarial_alignment_coincides_overloads() {
+        let s = case_study();
+        let t = adversarial_aligned_traces(&s, 5_000);
+        let (a_id, _) = s.chain_by_name("sigma_a").unwrap();
+        let (b_id, _) = s.chain_by_name("sigma_b").unwrap();
+        // Both overload chains fire on the 700-grid (slowest of 600/700).
+        assert_eq!(t.trace(a_id).times(), t.trace(b_id).times());
+        let (a_id2, a) = s.chain_by_name("sigma_a").unwrap();
+        assert!(t.trace(a_id2).conforms_to(a.activation()));
+        let (b_id2, b) = s.chain_by_name("sigma_b").unwrap();
+        assert!(t.trace(b_id2).conforms_to(b.activation()));
+    }
+
+    #[test]
+    fn from_iterator_sorts() {
+        let t: Trace = [30u64, 10, 20].into_iter().collect();
+        assert_eq!(t.times(), &[10, 20, 30]);
+    }
+}

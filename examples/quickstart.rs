@@ -1,0 +1,65 @@
+//! Quickstart: model a small weakly-hard system, bound its latency and
+//! its deadline misses.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use twca_suite::chains::{ChainAnalysis, MkConstraint};
+use twca_suite::model::{ChainKind, SystemBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A control chain (sensor → filter → actuate) with a 100-tick period
+    // and deadline, plus a rare recovery chain that occasionally floods
+    // the processor.
+    let system = SystemBuilder::new()
+        .chain("control")
+        .periodic(100)?
+        .deadline(100)
+        .kind(ChainKind::Synchronous)
+        .task("sense", 5, 10)
+        .task("filter", 4, 20)
+        .task("actuate", 1, 25)
+        .done()
+        .chain("recovery")
+        .sporadic(1_000)? // at most once per 1000 ticks
+        .overload()
+        .task("diagnose", 3, 30)
+        .task("repair", 2, 20)
+        .done()
+        .build()?;
+
+    let analysis = ChainAnalysis::new(&system);
+    println!("{}", analysis.report());
+
+    let (control, chain) = system.chain_by_name("control").expect("chain exists");
+    let deadline = chain.deadline().expect("control has a deadline");
+
+    // Worst-case latency with and without the recovery chain.
+    let full = analysis.worst_case_latency(control)?;
+    let typical = analysis
+        .typical_latency(control)?
+        .expect("typical busy window closes");
+    println!(
+        "control: worst-case latency {} (deadline {deadline}), typical {}",
+        full.worst_case_latency, typical.worst_case_latency
+    );
+
+    // How bad can it get? Bound misses out of any k consecutive cycles.
+    for k in [5, 10, 50] {
+        let dmm = analysis.deadline_miss_model(control, k)?;
+        println!("control: at most {} misses in any {k} consecutive cycles", dmm.bound);
+    }
+
+    // Verify a weakly-hard contract: at most 1 miss in any 10 cycles.
+    let contract = MkConstraint::new(1, 10);
+    println!(
+        "contract {contract}: {}",
+        if analysis.satisfies(control, contract)? {
+            "satisfied"
+        } else {
+            "violated"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Validates the analytic bounds against the discrete-event simulator:
+//! observed latencies must stay below the worst-case latency, observed
+//! window miss counts below dmm(k) — across max-rate, typical and
+//! adversarially aligned activation scenarios.
+//!
+//! ```text
+//! cargo run --release --example simulation_validation
+//! ```
+
+use twca_suite::chains::ChainAnalysis;
+use twca_suite::model::case_study;
+use twca_suite::sim::{adversarial_aligned_traces, Simulation, TraceSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let system = case_study();
+    let analysis = ChainAnalysis::new(&system);
+    let horizon = 500_000;
+    let k = 10usize;
+
+    let scenarios = [
+        ("max-rate (all chains)", TraceSet::max_rate(&system, horizon)),
+        (
+            "typical (no overload)",
+            TraceSet::max_rate_without_overload(&system, horizon),
+        ),
+        (
+            "adversarial (aligned overload)",
+            adversarial_aligned_traces(&system, horizon),
+        ),
+    ];
+
+    let mut all_sound = true;
+    for (label, traces) in &scenarios {
+        println!("=== scenario: {label} ===");
+        let result = Simulation::new(&system).run(traces);
+        for name in ["sigma_c", "sigma_d"] {
+            let (id, chain) = system.chain_by_name(name).expect("chain exists");
+            let stats = result.chain(id);
+            let wcl = analysis.worst_case_latency(id)?.worst_case_latency;
+            let dmm = analysis.deadline_miss_model(id, k as u64)?.bound;
+            let observed_latency = stats.max_latency().unwrap_or(0);
+            let observed_misses = stats.max_misses_in_window(k);
+            let latency_ok = observed_latency <= wcl;
+            let miss_ok = observed_misses as u64 <= dmm;
+            all_sound &= latency_ok && miss_ok;
+            println!(
+                "{name}: {} instances, max latency {observed_latency} <= WCL {wcl} [{}], \
+                 worst window {observed_misses}/{k} misses <= dmm {dmm} [{}] (D = {})",
+                stats.completed_instances(),
+                if latency_ok { "ok" } else { "VIOLATION" },
+                if miss_ok { "ok" } else { "VIOLATION" },
+                chain.deadline().expect("deadline"),
+            );
+        }
+    }
+    println!(
+        "\nsoundness: {}",
+        if all_sound { "PASS" } else { "FAIL" }
+    );
+    if !all_sound {
+        std::process::exit(1);
+    }
+    Ok(())
+}

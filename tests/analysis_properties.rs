@@ -1,0 +1,88 @@
+//! Property-based integration tests over randomly generated systems:
+//! structural invariants the analysis must satisfy regardless of input.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use twca_suite::chains::{AnalysisOptions, ChainAnalysis};
+use twca_suite::gen::{random_priority_permutation, random_system, RandomSystemConfig};
+use twca_suite::model::{case_study, CASE_STUDY_TASK_COUNT};
+
+fn options() -> AnalysisOptions {
+    AnalysisOptions {
+        horizon: 10_000_000,
+        max_q: 10_000,
+        ..AnalysisOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// dmm(k) is monotone in k and never exceeds k.
+    #[test]
+    fn dmm_is_monotone_and_capped(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let priorities = random_priority_permutation(&mut rng, CASE_STUDY_TASK_COUNT);
+        let system = case_study().with_priorities(&priorities);
+        let analysis = ChainAnalysis::new(&system).with_options(options());
+        for name in ["sigma_c", "sigma_d"] {
+            let (id, _) = system.chain_by_name(name).unwrap();
+            let mut previous = 0u64;
+            for k in [1u64, 2, 5, 10, 25] {
+                let dmm = analysis.deadline_miss_model(id, k).unwrap();
+                prop_assert!(dmm.bound <= k);
+                prop_assert!(dmm.bound >= previous, "{name}: dmm not monotone at k={k}");
+                previous = dmm.bound;
+            }
+        }
+    }
+
+    /// The typical (overload-free) latency never exceeds the full
+    /// worst-case latency.
+    #[test]
+    fn typical_latency_below_full(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let system = random_system(&mut rng, &RandomSystemConfig::default()).unwrap();
+        let analysis = ChainAnalysis::new(&system).with_options(options());
+        for (id, _) in system.iter() {
+            let full = analysis.try_worst_case_latency(id).unwrap();
+            let typical = analysis.typical_latency(id).unwrap();
+            if let (Some(f), Some(t)) = (full, typical) {
+                prop_assert!(t.worst_case_latency <= f.worst_case_latency);
+                prop_assert!(t.busy_window_activations <= f.busy_window_activations);
+            }
+        }
+    }
+
+    /// Busy times grow with q, and latency dominates B(1) − 0.
+    #[test]
+    fn busy_times_are_increasing(seed in 0u64..10_000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let system = random_system(&mut rng, &RandomSystemConfig::default()).unwrap();
+        let analysis = ChainAnalysis::new(&system).with_options(options());
+        for (id, _) in system.iter() {
+            if let Some(r) = analysis.try_worst_case_latency(id).unwrap() {
+                for pair in r.busy_times.windows(2) {
+                    prop_assert!(pair[0] < pair[1], "busy times must strictly grow");
+                }
+                prop_assert!(r.worst_case_latency >= r.busy_times[0]);
+            }
+        }
+    }
+
+    /// Growing an overload WCET can only grow (or keep) the miss bound.
+    #[test]
+    fn dmm_is_monotone_in_overload_size(percent in 10u64..100) {
+        let base = case_study();
+        let smaller = base.with_scaled_overload_wcets(percent, 100);
+        let analysis_base = ChainAnalysis::new(&base).with_options(options());
+        let analysis_small = ChainAnalysis::new(&smaller).with_options(options());
+        let (c_base, _) = base.chain_by_name("sigma_c").unwrap();
+        let (c_small, _) = smaller.chain_by_name("sigma_c").unwrap();
+        let full = analysis_base.deadline_miss_model(c_base, 20).unwrap().bound;
+        let shrunk = analysis_small.deadline_miss_model(c_small, 20).unwrap().bound;
+        prop_assert!(shrunk <= full, "shrinking overload increased the bound");
+    }
+}

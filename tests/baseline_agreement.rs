@@ -1,0 +1,139 @@
+//! Integration test: on degenerate inputs (every chain a single task) the
+//! chain-aware analysis must agree with the classic independent-task
+//! baseline, and the TWCA DMMs must relate sensibly across both.
+
+use twca_suite::chains::ChainAnalysis;
+use twca_suite::curves::ActivationModel;
+use twca_suite::independent::{response_time_analysis, IndependentTask, IndependentTwca};
+use twca_suite::model::SystemBuilder;
+
+/// Three single-task "chains" mirroring a classic independent task set.
+fn singleton_system() -> (twca_suite::model::System, Vec<IndependentTask>) {
+    let system = SystemBuilder::new()
+        .chain("t1")
+        .periodic(4)
+        .unwrap()
+        .deadline(4)
+        .task("tau1", 3, 1)
+        .done()
+        .chain("t2")
+        .periodic(6)
+        .unwrap()
+        .deadline(6)
+        .task("tau2", 2, 2)
+        .done()
+        .chain("t3")
+        .periodic(12)
+        .unwrap()
+        .deadline(12)
+        .task("tau3", 1, 3)
+        .done()
+        .build()
+        .unwrap();
+    let tasks = vec![
+        IndependentTask::new("tau1", 3, 1, ActivationModel::periodic(4).unwrap())
+            .with_deadline(4),
+        IndependentTask::new("tau2", 2, 2, ActivationModel::periodic(6).unwrap())
+            .with_deadline(6),
+        IndependentTask::new("tau3", 1, 3, ActivationModel::periodic(12).unwrap())
+            .with_deadline(12),
+    ];
+    (system, tasks)
+}
+
+#[test]
+fn latency_equals_response_time_for_singleton_chains() {
+    let (system, tasks) = singleton_system();
+    let analysis = ChainAnalysis::new(&system);
+    for (i, (id, _)) in system.iter().enumerate() {
+        let chain_wcl = analysis
+            .worst_case_latency(id)
+            .unwrap()
+            .worst_case_latency;
+        let rta = response_time_analysis(&tasks, i).unwrap();
+        assert_eq!(
+            chain_wcl, rta.worst_case_response_time,
+            "task {i}: chain analysis and RTA disagree"
+        );
+    }
+}
+
+#[test]
+fn busy_window_population_agrees() {
+    let (system, tasks) = singleton_system();
+    let analysis = ChainAnalysis::new(&system);
+    for (i, (id, _)) in system.iter().enumerate() {
+        let chain = analysis.worst_case_latency(id).unwrap();
+        let rta = response_time_analysis(&tasks, i).unwrap();
+        assert_eq!(chain.busy_window_activations, rta.busy_window_activations);
+        assert_eq!(chain.busy_times, rta.busy_times);
+    }
+}
+
+#[test]
+fn overloaded_singleton_dmm_agrees_between_frameworks() {
+    // One victim task + one rare overload ISR, expressed both as chains
+    // and as independent tasks.
+    let system = SystemBuilder::new()
+        .chain("app")
+        .periodic(100)
+        .unwrap()
+        .deadline(100)
+        .task("app_t", 2, 50)
+        .done()
+        .chain("isr")
+        .sporadic(1_000)
+        .unwrap()
+        .overload()
+        .task("isr_t", 3, 60)
+        .done()
+        .build()
+        .unwrap();
+    let tasks = vec![
+        IndependentTask::new("app_t", 2, 50, ActivationModel::periodic(100).unwrap())
+            .with_deadline(100),
+        IndependentTask::new("isr_t", 3, 60, ActivationModel::sporadic(1_000).unwrap()),
+    ];
+
+    let chain_analysis = ChainAnalysis::new(&system);
+    let (app, _) = system.chain_by_name("app").unwrap();
+    let independent = IndependentTwca::new(&tasks, vec![1]).unwrap();
+
+    for k in [1u64, 5, 10, 50] {
+        let chain_dmm = chain_analysis.deadline_miss_model(app, k).unwrap().bound;
+        let task_dmm = independent.dmm(0, k).unwrap().bound;
+        assert_eq!(
+            chain_dmm, task_dmm,
+            "k={k}: chain-aware and independent TWCA disagree on a singleton"
+        );
+    }
+}
+
+#[test]
+fn schedulable_singleton_has_zero_dmm_in_both() {
+    let system = SystemBuilder::new()
+        .chain("app")
+        .periodic(100)
+        .unwrap()
+        .deadline(100)
+        .task("app_t", 2, 50)
+        .done()
+        .chain("isr")
+        .sporadic(1_000)
+        .unwrap()
+        .overload()
+        .task("isr_t", 3, 10)
+        .done()
+        .build()
+        .unwrap();
+    let tasks = vec![
+        IndependentTask::new("app_t", 2, 50, ActivationModel::periodic(100).unwrap())
+            .with_deadline(100),
+        IndependentTask::new("isr_t", 3, 10, ActivationModel::sporadic(1_000).unwrap()),
+    ];
+    let chain_analysis = ChainAnalysis::new(&system);
+    let (app, _) = system.chain_by_name("app").unwrap();
+    let independent = IndependentTwca::new(&tasks, vec![1]).unwrap();
+    assert_eq!(chain_analysis.deadline_miss_model(app, 10).unwrap().bound, 0);
+    assert_eq!(independent.dmm(0, 10).unwrap().bound, 0);
+}

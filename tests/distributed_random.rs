@@ -1,0 +1,158 @@
+//! Randomized soundness sweep for the distributed extension: random
+//! pipelines from `twca-gen`, analyzed holistically and cross-checked
+//! against the trace-propagating simulator.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use twca_suite::dist::{
+    analyze, propagate_simulation, soundness_violations, DistError, DistOptions, DistPath,
+    StimulusKind,
+};
+use twca_suite::gen::{random_pipeline, RandomPipelineConfig};
+
+fn options() -> DistOptions {
+    DistOptions {
+        chain_options: twca_suite::chains::AnalysisOptions {
+            horizon: 2_000_000,
+            max_q: 20_000,
+            ..twca_suite::chains::AnalysisOptions::default()
+        },
+        ..DistOptions::default()
+    }
+}
+
+#[test]
+fn random_pipelines_are_sound_against_simulation() {
+    let config = RandomPipelineConfig::default();
+    let mut analyzed = 0usize;
+    for seed in 0..40u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dist = random_pipeline(&mut rng, &config).expect("valid pipeline");
+        let results = match analyze(&dist, options()) {
+            Ok(r) => r,
+            // Some random systems are genuinely overloaded; skipping
+            // them is fine — soundness is about the bounds we *do* emit.
+            Err(DistError::UnboundedLatency { .. }) | Err(DistError::Diverged { .. }) => continue,
+            Err(other) => panic!("unexpected analysis error: {other}"),
+        };
+        analyzed += 1;
+        let violations = soundness_violations(&dist, &results, 20_000, 5)
+            .expect("pipelines are acyclic");
+        assert!(
+            violations.is_empty(),
+            "seed {seed}: bounds violated: {violations:?}"
+        );
+    }
+    assert!(analyzed >= 20, "too few analyzable systems ({analyzed}/40)");
+}
+
+#[test]
+fn random_phasings_stay_within_bounds() {
+    // Thinned (randomly phased) stimuli are legal traces, so every
+    // observation must stay within the analytic bounds too.
+    let config = RandomPipelineConfig::default();
+    let mut checked = 0usize;
+    for seed in 300..320u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dist = random_pipeline(&mut rng, &config).expect("valid pipeline");
+        let Ok(results) = analyze(&dist, options()) else {
+            continue;
+        };
+        for keep in [250u16, 750] {
+            let sim = propagate_simulation(
+                &dist,
+                15_000,
+                StimulusKind::Thinned {
+                    seed,
+                    keep_permille: keep,
+                },
+            )
+            .expect("pipelines are acyclic");
+            for site in dist.sites() {
+                if let (Some(observed), Some(bound)) =
+                    (sim.max_latency(site), results.worst_case_latency(site))
+                {
+                    assert!(
+                        observed <= bound,
+                        "seed {seed} keep {keep}: {site} observed {observed} > bound {bound}"
+                    );
+                }
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "too few analyzable systems ({checked}/20)");
+}
+
+#[test]
+fn random_pipeline_paths_compose() {
+    let config = RandomPipelineConfig {
+        resources: 4,
+        ..RandomPipelineConfig::default()
+    };
+    let mut checked = 0usize;
+    for seed in 100..120u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dist = random_pipeline(&mut rng, &config).expect("valid pipeline");
+        let Ok(results) = analyze(&dist, options()) else {
+            continue;
+        };
+        // Reconstruct the linked path from the declared links.
+        let mut hops = vec![dist.links()[0].from()];
+        while let Some(link) = dist.outgoing_links(*hops.last().unwrap()).next() {
+            hops.push(link.to());
+        }
+        assert_eq!(hops.len(), 4);
+        let path = DistPath::new(&dist, hops.clone()).expect("linked hops");
+        let Ok(total) = path.latency(&results) else {
+            continue;
+        };
+        // The path bound is exactly the sum of per-hop latencies.
+        let sum: u64 = hops
+            .iter()
+            .map(|&h| results.worst_case_latency(h).expect("bounded"))
+            .sum();
+        assert_eq!(total, sum);
+        // Per-hop dmm composition is capped at k.
+        for k in [1u64, 3, 10] {
+            if let Ok(dmm) = path.deadline_miss_model(&results, k) {
+                assert!(dmm <= k);
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "too few composable paths ({checked}/20)");
+}
+
+#[test]
+fn deeper_pipelines_accumulate_jitter_monotonically() {
+    // Along a pipeline, each destination's effective activation has at
+    // most the minimum distance of its source's effective activation
+    // (jitter only compresses distances).
+    use twca_suite::curves::EventModel;
+    let config = RandomPipelineConfig {
+        resources: 3,
+        ..RandomPipelineConfig::default()
+    };
+    let mut checked = 0usize;
+    for seed in 200..230u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dist = random_pipeline(&mut rng, &config).expect("valid pipeline");
+        let Ok(results) = analyze(&dist, options()) else {
+            continue;
+        };
+        for link in dist.links() {
+            let src = results.effective_activation(link.from());
+            let dst = results.effective_activation(link.to());
+            for k in [2u64, 3, 5, 10] {
+                assert!(
+                    dst.delta_min(k) <= src.delta_min(k),
+                    "seed {seed}: propagation increased δ⁻({k})"
+                );
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 15, "too few analyzable systems ({checked}/30)");
+}

@@ -1,0 +1,206 @@
+//! Integration: distributed analysis vs trace-propagating simulation.
+//!
+//! These tests exercise `twca-dist` end-to-end: holistic fixed-point
+//! analysis on multi-resource systems built from `twca-model` pieces
+//! (including the paper's case study), cross-checked against the
+//! discrete-event simulator with completion-trace forwarding.
+
+use twca_suite::dist::{
+    analyze, propagate_simulation, soundness_violations, DistOptions, DistPath,
+    DistributedSystemBuilder, StimulusKind,
+};
+use twca_suite::model::{case_study, System, SystemBuilder};
+
+fn fusion_ecu() -> System {
+    SystemBuilder::new()
+        .chain("fuse")
+        .periodic(200)
+        .unwrap()
+        .deadline(200)
+        .task("align", 5, 12)
+        .task("merge", 4, 18)
+        .done()
+        .chain("log")
+        .periodic(400)
+        .unwrap()
+        .deadline(400)
+        .task("pack", 3, 10)
+        .task("store", 1, 15)
+        .done()
+        .chain("fwcheck")
+        .sporadic(2_000)
+        .unwrap()
+        .overload()
+        .task("hash", 2, 25)
+        .done()
+        .build()
+        .unwrap()
+}
+
+fn actuation_ecu() -> System {
+    SystemBuilder::new()
+        .chain("act")
+        .periodic(200)
+        .unwrap()
+        .deadline(200)
+        .task("plan", 2, 20)
+        .task("drive", 1, 30)
+        .done()
+        .build()
+        .unwrap()
+}
+
+fn case_study_pipeline() -> twca_suite::dist::DistributedSystem {
+    DistributedSystemBuilder::new()
+        .resource("ecu0", case_study())
+        .resource("ecu1", fusion_ecu())
+        .resource("ecu2", actuation_ecu())
+        .link(("ecu0", "sigma_c"), ("ecu1", "fuse"))
+        .link(("ecu1", "fuse"), ("ecu2", "act"))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn case_study_pipeline_analysis_is_sound() {
+    let dist = case_study_pipeline();
+    let results = analyze(&dist, DistOptions::default()).unwrap();
+    let violations = soundness_violations(&dist, &results, 60_000, 10).unwrap();
+    assert!(violations.is_empty(), "violations: {violations:?}");
+}
+
+#[test]
+fn case_study_resource_matches_uniprocessor_analysis() {
+    // The first resource is exactly the paper's case study; embedding it
+    // in a distributed system must not change its local results.
+    let dist = case_study_pipeline();
+    let results = analyze(&dist, DistOptions::default()).unwrap();
+    let c = dist.site("ecu0", "sigma_c").unwrap();
+    let d = dist.site("ecu0", "sigma_d").unwrap();
+    assert_eq!(results.worst_case_latency(c), Some(331)); // Table I
+    assert_eq!(results.worst_case_latency(d), Some(175)); // Table I
+}
+
+#[test]
+fn end_to_end_path_dominates_simulation() {
+    let dist = case_study_pipeline();
+    let results = analyze(&dist, DistOptions::default()).unwrap();
+    let path = DistPath::new(
+        &dist,
+        vec![
+            dist.site("ecu0", "sigma_c").unwrap(),
+            dist.site("ecu1", "fuse").unwrap(),
+            dist.site("ecu2", "act").unwrap(),
+        ],
+    )
+    .unwrap();
+    let bound = path.latency(&results).unwrap();
+    let sim = propagate_simulation(&dist, 60_000, StimulusKind::MaxRate).unwrap();
+    let observed = sim.max_path_latency(&path).unwrap();
+    assert!(observed <= bound, "observed {observed} > bound {bound}");
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let dist = case_study_pipeline();
+    let r1 = analyze(&dist, DistOptions::default()).unwrap();
+    let r2 = analyze(&dist, DistOptions::default()).unwrap();
+    assert_eq!(r1.sweeps(), r2.sweeps());
+    for site in dist.sites() {
+        assert_eq!(r1.worst_case_latency(site), r2.worst_case_latency(site));
+        assert_eq!(r1.response_jitter(site), r2.response_jitter(site));
+    }
+}
+
+#[test]
+fn downstream_overload_does_not_leak_upstream() {
+    // ECU1's fwcheck overload must not affect ECU0 latencies.
+    let with_dist = {
+        let dist = case_study_pipeline();
+        let results = analyze(&dist, DistOptions::default()).unwrap();
+        (
+            results.worst_case_latency(dist.site("ecu0", "sigma_c").unwrap()),
+            results.worst_case_latency(dist.site("ecu0", "sigma_d").unwrap()),
+        )
+    };
+    let standalone = {
+        let dist = DistributedSystemBuilder::new()
+            .resource("ecu0", case_study())
+            .build()
+            .unwrap();
+        let results = analyze(&dist, DistOptions::default()).unwrap();
+        (
+            results.worst_case_latency(dist.site("ecu0", "sigma_c").unwrap()),
+            results.worst_case_latency(dist.site("ecu0", "sigma_d").unwrap()),
+        )
+    };
+    assert_eq!(with_dist, standalone);
+}
+
+#[test]
+fn silencing_upstream_overload_shrinks_downstream_jitter() {
+    // Remove ECU0's overload chains: σc's WCL drops, so the jitter
+    // propagated into fuse drops, and fuse's effective activation has
+    // larger minimum distances.
+    let quiet_ecu0 = {
+        let mut builder = SystemBuilder::new();
+        for (_, chain) in case_study().iter() {
+            if chain.is_overload() {
+                continue;
+            }
+            let mut cb = builder.chain(chain.name()).activation(chain.activation().clone());
+            if let Some(d) = chain.deadline() {
+                cb = cb.deadline(d);
+            }
+            for task in chain.tasks() {
+                cb = cb.task(task.name(), task.priority().level(), task.wcet());
+            }
+            builder = cb.done();
+        }
+        builder.build().unwrap()
+    };
+
+    let noisy = case_study_pipeline();
+    let quiet = DistributedSystemBuilder::new()
+        .resource("ecu0", quiet_ecu0)
+        .resource("ecu1", fusion_ecu())
+        .resource("ecu2", actuation_ecu())
+        .link(("ecu0", "sigma_c"), ("ecu1", "fuse"))
+        .link(("ecu1", "fuse"), ("ecu2", "act"))
+        .build()
+        .unwrap();
+
+    let noisy_results = analyze(&noisy, DistOptions::default()).unwrap();
+    let quiet_results = analyze(&quiet, DistOptions::default()).unwrap();
+
+    let noisy_j = noisy_results.response_jitter(noisy.site("ecu0", "sigma_c").unwrap());
+    let quiet_j = quiet_results.response_jitter(quiet.site("ecu0", "sigma_c").unwrap());
+    assert!(quiet_j < noisy_j, "quiet {quiet_j} !< noisy {noisy_j}");
+
+    use twca_suite::curves::EventModel;
+    let noisy_eff = noisy_results.effective_activation(noisy.site("ecu1", "fuse").unwrap());
+    let quiet_eff = quiet_results.effective_activation(quiet.site("ecu1", "fuse").unwrap());
+    assert!(quiet_eff.delta_min(2) >= noisy_eff.delta_min(2));
+}
+
+#[test]
+fn wider_deadline_miss_models_along_the_path_are_monotone() {
+    let dist = case_study_pipeline();
+    let results = analyze(&dist, DistOptions::default()).unwrap();
+    let path = DistPath::new(
+        &dist,
+        vec![
+            dist.site("ecu0", "sigma_c").unwrap(),
+            dist.site("ecu1", "fuse").unwrap(),
+            dist.site("ecu2", "act").unwrap(),
+        ],
+    )
+    .unwrap();
+    let mut previous = 0;
+    for k in [1, 2, 5, 10, 25, 50] {
+        let dmm = path.deadline_miss_model(&results, k).unwrap();
+        assert!(dmm >= previous, "dmm must be monotone in k");
+        assert!(dmm <= k, "dmm is capped at the window length");
+        previous = dmm;
+    }
+}

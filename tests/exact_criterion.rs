@@ -1,0 +1,84 @@
+//! Integration test: the exact (Equation 3) combination criterion is
+//! sound — simulated behaviour stays within the tighter exact bound.
+
+use twca_suite::chains::{
+    deadline_miss_model, deadline_miss_model_exact, AnalysisContext, AnalysisOptions,
+};
+use twca_suite::model::{ChainId, SystemBuilder};
+use twca_suite::sim::{falsify, FalsificationConfig};
+
+fn borderline_system() -> twca_suite::model::System {
+    SystemBuilder::new()
+        .chain("x")
+        .periodic(100)
+        .unwrap()
+        .deadline(100)
+        .task("x1", 1, 10)
+        .done()
+        .chain("y")
+        .periodic(90)
+        .unwrap()
+        .task("y1", 5, 30)
+        .done()
+        .chain("o1")
+        .sporadic(10_000)
+        .unwrap()
+        .overload()
+        .task("o1_t", 9, 31)
+        .done()
+        .chain("o2")
+        .sporadic(10_000)
+        .unwrap()
+        .overload()
+        .task("o2_t", 8, 40)
+        .done()
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn exact_bound_is_tighter_and_still_sound() {
+    let system = borderline_system();
+    let ctx = AnalysisContext::new(&system);
+    let x = ChainId::from_index(0);
+    let opts = AnalysisOptions::default();
+    let k = 10u64;
+
+    let plain = deadline_miss_model(&ctx, x, k, opts).unwrap();
+    let exact = deadline_miss_model_exact(&ctx, x, k, opts).unwrap();
+    assert!(exact.bound < plain.bound, "exact must improve here");
+
+    // Falsification: the best concrete scenario must stay within the
+    // *exact* bound (otherwise Eq. 3 would be unsound).
+    let outcome = falsify(
+        &system,
+        x,
+        FalsificationConfig {
+            horizon: 300_000,
+            random_rounds: 25,
+            k: k as usize,
+            seed: 99,
+        },
+    );
+    assert!(
+        (outcome.worst_misses as u64) <= exact.bound,
+        "observed {} misses exceed the exact bound {}",
+        outcome.worst_misses,
+        exact.bound
+    );
+}
+
+#[test]
+fn exact_bound_matches_plain_on_case_study() {
+    use twca_suite::model::case_study;
+    let system = case_study();
+    let ctx = AnalysisContext::new(&system);
+    let (c, _) = system.chain_by_name("sigma_c").unwrap();
+    let opts = AnalysisOptions::default();
+    for k in [3u64, 10, 76] {
+        let plain = deadline_miss_model(&ctx, c, k, opts).unwrap();
+        let exact = deadline_miss_model_exact(&ctx, c, k, opts).unwrap();
+        // On the case study both criteria classify c̄3 identically.
+        assert_eq!(plain.bound, exact.bound, "k={k}");
+    }
+}

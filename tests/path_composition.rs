@@ -1,0 +1,156 @@
+//! Integration test: path composition (chains feeding chains, the
+//! paper's footnote 1 extension) — the analytic path bounds must
+//! dominate the end-to-end behaviour of a linked-chain simulation.
+//!
+//! The analysis-side assumption is that each downstream chain's declared
+//! activation model covers its actual trigger stream; the systems below
+//! are constructed so that it does (sporadic models with conservative
+//! minimum distances).
+
+use twca_suite::chains::paths::Path;
+use twca_suite::chains::{AnalysisContext, AnalysisOptions, ChainAnalysis};
+use twca_suite::model::{ChainId, SystemBuilder};
+use twca_suite::sim::{Simulation, Trace, TraceSet};
+
+/// Head chain (periodic 200) feeding a tail chain declared sporadic(100):
+/// the completion stream of the head (period 200, jitter < 100) conforms
+/// to the tail's declared model.
+fn pipeline() -> twca_suite::model::System {
+    SystemBuilder::new()
+        .chain("head")
+        .periodic(200)
+        .unwrap()
+        .deadline(200)
+        .task("h1", 6, 20)
+        .task("h2", 5, 15)
+        .done()
+        .chain("tail")
+        .sporadic(100)
+        .unwrap()
+        .deadline(200)
+        .task("t1", 4, 10)
+        .task("t2", 1, 30)
+        .done()
+        .chain("noise")
+        .periodic(150)
+        .unwrap()
+        .task("n1", 7, 12)
+        .done()
+        .chain("spike")
+        .sporadic(2_000)
+        .unwrap()
+        .overload()
+        .task("s1", 8, 25)
+        .done()
+        .build()
+        .unwrap()
+}
+
+fn ids(system: &twca_suite::model::System) -> (ChainId, ChainId) {
+    (
+        system.chain_by_name("head").unwrap().0,
+        system.chain_by_name("tail").unwrap().0,
+    )
+}
+
+#[test]
+fn declared_tail_model_covers_link_stream() {
+    // The premise of compositional path analysis, checked explicitly:
+    // simulate, then verify the tail's activation instants conform to
+    // its declared event model.
+    let system = pipeline();
+    let (head, tail) = ids(&system);
+    let mut traces = TraceSet::max_rate(&system, 60_000);
+    traces.set_trace(tail, Trace::empty());
+    let result = Simulation::new(&system).with_link(head, tail).run(&traces);
+    let activations: Trace = result
+        .chain(tail)
+        .records()
+        .iter()
+        .map(|r| r.activation())
+        .collect();
+    let (_, tail_chain) = system.chain_by_name("tail").unwrap();
+    assert!(
+        activations.conforms_to(tail_chain.activation()),
+        "tail trigger stream violates its declared model"
+    );
+}
+
+#[test]
+fn path_latency_bound_dominates_linked_simulation() {
+    let system = pipeline();
+    let (head, tail) = ids(&system);
+    let ctx = AnalysisContext::new(&system);
+    let path = Path::new(vec![head, tail]).unwrap();
+    let bound = path
+        .latency(&ctx, AnalysisOptions::default())
+        .expect("busy windows close");
+
+    let mut traces = TraceSet::max_rate(&system, 60_000);
+    traces.set_trace(tail, Trace::empty());
+    let result = Simulation::new(&system).with_link(head, tail).run(&traces);
+
+    // End-to-end: head activation i → tail completion i (1:1 linkage).
+    let head_records = result.chain(head).records();
+    let tail_records = result.chain(tail).records();
+    assert_eq!(head_records.len(), tail_records.len());
+    for (h, t) in head_records.iter().zip(tail_records) {
+        let end_to_end = t.completion().expect("finite run completes") - h.activation();
+        assert!(
+            end_to_end <= bound,
+            "end-to-end {end_to_end} exceeds path bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn path_dmm_dominates_linked_simulation() {
+    let system = pipeline();
+    let (head, tail) = ids(&system);
+    let ctx = AnalysisContext::new(&system);
+    let path = Path::new(vec![head, tail]).unwrap();
+    let opts = AnalysisOptions::default();
+    let k = 10u64;
+    let dmm = path.deadline_miss_model(&ctx, k, opts).unwrap();
+    let composite_deadline = path.composite_deadline(&ctx).unwrap();
+
+    let mut traces = TraceSet::max_rate(&system, 60_000);
+    traces.set_trace(tail, Trace::empty());
+    let result = Simulation::new(&system).with_link(head, tail).run(&traces);
+
+    // Misses of the composite deadline over sliding windows of k.
+    let head_records = result.chain(head).records();
+    let tail_records = result.chain(tail).records();
+    let flags: Vec<bool> = head_records
+        .iter()
+        .zip(tail_records)
+        .map(|(h, t)| t.completion().expect("completes") - h.activation() > composite_deadline)
+        .collect();
+    let mut worst = 0usize;
+    for window in flags.windows(k as usize) {
+        worst = worst.max(window.iter().filter(|&&m| m).count());
+    }
+    assert!(
+        worst as u64 <= dmm,
+        "observed {worst} end-to-end misses exceed path dmm {dmm}"
+    );
+}
+
+#[test]
+fn analysis_of_members_also_holds_in_linked_run() {
+    let system = pipeline();
+    let (head, tail) = ids(&system);
+    let analysis = ChainAnalysis::new(&system);
+    let mut traces = TraceSet::max_rate(&system, 60_000);
+    traces.set_trace(tail, Trace::empty());
+    let result = Simulation::new(&system).with_link(head, tail).run(&traces);
+    for id in [head, tail] {
+        let wcl = analysis
+            .worst_case_latency(id)
+            .unwrap()
+            .worst_case_latency;
+        if let Some(observed) = result.chain(id).max_latency() {
+            assert!(observed <= wcl, "{id}: {observed} > {wcl}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration test: analytic bounds dominate simulated behaviour across
+//! random systems, random traces and execution-time variation.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use twca_suite::curves::EventModel;
+
+use twca_suite::chains::ChainAnalysis;
+use twca_suite::gen::{random_system, RandomSystemConfig};
+use twca_suite::model::case_study;
+use twca_suite::sim::{
+    adversarial_aligned_traces, random_sporadic_trace, ExecutionPolicy, Simulation, Trace,
+    TraceSet,
+};
+
+const HORIZON: u64 = 120_000;
+const K: usize = 10;
+
+/// Checks one (system, traces) pair: simulated latency ≤ WCL and
+/// simulated window misses ≤ dmm(k) for every deadline-carrying chain.
+fn assert_bounds_hold(
+    system: &twca_suite::model::System,
+    traces: &TraceSet,
+    policy: ExecutionPolicy,
+    label: &str,
+) {
+    let analysis = ChainAnalysis::new(system);
+    let result = Simulation::new(system).with_policy(policy).run(traces);
+    for (id, chain) in system.iter() {
+        let stats = result.chain(id);
+        if let Some(wcl) = analysis.try_worst_case_latency(id).unwrap() {
+            if let Some(observed) = stats.max_latency() {
+                assert!(
+                    observed <= wcl.worst_case_latency,
+                    "{label}: {} latency {observed} > WCL {}",
+                    chain.name(),
+                    wcl.worst_case_latency
+                );
+            }
+        }
+        if chain.deadline().is_some() {
+            let dmm = analysis.deadline_miss_model(id, K as u64).unwrap();
+            let observed = stats.max_misses_in_window(K);
+            assert!(
+                observed as u64 <= dmm.bound,
+                "{label}: {} misses {observed} > dmm({K}) = {}",
+                chain.name(),
+                dmm.bound
+            );
+        }
+    }
+}
+
+#[test]
+fn case_study_under_all_builtin_scenarios() {
+    let system = case_study();
+    assert_bounds_hold(
+        &system,
+        &TraceSet::max_rate(&system, HORIZON),
+        ExecutionPolicy::WorstCase,
+        "max-rate",
+    );
+    assert_bounds_hold(
+        &system,
+        &TraceSet::max_rate_without_overload(&system, HORIZON),
+        ExecutionPolicy::WorstCase,
+        "typical",
+    );
+    assert_bounds_hold(
+        &system,
+        &adversarial_aligned_traces(&system, HORIZON),
+        ExecutionPolicy::WorstCase,
+        "adversarial",
+    );
+}
+
+#[test]
+fn case_study_with_shorter_execution_times() {
+    // Undershooting the WCET can only reduce latencies; bounds must hold.
+    let system = case_study();
+    for factor in [0.25, 0.5, 0.9] {
+        assert_bounds_hold(
+            &system,
+            &adversarial_aligned_traces(&system, HORIZON),
+            ExecutionPolicy::Scaled(factor),
+            "scaled",
+        );
+    }
+}
+
+#[test]
+fn case_study_with_random_sporadic_overload() {
+    let system = case_study();
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    for round in 0..10 {
+        let mut traces = TraceSet::max_rate(&system, HORIZON);
+        for (id, chain) in system.iter() {
+            if chain.is_overload() {
+                let dmin = chain.activation().delta_min(2);
+                traces.set_trace(
+                    id,
+                    random_sporadic_trace(&mut rng, dmin, dmin, HORIZON),
+                );
+            }
+        }
+        assert_bounds_hold(
+            &system,
+            &traces,
+            ExecutionPolicy::WorstCase,
+            &format!("random-sporadic round {round}"),
+        );
+    }
+}
+
+#[test]
+fn random_systems_hold_their_bounds() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let config = RandomSystemConfig::default();
+    for round in 0..15 {
+        let system = random_system(&mut rng, &config).unwrap();
+        let traces = TraceSet::max_rate(&system, HORIZON);
+        assert_bounds_hold(
+            &system,
+            &traces,
+            ExecutionPolicy::WorstCase,
+            &format!("random system {round}"),
+        );
+        let adversarial = adversarial_aligned_traces(&system, HORIZON);
+        assert_bounds_hold(
+            &system,
+            &adversarial,
+            ExecutionPolicy::WorstCase,
+            &format!("random system {round} adversarial"),
+        );
+    }
+}
+
+#[test]
+fn offset_shifted_activations_hold_bounds() {
+    // Shifting a whole trace in time must not break anything (analysis is
+    // offset-agnostic).
+    let system = case_study();
+    let base = TraceSet::max_rate(&system, HORIZON);
+    for shift in [1u64, 57, 199] {
+        let mut traces = base.clone();
+        for (id, _) in system.iter() {
+            let shifted: Trace = base.trace(id).times().iter().map(|&t| t + shift).collect();
+            traces.set_trace(id, shifted);
+        }
+        assert_bounds_hold(
+            &system,
+            &traces,
+            ExecutionPolicy::WorstCase,
+            &format!("shift {shift}"),
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end synthesis: search a priority assignment satisfying
+//! weakly-hard goals, then confirm by analysis *and* by simulation that
+//! the synthesized system delivers — on a single resource and across a
+//! distributed pipeline.
+
+use twca_suite::assign::{
+    evaluate_dist, hill_climb, hill_climb_dist, random_search, Goal, PathGoal, SearchConfig,
+};
+use twca_suite::chains::{ChainAnalysis, MkConstraint};
+use twca_suite::dist::{
+    analyze, propagate_simulation, DistOptions, DistPath, DistributedSystemBuilder, StimulusKind,
+};
+use twca_suite::model::{case_study, SystemBuilder};
+use twca_suite::sim::{adversarial_aligned_traces, Simulation, TraceSet};
+
+fn goals() -> Vec<Goal> {
+    vec![
+        Goal::new("sigma_c", MkConstraint::new(0, 10)),
+        Goal::new("sigma_d", MkConstraint::new(0, 10)),
+    ]
+}
+
+#[test]
+fn synthesized_assignment_is_verified_by_analysis() {
+    let base = case_study();
+    let outcome = hill_climb(
+        &base,
+        &goals(),
+        &SearchConfig {
+            evaluations: 400,
+            restarts: 4,
+            ..SearchConfig::default()
+        },
+    );
+    assert_eq!(
+        outcome.best_score.violated_goals, 0,
+        "synthesis failed to find a schedulable assignment"
+    );
+
+    let synthesized = base.with_priorities(&outcome.best_priorities);
+    let analysis = ChainAnalysis::new(&synthesized);
+    for goal in goals() {
+        let (id, _) = synthesized.chain_by_name(goal.chain()).unwrap();
+        assert!(
+            analysis.satisfies(id, goal.constraint()).unwrap(),
+            "goal {} not actually satisfied",
+            goal.chain()
+        );
+    }
+}
+
+#[test]
+fn synthesized_assignment_survives_adversarial_simulation() {
+    let base = case_study();
+    let outcome = hill_climb(
+        &base,
+        &goals(),
+        &SearchConfig {
+            evaluations: 400,
+            restarts: 4,
+            ..SearchConfig::default()
+        },
+    );
+    assert_eq!(outcome.best_score.violated_goals, 0);
+    let synthesized = base.with_priorities(&outcome.best_priorities);
+
+    for (label, traces) in [
+        ("max-rate", TraceSet::max_rate(&synthesized, 150_000)),
+        (
+            "adversarial",
+            adversarial_aligned_traces(&synthesized, 150_000),
+        ),
+    ] {
+        let result = Simulation::new(&synthesized).run(&traces);
+        for name in ["sigma_c", "sigma_d"] {
+            let (id, _) = synthesized.chain_by_name(name).unwrap();
+            assert_eq!(
+                result.chain(id).miss_count(),
+                0,
+                "{name} misses under {label} despite a (0,10)-certified assignment"
+            );
+        }
+    }
+}
+
+#[test]
+fn distributed_synthesis_repairs_and_survives_simulation() {
+    // The case study feeds a congested downstream ECU whose declared
+    // priorities starve the linked chain.
+    let ecu1 = SystemBuilder::new()
+        .chain("fuse")
+        .periodic(200)
+        .unwrap()
+        .deadline(200)
+        .task("merge", 1, 40)
+        .done()
+        .chain("batch")
+        .periodic(400)
+        .unwrap()
+        .deadline(400)
+        .task("crunch", 2, 170)
+        .done()
+        .build()
+        .unwrap();
+    let dist = DistributedSystemBuilder::new()
+        .resource("ecu0", case_study())
+        .resource("ecu1", ecu1)
+        .link(("ecu0", "sigma_c"), ("ecu1", "fuse"))
+        .build()
+        .unwrap();
+
+    let goals = vec![PathGoal::new(
+        [("ecu0", "sigma_c"), ("ecu1", "fuse")],
+        MkConstraint::new(5, 10),
+    )];
+    let declared = evaluate_dist(&dist, &goals, DistOptions::default());
+    assert_eq!(
+        declared.violated_goals, 1,
+        "the declared assignment should violate the path goal"
+    );
+
+    let outcome = hill_climb_dist(
+        &dist,
+        &goals,
+        &SearchConfig {
+            evaluations: 300,
+            restarts: 3,
+            ..SearchConfig::default()
+        },
+    );
+    assert_eq!(outcome.best_score.violated_goals, 0, "synthesis failed");
+
+    // Apply and re-verify analytically, then by simulation.
+    let repaired = {
+        let mut index = 0;
+        dist.map_systems(|r| {
+            let p = &outcome.best_priorities[index];
+            index += 1;
+            r.system().with_priorities(p)
+        })
+        .unwrap()
+    };
+    let results = analyze(&repaired, DistOptions::default()).unwrap();
+    let path = DistPath::new(
+        &repaired,
+        vec![
+            repaired.site("ecu0", "sigma_c").unwrap(),
+            repaired.site("ecu1", "fuse").unwrap(),
+        ],
+    )
+    .unwrap();
+    let dmm = path.deadline_miss_model(&results, 10).unwrap();
+    assert!(dmm <= 5, "repaired path dmm(10) = {dmm} > 5");
+
+    let sim = propagate_simulation(&repaired, 60_000, StimulusKind::MaxRate).unwrap();
+    if let Some(observed) = sim.max_path_latency(&path) {
+        assert!(observed <= path.latency(&results).unwrap());
+    }
+}
+
+#[test]
+fn both_search_engines_agree_on_feasibility() {
+    let base = case_study();
+    let config = SearchConfig {
+        evaluations: 300,
+        restarts: 3,
+        ..SearchConfig::default()
+    };
+    let hc = hill_climb(&base, &goals(), &config);
+    let rs = random_search(&base, &goals(), &config);
+    assert_eq!(hc.best_score.violated_goals, 0);
+    assert_eq!(rs.best_score.violated_goals, 0);
+}
