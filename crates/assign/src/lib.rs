@@ -179,11 +179,7 @@ pub fn exhaustive_search(
     );
     let mut levels: Vec<u32> = (1..=n as u32).collect();
     let mut best_priorities: Vec<Priority> = levels.iter().map(|&l| Priority::new(l)).collect();
-    let mut best_score = evaluate(
-        &system.with_priorities(&best_priorities),
-        goals,
-        options,
-    );
+    let mut best_score = evaluate(&system.with_priorities(&best_priorities), goals, options);
     let mut evaluated = 1usize;
 
     // Heap's algorithm (iterative).
@@ -266,8 +262,7 @@ pub fn hill_climb(system: &System, goals: &[Goal], config: &SearchConfig) -> Sea
         } else {
             random_priority_permutation(&mut rng, n)
         };
-        let mut current_score =
-            evaluate(&system.with_priorities(&current), goals, config.options);
+        let mut current_score = evaluate(&system.with_priorities(&current), goals, config.options);
         evaluated += 1;
 
         let mut local_budget = budget_per_restart;

@@ -41,8 +41,9 @@ fn bench_ablation(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for (segments, items) in [(4usize, 4usize), (6, 8), (8, 12)] {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
-        let problems: Vec<PackingProblem> =
-            (0..8).map(|_| instance(&mut rng, segments, items)).collect();
+        let problems: Vec<PackingProblem> = (0..8)
+            .map(|_| instance(&mut rng, segments, items))
+            .collect();
 
         // Cross-validate once before timing.
         for p in &problems {

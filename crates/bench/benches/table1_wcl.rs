@@ -19,7 +19,8 @@ fn bench_table1(c: &mut Criterion) {
             "  {:<10} WCL {:>4}   typical {:>4}   D {}",
             row.chain,
             row.wcl.map_or("unbounded".into(), |w| w.to_string()),
-            row.typical_wcl.map_or("unbounded".into(), |w| w.to_string()),
+            row.typical_wcl
+                .map_or("unbounded".into(), |w| w.to_string()),
             row.deadline
         );
     }
@@ -37,20 +38,17 @@ fn bench_table1(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     group.bench_function("sigma_c_full", |b| {
         b.iter(|| {
-            latency_analysis(black_box(&ctx), sigma_c, OverloadMode::Include, opts)
-                .expect("closes")
+            latency_analysis(black_box(&ctx), sigma_c, OverloadMode::Include, opts).expect("closes")
         })
     });
     group.bench_function("sigma_d_full", |b| {
         b.iter(|| {
-            latency_analysis(black_box(&ctx), sigma_d, OverloadMode::Include, opts)
-                .expect("closes")
+            latency_analysis(black_box(&ctx), sigma_d, OverloadMode::Include, opts).expect("closes")
         })
     });
     group.bench_function("sigma_c_typical", |b| {
         b.iter(|| {
-            latency_analysis(black_box(&ctx), sigma_c, OverloadMode::Exclude, opts)
-                .expect("closes")
+            latency_analysis(black_box(&ctx), sigma_c, OverloadMode::Exclude, opts).expect("closes")
         })
     });
     group.bench_function("context_construction", |b| {

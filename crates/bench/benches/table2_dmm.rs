@@ -45,9 +45,7 @@ fn bench_table2(c: &mut Criterion) {
         b.iter(|| deadline_miss_model(black_box(&ctx), sigma_c, 76, opts).expect("deadline"))
     });
     group.bench_function("dmm_exact_k76", |b| {
-        b.iter(|| {
-            deadline_miss_model_exact(black_box(&ctx), sigma_c, 76, opts).expect("deadline")
-        })
+        b.iter(|| deadline_miss_model_exact(black_box(&ctx), sigma_c, 76, opts).expect("deadline"))
     });
 
     // Ablation: a full curve via repeated pointwise analysis vs the

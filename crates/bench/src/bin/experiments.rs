@@ -18,11 +18,16 @@ use twca_bench::{
 
 fn print_table1() {
     println!("== Experiment 1 / Table I: worst-case latencies ==");
-    println!("{:<10} {:>6} {:>12} {:>6}  paper", "chain", "WCL", "typical WCL", "D");
+    println!(
+        "{:<10} {:>6} {:>12} {:>6}  paper",
+        "chain", "WCL", "typical WCL", "D"
+    );
     let paper = [("sigma_c", 331u64), ("sigma_d", 175u64)];
     for row in table1() {
         let wcl = row.wcl.map_or("unbounded".into(), |w| w.to_string());
-        let typ = row.typical_wcl.map_or("unbounded".into(), |w| w.to_string());
+        let typ = row
+            .typical_wcl
+            .map_or("unbounded".into(), |w| w.to_string());
         let reference = paper
             .iter()
             .find(|(n, _)| *n == row.chain)
@@ -115,14 +120,21 @@ fn print_validation() {
     }
     println!(
         "soundness (every observation within its bound): {}",
-        if validation_is_sound(&rows) { "PASS" } else { "FAIL" }
+        if validation_is_sound(&rows) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     println!();
 }
 
 fn print_baseline() {
     println!("== Chain-aware analysis vs collapsed independent-task baseline ==");
-    println!("{:<10} {:>12} {:>16}", "chain", "chain WCL", "collapsed WCRT");
+    println!(
+        "{:<10} {:>12} {:>16}",
+        "chain", "chain WCL", "collapsed WCRT"
+    );
     for row in collapsed_baseline() {
         println!(
             "{:<10} {:>12} {:>16}",
@@ -161,7 +173,10 @@ fn print_dist() {
     println!("== Distributed extension: case study feeding a pipeline (not in paper) ==");
     for stages in [2usize, 3, 4] {
         let outcome = distributed_experiment(stages, 60_000);
-        println!("-- {stages} resources (converged in {} sweep(s)) --", outcome.sweeps);
+        println!(
+            "-- {stages} resources (converged in {} sweep(s)) --",
+            outcome.sweeps
+        );
         println!("{:<16} {:>10} {:>12}", "site", "WCL", "jitter out");
         for row in &outcome.rows {
             println!(
@@ -174,9 +189,7 @@ fn print_dist() {
         println!(
             "path: bound {} / observed {}  dmm(10) = {}",
             outcome.path_bound,
-            outcome
-                .observed
-                .map_or("-".into(), |v| v.to_string()),
+            outcome.observed.map_or("-".into(), |v| v.to_string()),
             outcome.path_dmm10
         );
         if let Some(observed) = outcome.observed {

@@ -57,7 +57,11 @@ pub fn table2(ks: &[u64]) -> Vec<DmmResult> {
     let analysis = ChainAnalysis::new(&system);
     let (c, _) = system.chain_by_name("sigma_c").expect("case-study chain");
     ks.iter()
-        .map(|&k| analysis.deadline_miss_model(c, k).expect("σc has a deadline"))
+        .map(|&k| {
+            analysis
+                .deadline_miss_model(c, k)
+                .expect("σc has a deadline")
+        })
         .collect()
 }
 
@@ -140,7 +144,10 @@ pub fn validate_case_study(horizon: Time, k: u64) -> Vec<ValidationRow> {
     let analysis = ChainAnalysis::new(&system);
     let scenarios: Vec<(&str, TraceSet)> = vec![
         ("max-rate", TraceSet::max_rate(&system, horizon)),
-        ("typical", TraceSet::max_rate_without_overload(&system, horizon)),
+        (
+            "typical",
+            TraceSet::max_rate_without_overload(&system, horizon),
+        ),
         ("adversarial", adversarial_aligned_traces(&system, horizon)),
     ];
     let mut rows = Vec::new();
@@ -406,9 +413,10 @@ pub fn distributed_pipeline(stages: usize) -> twca_dist::DistributedSystem {
             .done()
             .build()
             .expect("well-formed stage");
-        builder = builder
-            .resource(&name, system)
-            .link((previous.0.clone(), previous.1.clone()), (name.clone(), chain.clone()));
+        builder = builder.resource(&name, system).link(
+            (previous.0.clone(), previous.1.clone()),
+            (name.clone(), chain.clone()),
+        );
         previous = (name, chain);
     }
     builder.build().expect("well-formed pipeline")
@@ -446,7 +454,9 @@ pub fn distributed_experiment(stages: usize, horizon: Time) -> DistOutcome {
     }
     let path = DistPath::new(&dist, hops).expect("pipeline path");
     let path_bound = path.latency(&results).expect("bounded path");
-    let path_dmm10 = path.deadline_miss_model(&results, 10).expect("dmm computable");
+    let path_dmm10 = path
+        .deadline_miss_model(&results, 10)
+        .expect("dmm computable");
     let observed = propagate_simulation(&dist, horizon, StimulusKind::MaxRate)
         .expect("pipeline order exists")
         .max_path_latency(&path);
@@ -482,7 +492,8 @@ pub fn markdown_report(fig5_rounds: usize) -> String {
         t1.row([
             row.chain.clone(),
             row.wcl.map_or("unbounded".into(), |v| v.to_string()),
-            row.typical_wcl.map_or("unbounded".into(), |v| v.to_string()),
+            row.typical_wcl
+                .map_or("unbounded".into(), |v| v.to_string()),
             row.deadline.to_string(),
         ]);
     }
@@ -637,7 +648,11 @@ mod tests {
     fn tightness_rows_bracket_the_truth() {
         for row in tightness(10, 50_000, 4) {
             if let (Some(lower), Some(upper)) = (row.wcl_lower, row.wcl_upper) {
-                assert!(lower <= upper, "{}: falsified latency above bound", row.chain);
+                assert!(
+                    lower <= upper,
+                    "{}: falsified latency above bound",
+                    row.chain
+                );
             }
             assert!(
                 (row.dmm_lower as u64) <= row.dmm_upper,

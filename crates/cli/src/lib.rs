@@ -13,7 +13,11 @@
 //! twca gantt <file> [horizon]         textual Gantt of an adversarial run
 //! twca report <file>                  Markdown analysis report
 //! twca synthesize <file> <m> <k>      search priorities satisfying (m,k)
+//! twca batch [files...] [--gen N]     parallel batch analysis (engine)
 //! ```
+//!
+//! `batch` flags: `--gen N` (analyze `N` generated systems), `--seed S`,
+//! `--threads T`, `--serial`, `--k K1,K2,...`, `--json`, `--progress`.
 
 use std::fmt::Write as _;
 
@@ -204,7 +208,13 @@ pub fn cmd_report(system: &System) -> Result<String, CliError> {
             Some(true) => "schedulable",
             Some(false) if row.typically_schedulable() == Some(true) => "weakly hard",
             Some(false) => "unschedulable",
-            None => if row.overload { "overload" } else { "no deadline" },
+            None => {
+                if row.overload {
+                    "overload"
+                } else {
+                    "no deadline"
+                }
+            }
         };
         latencies.row([
             row.name.clone(),
@@ -279,6 +289,210 @@ pub fn cmd_synthesize(system: &System, m: u64, k: u64) -> Result<String, CliErro
     Ok(out)
 }
 
+/// Parsed flags of `twca batch`.
+struct BatchArgs {
+    files: Vec<String>,
+    generate: usize,
+    seed: u64,
+    threads: Option<usize>,
+    serial: bool,
+    ks: Vec<u64>,
+    json: bool,
+    progress: bool,
+    horizon: u64,
+    max_q: u64,
+}
+
+impl BatchArgs {
+    const USAGE: &'static str = "twca batch [files...] [--gen N] [--seed S] [--threads T] \
+                                 [--serial] [--k K1,K2,...] [--horizon H] [--max-q Q] \
+                                 [--json] [--progress]";
+
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut parsed = BatchArgs {
+            files: Vec::new(),
+            generate: 0,
+            seed: 42,
+            threads: None,
+            serial: false,
+            ks: vec![1, 10, 100],
+            json: false,
+            progress: false,
+            // Batch sweeps meet adversarial random systems: bound the
+            // divergence search much tighter than the single-system
+            // default (divergent fixed points crawl to the horizon).
+            horizon: 2_000_000,
+            max_q: 20_000,
+        };
+        let mut rest = args.iter();
+        while let Some(arg) = rest.next() {
+            let mut value_of = |flag: &str| {
+                rest.next().ok_or_else(|| {
+                    CliError::Usage(format!("{flag} needs a value; {}", Self::USAGE))
+                })
+            };
+            match arg.as_str() {
+                "--gen" => {
+                    parsed.generate = value_of("--gen")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("`--gen` expects a system count".into()))?;
+                }
+                "--seed" => {
+                    parsed.seed = value_of("--seed")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("`--seed` expects an integer".into()))?;
+                }
+                "--threads" => {
+                    parsed.threads = Some(value_of("--threads")?.parse().map_err(|_| {
+                        CliError::Usage("`--threads` expects a worker count".into())
+                    })?);
+                }
+                "--k" => {
+                    parsed.ks = value_of("--k")?
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse().map_err(|_| {
+                                CliError::Usage(format!("`{s}` is not a window length"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "--horizon" => {
+                    parsed.horizon = value_of("--horizon")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("`--horizon` expects a time bound".into()))?;
+                }
+                "--max-q" => {
+                    parsed.max_q = value_of("--max-q")?.parse().map_err(|_| {
+                        CliError::Usage("`--max-q` expects an activation count".into())
+                    })?;
+                }
+                "--serial" => parsed.serial = true,
+                "--json" => parsed.json = true,
+                "--progress" => parsed.progress = true,
+                flag if flag.starts_with("--") => {
+                    return Err(CliError::Usage(format!(
+                        "unknown batch flag `{flag}`; {}",
+                        Self::USAGE
+                    )));
+                }
+                file => parsed.files.push(file.to_owned()),
+            }
+        }
+        if parsed.files.is_empty() && parsed.generate == 0 {
+            return Err(CliError::Usage(format!(
+                "batch needs input files or --gen; {}",
+                Self::USAGE
+            )));
+        }
+        Ok(parsed)
+    }
+}
+
+/// `twca batch`: fan a whole set of systems out across cores through the
+/// [`twca_engine::BatchEngine`], with shared busy-window memoization.
+///
+/// Inputs are system description files and/or `--gen N` reproducibly
+/// generated random systems. Output is a per-system summary table, or a
+/// JSON document with `--json`. `--serial` forces the single-threaded
+/// reference path (bit-identical results, for comparison).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad flags, unreadable files and parse
+/// failures; per-chain analysis failures are reported inline.
+pub fn cmd_batch(args: &[String]) -> Result<String, CliError> {
+    use rand::SeedableRng as _;
+
+    let parsed = BatchArgs::parse(args)?;
+    let mut labels = Vec::new();
+    let mut systems = Vec::new();
+    for file in &parsed.files {
+        labels.push(file.clone());
+        systems.push(load(file)?);
+    }
+    if parsed.generate > 0 {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(parsed.seed);
+        let config = twca_gen::RandomSystemConfig::default();
+        for i in 0..parsed.generate {
+            labels.push(format!("gen-{i}"));
+            systems.push(
+                twca_gen::random_system(&mut rng, &config)
+                    .expect("default generator configuration is valid"),
+            );
+        }
+    }
+
+    let options = twca_chains::AnalysisOptions {
+        horizon: parsed.horizon,
+        max_q: parsed.max_q,
+        ..twca_chains::AnalysisOptions::default()
+    };
+    let mut engine = twca_engine::BatchEngine::new()
+        .with_options(options)
+        .with_ks(parsed.ks.iter().copied());
+    if let Some(threads) = parsed.threads {
+        engine = engine.with_threads(threads);
+    }
+    if parsed.serial {
+        engine = engine.with_threads(1);
+    }
+    if parsed.progress {
+        engine = engine.with_progress(|done, total| {
+            eprintln!("batch: {done}/{total} systems analyzed");
+        });
+    }
+    let batch = if parsed.serial {
+        engine.run_serial(systems)
+    } else {
+        engine.run(systems)
+    };
+
+    if parsed.json {
+        return Ok(twca_engine::batch_to_json(
+            &batch,
+            Some(engine.cache_stats()),
+        ));
+    }
+
+    let mut out = String::new();
+    for verdict in &batch {
+        let _ = writeln!(out, "== {}", labels[verdict.index]);
+        for chain in &verdict.chains {
+            let wcl = chain
+                .worst_case_latency
+                .map_or("unbounded".to_owned(), |v| v.to_string());
+            let mut dmms = String::new();
+            for dmm in &chain.miss_models {
+                let _ = write!(dmms, " dmm({})={}", dmm.k, dmm.bound);
+            }
+            if let Some(error) = &chain.error {
+                let _ = write!(dmms, " error: {error}");
+            }
+            let _ = writeln!(
+                out,
+                "  {:<16} WCL {:>10}{}{}",
+                chain.name,
+                wcl,
+                if chain.overload { " [overload]" } else { "" },
+                dmms
+            );
+        }
+    }
+    let stats = engine.cache_stats();
+    let _ = writeln!(
+        out,
+        "analyzed {} system(s) on {} thread(s); cache: {} hits / {} misses ({:.0}% hit rate, {} entries)",
+        batch.len(),
+        if parsed.serial { 1 } else { engine.effective_threads() },
+        stats.hits,
+        stats.misses,
+        stats.hit_ratio() * 100.0,
+        stats.entries
+    );
+    Ok(out)
+}
+
 /// Dispatches a full argument vector (excluding the program name).
 ///
 /// # Errors
@@ -287,8 +501,11 @@ pub fn cmd_synthesize(system: &System, m: u64, k: u64) -> Result<String, CliErro
 /// failures and analysis failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     const USAGE: &str =
-        "twca <analyze|explain|dmm|simulate|dot|gantt|report|synthesize> <file> [...]";
+        "twca <analyze|explain|dmm|simulate|dot|gantt|report|synthesize|batch> <file> [...]";
     let command = args.first().ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    if command == "batch" {
+        return cmd_batch(&args[1..]);
+    }
     let path = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
     let system = load(path)?;
     match command.as_str() {
@@ -485,6 +702,59 @@ chain diag sporadic=1500 overload {
         ])
         .unwrap();
         assert!(dmm.contains("dmm(7)"));
+        std::fs::remove_file(path).ok();
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn batch_validates_flags() {
+        assert!(matches!(cmd_batch(&args(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            cmd_batch(&args(&["--gen", "not-a-number"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_batch(&args(&["--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn batch_parallel_output_matches_serial() {
+        let parallel = cmd_batch(&args(&[
+            "--gen",
+            "12",
+            "--seed",
+            "3",
+            "--k",
+            "1,10",
+            "--threads",
+            "4",
+            "--json",
+        ]))
+        .unwrap();
+        let serial = cmd_batch(&args(&[
+            "--gen", "12", "--seed", "3", "--k", "1,10", "--serial", "--json",
+        ]))
+        .unwrap();
+        assert_eq!(parallel, serial, "parallel JSON must be byte-identical");
+        assert!(parallel.contains("\"systems\""));
+        assert!(parallel.contains("\"cache\""));
+    }
+
+    #[test]
+    fn batch_analyzes_files_and_generated_systems_together() {
+        let path = write_example();
+        let p = path.to_string_lossy().to_string();
+        let out = run(&args(&["batch", &p, "--gen", "2", "--k", "5"])).unwrap();
+        assert!(out.contains(&p));
+        assert!(out.contains("gen-1"));
+        assert!(out.contains("control"));
+        assert!(out.contains("dmm(5)"));
+        assert!(out.contains("analyzed 3 system(s)"));
         std::fs::remove_file(path).ok();
     }
 }

@@ -51,6 +51,15 @@ impl<'a> ChainAnalysis<'a> {
         self
     }
 
+    /// Attaches a shared [`crate::AnalysisCache`], memoizing every
+    /// busy-time, latency and budget computation of this analysis (and
+    /// of any other analysis sharing the cache).
+    #[must_use]
+    pub fn with_cache(mut self, cache: std::sync::Arc<crate::AnalysisCache>) -> Self {
+        self.ctx.attach_cache(cache);
+        self
+    }
+
     /// The analyzed system.
     pub fn system(&self) -> &'a System {
         self.ctx.system()
@@ -102,10 +111,7 @@ impl<'a> ChainAnalysis<'a> {
     /// # Errors
     ///
     /// [`AnalysisError::UnknownChain`] for an invalid id.
-    pub fn typical_latency(
-        &self,
-        chain: ChainId,
-    ) -> Result<Option<LatencyResult>, AnalysisError> {
+    pub fn typical_latency(&self, chain: ChainId) -> Result<Option<LatencyResult>, AnalysisError> {
         if !self.ctx.contains(chain) {
             return Err(AnalysisError::UnknownChain { chain });
         }
@@ -143,7 +149,11 @@ impl<'a> ChainAnalysis<'a> {
     /// # Errors
     ///
     /// See [`deadline_miss_model`].
-    pub fn satisfies(&self, chain: ChainId, constraint: MkConstraint) -> Result<bool, AnalysisError> {
+    pub fn satisfies(
+        &self,
+        chain: ChainId,
+        constraint: MkConstraint,
+    ) -> Result<bool, AnalysisError> {
         constraint.verify(&self.ctx, chain, self.options)
     }
 
@@ -154,8 +164,7 @@ impl<'a> ChainAnalysis<'a> {
             .iter()
             .map(|(id, chain)| {
                 let full = latency_analysis(&self.ctx, id, OverloadMode::Include, self.options);
-                let typical =
-                    latency_analysis(&self.ctx, id, OverloadMode::Exclude, self.options);
+                let typical = latency_analysis(&self.ctx, id, OverloadMode::Exclude, self.options);
                 ChainReport {
                     chain: id,
                     name: chain.name().to_owned(),

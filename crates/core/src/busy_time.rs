@@ -113,6 +113,23 @@ pub fn busy_time_with_extra(
     options: AnalysisOptions,
 ) -> Option<BusyTimeBreakdown> {
     assert!(q > 0, "busy times are defined for q >= 1");
+    if let Some((cache, sys)) = ctx.memo() {
+        return cache.busy_time(sys, observed, q, mode, extra, options.horizon, || {
+            compute_busy_time_with_extra(ctx, observed, q, mode, extra, options)
+        });
+    }
+    compute_busy_time_with_extra(ctx, observed, q, mode, extra, options)
+}
+
+/// The uncached Theorem 1 fixed point behind [`busy_time_with_extra`].
+fn compute_busy_time_with_extra(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    q: u64,
+    mode: OverloadMode,
+    extra: Time,
+    options: AnalysisOptions,
+) -> Option<BusyTimeBreakdown> {
     let system = ctx.system();
     let chain_b = system.chain(observed);
     let own_work = q.saturating_mul(chain_b.total_wcet());
@@ -185,8 +202,7 @@ pub fn busy_time_with_extra(
             let eta = chain_a.activation().eta_plus(window);
             match i.class {
                 InterferenceClass::ArbitrarilyInterfering => {
-                    arbitrary =
-                        arbitrary.saturating_add(eta.saturating_mul(chain_a.total_wcet()));
+                    arbitrary = arbitrary.saturating_add(eta.saturating_mul(chain_a.total_wcet()));
                 }
                 InterferenceClass::Deferred if !i.synchronous => {
                     deferred_async_var = deferred_async_var
@@ -237,8 +253,14 @@ mod tests {
         let s = case_study();
         let (ctx, _, c, _, _) = ctx_ids(&s);
         let opts = AnalysisOptions::default();
-        assert_eq!(busy_time(&ctx, c, 1, OverloadMode::Include, opts), Some(331));
-        assert_eq!(busy_time(&ctx, c, 2, OverloadMode::Include, opts), Some(382));
+        assert_eq!(
+            busy_time(&ctx, c, 1, OverloadMode::Include, opts),
+            Some(331)
+        );
+        assert_eq!(
+            busy_time(&ctx, c, 2, OverloadMode::Include, opts),
+            Some(382)
+        );
     }
 
     #[test]
@@ -266,7 +288,13 @@ mod tests {
         // Without σa/σb: B_c(1) = 51 + 115 (σd twice? no: η+_d(166)=1) = 166.
         let s = case_study();
         let (ctx, _, c, _, _) = ctx_ids(&s);
-        let b = busy_time(&ctx, c, 1, OverloadMode::Exclude, AnalysisOptions::default());
+        let b = busy_time(
+            &ctx,
+            c,
+            1,
+            OverloadMode::Exclude,
+            AnalysisOptions::default(),
+        );
         assert_eq!(b, Some(166));
     }
 

@@ -1,0 +1,542 @@
+//! Shared memoization for repeated analyses (the batch-engine seam).
+//!
+//! The expensive sub-computations of the Theorem 1–3 pipeline — busy-time
+//! fixed points, whole latency analyses, overload budgets `Ω_a^b` and
+//! minimum-distance curve lookups — are pure functions of the analyzed
+//! [`twca_model::System`] plus a handful of scalar parameters. An
+//! [`AnalysisCache`] memoizes them behind interior mutability so that
+//!
+//! * repeated analyses of the **same system** (dmm curves over many `k`,
+//!   holistic distributed sweeps, priority-assignment search revisiting
+//!   an assignment) reuse each fixed point, and
+//! * analyses of **identical sub-structures across systems** in a batch
+//!   sweep share work transparently,
+//!
+//! while guaranteeing **bit-identical results**: every key embeds a
+//! 128-bit structural fingerprint of the system
+//! ([`SystemFingerprint`]) together with all scalar inputs, so a cache
+//! hit returns exactly the value the recomputation would produce.
+//!
+//! Attach a cache with [`AnalysisContext::with_cache`]; contexts built
+//! with [`AnalysisContext::new`] skip the cache entirely and behave as
+//! before.
+//!
+//! The maps are sharded (`dashmap`-style) behind [`std::sync::Mutex`]es
+//! so one `Arc<AnalysisCache>` can be shared by many worker threads of
+//! the batch engine with low contention.
+//!
+//! [`AnalysisContext::with_cache`]: crate::AnalysisContext::with_cache
+//! [`AnalysisContext::new`]: crate::AnalysisContext::new
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use twca_chains::{AnalysisCache, AnalysisContext, AnalysisOptions, ChainAnalysis};
+//! use twca_model::case_study;
+//!
+//! # fn main() -> Result<(), twca_chains::AnalysisError> {
+//! let cache = Arc::new(AnalysisCache::new());
+//! let system = case_study();
+//! let (c, _) = system.chain_by_name("sigma_c").unwrap();
+//!
+//! let cold = ChainAnalysis::new(&system).with_cache(Arc::clone(&cache));
+//! let first = cold.deadline_miss_model(c, 10)?;
+//!
+//! // A second analysis of an equal system hits the memoized fixed
+//! // points instead of recomputing them.
+//! let copy = case_study();
+//! let warm = ChainAnalysis::new(&copy).with_cache(Arc::clone(&cache));
+//! assert_eq!(warm.deadline_miss_model(c, 10)?, first);
+//! assert!(cache.stats().hits > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::busy_time::BusyTimeBreakdown;
+use crate::latency::{LatencyResult, OverloadMode};
+use twca_curves::{ActivationModel, Time};
+use twca_model::{ChainId, System};
+
+/// 128-bit structural fingerprint of a [`System`].
+///
+/// Two systems with equal fingerprints are treated as interchangeable by
+/// the cache. The fingerprint covers everything the analyses read —
+/// activation models, chain kinds, overload flags, deadlines, task
+/// priorities and WCETs — and deliberately ignores names, so a renamed
+/// copy of a system shares cache entries with the original.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemFingerprint(u64, u64);
+
+impl SystemFingerprint {
+    /// Fingerprints `system` by hashing a canonical encoding with two
+    /// independent FNV-1a streams.
+    pub fn of(system: &System) -> Self {
+        let mut h = Fnv2::new();
+        for (_, chain) in system.iter() {
+            h.u64(0xC0DE_0001);
+            h.u64(chain.kind().is_synchronous() as u64);
+            h.u64(chain.is_overload() as u64);
+            h.u64(chain.deadline().map_or(u64::MAX, |d| d));
+            encode_model(&mut h, chain.activation());
+            for task in chain.tasks() {
+                h.u64(0xC0DE_0002);
+                h.u64(task.priority().level() as u64);
+                h.u64(task.wcet());
+            }
+        }
+        SystemFingerprint(h.a, h.b)
+    }
+}
+
+/// Two independent FNV-1a accumulators over `u64` words.
+struct Fnv2 {
+    a: u64,
+    b: u64,
+}
+
+impl Fnv2 {
+    fn new() -> Self {
+        Fnv2 {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    fn u64(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.a = (self.a ^ byte as u64).wrapping_mul(0x0000_0100_0000_01B3);
+            self.b = (self.b ^ byte as u64).wrapping_mul(0x0000_0100_0000_0145);
+        }
+    }
+}
+
+fn encode_model(h: &mut Fnv2, model: &ActivationModel) {
+    match model {
+        ActivationModel::Periodic(p) => {
+            h.u64(1);
+            h.u64(p.period());
+        }
+        ActivationModel::Sporadic(s) => {
+            h.u64(2);
+            h.u64(s.min_distance());
+        }
+        ActivationModel::PeriodicJitter(pj) => {
+            h.u64(3);
+            h.u64(pj.period());
+            h.u64(pj.jitter());
+            h.u64(pj.min_distance());
+        }
+        ActivationModel::Burst(b) => {
+            h.u64(4);
+            h.u64(b.period());
+            h.u64(b.size());
+            h.u64(b.inner_distance());
+        }
+        ActivationModel::Table(t) => {
+            h.u64(5);
+            h.u64(t.tail_increment());
+            for &d in t.distances() {
+                h.u64(d);
+            }
+        }
+        ActivationModel::Never(_) => h.u64(6),
+        // `ActivationModel` is #[non_exhaustive]: fold unknown future
+        // variants through their derived `Hash` (in-process only, which
+        // is all the cache needs).
+        other => {
+            use std::hash::{Hash as _, Hasher as _};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            other.hash(&mut hasher);
+            h.u64(7);
+            h.u64(hasher.finish());
+        }
+    }
+}
+
+fn mode_bit(mode: OverloadMode) -> u8 {
+    match mode {
+        OverloadMode::Include => 0,
+        OverloadMode::Exclude => 1,
+    }
+}
+
+/// Key of one memoized busy-time fixed point (Theorem 1 / Equation 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BusyKey {
+    sys: SystemFingerprint,
+    chain: usize,
+    q: u64,
+    mode: u8,
+    extra: Time,
+    horizon: Time,
+}
+
+/// Key of one memoized latency analysis (Theorem 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct LatencyKey {
+    sys: SystemFingerprint,
+    chain: usize,
+    mode: u8,
+    horizon: Time,
+    max_q: u64,
+}
+
+/// Key of one memoized overload budget (Lemma 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct OmegaKey {
+    sys: SystemFingerprint,
+    overload: usize,
+    observed: usize,
+    k: u64,
+    wcl: Time,
+}
+
+/// Key of one memoized minimum-distance lookup `δ−(q)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DeltaKey {
+    sys: SystemFingerprint,
+    chain: usize,
+    q: u64,
+}
+
+/// Key of one memoized deadline-miss-model evaluation (Theorem 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DmmKey {
+    sys: SystemFingerprint,
+    chain: usize,
+    k: u64,
+    horizon: Time,
+    max_q: u64,
+    max_combinations: usize,
+    /// 0 = sufficient (Equation 5) classification, 1 = exact
+    /// (Equation 3).
+    variant: u8,
+}
+
+const SHARDS: usize = 16;
+
+/// A fixed-shard concurrent map (`dashmap`-style, stdlib-only).
+#[derive(Debug)]
+struct Sharded<K, V> {
+    shards: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K: std::hash::Hash + Eq, V: Clone> Sharded<K, V> {
+    fn new() -> Self {
+        Sharded {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        use std::hash::Hasher as _;
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % SHARDS]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn put(&self, key: K, value: V) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+/// Hit/miss/size counters of an [`AnalysisCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh computation.
+    pub misses: u64,
+    /// Total entries across all maps.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when nothing was looked up.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memo store for the analysis pipeline; see the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct AnalysisCache {
+    busy: Sharded<BusyKey, Option<BusyTimeBreakdown>>,
+    latency: Sharded<LatencyKey, Option<LatencyResult>>,
+    omega: Sharded<OmegaKey, u64>,
+    delta: Sharded<DeltaKey, Time>,
+    dmm: Sharded<DmmKey, crate::dmm::DmmResult>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AnalysisCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        AnalysisCache {
+            busy: Sharded::new(),
+            latency: Sharded::new(),
+            omega: Sharded::new(),
+            delta: Sharded::new(),
+            dmm: Sharded::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.busy.len()
+                + self.latency.len()
+                + self.omega.len()
+                + self.delta.len()
+                + self.dmm.len(),
+        }
+    }
+
+    /// Drops every entry (counters keep running).
+    pub fn clear(&self) {
+        self.busy.clear();
+        self.latency.clear();
+        self.omega.clear();
+        self.delta.clear();
+        self.dmm.clear();
+    }
+
+    fn record(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Memoizes one busy-time fixed point.
+    pub(crate) fn busy_time(
+        &self,
+        sys: SystemFingerprint,
+        chain: ChainId,
+        q: u64,
+        mode: OverloadMode,
+        extra: Time,
+        horizon: Time,
+        compute: impl FnOnce() -> Option<BusyTimeBreakdown>,
+    ) -> Option<BusyTimeBreakdown> {
+        let key = BusyKey {
+            sys,
+            chain: chain.index(),
+            q,
+            mode: mode_bit(mode),
+            extra,
+            horizon,
+        };
+        if let Some(hit) = self.busy.get(&key) {
+            self.record(true);
+            return hit;
+        }
+        self.record(false);
+        let value = compute();
+        self.busy.put(key, value);
+        value
+    }
+
+    /// Memoizes one whole latency analysis.
+    pub(crate) fn latency(
+        &self,
+        sys: SystemFingerprint,
+        chain: ChainId,
+        mode: OverloadMode,
+        horizon: Time,
+        max_q: u64,
+        compute: impl FnOnce() -> Option<LatencyResult>,
+    ) -> Option<LatencyResult> {
+        let key = LatencyKey {
+            sys,
+            chain: chain.index(),
+            mode: mode_bit(mode),
+            horizon,
+            max_q,
+        };
+        if let Some(hit) = self.latency.get(&key) {
+            self.record(true);
+            return hit;
+        }
+        self.record(false);
+        let value = compute();
+        self.latency.put(key, value.clone());
+        value
+    }
+
+    /// Memoizes one overload budget.
+    pub(crate) fn omega(
+        &self,
+        sys: SystemFingerprint,
+        overload: ChainId,
+        observed: ChainId,
+        k: u64,
+        wcl: Time,
+        compute: impl FnOnce() -> u64,
+    ) -> u64 {
+        let key = OmegaKey {
+            sys,
+            overload: overload.index(),
+            observed: observed.index(),
+            k,
+            wcl,
+        };
+        if let Some(hit) = self.omega.get(&key) {
+            self.record(true);
+            return hit;
+        }
+        self.record(false);
+        let value = compute();
+        self.omega.put(key, value);
+        value
+    }
+
+    /// Memoizes one full miss-model evaluation `dmm(k)`; errors pass
+    /// through uncached (they are rare and re-deriving them is cheap
+    /// relative to their packing-free paths).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn dmm(
+        &self,
+        sys: SystemFingerprint,
+        chain: ChainId,
+        k: u64,
+        options: crate::config::AnalysisOptions,
+        exact: bool,
+        compute: impl FnOnce() -> Result<crate::dmm::DmmResult, crate::error::AnalysisError>,
+    ) -> Result<crate::dmm::DmmResult, crate::error::AnalysisError> {
+        let key = DmmKey {
+            sys,
+            chain: chain.index(),
+            k,
+            horizon: options.horizon,
+            max_q: options.max_q,
+            max_combinations: options.max_combinations,
+            variant: exact as u8,
+        };
+        if let Some(hit) = self.dmm.get(&key) {
+            self.record(true);
+            return Ok(hit);
+        }
+        self.record(false);
+        let value = compute()?;
+        self.dmm.put(key, value.clone());
+        Ok(value)
+    }
+
+    /// Memoizes one `δ−(q)` lookup of a chain's activation curve.
+    pub(crate) fn delta_min(
+        &self,
+        sys: SystemFingerprint,
+        chain: ChainId,
+        q: u64,
+        compute: impl FnOnce() -> Time,
+    ) -> Time {
+        let key = DeltaKey {
+            sys,
+            chain: chain.index(),
+            q,
+        };
+        if let Some(hit) = self.delta.get(&key) {
+            self.record(true);
+            return hit;
+        }
+        self.record(false);
+        let value = compute();
+        self.delta.put(key, value);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::case_study;
+
+    #[test]
+    fn fingerprints_separate_different_systems() {
+        let a = SystemFingerprint::of(&case_study());
+        let b = SystemFingerprint::of(&case_study());
+        assert_eq!(a, b);
+        let scaled = case_study().with_scaled_overload_wcets(50, 100);
+        assert_ne!(a, SystemFingerprint::of(&scaled));
+    }
+
+    #[test]
+    fn fingerprints_ignore_names_only() {
+        let s = case_study();
+        let reprioritized = {
+            let mut priorities: Vec<twca_model::Priority> =
+                s.task_refs().map(|r| s.task(r).priority()).collect();
+            priorities.reverse();
+            s.with_priorities(&priorities)
+        };
+        assert_ne!(
+            SystemFingerprint::of(&s),
+            SystemFingerprint::of(&reprioritized)
+        );
+    }
+
+    #[test]
+    fn memo_returns_cached_value_and_counts() {
+        let cache = AnalysisCache::new();
+        let sys = SystemFingerprint::of(&case_study());
+        let chain = ChainId::from_index(0);
+        let first = cache.delta_min(sys, chain, 5, || 42);
+        let second = cache.delta_min(sys, chain, 5, || panic!("must hit"));
+        assert_eq!(first, 42);
+        assert_eq!(second, 42);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,5 +1,8 @@
 //! Cached structural data for all ordered chain pairs of a system.
 
+use std::sync::Arc;
+
+use crate::cache::{AnalysisCache, SystemFingerprint};
 use twca_model::{ChainId, SegmentView, System};
 
 /// Precomputed [`SegmentView`]s for every ordered pair of distinct chains,
@@ -27,6 +30,9 @@ pub struct AnalysisContext<'a> {
     /// `views[a][b]`: structure of chain `a` w.r.t. chain `b`; the
     /// diagonal holds `None`.
     views: Vec<Vec<Option<SegmentView>>>,
+    /// Shared memo store plus the system's fingerprint; `None` disables
+    /// memoization (the default).
+    cache: Option<(Arc<AnalysisCache>, SystemFingerprint)>,
 }
 
 impl<'a> AnalysisContext<'a> {
@@ -37,13 +43,62 @@ impl<'a> AnalysisContext<'a> {
         for a in 0..n {
             let mut row = Vec::with_capacity(n);
             for b in 0..n {
-                row.push((a != b).then(|| {
-                    SegmentView::new(&system.chains()[a], &system.chains()[b])
-                }));
+                row.push(
+                    (a != b).then(|| SegmentView::new(&system.chains()[a], &system.chains()[b])),
+                );
             }
             views.push(row);
         }
-        AnalysisContext { system, views }
+        AnalysisContext {
+            system,
+            views,
+            cache: None,
+        }
+    }
+
+    /// Like [`AnalysisContext::new`], additionally attaching a shared
+    /// [`AnalysisCache`]: every subsequent busy-time, latency, budget
+    /// and distance computation through this context is memoized under
+    /// the system's [`SystemFingerprint`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use twca_chains::{AnalysisCache, AnalysisContext, AnalysisOptions, OverloadMode};
+    /// use twca_model::case_study;
+    ///
+    /// let cache = Arc::new(AnalysisCache::new());
+    /// let system = case_study();
+    /// let ctx = AnalysisContext::with_cache(&system, Arc::clone(&cache));
+    /// let (c, _) = system.chain_by_name("sigma_c").unwrap();
+    /// let opts = AnalysisOptions::default();
+    /// let one = twca_chains::busy_time(&ctx, c, 1, OverloadMode::Include, opts);
+    /// let two = twca_chains::busy_time(&ctx, c, 1, OverloadMode::Include, opts);
+    /// assert_eq!(one, two);
+    /// assert_eq!(cache.stats().hits, 1);
+    /// ```
+    pub fn with_cache(system: &'a System, cache: Arc<AnalysisCache>) -> Self {
+        let mut ctx = AnalysisContext::new(system);
+        ctx.attach_cache(cache);
+        ctx
+    }
+
+    /// Attaches a shared cache to an already-built context (computes
+    /// the fingerprint, keeps the segment views).
+    pub(crate) fn attach_cache(&mut self, cache: Arc<AnalysisCache>) {
+        let fingerprint = SystemFingerprint::of(self.system);
+        self.cache = Some((cache, fingerprint));
+    }
+
+    /// The attached cache and fingerprint, if any.
+    pub(crate) fn memo(&self) -> Option<(&AnalysisCache, SystemFingerprint)> {
+        self.cache.as_ref().map(|(c, f)| (c.as_ref(), *f))
+    }
+
+    /// The attached shared cache, if any.
+    pub fn cache(&self) -> Option<&Arc<AnalysisCache>> {
+        self.cache.as_ref().map(|(c, _)| c)
     }
 
     /// The analyzed system.

@@ -49,10 +49,7 @@ pub fn typical_load(ctx: &AnalysisContext<'_>, observed: ChainId, q: u64) -> Tim
     let deadline = chain_b
         .deadline()
         .expect("typical load needs a deadline horizon");
-    let horizon = chain_b
-        .activation()
-        .delta_min(q)
-        .saturating_add(deadline);
+    let horizon = chain_b.activation().delta_min(q).saturating_add(deadline);
 
     let mut load = q.saturating_mul(chain_b.total_wcet());
 
@@ -75,8 +72,8 @@ pub fn typical_load(ctx: &AnalysisContext<'_>, observed: ChainId, q: u64) -> Tim
             }
             InterferenceClass::Deferred => {
                 if chain_a.kind().is_synchronous() {
-                    load = load
-                        .saturating_add(view.critical_segment().map_or(0, |s| s.wcet(chain_a)));
+                    load =
+                        load.saturating_add(view.critical_segment().map_or(0, |s| s.wcet(chain_a)));
                 } else {
                     load = load
                         .saturating_add(eta.saturating_mul(view.header_segment_wcet(chain_a)))
@@ -123,10 +120,7 @@ pub fn typical_slack(ctx: &AnalysisContext<'_>, observed: ChainId, k_b: u64) -> 
     let deadline = chain_b.deadline().expect("slack needs a deadline");
     (1..=k_b)
         .map(|q| {
-            let rhs = chain_b
-                .activation()
-                .delta_min(q)
-                .saturating_add(deadline) as i128;
+            let rhs = chain_b.activation().delta_min(q).saturating_add(deadline) as i128;
             rhs - typical_load(ctx, observed, q) as i128
         })
         .min()

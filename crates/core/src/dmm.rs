@@ -30,6 +30,12 @@ pub struct DmmResult {
     /// Optimal value of the Theorem 3 packing (number of busy windows
     /// spoiled by unschedulable combinations).
     pub packed_windows: u64,
+    /// Whether the packing value is a proven optimum (`true`, the
+    /// normal case) or a sound upper bound reported because the
+    /// packing search exhausted its deterministic budget on an
+    /// adversarial instance (`false`; the miss bound is then still
+    /// valid, just possibly looser).
+    pub packing_exact: bool,
     /// Typical slack (Equation 5 threshold); combinations costlier than
     /// this are unschedulable.
     pub typical_slack: i128,
@@ -85,6 +91,11 @@ pub fn deadline_miss_model(
     k: u64,
     options: AnalysisOptions,
 ) -> Result<DmmResult, AnalysisError> {
+    if let Some((cache, sys)) = ctx.memo() {
+        return cache.dmm(sys, observed, k, options, false, || {
+            deadline_miss_model_with_caps(ctx, observed, k, options, None)
+        });
+    }
     deadline_miss_model_with_caps(ctx, observed, k, options, None)
 }
 
@@ -123,6 +134,7 @@ pub fn deadline_miss_model_with_caps(
         informative,
         misses_per_window: misses,
         packed_windows: 0,
+        packing_exact: true,
         typical_slack: 0,
         omegas: Vec::new(),
         combinations: 0,
@@ -143,6 +155,7 @@ pub fn deadline_miss_model_with_caps(
             informative: true,
             misses_per_window: 0,
             packed_windows: 0,
+            packing_exact: true,
             typical_slack: 0,
             omegas: Vec::new(),
             combinations: 0,
@@ -170,6 +183,7 @@ pub fn deadline_miss_model_with_caps(
             informative: true,
             misses_per_window,
             packed_windows: 0,
+            packing_exact: true,
             typical_slack: slack,
             omegas: budgets(ctx, observed, k, &full),
             combinations: set.combinations().len(),
@@ -191,11 +205,7 @@ pub fn deadline_miss_model_with_caps(
     // Step 5: the packing problem. Resources: one per overload active
     // segment (capacity = its chain's Ω), plus one artificial resource
     // per capped item.
-    let mut capacities: Vec<u64> = set
-        .segments()
-        .iter()
-        .map(|s| omega_of(s.chain))
-        .collect();
+    let mut capacities: Vec<u64> = set.segments().iter().map(|s| omega_of(s.chain)).collect();
     let mut items: Vec<Vec<usize>> = Vec::with_capacity(unschedulable.len());
     for combo in &unschedulable {
         let mut resources = combo.members.clone();
@@ -208,7 +218,8 @@ pub fn deadline_miss_model_with_caps(
         }
         items.push(resources);
     }
-    let packed = PackingProblem::new(capacities, items)?.solve().packed_total();
+    let solution = PackingProblem::new(capacities, items)?.solve();
+    let packed = solution.packed_total();
 
     // Step 6: the DMM value.
     let bound = k.min(misses_per_window.saturating_mul(packed));
@@ -218,6 +229,7 @@ pub fn deadline_miss_model_with_caps(
         informative: true,
         misses_per_window,
         packed_windows: packed,
+        packing_exact: solution.is_exact(),
         typical_slack: slack,
         omegas,
         combinations: set.combinations().len(),
@@ -244,6 +256,24 @@ pub fn deadline_miss_model_exact(
     k: u64,
     options: AnalysisOptions,
 ) -> Result<DmmResult, AnalysisError> {
+    if let Some((cache, sys)) = ctx.memo() {
+        if ctx.contains(observed) {
+            return cache.dmm(sys, observed, k, options, true, || {
+                compute_deadline_miss_model_exact(ctx, observed, k, options)
+            });
+        }
+    }
+    compute_deadline_miss_model_exact(ctx, observed, k, options)
+}
+
+/// The uncached Equation 3 classification behind
+/// [`deadline_miss_model_exact`].
+fn compute_deadline_miss_model_exact(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    k: u64,
+    options: AnalysisOptions,
+) -> Result<DmmResult, AnalysisError> {
     if !ctx.contains(observed) {
         return Err(AnalysisError::UnknownChain { chain: observed });
     }
@@ -259,6 +289,7 @@ pub fn deadline_miss_model_exact(
             informative: false,
             misses_per_window: 0,
             packed_windows: 0,
+            packing_exact: true,
             typical_slack: 0,
             omegas: Vec::new(),
             combinations: 0,
@@ -274,6 +305,7 @@ pub fn deadline_miss_model_exact(
             informative: true,
             misses_per_window: 0,
             packed_windows: 0,
+            packing_exact: true,
             typical_slack: 0,
             omegas: Vec::new(),
             combinations: 0,
@@ -290,6 +322,7 @@ pub fn deadline_miss_model_exact(
             informative: false,
             misses_per_window,
             packed_windows: 0,
+            packing_exact: true,
             typical_slack: slack,
             omegas: Vec::new(),
             combinations: 0,
@@ -311,8 +344,8 @@ pub fn deadline_miss_model_exact(
         .collect();
     let num_unschedulable = unschedulable.len();
     let omegas = budgets(ctx, observed, k, &full);
-    let packed = if unschedulable.is_empty() {
-        0
+    let (packed, packing_exact) = if unschedulable.is_empty() {
+        (0, true)
     } else {
         let omega_of = |chain: ChainId| -> u64 {
             omegas
@@ -323,7 +356,8 @@ pub fn deadline_miss_model_exact(
         };
         let capacities: Vec<u64> = set.segments().iter().map(|s| omega_of(s.chain)).collect();
         let items: Vec<Vec<usize>> = unschedulable.iter().map(|c| c.members.clone()).collect();
-        PackingProblem::new(capacities, items)?.solve().packed_total()
+        let solution = PackingProblem::new(capacities, items)?.solve();
+        (solution.packed_total(), solution.is_exact())
     };
     Ok(DmmResult {
         k,
@@ -331,6 +365,7 @@ pub fn deadline_miss_model_exact(
         informative: true,
         misses_per_window,
         packed_windows: packed,
+        packing_exact,
         typical_slack: slack,
         omegas,
         combinations: set.combinations().len(),
@@ -391,6 +426,7 @@ fn budgets(
 pub struct DmmSweep<'a> {
     ctx: &'a AnalysisContext<'a>,
     observed: ChainId,
+    options: AnalysisOptions,
     /// `None` for the trivial cases (divergent, always-schedulable or
     /// typically unschedulable): `kind` holds the fixed verdict.
     state: SweepState,
@@ -401,9 +437,7 @@ enum SweepState {
     /// Busy window diverges or typical slack is negative: `dmm(k) = k`.
     /// `misses_per_window` is `None` for the divergent case (reported as
     /// `k`, matching [`deadline_miss_model`]).
-    TrivialK {
-        misses_per_window: Option<u64>,
-    },
+    TrivialK { misses_per_window: Option<u64> },
     /// Never misses: `dmm(k) = 0`.
     Zero,
     Packing {
@@ -438,6 +472,7 @@ impl<'a> DmmSweep<'a> {
             return Ok(DmmSweep {
                 ctx,
                 observed,
+                options,
                 state: SweepState::TrivialK {
                     misses_per_window: None,
                 },
@@ -449,6 +484,7 @@ impl<'a> DmmSweep<'a> {
             return Ok(DmmSweep {
                 ctx,
                 observed,
+                options,
                 state: SweepState::Zero,
             });
         }
@@ -457,6 +493,7 @@ impl<'a> DmmSweep<'a> {
             return Ok(DmmSweep {
                 ctx,
                 observed,
+                options,
                 state: SweepState::TrivialK {
                     misses_per_window: Some(misses_per_window),
                 },
@@ -470,6 +507,7 @@ impl<'a> DmmSweep<'a> {
         Ok(DmmSweep {
             ctx,
             observed,
+            options,
             state: SweepState::Packing {
                 misses_per_window,
                 slack,
@@ -482,7 +520,24 @@ impl<'a> DmmSweep<'a> {
     }
 
     /// Evaluates the miss model at one window length.
+    ///
+    /// Goes through the context's [`crate::AnalysisCache`] (when one is
+    /// attached) under the same key as [`deadline_miss_model`] — the two
+    /// produce identical results by construction, so sweeps and
+    /// pointwise queries share entries.
     pub fn at(&self, k: u64) -> DmmResult {
+        if let Some((cache, sys)) = self.ctx.memo() {
+            return cache
+                .dmm(sys, self.observed, k, self.options, false, || {
+                    Ok(self.compute_at(k))
+                })
+                .expect("computation is infallible");
+        }
+        self.compute_at(k)
+    }
+
+    /// The uncached evaluation behind [`DmmSweep::at`].
+    fn compute_at(&self, k: u64) -> DmmResult {
         match &self.state {
             SweepState::TrivialK { misses_per_window } => DmmResult {
                 k,
@@ -490,6 +545,7 @@ impl<'a> DmmSweep<'a> {
                 informative: false,
                 misses_per_window: misses_per_window.unwrap_or(k),
                 packed_windows: 0,
+                packing_exact: true,
                 typical_slack: 0,
                 omegas: Vec::new(),
                 combinations: 0,
@@ -501,6 +557,7 @@ impl<'a> DmmSweep<'a> {
                 informative: true,
                 misses_per_window: 0,
                 packed_windows: 0,
+                packing_exact: true,
                 typical_slack: 0,
                 omegas: Vec::new(),
                 combinations: 0,
@@ -526,8 +583,8 @@ impl<'a> DmmSweep<'a> {
                         )
                     })
                     .collect();
-                let packed = if items.is_empty() {
-                    0
+                let (packed, packing_exact) = if items.is_empty() {
+                    (0, true)
                 } else {
                     let omega_of = |chain: ChainId| -> u64 {
                         omegas
@@ -536,12 +593,11 @@ impl<'a> DmmSweep<'a> {
                             .map(|&(_, w)| w)
                             .expect("every overload chain has a budget")
                     };
-                    let capacities: Vec<u64> =
-                        segments.iter().map(|s| omega_of(s.chain)).collect();
-                    PackingProblem::new(capacities, items.clone())
+                    let capacities: Vec<u64> = segments.iter().map(|s| omega_of(s.chain)).collect();
+                    let solution = PackingProblem::new(capacities, items.clone())
                         .expect("indices in range by construction")
-                        .solve()
-                        .packed_total()
+                        .solve();
+                    (solution.packed_total(), solution.is_exact())
                 };
                 DmmResult {
                     k,
@@ -549,6 +605,7 @@ impl<'a> DmmSweep<'a> {
                     informative: true,
                     misses_per_window: *misses_per_window,
                     packed_windows: packed,
+                    packing_exact,
                     typical_slack: *slack,
                     omegas,
                     combinations: *combinations,
@@ -595,6 +652,7 @@ impl<'a> DmmSweep<'a> {
             .collect();
         let mut rows = Vec::new();
         let mut packed = 0u64;
+        let mut packing_exact = true;
         if !items.is_empty() {
             let omega_of = |chain: ChainId| -> u64 {
                 omegas
@@ -608,6 +666,7 @@ impl<'a> DmmSweep<'a> {
                 .expect("indices in range by construction")
                 .solve();
             packed = solution.packed_total();
+            packing_exact = solution.is_exact();
             for (members, &windows) in items.iter().zip(solution.counts()) {
                 rows.push(WitnessRow {
                     segments: members.iter().map(|&i| segments[i].clone()).collect(),
@@ -621,6 +680,7 @@ impl<'a> DmmSweep<'a> {
             bound: k.min(misses_per_window.saturating_mul(packed)),
             misses_per_window: *misses_per_window,
             packed_windows: packed,
+            packing_exact,
             omegas,
             rows,
         })
@@ -670,6 +730,11 @@ pub struct DmmWitness {
     pub misses_per_window: u64,
     /// Total packed windows `Σ x_c̄`.
     pub packed_windows: u64,
+    /// Whether the packing was solved to proven optimality; when
+    /// `false` (budget-exhausted adversarial instance),
+    /// `packed_windows` is a sound upper bound and the row
+    /// multiplicities may sum to less than it.
+    pub packing_exact: bool,
     /// Budgets `Ω_a` per overload chain (Lemma 4).
     pub omegas: Vec<(ChainId, u64)>,
     /// Per-combination multiplicities.
@@ -693,13 +758,7 @@ impl DmmWitness {
             let members: Vec<String> = row
                 .segments
                 .iter()
-                .map(|s| {
-                    format!(
-                        "{}#{}",
-                        system.chain(s.chain).name(),
-                        s.active_index
-                    )
-                })
+                .map(|s| format!("{}#{}", system.chain(s.chain).name(), s.active_index))
                 .collect();
             let _ = writeln!(
                 out,
@@ -1044,14 +1103,9 @@ mod tests {
         let s = case_study();
         let (ctx, c, _) = case_ctx(&s);
         let cap_one = |_c: &Combination, _s: &[OverloadSegment]| Some(1u64);
-        let dmm = deadline_miss_model_with_caps(
-            &ctx,
-            c,
-            76,
-            AnalysisOptions::default(),
-            Some(&cap_one),
-        )
-        .unwrap();
+        let dmm =
+            deadline_miss_model_with_caps(&ctx, c, 76, AnalysisOptions::default(), Some(&cap_one))
+                .unwrap();
         assert_eq!(dmm.packed_windows, 1);
         assert_eq!(dmm.bound, 1);
     }

@@ -41,7 +41,10 @@ impl fmt::Display for AnalysisError {
                 write!(f, "{chain} does not belong to the analyzed system")
             }
             AnalysisError::Unbounded { chain } => {
-                write!(f, "{chain} has no finite latency bound (worst-case overload)")
+                write!(
+                    f,
+                    "{chain} has no finite latency bound (worst-case overload)"
+                )
             }
             AnalysisError::MissingDeadline { chain } => {
                 write!(f, "{chain} has no deadline, cannot compute a miss model")

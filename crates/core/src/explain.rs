@@ -81,7 +81,11 @@ pub fn explain(
             out,
             "{}{}: {class}, {} segment(s), {} active segment(s)",
             chain_a.name(),
-            if chain_a.is_overload() { " [overload]" } else { "" },
+            if chain_a.is_overload() {
+                " [overload]"
+            } else {
+                ""
+            },
             view.segments().len(),
             view.active_segments().len(),
         );
@@ -106,8 +110,9 @@ pub fn explain(
         Some(full) => {
             for (i, &b) in full.busy_times.iter().enumerate() {
                 let q = i as u64 + 1;
-                let breakdown = busy_time_breakdown(ctx, observed, q, OverloadMode::Include, options)
-                    .expect("latency analysis converged, so each q converges");
+                let breakdown =
+                    busy_time_breakdown(ctx, observed, q, OverloadMode::Include, options)
+                        .expect("latency analysis converged, so each q converges");
                 let arrival = chain_b.activation().delta_min(q);
                 let _ = writeln!(
                     out,
@@ -150,7 +155,11 @@ pub fn explain(
             for q in 1..=kb {
                 let l = typical_load(ctx, observed, q);
                 let rhs = chain_b.activation().delta_min(q).saturating_add(deadline);
-                let _ = writeln!(out, "L({q}) = {l} vs threshold {rhs} (slack {})", rhs as i128 - l as i128);
+                let _ = writeln!(
+                    out,
+                    "L({q}) = {l} vs threshold {rhs} (slack {})",
+                    rhs as i128 - l as i128
+                );
             }
             let slack = typical_slack(ctx, observed, kb);
             let _ = writeln!(out, "typical slack = {slack}");

@@ -81,7 +81,27 @@ pub fn latency_analysis(
     mode: OverloadMode,
     options: AnalysisOptions,
 ) -> Option<LatencyResult> {
+    if let Some((cache, sys)) = ctx.memo() {
+        return cache.latency(sys, observed, mode, options.horizon, options.max_q, || {
+            compute_latency_analysis(ctx, observed, mode, options)
+        });
+    }
+    compute_latency_analysis(ctx, observed, mode, options)
+}
+
+/// The uncached Theorem 2 iteration behind [`latency_analysis`].
+fn compute_latency_analysis(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    mode: OverloadMode,
+    options: AnalysisOptions,
+) -> Option<LatencyResult> {
     let activation = ctx.system().chain(observed).activation().clone();
+    let memo = ctx.memo();
+    let delta_min = |q: u64| match memo {
+        Some((cache, sys)) => cache.delta_min(sys, observed, q, || activation.delta_min(q)),
+        None => activation.delta_min(q),
+    };
     let mut busy_times = Vec::new();
     let mut wcl: Time = 0;
     let mut q = 1u64;
@@ -91,8 +111,8 @@ pub fn latency_analysis(
         }
         let busy = busy_time(ctx, observed, q, mode, options)?;
         busy_times.push(busy);
-        wcl = wcl.max(busy.saturating_sub(activation.delta_min(q)));
-        if busy <= activation.delta_min(q + 1) {
+        wcl = wcl.max(busy.saturating_sub(delta_min(q)));
+        if busy <= delta_min(q + 1) {
             break;
         }
         q += 1;
@@ -148,8 +168,8 @@ mod tests {
         let s = case_study();
         let ctx = AnalysisContext::new(&s);
         let (c, chain) = s.chain_by_name("sigma_c").unwrap();
-        let r = latency_analysis(&ctx, c, OverloadMode::Include, AnalysisOptions::default())
-            .unwrap();
+        let r =
+            latency_analysis(&ctx, c, OverloadMode::Include, AnalysisOptions::default()).unwrap();
         let act = chain.activation().clone();
         use twca_curves::EventModel;
         assert_eq!(r.misses_per_window(200, |k| act.delta_min(k)), 1);

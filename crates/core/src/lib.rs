@@ -48,7 +48,10 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod busy_time;
+pub mod cache;
 pub mod combinations;
 mod config;
 mod context;
@@ -67,6 +70,7 @@ mod analysis;
 
 pub use analysis::ChainAnalysis;
 pub use busy_time::{busy_time, busy_time_breakdown, busy_time_with_extra, BusyTimeBreakdown};
+pub use cache::{AnalysisCache, CacheStats, SystemFingerprint};
 pub use combinations::{Combination, CombinationSet};
 pub use config::AnalysisOptions;
 pub use context::AnalysisContext;

@@ -142,9 +142,7 @@ mod tests {
     use super::*;
     use twca_model::case_study;
 
-    fn ctx_and_ids(
-        s: &twca_model::System,
-    ) -> (AnalysisContext<'_>, ChainId, ChainId) {
+    fn ctx_and_ids(s: &twca_model::System) -> (AnalysisContext<'_>, ChainId, ChainId) {
         let ctx = AnalysisContext::new(s);
         let c = s.chain_by_name("sigma_c").unwrap().0;
         let d = s.chain_by_name("sigma_d").unwrap().0;

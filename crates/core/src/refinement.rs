@@ -72,12 +72,7 @@ impl PhasedRecurrence {
     /// The result is incremented by one to cover a co-occurrence just
     /// before the analyzed activation sequence, mirroring the `+1` of
     /// Lemma 4.
-    pub fn cooccurrence_cap(
-        &self,
-        chains: &[ChainId],
-        window: Time,
-        horizon: Time,
-    ) -> Option<u64> {
+    pub fn cooccurrence_cap(&self, chains: &[ChainId], window: Time, horizon: Time) -> Option<u64> {
         if chains.len() < 2 {
             return None; // Ω already budgets single chains
         }
@@ -180,11 +175,7 @@ pub fn refined_deadline_miss_model(
     };
     let hook = |combo: &Combination, segments: &[OverloadSegment]| -> Option<u64> {
         let (horizon, window) = horizon?;
-        let mut chains: Vec<ChainId> = combo
-            .members
-            .iter()
-            .map(|&m| segments[m].chain)
-            .collect();
+        let mut chains: Vec<ChainId> = combo.members.iter().map(|&m| segments[m].chain).collect();
         chains.sort_unstable();
         chains.dedup();
         phases.cooccurrence_cap(&chains, window, horizon)
@@ -202,11 +193,7 @@ mod tests {
     fn cap_requires_phases_for_all_members() {
         let phases = PhasedRecurrence::new().with_phase(ChainId::from_index(0), 100, 0);
         assert_eq!(
-            phases.cooccurrence_cap(
-                &[ChainId::from_index(0), ChainId::from_index(1)],
-                10,
-                1_000
-            ),
+            phases.cooccurrence_cap(&[ChainId::from_index(0), ChainId::from_index(1)], 10, 1_000),
             None
         );
     }
@@ -227,11 +214,7 @@ mod tests {
             .with_phase(ChainId::from_index(1), 100, 0);
         // Horizon 1000 → anchor events at 0..1000 step 100 = 11, +1 = 12.
         assert_eq!(
-            phases.cooccurrence_cap(
-                &[ChainId::from_index(0), ChainId::from_index(1)],
-                0,
-                1_000
-            ),
+            phases.cooccurrence_cap(&[ChainId::from_index(0), ChainId::from_index(1)], 0, 1_000),
             Some(12)
         );
     }

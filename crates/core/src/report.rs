@@ -75,7 +75,11 @@ impl fmt::Display for SystemReport {
                     _ => "unschedulable",
                 },
             };
-            writeln!(f, "{:<12} {:>8} {:>12} {:>8}  {}", row.name, wcl, twcl, d, verdict)?;
+            writeln!(
+                f,
+                "{:<12} {:>8} {:>12} {:>8}  {}",
+                row.name, wcl, twcl, d, verdict
+            )?;
         }
         Ok(())
     }
@@ -98,8 +102,14 @@ mod tests {
 
     #[test]
     fn schedulability_verdicts() {
-        assert_eq!(row(Some(100), Some(50), Some(200)).schedulable(), Some(true));
-        assert_eq!(row(Some(300), Some(50), Some(200)).schedulable(), Some(false));
+        assert_eq!(
+            row(Some(100), Some(50), Some(200)).schedulable(),
+            Some(true)
+        );
+        assert_eq!(
+            row(Some(300), Some(50), Some(200)).schedulable(),
+            Some(false)
+        );
         assert_eq!(row(None, None, Some(200)).schedulable(), Some(false));
         assert_eq!(row(Some(300), Some(50), None).schedulable(), None);
         assert_eq!(

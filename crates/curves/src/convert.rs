@@ -118,10 +118,7 @@ pub fn delta_min_from_eta_plus(eta_plus: impl Fn(Time) -> u64, k: u64) -> Time {
 /// assert_eq!(eta(250), 2);
 /// assert_eq!(eta(99), 0);
 /// ```
-pub fn eta_minus_from_delta_plus(
-    delta_plus: impl Fn(u64) -> Option<Time>,
-    delta: Time,
-) -> u64 {
+pub fn eta_minus_from_delta_plus(delta_plus: impl Fn(u64) -> Option<Time>, delta: Time) -> u64 {
     match delta_plus(2) {
         None => 0,
         Some(_) => {

@@ -48,7 +48,10 @@ impl fmt::Display for CurveError {
             }
             CurveError::EmptyTable => write!(f, "distance table needs an entry for k = 2"),
             CurveError::CrossingBounds { k } => {
-                write!(f, "maximum distance drops below minimum distance at k = {k}")
+                write!(
+                    f,
+                    "maximum distance drops below minimum distance at k = {k}"
+                )
             }
         }
     }

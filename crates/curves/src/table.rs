@@ -128,7 +128,10 @@ impl DeltaTable {
         if times.len() < 2 || max_events < 2 {
             return Err(CurveError::EmptyTable);
         }
-        debug_assert!(times.windows(2).all(|w| w[0] <= w[1]), "trace must be sorted");
+        debug_assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "trace must be sorted"
+        );
         let limit = (max_events as usize).min(times.len());
         let mut distances = Vec::with_capacity(limit - 1);
         for k in 2..=limit {

@@ -1,0 +1,285 @@
+//! The holistic fixed-point iteration: per-resource chain analysis
+//! alternating with output event-model propagation along the links.
+
+use crate::error::DistError;
+use crate::system::{DistributedSystem, ResourceId, SiteId};
+use twca_chains::{deadline_miss_model, AnalysisContext, AnalysisOptions};
+use twca_curves::{ActivationModel, EventModel, Time};
+use twca_independent::propagate_output_model;
+use twca_model::System;
+
+/// Options of the distributed analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistOptions {
+    /// Options forwarded to every per-resource chain analysis.
+    pub chain_options: AnalysisOptions,
+    /// Maximum number of holistic sweeps before reporting
+    /// [`DistError::Diverged`].
+    pub max_sweeps: usize,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        DistOptions {
+            chain_options: AnalysisOptions::default(),
+            max_sweeps: 64,
+        }
+    }
+}
+
+/// Shifts an activation model by `jitter` time units of response-time
+/// variability — the propagation primitive of the holistic iteration.
+///
+/// Periodic and periodic-with-jitter models accumulate jitter; sporadic
+/// models get their minimum distance compressed. Model classes without a
+/// closed propagation form (burst, table) are abstracted to a sporadic
+/// source with the compressed minimum distance, which is pessimistic but
+/// sound; [`ActivationModel::never`] passes through unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use twca_curves::{ActivationModel, EventModel};
+/// use twca_dist::jitter_shifted;
+///
+/// let input = ActivationModel::periodic(200).unwrap();
+/// let shifted = jitter_shifted(&input, 150);
+/// // Consecutive events can now come 150 closer together...
+/// assert_eq!(shifted.delta_min(2), 50);
+/// // ...but the long-run rate is unchanged.
+/// assert_eq!(shifted.delta_min(11), 10 * 200 - 150);
+/// ```
+pub fn jitter_shifted(model: &ActivationModel, jitter: Time) -> ActivationModel {
+    propagate_with_floor(model, jitter, 1)
+}
+
+/// Propagation with an explicit lower bound `floor` on the output's
+/// minimum event distance (the consumer-visible completion spacing).
+fn propagate_with_floor(model: &ActivationModel, jitter: Time, floor: Time) -> ActivationModel {
+    let floor = floor.max(1);
+    if let ActivationModel::Never(_) = model {
+        return model.clone();
+    }
+    propagate_output_model(model, floor.saturating_add(jitter), floor).unwrap_or_else(|| {
+        // Burst/table inputs: abstract to a sporadic stream with the
+        // compressed minimum distance (sound: ≥-dense than reality).
+        let distance = model.delta_min(2).saturating_sub(jitter).max(floor).max(1);
+        ActivationModel::sporadic(distance).expect("distance >= 1")
+    })
+}
+
+/// Outcome of [`analyze`]: converged effective systems plus per-site
+/// bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistResults {
+    /// Per-resource systems with propagated activation models applied.
+    effective: Vec<System>,
+    /// `wcl[resource][chain]`.
+    wcl: Vec<Vec<Option<Time>>>,
+    sweeps: usize,
+    options: DistOptions,
+}
+
+impl DistResults {
+    /// Number of sweeps until the fixed point (including the confirming
+    /// sweep).
+    pub fn sweeps(&self) -> usize {
+        self.sweeps
+    }
+
+    /// The effective (post-propagation) system of `resource`.
+    pub fn effective_system(&self, resource: ResourceId) -> &System {
+        &self.effective[resource.index()]
+    }
+
+    /// Worst-case latency bound of `site` under its effective
+    /// activation; `None` when the local busy window diverges.
+    pub fn worst_case_latency(&self, site: SiteId) -> Option<Time> {
+        self.wcl[site.resource().index()][site.chain().index()]
+    }
+
+    /// Output response jitter of `site`: the worst-case latency itself
+    /// (completions lag activations by anything in `[0, WCL]`); zero
+    /// when unbounded — nothing can be propagated from such a site
+    /// anyway.
+    pub fn response_jitter(&self, site: SiteId) -> Time {
+        self.worst_case_latency(site).unwrap_or(0)
+    }
+
+    /// The effective activation model of `site` (propagated for linked
+    /// sites, declared otherwise).
+    pub fn effective_activation(&self, site: SiteId) -> ActivationModel {
+        self.effective[site.resource().index()]
+            .chain(site.chain())
+            .activation()
+            .clone()
+    }
+
+    /// The local deadline miss model `dmm(k)` of `site` against its own
+    /// deadline, evaluated on the effective system.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::MissingDeadline`] without a deadline; analysis
+    /// errors are forwarded.
+    pub fn deadline_miss_model(&self, site: SiteId, k: u64) -> Result<u64, DistError> {
+        let system = &self.effective[site.resource().index()];
+        let ctx = AnalysisContext::new(system);
+        match deadline_miss_model(&ctx, site.chain(), k, self.options.chain_options) {
+            Ok(dmm) => Ok(dmm.bound),
+            Err(twca_chains::AnalysisError::MissingDeadline { .. }) => {
+                Err(DistError::MissingDeadline { site })
+            }
+            Err(e) => Err(DistError::Analysis(e)),
+        }
+    }
+}
+
+/// Computes the completion-spacing floor and response jitter of a
+/// producer chain with worst-case latency `wcl`.
+fn propagation_parameters(system: &System, chain: twca_model::ChainId, wcl: Time) -> (Time, Time) {
+    let chain = system.chain(chain);
+    // Completions lag activations by anything in [0, WCL]: the full
+    // latency bound is the propagated jitter (sound, and what the
+    // benches report as `jitter_out`).
+    let jitter = wcl;
+    // Completions of consecutive instances are spaced by at least the
+    // full chain re-execution (synchronous chains) or the serialized
+    // tail task (asynchronous chains, where instances pipeline).
+    let spacing = if chain.kind().is_synchronous() {
+        chain.total_wcet()
+    } else {
+        chain.tail_task().wcet()
+    };
+    // Never raise the output distance above the input distance: that
+    // would be sound but breaks downstream monotonicity expectations.
+    let floor = spacing.min(chain.activation().delta_min(2).max(1)).max(1);
+    (floor, jitter)
+}
+
+/// Runs the holistic iteration to its fixed point.
+///
+/// Each sweep analyzes every resource with [`twca_chains`] under the
+/// current effective activation models, then propagates each link
+/// source's output event model (input model shifted by its response
+/// jitter, floored by its completion spacing) into the destination
+/// chain. The iteration converges when no effective model changes.
+///
+/// # Errors
+///
+/// * [`DistError::UnboundedLatency`] when a *linked* producer chain has
+///   no finite latency bound (nothing sound can be propagated);
+/// * [`DistError::Diverged`] when `options.max_sweeps` sweeps do not
+///   reach a fixed point (e.g. cyclic resource graphs under load).
+pub fn analyze(system: &DistributedSystem, options: DistOptions) -> Result<DistResults, DistError> {
+    let mut effective: Vec<System> = system
+        .resources()
+        .iter()
+        .map(|r| r.system().clone())
+        .collect();
+
+    for sweep in 1..=options.max_sweeps.max(1) {
+        // Per-resource chain analysis under the current models.
+        let mut wcl: Vec<Vec<Option<Time>>> = Vec::with_capacity(effective.len());
+        for local in &effective {
+            let analysis =
+                twca_chains::ChainAnalysis::new(local).with_options(options.chain_options);
+            let row = local
+                .iter()
+                .map(|(id, _)| {
+                    analysis
+                        .try_worst_case_latency(id)
+                        .expect("chain ids from the same system")
+                        .map(|r| r.worst_case_latency)
+                })
+                .collect();
+            wcl.push(row);
+        }
+
+        // Propagate along every link.
+        let mut changed = false;
+        for link in system.links() {
+            let (from, to) = (link.from(), link.to());
+            let Some(bound) = wcl[from.resource().index()][from.chain().index()] else {
+                return Err(DistError::UnboundedLatency { site: from });
+            };
+            let source_system = &effective[from.resource().index()];
+            let input = source_system.chain(from.chain()).activation().clone();
+            let (floor, jitter) = propagation_parameters(source_system, from.chain(), bound);
+            let output = propagate_with_floor(&input, jitter, floor);
+            let destination = &effective[to.resource().index()];
+            if *destination.chain(to.chain()).activation() != output {
+                effective[to.resource().index()] = destination.with_activation(to.chain(), output);
+                changed = true;
+            }
+        }
+
+        if !changed {
+            return Ok(DistResults {
+                effective,
+                wcl,
+                sweeps: sweep,
+                options,
+            });
+        }
+    }
+    Err(DistError::Diverged {
+        sweeps: options.max_sweeps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::DistributedSystemBuilder;
+    use twca_model::{case_study, SystemBuilder};
+
+    #[test]
+    fn single_resource_converges_in_one_sweep() {
+        let dist = DistributedSystemBuilder::new()
+            .resource("ecu0", case_study())
+            .build()
+            .unwrap();
+        let results = analyze(&dist, DistOptions::default()).unwrap();
+        assert_eq!(results.sweeps(), 1);
+        let c = dist.site("ecu0", "sigma_c").unwrap();
+        assert_eq!(results.worst_case_latency(c), Some(331));
+        assert_eq!(results.response_jitter(c), 331);
+    }
+
+    #[test]
+    fn linked_destination_gains_jitter() {
+        let downstream = SystemBuilder::new()
+            .chain("act")
+            .periodic(200)
+            .unwrap()
+            .deadline(200)
+            .task("a1", 1, 20)
+            .done()
+            .build()
+            .unwrap();
+        let dist = DistributedSystemBuilder::new()
+            .resource("ecu0", case_study())
+            .resource("ecu1", downstream)
+            .link(("ecu0", "sigma_c"), ("ecu1", "act"))
+            .build()
+            .unwrap();
+        let results = analyze(&dist, DistOptions::default()).unwrap();
+        let act = dist.site("ecu1", "act").unwrap();
+        let effective = results.effective_activation(act);
+        // σc adds WCL = 331 of jitter to the 200-periodic stream;
+        // completions stay ≥ ΣC = 51 apart (σc is synchronous).
+        assert_eq!(effective.delta_min(2), 51);
+        assert!(results.worst_case_latency(act).is_some());
+    }
+
+    #[test]
+    fn jitter_shift_preserves_long_run_rate() {
+        let m = ActivationModel::periodic(100).unwrap();
+        let shifted = jitter_shifted(&m, 40);
+        for delta in [1_000u64, 10_000] {
+            assert!(shifted.eta_plus(delta) >= m.eta_plus(delta));
+            assert!(shifted.eta_plus(delta) <= m.eta_plus(delta) + 1);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Failure modes of the distributed analysis.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::system::SiteId;
+use twca_chains::AnalysisError;
+
+/// Errors of the distributed model and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DistError {
+    /// Two resources share a name.
+    DuplicateResource {
+        /// The repeated name.
+        name: String,
+    },
+    /// A link names a resource that does not exist.
+    UnknownResource {
+        /// The dangling name.
+        name: String,
+    },
+    /// A link or path hop names a chain its resource does not have.
+    UnknownChain {
+        /// The resource name.
+        resource: String,
+        /// The dangling chain name.
+        chain: String,
+    },
+    /// Two links target the same site.
+    DuplicateInput {
+        /// The resource name.
+        resource: String,
+        /// The doubly-fed chain name.
+        chain: String,
+    },
+    /// A path was constructed without hops.
+    EmptyPath,
+    /// Two consecutive path hops have no declared link.
+    NotLinked {
+        /// The earlier hop.
+        from: SiteId,
+        /// The later hop.
+        to: SiteId,
+    },
+    /// The resource graph has a cycle (or a self-link).
+    Cyclic,
+    /// A linked producer chain has no finite latency bound, so nothing
+    /// can be propagated downstream.
+    UnboundedLatency {
+        /// The unbounded site.
+        site: SiteId,
+    },
+    /// The holistic iteration did not reach a fixed point.
+    Diverged {
+        /// Sweeps performed before giving up.
+        sweeps: usize,
+    },
+    /// A miss-model query hit a chain without a deadline.
+    MissingDeadline {
+        /// The deadline-less site.
+        site: SiteId,
+    },
+    /// A per-resource chain analysis failed.
+    Analysis(AnalysisError),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::DuplicateResource { name } => {
+                write!(f, "duplicate resource name `{name}`")
+            }
+            DistError::UnknownResource { name } => {
+                write!(f, "no resource named `{name}`")
+            }
+            DistError::UnknownChain { resource, chain } => {
+                write!(f, "resource `{resource}` has no chain named `{chain}`")
+            }
+            DistError::DuplicateInput { resource, chain } => {
+                write!(f, "chain `{chain}` on `{resource}` has two incoming links")
+            }
+            DistError::EmptyPath => write!(f, "a path needs at least one hop"),
+            DistError::NotLinked { from, to } => {
+                write!(f, "consecutive path hops {from} and {to} are not linked")
+            }
+            DistError::Cyclic => write!(f, "the resource graph has a cycle"),
+            DistError::UnboundedLatency { site } => {
+                write!(f, "linked chain {site} has no finite latency bound")
+            }
+            DistError::Diverged { sweeps } => {
+                write!(
+                    f,
+                    "holistic iteration did not converge after {sweeps} sweeps"
+                )
+            }
+            DistError::MissingDeadline { site } => {
+                write!(f, "{site} has no deadline, cannot compose a miss model")
+            }
+            DistError::Analysis(e) => write!(f, "per-resource analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for DistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DistError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for DistError {
+    fn from(value: AnalysisError) -> Self {
+        DistError::Analysis(value)
+    }
+}

@@ -1,0 +1,114 @@
+//! Sensitivity analysis along end-to-end paths: how much overload the
+//! system tolerates before a weakly-hard path contract breaks.
+
+use crate::analyze::{analyze, DistOptions};
+use crate::error::DistError;
+use crate::path::DistPath;
+use crate::system::{DistributedSystem, SiteId};
+
+/// Largest percentage (of the declared overload WCETs, searched in
+/// `0..=max_percent`) at which the end-to-end `(m, k)` constraint along
+/// `hops` still holds; `None` when even silencing the overload chains
+/// entirely (0%) does not satisfy it.
+///
+/// The check scales **every** overload chain of **every** resource
+/// uniformly, re-runs the holistic analysis and tests
+/// `path dmm(k) ≤ m`. Non-converging or unbounded configurations count
+/// as violating.
+///
+/// # Errors
+///
+/// Propagates construction errors for `hops` (e.g.
+/// [`DistError::NotLinked`]); analysis failures at a specific
+/// percentage are treated as violations, not errors.
+///
+/// # Examples
+///
+/// ```
+/// use twca_dist::{max_path_overload_scaling, DistOptions, DistributedSystemBuilder};
+/// use twca_model::case_study;
+///
+/// # fn main() -> Result<(), twca_dist::DistError> {
+/// let dist = DistributedSystemBuilder::new()
+///     .resource("ecu0", case_study())
+///     .build()?;
+/// let c = dist.site("ecu0", "sigma_c").unwrap();
+/// // σc satisfies (0, 10) only with the overload silenced, and
+/// // tolerates full declared overload for (5, 10).
+/// let strict = max_path_overload_scaling(&dist, &[c], 0, 10, 200, DistOptions::default())?;
+/// let relaxed = max_path_overload_scaling(&dist, &[c], 5, 10, 100, DistOptions::default())?;
+/// assert!(strict < Some(100));
+/// assert_eq!(relaxed, Some(100));
+/// # Ok(())
+/// # }
+/// ```
+pub fn max_path_overload_scaling(
+    system: &DistributedSystem,
+    hops: &[SiteId],
+    m: u64,
+    k: u64,
+    max_percent: u64,
+    options: DistOptions,
+) -> Result<Option<u64>, DistError> {
+    // Validate the path once against the unscaled system (scaling never
+    // changes the structure).
+    DistPath::new(system, hops.to_vec())?;
+
+    let holds = |percent: u64| -> bool {
+        let Ok(scaled) =
+            system.map_systems(|r| r.system().with_scaled_overload_wcets(percent, 100))
+        else {
+            return false;
+        };
+        let Ok(results) = analyze(&scaled, options) else {
+            return false;
+        };
+        let Ok(path) = DistPath::new(&scaled, hops.to_vec()) else {
+            return false;
+        };
+        match path.deadline_miss_model(&results, k) {
+            Ok(dmm) => dmm <= m,
+            Err(_) => false,
+        }
+    };
+
+    if !holds(0) {
+        return Ok(None);
+    }
+    // Binary search for the largest admissible percentage, assuming
+    // monotonicity of the miss bound in the overload WCETs.
+    let (mut lo, mut hi) = (0u64, max_percent);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if holds(mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Ok(Some(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::DistributedSystemBuilder;
+    use twca_model::case_study;
+
+    #[test]
+    fn scaling_is_monotone_and_bounded() {
+        let dist = DistributedSystemBuilder::new()
+            .resource("ecu0", case_study())
+            .build()
+            .unwrap();
+        let c = dist.site("ecu0", "sigma_c").unwrap();
+        let tolerant =
+            max_path_overload_scaling(&dist, &[c], 10, 10, 300, DistOptions::default()).unwrap();
+        // (10, 10) admits everything: the cap is the search limit.
+        assert_eq!(tolerant, Some(300));
+        let strict =
+            max_path_overload_scaling(&dist, &[c], 2, 10, 300, DistOptions::default()).unwrap();
+        assert!(strict.is_some());
+        assert!(strict <= tolerant);
+    }
+}

@@ -1,0 +1,117 @@
+//! Hand-rolled JSON rendering of batch results (the workspace carries
+//! no serde runtime; see `vendor/README.md`).
+
+use crate::report::SystemVerdict;
+use twca_chains::CacheStats;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt(value: Option<u64>) -> String {
+    value.map_or_else(|| "null".to_owned(), |v| v.to_string())
+}
+
+/// Renders a batch (and the cache counters of the run) as one JSON
+/// document, stable across runs and thread counts: the `systems`
+/// section is a pure function of the input, and the optional `cache`
+/// section carries only the entry count — the one cache counter that
+/// is schedule-independent (racing workers may double-count a miss,
+/// but the key set is fixed). Hit/miss diagnostics are available via
+/// [`CacheStats`] for human-facing output instead.
+///
+/// # Examples
+///
+/// ```
+/// use twca_engine::{batch_to_json, BatchEngine};
+/// use twca_model::case_study;
+///
+/// let engine = BatchEngine::new().with_ks([10]);
+/// let batch = engine.run([case_study()]);
+/// let json = batch_to_json(&batch, Some(engine.cache_stats()));
+/// assert!(json.contains("\"name\": \"sigma_c\""));
+/// assert!(json.contains("\"bound\": 5"));
+/// ```
+pub fn batch_to_json(batch: &[SystemVerdict], cache: Option<CacheStats>) -> String {
+    let mut out = String::from("{\n  \"systems\": [\n");
+    for (i, system) in batch.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"index\": {}, \"chains\": [\n",
+            system.index
+        ));
+        for (j, chain) in system.chains.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"name\": \"{}\", \"overload\": {}, \"deadline\": {}, \"wcl\": {}, \"typical_wcl\": {}, \"dmm\": [",
+                escape(&chain.name),
+                chain.overload,
+                opt(chain.deadline),
+                opt(chain.worst_case_latency),
+                opt(chain.typical_latency),
+            ));
+            for (m, dmm) in chain.miss_models.iter().enumerate() {
+                out.push_str(&format!(
+                    "{{\"k\": {}, \"bound\": {}, \"informative\": {}}}",
+                    dmm.k, dmm.bound, dmm.informative
+                ));
+                if m + 1 < chain.miss_models.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push(']');
+            if let Some(error) = &chain.error {
+                out.push_str(&format!(", \"error\": \"{}\"", escape(error)));
+            }
+            out.push('}');
+            out.push_str(if j + 1 < system.chains.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("    ]}");
+        out.push_str(if i + 1 < batch.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    if let Some(stats) = cache {
+        // Only the entry count is deterministic across schedules (two
+        // workers racing on one key both record a miss, but the key set
+        // is fixed); hit/miss counters stay out of the document so
+        // parallel and serial runs render byte-identically.
+        out.push_str(&format!(
+            ",\n  \"cache\": {{\"entries\": {}}}",
+            stats.entries
+        ));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_handles_control_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn empty_batch_renders() {
+        let json = batch_to_json(&[], None);
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"systems\": ["));
+    }
+}

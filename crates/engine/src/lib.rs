@@ -1,0 +1,295 @@
+//! Parallel batch-analysis engine for TWCA sweeps.
+//!
+//! Design-space studies (random priority assignments, generator sweeps,
+//! sensitivity scans) analyze hundreds to millions of
+//! [`twca_model::System`]s with the same pipeline: worst-case latencies
+//! (Theorem 2), then deadline miss models over a set of window lengths
+//! (Theorem 3). This crate turns that loop into a front end that
+//!
+//! * **fans out** across CPU cores with deterministic, input-ordered
+//!   results — the parallel output is bit-identical to the serial one;
+//! * **memoizes** the expensive sub-computations (busy-window fixed
+//!   points, latency analyses, overload budgets, distance lookups) in a
+//!   shared [`AnalysisCache`], so repeated work across similar systems
+//!   and across `k`-values is done once;
+//! * reports **progress** through a pluggable callback and exposes
+//!   cache effectiveness via [`BatchEngine::cache_stats`].
+//!
+//! The engine is the seam later scaling work (sharding, async serving,
+//! alternative backends) plugs into: everything enters through
+//! [`BatchEngine::run`] on an iterator of systems.
+//!
+//! # Examples
+//!
+//! ```
+//! use twca_engine::BatchEngine;
+//! use twca_model::case_study;
+//!
+//! let engine = BatchEngine::new().with_ks([1, 10]);
+//! let batch = engine.run([case_study(), case_study()]);
+//! assert_eq!(batch.len(), 2);
+//! // Table I/II for the industrial case study:
+//! let sigma_c = batch[0].chain("sigma_c").unwrap();
+//! assert_eq!(sigma_c.worst_case_latency, Some(331));
+//! assert_eq!(sigma_c.miss_models[1].bound, 5); // dmm(10) = 5
+//! // The second (identical) system was answered from the cache.
+//! assert!(engine.cache_stats().hits > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod json;
+mod report;
+
+pub use json::batch_to_json;
+pub use report::{ChainVerdict, SystemVerdict};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub use twca_chains::{AnalysisCache, CacheStats};
+use twca_chains::{AnalysisContext, AnalysisOptions, DmmSweep, OverloadMode};
+use twca_model::System;
+
+/// Progress observer: called with `(completed, total)` after every
+/// finished system.
+pub type ProgressFn = dyn Fn(usize, usize) + Send + Sync;
+
+/// The batch-analysis front end; see the [module docs](self).
+///
+/// An engine owns one [`AnalysisCache`] that every run (serial or
+/// parallel) shares; clone-cheap handles to the same cache can be
+/// obtained with [`BatchEngine::cache`].
+pub struct BatchEngine {
+    threads: Option<usize>,
+    options: AnalysisOptions,
+    ks: Vec<u64>,
+    cache: Arc<AnalysisCache>,
+    progress: Option<Box<ProgressFn>>,
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchEngine {
+    /// An engine with default options, `dmm` windows `[1, 10, 100]`, a
+    /// fresh cache, and one worker per available core.
+    pub fn new() -> Self {
+        BatchEngine {
+            threads: None,
+            options: AnalysisOptions::default(),
+            ks: vec![1, 10, 100],
+            cache: Arc::new(AnalysisCache::new()),
+            progress: None,
+        }
+    }
+
+    /// Sets the number of worker threads (`1` forces the serial path).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Replaces the per-chain analysis options.
+    #[must_use]
+    pub fn with_options(mut self, options: AnalysisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the miss-model window lengths evaluated per chain.
+    #[must_use]
+    pub fn with_ks(mut self, ks: impl IntoIterator<Item = u64>) -> Self {
+        self.ks = ks.into_iter().collect();
+        self
+    }
+
+    /// Shares an existing cache (e.g. across engines or sessions).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<AnalysisCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Installs a progress observer.
+    #[must_use]
+    pub fn with_progress(
+        mut self,
+        progress: impl Fn(usize, usize) + Send + Sync + 'static,
+    ) -> Self {
+        self.progress = Some(Box::new(progress));
+        self
+    }
+
+    /// The shared cache handle.
+    pub fn cache(&self) -> Arc<AnalysisCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Hit/miss counters of the shared cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Worker count the next [`BatchEngine::run`] will use.
+    pub fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    }
+
+    /// Analyzes every system, fanning out across
+    /// [`BatchEngine::effective_threads`] workers.
+    ///
+    /// Results come back **in input order** and are bit-identical to
+    /// [`BatchEngine::run_serial`] on the same input: each verdict is a
+    /// pure function of its system, and the shared cache only ever
+    /// returns values equal to what recomputation would produce.
+    pub fn run(&self, systems: impl IntoIterator<Item = System>) -> Vec<SystemVerdict> {
+        let jobs: Vec<System> = systems.into_iter().collect();
+        let threads = self.effective_threads().min(jobs.len().max(1));
+        if threads <= 1 {
+            return self.run_serial(jobs);
+        }
+
+        let total = jobs.len();
+        let next = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SystemVerdict>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let verdict = self.analyze_one(index, &jobs[index]);
+                    *slots[index].lock().expect("result slot poisoned") = Some(verdict);
+                    let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(progress) = &self.progress {
+                        progress(completed, total);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index was claimed by a worker")
+            })
+            .collect()
+    }
+
+    /// Analyzes every system on the calling thread, still going through
+    /// the shared cache. Reference implementation for equivalence tests
+    /// and baseline benchmarks.
+    pub fn run_serial(&self, systems: impl IntoIterator<Item = System>) -> Vec<SystemVerdict> {
+        let jobs: Vec<System> = systems.into_iter().collect();
+        let total = jobs.len();
+        jobs.iter()
+            .enumerate()
+            .map(|(index, system)| {
+                let verdict = self.analyze_one(index, system);
+                if let Some(progress) = &self.progress {
+                    progress(index + 1, total);
+                }
+                verdict
+            })
+            .collect()
+    }
+
+    /// The per-system pipeline: latency analysis per chain, then a
+    /// `k`-sweep of the miss model for every deadline chain.
+    fn analyze_one(&self, index: usize, system: &System) -> SystemVerdict {
+        let ctx = AnalysisContext::with_cache(system, Arc::clone(&self.cache));
+        let mut chains = Vec::with_capacity(system.chains().len());
+        for (id, chain) in system.iter() {
+            let full = twca_chains::latency_analysis(&ctx, id, OverloadMode::Include, self.options);
+            let typical =
+                twca_chains::latency_analysis(&ctx, id, OverloadMode::Exclude, self.options);
+            let (miss_models, error) = if chain.deadline().is_some() {
+                match DmmSweep::prepare(&ctx, id, self.options) {
+                    Ok(sweep) => (sweep.curve(self.ks.iter().copied()), None),
+                    Err(e) => (Vec::new(), Some(e.to_string())),
+                }
+            } else {
+                (Vec::new(), None)
+            };
+            chains.push(ChainVerdict {
+                name: chain.name().to_owned(),
+                deadline: chain.deadline(),
+                overload: chain.is_overload(),
+                worst_case_latency: full.as_ref().map(|r| r.worst_case_latency),
+                typical_latency: typical.as_ref().map(|r| r.worst_case_latency),
+                miss_models,
+                error,
+            });
+        }
+        SystemVerdict { index, chains }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::case_study;
+
+    #[test]
+    fn parallel_equals_serial_on_copies_of_the_case_study() {
+        let systems: Vec<System> = (0..8).map(|_| case_study()).collect();
+        let engine = BatchEngine::new().with_ks([1, 3, 10, 76]).with_threads(4);
+        let parallel = engine.run(systems.clone());
+        let serial = BatchEngine::new()
+            .with_ks([1, 3, 10, 76])
+            .with_threads(1)
+            .run_serial(systems);
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel.len(), 8);
+        assert_eq!(
+            parallel[7].chain("sigma_c").unwrap().miss_models[3].bound,
+            23
+        );
+    }
+
+    #[test]
+    fn cache_is_shared_across_systems() {
+        let engine = BatchEngine::new().with_ks([10]);
+        let _ = engine.run((0..4).map(|_| case_study()));
+        let stats = engine.cache_stats();
+        assert!(stats.hits > 0, "identical systems must share cache entries");
+        assert!(stats.entries > 0);
+    }
+
+    #[test]
+    fn progress_reports_every_system() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&calls);
+        let engine = BatchEngine::new()
+            .with_ks([1])
+            .with_threads(2)
+            .with_progress(move |_done, total| {
+                assert_eq!(total, 5);
+                seen.fetch_add(1, Ordering::Relaxed);
+            });
+        let _ = engine.run((0..5).map(|_| case_study()));
+        assert_eq!(calls.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn chains_without_deadline_have_no_miss_models() {
+        let engine = BatchEngine::new();
+        let batch = engine.run([case_study()]);
+        let sigma_a = batch[0].chain("sigma_a").unwrap();
+        assert!(sigma_a.miss_models.is_empty());
+        assert!(sigma_a.overload);
+    }
+}

@@ -72,7 +72,10 @@ pub fn random_pipeline(
     rng: &mut impl Rng,
     config: &RandomPipelineConfig,
 ) -> Result<DistributedSystem, DistError> {
-    assert!(config.resources >= 1, "pipeline needs at least one resource");
+    assert!(
+        config.resources >= 1,
+        "pipeline needs at least one resource"
+    );
     assert!(
         config.resource.regular_chains >= 1,
         "resources need a regular chain to link"

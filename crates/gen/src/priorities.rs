@@ -40,11 +40,7 @@ pub fn random_priority_permutation(rng: &mut impl Rng, n: usize) -> Vec<Priority
 /// let all = priority_permutations(&mut rng, 13, 1000);
 /// assert_eq!(all.len(), 1000);
 /// ```
-pub fn priority_permutations(
-    rng: &mut impl Rng,
-    n: usize,
-    count: usize,
-) -> Vec<Vec<Priority>> {
+pub fn priority_permutations(rng: &mut impl Rng, n: usize, count: usize) -> Vec<Vec<Priority>> {
     (0..count)
         .map(|_| random_priority_permutation(rng, n))
         .collect()

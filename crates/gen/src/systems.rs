@@ -124,8 +124,8 @@ pub fn random_system(
         });
     }
     for &u in &overload_utils {
-        let period = rng.gen_range(config.period_range.0..=config.period_range.1)
-            * config.overload_rarity;
+        let period =
+            rng.gen_range(config.period_range.0..=config.period_range.1) * config.overload_rarity;
         shapes.push(Shape {
             tasks: rng.gen_range(config.tasks_per_chain.0..=config.tasks_per_chain.1),
             period,

@@ -158,10 +158,7 @@ pub fn communicating_threads_system(
         let mut cb = if *overload {
             builder.chain(&name).sporadic(*period)?.overload()
         } else {
-            builder
-                .chain(&name)
-                .periodic(*period)?
-                .deadline(*period)
+            builder.chain(&name).periodic(*period)?.deadline(*period)
         };
         for (t, &thread) in hops.iter().enumerate() {
             let level = band_levels[thread]
@@ -259,10 +256,8 @@ mod tests {
     #[test]
     fn reproducible() {
         let config = ThreadSystemConfig::default();
-        let a =
-            communicating_threads_system(&mut ChaCha8Rng::seed_from_u64(9), &config).unwrap();
-        let b =
-            communicating_threads_system(&mut ChaCha8Rng::seed_from_u64(9), &config).unwrap();
+        let a = communicating_threads_system(&mut ChaCha8Rng::seed_from_u64(9), &config).unwrap();
+        let b = communicating_threads_system(&mut ChaCha8Rng::seed_from_u64(9), &config).unwrap();
         assert_eq!(a, b);
     }
 }

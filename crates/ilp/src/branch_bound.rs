@@ -14,7 +14,9 @@ pub struct IlpOptions {
 
 impl Default for IlpOptions {
     fn default() -> Self {
-        IlpOptions { node_limit: 100_000 }
+        IlpOptions {
+            node_limit: 100_000,
+        }
     }
 }
 
@@ -159,11 +161,7 @@ pub fn solve_ilp_with(problem: &Problem, options: IlpOptions) -> Result<IlpOutco
         }
 
         // Find a fractional variable to branch on.
-        match relaxed
-            .values()
-            .iter()
-            .position(|v| !v.is_integer())
-        {
+        match relaxed.values().iter().position(|v| !v.is_integer()) {
             None => {
                 let values: Vec<i128> = relaxed
                     .values()

@@ -44,17 +44,31 @@ pub struct PackingProblem {
 pub struct PackingSolution {
     counts: Vec<u64>,
     total: u64,
+    exact: bool,
 }
 
 impl PackingSolution {
-    /// How many instances of each item were packed.
+    /// How many instances of each item were packed (a feasible packing;
+    /// its sum equals [`PackingSolution::packed_total`] when
+    /// [`PackingSolution::is_exact`]).
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
 
-    /// Total number of packed item instances (the objective).
+    /// Total number of packed item instances (the objective). When
+    /// [`PackingSolution::is_exact`] is `false`, this is instead an
+    /// **admissible upper bound** on the optimum — still sound for the
+    /// TWCA miss model, which consumes the packing value as an upper
+    /// bound on spoiled busy windows.
     pub fn packed_total(&self) -> u64 {
         self.total
+    }
+
+    /// Whether the search proved optimality (`true` for every instance
+    /// within the deterministic node budget; pathological adversarial
+    /// instances report a sound upper bound with `false`).
+    pub fn is_exact(&self) -> bool {
+        self.exact
     }
 }
 
@@ -104,30 +118,86 @@ impl PackingProblem {
         &self.items
     }
 
-    /// Solves the packing problem exactly with a bounded depth-first
-    /// search.
+    /// Solves the packing problem exactly.
     ///
-    /// The search assigns item counts one item at a time, highest count
-    /// first, pruning with two admissible bounds on the remaining items:
-    /// the total leftover capacity divided by the smallest remaining item
-    /// size, and the sum of each remaining item's individual maximum.
+    /// Small capacity state spaces (the common TWCA shape: a handful of
+    /// active segments with moderate `Ω` budgets) are solved by an exact
+    /// memoized dynamic program over remaining capacities — polynomial
+    /// in the state-space size, immune to the exponential blowup a
+    /// plain search suffers when many combinations overlap. Larger
+    /// instances fall back to a bounded depth-first search that assigns
+    /// item counts highest-first and prunes with admissible bounds on
+    /// the remaining items.
     pub fn solve(&self) -> PackingSolution {
         let n = self.items.len();
         if n == 0 {
             return PackingSolution {
                 counts: Vec::new(),
                 total: 0,
+                exact: true,
             };
         }
+        // Every phase below is bounded: the dominance prefilter is
+        // quadratic and only runs on moderate item counts, and both
+        // search strategies recurse one level per item, so the item
+        // count entering them also caps the stack depth.
+        const DOMINANCE_LIMIT: usize = 4_096;
+        const MAX_SEARCH_ITEMS: usize = 1_024;
+
+        // Dominance: replacing a packed item by any other item whose
+        // resource set is a subset keeps feasibility and the unit
+        // objective, so an optimal solution exists over the
+        // inclusion-minimal items alone. TWCA instances are upward
+        // closed (supersets of an unschedulable combination are
+        // unschedulable), so this typically collapses hundreds of
+        // combinations to a small antichain.
+        let is_subset = |a: &[usize], b: &[usize]| a.iter().all(|r| b.binary_search(r).is_ok());
+        let mut order: Vec<usize> = if n <= DOMINANCE_LIMIT {
+            (0..n)
+                .filter(|&i| {
+                    !(0..n).any(|j| {
+                        j != i
+                            && is_subset(&self.items[j], &self.items[i])
+                            && (self.items[j].len() < self.items[i].len() || j < i)
+                    })
+                })
+                .collect()
+        } else {
+            (0..n).collect()
+        };
+
         // Order items by decreasing resource count: constrained items
         // first tightens the bound early.
-        let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(self.items[i].len()));
+
+        if order.len() > MAX_SEARCH_ITEMS {
+            // Too many items to search (or even recurse over): report
+            // the greedy incumbent capped by the root upper bound —
+            // sound, deterministic, stack-safe.
+            let (counts, greedy_total) = self.greedy_incumbent(&order);
+            let root_bound = self.upper_bound(&order, 0, &self.capacities);
+            return PackingSolution {
+                counts,
+                total: greedy_total.max(root_bound),
+                exact: greedy_total >= root_bound,
+            };
+        }
+
+        if let Some(solution) = self.solve_dp(&order) {
+            return solution;
+        }
+
+        let (mut best_counts, mut best_total) = self.greedy_incumbent(&order);
 
         let mut remaining = self.capacities.clone();
         let mut counts = vec![0u64; n];
-        let mut best_counts = vec![0u64; n];
-        let mut best_total = 0u64;
+        // Deterministic search budget: adversarial instances (many
+        // symmetric overlapping items with large capacities) would
+        // otherwise take exponential time. On exhaustion the root upper
+        // bound is reported instead of the optimum — sound for TWCA,
+        // which uses the value as an upper bound (see
+        // [`PackingSolution::packed_total`]).
+        let mut budget: u64 = 4_000_000;
         self.dfs(
             &order,
             0,
@@ -136,33 +206,202 @@ impl PackingProblem {
             0,
             &mut best_counts,
             &mut best_total,
+            &mut budget,
         );
+        if budget == 0 {
+            let root_bound = self.upper_bound(&order, 0, &self.capacities);
+            return PackingSolution {
+                counts: best_counts,
+                total: best_total.max(root_bound),
+                exact: best_total >= root_bound,
+            };
+        }
         PackingSolution {
             counts: best_counts,
             total: best_total,
+            exact: true,
         }
     }
 
-    /// Admissible upper bound on how many more instances can be packed
-    /// using items `order[at..]` with capacities `remaining`.
-    fn upper_bound(&self, order: &[usize], at: usize, remaining: &[u64]) -> u64 {
-        let mut by_item_sum: u64 = 0;
-        let mut min_size = usize::MAX;
-        for &i in &order[at..] {
-            let item = &self.items[i];
-            min_size = min_size.min(item.len());
-            let item_max = item
+    /// Greedy feasible packing, smallest items first (fewest resources
+    /// consumed per packed unit) — the warm-start incumbent for the
+    /// search and the reported packing when searching is off the table.
+    fn greedy_incumbent(&self, order: &[usize]) -> (Vec<u64>, u64) {
+        let mut remaining = self.capacities.clone();
+        let mut counts = vec![0u64; self.items.len()];
+        let mut total = 0u64;
+        let mut greedy_order = order.to_vec();
+        greedy_order.sort_by_key(|&i| self.items[i].len());
+        for &i in &greedy_order {
+            let count = self.items[i]
                 .iter()
                 .map(|&r| remaining[r])
                 .min()
                 .unwrap_or(0);
-            by_item_sum = by_item_sum.saturating_add(item_max);
+            for &r in &self.items[i] {
+                remaining[r] -= count;
+            }
+            counts[i] = count;
+            total += count;
+        }
+        (counts, total)
+    }
+
+    /// Exact dynamic program over the mixed-radix-encoded remaining
+    /// capacities; `None` when the state space or the actual work
+    /// (count-loop iterations, metered as it runs) exceeds the budget —
+    /// the caller then falls back to the budgeted branch and bound.
+    fn solve_dp(&self, order: &[usize]) -> Option<PackingSolution> {
+        use std::collections::HashMap;
+        const MAX_STATES: u128 = 1 << 21;
+        const MAX_WORK: u64 = 1 << 24;
+
+        // Only resources a solved item actually uses contribute states.
+        let used: Vec<usize> = (0..self.capacities.len())
+            .filter(|r| order.iter().any(|&i| self.items[i].contains(r)))
+            .collect();
+        let mut weights = vec![0u64; self.capacities.len()];
+        let mut product: u128 = 1;
+        for &r in &used {
+            weights[r] = product as u64;
+            product = product.checked_mul(self.capacities[r] as u128 + 1)?;
+            if product > MAX_STATES {
+                return None;
+            }
+        }
+
+        let encode_full: u64 = used.iter().map(|&r| weights[r] * self.capacities[r]).sum();
+        let item_weight = |i: usize| -> u64 { self.items[i].iter().map(|&r| weights[r]).sum() };
+        let item_max = |i: usize, state: u64| -> u64 {
+            self.items[i]
+                .iter()
+                .map(|&r| (state / weights[r]) % (self.capacities[r] + 1))
+                .min()
+                .unwrap_or(0)
+        };
+
+        // memo[level][state]: best additional packing using order[level..].
+        let mut memo: Vec<HashMap<u64, u64>> = vec![HashMap::new(); order.len() + 1];
+
+        /// Returns `None` when the metered work budget runs out
+        /// mid-solve (the partial memo is discarded).
+        fn best(
+            problem: &PackingProblem,
+            order: &[usize],
+            memo: &mut [HashMap<u64, u64>],
+            item_weight: &dyn Fn(usize) -> u64,
+            item_max: &dyn Fn(usize, u64) -> u64,
+            at: usize,
+            state: u64,
+            work: &mut u64,
+        ) -> Option<u64> {
+            if at == order.len() {
+                return Some(0);
+            }
+            if let Some(&hit) = memo[at].get(&state) {
+                return Some(hit);
+            }
+            let item = order[at];
+            let weight = item_weight(item);
+            let mut optimum = 0;
+            for count in 0..=item_max(item, state) {
+                *work = work.checked_sub(1)?;
+                let value = count
+                    + best(
+                        problem,
+                        order,
+                        memo,
+                        item_weight,
+                        item_max,
+                        at + 1,
+                        state - count * weight,
+                        work,
+                    )?;
+                optimum = optimum.max(value);
+            }
+            memo[at].insert(state, optimum);
+            Some(optimum)
+        }
+
+        let mut work = MAX_WORK;
+        let total = best(
+            self,
+            order,
+            &mut memo,
+            &item_weight,
+            &item_max,
+            0,
+            encode_full,
+            &mut work,
+        )?;
+
+        // Reconstruct one optimal count vector by walking the memo.
+        let mut counts = vec![0u64; self.items.len()];
+        let mut state = encode_full;
+        let mut need = total;
+        for (at, &item) in order.iter().enumerate() {
+            let weight = item_weight(item);
+            for count in (0..=item_max(item, state)).rev() {
+                let tail = if at + 1 == order.len() {
+                    0
+                } else {
+                    memo[at + 1]
+                        .get(&(state - count * weight))
+                        .copied()
+                        .unwrap_or(0)
+                };
+                if count + tail == need {
+                    counts[item] = count;
+                    state -= count * weight;
+                    need -= count;
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(need, 0, "reconstruction must realize the optimum");
+        Some(PackingSolution {
+            counts,
+            total,
+            exact: true,
+        })
+    }
+
+    /// Admissible upper bound on how many more instances can be packed
+    /// using items `order[at..]` with capacities `remaining`: the
+    /// minimum of (a) the sum of each remaining item's individual
+    /// maximum, (b) the leftover capacity divided by the smallest item
+    /// size, and (c) a partition bound — every item charged against its
+    /// scarcest resource, each such representative capacity counted
+    /// once.
+    fn upper_bound(&self, order: &[usize], at: usize, remaining: &[u64]) -> u64 {
+        let mut by_item_sum: u64 = 0;
+        let mut min_size = usize::MAX;
+        let mut representatives: u128 = 0;
+        let mut partition_sum: u64 = 0;
+        let small = self.capacities.len() <= 128;
+        for &i in &order[at..] {
+            let item = &self.items[i];
+            min_size = min_size.min(item.len());
+            let scarcest = item
+                .iter()
+                .copied()
+                .min_by_key(|&r| remaining[r])
+                .expect("items are non-empty");
+            by_item_sum = by_item_sum.saturating_add(remaining[scarcest]);
+            if small && representatives & (1u128 << scarcest) == 0 {
+                representatives |= 1u128 << scarcest;
+                partition_sum = partition_sum.saturating_add(remaining[scarcest]);
+            }
         }
         if min_size == usize::MAX {
             return 0;
         }
         let capacity_sum: u64 = remaining.iter().sum();
-        by_item_sum.min(capacity_sum / min_size as u64)
+        let mut bound = by_item_sum.min(capacity_sum / min_size as u64);
+        if small {
+            bound = bound.min(partition_sum);
+        }
+        bound
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -175,7 +414,12 @@ impl PackingProblem {
         packed: u64,
         best_counts: &mut Vec<u64>,
         best_total: &mut u64,
+        budget: &mut u64,
     ) {
+        if *budget == 0 {
+            return;
+        }
+        *budget -= 1;
         if packed > *best_total {
             *best_total = packed;
             best_counts.copy_from_slice(counts);
@@ -203,6 +447,7 @@ impl PackingProblem {
                 packed + count,
                 best_counts,
                 best_total,
+                budget,
             );
             counts[item_index] = 0;
             for &r in item {
@@ -291,7 +536,14 @@ mod tests {
             PackingProblem::new(vec![3, 2], vec![vec![0], vec![0, 1]]).unwrap(),
             PackingProblem::new(
                 vec![5, 4, 3],
-                vec![vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2], vec![0, 1, 2]],
+                vec![
+                    vec![0],
+                    vec![1],
+                    vec![2],
+                    vec![0, 1],
+                    vec![1, 2],
+                    vec![0, 1, 2],
+                ],
             )
             .unwrap(),
             PackingProblem::new(vec![0, 7], vec![vec![0], vec![1], vec![0, 1]]).unwrap(),

@@ -164,11 +164,7 @@ impl Problem {
     /// Panics if `point.len() != num_vars`.
     pub fn objective_at(&self, point: &[Rational]) -> Rational {
         assert_eq!(point.len(), self.num_vars, "dimension mismatch");
-        self.objective
-            .iter()
-            .zip(point)
-            .map(|(&c, &x)| c * x)
-            .sum()
+        self.objective.iter().zip(point).map(|(&c, &x)| c * x).sum()
     }
 
     /// Renders the problem in the classic LP text format (as understood

@@ -171,7 +171,11 @@ impl Add for Rational {
         Rational::new(
             self.num
                 .checked_mul(lhs_scale)
-                .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
+                .and_then(|a| {
+                    rhs.num
+                        .checked_mul(rhs_scale)
+                        .and_then(|b| a.checked_add(b))
+                })
                 .expect("rational addition overflow"),
             self.den
                 .checked_mul(lhs_scale)
@@ -347,9 +351,13 @@ mod tests {
 
     #[test]
     fn sum_and_display() {
-        let s: Rational = [Rational::new(1, 2), Rational::new(1, 3), Rational::new(1, 6)]
-            .into_iter()
-            .sum();
+        let s: Rational = [
+            Rational::new(1, 2),
+            Rational::new(1, 3),
+            Rational::new(1, 6),
+        ]
+        .into_iter()
+        .sum();
         assert_eq!(s, Rational::ONE);
         assert_eq!(format!("{}", Rational::new(1, 2)), "1/2");
         assert_eq!(format!("{}", Rational::from(3)), "3");

@@ -251,9 +251,7 @@ pub fn solve_lp(problem: &Problem) -> Result<LpOutcome, IlpError> {
         // Pivot remaining (zero-valued) artificials out of the basis.
         for i in 0..tableau.rows.len() {
             if tableau.basis[i] >= artificial_start {
-                if let Some(col) =
-                    (0..artificial_start).find(|&j| !tableau.rows[i][j].is_zero())
-                {
+                if let Some(col) = (0..artificial_start).find(|&j| !tableau.rows[i][j].is_zero()) {
                     tableau.pivot(i, col);
                 }
                 // A row with no structural pivot is redundant; leaving the

@@ -18,10 +18,8 @@ fn packing_instance() -> impl Strategy<Value = PackingProblem> {
             (caps, items)
         })
         .prop_map(|(caps, items)| {
-            let items: Vec<Vec<usize>> = items
-                .into_iter()
-                .map(|s| s.into_iter().collect())
-                .collect();
+            let items: Vec<Vec<usize>> =
+                items.into_iter().map(|s| s.into_iter().collect()).collect();
             PackingProblem::new(caps, items).expect("indices in range by construction")
         })
 }

@@ -1,9 +1,7 @@
 //! TWCA deadline miss models for independent tasks (the ECRTS'15-style
 //! baseline the paper generalizes).
 
-use crate::rta::{
-    response_time_analysis_with, AnalysisLimits, IndependentTask, RtaError,
-};
+use crate::rta::{response_time_analysis_with, AnalysisLimits, IndependentTask, RtaError};
 use twca_curves::{EventModel, Time};
 use twca_ilp::PackingProblem;
 
@@ -205,10 +203,7 @@ impl<'a> IndependentTwca<'a> {
                 .map(|b| self.tasks[relevant[b]].wcet())
                 .sum();
             let unschedulable = (1..=k_max).any(|q| {
-                let slack = task
-                    .activation()
-                    .delta_min(q)
-                    .saturating_add(deadline);
+                let slack = task.activation().delta_min(q).saturating_add(deadline);
                 typical_l[(q - 1) as usize].saturating_add(extra) > slack
             });
             if unschedulable {

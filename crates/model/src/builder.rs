@@ -154,7 +154,10 @@ impl ChainBuilder {
     /// [`ActivationModel::never`]; `build` on the system reports empty
     /// chains and other violations.
     pub fn done(mut self) -> SystemBuilder {
-        let activation = self.activation.take().unwrap_or_else(ActivationModel::never);
+        let activation = self
+            .activation
+            .take()
+            .unwrap_or_else(ActivationModel::never);
         self.parent.chains.push(Chain {
             name: self.name,
             tasks: self.tasks,
@@ -217,10 +220,7 @@ mod tests {
             .build()
             .unwrap();
         let chain = s1.chains()[0].clone();
-        let s2 = SystemBuilder::new()
-            .push_chain(chain)
-            .build()
-            .unwrap();
+        let s2 = SystemBuilder::new().push_chain(chain).build().unwrap();
         assert_eq!(s2.chains().len(), 1);
     }
 

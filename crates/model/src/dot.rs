@@ -44,13 +44,7 @@ pub fn render_dot(system: &System) -> String {
             );
         }
         for t in 1..chain.len() {
-            let _ = writeln!(
-                out,
-                "        t_{0}_{1} -> t_{0}_{2};",
-                id.index(),
-                t - 1,
-                t
-            );
+            let _ = writeln!(out, "        t_{0}_{1} -> t_{0}_{2};", id.index(), t - 1, t);
         }
         let _ = writeln!(out, "    }}");
     }

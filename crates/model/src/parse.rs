@@ -424,10 +424,8 @@ mod tests {
 
     #[test]
     fn jitter_attributes_build_pjd_model() {
-        let s = parse_system(
-            "chain x periodic=100 jitter=30 dmin=5 { task t prio=1 wcet=2 }",
-        )
-        .unwrap();
+        let s =
+            parse_system("chain x periodic=100 jitter=30 dmin=5 { task t prio=1 wcet=2 }").unwrap();
         match s.chains()[0].activation() {
             ActivationModel::PeriodicJitter(pj) => {
                 assert_eq!(pj.period(), 100);
@@ -440,10 +438,8 @@ mod tests {
 
     #[test]
     fn burst_attributes_build_burst_model() {
-        let s = parse_system(
-            "chain x periodic=400 burst=4 inner=5 { task t prio=1 wcet=2 }",
-        )
-        .unwrap();
+        let s =
+            parse_system("chain x periodic=400 burst=4 inner=5 { task t prio=1 wcet=2 }").unwrap();
         match s.chains()[0].activation() {
             ActivationModel::Burst(b) => {
                 assert_eq!(b.period(), 400);
@@ -461,19 +457,15 @@ mod tests {
 
     #[test]
     fn burst_and_jitter_conflict_is_reported() {
-        let err = parse_system(
-            "chain x periodic=400 burst=4 jitter=10 { task t prio=1 wcet=2 }",
-        )
-        .unwrap_err();
+        let err = parse_system("chain x periodic=400 burst=4 jitter=10 { task t prio=1 wcet=2 }")
+            .unwrap_err();
         assert!(matches!(err, ParseError::Unexpected { .. }));
     }
 
     #[test]
     fn async_and_overload_flags() {
-        let s = parse_system(
-            "chain x sporadic=500 async overload { task t prio=1 wcet=2 }",
-        )
-        .unwrap();
+        let s =
+            parse_system("chain x sporadic=500 async overload { task t prio=1 wcet=2 }").unwrap();
         assert_eq!(s.chains()[0].kind(), ChainKind::Asynchronous);
         assert!(s.chains()[0].is_overload());
     }
@@ -511,7 +503,13 @@ mod tests {
     #[test]
     fn unexpected_token_reports_expectation() {
         let err = parse_system("chains x periodic=5 { }").unwrap_err();
-        assert!(matches!(err, ParseError::Unexpected { expected: "chain", .. }));
+        assert!(matches!(
+            err,
+            ParseError::Unexpected {
+                expected: "chain",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -90,10 +90,7 @@ impl System {
 
     /// Iterates over `(ChainId, &Chain)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ChainId, &Chain)> {
-        self.chains
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (ChainId(i), c))
+        self.chains.iter().enumerate().map(|(i, c)| (ChainId(i), c))
     }
 
     /// Looks a chain up by name.
@@ -131,9 +128,8 @@ impl System {
 
     /// All task references in chain order.
     pub fn task_refs(&self) -> impl Iterator<Item = TaskRef> + '_ {
-        self.iter().flat_map(|(id, c)| {
-            (0..c.len()).map(move |index| TaskRef { chain: id, index })
-        })
+        self.iter()
+            .flat_map(|(id, c)| (0..c.len()).map(move |index| TaskRef { chain: id, index }))
     }
 
     /// Long-run processor demand over `horizon`, as demanded time per unit
@@ -210,8 +206,8 @@ impl System {
                     .tasks
                     .iter()
                     .map(|t| {
-                        let scaled = (t.wcet() as u128 * numerator as u128)
-                            .div_ceil(denominator as u128);
+                        let scaled =
+                            (t.wcet() as u128 * numerator as u128).div_ceil(denominator as u128);
                         t.with_wcet(scaled.min(Time::MAX as u128) as Time)
                     })
                     .collect();

@@ -17,7 +17,11 @@ fn build(a: &[(u32, u64)], b: &[(u32, u64)]) -> (Chain, Chain) {
     for (i, &(p, c)) in a.iter().enumerate() {
         builder = builder.task(format!("a{i}"), p, c);
     }
-    let mut builder = builder.done().chain("b").periodic(1_000).expect("static period");
+    let mut builder = builder
+        .done()
+        .chain("b")
+        .periodic(1_000)
+        .expect("static period");
     for (i, &(p, c)) in b.iter().enumerate() {
         builder = builder.task(format!("b{i}"), p, c);
     }

@@ -65,11 +65,7 @@ impl Histogram {
         if total == 0 {
             return 0.0;
         }
-        let at_or_below: usize = self
-            .bins
-            .range(..=value)
-            .map(|(_, &c)| c)
-            .sum();
+        let at_or_below: usize = self.bins.range(..=value).map(|(_, &c)| c).sum();
         at_or_below as f64 / total as f64
     }
 

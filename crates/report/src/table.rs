@@ -115,9 +115,7 @@ impl Table {
         let mut out = String::new();
         let render_row = |cells: Vec<&str>, out: &mut String| {
             let mut first = true;
-            for ((cell, width), (_, align)) in
-                cells.iter().zip(&widths).zip(&self.columns)
-            {
+            for ((cell, width), (_, align)) in cells.iter().zip(&widths).zip(&self.columns) {
                 if !first {
                     out.push_str("  ");
                 }
@@ -195,21 +193,10 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(
-            &self
-                .headers()
-                .map(escape)
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&self.headers().map(escape).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(
-                &row.iter()
-                    .map(|c| escape(c))
-                    .collect::<Vec<_>>()
-                    .join(","),
-            );
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out

@@ -175,9 +175,7 @@ impl ChainStats {
     /// The empirical counterpart of a dmm curve; by construction it is
     /// non-decreasing and `profile[k-1] ≤ k`.
     pub fn weakly_hard_profile(&self, max_k: usize) -> Vec<usize> {
-        (1..=max_k)
-            .map(|k| self.max_misses_in_window(k))
-            .collect()
+        (1..=max_k).map(|k| self.max_misses_in_window(k)).collect()
     }
 }
 

@@ -38,7 +38,10 @@ impl MkMonitor {
     /// Panics if `k == 0` or `m > k as u64`.
     pub fn new(m: u64, k: usize) -> Self {
         assert!(k > 0, "window must be non-empty");
-        assert!(m <= k as u64, "cannot tolerate more misses than the window holds");
+        assert!(
+            m <= k as u64,
+            "cannot tolerate more misses than the window holds"
+        );
         MkMonitor {
             m,
             k,
@@ -53,10 +56,9 @@ impl MkMonitor {
     /// Feeds the outcome of one activation (`true` = deadline missed).
     /// Returns whether the constraint still holds for the current window.
     pub fn observe(&mut self, miss: bool) -> bool {
-        if self.window.len() == self.k
-            && self.window.pop_front() == Some(true) {
-                self.misses_in_window -= 1;
-            }
+        if self.window.len() == self.k && self.window.pop_front() == Some(true) {
+            self.misses_in_window -= 1;
+        }
         self.window.push_back(miss);
         self.observed += 1;
         if miss {

@@ -52,9 +52,7 @@ impl Trace {
     /// Checks that consecutive activations are at least `min_distance`
     /// apart.
     pub fn respects_min_distance(&self, min_distance: Time) -> bool {
-        self.times
-            .windows(2)
-            .all(|w| w[1] - w[0] >= min_distance)
+        self.times.windows(2).all(|w| w[1] - w[0] >= min_distance)
     }
 
     /// Checks the trace against an event model: every window of the trace

@@ -12,7 +12,9 @@
 //! cargo run --release --example can_gateway
 //! ```
 
-use twca_suite::chains::{max_consecutive_misses, AnalysisContext, AnalysisOptions, ChainAnalysis, MkConstraint};
+use twca_suite::chains::{
+    max_consecutive_misses, AnalysisContext, AnalysisOptions, ChainAnalysis, MkConstraint,
+};
 use twca_suite::curves::ActivationModel;
 use twca_suite::model::{ChainKind, SystemBuilder};
 use twca_suite::sim::{adversarial_aligned_traces, MkMonitor, Simulation};

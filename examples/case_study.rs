@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<8} {} {}",
             chain.name(),
-            if chain.is_overload() { "(overload)" } else { "          " },
+            if chain.is_overload() {
+                "(overload)"
+            } else {
+                "          "
+            },
             tasks.join(" -> ")
         );
     }

@@ -94,7 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let path = DistPath::new(&dist, hops)?;
     let e2e_latency = path.latency(&results)?;
-    let composite_deadline = path.composite_deadline(&dist).expect("all hops have deadlines");
+    let composite_deadline = path
+        .composite_deadline(&dist)
+        .expect("all hops have deadlines");
     println!("\n== End-to-end path σc → fuse → act ==");
     println!("  latency bound      : {e2e_latency}");
     println!("  composite deadline : {composite_deadline}");
@@ -106,7 +108,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cross-check against the trace-propagating simulator.
     println!("\n== Simulation cross-check (horizon 40 000) ==");
     let sim = propagate_simulation(&dist, 40_000, StimulusKind::MaxRate)?;
-    let observed = sim.max_path_latency(&path).expect("pipeline produced instances");
+    let observed = sim
+        .max_path_latency(&path)
+        .expect("pipeline produced instances");
     println!("  observed end-to-end latency : {observed}");
     println!("  analytic bound              : {e2e_latency}");
     assert!(observed <= e2e_latency, "simulation exceeded the bound");
@@ -116,14 +120,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // weakly-hard contract (m, k) breaks?
     println!("\n== Overload sensitivity along the path ==");
     for (m, k) in [(5u64, 10u64), (8, 10)] {
-        let tolerance = max_path_overload_scaling(
-            &dist,
-            path.hops(),
-            m,
-            k,
-            400,
-            DistOptions::default(),
-        )?;
+        let tolerance =
+            max_path_overload_scaling(&dist, path.hops(), m, k, 400, DistOptions::default())?;
         match tolerance {
             Some(p) => println!("  ({m}, {k}) holds up to {p}% of the declared overload WCETs"),
             None => println!("  ({m}, {k}) is violated even without overload"),

@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // How bad can it get? Bound misses out of any k consecutive cycles.
     for k in [5, 10, 50] {
         let dmm = analysis.deadline_miss_model(control, k)?;
-        println!("control: at most {} misses in any {k} consecutive cycles", dmm.bound);
+        println!(
+            "control: at most {} misses in any {k} consecutive cycles",
+            dmm.bound
+        );
     }
 
     // Verify a weakly-hard contract: at most 1 miss in any 10 cycles.

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = 10usize;
 
     let scenarios = [
-        ("max-rate (all chains)", TraceSet::max_rate(&system, horizon)),
+        (
+            "max-rate (all chains)",
+            TraceSet::max_rate(&system, horizon),
+        ),
         (
             "typical (no overload)",
             TraceSet::max_rate_without_overload(&system, horizon),
@@ -53,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!(
-        "\nsoundness: {}",
-        if all_sound { "PASS" } else { "FAIL" }
-    );
+    println!("\nsoundness: {}", if all_sound { "PASS" } else { "FAIL" });
     if !all_sound {
         std::process::exit(1);
     }

@@ -25,7 +25,11 @@ chain bit sporadic=10000 overload {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = parse_system(DESCRIPTION)?;
-    println!("parsed {} chains, {} tasks", system.chains().len(), system.task_count());
+    println!(
+        "parsed {} chains, {} tasks",
+        system.chains().len(),
+        system.task_count()
+    );
 
     let analysis = ChainAnalysis::new(&system);
     println!("\n{}", analysis.report());
@@ -33,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["track", "display"] {
         let (id, _) = system.chain_by_name(name).expect("declared above");
         let dmm = analysis.deadline_miss_model(id, 20)?;
-        println!("{name}: dmm(20) = {} (slack {})", dmm.bound, dmm.typical_slack);
+        println!(
+            "{name}: dmm(20) = {} (slack {})",
+            dmm.bound, dmm.typical_slack
+        );
     }
 
     println!("\n--- canonical text form ---\n{}", render_system(&system));

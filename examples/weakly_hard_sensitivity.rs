@@ -8,8 +8,8 @@
 
 use twca_suite::chains::refinement::{refined_deadline_miss_model, PhasedRecurrence};
 use twca_suite::chains::{
-    max_consecutive_misses, max_overload_scaling, AnalysisContext, AnalysisOptions,
-    ChainAnalysis, MkConstraint,
+    max_consecutive_misses, max_overload_scaling, AnalysisContext, AnalysisOptions, ChainAnalysis,
+    MkConstraint,
 };
 use twca_suite::model::case_study;
 
@@ -34,7 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== Overload sensitivity ===");
     for (m, k) in [(0u64, 10u64), (2, 10), (5, 10)] {
         let constraint = MkConstraint::new(m, k);
-        match max_overload_scaling(&system, "sigma_c", constraint, 300, AnalysisOptions::default())? {
+        match max_overload_scaling(
+            &system,
+            "sigma_c",
+            constraint,
+            300,
+            AnalysisOptions::default(),
+        )? {
             Some(p) => println!(
                 "largest overload scaling keeping {constraint}: {p}% of the specified WCETs"
             ),

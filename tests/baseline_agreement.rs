@@ -31,10 +31,8 @@ fn singleton_system() -> (twca_suite::model::System, Vec<IndependentTask>) {
         .build()
         .unwrap();
     let tasks = vec![
-        IndependentTask::new("tau1", 3, 1, ActivationModel::periodic(4).unwrap())
-            .with_deadline(4),
-        IndependentTask::new("tau2", 2, 2, ActivationModel::periodic(6).unwrap())
-            .with_deadline(6),
+        IndependentTask::new("tau1", 3, 1, ActivationModel::periodic(4).unwrap()).with_deadline(4),
+        IndependentTask::new("tau2", 2, 2, ActivationModel::periodic(6).unwrap()).with_deadline(6),
         IndependentTask::new("tau3", 1, 3, ActivationModel::periodic(12).unwrap())
             .with_deadline(12),
     ];
@@ -46,10 +44,7 @@ fn latency_equals_response_time_for_singleton_chains() {
     let (system, tasks) = singleton_system();
     let analysis = ChainAnalysis::new(&system);
     for (i, (id, _)) in system.iter().enumerate() {
-        let chain_wcl = analysis
-            .worst_case_latency(id)
-            .unwrap()
-            .worst_case_latency;
+        let chain_wcl = analysis.worst_case_latency(id).unwrap().worst_case_latency;
         let rta = response_time_analysis(&tasks, i).unwrap();
         assert_eq!(
             chain_wcl, rta.worst_case_response_time,
@@ -134,6 +129,9 @@ fn schedulable_singleton_has_zero_dmm_in_both() {
     let chain_analysis = ChainAnalysis::new(&system);
     let (app, _) = system.chain_by_name("app").unwrap();
     let independent = IndependentTwca::new(&tasks, vec![1]).unwrap();
-    assert_eq!(chain_analysis.deadline_miss_model(app, 10).unwrap().bound, 0);
+    assert_eq!(
+        chain_analysis.deadline_miss_model(app, 10).unwrap().bound,
+        0
+    );
     assert_eq!(independent.dmm(0, 10).unwrap().bound, 0);
 }

@@ -67,7 +67,7 @@ fn experiment1_combinations_and_criterion() {
     let unschedulable: Vec<_> = set.unschedulable(slack).collect();
     assert_eq!(unschedulable.len(), 1);
     assert_eq!(unschedulable[0].wcet, 50); // σa (20) + σb (30)
-    // The binding check: L_c(1) + 50 = 216 > δ−(1) + D = 200.
+                                           // The binding check: L_c(1) + 50 = 216 > δ−(1) + D = 200.
     assert_eq!(typical_load(&ctx, c, 1), 166);
 }
 

@@ -6,7 +6,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-use twca_suite::chains::{ChainAnalysis, AnalysisOptions};
+use twca_suite::chains::{AnalysisOptions, ChainAnalysis};
 use twca_suite::gen::{communicating_threads_system, ThreadSystemConfig};
 use twca_suite::model::ChainKind;
 use twca_suite::sim::{adversarial_aligned_traces, Simulation, TraceSet};

@@ -37,8 +37,8 @@ fn random_pipelines_are_sound_against_simulation() {
             Err(other) => panic!("unexpected analysis error: {other}"),
         };
         analyzed += 1;
-        let violations = soundness_violations(&dist, &results, 20_000, 5)
-            .expect("pipelines are acyclic");
+        let violations =
+            soundness_violations(&dist, &results, 20_000, 5).expect("pipelines are acyclic");
         assert!(
             violations.is_empty(),
             "seed {seed}: bounds violated: {violations:?}"

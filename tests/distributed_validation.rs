@@ -148,7 +148,9 @@ fn silencing_upstream_overload_shrinks_downstream_jitter() {
             if chain.is_overload() {
                 continue;
             }
-            let mut cb = builder.chain(chain.name()).activation(chain.activation().clone());
+            let mut cb = builder
+                .chain(chain.name())
+                .activation(chain.activation().clone());
             if let Some(d) = chain.deadline() {
                 cb = cb.deadline(d);
             }

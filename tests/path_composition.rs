@@ -145,10 +145,7 @@ fn analysis_of_members_also_holds_in_linked_run() {
     traces.set_trace(tail, Trace::empty());
     let result = Simulation::new(&system).with_link(head, tail).run(&traces);
     for id in [head, tail] {
-        let wcl = analysis
-            .worst_case_latency(id)
-            .unwrap()
-            .worst_case_latency;
+        let wcl = analysis.worst_case_latency(id).unwrap().worst_case_latency;
         if let Some(observed) = result.chain(id).max_latency() {
             assert!(observed <= wcl, "{id}: {observed} > {wcl}");
         }

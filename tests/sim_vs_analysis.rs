@@ -9,8 +9,7 @@ use twca_suite::chains::ChainAnalysis;
 use twca_suite::gen::{random_system, RandomSystemConfig};
 use twca_suite::model::case_study;
 use twca_suite::sim::{
-    adversarial_aligned_traces, random_sporadic_trace, ExecutionPolicy, Simulation, Trace,
-    TraceSet,
+    adversarial_aligned_traces, random_sporadic_trace, ExecutionPolicy, Simulation, Trace, TraceSet,
 };
 
 const HORIZON: u64 = 120_000;
@@ -97,10 +96,7 @@ fn case_study_with_random_sporadic_overload() {
         for (id, chain) in system.iter() {
             if chain.is_overload() {
                 let dmin = chain.activation().delta_min(2);
-                traces.set_trace(
-                    id,
-                    random_sporadic_trace(&mut rng, dmin, dmin, HORIZON),
-                );
+                traces.set_trace(id, random_sporadic_trace(&mut rng, dmin, dmin, HORIZON));
             }
         }
         assert_bounds_hold(

@@ -1,0 +1,219 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! [`BenchmarkId`], benchmark groups with `sample_size`/`warm_up_time`/
+//! `measurement_time`, and [`Bencher::iter`] — backed by a simple
+//! wall-clock measurement loop that prints mean time per iteration.
+//! There is no statistical analysis, HTML report or regression history.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly until the measurement budget is spent,
+    /// recording total wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up / calibration run.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let mut remaining = self.target.saturating_sub(one);
+        let mut iters: u64 = 1;
+        let mut elapsed = one;
+        while !remaining.is_zero() {
+            let batch = (remaining.as_nanos() / one.as_nanos()).clamp(1, 10_000) as u64;
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            iters += batch;
+            elapsed += took;
+            remaining = remaining.saturating_sub(took);
+        }
+        self.iters_done = iters;
+        self.elapsed = elapsed;
+    }
+}
+
+fn report(label: &str, bencher: &Bencher) {
+    let per_iter = if bencher.iters_done == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iters_done.max(1) as u32
+    };
+    println!(
+        "bench: {label:<50} {per_iter:>12.3?}/iter ({} iters in {:.3?})",
+        bencher.iters_done, bencher.elapsed
+    );
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored (compat): the stand-in has no statistical sampling.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored (compat): warm-up is folded into calibration.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            target: self.measurement_time,
+        };
+        routine(&mut bencher);
+        report(&label, &bencher);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (compat no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let label = id.into().to_string();
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            target: self.measurement_time,
+        };
+        routine(&mut bencher);
+        report(&label, &bencher);
+        self
+    }
+}
+
+/// Declares the benchmark functions of one target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,392 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`],
+//! [`prop_oneof!`], strategies for integer ranges, tuples, collections
+//! ([`collection::vec`], [`collection::btree_set`]), fixed-size arrays
+//! ([`array::uniform3`]) and a regex-subset string generator
+//! ([`string::string_regex`]).
+//!
+//! Semantics: every test case is sampled from a deterministic RNG seeded
+//! by the test name and case index, so failures are reproducible run to
+//! run. Unlike real proptest there is **no shrinking** — a failing case
+//! reports its inputs via `Debug` where available and stops.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy};
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with a target size drawn from
+    /// `size`; falls back to the largest reachable set if the element
+    /// domain is too small.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut stale = 0usize;
+            while set.len() < target && stale < 100 {
+                if set.insert(self.element.sample(rng)) {
+                    stale = 0;
+                } else {
+                    stale += 1;
+                }
+            }
+            set
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; 3]` sampling the element strategy three
+    /// times.
+    pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+        Uniform3 { element }
+    }
+
+    /// See [`uniform3`].
+    #[derive(Debug, Clone)]
+    pub struct Uniform3<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            [
+                self.element.sample(rng),
+                self.element.sample(rng),
+                self.element.sample(rng),
+            ]
+        }
+    }
+}
+
+/// String strategies (regex subset).
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Error for unsupported patterns.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    /// One parsed atom of the pattern: a set of candidate chars plus a
+    /// repetition range.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Strategy generating strings matching a *subset* of regex syntax:
+    /// concatenations of literal characters and character classes
+    /// (`[a-z0-9_]`, ranges and singletons) with `{m}`, `{m,n}`, `?`,
+    /// `*`, `+` quantifiers (star/plus capped at 8 repetitions).
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    /// Builds a [`RegexGeneratorStrategy`] for `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for syntax outside the supported subset
+    /// (alternation, groups, anchors, backrefs...).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let candidates: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let Some(c) = chars.next() else {
+                            return Err(Error("unterminated character class".into()));
+                        };
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let lo = prev.take().expect("checked above");
+                                let Some(hi) = chars.next() else {
+                                    return Err(Error("dangling range".into()));
+                                };
+                                if hi < lo {
+                                    return Err(Error(format!("bad range {lo}-{hi}")));
+                                }
+                                set.extend((lo..=hi).filter(|c| c.is_ascii() || *c > '\u{7f}'));
+                            }
+                            '\\' => {
+                                let Some(esc) = chars.next() else {
+                                    return Err(Error("dangling escape".into()));
+                                };
+                                if let Some(p) = prev.take() {
+                                    set.push(p);
+                                }
+                                prev = Some(esc);
+                            }
+                            other => {
+                                if let Some(p) = prev.take() {
+                                    set.push(p);
+                                }
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    if let Some(p) = prev.take() {
+                        set.push(p);
+                    }
+                    if set.is_empty() {
+                        return Err(Error("empty character class".into()));
+                    }
+                    set
+                }
+                '\\' => {
+                    let Some(esc) = chars.next() else {
+                        return Err(Error("dangling escape".into()));
+                    };
+                    vec![esc]
+                }
+                '(' | ')' | '|' | '^' | '$' | '.' => {
+                    return Err(Error(format!("unsupported regex syntax `{c}`")));
+                }
+                literal => vec![literal],
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    let parse = |s: &str| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| Error(format!("bad repetition `{spec}`")))
+                    };
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                        None => {
+                            let n = parse(&spec)?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if max < min {
+                return Err(Error(format!("bad repetition {min},{max}")));
+            }
+            atoms.push(Atom {
+                chars: candidates,
+                min,
+                max,
+            });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.usize_in(atom.min, atom.max);
+                for _ in 0..n {
+                    out.push(atom.chars[rng.usize_below(atom.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The glob import used by every proptest test module.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current
+/// case (not panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strategy) as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
+/// Declares property tests. Each function body runs `config.cases`
+/// times with fresh samples of its `name in strategy` inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}

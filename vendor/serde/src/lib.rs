@@ -1,0 +1,18 @@
+//! Offline derive-only stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types for
+//! forward compatibility but never serializes through serde at runtime
+//! (JSON output is hand-rolled). The traits here are markers with
+//! blanket impls and the derives expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stand-in. Nothing in this workspace serializes through serde at
+//! runtime, so the derives expand to nothing; the marker traits in the
+//! `serde` stand-in have blanket impls.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
