@@ -1,0 +1,693 @@
+//! The [`Analyze`] trait and its two backends: uniprocessor chain
+//! systems and distributed linked-resource systems.
+
+use std::cell::OnceCell;
+
+use crate::error::ApiError;
+use crate::request::{Query, SiteSpec};
+use crate::response::{
+    DmmOutcome, DmmPoint, LatencyOutcome, MkOutcome, PathOutcome, QueryOutcome, SensitivityOutcome,
+    WitnessOutcome,
+};
+use crate::session::{RequestControl, Session};
+use twca_chains::{
+    latency_analysis, max_overload_scaling, AnalysisContext, AnalysisOptions, DmmSweep,
+    MkConstraint, OverloadMode,
+};
+use twca_dist::{
+    analyze as dist_analyze, max_path_overload_scaling, DistError, DistOptions, DistPath,
+    DistResults, DistributedSystem, SiteId,
+};
+use twca_model::{ChainId, System};
+
+/// Everything a backend needs to answer one query: the session (for
+/// the shared cache), the effective options, and the request's work
+/// accounting.
+pub struct QueryEnv<'a> {
+    /// The owning session.
+    pub session: &'a Session,
+    /// Effective per-chain analysis options.
+    pub options: AnalysisOptions,
+    /// Holistic sweep limit (distributed targets).
+    pub max_sweeps: usize,
+    /// Budget and cancellation accounting.
+    pub control: &'a RequestControl,
+}
+
+impl QueryEnv<'_> {
+    fn dist_options(&self) -> DistOptions {
+        DistOptions {
+            chain_options: self.options,
+            max_sweeps: self.max_sweeps,
+        }
+    }
+}
+
+/// One analysis backend: anything that can answer the typed queries of
+/// the schema. Implemented by [`ChainBackend`] (the paper's
+/// uniprocessor analysis) and [`DistBackend`] (the holistic
+/// distributed extension) — the two entry points the façade unifies.
+pub trait Analyze {
+    /// A short backend tag for diagnostics.
+    fn describe(&self) -> &'static str;
+
+    /// Answers one query.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError`] for unknown selectors, unsupported query kinds,
+    /// analysis failures, exhausted budgets and cancellation.
+    fn query(&self, query: &Query, env: &QueryEnv<'_>) -> Result<QueryOutcome, ApiError>;
+}
+
+/// Flat per-query work charges beyond the per-chain/per-point units;
+/// see [`RequestControl`].
+const WITNESS_COST: u64 = 4;
+/// Sensitivity runs a binary search of full re-analyses.
+const SENSITIVITY_COST: u64 = 16;
+
+/// A wire point for a *composed* bound (end-to-end paths), where no
+/// single `DmmResult` exists: informativeness degrades to "beats the
+/// trivial `k` fallback".
+fn composed_point(bound: u64, k: u64) -> DmmPoint {
+    DmmPoint {
+        k,
+        bound,
+        informative: bound < k,
+    }
+}
+
+/// Renders one witness answer; shared by both backends so the wire
+/// formatting cannot drift between chain and distributed targets.
+fn witness_outcome(sweep: &DmmSweep<'_>, system: &System, name: String, k: u64) -> WitnessOutcome {
+    match sweep.witness(k) {
+        Some(witness) => WitnessOutcome {
+            name,
+            k,
+            bound: witness.bound,
+            has_witness: true,
+            text: witness.render(system),
+        },
+        None => {
+            let dmm = sweep.at(k);
+            WitnessOutcome {
+                name,
+                k,
+                bound: dmm.bound,
+                has_witness: false,
+                text: format!(
+                    "dmm({}) = {}{}",
+                    dmm.k,
+                    dmm.bound,
+                    if dmm.informative { "" } else { " (trivial)" }
+                ),
+            }
+        }
+    }
+}
+
+/// The uniprocessor backend: one [`System`], analyzed through
+/// [`twca_chains`] with the session's shared cache. The analysis
+/// context (segment views, fingerprint) is built once per request and
+/// reused by every query.
+pub struct ChainBackend<'a> {
+    system: &'a System,
+    ctx: OnceCell<AnalysisContext<'a>>,
+}
+
+impl<'a> ChainBackend<'a> {
+    /// Wraps a parsed system.
+    pub fn new(system: &'a System) -> ChainBackend<'a> {
+        ChainBackend {
+            system,
+            ctx: OnceCell::new(),
+        }
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &System {
+        self.system
+    }
+
+    fn ctx(&self, env: &QueryEnv<'_>) -> &AnalysisContext<'a> {
+        self.ctx
+            .get_or_init(|| AnalysisContext::with_cache(self.system, env.session.cache()))
+    }
+
+    fn selected(&self, selector: &Option<String>) -> Result<Vec<ChainId>, ApiError> {
+        match selector {
+            Some(name) => self
+                .system
+                .chain_by_name(name)
+                .map(|(id, _)| vec![id])
+                .ok_or_else(|| ApiError::no_such_chain(name)),
+            None => Ok(self.system.iter().map(|(id, _)| id).collect()),
+        }
+    }
+
+    fn named_chain(&self, name: &str) -> Result<ChainId, ApiError> {
+        self.system
+            .chain_by_name(name)
+            .map(|(id, _)| id)
+            .ok_or_else(|| ApiError::no_such_chain(name))
+    }
+}
+
+impl Analyze for ChainBackend<'_> {
+    fn describe(&self) -> &'static str {
+        "chains"
+    }
+
+    fn query(&self, query: &Query, env: &QueryEnv<'_>) -> Result<QueryOutcome, ApiError> {
+        let ctx = self.ctx(env);
+        match query {
+            Query::Latency { chain } => {
+                let mut rows = Vec::new();
+                for id in self.selected(chain)? {
+                    env.control.charge(1)?;
+                    let full = latency_analysis(ctx, id, OverloadMode::Include, env.options);
+                    let typical = latency_analysis(ctx, id, OverloadMode::Exclude, env.options);
+                    let chain = self.system.chain(id);
+                    rows.push(LatencyOutcome {
+                        name: chain.name().to_owned(),
+                        deadline: chain.deadline(),
+                        overload: chain.is_overload(),
+                        worst_case_latency: full.map(|r| r.worst_case_latency),
+                        typical_latency: typical.map(|r| r.worst_case_latency),
+                    });
+                }
+                Ok(QueryOutcome::Latency(rows))
+            }
+            Query::Dmm { chain, ks } => {
+                let explicit = chain.is_some();
+                let mut rows = Vec::new();
+                for id in self.selected(chain)? {
+                    let target = self.system.chain(id);
+                    if target.deadline().is_none() && !explicit {
+                        continue;
+                    }
+                    // At least one unit even for an empty `ks` list:
+                    // the sweep preparation itself (combination
+                    // enumeration) is the expensive part.
+                    env.control.charge(ks.len().max(1) as u64)?;
+                    let (points, error) = match DmmSweep::prepare(ctx, id, env.options) {
+                        Ok(sweep) => (
+                            sweep
+                                .curve(ks.iter().copied())
+                                .into_iter()
+                                .map(DmmPoint::from)
+                                .collect(),
+                            None,
+                        ),
+                        Err(e) => (Vec::new(), Some(e.to_string())),
+                    };
+                    rows.push(DmmOutcome {
+                        name: target.name().to_owned(),
+                        points,
+                        error,
+                    });
+                }
+                Ok(QueryOutcome::Dmm(rows))
+            }
+            Query::Witness { chain, k } => {
+                env.control.charge(WITNESS_COST)?;
+                let id = self.named_chain(chain)?;
+                let sweep = DmmSweep::prepare(ctx, id, env.options)?;
+                Ok(QueryOutcome::Witness(witness_outcome(
+                    &sweep,
+                    self.system,
+                    chain.clone(),
+                    *k,
+                )))
+            }
+            Query::WeaklyHard { chain, m, k } => {
+                let explicit = chain.is_some();
+                let constraint = MkConstraint::new(*m, *k);
+                let mut rows = Vec::new();
+                for id in self.selected(chain)? {
+                    let target = self.system.chain(id);
+                    if target.deadline().is_none() && !explicit {
+                        continue;
+                    }
+                    env.control.charge(1)?;
+                    let satisfied = constraint.verify(ctx, id, env.options)?;
+                    rows.push(MkOutcome {
+                        name: target.name().to_owned(),
+                        m: *m,
+                        k: *k,
+                        satisfied,
+                    });
+                }
+                Ok(QueryOutcome::WeaklyHard(rows))
+            }
+            Query::Sensitivity {
+                chain,
+                m,
+                k,
+                max_percent,
+            } => {
+                env.control.charge(SENSITIVITY_COST)?;
+                self.named_chain(chain)?;
+                let max_percent_found = max_overload_scaling(
+                    self.system,
+                    chain,
+                    MkConstraint::new(*m, *k),
+                    *max_percent,
+                    env.options,
+                )?;
+                Ok(QueryOutcome::Sensitivity(SensitivityOutcome {
+                    name: chain.clone(),
+                    m: *m,
+                    k: *k,
+                    max_percent: max_percent_found,
+                }))
+            }
+            Query::Path { .. } => Err(ApiError::request(
+                "`path` queries need a distributed target",
+            )),
+            Query::Full { ks } => {
+                env.control
+                    .charge(self.system.chains().len() as u64 * (2 + ks.len() as u64))?;
+                Ok(QueryOutcome::Full(env.session.system_outcome_with(
+                    0,
+                    self.system,
+                    ks,
+                    env.options,
+                )))
+            }
+        }
+    }
+}
+
+/// The distributed backend: a [`DistributedSystem`] analyzed through
+/// `twca-dist`'s holistic iteration, run once per request and reused by
+/// every query.
+pub struct DistBackend {
+    system: DistributedSystem,
+    results: OnceCell<Result<DistResults, DistError>>,
+}
+
+impl DistBackend {
+    /// Wraps a validated distributed system.
+    pub fn new(system: DistributedSystem) -> DistBackend {
+        DistBackend {
+            system,
+            results: OnceCell::new(),
+        }
+    }
+
+    /// The wrapped system.
+    pub fn system(&self) -> &DistributedSystem {
+        &self.system
+    }
+
+    fn results(&self, env: &QueryEnv<'_>) -> Result<&DistResults, ApiError> {
+        self.results
+            .get_or_init(|| dist_analyze(&self.system, env.dist_options()))
+            .as_ref()
+            .map_err(|e| e.clone().into())
+    }
+
+    fn site_name(&self, site: SiteId) -> String {
+        let (resource, chain) = self.system.site_names(site);
+        format!("{resource}/{chain}")
+    }
+
+    fn resolve(&self, spec: &SiteSpec) -> Result<SiteId, ApiError> {
+        if self.system.resource_by_name(&spec.resource).is_none() {
+            return Err(ApiError::no_such_resource(&spec.resource));
+        }
+        self.system
+            .site(&spec.resource, &spec.chain)
+            .ok_or_else(|| ApiError::no_such_chain(&spec.to_wire()))
+    }
+
+    fn selected(&self, selector: &Option<String>) -> Result<Vec<SiteId>, ApiError> {
+        match selector {
+            Some(name) => Ok(vec![self.resolve(&SiteSpec::parse(name)?)?]),
+            None => Ok(self.system.sites().collect()),
+        }
+    }
+
+    fn site_chain(&self, site: SiteId) -> &twca_model::Chain {
+        self.system
+            .resource(site.resource())
+            .system()
+            .chain(site.chain())
+    }
+}
+
+impl Analyze for DistBackend {
+    fn describe(&self) -> &'static str {
+        "distributed"
+    }
+
+    fn query(&self, query: &Query, env: &QueryEnv<'_>) -> Result<QueryOutcome, ApiError> {
+        match query {
+            Query::Latency { chain } => {
+                let sites = self.selected(chain)?;
+                env.control.charge(sites.len() as u64)?;
+                let results = self.results(env)?;
+                let rows = sites
+                    .into_iter()
+                    .map(|site| {
+                        let declared = self.site_chain(site);
+                        LatencyOutcome {
+                            name: self.site_name(site),
+                            deadline: declared.deadline(),
+                            overload: declared.is_overload(),
+                            worst_case_latency: results.worst_case_latency(site),
+                            // The typical-system abstraction is a local
+                            // (per-resource) notion; it is not computed
+                            // holistically.
+                            typical_latency: None,
+                        }
+                    })
+                    .collect();
+                Ok(QueryOutcome::Latency(rows))
+            }
+            Query::Dmm { chain, ks } => {
+                let explicit = chain.is_some();
+                // Charge before the holistic iteration runs so a
+                // budget or raised cancel token preempts the expensive
+                // fixed point, not just the readout.
+                let sites: Vec<SiteId> = self
+                    .selected(chain)?
+                    .into_iter()
+                    .filter(|&site| self.site_chain(site).deadline().is_some() || explicit)
+                    .collect();
+                env.control
+                    .charge(sites.len() as u64 * ks.len().max(1) as u64)?;
+                let results = self.results(env)?;
+                let mut rows = Vec::new();
+                for site in sites {
+                    let mut points = Vec::with_capacity(ks.len());
+                    let mut error = None;
+                    for &k in ks {
+                        match results.deadline_miss_model_full(site, k) {
+                            Ok(dmm) => points.push(DmmPoint::from(&dmm)),
+                            Err(e) => {
+                                error = Some(e.to_string());
+                                points.clear();
+                                break;
+                            }
+                        }
+                    }
+                    rows.push(DmmOutcome {
+                        name: self.site_name(site),
+                        points,
+                        error,
+                    });
+                }
+                Ok(QueryOutcome::Dmm(rows))
+            }
+            Query::Witness { chain, k } => {
+                env.control.charge(WITNESS_COST)?;
+                let site = self.resolve(&SiteSpec::parse(chain)?)?;
+                let results = self.results(env)?;
+                // Witnesses are local derivations; explain the site on
+                // its effective (post-propagation) system.
+                let effective = results.effective_system(site.resource());
+                let ctx = AnalysisContext::with_cache(effective, env.session.cache());
+                let sweep = DmmSweep::prepare(&ctx, site.chain(), env.options)?;
+                Ok(QueryOutcome::Witness(witness_outcome(
+                    &sweep,
+                    effective,
+                    self.site_name(site),
+                    *k,
+                )))
+            }
+            Query::WeaklyHard { chain, m, k } => {
+                let explicit = chain.is_some();
+                // As in the Dmm arm: charge before the fixed point.
+                let sites: Vec<SiteId> = self
+                    .selected(chain)?
+                    .into_iter()
+                    .filter(|&site| self.site_chain(site).deadline().is_some() || explicit)
+                    .collect();
+                env.control.charge(sites.len() as u64)?;
+                let results = self.results(env)?;
+                let mut rows = Vec::new();
+                for site in sites {
+                    let bound = results.deadline_miss_model(site, *k)?;
+                    rows.push(MkOutcome {
+                        name: self.site_name(site),
+                        m: *m,
+                        k: *k,
+                        satisfied: bound <= *m,
+                    });
+                }
+                Ok(QueryOutcome::WeaklyHard(rows))
+            }
+            Query::Sensitivity {
+                chain,
+                m,
+                k,
+                max_percent,
+            } => {
+                env.control.charge(SENSITIVITY_COST)?;
+                let site = self.resolve(&SiteSpec::parse(chain)?)?;
+                let max_percent_found = max_path_overload_scaling(
+                    &self.system,
+                    &[site],
+                    *m,
+                    *k,
+                    *max_percent,
+                    env.dist_options(),
+                )?;
+                Ok(QueryOutcome::Sensitivity(SensitivityOutcome {
+                    name: self.site_name(site),
+                    m: *m,
+                    k: *k,
+                    max_percent: max_percent_found,
+                }))
+            }
+            Query::Path { hops, ks } => {
+                env.control.charge(1 + ks.len() as u64)?;
+                let sites = hops
+                    .iter()
+                    .map(|spec| self.resolve(spec))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let path = DistPath::new(&self.system, sites)?;
+                let results = self.results(env)?;
+                let latency = match path.latency(results) {
+                    Ok(total) => Some(total),
+                    Err(DistError::UnboundedLatency { .. }) => None,
+                    Err(e) => return Err(e.into()),
+                };
+                let mut points = Vec::with_capacity(ks.len());
+                for &k in ks {
+                    points.push(composed_point(path.deadline_miss_model(results, k)?, k));
+                }
+                Ok(QueryOutcome::Path(PathOutcome {
+                    hops: path.hops().iter().map(|&h| self.site_name(h)).collect(),
+                    latency,
+                    composite_deadline: path.composite_deadline(&self.system),
+                    points,
+                }))
+            }
+            Query::Full { .. } => Err(ApiError::request(
+                "`full` queries need a chain target; query sites individually instead",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{AnalysisRequest, Target};
+    use crate::ApiErrorKind;
+    use twca_model::case_study;
+
+    const DOWNSTREAM: &str = "chain act periodic=200 deadline=200 sync { task a1 prio=1 wcet=20 }";
+
+    fn case_study_text() -> String {
+        // Re-render the paper's case study through the DSL so requests
+        // can embed it.
+        twca_model::render_system(&case_study())
+    }
+
+    fn dist_request() -> AnalysisRequest {
+        AnalysisRequest {
+            id: None,
+            target: Target::Distributed {
+                resources: vec![
+                    ("ecu0".into(), case_study_text()),
+                    ("ecu1".into(), DOWNSTREAM.into()),
+                ],
+                links: vec![crate::LinkSpec {
+                    from: SiteSpec::parse("ecu0/sigma_c").unwrap(),
+                    to: SiteSpec::parse("ecu1/act").unwrap(),
+                }],
+            },
+            queries: Vec::new(),
+            options: Default::default(),
+        }
+    }
+
+    #[test]
+    fn the_dsl_case_study_matches_the_builder_one() {
+        let parsed = twca_model::parse_system(&case_study_text()).unwrap();
+        let reference = case_study();
+        let ctx = AnalysisContext::new(&parsed);
+        let (c, _) = parsed.chain_by_name("sigma_c").unwrap();
+        let wcl = latency_analysis(&ctx, c, OverloadMode::Include, Default::default())
+            .unwrap()
+            .worst_case_latency;
+        assert_eq!(wcl, 331, "Table I");
+        assert_eq!(parsed.chains().len(), reference.chains().len());
+    }
+
+    #[test]
+    fn chain_backend_answers_table_1_and_2() {
+        let session = Session::new();
+        let request = AnalysisRequest::for_system(case_study_text())
+            .with_query(Query::Latency {
+                chain: Some("sigma_c".into()),
+            })
+            .with_query(Query::Dmm {
+                chain: Some("sigma_c".into()),
+                ks: vec![3, 10],
+            })
+            .with_query(Query::Witness {
+                chain: "sigma_c".into(),
+                k: 10,
+            })
+            .with_query(Query::WeaklyHard {
+                chain: None,
+                m: 5,
+                k: 10,
+            });
+        let outcomes = session.analyze(&request).outcome.unwrap();
+        let QueryOutcome::Latency(rows) = &outcomes[0] else {
+            panic!("expected latency outcome");
+        };
+        assert_eq!(rows[0].worst_case_latency, Some(331));
+        assert_eq!(rows[0].typical_latency, Some(166));
+        let QueryOutcome::Dmm(rows) = &outcomes[1] else {
+            panic!("expected dmm outcome");
+        };
+        assert_eq!(
+            rows[0].points.iter().map(|p| p.bound).collect::<Vec<_>>(),
+            vec![3, 5]
+        );
+        let QueryOutcome::Witness(witness) = &outcomes[2] else {
+            panic!("expected witness outcome");
+        };
+        assert!(witness.has_witness);
+        assert_eq!(witness.bound, 5);
+        let QueryOutcome::WeaklyHard(rows) = &outcomes[3] else {
+            panic!("expected weakly-hard outcome");
+        };
+        // sigma_c: dmm(10) = 5 ≤ 5; sigma_d never misses.
+        assert!(rows.iter().all(|r| r.satisfied));
+    }
+
+    #[test]
+    fn dist_backend_propagates_and_composes() {
+        let session = Session::new();
+        let request = dist_request()
+            .with_query(Query::Latency {
+                chain: Some("ecu0/sigma_c".into()),
+            })
+            .with_query(Query::Path {
+                hops: vec![
+                    SiteSpec::parse("ecu0/sigma_c").unwrap(),
+                    SiteSpec::parse("ecu1/act").unwrap(),
+                ],
+                ks: vec![1, 10],
+            });
+        let outcomes = session.analyze(&request).outcome.unwrap();
+        let QueryOutcome::Latency(rows) = &outcomes[0] else {
+            panic!("expected latency outcome");
+        };
+        assert_eq!(rows[0].worst_case_latency, Some(331));
+        let QueryOutcome::Path(path) = &outcomes[1] else {
+            panic!("expected path outcome");
+        };
+        assert_eq!(path.hops, vec!["ecu0/sigma_c", "ecu1/act"]);
+        assert_eq!(path.composite_deadline, Some(400));
+        assert!(path.latency.unwrap() >= 331);
+        assert!(path.points.iter().all(|p| p.bound <= p.k));
+    }
+
+    #[test]
+    fn unknown_selectors_are_typed() {
+        let session = Session::new();
+        let bad_chain = AnalysisRequest::for_system(case_study_text()).with_query(Query::Latency {
+            chain: Some("sigma_x".into()),
+        });
+        assert_eq!(
+            session.analyze(&bad_chain).outcome.unwrap_err().kind,
+            ApiErrorKind::NoSuchChain
+        );
+        let bad_resource = dist_request().with_query(Query::Latency {
+            chain: Some("ecu9/act".into()),
+        });
+        assert_eq!(
+            session.analyze(&bad_resource).outcome.unwrap_err().kind,
+            ApiErrorKind::NoSuchResource
+        );
+        let not_a_site = dist_request().with_query(Query::Latency {
+            chain: Some("justachain".into()),
+        });
+        assert_eq!(
+            session.analyze(&not_a_site).outcome.unwrap_err().kind,
+            ApiErrorKind::Request
+        );
+    }
+
+    #[test]
+    fn dist_budget_gates_the_holistic_iteration() {
+        // A zero budget must fail before any holistic work: the charge
+        // happens ahead of `results()` in every query arm.
+        let session = Session::new();
+        let request = dist_request()
+            .with_query(Query::Dmm {
+                chain: None,
+                ks: vec![1, 10],
+            })
+            .with_options(crate::RequestOptions {
+                budget: Some(0),
+                ..Default::default()
+            });
+        assert_eq!(
+            session.analyze(&request).outcome.unwrap_err().kind,
+            ApiErrorKind::Budget
+        );
+        let request = dist_request()
+            .with_query(Query::WeaklyHard {
+                chain: None,
+                m: 1,
+                k: 10,
+            })
+            .with_options(crate::RequestOptions {
+                budget: Some(0),
+                ..Default::default()
+            });
+        assert_eq!(
+            session.analyze(&request).outcome.unwrap_err().kind,
+            ApiErrorKind::Budget
+        );
+    }
+
+    #[test]
+    fn mismatched_query_and_target_are_rejected() {
+        let session = Session::new();
+        let path_on_chains =
+            AnalysisRequest::for_system(case_study_text()).with_query(Query::Path {
+                hops: vec![SiteSpec::parse("a/b").unwrap()],
+                ks: vec![1],
+            });
+        assert_eq!(
+            session.analyze(&path_on_chains).outcome.unwrap_err().kind,
+            ApiErrorKind::Request
+        );
+        let full_on_dist = dist_request().with_query(Query::Full { ks: vec![1] });
+        assert_eq!(
+            session.analyze(&full_on_dist).outcome.unwrap_err().kind,
+            ApiErrorKind::Request
+        );
+    }
+}

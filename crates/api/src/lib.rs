@@ -1,0 +1,73 @@
+//! **The unified façade of the TWCA suite**: typed, versioned
+//! request/response DTOs, one [`Analyze`] trait over the uniprocessor
+//! chain analysis and the distributed holistic analysis, and a
+//! [`Session`] that owns the shared memo cache, work budgets and
+//! cancellation.
+//!
+//! Before this crate the suite had three disjoint entry points —
+//! `twca_chains::ChainAnalysis`, `twca_engine::BatchEngine` and
+//! `twca_dist::analyze` — each with its own options and result types.
+//! Here every workload is an [`AnalysisRequest`]:
+//!
+//! * a **target** — one chain system (DSL text), or a distributed
+//!   system given resource-by-resource or as a linked-resource
+//!   document;
+//! * a list of **queries** — latency, `dmm(k)` points/curves, packing
+//!   witnesses, weakly-hard `(m, k)` verdicts, overload sensitivity,
+//!   end-to-end paths, or the full batch pipeline;
+//! * **options** overriding the session defaults, including a work
+//!   budget.
+//!
+//! and every answer is an [`AnalysisResponse`] carrying either typed
+//! outcomes (in query order) or one [`ApiError`]. Both serialize
+//! through the self-contained [`Json`] value type (the workspace
+//! vendors no serde runtime), with a versioned schema
+//! ([`SCHEMA_VERSION`]).
+//!
+//! The [`serve`] function runs the JSON-Lines streaming loop behind
+//! `twca serve`; `twca-engine`'s `BatchEngine` is a thread fan-out over
+//! [`Session::system_outcome`], so the batch and streaming surfaces
+//! share one pipeline and one serializer.
+//!
+//! # Examples
+//!
+//! ```
+//! use twca_api::{AnalysisRequest, Query, QueryOutcome, Session};
+//!
+//! let session = Session::new();
+//! let request = AnalysisRequest::for_system(
+//!     "chain control periodic=100 deadline=100 sync {
+//!          task sense prio=5 wcet=10
+//!          task act prio=1 wcet=25
+//!      }",
+//! )
+//! .with_query(Query::Dmm { chain: None, ks: vec![1, 10] });
+//! let response = session.analyze(&request);
+//! let outcomes = response.outcome.expect("the system analyzes cleanly");
+//! let QueryOutcome::Dmm(rows) = &outcomes[0] else { unreachable!() };
+//! assert_eq!(rows[0].name, "control");
+//! assert_eq!(rows[0].points.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod analyze;
+mod error;
+mod json;
+mod request;
+mod response;
+mod serve;
+mod session;
+
+pub use analyze::{Analyze, ChainBackend, DistBackend, QueryEnv};
+pub use error::{ApiError, ApiErrorKind};
+pub use json::{escape, Json, JsonParseError};
+pub use request::{
+    AnalysisRequest, LinkSpec, Query, RequestOptions, SiteSpec, Target, SCHEMA_VERSION,
+};
+pub use response::{
+    AnalysisResponse, ChainOutcome, DmmOutcome, DmmPoint, LatencyOutcome, MkOutcome, PathOutcome,
+    QueryOutcome, SensitivityOutcome, SystemOutcome, WitnessOutcome,
+};
+pub use serve::{respond_line, serve, ServeSummary};
+pub use session::{CancelToken, RequestControl, Session};

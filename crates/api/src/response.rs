@@ -1,0 +1,706 @@
+//! The typed response side of the wire schema.
+//!
+//! [`ChainOutcome`] and [`SystemOutcome`] double as the batch records
+//! of `twca-engine`: the engine's `ChainVerdict`/`SystemVerdict` are
+//! aliases of these types, and the engine's batch JSON renders each
+//! chain through [`ChainOutcome::to_json`] — one serializer for both
+//! the streaming and the batch surface.
+
+use crate::error::ApiError;
+use crate::json::Json;
+use crate::request::SCHEMA_VERSION;
+use twca_chains::DmmResult;
+use twca_curves::Time;
+
+/// One `dmm(k)` point on the wire: the window length, the miss bound,
+/// and whether the bound beats the trivial `k` fallback. The richer
+/// diagnostic fields of [`DmmResult`] (budgets, packing internals) are
+/// deliberately not part of the schema — ask for a witness instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmmPoint {
+    /// The window length `k`.
+    pub k: u64,
+    /// At most `bound` of any `k` consecutive activations miss.
+    pub bound: u64,
+    /// Whether the bound is better than the trivial `k` fallback.
+    pub informative: bool,
+}
+
+impl From<&DmmResult> for DmmPoint {
+    fn from(value: &DmmResult) -> Self {
+        DmmPoint {
+            k: value.k,
+            bound: value.bound,
+            informative: value.informative,
+        }
+    }
+}
+
+impl From<DmmResult> for DmmPoint {
+    fn from(value: DmmResult) -> Self {
+        DmmPoint::from(&value)
+    }
+}
+
+/// The analysis outcome of one chain (uniprocessor) or one site
+/// (distributed) under the full batch pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainOutcome {
+    /// Chain name (`resource/chain` for distributed sites).
+    pub name: String,
+    /// Declared end-to-end deadline.
+    pub deadline: Option<Time>,
+    /// Whether the chain is a rare overload source.
+    pub overload: bool,
+    /// Worst-case latency with overload included (Theorem 2); `None`
+    /// when the busy window diverges.
+    pub worst_case_latency: Option<Time>,
+    /// Worst-case latency of the typical (overload-free) system.
+    pub typical_latency: Option<Time>,
+    /// Miss models at the requested window lengths, in request order;
+    /// empty for chains without a deadline.
+    pub miss_models: Vec<DmmPoint>,
+    /// Analysis error, if the miss-model preparation failed.
+    pub error: Option<String>,
+}
+
+impl ChainOutcome {
+    /// Whether the chain provably never misses its deadline.
+    pub fn schedulable(&self) -> Option<bool> {
+        Some(self.worst_case_latency? <= self.deadline?)
+    }
+
+    /// Serializes the outcome as its wire object (also the engine's
+    /// per-chain batch JSON).
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("name".into(), Json::str(&self.name)),
+            ("overload".into(), Json::Bool(self.overload)),
+            ("deadline".into(), Json::opt_u64(self.deadline)),
+            ("wcl".into(), Json::opt_u64(self.worst_case_latency)),
+            ("typical_wcl".into(), Json::opt_u64(self.typical_latency)),
+            (
+                "dmm".into(),
+                Json::Array(self.miss_models.iter().map(dmm_point_to_json).collect()),
+            ),
+        ];
+        if let Some(error) = &self.error {
+            members.push(("error".into(), Json::str(error)));
+        }
+        Json::Object(members)
+    }
+
+    /// Parses the wire object back.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError`] for structural problems.
+    pub fn from_json(value: &Json) -> Result<ChainOutcome, ApiError> {
+        Ok(ChainOutcome {
+            name: str_field(value, "name")?,
+            overload: bool_field(value, "overload")?,
+            deadline: opt_u64_field(value, "deadline")?,
+            worst_case_latency: opt_u64_field(value, "wcl")?,
+            typical_latency: opt_u64_field(value, "typical_wcl")?,
+            miss_models: value
+                .get("dmm")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ApiError::request("chain outcome needs a `dmm` array"))?
+                .iter()
+                .map(dmm_point_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            error: opt_str_field(value, "error")?,
+        })
+    }
+}
+
+/// The analysis outcome of one system under the full batch pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemOutcome {
+    /// Position of the system in its batch (0 for single-system
+    /// requests).
+    pub index: usize,
+    /// Per-chain outcomes, in chain order.
+    pub chains: Vec<ChainOutcome>,
+}
+
+impl SystemOutcome {
+    /// Looks up a chain outcome by name.
+    pub fn chain(&self, name: &str) -> Option<&ChainOutcome> {
+        self.chains.iter().find(|c| c.name == name)
+    }
+
+    /// Serializes the outcome as its wire object.
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("index".into(), Json::UInt(self.index as u64)),
+            (
+                "chains".into(),
+                Json::Array(self.chains.iter().map(ChainOutcome::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses the wire object back.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError`] for structural problems.
+    pub fn from_json(value: &Json) -> Result<SystemOutcome, ApiError> {
+        Ok(SystemOutcome {
+            index: u64_field(value, "index")? as usize,
+            chains: value
+                .get("chains")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ApiError::request("system outcome needs a `chains` array"))?
+                .iter()
+                .map(ChainOutcome::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+/// One latency row of a [`QueryOutcome::Latency`] answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyOutcome {
+    /// Chain or site name.
+    pub name: String,
+    /// Declared deadline.
+    pub deadline: Option<Time>,
+    /// Whether the chain is an overload source.
+    pub overload: bool,
+    /// Worst-case latency; `None` when divergent.
+    pub worst_case_latency: Option<Time>,
+    /// Typical-system latency; `None` when divergent or not computed
+    /// (distributed sites).
+    pub typical_latency: Option<Time>,
+}
+
+/// One miss-model row of a [`QueryOutcome::Dmm`] answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmmOutcome {
+    /// Chain or site name.
+    pub name: String,
+    /// `dmm(k)` points in request order.
+    pub points: Vec<DmmPoint>,
+    /// Per-chain analysis error, if the sweep failed.
+    pub error: Option<String>,
+}
+
+/// One verdict row of a [`QueryOutcome::WeaklyHard`] answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MkOutcome {
+    /// Chain or site name.
+    pub name: String,
+    /// Tolerated misses.
+    pub m: u64,
+    /// Window length.
+    pub k: u64,
+    /// Whether `dmm(k) ≤ m` is proven.
+    pub satisfied: bool,
+}
+
+/// The answer to a [`QueryOutcome::Witness`] query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessOutcome {
+    /// Chain or site name.
+    pub name: String,
+    /// Window length.
+    pub k: u64,
+    /// The witnessed (or computed) miss bound.
+    pub bound: u64,
+    /// Whether a non-trivial packing witness exists; when `false`,
+    /// `text` carries the plain bound.
+    pub has_witness: bool,
+    /// Human-readable derivation.
+    pub text: String,
+}
+
+/// The answer to a [`QueryOutcome::Sensitivity`] query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensitivityOutcome {
+    /// Chain or site name.
+    pub name: String,
+    /// Tolerated misses.
+    pub m: u64,
+    /// Window length.
+    pub k: u64,
+    /// Largest admissible overload percentage; `None` when even 0%
+    /// violates the constraint.
+    pub max_percent: Option<u64>,
+}
+
+/// The answer to a [`QueryOutcome::Path`] query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathOutcome {
+    /// The hops, as `resource/chain` names.
+    pub hops: Vec<String>,
+    /// End-to-end latency bound.
+    pub latency: Option<Time>,
+    /// Composite deadline `Σ D_i`.
+    pub composite_deadline: Option<Time>,
+    /// End-to-end miss-model points.
+    pub points: Vec<DmmPoint>,
+}
+
+/// One answered query, mirroring [`crate::Query`] case by case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Latency rows, one per selected chain/site.
+    Latency(Vec<LatencyOutcome>),
+    /// Miss-model rows, one per selected deadline chain/site.
+    Dmm(Vec<DmmOutcome>),
+    /// A packing witness.
+    Witness(WitnessOutcome),
+    /// Weakly-hard verdicts, one per selected deadline chain/site.
+    WeaklyHard(Vec<MkOutcome>),
+    /// An overload sensitivity bound.
+    Sensitivity(SensitivityOutcome),
+    /// End-to-end path bounds.
+    Path(PathOutcome),
+    /// The full batch pipeline outcome.
+    Full(SystemOutcome),
+}
+
+/// The response to one [`crate::AnalysisRequest`]: either the answered
+/// queries (in request order) or the first error.
+///
+/// # Examples
+///
+/// ```
+/// use twca_api::{AnalysisRequest, Query, Session};
+///
+/// let session = Session::new();
+/// let request = AnalysisRequest::for_system(
+///     "chain c periodic=100 deadline=100 { task t prio=1 wcet=10 }",
+/// )
+/// .with_id("doc")
+/// .with_query(Query::Latency { chain: None });
+/// let response = session.analyze(&request);
+/// assert_eq!(response.id.as_deref(), Some("doc"));
+/// assert!(response.outcome.is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisResponse {
+    /// The schema version of the answering build.
+    pub v: u64,
+    /// The request's correlation id, echoed back.
+    pub id: Option<String>,
+    /// Answers in request order, or the first failure.
+    pub outcome: Result<Vec<QueryOutcome>, ApiError>,
+}
+
+impl AnalysisResponse {
+    /// A successful response.
+    pub fn ok(id: Option<String>, outcomes: Vec<QueryOutcome>) -> AnalysisResponse {
+        AnalysisResponse {
+            v: SCHEMA_VERSION,
+            id,
+            outcome: Ok(outcomes),
+        }
+    }
+
+    /// A failed response.
+    pub fn error(id: Option<String>, error: ApiError) -> AnalysisResponse {
+        AnalysisResponse {
+            v: SCHEMA_VERSION,
+            id,
+            outcome: Err(error),
+        }
+    }
+
+    /// Serializes the response as its wire object.
+    pub fn to_json(&self) -> Json {
+        let mut members: Vec<(String, Json)> = vec![("v".into(), Json::UInt(self.v))];
+        if let Some(id) = &self.id {
+            members.push(("id".into(), Json::str(id)));
+        }
+        match &self.outcome {
+            Ok(outcomes) => members.push((
+                "ok".into(),
+                Json::Array(outcomes.iter().map(outcome_to_json).collect()),
+            )),
+            Err(error) => members.push(("error".into(), error.to_json())),
+        }
+        Json::Object(members)
+    }
+
+    /// Parses the wire object back.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError`] for structural problems.
+    pub fn from_json(value: &Json) -> Result<AnalysisResponse, ApiError> {
+        let v = u64_field(value, "v")?;
+        let id = match value.get("id") {
+            None => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(ApiError::request("`id` must be a string")),
+        };
+        let outcome = match (value.get("ok"), value.get("error")) {
+            (Some(Json::Array(items)), None) => Ok(items
+                .iter()
+                .map(outcome_from_json)
+                .collect::<Result<Vec<_>, _>>()?),
+            (None, Some(error)) => Err(ApiError::from_json(error)?),
+            _ => {
+                return Err(ApiError::request(
+                    "a response carries exactly one of `ok` and `error`",
+                ))
+            }
+        };
+        Ok(AnalysisResponse { v, id, outcome })
+    }
+}
+
+fn dmm_point_to_json(point: &DmmPoint) -> Json {
+    Json::Object(vec![
+        ("k".into(), Json::UInt(point.k)),
+        ("bound".into(), Json::UInt(point.bound)),
+        ("informative".into(), Json::Bool(point.informative)),
+    ])
+}
+
+fn dmm_point_from_json(value: &Json) -> Result<DmmPoint, ApiError> {
+    Ok(DmmPoint {
+        k: u64_field(value, "k")?,
+        bound: u64_field(value, "bound")?,
+        informative: bool_field(value, "informative")?,
+    })
+}
+
+fn u64_field(value: &Json, key: &str) -> Result<u64, ApiError> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ApiError::request(format!("missing integer field `{key}`")))
+}
+
+fn bool_field(value: &Json, key: &str) -> Result<bool, ApiError> {
+    value
+        .get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| ApiError::request(format!("missing boolean field `{key}`")))
+}
+
+fn str_field(value: &Json, key: &str) -> Result<String, ApiError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| ApiError::request(format!("missing string field `{key}`")))
+}
+
+fn opt_u64_field(value: &Json, key: &str) -> Result<Option<u64>, ApiError> {
+    match value.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::UInt(v)) => Ok(Some(*v)),
+        Some(_) => Err(ApiError::request(format!(
+            "field `{key}` must be an integer or null"
+        ))),
+    }
+}
+
+fn opt_str_field(value: &Json, key: &str) -> Result<Option<String>, ApiError> {
+    match value.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(ApiError::request(format!(
+            "field `{key}` must be a string or null"
+        ))),
+    }
+}
+
+fn latency_row_to_json(row: &LatencyOutcome) -> Json {
+    Json::Object(vec![
+        ("name".into(), Json::str(&row.name)),
+        ("overload".into(), Json::Bool(row.overload)),
+        ("deadline".into(), Json::opt_u64(row.deadline)),
+        ("wcl".into(), Json::opt_u64(row.worst_case_latency)),
+        ("typical_wcl".into(), Json::opt_u64(row.typical_latency)),
+    ])
+}
+
+fn latency_row_from_json(value: &Json) -> Result<LatencyOutcome, ApiError> {
+    Ok(LatencyOutcome {
+        name: str_field(value, "name")?,
+        overload: bool_field(value, "overload")?,
+        deadline: opt_u64_field(value, "deadline")?,
+        worst_case_latency: opt_u64_field(value, "wcl")?,
+        typical_latency: opt_u64_field(value, "typical_wcl")?,
+    })
+}
+
+fn dmm_row_to_json(row: &DmmOutcome) -> Json {
+    let mut members = vec![
+        ("name".into(), Json::str(&row.name)),
+        (
+            "points".into(),
+            Json::Array(row.points.iter().map(dmm_point_to_json).collect()),
+        ),
+    ];
+    if let Some(error) = &row.error {
+        members.push(("error".into(), Json::str(error)));
+    }
+    Json::Object(members)
+}
+
+fn dmm_row_from_json(value: &Json) -> Result<DmmOutcome, ApiError> {
+    Ok(DmmOutcome {
+        name: str_field(value, "name")?,
+        points: value
+            .get("points")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ApiError::request("dmm row needs a `points` array"))?
+            .iter()
+            .map(dmm_point_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        error: opt_str_field(value, "error")?,
+    })
+}
+
+fn outcome_to_json(outcome: &QueryOutcome) -> Json {
+    let (tag, body) = match outcome {
+        QueryOutcome::Latency(rows) => (
+            "latency",
+            Json::Array(rows.iter().map(latency_row_to_json).collect()),
+        ),
+        QueryOutcome::Dmm(rows) => (
+            "dmm",
+            Json::Array(rows.iter().map(dmm_row_to_json).collect()),
+        ),
+        QueryOutcome::Witness(w) => (
+            "witness",
+            Json::Object(vec![
+                ("name".into(), Json::str(&w.name)),
+                ("k".into(), Json::UInt(w.k)),
+                ("bound".into(), Json::UInt(w.bound)),
+                ("has_witness".into(), Json::Bool(w.has_witness)),
+                ("text".into(), Json::str(&w.text)),
+            ]),
+        ),
+        QueryOutcome::WeaklyHard(rows) => (
+            "weakly_hard",
+            Json::Array(
+                rows.iter()
+                    .map(|row| {
+                        Json::Object(vec![
+                            ("name".into(), Json::str(&row.name)),
+                            ("m".into(), Json::UInt(row.m)),
+                            ("k".into(), Json::UInt(row.k)),
+                            ("satisfied".into(), Json::Bool(row.satisfied)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        QueryOutcome::Sensitivity(s) => (
+            "sensitivity",
+            Json::Object(vec![
+                ("name".into(), Json::str(&s.name)),
+                ("m".into(), Json::UInt(s.m)),
+                ("k".into(), Json::UInt(s.k)),
+                ("max_percent".into(), Json::opt_u64(s.max_percent)),
+            ]),
+        ),
+        QueryOutcome::Path(p) => (
+            "path",
+            Json::Object(vec![
+                (
+                    "hops".into(),
+                    Json::Array(p.hops.iter().map(Json::str).collect()),
+                ),
+                ("latency".into(), Json::opt_u64(p.latency)),
+                (
+                    "composite_deadline".into(),
+                    Json::opt_u64(p.composite_deadline),
+                ),
+                (
+                    "points".into(),
+                    Json::Array(p.points.iter().map(dmm_point_to_json).collect()),
+                ),
+            ]),
+        ),
+        QueryOutcome::Full(system) => ("full", system.to_json()),
+    };
+    Json::Object(vec![(tag.into(), body)])
+}
+
+fn outcome_from_json(value: &Json) -> Result<QueryOutcome, ApiError> {
+    let obj = value
+        .as_object()
+        .ok_or_else(|| ApiError::request("each outcome must be an object"))?;
+    if obj.len() != 1 {
+        return Err(ApiError::request(
+            "each outcome must be a single `{\"kind\": ...}` object",
+        ));
+    }
+    let (tag, body) = &obj[0];
+    Ok(match tag.as_str() {
+        "latency" => QueryOutcome::Latency(
+            body.as_array()
+                .ok_or_else(|| ApiError::request("`latency` must be an array"))?
+                .iter()
+                .map(latency_row_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        "dmm" => QueryOutcome::Dmm(
+            body.as_array()
+                .ok_or_else(|| ApiError::request("`dmm` must be an array"))?
+                .iter()
+                .map(dmm_row_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        "witness" => QueryOutcome::Witness(WitnessOutcome {
+            name: str_field(body, "name")?,
+            k: u64_field(body, "k")?,
+            bound: u64_field(body, "bound")?,
+            has_witness: bool_field(body, "has_witness")?,
+            text: str_field(body, "text")?,
+        }),
+        "weakly_hard" => QueryOutcome::WeaklyHard(
+            body.as_array()
+                .ok_or_else(|| ApiError::request("`weakly_hard` must be an array"))?
+                .iter()
+                .map(|row| {
+                    Ok(MkOutcome {
+                        name: str_field(row, "name")?,
+                        m: u64_field(row, "m")?,
+                        k: u64_field(row, "k")?,
+                        satisfied: bool_field(row, "satisfied")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, ApiError>>()?,
+        ),
+        "sensitivity" => QueryOutcome::Sensitivity(SensitivityOutcome {
+            name: str_field(body, "name")?,
+            m: u64_field(body, "m")?,
+            k: u64_field(body, "k")?,
+            max_percent: opt_u64_field(body, "max_percent")?,
+        }),
+        "path" => QueryOutcome::Path(PathOutcome {
+            hops: body
+                .get("hops")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ApiError::request("`path` needs a `hops` array"))?
+                .iter()
+                .map(|h| {
+                    h.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| ApiError::request("each hop must be a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            latency: opt_u64_field(body, "latency")?,
+            composite_deadline: opt_u64_field(body, "composite_deadline")?,
+            points: body
+                .get("points")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ApiError::request("`path` needs a `points` array"))?
+                .iter()
+                .map(dmm_point_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
+        "full" => QueryOutcome::Full(SystemOutcome::from_json(body)?),
+        other => {
+            return Err(ApiError::request(format!("unknown outcome kind `{other}`")));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ApiErrorKind;
+
+    fn sample_chain_outcome() -> ChainOutcome {
+        ChainOutcome {
+            name: "sigma_c".into(),
+            deadline: Some(200),
+            overload: false,
+            worst_case_latency: Some(331),
+            typical_latency: Some(166),
+            miss_models: vec![
+                DmmPoint {
+                    k: 10,
+                    bound: 5,
+                    informative: true,
+                },
+                DmmPoint {
+                    k: 1,
+                    bound: 1,
+                    informative: false,
+                },
+            ],
+            error: None,
+        }
+    }
+
+    #[test]
+    fn chain_outcome_matches_the_engine_wire_format() {
+        let json = sample_chain_outcome().to_json().to_string();
+        assert_eq!(
+            json,
+            "{\"name\": \"sigma_c\", \"overload\": false, \"deadline\": 200, \
+             \"wcl\": 331, \"typical_wcl\": 166, \"dmm\": [{\"k\": 10, \"bound\": 5, \
+             \"informative\": true}, {\"k\": 1, \"bound\": 1, \"informative\": false}]}"
+        );
+    }
+
+    #[test]
+    fn chain_outcome_round_trips() {
+        let mut outcome = sample_chain_outcome();
+        outcome.error = Some("boom".into());
+        outcome.worst_case_latency = None;
+        let reparsed = ChainOutcome::from_json(&outcome.to_json()).unwrap();
+        assert_eq!(outcome, reparsed);
+    }
+
+    #[test]
+    fn responses_round_trip_both_arms() {
+        let ok = AnalysisResponse::ok(
+            Some("r1".into()),
+            vec![
+                QueryOutcome::Latency(vec![LatencyOutcome {
+                    name: "c".into(),
+                    deadline: Some(100),
+                    overload: false,
+                    worst_case_latency: Some(35),
+                    typical_latency: None,
+                }]),
+                QueryOutcome::Full(SystemOutcome {
+                    index: 0,
+                    chains: vec![sample_chain_outcome()],
+                }),
+                QueryOutcome::Sensitivity(SensitivityOutcome {
+                    name: "c".into(),
+                    m: 1,
+                    k: 10,
+                    max_percent: None,
+                }),
+            ],
+        );
+        let reparsed =
+            AnalysisResponse::from_json(&Json::parse(&ok.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(ok, reparsed);
+
+        let err = AnalysisResponse::error(
+            None,
+            ApiError::new(ApiErrorKind::Parse, "line 3: expected `{`"),
+        );
+        let reparsed =
+            AnalysisResponse::from_json(&Json::parse(&err.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(err, reparsed);
+    }
+
+    #[test]
+    fn malformed_outcomes_are_rejected() {
+        for bad in [
+            r#"{"v": 1}"#,
+            r#"{"v": 1, "ok": [], "error": {"kind": "io", "message": "x"}}"#,
+            r#"{"v": 1, "ok": [{"bogus": []}]}"#,
+        ] {
+            let value = Json::parse(bad).unwrap();
+            assert!(AnalysisResponse::from_json(&value).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! JSON-Lines streaming: one request per input line, one response per
+//! output line, in input order.
+
+use std::io::{BufRead, Write};
+
+use crate::json::Json;
+use crate::request::AnalysisRequest;
+use crate::response::AnalysisResponse;
+use crate::session::Session;
+
+/// What a [`serve`] loop processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Lines answered (blank lines are skipped).
+    pub requests: usize,
+    /// Responses whose outcome was an error.
+    pub errors: usize,
+}
+
+/// Answers one request line. Malformed lines never panic and never
+/// kill the stream: they produce an error response, echoing the `id`
+/// when one is recoverable from the line.
+pub fn respond_line(session: &Session, line: &str) -> AnalysisResponse {
+    match Json::parse(line) {
+        Err(e) => AnalysisResponse::error(None, e.into()),
+        Ok(value) => {
+            // Echo the id even when the request is structurally
+            // invalid, so clients can correlate the failure.
+            let id = value.get("id").and_then(Json::as_str).map(str::to_owned);
+            match AnalysisRequest::from_json(&value) {
+                Err(e) => AnalysisResponse::error(id, e),
+                Ok(request) => session.analyze(&request),
+            }
+        }
+    }
+}
+
+/// Runs the streaming loop: reads JSON-Lines requests from `input`,
+/// writes one response line per request to `output` **in input
+/// order**, flushing after every response so a pipe sees each answer
+/// as soon as it exists. The session's cache stays warm across the
+/// whole stream — the core of the `twca serve` mode.
+///
+/// # Errors
+///
+/// Only I/O errors of `input`/`output` abort the loop; analysis and
+/// parse failures are streamed as error responses.
+///
+/// # Examples
+///
+/// ```
+/// use twca_api::{serve, Session};
+///
+/// let input = "{\"id\": \"a\", \"system\": \"chain c periodic=10 { task t prio=1 wcet=1 }\"}\n";
+/// let mut output = Vec::new();
+/// let summary = serve(&Session::new(), input.as_bytes(), &mut output).unwrap();
+/// assert_eq!(summary.requests, 1);
+/// assert_eq!(summary.errors, 0);
+/// let text = String::from_utf8(output).unwrap();
+/// assert!(text.starts_with("{\"v\": 1, \"id\": \"a\", \"ok\": "));
+/// ```
+pub fn serve(
+    session: &Session,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = respond_line(session, &line);
+        summary.requests += 1;
+        if response.outcome.is_err() {
+            summary.errors += 1;
+        }
+        writeln!(output, "{}", response.to_json())?;
+        output.flush()?;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApiErrorKind;
+
+    const CHAIN: &str = "chain c periodic=100 deadline=100 { task t prio=1 wcet=10 }";
+
+    #[test]
+    fn responses_arrive_in_input_order_with_ids() {
+        let input = format!(
+            "{}\n\n{}\n{}\n",
+            format_args!("{{\"id\": \"first\", \"system\": \"{CHAIN}\"}}"),
+            "this is not json",
+            format_args!("{{\"id\": \"third\", \"system\": \"{CHAIN}\"}}"),
+        );
+        let session = Session::new();
+        let mut output = Vec::new();
+        let summary = serve(&session, input.as_bytes(), &mut output).unwrap();
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.errors, 1);
+
+        let lines: Vec<AnalysisResponse> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| AnalysisResponse::from_json(&Json::parse(l).unwrap()).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].id.as_deref(), Some("first"));
+        assert!(lines[0].outcome.is_ok());
+        assert!(lines[1].id.is_none());
+        assert_eq!(
+            lines[1].outcome.as_ref().unwrap_err().kind,
+            ApiErrorKind::Json
+        );
+        assert_eq!(lines[2].id.as_deref(), Some("third"));
+        assert!(lines[2].outcome.is_ok());
+    }
+
+    #[test]
+    fn invalid_requests_echo_their_id() {
+        let session = Session::new();
+        let response = respond_line(&session, r#"{"id": "x", "queries": []}"#);
+        assert_eq!(response.id.as_deref(), Some("x"));
+        assert!(response.outcome.is_err());
+    }
+
+    #[test]
+    fn the_cache_stays_warm_across_the_stream() {
+        let line =
+            format!("{{\"system\": \"{CHAIN}\", \"queries\": [{{\"dmm\": {{\"ks\": [10]}}}}]}}\n");
+        let input = line.repeat(3);
+        let session = Session::new();
+        let mut output = Vec::new();
+        serve(&session, input.as_bytes(), &mut output).unwrap();
+        assert!(session.cache_stats().hits > 0);
+    }
+}

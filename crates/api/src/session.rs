@@ -1,0 +1,433 @@
+//! The long-lived analysis session: shared cache, default options,
+//! per-request budget and cancellation.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::analyze::{Analyze, ChainBackend, DistBackend, QueryEnv};
+use crate::error::ApiError;
+use crate::request::{AnalysisRequest, RequestOptions, Target};
+use crate::response::{AnalysisResponse, ChainOutcome, DmmPoint, QueryOutcome, SystemOutcome};
+use twca_chains::{
+    latency_analysis, AnalysisCache, AnalysisContext, AnalysisOptions, CacheStats, DmmSweep,
+    OverloadMode,
+};
+use twca_dist::DistributedSystemBuilder;
+use twca_model::{parse_system, System};
+
+/// A shareable cancellation flag; cloning shares the flag.
+///
+/// # Examples
+///
+/// ```
+/// use twca_api::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// token.cancel();
+/// assert!(observer.is_canceled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncanceled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raises the flag; every in-flight request holding a clone fails
+    /// with [`ApiError::canceled`] at its next work unit.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_canceled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-request work accounting: an optional budget of *query units*
+/// (roughly one unit per chain-level analysis, miss-model point, or
+/// equivalent) and an optional cancellation token, checked together
+/// before every unit of work.
+#[derive(Debug)]
+pub struct RequestControl {
+    cancel: Option<CancelToken>,
+    remaining: Option<Cell<u64>>,
+    limit: u64,
+}
+
+impl RequestControl {
+    /// No budget, no cancellation.
+    pub fn unlimited() -> RequestControl {
+        RequestControl {
+            cancel: None,
+            remaining: None,
+            limit: 0,
+        }
+    }
+
+    /// A control with a work budget of `units`.
+    pub fn with_budget(units: u64) -> RequestControl {
+        RequestControl {
+            cancel: None,
+            remaining: Some(Cell::new(units)),
+            limit: units,
+        }
+    }
+
+    /// Attaches a cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> RequestControl {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Charges `units` of work.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::canceled`] when the token was raised,
+    /// [`ApiError::budget`] when the budget cannot cover the charge.
+    pub fn charge(&self, units: u64) -> Result<(), ApiError> {
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_canceled() {
+                return Err(ApiError::canceled());
+            }
+        }
+        if let Some(remaining) = &self.remaining {
+            let left = remaining.get();
+            if left < units {
+                return Err(ApiError::budget(self.limit));
+            }
+            remaining.set(left - units);
+        }
+        Ok(())
+    }
+}
+
+/// The long-lived façade every workload enters through: one shared
+/// [`AnalysisCache`], default [`AnalysisOptions`], and the dispatch
+/// from [`AnalysisRequest`] to the [`Analyze`] backends.
+///
+/// Sessions are cheap to clone (the cache is shared through an `Arc`)
+/// and safe to share across threads; `twca-engine`'s `BatchEngine` is a
+/// thread fan-out over exactly this type.
+///
+/// # Examples
+///
+/// ```
+/// use twca_api::{AnalysisRequest, Query, Session};
+///
+/// let session = Session::new();
+/// let request = AnalysisRequest::for_system(
+///     "chain c periodic=100 deadline=100 { task t prio=1 wcet=10 }",
+/// )
+/// .with_query(Query::Dmm { chain: None, ks: vec![1, 10] });
+/// let response = session.analyze(&request);
+/// let outcomes = response.outcome.unwrap();
+/// assert_eq!(outcomes.len(), 1);
+/// // A second identical request is answered from the warm cache.
+/// let _ = session.analyze(&request);
+/// assert!(session.cache_stats().hits > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    cache: Arc<AnalysisCache>,
+    options: AnalysisOptions,
+    max_sweeps: usize,
+    default_budget: Option<u64>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session with default options and a fresh cache.
+    pub fn new() -> Session {
+        Session {
+            cache: Arc::new(AnalysisCache::new()),
+            options: AnalysisOptions::default(),
+            max_sweeps: twca_dist::DistOptions::default().max_sweeps,
+            default_budget: None,
+        }
+    }
+
+    /// Shares an existing cache (e.g. across sessions or engines).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<AnalysisCache>) -> Session {
+        self.cache = cache;
+        self
+    }
+
+    /// Replaces the default per-chain analysis options.
+    #[must_use]
+    pub fn with_options(mut self, options: AnalysisOptions) -> Session {
+        self.options = options;
+        self
+    }
+
+    /// Replaces the default holistic sweep limit for distributed
+    /// targets.
+    #[must_use]
+    pub fn with_max_sweeps(mut self, max_sweeps: usize) -> Session {
+        self.max_sweeps = max_sweeps;
+        self
+    }
+
+    /// Sets a default work budget applied to requests that do not
+    /// state their own.
+    #[must_use]
+    pub fn with_default_budget(mut self, units: u64) -> Session {
+        self.default_budget = Some(units);
+        self
+    }
+
+    /// The shared cache handle.
+    pub fn cache(&self) -> Arc<AnalysisCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Hit/miss counters of the shared cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The session's default analysis options.
+    pub fn options(&self) -> AnalysisOptions {
+        self.options
+    }
+
+    /// Answers a request. Never panics on malformed input: every
+    /// failure becomes the `error` arm of the response.
+    pub fn analyze(&self, request: &AnalysisRequest) -> AnalysisResponse {
+        self.analyze_with(request, None)
+    }
+
+    /// Answers a request under an external cancellation token.
+    pub fn analyze_with(
+        &self,
+        request: &AnalysisRequest,
+        cancel: Option<&CancelToken>,
+    ) -> AnalysisResponse {
+        let id = request.id.clone();
+        match self.execute(request, cancel) {
+            Ok(outcomes) => AnalysisResponse::ok(id, outcomes),
+            Err(error) => AnalysisResponse::error(id, error),
+        }
+    }
+
+    fn execute(
+        &self,
+        request: &AnalysisRequest,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<QueryOutcome>, ApiError> {
+        let options = self.effective_options(&request.options);
+        let max_sweeps = request
+            .options
+            .max_sweeps
+            .map(|s| s as usize)
+            .unwrap_or(self.max_sweeps);
+        let mut control = match request.options.budget.or(self.default_budget) {
+            Some(units) => RequestControl::with_budget(units),
+            None => RequestControl::unlimited(),
+        };
+        if let Some(token) = cancel {
+            control = control.with_cancel(token.clone());
+        }
+        let env = QueryEnv {
+            session: self,
+            options,
+            max_sweeps,
+            control: &control,
+        };
+
+        // The chain backend borrows its parsed system (so the request's
+        // queries share one AnalysisContext); both locals outlive the
+        // query loop below.
+        let chain_system: System;
+        let chain_backend: ChainBackend<'_>;
+        let dist_backend: DistBackend;
+        let backend: &dyn Analyze = match &request.target {
+            Target::Chains { system } => {
+                chain_system = parse_system(system)?;
+                chain_backend = ChainBackend::new(&chain_system);
+                &chain_backend
+            }
+            Target::Distributed { resources, links } => {
+                let mut builder = DistributedSystemBuilder::new();
+                for (name, text) in resources {
+                    let system = parse_system(text).map_err(|e| {
+                        ApiError::new(
+                            crate::ApiErrorKind::Parse,
+                            format!("resource `{name}`: {e}"),
+                        )
+                    })?;
+                    builder = builder.resource(name.clone(), system);
+                }
+                for link in links {
+                    builder = builder.link(
+                        (link.from.resource.clone(), link.from.chain.clone()),
+                        (link.to.resource.clone(), link.to.chain.clone()),
+                    );
+                }
+                dist_backend = DistBackend::new(builder.build()?);
+                &dist_backend
+            }
+            Target::DistText { text } => {
+                dist_backend = DistBackend::new(twca_dist::parse_distributed(text)?);
+                &dist_backend
+            }
+        };
+
+        request
+            .queries
+            .iter()
+            .map(|query| backend.query(query, &env))
+            .collect()
+    }
+
+    /// The request's effective options: the session defaults with the
+    /// request's overrides applied.
+    pub fn effective_options(&self, overrides: &RequestOptions) -> AnalysisOptions {
+        AnalysisOptions {
+            horizon: overrides.horizon.unwrap_or(self.options.horizon),
+            max_q: overrides.max_q.unwrap_or(self.options.max_q),
+            max_combinations: overrides
+                .max_combinations
+                .map(|c| c as usize)
+                .unwrap_or(self.options.max_combinations),
+        }
+    }
+
+    /// The full batch pipeline on one system: per-chain latency bounds
+    /// (with and without overload) plus a miss-model sweep over `ks`
+    /// for every deadline chain — the per-slot work of
+    /// `twca-engine`'s batch runs, shared so the batch and streaming
+    /// surfaces cannot drift apart.
+    pub fn system_outcome(&self, index: usize, system: &System, ks: &[u64]) -> SystemOutcome {
+        self.system_outcome_with(index, system, ks, self.options)
+    }
+
+    /// [`Session::system_outcome`] under explicit options.
+    pub fn system_outcome_with(
+        &self,
+        index: usize,
+        system: &System,
+        ks: &[u64],
+        options: AnalysisOptions,
+    ) -> SystemOutcome {
+        let ctx = AnalysisContext::with_cache(system, self.cache());
+        let mut chains = Vec::with_capacity(system.chains().len());
+        for (id, chain) in system.iter() {
+            let full = latency_analysis(&ctx, id, OverloadMode::Include, options);
+            let typical = latency_analysis(&ctx, id, OverloadMode::Exclude, options);
+            let (miss_models, error) = if chain.deadline().is_some() {
+                match DmmSweep::prepare(&ctx, id, options) {
+                    Ok(sweep) => (
+                        sweep
+                            .curve(ks.iter().copied())
+                            .into_iter()
+                            .map(DmmPoint::from)
+                            .collect(),
+                        None,
+                    ),
+                    Err(e) => (Vec::new(), Some(e.to_string())),
+                }
+            } else {
+                (Vec::new(), None)
+            };
+            chains.push(ChainOutcome {
+                name: chain.name().to_owned(),
+                deadline: chain.deadline(),
+                overload: chain.is_overload(),
+                worst_case_latency: full.as_ref().map(|r| r.worst_case_latency),
+                typical_latency: typical.as_ref().map(|r| r.worst_case_latency),
+                miss_models,
+                error,
+            });
+        }
+        SystemOutcome { index, chains }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Query;
+    use crate::ApiErrorKind;
+
+    const SYSTEM: &str = "
+chain control periodic=100 deadline=100 sync {
+    task sense prio=5 wcet=10
+    task act prio=1 wcet=25
+}
+chain recovery sporadic=1000 overload {
+    task fix prio=3 wcet=40
+}
+";
+
+    #[test]
+    fn parse_failures_become_typed_errors() {
+        let request = AnalysisRequest::for_system("chain broken {");
+        let response = Session::new().analyze(&request);
+        assert_eq!(response.outcome.unwrap_err().kind, ApiErrorKind::Parse);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let request = AnalysisRequest::for_system(SYSTEM)
+            .with_query(Query::Dmm {
+                chain: None,
+                ks: (1..=64).collect(),
+            })
+            .with_options(RequestOptions {
+                budget: Some(3),
+                ..RequestOptions::default()
+            });
+        let response = Session::new().analyze(&request);
+        assert_eq!(response.outcome.unwrap_err().kind, ApiErrorKind::Budget);
+    }
+
+    #[test]
+    fn cancellation_preempts_work() {
+        let token = CancelToken::new();
+        token.cancel();
+        let request =
+            AnalysisRequest::for_system(SYSTEM).with_query(Query::Latency { chain: None });
+        let response = Session::new().analyze_with(&request, Some(&token));
+        assert_eq!(response.outcome.unwrap_err().kind, ApiErrorKind::Canceled);
+    }
+
+    #[test]
+    fn request_options_override_session_defaults() {
+        let session = Session::new();
+        let effective = session.effective_options(&RequestOptions {
+            horizon: Some(123),
+            ..RequestOptions::default()
+        });
+        assert_eq!(effective.horizon, 123);
+        assert_eq!(effective.max_q, session.options().max_q);
+    }
+
+    #[test]
+    fn warm_cache_is_shared_across_requests() {
+        let session = Session::new();
+        let request = AnalysisRequest::for_system(SYSTEM).with_query(Query::Dmm {
+            chain: None,
+            ks: vec![10],
+        });
+        let first = session.analyze(&request);
+        assert!(first.outcome.is_ok());
+        let before = session.cache_stats().hits;
+        let second = session.analyze(&request);
+        assert_eq!(first.outcome, second.outcome);
+        assert!(session.cache_stats().hits > before);
+    }
+}

@@ -1,0 +1,155 @@
+//! Golden-file tests pinning schema version 1: the wire bytes of a
+//! representative request, a representative response, and a live
+//! served stream must match the recorded fixtures exactly. A failure
+//! here means the schema changed — bump [`twca_api::SCHEMA_VERSION`]
+//! and re-record deliberately, never accidentally.
+
+use twca_api::{
+    AnalysisRequest, AnalysisResponse, ApiError, ApiErrorKind, ChainOutcome, DmmOutcome, DmmPoint,
+    Json, LatencyOutcome, Query, QueryOutcome, RequestOptions, Session, SiteSpec, SystemOutcome,
+    Target, WitnessOutcome,
+};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden fixture {}: {e}", path.display()))
+}
+
+fn golden_request() -> AnalysisRequest {
+    AnalysisRequest {
+        id: Some("golden-1".into()),
+        target: Target::Distributed {
+            resources: vec![
+                (
+                    "ecu0".into(),
+                    "chain c periodic=100 deadline=100 sync { task t prio=1 wcet=10 }".into(),
+                ),
+                (
+                    "ecu1".into(),
+                    "chain d periodic=100 deadline=150 sync { task u prio=1 wcet=15 }".into(),
+                ),
+            ],
+            links: vec![twca_api::LinkSpec {
+                from: SiteSpec::parse("ecu0/c").unwrap(),
+                to: SiteSpec::parse("ecu1/d").unwrap(),
+            }],
+        },
+        queries: vec![
+            Query::Latency { chain: None },
+            Query::Dmm {
+                chain: Some("ecu1/d".into()),
+                ks: vec![1, 10, 100],
+            },
+            Query::Path {
+                hops: vec![
+                    SiteSpec::parse("ecu0/c").unwrap(),
+                    SiteSpec::parse("ecu1/d").unwrap(),
+                ],
+                ks: vec![10],
+            },
+        ],
+        options: RequestOptions {
+            horizon: Some(2_000_000),
+            budget: Some(10_000),
+            ..RequestOptions::default()
+        },
+    }
+}
+
+fn golden_response() -> AnalysisResponse {
+    AnalysisResponse::ok(
+        Some("golden-1".into()),
+        vec![
+            QueryOutcome::Latency(vec![LatencyOutcome {
+                name: "ecu0/c".into(),
+                deadline: Some(100),
+                overload: false,
+                worst_case_latency: Some(10),
+                typical_latency: None,
+            }]),
+            QueryOutcome::Dmm(vec![DmmOutcome {
+                name: "ecu1/d".into(),
+                points: vec![DmmPoint {
+                    k: 10,
+                    bound: 0,
+                    informative: true,
+                }],
+                error: None,
+            }]),
+            QueryOutcome::Witness(WitnessOutcome {
+                name: "c".into(),
+                k: 10,
+                bound: 5,
+                has_witness: true,
+                text: "dmm(10) = 5\n".into(),
+            }),
+            QueryOutcome::Full(SystemOutcome {
+                index: 0,
+                chains: vec![ChainOutcome {
+                    name: "c".into(),
+                    deadline: Some(100),
+                    overload: false,
+                    worst_case_latency: Some(10),
+                    typical_latency: Some(10),
+                    miss_models: vec![DmmPoint {
+                        k: 1,
+                        bound: 0,
+                        informative: true,
+                    }],
+                    error: None,
+                }],
+            }),
+        ],
+    )
+}
+
+#[test]
+fn request_schema_v1_is_stable() {
+    let expected = fixture("request_v1.json");
+    let actual = golden_request().to_json().to_string();
+    assert_eq!(actual, expected.trim_end(), "request schema drifted");
+    // And the fixture parses back to the identical DTO.
+    let reparsed = AnalysisRequest::from_json(&Json::parse(expected.trim_end()).unwrap()).unwrap();
+    assert_eq!(reparsed, golden_request());
+}
+
+#[test]
+fn response_schema_v1_is_stable() {
+    let expected = fixture("response_v1.json");
+    let actual = golden_response().to_json().to_string();
+    assert_eq!(actual, expected.trim_end(), "response schema drifted");
+    let reparsed = AnalysisResponse::from_json(&Json::parse(expected.trim_end()).unwrap()).unwrap();
+    assert_eq!(reparsed, golden_response());
+}
+
+#[test]
+fn error_response_schema_v1_is_stable() {
+    let expected = fixture("error_v1.json");
+    let actual = AnalysisResponse::error(
+        Some("golden-err".into()),
+        ApiError::new(ApiErrorKind::Parse, "line 2: expected `{`"),
+    )
+    .to_json()
+    .to_string();
+    assert_eq!(actual, expected.trim_end(), "error schema drifted");
+}
+
+/// A live session over a fixed request stream must reproduce the
+/// recorded responses byte for byte — the analysis is deterministic
+/// and the serializer canonical.
+#[test]
+fn served_stream_v1_is_stable() {
+    let input = fixture("stream_v1_requests.jsonl");
+    let expected = fixture("stream_v1_responses.jsonl");
+    let mut output = Vec::new();
+    let session = Session::new();
+    twca_api::serve(&session, input.as_bytes(), &mut output).unwrap();
+    assert_eq!(
+        String::from_utf8(output).unwrap(),
+        expected,
+        "served bytes drifted from the recorded schema-v1 stream"
+    );
+}

@@ -1,0 +1,136 @@
+//! Façade overhead: the `twca-api` `Session` pipeline versus direct
+//! `twca-chains` calls on the warm-cache 64-system batch of the engine
+//! benchmarks. The façade must stay within a few percent of the direct
+//! path (the acceptance bar is < 5%); a third series measures the full
+//! wire round trip (serialize request → parse → analyze → serialize
+//! response) for the `twca serve` mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use twca_api::{AnalysisRequest, Query, Session};
+use twca_chains::{latency_analysis, AnalysisContext, DmmSweep, OverloadMode};
+use twca_gen::{random_system, RandomSystemConfig};
+use twca_model::{render_system, System};
+
+const KS: [u64; 3] = [1, 10, 100];
+
+fn design_space(count: usize) -> Vec<System> {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let config = RandomSystemConfig::default();
+    (0..count)
+        .map(|_| random_system(&mut rng, &config).expect("valid configuration"))
+        .collect()
+}
+
+/// One chain's record in the hand-rolled baseline, mirroring what the
+/// façade's `ChainOutcome` materializes so both series pay the same
+/// result-building cost.
+type DirectRow = (String, Option<u64>, Option<u64>, Vec<(u64, u64, bool)>);
+
+/// The raw pipeline, inlined without the façade: per-chain latencies
+/// (both overload modes) plus a miss-model sweep per deadline chain.
+fn direct_pipeline(session: &Session, system: &System) -> Vec<DirectRow> {
+    let ctx = AnalysisContext::with_cache(system, session.cache());
+    let options = session.options();
+    let mut rows = Vec::with_capacity(system.chains().len());
+    for (id, chain) in system.iter() {
+        let full = latency_analysis(&ctx, id, OverloadMode::Include, options);
+        let typical = latency_analysis(&ctx, id, OverloadMode::Exclude, options);
+        let points = if chain.deadline().is_some() {
+            match DmmSweep::prepare(&ctx, id, options) {
+                Ok(sweep) => sweep
+                    .curve(KS.iter().copied())
+                    .into_iter()
+                    .map(|d| (d.k, d.bound, d.informative))
+                    .collect(),
+                Err(_) => Vec::new(),
+            }
+        } else {
+            Vec::new()
+        };
+        rows.push((
+            chain.name().to_owned(),
+            full.map(|r| r.worst_case_latency),
+            typical.map(|r| r.worst_case_latency),
+            points,
+        ));
+    }
+    rows
+}
+
+fn bench_api_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("api_overhead");
+    let systems = design_space(64);
+
+    // One shared session; warm its cache once so every series measures
+    // the warm-path overhead, not the first analysis.
+    let session = Session::new();
+    for system in &systems {
+        let _ = session.system_outcome(0, system, &KS);
+    }
+
+    group.bench_with_input(
+        BenchmarkId::new("direct_chains", systems.len()),
+        &systems,
+        |b, systems| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for system in systems {
+                    total += direct_pipeline(&session, black_box(system)).len();
+                }
+                black_box(total)
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("facade_session", systems.len()),
+        &systems,
+        |b, systems| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for (index, system) in systems.iter().enumerate() {
+                    total += session
+                        .system_outcome(index, black_box(system), &KS)
+                        .chains
+                        .len();
+                }
+                black_box(total)
+            })
+        },
+    );
+
+    // The full wire path: DSL + JSON request in, JSON response out.
+    let requests: Vec<String> = systems
+        .iter()
+        .map(|system| {
+            AnalysisRequest::for_system(render_system(system))
+                .with_query(Query::Full { ks: KS.to_vec() })
+                .to_json()
+                .to_string()
+        })
+        .collect();
+    group.bench_with_input(
+        BenchmarkId::new("wire_round_trip", requests.len()),
+        &requests,
+        |b, requests| {
+            b.iter(|| {
+                let mut bytes = 0usize;
+                for line in requests {
+                    let response = twca_api::respond_line(&session, black_box(line));
+                    bytes += response.to_json().to_string().len();
+                }
+                black_box(bytes)
+            })
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_api_overhead);
+criterion_main!(benches);

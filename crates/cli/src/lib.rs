@@ -14,13 +14,23 @@
 //! twca report <file>                  Markdown analysis report
 //! twca synthesize <file> <m> <k>      search priorities satisfying (m,k)
 //! twca batch [files...] [--gen N]     parallel batch analysis (engine)
+//! twca dist <file>                    distributed (linked-resource) analysis
+//! twca serve                          JSON-Lines request/response streaming
 //! ```
 //!
 //! `batch` flags: `--gen N` (analyze `N` generated systems), `--seed S`,
 //! `--threads T`, `--serial`, `--k K1,K2,...`, `--json`, `--progress`.
+//!
+//! `serve` reads one [`twca_api::AnalysisRequest`] per stdin line (or
+//! from `--file F`) and streams one response line per request, in input
+//! order, from one warm [`twca_api::Session`]. `dist` loads a
+//! linked-resource document (see [`twca_dist::parse_distributed`]) and
+//! answers through the same request path (`--json` for the wire form).
 
 use std::fmt::Write as _;
+use std::io::{BufRead, Write};
 
+use twca_api::{AnalysisRequest, Query, QueryOutcome, Session};
 use twca_assign::{hill_climb, Goal, SearchConfig};
 use twca_chains::{explain, AnalysisContext, AnalysisOptions, ChainAnalysis, MkConstraint};
 use twca_model::{parse_system, render_dot, System};
@@ -39,6 +49,9 @@ pub enum CliError {
     Analysis(twca_chains::AnalysisError),
     /// A named chain does not exist in the system.
     NoSuchChain(String),
+    /// A façade-level failure (request handling, distributed analysis,
+    /// budget, cancellation).
+    Api(twca_api::ApiError),
 }
 
 impl std::fmt::Display for CliError {
@@ -49,6 +62,7 @@ impl std::fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "invalid system description: {e}"),
             CliError::Analysis(e) => write!(f, "analysis failed: {e}"),
             CliError::NoSuchChain(name) => write!(f, "no chain named `{name}`"),
+            CliError::Api(e) => write!(f, "{e}"),
         }
     }
 }
@@ -70,6 +84,18 @@ impl From<twca_model::ParseError> for CliError {
 impl From<twca_chains::AnalysisError> for CliError {
     fn from(value: twca_chains::AnalysisError) -> Self {
         CliError::Analysis(value)
+    }
+}
+
+impl From<twca_api::ApiError> for CliError {
+    fn from(value: twca_api::ApiError) -> Self {
+        CliError::Api(value)
+    }
+}
+
+impl From<twca_dist::DistError> for CliError {
+    fn from(value: twca_dist::DistError) -> Self {
+        CliError::Api(value.into())
     }
 }
 
@@ -428,9 +454,11 @@ pub fn cmd_batch(args: &[String]) -> Result<String, CliError> {
         max_q: parsed.max_q,
         ..twca_chains::AnalysisOptions::default()
     };
-    let mut engine = twca_engine::BatchEngine::new()
-        .with_options(options)
-        .with_ks(parsed.ks.iter().copied());
+    // One façade session owns the cache and options; the engine is a
+    // thread fan-out over it.
+    let session = Session::new().with_options(options);
+    let mut engine =
+        twca_engine::BatchEngine::from_session(session).with_ks(parsed.ks.iter().copied());
     if let Some(threads) = parsed.threads {
         engine = engine.with_threads(threads);
     }
@@ -493,6 +521,233 @@ pub fn cmd_batch(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parsed flags of `twca serve`.
+struct ServeArgs {
+    file: Option<String>,
+    budget: Option<u64>,
+    horizon: Option<u64>,
+    max_q: Option<u64>,
+}
+
+impl ServeArgs {
+    const USAGE: &'static str = "twca serve [--file F] [--budget UNITS] [--horizon H] [--max-q Q]";
+
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut parsed = ServeArgs {
+            file: None,
+            budget: None,
+            horizon: None,
+            max_q: None,
+        };
+        let mut rest = args.iter();
+        while let Some(arg) = rest.next() {
+            let mut value_of = |flag: &str| {
+                rest.next().ok_or_else(|| {
+                    CliError::Usage(format!("{flag} needs a value; {}", Self::USAGE))
+                })
+            };
+            match arg.as_str() {
+                "--file" => parsed.file = Some(value_of("--file")?.clone()),
+                "--budget" => {
+                    parsed.budget =
+                        Some(value_of("--budget")?.parse().map_err(|_| {
+                            CliError::Usage("`--budget` expects a unit count".into())
+                        })?);
+                }
+                "--horizon" => {
+                    parsed.horizon =
+                        Some(value_of("--horizon")?.parse().map_err(|_| {
+                            CliError::Usage("`--horizon` expects a time bound".into())
+                        })?);
+                }
+                "--max-q" => {
+                    parsed.max_q = Some(value_of("--max-q")?.parse().map_err(|_| {
+                        CliError::Usage("`--max-q` expects an activation count".into())
+                    })?);
+                }
+                flag => {
+                    return Err(CliError::Usage(format!(
+                        "unknown serve flag `{flag}`; {}",
+                        Self::USAGE
+                    )));
+                }
+            }
+        }
+        Ok(parsed)
+    }
+
+    fn session(&self) -> Session {
+        let defaults = twca_chains::AnalysisOptions::default();
+        let mut session = Session::new().with_options(twca_chains::AnalysisOptions {
+            horizon: self.horizon.unwrap_or(defaults.horizon),
+            max_q: self.max_q.unwrap_or(defaults.max_q),
+            ..defaults
+        });
+        if let Some(budget) = self.budget {
+            session = session.with_default_budget(budget);
+        }
+        session
+    }
+}
+
+/// `twca serve`: the long-lived JSON-Lines analysis loop over explicit
+/// input/output streams — one request per line in, one response per
+/// line out, in input order, all answered from one warm
+/// [`Session`]. The binary wires this to stdin/stdout; tests to
+/// buffers.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad flags and stream I/O failures; parse
+/// and analysis failures are streamed as JSON error responses instead.
+pub fn cmd_serve(
+    args: &[String],
+    input: impl BufRead,
+    output: impl Write,
+) -> Result<String, CliError> {
+    let parsed = ServeArgs::parse(args)?;
+    let session = parsed.session();
+    let summary = match &parsed.file {
+        Some(path) => {
+            let file = std::fs::File::open(path)?;
+            twca_api::serve(&session, std::io::BufReader::new(file), output)?
+        }
+        None => twca_api::serve(&session, input, output)?,
+    };
+    let stats = session.cache_stats();
+    Ok(format!(
+        "served {} request(s), {} error(s); cache: {} hits / {} misses ({} entries)\n",
+        summary.requests, summary.errors, stats.hits, stats.misses, stats.entries
+    ))
+}
+
+/// `twca dist <file> [--k K1,K2,...] [--path r/c,r/c,...] [--json]`:
+/// loads a linked-resource document, runs the holistic analysis through
+/// the façade, and reports per-site bounds (plus optional end-to-end
+/// path bounds) — as a table, or as the wire-format response with
+/// `--json`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad flags and unreadable files; malformed
+/// documents surface as typed [`twca_api::ApiError`]s, never panics.
+pub fn cmd_dist(args: &[String]) -> Result<String, CliError> {
+    const USAGE: &str = "twca dist <file> [--k K1,K2,...] [--path r/c,r/c,...] [--json]";
+    let mut file = None;
+    let mut ks: Vec<u64> = vec![1, 10, 100];
+    let mut path: Option<Vec<twca_api::SiteSpec>> = None;
+    let mut json = false;
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        let mut value_of = |flag: &str| {
+            rest.next()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value; {USAGE}")))
+        };
+        match arg.as_str() {
+            "--k" => {
+                ks = value_of("--k")?
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("`{t}` is not a window length")))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--path" => {
+                path = Some(
+                    value_of("--path")?
+                        .split(',')
+                        .map(|t| twca_api::SiteSpec::parse(t.trim()).map_err(CliError::Api))
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            "--json" => json = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!(
+                    "unknown dist flag `{flag}`; {USAGE}"
+                )));
+            }
+            value if file.is_none() => file = Some(value.to_owned()),
+            _ => return Err(CliError::Usage(format!("too many files; {USAGE}"))),
+        }
+    }
+    let file = file.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let text = std::fs::read_to_string(&file)?;
+
+    let mut request = AnalysisRequest::for_dist_text(text)
+        .with_query(Query::Latency { chain: None })
+        .with_query(Query::Dmm {
+            chain: None,
+            ks: ks.clone(),
+        });
+    if let Some(hops) = path {
+        request = request.with_query(Query::Path { hops, ks });
+    }
+    let response = Session::new().analyze(&request);
+    if json {
+        return Ok(format!("{}\n", response.to_json()));
+    }
+
+    let outcomes = response.outcome.map_err(CliError::Api)?;
+    let mut out = String::new();
+    for outcome in &outcomes {
+        match outcome {
+            QueryOutcome::Latency(rows) => {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>10} {:>10} {:>10}",
+                    "site", "WCL", "D", "verdict"
+                );
+                for row in rows {
+                    let verdict = match (row.worst_case_latency, row.deadline) {
+                        (Some(wcl), Some(d)) if wcl <= d => "schedulable",
+                        (Some(_), Some(_)) => "weakly hard",
+                        (None, _) => "unbounded",
+                        _ if row.overload => "overload",
+                        _ => "no deadline",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<24} {:>10} {:>10} {:>10}",
+                        row.name,
+                        row.worst_case_latency
+                            .map_or("unbounded".into(), |v| v.to_string()),
+                        row.deadline.map_or("-".into(), |v| v.to_string()),
+                        verdict
+                    );
+                }
+            }
+            QueryOutcome::Dmm(rows) => {
+                for row in rows {
+                    let mut line = String::new();
+                    for p in &row.points {
+                        let _ = write!(line, " dmm({})={}", p.k, p.bound);
+                    }
+                    if let Some(error) = &row.error {
+                        let _ = write!(line, " error: {error}");
+                    }
+                    let _ = writeln!(out, "{:<24}{}", row.name, line);
+                }
+            }
+            QueryOutcome::Path(p) => {
+                let _ = writeln!(
+                    out,
+                    "path {}: latency {} / deadline {}",
+                    p.hops.join(" -> "),
+                    p.latency.map_or("unbounded".into(), |v| v.to_string()),
+                    p.composite_deadline.map_or("-".into(), |v| v.to_string()),
+                );
+                for point in &p.points {
+                    let _ = writeln!(out, "  dmm({}) = {}", point.k, point.bound);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
 /// Dispatches a full argument vector (excluding the program name).
 ///
 /// # Errors
@@ -500,11 +755,23 @@ pub fn cmd_batch(args: &[String]) -> Result<String, CliError> {
 /// Returns [`CliError`] for usage errors, unreadable files, parse
 /// failures and analysis failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    const USAGE: &str =
-        "twca <analyze|explain|dmm|simulate|dot|gantt|report|synthesize|batch> <file> [...]";
+    const USAGE: &str = "twca <analyze|explain|dmm|simulate|dot|gantt|report|synthesize|batch|\
+                         dist|serve> <file> [...]";
     let command = args.first().ok_or_else(|| CliError::Usage(USAGE.into()))?;
     if command == "batch" {
         return cmd_batch(&args[1..]);
+    }
+    if command == "dist" {
+        return cmd_dist(&args[1..]);
+    }
+    if command == "serve" {
+        // The streaming loop writes to stdout as responses are
+        // produced; the returned summary goes to stderr in main.
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let summary = cmd_serve(&args[1..], stdin.lock(), stdout.lock())?;
+        eprint!("{summary}");
+        return Ok(String::new());
     }
     let path = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
     let system = load(path)?;

@@ -1,0 +1,77 @@
+//! Smoke test of the real `twca serve` binary: pipe three mixed
+//! (chain + distributed) requests through stdin and check that the
+//! streamed responses come back one per request, in input order, from
+//! one warm session.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+use twca_api::{AnalysisResponse, Json};
+
+const CHAIN: &str = "chain c periodic=100 deadline=100 sync { task t prio=1 wcet=10 }";
+const DIST: &str = "resource e0 { chain c periodic=100 deadline=100 { task t prio=1 wcet=10 } } \
+                    resource e1 { chain d periodic=100 deadline=150 { task u prio=1 wcet=15 } } \
+                    link e0/c -> e1/d";
+
+#[test]
+fn serve_streams_mixed_requests_in_input_order() {
+    let requests = format!(
+        "{}\n{}\n{}\n",
+        format_args!(
+            "{{\"id\": \"chain-1\", \"system\": \"{CHAIN}\", \
+             \"queries\": [{{\"dmm\": {{\"ks\": [1, 10]}}}}]}}"
+        ),
+        format_args!(
+            "{{\"id\": \"dist-2\", \"dist\": \"{DIST}\", \
+             \"queries\": [{{\"latency\": {{}}}}, \
+             {{\"path\": {{\"hops\": [\"e0/c\", \"e1/d\"], \"ks\": [10]}}}}]}}"
+        ),
+        format_args!("{{\"id\": \"chain-3\", \"system\": \"{CHAIN}\"}}"),
+    );
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_twca"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn twca serve");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(requests.as_bytes())
+        .expect("write requests");
+    let output = child.wait_with_output().expect("twca serve exits");
+    assert!(
+        output.status.success(),
+        "serve exited with {:?}",
+        output.status
+    );
+
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8 responses");
+    let responses: Vec<AnalysisResponse> = stdout
+        .lines()
+        .map(|line| AnalysisResponse::from_json(&Json::parse(line).expect("valid JSON line")))
+        .collect::<Result<_, _>>()
+        .expect("every line is a response");
+
+    assert_eq!(responses.len(), 3, "one response per request");
+    let ids: Vec<&str> = responses.iter().filter_map(|r| r.id.as_deref()).collect();
+    assert_eq!(
+        ids,
+        ["chain-1", "dist-2", "chain-3"],
+        "responses must arrive in input order"
+    );
+    for response in &responses {
+        assert!(response.outcome.is_ok(), "all three requests analyze");
+    }
+
+    // The summary on stderr proves the single warm session: the third
+    // request repeats the first's system, so the cache must have hits.
+    let stderr = String::from_utf8(output.stderr).expect("UTF-8 summary");
+    assert!(
+        stderr.contains("served 3 request(s), 0 error(s)"),
+        "unexpected summary: {stderr}"
+    );
+}

@@ -123,10 +123,26 @@ impl DistResults {
     /// [`DistError::MissingDeadline`] without a deadline; analysis
     /// errors are forwarded.
     pub fn deadline_miss_model(&self, site: SiteId, k: u64) -> Result<u64, DistError> {
+        self.deadline_miss_model_full(site, k).map(|dmm| dmm.bound)
+    }
+
+    /// Like [`DistResults::deadline_miss_model`], but returns the full
+    /// [`twca_chains::DmmResult`] (bound, informativeness, packing
+    /// diagnostics) instead of just the bound.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::MissingDeadline`] without a deadline; analysis
+    /// errors are forwarded.
+    pub fn deadline_miss_model_full(
+        &self,
+        site: SiteId,
+        k: u64,
+    ) -> Result<twca_chains::DmmResult, DistError> {
         let system = &self.effective[site.resource().index()];
         let ctx = AnalysisContext::new(system);
         match deadline_miss_model(&ctx, site.chain(), k, self.options.chain_options) {
-            Ok(dmm) => Ok(dmm.bound),
+            Ok(dmm) => Ok(dmm),
             Err(twca_chains::AnalysisError::MissingDeadline { .. }) => {
                 Err(DistError::MissingDeadline { site })
             }

@@ -63,6 +63,14 @@ pub enum DistError {
     },
     /// A per-resource chain analysis failed.
     Analysis(AnalysisError),
+    /// A linked-resource document was malformed (see
+    /// [`crate::parse_distributed`]).
+    Parse {
+        /// 1-based line of the offense in the document.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for DistError {
@@ -98,6 +106,9 @@ impl fmt::Display for DistError {
                 write!(f, "{site} has no deadline, cannot compose a miss model")
             }
             DistError::Analysis(e) => write!(f, "per-resource analysis failed: {e}"),
+            DistError::Parse { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
         }
     }
 }

@@ -1,0 +1,303 @@
+//! A text format for linked-resource (distributed) systems, extending
+//! the single-system DSL of [`twca_model::parse_system`].
+//!
+//! # Grammar
+//!
+//! ```text
+//! document := (resource | link)*
+//! resource := "resource" NAME "{" <system DSL> "}"
+//! link     := "link" NAME "/" NAME "->" NAME "/" NAME
+//! ```
+//!
+//! `#` starts a line comment. The body of a `resource` block is the
+//! unmodified chain-system DSL. Every malformed input — unbalanced
+//! braces, dangling link endpoints, duplicate resources, bad chain
+//! bodies — is reported as a typed [`DistError`] (never a panic), with
+//! the line number of the offense where the distributed layer detects
+//! it.
+//!
+//! # Examples
+//!
+//! ```
+//! use twca_dist::parse_distributed;
+//!
+//! # fn main() -> Result<(), twca_dist::DistError> {
+//! let dist = parse_distributed(
+//!     "# a two-ECU pipeline
+//!      resource ecu0 {
+//!          chain c periodic=100 deadline=100 sync { task t prio=1 wcet=10 }
+//!      }
+//!      resource ecu1 {
+//!          chain d periodic=100 deadline=150 sync { task u prio=1 wcet=15 }
+//!      }
+//!      link ecu0/c -> ecu1/d",
+//! )?;
+//! assert_eq!(dist.resources().len(), 2);
+//! assert_eq!(dist.links().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::DistError;
+use crate::system::{DistributedSystem, DistributedSystemBuilder};
+use twca_model::parse_system;
+
+/// A scanner over the comment-stripped document that tracks line
+/// numbers for error reporting.
+struct Scanner<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn line(&self) -> usize {
+        1 + self.text[..self.pos].matches('\n').count()
+    }
+
+    fn error(&self, message: impl Into<String>) -> DistError {
+        DistError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(c) = self.text[self.pos..].chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Reads a word: a maximal run of non-whitespace, non-brace
+    /// characters.
+    fn word(&mut self) -> Option<&'a str> {
+        self.skip_whitespace();
+        let start = self.pos;
+        while let Some(c) = self.text[self.pos..].chars().next() {
+            if c.is_whitespace() || c == '{' || c == '}' {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+        (self.pos > start).then(|| &self.text[start..self.pos])
+    }
+
+    /// Consumes the brace-balanced block after a `resource` header and
+    /// returns its inner text.
+    fn block(&mut self) -> Result<&'a str, DistError> {
+        self.skip_whitespace();
+        if !self.text[self.pos..].starts_with('{') {
+            return Err(self.error("expected `{` after the resource name"));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        let mut depth = 1usize;
+        for (offset, c) in self.text[start..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let inner = &self.text[start..start + offset];
+                        self.pos = start + offset + 1;
+                        return Ok(inner);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.pos = self.text.len();
+        Err(self.error("unbalanced `{` in resource block"))
+    }
+}
+
+/// Replaces `#`-comments by spaces, preserving offsets and newlines so
+/// reported line numbers match the original document.
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.split_inclusive('\n') {
+        match line.find('#') {
+            Some(at) => {
+                out.push_str(&line[..at]);
+                for c in line[at..].chars() {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            None => out.push_str(line),
+        }
+    }
+    out
+}
+
+/// Reads one `resource/chain` endpoint of a `link` declaration.
+fn link_site(scanner: &mut Scanner<'_>, what: &str) -> Result<(String, String), DistError> {
+    let Some(token) = scanner.word() else {
+        return Err(scanner.error(format!("`link` needs a {what} site")));
+    };
+    let token = token.to_owned();
+    let Some((resource, chain)) = token.split_once('/') else {
+        return Err(scanner.error(format!("link site `{token}` is not `resource/chain`")));
+    };
+    if resource.is_empty() || chain.is_empty() {
+        return Err(scanner.error(format!("link site `{token}` is not `resource/chain`")));
+    }
+    Ok((resource.to_owned(), chain.to_owned()))
+}
+
+/// Parses a linked-resource document; see the grammar above.
+///
+/// # Errors
+///
+/// * [`DistError::Parse`] for malformed documents (with the line of
+///   the offense);
+/// * the validation errors of [`DistributedSystemBuilder::build`]
+///   (duplicate resources, dangling or doubly-fed link endpoints).
+pub fn parse_distributed(text: &str) -> Result<DistributedSystem, DistError> {
+    let stripped = strip_comments(text);
+    let mut scanner = Scanner {
+        text: &stripped,
+        pos: 0,
+    };
+    let mut builder = DistributedSystemBuilder::new();
+    let mut saw_anything = false;
+    loop {
+        scanner.skip_whitespace();
+        if scanner.pos == scanner.text.len() {
+            break;
+        }
+        let keyword_line = scanner.line();
+        let Some(keyword) = scanner.word() else {
+            return Err(scanner.error(format!(
+                "expected `resource` or `link`, found `{}`",
+                &scanner.text[scanner.pos..].chars().next().unwrap_or(' ')
+            )));
+        };
+        match keyword {
+            "resource" => {
+                let name = scanner
+                    .word()
+                    .ok_or_else(|| scanner.error("`resource` needs a name"))?
+                    .to_owned();
+                let body = scanner.block()?;
+                let system = parse_system(body).map_err(|e| DistError::Parse {
+                    line: keyword_line,
+                    message: format!("resource `{name}`: {e}"),
+                })?;
+                builder = builder.resource(name, system);
+                saw_anything = true;
+            }
+            "link" => {
+                let from = link_site(&mut scanner, "source")?;
+                let arrow = scanner
+                    .word()
+                    .ok_or_else(|| scanner.error("`link` needs `->` between its sites"))?;
+                if arrow != "->" {
+                    let arrow = arrow.to_owned();
+                    return Err(scanner.error(format!("expected `->`, found `{arrow}`")));
+                }
+                let to = link_site(&mut scanner, "destination")?;
+                builder = builder.link(from, to);
+                saw_anything = true;
+            }
+            other => {
+                return Err(
+                    scanner.error(format!("expected `resource` or `link`, found `{other}`"))
+                );
+            }
+        }
+    }
+    if !saw_anything {
+        return Err(DistError::Parse {
+            line: 1,
+            message: "a distributed document needs at least one `resource`".into(),
+        });
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PIPELINE: &str = "
+# two ECUs
+resource ecu0 {
+    chain c periodic=100 deadline=100 sync { task t prio=1 wcet=10 }
+}
+resource ecu1 {
+    chain d periodic=100 deadline=150 sync { task u prio=1 wcet=15 }
+}
+link ecu0/c -> ecu1/d
+";
+
+    #[test]
+    fn well_formed_documents_parse() {
+        let dist = parse_distributed(PIPELINE).unwrap();
+        assert_eq!(dist.resources().len(), 2);
+        assert_eq!(dist.links().len(), 1);
+        assert!(dist.site("ecu1", "d").is_some());
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors_with_lines() {
+        let unbalanced = "resource a {\n chain c periodic=10 { task t prio=1 wcet=1 }";
+        match parse_distributed(unbalanced) {
+            Err(DistError::Parse { line, .. }) => assert!(line >= 1),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+
+        let bad_keyword = "\n\nrobot a {}";
+        match parse_distributed(bad_keyword) {
+            Err(DistError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("robot"));
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+
+        let bad_body = "resource a { chain broken }";
+        assert!(matches!(
+            parse_distributed(bad_body),
+            Err(DistError::Parse { .. })
+        ));
+
+        let bad_site = "resource a { chain c periodic=10 { task t prio=1 wcet=1 } }\nlink a -> b";
+        assert!(matches!(
+            parse_distributed(bad_site),
+            Err(DistError::Parse { line: 2, .. })
+        ));
+
+        assert!(matches!(
+            parse_distributed("   # only a comment"),
+            Err(DistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_validation_still_applies() {
+        let dangling =
+            "resource a { chain c periodic=10 { task t prio=1 wcet=1 } }\nlink a/c -> ghost/d";
+        assert!(matches!(
+            parse_distributed(dangling),
+            Err(DistError::UnknownResource { .. })
+        ));
+        let duplicate =
+            "resource a { chain c periodic=10 { task t prio=1 wcet=1 } }\nresource a { chain c periodic=10 { task t prio=1 wcet=1 } }";
+        assert!(matches!(
+            parse_distributed(duplicate),
+            Err(DistError::DuplicateResource { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_do_not_shift_line_numbers() {
+        let text = "# line 1\n# line 2\nrobot x {}";
+        match parse_distributed(text) {
+            Err(DistError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+    }
+}

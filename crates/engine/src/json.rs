@@ -1,28 +1,13 @@
-//! Hand-rolled JSON rendering of batch results (the workspace carries
-//! no serde runtime; see `vendor/README.md`).
+//! JSON rendering of batch results.
+//!
+//! The per-chain objects are rendered by the shared DTO serializer
+//! ([`twca_api::ChainOutcome::to_json`]) — the same bytes `twca serve`
+//! streams — wrapped in the batch document's stable two-space-indent
+//! scaffolding. The output is byte-identical to the pre-façade
+//! hand-rolled renderer (locked by a golden-file test in `twca-cli`).
 
 use crate::report::SystemVerdict;
 use twca_chains::CacheStats;
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn opt(value: Option<u64>) -> String {
-    value.map_or_else(|| "null".to_owned(), |v| v.to_string())
-}
 
 /// Renders a batch (and the cache counters of the run) as one JSON
 /// document, stable across runs and thread counts: the `systems`
@@ -52,28 +37,8 @@ pub fn batch_to_json(batch: &[SystemVerdict], cache: Option<CacheStats>) -> Stri
             system.index
         ));
         for (j, chain) in system.chains.iter().enumerate() {
-            out.push_str(&format!(
-                "      {{\"name\": \"{}\", \"overload\": {}, \"deadline\": {}, \"wcl\": {}, \"typical_wcl\": {}, \"dmm\": [",
-                escape(&chain.name),
-                chain.overload,
-                opt(chain.deadline),
-                opt(chain.worst_case_latency),
-                opt(chain.typical_latency),
-            ));
-            for (m, dmm) in chain.miss_models.iter().enumerate() {
-                out.push_str(&format!(
-                    "{{\"k\": {}, \"bound\": {}, \"informative\": {}}}",
-                    dmm.k, dmm.bound, dmm.informative
-                ));
-                if m + 1 < chain.miss_models.len() {
-                    out.push_str(", ");
-                }
-            }
-            out.push(']');
-            if let Some(error) = &chain.error {
-                out.push_str(&format!(", \"error\": \"{}\"", escape(error)));
-            }
-            out.push('}');
+            out.push_str("      ");
+            out.push_str(&chain.to_json().to_string());
             out.push_str(if j + 1 < system.chains.len() {
                 ",\n"
             } else {
@@ -101,17 +66,38 @@ pub fn batch_to_json(batch: &[SystemVerdict], cache: Option<CacheStats>) -> Stri
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn escaping_handles_control_characters() {
-        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(escape("\u{1}"), "\\u0001");
-    }
+    use twca_api::{ChainOutcome, DmmPoint, SystemOutcome};
 
     #[test]
     fn empty_batch_renders() {
         let json = batch_to_json(&[], None);
         assert!(json.starts_with('{'));
         assert!(json.contains("\"systems\": ["));
+    }
+
+    #[test]
+    fn chain_lines_match_the_legacy_hand_rolled_format() {
+        let batch = [SystemOutcome {
+            index: 0,
+            chains: vec![ChainOutcome {
+                name: "c".into(),
+                deadline: Some(100),
+                overload: false,
+                worst_case_latency: Some(35),
+                typical_latency: None,
+                miss_models: vec![DmmPoint {
+                    k: 10,
+                    bound: 0,
+                    informative: true,
+                }],
+                error: Some("why \"quoted\"".into()),
+            }],
+        }];
+        let json = batch_to_json(&batch, None);
+        assert!(json.contains(
+            "      {\"name\": \"c\", \"overload\": false, \"deadline\": 100, \"wcl\": 35, \
+             \"typical_wcl\": null, \"dmm\": [{\"k\": 10, \"bound\": 0, \"informative\": true}], \
+             \"error\": \"why \\\"quoted\\\"\"}\n"
+        ));
     }
 }

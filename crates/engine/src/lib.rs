@@ -15,9 +15,12 @@
 //! * reports **progress** through a pluggable callback and exposes
 //!   cache effectiveness via [`BatchEngine::cache_stats`].
 //!
-//! The engine is the seam later scaling work (sharding, async serving,
-//! alternative backends) plugs into: everything enters through
-//! [`BatchEngine::run`] on an iterator of systems.
+//! Since the `twca-api` façade, the engine is a **thin thread fan-out
+//! over [`twca_api::Session`]**: each batch slot runs
+//! [`twca_api::Session::system_outcome`] — the same pipeline behind
+//! `twca serve`'s `full` queries — and the verdict types are the shared
+//! wire DTOs. Everything enters through [`BatchEngine::run`] on an
+//! iterator of systems.
 //!
 //! # Examples
 //!
@@ -47,8 +50,9 @@ pub use report::{ChainVerdict, SystemVerdict};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use twca_api::Session;
+use twca_chains::AnalysisOptions;
 pub use twca_chains::{AnalysisCache, CacheStats};
-use twca_chains::{AnalysisContext, AnalysisOptions, DmmSweep, OverloadMode};
 use twca_model::System;
 
 /// Progress observer: called with `(completed, total)` after every
@@ -62,9 +66,8 @@ pub type ProgressFn = dyn Fn(usize, usize) + Send + Sync;
 /// obtained with [`BatchEngine::cache`].
 pub struct BatchEngine {
     threads: Option<usize>,
-    options: AnalysisOptions,
     ks: Vec<u64>,
-    cache: Arc<AnalysisCache>,
+    session: Session,
     progress: Option<Box<ProgressFn>>,
 }
 
@@ -78,11 +81,16 @@ impl BatchEngine {
     /// An engine with default options, `dmm` windows `[1, 10, 100]`, a
     /// fresh cache, and one worker per available core.
     pub fn new() -> Self {
+        BatchEngine::from_session(Session::new())
+    }
+
+    /// An engine fanning out over an existing [`Session`] (sharing its
+    /// cache and options).
+    pub fn from_session(session: Session) -> Self {
         BatchEngine {
             threads: None,
-            options: AnalysisOptions::default(),
             ks: vec![1, 10, 100],
-            cache: Arc::new(AnalysisCache::new()),
+            session,
             progress: None,
         }
     }
@@ -97,7 +105,7 @@ impl BatchEngine {
     /// Replaces the per-chain analysis options.
     #[must_use]
     pub fn with_options(mut self, options: AnalysisOptions) -> Self {
-        self.options = options;
+        self.session = self.session.with_options(options);
         self
     }
 
@@ -111,7 +119,7 @@ impl BatchEngine {
     /// Shares an existing cache (e.g. across engines or sessions).
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<AnalysisCache>) -> Self {
-        self.cache = cache;
+        self.session = self.session.with_cache(cache);
         self
     }
 
@@ -125,14 +133,19 @@ impl BatchEngine {
         self
     }
 
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
     /// The shared cache handle.
     pub fn cache(&self) -> Arc<AnalysisCache> {
-        Arc::clone(&self.cache)
+        self.session.cache()
     }
 
     /// Hit/miss counters of the shared cache.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.session.cache_stats()
     }
 
     /// Worker count the next [`BatchEngine::run`] will use.
@@ -206,34 +219,11 @@ impl BatchEngine {
             .collect()
     }
 
-    /// The per-system pipeline: latency analysis per chain, then a
-    /// `k`-sweep of the miss model for every deadline chain.
+    /// The per-system pipeline, delegated to the façade: latency
+    /// analysis per chain, then a `k`-sweep of the miss model for every
+    /// deadline chain (see [`Session::system_outcome`]).
     fn analyze_one(&self, index: usize, system: &System) -> SystemVerdict {
-        let ctx = AnalysisContext::with_cache(system, Arc::clone(&self.cache));
-        let mut chains = Vec::with_capacity(system.chains().len());
-        for (id, chain) in system.iter() {
-            let full = twca_chains::latency_analysis(&ctx, id, OverloadMode::Include, self.options);
-            let typical =
-                twca_chains::latency_analysis(&ctx, id, OverloadMode::Exclude, self.options);
-            let (miss_models, error) = if chain.deadline().is_some() {
-                match DmmSweep::prepare(&ctx, id, self.options) {
-                    Ok(sweep) => (sweep.curve(self.ks.iter().copied()), None),
-                    Err(e) => (Vec::new(), Some(e.to_string())),
-                }
-            } else {
-                (Vec::new(), None)
-            };
-            chains.push(ChainVerdict {
-                name: chain.name().to_owned(),
-                deadline: chain.deadline(),
-                overload: chain.is_overload(),
-                worst_case_latency: full.as_ref().map(|r| r.worst_case_latency),
-                typical_latency: typical.as_ref().map(|r| r.worst_case_latency),
-                miss_models,
-                error,
-            });
-        }
-        SystemVerdict { index, chains }
+        self.session.system_outcome(index, system, &self.ks)
     }
 }
 

@@ -1,48 +1,11 @@
 //! Batch result records.
-
-use twca_chains::DmmResult;
-use twca_curves::Time;
+//!
+//! Since the `twca-api` façade these are aliases of the shared DTOs:
+//! a batch verdict **is** the wire-level outcome, so the batch JSON
+//! and the streaming `twca serve` responses cannot drift apart.
 
 /// The analysis outcome of one chain within a batch system.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ChainVerdict {
-    /// Chain name.
-    pub name: String,
-    /// Declared end-to-end deadline.
-    pub deadline: Option<Time>,
-    /// Whether the chain is a rare overload source.
-    pub overload: bool,
-    /// Worst-case latency with overload included (Theorem 2); `None`
-    /// when the busy window diverges.
-    pub worst_case_latency: Option<Time>,
-    /// Worst-case latency of the typical (overload-free) system.
-    pub typical_latency: Option<Time>,
-    /// Miss models at the engine's window lengths, in `ks` order; empty
-    /// for chains without a deadline.
-    pub miss_models: Vec<DmmResult>,
-    /// Analysis error, if the miss-model preparation failed.
-    pub error: Option<String>,
-}
-
-impl ChainVerdict {
-    /// Whether the chain provably never misses its deadline.
-    pub fn schedulable(&self) -> Option<bool> {
-        Some(self.worst_case_latency? <= self.deadline?)
-    }
-}
+pub type ChainVerdict = twca_api::ChainOutcome;
 
 /// The analysis outcome of one system in a batch.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SystemVerdict {
-    /// Position of the system in the batch input.
-    pub index: usize,
-    /// Per-chain outcomes, in chain order.
-    pub chains: Vec<ChainVerdict>,
-}
-
-impl SystemVerdict {
-    /// Looks up a chain outcome by name.
-    pub fn chain(&self, name: &str) -> Option<&ChainVerdict> {
-        self.chains.iter().find(|c| c.name == name)
-    }
-}
+pub type SystemVerdict = twca_api::SystemOutcome;

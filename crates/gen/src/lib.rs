@@ -15,7 +15,7 @@
 //!   ([`twca_dist`]).
 //!
 //! All generators take explicit RNGs; seed a
-//! [`rand_chacha::ChaCha8Rng`] for reproducible experiments.
+//! `rand_chacha::ChaCha8Rng` for reproducible experiments.
 //!
 //! # Examples
 //!

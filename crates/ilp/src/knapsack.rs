@@ -286,7 +286,6 @@ impl PackingProblem {
         /// Returns `None` when the metered work budget runs out
         /// mid-solve (the partial memo is discarded).
         fn best(
-            problem: &PackingProblem,
             order: &[usize],
             memo: &mut [HashMap<u64, u64>],
             item_weight: &dyn Fn(usize) -> u64,
@@ -308,7 +307,6 @@ impl PackingProblem {
                 *work = work.checked_sub(1)?;
                 let value = count
                     + best(
-                        problem,
                         order,
                         memo,
                         item_weight,
@@ -325,7 +323,6 @@ impl PackingProblem {
 
         let mut work = MAX_WORK;
         let total = best(
-            self,
             order,
             &mut memo,
             &item_weight,

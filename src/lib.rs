@@ -5,6 +5,7 @@
 //! single dependency root. Library users should depend on the individual
 //! crates ([`twca_chains`], [`twca_model`], …) directly.
 
+pub use twca_api as api;
 pub use twca_assign as assign;
 pub use twca_chains as chains;
 pub use twca_curves as curves;

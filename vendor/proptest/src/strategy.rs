@@ -218,6 +218,8 @@ tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 tuple_strategy!(A, B, C, D, E);
 tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
 
 /// Inclusive-size specification for collection strategies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
