@@ -69,5 +69,5 @@ pub use response::{
     AnalysisResponse, ChainOutcome, DmmOutcome, DmmPoint, LatencyOutcome, MkOutcome, PathOutcome,
     QueryOutcome, SensitivityOutcome, SystemOutcome, WitnessOutcome,
 };
-pub use serve::{respond_line, serve, ServeSummary};
+pub use serve::{respond_line, respond_line_with, serve, serve_with, ServeSummary};
 pub use session::{CancelToken, RequestControl, Session};

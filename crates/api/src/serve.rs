@@ -6,7 +6,7 @@ use std::io::{BufRead, Write};
 use crate::json::Json;
 use crate::request::AnalysisRequest;
 use crate::response::AnalysisResponse;
-use crate::session::Session;
+use crate::session::{CancelToken, Session};
 
 /// What a [`serve`] loop processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -21,6 +21,17 @@ pub struct ServeSummary {
 /// kill the stream: they produce an error response, echoing the `id`
 /// when one is recoverable from the line.
 pub fn respond_line(session: &Session, line: &str) -> AnalysisResponse {
+    respond_line_with(session, line, None)
+}
+
+/// [`respond_line`] under an external cancellation token: a raised token
+/// preempts in-flight analysis and turns the answer into a typed
+/// `canceled` error, still correlated to the request's `id`.
+pub fn respond_line_with(
+    session: &Session,
+    line: &str,
+    cancel: Option<&CancelToken>,
+) -> AnalysisResponse {
     match Json::parse(line) {
         Err(e) => AnalysisResponse::error(None, e.into()),
         Ok(value) => {
@@ -29,7 +40,7 @@ pub fn respond_line(session: &Session, line: &str) -> AnalysisResponse {
             let id = value.get("id").and_then(Json::as_str).map(str::to_owned);
             match AnalysisRequest::from_json(&value) {
                 Err(e) => AnalysisResponse::error(id, e),
-                Ok(request) => session.analyze(&request),
+                Ok(request) => session.analyze_with(&request, cancel),
             }
         }
     }
@@ -62,7 +73,20 @@ pub fn respond_line(session: &Session, line: &str) -> AnalysisResponse {
 pub fn serve(
     session: &Session,
     input: impl BufRead,
+    output: impl Write,
+) -> std::io::Result<ServeSummary> {
+    serve_with(session, input, output, None)
+}
+
+/// [`serve`] under an external cancellation token. Raising the token
+/// mid-stream never aborts the loop: the in-flight request and every
+/// later one stream back typed `canceled` error responses, still in
+/// input order, until the input is drained.
+pub fn serve_with(
+    session: &Session,
+    input: impl BufRead,
     mut output: impl Write,
+    cancel: Option<&CancelToken>,
 ) -> std::io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     for line in input.lines() {
@@ -70,7 +94,7 @@ pub fn serve(
         if line.trim().is_empty() {
             continue;
         }
-        let response = respond_line(session, &line);
+        let response = respond_line_with(session, &line, cancel);
         summary.requests += 1;
         if response.outcome.is_err() {
             summary.errors += 1;
@@ -125,6 +149,64 @@ mod tests {
         let response = respond_line(&session, r#"{"id": "x", "queries": []}"#);
         assert_eq!(response.id.as_deref(), Some("x"));
         assert!(response.outcome.is_err());
+    }
+
+    #[test]
+    fn over_budget_requests_stream_typed_errors_without_killing_later_ones() {
+        // Request 1 exceeds its budget, request 2 (no budget override of
+        // its own) succeeds: the stream must answer both, in order.
+        let input = format!(
+            "{}\n{}\n",
+            format_args!(
+                "{{\"id\": \"greedy\", \"system\": \"{CHAIN}\", \
+                 \"queries\": [{{\"dmm\": {{\"ks\": [1,2,3,4,5,6,7,8]}}}}], \
+                 \"options\": {{\"budget\": 2}}}}"
+            ),
+            format_args!("{{\"id\": \"modest\", \"system\": \"{CHAIN}\"}}"),
+        );
+        let session = Session::new();
+        let mut output = Vec::new();
+        let summary = serve(&session, input.as_bytes(), &mut output).unwrap();
+        assert_eq!(summary.requests, 2);
+        assert_eq!(summary.errors, 1);
+        let lines: Vec<AnalysisResponse> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| AnalysisResponse::from_json(&Json::parse(l).unwrap()).unwrap())
+            .collect();
+        assert_eq!(lines[0].id.as_deref(), Some("greedy"));
+        assert_eq!(
+            lines[0].outcome.as_ref().unwrap_err().kind,
+            ApiErrorKind::Budget
+        );
+        assert_eq!(lines[1].id.as_deref(), Some("modest"));
+        assert!(lines[1].outcome.is_ok());
+    }
+
+    #[test]
+    fn mid_stream_cancellation_streams_canceled_errors_in_order() {
+        let line = format!("{{\"id\": \"r\", \"system\": \"{CHAIN}\"}}\n");
+        let input = line.repeat(3);
+        let session = Session::new();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let mut output = Vec::new();
+        let summary = serve_with(&session, input.as_bytes(), &mut output, Some(&token)).unwrap();
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.errors, 3);
+        let lines: Vec<AnalysisResponse> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| AnalysisResponse::from_json(&Json::parse(l).unwrap()).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3, "cancellation must not abort the stream");
+        for response in &lines {
+            assert_eq!(response.id.as_deref(), Some("r"));
+            assert_eq!(
+                response.outcome.as_ref().unwrap_err().kind,
+                ApiErrorKind::Canceled
+            );
+        }
     }
 
     #[test]

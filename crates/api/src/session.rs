@@ -303,6 +303,10 @@ impl Session {
                 .max_combinations
                 .map(|c| c as usize)
                 .unwrap_or(self.options.max_combinations),
+            // Not exposed on the wire: the packing budget is a
+            // deployment-level tightness/latency trade-off, set on the
+            // session.
+            packing_budget: self.options.packing_budget,
         }
     }
 

@@ -16,10 +16,21 @@
 //! twca batch [files...] [--gen N]     parallel batch analysis (engine)
 //! twca dist <file>                    distributed (linked-resource) analysis
 //! twca serve                          JSON-Lines request/response streaming
+//! twca fuzz                           randomized conformance fuzzing (verify)
 //! ```
 //!
 //! `batch` flags: `--gen N` (analyze `N` generated systems), `--seed S`,
-//! `--threads T`, `--serial`, `--k K1,K2,...`, `--json`, `--progress`.
+//! `--profile P` (stress shape of generated systems), `--threads T`,
+//! `--serial`, `--k K1,K2,...`, `--json`, `--progress`.
+//!
+//! `fuzz` generates random scenarios (uniprocessor stress profiles and
+//! distributed topologies) and checks every one against the
+//! [`twca_verify`] oracle battery: simulation soundness, cache
+//! agreement, serial/parallel agreement, backend agreement and dmm
+//! monotonicity. Failing scenarios are auto-shrunk and persisted to the
+//! regression corpus. Flags: `--seed S`, `--iters N`, `--budget SECS`,
+//! `--profile P1,P2,...`, `--k K1,K2,...`, `--horizon H`,
+//! `--corpus DIR`, `--no-shrink`.
 //!
 //! `serve` reads one [`twca_api::AnalysisRequest`] per stdin line (or
 //! from `--file F`) and streams one response line per request, in input
@@ -52,6 +63,9 @@ pub enum CliError {
     /// A façade-level failure (request handling, distributed analysis,
     /// budget, cancellation).
     Api(twca_api::ApiError),
+    /// The conformance fuzzer found oracle violations; the string is
+    /// the full report (already containing the shrunk counterexamples).
+    Verify(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -63,6 +77,7 @@ impl std::fmt::Display for CliError {
             CliError::Analysis(e) => write!(f, "analysis failed: {e}"),
             CliError::NoSuchChain(name) => write!(f, "no chain named `{name}`"),
             CliError::Api(e) => write!(f, "{e}"),
+            CliError::Verify(report) => write!(f, "conformance violations found\n{report}"),
         }
     }
 }
@@ -320,6 +335,7 @@ struct BatchArgs {
     files: Vec<String>,
     generate: usize,
     seed: u64,
+    profile: Option<twca_gen::StressProfile>,
     threads: Option<usize>,
     serial: bool,
     ks: Vec<u64>,
@@ -330,15 +346,16 @@ struct BatchArgs {
 }
 
 impl BatchArgs {
-    const USAGE: &'static str = "twca batch [files...] [--gen N] [--seed S] [--threads T] \
-                                 [--serial] [--k K1,K2,...] [--horizon H] [--max-q Q] \
-                                 [--json] [--progress]";
+    const USAGE: &'static str = "twca batch [files...] [--gen N] [--seed S] [--profile P] \
+                                 [--threads T] [--serial] [--k K1,K2,...] [--horizon H] \
+                                 [--max-q Q] [--json] [--progress]";
 
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut parsed = BatchArgs {
             files: Vec::new(),
             generate: 0,
             seed: 42,
+            profile: None,
             threads: None,
             serial: false,
             ks: vec![1, 10, 100],
@@ -367,6 +384,9 @@ impl BatchArgs {
                     parsed.seed = value_of("--seed")?
                         .parse()
                         .map_err(|_| CliError::Usage("`--seed` expects an integer".into()))?;
+                }
+                "--profile" => {
+                    parsed.profile = Some(value_of("--profile")?.parse().map_err(CliError::Usage)?);
                 }
                 "--threads" => {
                     parsed.threads = Some(value_of("--threads")?.parse().map_err(|_| {
@@ -439,12 +459,12 @@ pub fn cmd_batch(args: &[String]) -> Result<String, CliError> {
     }
     if parsed.generate > 0 {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(parsed.seed);
-        let config = twca_gen::RandomSystemConfig::default();
+        let profile = parsed.profile.unwrap_or(twca_gen::StressProfile::Baseline);
         for i in 0..parsed.generate {
             labels.push(format!("gen-{i}"));
             systems.push(
-                twca_gen::random_system(&mut rng, &config)
-                    .expect("default generator configuration is valid"),
+                twca_gen::random_stress_system(&mut rng, profile)
+                    .expect("built-in profiles are valid"),
             );
         }
     }
@@ -748,6 +768,153 @@ pub fn cmd_dist(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parsed flags of `twca fuzz`.
+struct FuzzArgs {
+    config: twca_verify::FuzzConfig,
+}
+
+impl FuzzArgs {
+    const USAGE: &'static str = "twca fuzz [--seed S] [--iters N] [--budget SECS] \
+                                 [--profile P1,P2,...] [--k K1,K2,...] [--horizon H] \
+                                 [--corpus DIR] [--no-shrink]";
+
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut config = twca_verify::FuzzConfig {
+            seed: 7,
+            iterations: 200,
+            ..twca_verify::FuzzConfig::default()
+        };
+        let mut rest = args.iter();
+        while let Some(arg) = rest.next() {
+            let mut value_of = |flag: &str| {
+                rest.next().ok_or_else(|| {
+                    CliError::Usage(format!("{flag} needs a value; {}", Self::USAGE))
+                })
+            };
+            match arg.as_str() {
+                "--seed" => {
+                    config.seed = value_of("--seed")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("`--seed` expects an integer".into()))?;
+                }
+                "--iters" => {
+                    config.iterations = value_of("--iters")?.parse().map_err(|_| {
+                        CliError::Usage("`--iters` expects an iteration count".into())
+                    })?;
+                }
+                "--budget" => {
+                    let seconds: f64 = value_of("--budget")?.parse().map_err(|_| {
+                        CliError::Usage("`--budget` expects seconds (fractions allowed)".into())
+                    })?;
+                    if !seconds.is_finite() || seconds < 0.0 {
+                        return Err(CliError::Usage(
+                            "`--budget` expects a finite, non-negative number of seconds".into(),
+                        ));
+                    }
+                    config.time_budget = Some(std::time::Duration::from_secs_f64(seconds));
+                }
+                "--profile" => {
+                    config.profiles = value_of("--profile")?
+                        .split(',')
+                        .map(|p| {
+                            twca_verify::ScenarioProfile::parse(p.trim()).map_err(CliError::Usage)
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "--k" => {
+                    config.verify.ks = value_of("--k")?
+                        .split(',')
+                        .map(|s| {
+                            s.trim().parse().map_err(|_| {
+                                CliError::Usage(format!("`{s}` is not a window length"))
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                }
+                "--horizon" => {
+                    config.verify.horizon = value_of("--horizon")?.parse().map_err(|_| {
+                        CliError::Usage("`--horizon` expects a simulation horizon".into())
+                    })?;
+                }
+                "--corpus" => {
+                    config.corpus_dir = Some(value_of("--corpus")?.into());
+                }
+                "--no-shrink" => config.shrink = false,
+                flag => {
+                    return Err(CliError::Usage(format!(
+                        "unknown fuzz flag `{flag}`; {}",
+                        Self::USAGE
+                    )));
+                }
+            }
+        }
+        if config.profiles.is_empty() {
+            return Err(CliError::Usage(
+                "`--profile` needs at least one profile".into(),
+            ));
+        }
+        Ok(FuzzArgs { config })
+    }
+}
+
+/// `twca fuzz`: randomized conformance fuzzing through the
+/// [`twca_verify`] oracle battery. Every generated scenario is checked
+/// against all five oracles; failures are auto-shrunk to minimal
+/// counterexamples and (with `--corpus`) persisted as regression
+/// fixtures.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for bad flags and [`CliError::Verify`]
+/// (non-zero exit) when any oracle fired, with the full report.
+pub fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
+    use twca_verify::OracleKind;
+
+    let parsed = FuzzArgs::parse(args)?;
+    let report = twca_verify::fuzz(&parsed.config);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fuzz: seed {}, {} scenario(s) over {} profile(s) in {:.1}s",
+        parsed.config.seed,
+        report.iterations_run,
+        report.per_profile.len(),
+        report.elapsed.as_secs_f64()
+    );
+    for (name, count) in &report.per_profile {
+        let _ = writeln!(out, "  {name:<24} {count} scenario(s)");
+    }
+    let oracle_names: Vec<&str> = OracleKind::ALL.iter().map(|o| o.name()).collect();
+    let _ = writeln!(out, "oracles: {}", oracle_names.join(", "));
+
+    if report.is_clean() {
+        let _ = writeln!(out, "all oracles clean");
+        return Ok(out);
+    }
+    for failure in &report.failures {
+        let _ = writeln!(out, "FAILURE in scenario {}:", failure.label);
+        for violation in &failure.violations {
+            let _ = writeln!(out, "  {violation}");
+        }
+        let _ = writeln!(
+            out,
+            "shrunk counterexample ({} task(s)):",
+            failure.shrunk.task_count()
+        );
+        for line in failure.shrunk.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        if let Some(path) = &failure.persisted {
+            let _ = writeln!(out, "persisted to {}", path.display());
+        }
+        if let Some(error) = &failure.persist_error {
+            let _ = writeln!(out, "WARNING: counterexample not persisted: {error}");
+        }
+    }
+    Err(CliError::Verify(out))
+}
+
 /// Dispatches a full argument vector (excluding the program name).
 ///
 /// # Errors
@@ -756,10 +923,13 @@ pub fn cmd_dist(args: &[String]) -> Result<String, CliError> {
 /// failures and analysis failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     const USAGE: &str = "twca <analyze|explain|dmm|simulate|dot|gantt|report|synthesize|batch|\
-                         dist|serve> <file> [...]";
+                         dist|serve|fuzz> <file> [...]";
     let command = args.first().ok_or_else(|| CliError::Usage(USAGE.into()))?;
     if command == "batch" {
         return cmd_batch(&args[1..]);
+    }
+    if command == "fuzz" {
+        return cmd_fuzz(&args[1..]);
     }
     if command == "dist" {
         return cmd_dist(&args[1..]);
@@ -1010,6 +1180,84 @@ chain diag sporadic=1500 overload {
         assert_eq!(parallel, serial, "parallel JSON must be byte-identical");
         assert!(parallel.contains("\"systems\""));
         assert!(parallel.contains("\"cache\""));
+    }
+
+    #[test]
+    fn batch_profile_changes_the_generated_workload() {
+        let baseline =
+            cmd_batch(&args(&["--gen", "2", "--seed", "5", "--k", "1", "--json"])).unwrap();
+        let explicit = cmd_batch(&args(&[
+            "--gen",
+            "2",
+            "--seed",
+            "5",
+            "--k",
+            "1",
+            "--profile",
+            "baseline",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(baseline, explicit, "`baseline` is the default profile");
+        let degenerate = cmd_batch(&args(&[
+            "--gen",
+            "2",
+            "--seed",
+            "5",
+            "--k",
+            "1",
+            "--profile",
+            "degenerate",
+            "--json",
+        ]))
+        .unwrap();
+        assert_ne!(baseline, degenerate);
+        assert!(matches!(
+            cmd_batch(&args(&["--gen", "1", "--profile", "bogus"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fuzz_smoke_run_is_clean_and_reports_profiles() {
+        let out = cmd_fuzz(&args(&[
+            "--seed",
+            "7",
+            "--iters",
+            "4",
+            "--horizon",
+            "3000",
+            "--profile",
+            "baseline,degenerate,dist-single",
+        ]))
+        .unwrap();
+        assert!(out.contains("4 scenario(s) over 3 profile(s)"));
+        assert!(out.contains("all oracles clean"));
+        assert!(out.contains("sim-soundness"));
+        assert!(out.contains("monotonicity"));
+    }
+
+    #[test]
+    fn fuzz_validates_flags() {
+        assert!(matches!(
+            cmd_fuzz(&args(&["--iters", "not-a-number"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_fuzz(&args(&["--profile", "quantum"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_fuzz(&args(&["--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        // Degenerate budgets are usage errors, never panics.
+        for budget in ["-1", "nan", "inf"] {
+            assert!(matches!(
+                cmd_fuzz(&args(&["--budget", budget])),
+                Err(CliError::Usage(_))
+            ));
+        }
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Golden-file lock on `twca dist` output: per-site bounds and the
+//! end-to-end path composition over the two-ECU pipeline fixture must
+//! not drift.
+
+use twca_cli::cmd_dist;
+
+fn fixture_path() -> String {
+    format!(
+        "{}/tests/fixtures/pipeline.dist",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+/// Recorded from the PR 2 implementation; covers the latency table, the
+/// dmm rows and the composed path section in one run.
+#[test]
+fn dist_table_output_matches_the_golden_file() {
+    let expected = include_str!("fixtures/dist_pipeline_table.txt");
+    let actual = cmd_dist(&args(&[
+        &fixture_path(),
+        "--k",
+        "1,10",
+        "--path",
+        "ecu0/sigma_c,ecu1/act",
+    ]))
+    .expect("the pipeline fixture analyzes cleanly");
+    assert_eq!(actual, expected, "`twca dist` table output drifted");
+}
+
+/// The JSON form goes through the shared wire serializer; lock it too.
+#[test]
+fn dist_json_output_matches_the_golden_file() {
+    let expected = include_str!("fixtures/dist_pipeline_json.txt");
+    let actual = cmd_dist(&args(&[&fixture_path(), "--k", "1,10", "--json"]))
+        .expect("the pipeline fixture analyzes cleanly");
+    assert_eq!(actual, expected, "`twca dist --json` output drifted");
+}

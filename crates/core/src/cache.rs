@@ -213,6 +213,7 @@ struct DmmKey {
     horizon: Time,
     max_q: u64,
     max_combinations: usize,
+    packing_budget: u64,
     /// 0 = sufficient (Equation 5) classification, 1 = exact
     /// (Equation 3).
     variant: u8,
@@ -461,6 +462,7 @@ impl AnalysisCache {
             horizon: options.horizon,
             max_q: options.max_q,
             max_combinations: options.max_combinations,
+            packing_budget: options.packing_budget,
             variant: exact as u8,
         };
         if let Some(hit) = self.dmm.get(&key) {

@@ -9,7 +9,7 @@
 use crate::config::AnalysisOptions;
 use crate::context::AnalysisContext;
 use crate::error::AnalysisError;
-use twca_curves::Time;
+use twca_curves::{EventModel, Time};
 use twca_model::ChainId;
 
 /// One active segment of an overload chain w.r.t. the observed chain,
@@ -190,11 +190,82 @@ impl CombinationSet {
     }
 
     /// The combinations whose total cost exceeds `slack` — the
-    /// unschedulable set `U` per Equation 5.
+    /// unschedulable set `U` per Equation 5, costing every segment
+    /// once (the paper's rare-overload reading; see
+    /// [`CombinationSet::window_multipliers`]).
     pub fn unschedulable(&self, slack: i128) -> impl Iterator<Item = &Combination> {
         self.combinations
             .iter()
             .filter(move |c| c.wcet as i128 > slack)
+    }
+
+    /// Per-segment **window multipliers**: for each active segment, the
+    /// largest number of activations of its overload chain that can
+    /// fall within the observed chain's deadline horizon
+    /// `δ−_b(k_b) + D_b` (at least 1).
+    ///
+    /// Equation 5 costs each active segment once, which is exact only
+    /// under the paper's *rare overload* premise — at most one
+    /// activation of an overload chain per deadline horizon, always
+    /// true for its case study. A generated system can violate the
+    /// premise (e.g. a sporadic overload with a minimum distance far
+    /// below the victim's deadline); the real interference of a
+    /// combination is then `η+_a(horizon)` copies of its segments, and
+    /// costing them once lets the slack test declare truly
+    /// unschedulable combinations schedulable — an *undercounting* miss
+    /// model, caught by the `twca-verify` simulation-soundness oracle.
+    /// Scaling every member segment by its multiplier restores
+    /// soundness and degenerates to the paper's exact costing (all
+    /// multipliers 1) on its intended domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed` has no deadline or `k_b == 0`.
+    pub fn window_multipliers(
+        &self,
+        ctx: &AnalysisContext<'_>,
+        observed: ChainId,
+        k_b: u64,
+    ) -> Vec<u64> {
+        assert!(k_b > 0, "multipliers are defined over at least one window");
+        let chain_b = ctx.system().chain(observed);
+        let deadline = chain_b
+            .deadline()
+            .expect("window multipliers need a deadline horizon");
+        let horizon = chain_b.activation().delta_min(k_b).saturating_add(deadline);
+        self.segments
+            .iter()
+            .map(|s| {
+                ctx.system()
+                    .chain(s.chain)
+                    .activation()
+                    .eta_plus(horizon)
+                    .max(1)
+            })
+            .collect()
+    }
+
+    /// The effective (soundly scaled) execution cost of a combination:
+    /// `Σ_{s ∈ c̄} multiplier_s · C_s`, saturating.
+    pub fn effective_cost(&self, combination: &Combination, multipliers: &[u64]) -> Time {
+        combination
+            .members
+            .iter()
+            .map(|&i| multipliers[i].saturating_mul(self.segments[i].wcet))
+            .fold(0u64, Time::saturating_add)
+    }
+
+    /// The unschedulable set `U` under the soundly scaled costs:
+    /// combinations whose [`CombinationSet::effective_cost`] exceeds
+    /// `slack`.
+    pub fn unschedulable_scaled<'m>(
+        &'m self,
+        slack: i128,
+        multipliers: &'m [u64],
+    ) -> impl Iterator<Item = &'m Combination> {
+        self.combinations
+            .iter()
+            .filter(move |c| self.effective_cost(c, multipliers) as i128 > slack)
     }
 }
 

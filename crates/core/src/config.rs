@@ -15,6 +15,11 @@ pub struct AnalysisOptions {
     /// Maximum number of combinations materialized by the DMM
     /// computation.
     pub max_combinations: usize,
+    /// Deterministic work budget of the Theorem 3 packing solver (see
+    /// `twca_ilp::PackingProblem::solve_with_budget`). Exhaustion
+    /// degrades the packing value to a sound upper bound, so small
+    /// budgets trade tightness for speed — never soundness.
+    pub packing_budget: u64,
 }
 
 impl Default for AnalysisOptions {
@@ -23,6 +28,7 @@ impl Default for AnalysisOptions {
             horizon: 100_000_000,
             max_q: 100_000,
             max_combinations: 1_000_000,
+            packing_budget: twca_ilp::PackingProblem::DEFAULT_BUDGET,
         }
     }
 }

@@ -170,9 +170,12 @@ pub fn deadline_miss_model_with_caps(
         return Ok(trivial(false, misses_per_window));
     }
 
-    // Step 3: combinations.
+    // Step 3: combinations, classified under the soundly scaled costs
+    // (each segment × its chain's activations per deadline horizon; all
+    // multipliers are 1 on the paper's rare-overload domain).
     let set = CombinationSet::enumerate(ctx, observed, options)?;
-    let unschedulable: Vec<&Combination> = set.unschedulable(slack).collect();
+    let multipliers = set.window_multipliers(ctx, observed, full.busy_window_activations);
+    let unschedulable: Vec<&Combination> = set.unschedulable_scaled(slack, &multipliers).collect();
     let num_unschedulable = unschedulable.len();
     if unschedulable.is_empty() {
         // Every packing is harmless; a busy window can only miss when an
@@ -218,7 +221,8 @@ pub fn deadline_miss_model_with_caps(
         }
         items.push(resources);
     }
-    let solution = PackingProblem::new(capacities, items)?.solve();
+    let solution =
+        PackingProblem::new(capacities, items)?.solve_with_budget(options.packing_budget);
     let packed = solution.packed_total();
 
     // Step 6: the DMM value.
@@ -331,15 +335,17 @@ fn compute_deadline_miss_model_exact(
     }
 
     let set = CombinationSet::enumerate(ctx, observed, options)?;
+    let multipliers = set.window_multipliers(ctx, observed, k_b);
     let unschedulable: Vec<&Combination> = set
         .combinations()
         .iter()
         .filter(|c| {
+            let cost = set.effective_cost(c, &multipliers);
             // Fast path: Equation 5 proves schedulability.
-            if (c.wcet as i128) <= slack {
+            if (cost as i128) <= slack {
                 return false;
             }
-            !crate::criterion::combination_schedulable_exact(ctx, observed, c.wcet, k_b, options)
+            !crate::criterion::combination_schedulable_exact(ctx, observed, cost, k_b, options)
         })
         .collect();
     let num_unschedulable = unschedulable.len();
@@ -356,7 +362,8 @@ fn compute_deadline_miss_model_exact(
         };
         let capacities: Vec<u64> = set.segments().iter().map(|s| omega_of(s.chain)).collect();
         let items: Vec<Vec<usize>> = unschedulable.iter().map(|c| c.members.clone()).collect();
-        let solution = PackingProblem::new(capacities, items)?.solve();
+        let solution =
+            PackingProblem::new(capacities, items)?.solve_with_budget(options.packing_budget);
         (solution.packed_total(), solution.is_exact())
     };
     Ok(DmmResult {
@@ -500,8 +507,9 @@ impl<'a> DmmSweep<'a> {
             });
         }
         let set = CombinationSet::enumerate(ctx, observed, options)?;
+        let multipliers = set.window_multipliers(ctx, observed, full.busy_window_activations);
         let items: Vec<Vec<usize>> = set
-            .unschedulable(slack)
+            .unschedulable_scaled(slack, &multipliers)
             .map(|c| c.members.clone())
             .collect();
         Ok(DmmSweep {
@@ -596,7 +604,7 @@ impl<'a> DmmSweep<'a> {
                     let capacities: Vec<u64> = segments.iter().map(|s| omega_of(s.chain)).collect();
                     let solution = PackingProblem::new(capacities, items.clone())
                         .expect("indices in range by construction")
-                        .solve();
+                        .solve_with_budget(self.options.packing_budget);
                     (solution.packed_total(), solution.is_exact())
                 };
                 DmmResult {
@@ -664,7 +672,7 @@ impl<'a> DmmSweep<'a> {
             let capacities: Vec<u64> = segments.iter().map(|s| omega_of(s.chain)).collect();
             let solution = PackingProblem::new(capacities, items.clone())
                 .expect("indices in range by construction")
-                .solve();
+                .solve_with_budget(self.options.packing_budget);
             packed = solution.packed_total();
             packing_exact = solution.is_exact();
             for (members, &windows) in items.iter().zip(solution.counts()) {

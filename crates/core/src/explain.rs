@@ -170,22 +170,28 @@ pub fn explain(
 
             let _ = writeln!(out, "\n-- combinations (Definition 9) --");
             let set = CombinationSet::enumerate(ctx, observed, options)?;
+            let multipliers = set.window_multipliers(ctx, observed, kb);
             for combo in set.combinations() {
                 let names: Vec<&str> = combo
                     .members
                     .iter()
                     .map(|&m| system.chain(set.segments()[m].chain).name())
                     .collect();
-                let verdict = if combo.wcet as i128 > slack {
+                let cost = set.effective_cost(combo, &multipliers);
+                let verdict = if cost as i128 > slack {
                     "UNSCHEDULABLE"
                 } else {
                     "schedulable"
                 };
+                let scaled = if cost == combo.wcet {
+                    String::new()
+                } else {
+                    format!(" (single-activation cost {})", combo.wcet)
+                };
                 let _ = writeln!(
                     out,
-                    "{{{}}}: cost {} -> {verdict}",
+                    "{{{}}}: cost {cost}{scaled} -> {verdict}",
                     names.join(", "),
-                    combo.wcet
                 );
             }
 

@@ -60,7 +60,7 @@ mod system;
 
 pub use analyze::{analyze, jitter_shifted, DistOptions, DistResults};
 pub use error::DistError;
-pub use parse::parse_distributed;
+pub use parse::{parse_distributed, render_distributed};
 pub use path::DistPath;
 pub use sensitivity::max_path_overload_scaling;
 pub use simulate::{propagate_simulation, soundness_violations, PropagateSimulation, StimulusKind};

@@ -218,6 +218,47 @@ pub fn parse_distributed(text: &str) -> Result<DistributedSystem, DistError> {
     builder.build()
 }
 
+/// Renders a distributed system back into the linked-resource document
+/// format accepted by [`parse_distributed`]. The same representability
+/// caveats as [`twca_model::render_system`] apply to each resource body.
+///
+/// # Examples
+///
+/// ```
+/// use twca_dist::{parse_distributed, render_distributed};
+///
+/// # fn main() -> Result<(), twca_dist::DistError> {
+/// let dist = parse_distributed(
+///     "resource ecu0 { chain c periodic=100 deadline=100 sync { task t prio=1 wcet=10 } }
+///      resource ecu1 { chain d periodic=100 deadline=150 sync { task u prio=1 wcet=15 } }
+///      link ecu0/c -> ecu1/d",
+/// )?;
+/// let reparsed = parse_distributed(&render_distributed(&dist))?;
+/// assert_eq!(dist, reparsed);
+/// # Ok(())
+/// # }
+/// ```
+pub fn render_distributed(system: &DistributedSystem) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for resource in system.resources() {
+        let _ = writeln!(out, "resource {} {{", resource.name());
+        for line in twca_model::render_system(resource.system()).lines() {
+            let _ = writeln!(out, "    {line}");
+        }
+        let _ = writeln!(out, "}}");
+    }
+    for link in system.links() {
+        let (from_resource, from_chain) = system.site_names(link.from());
+        let (to_resource, to_chain) = system.site_names(link.to());
+        let _ = writeln!(
+            out,
+            "link {from_resource}/{from_chain} -> {to_resource}/{to_chain}"
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +331,14 @@ link ecu0/c -> ecu1/d
             parse_distributed(duplicate),
             Err(DistError::DuplicateResource { .. })
         ));
+    }
+
+    #[test]
+    fn rendering_round_trips() {
+        let dist = parse_distributed(PIPELINE).unwrap();
+        let rendered = render_distributed(&dist);
+        assert_eq!(parse_distributed(&rendered).unwrap(), dist);
+        assert!(rendered.contains("link ecu0/c -> ecu1/d"));
     }
 
     #[test]

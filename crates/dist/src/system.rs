@@ -298,7 +298,10 @@ impl DistributedSystemBuilder {
     /// * [`DistError::DuplicateResource`] for repeated resource names;
     /// * [`DistError::UnknownResource`] / [`DistError::UnknownChain`]
     ///   for dangling link endpoints;
-    /// * [`DistError::DuplicateInput`] if two links target one site.
+    /// * [`DistError::DuplicateInput`] if two links target one site;
+    /// * [`DistError::Cyclic`] if the resource graph has a cycle (or a
+    ///   self-link) — no analysis or simulation order exists for it, so
+    ///   the construction is rejected eagerly.
     pub fn build(self) -> Result<DistributedSystem, DistError> {
         for (i, resource) in self.resources.iter().enumerate() {
             if self.resources[..i].iter().any(|r| r.name == resource.name) {
@@ -342,7 +345,9 @@ impl DistributedSystemBuilder {
             }
             links.push(link);
         }
-        Ok(DistributedSystem { links, ..system })
+        let system = DistributedSystem { links, ..system };
+        system.resource_topological_order()?;
+        Ok(system)
     }
 }
 
@@ -423,13 +428,14 @@ mod tests {
             .done()
             .build()
             .unwrap();
+        // Cyclic graphs are rejected at construction: no analysis or
+        // simulation order exists for them.
         let cyclic = DistributedSystemBuilder::new()
             .resource("a", two.clone())
             .resource("b", two)
             .link(("a", "c"), ("b", "c"))
             .link(("b", "d"), ("a", "d"))
-            .build()
-            .unwrap();
-        assert_eq!(cyclic.resource_topological_order(), Err(DistError::Cyclic));
+            .build();
+        assert!(matches!(cyclic, Err(DistError::Cyclic)));
     }
 }

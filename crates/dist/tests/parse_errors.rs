@@ -1,0 +1,137 @@
+//! Error-path coverage for `parse_distributed`: every malformed
+//! linked-resource document must produce a typed [`DistError`] — with
+//! the offending line number where the distributed layer detects it —
+//! and never a panic.
+
+use twca_dist::{parse_distributed, DistError};
+
+fn parse_line(text: &str) -> (usize, String) {
+    match parse_distributed(text) {
+        Err(DistError::Parse { line, message }) => (line, message),
+        other => panic!("expected DistError::Parse, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_resource_block_reports_a_parse_error() {
+    // The opening brace on line 2 never closes.
+    let (line, message) = parse_line(
+        "resource ecu0\n{\n    chain c periodic=10 deadline=10 sync { task t prio=1 wcet=1 }\n",
+    );
+    assert!(message.contains("unbalanced"), "{message}");
+    assert!(line >= 2, "points at or after the unbalanced brace");
+}
+
+#[test]
+fn truncated_link_reports_each_missing_piece() {
+    const PREFIX: &str = "resource a { chain c periodic=10 { task t prio=1 wcet=1 } }\n";
+
+    let (line, message) = parse_line(&format!("{PREFIX}link"));
+    assert_eq!(line, 2);
+    assert!(message.contains("source site"), "{message}");
+
+    let (line, message) = parse_line(&format!("{PREFIX}link a/c"));
+    assert_eq!(line, 2);
+    assert!(message.contains("->"), "{message}");
+
+    let (line, message) = parse_line(&format!("{PREFIX}link a/c -> "));
+    assert_eq!(line, 2);
+    assert!(message.contains("destination site"), "{message}");
+
+    let (line, message) = parse_line(&format!("{PREFIX}link a/c => b/d"));
+    assert_eq!(line, 2);
+    assert!(message.contains("=>"), "{message}");
+
+    let (line, message) = parse_line(&format!("{PREFIX}\nlink notasite -> b/d"));
+    assert_eq!(line, 3);
+    assert!(message.contains("resource/chain"), "{message}");
+}
+
+#[test]
+fn truncated_resource_header_reports_a_parse_error() {
+    let (line, message) = parse_line("\nresource");
+    assert_eq!(line, 2);
+    assert!(message.contains("needs a name"), "{message}");
+
+    let (line, message) = parse_line("resource lonely");
+    assert_eq!(line, 1);
+    assert!(message.contains('{'), "{message}");
+}
+
+#[test]
+fn bad_chain_bodies_carry_the_resource_line_and_name() {
+    let (line, message) = parse_line(
+        "# comment\nresource broken {\n    chain c periodic=0 { task t prio=1 wcet=1 }\n}",
+    );
+    assert_eq!(line, 2, "the resource header line is reported");
+    assert!(message.contains("broken"), "{message}");
+}
+
+#[test]
+fn duplicate_resources_are_rejected() {
+    const BODY: &str = "{ chain c periodic=10 { task t prio=1 wcet=1 } }";
+    let document = format!("resource twin {BODY}\nresource twin {BODY}");
+    match parse_distributed(&document) {
+        Err(DistError::DuplicateResource { name }) => assert_eq!(name, "twin"),
+        other => panic!("expected DuplicateResource, got {other:?}"),
+    }
+}
+
+#[test]
+fn cyclic_documents_are_rejected() {
+    const A: &str = "resource a { chain c periodic=10 { task t prio=1 wcet=1 } }";
+    const B: &str = "resource b { chain d periodic=10 { task u prio=1 wcet=1 } }";
+
+    let two_cycle = format!("{A}\n{B}\nlink a/c -> b/d\nlink b/d -> a/c");
+    assert!(matches!(
+        parse_distributed(&two_cycle),
+        Err(DistError::Cyclic)
+    ));
+
+    let self_link = format!("{A}\nlink a/c -> a/c");
+    assert!(matches!(
+        parse_distributed(&self_link),
+        Err(DistError::Cyclic)
+    ));
+}
+
+#[test]
+fn dangling_and_doubly_fed_endpoints_are_rejected() {
+    const A: &str = "resource a { chain c periodic=10 { task t prio=1 wcet=1 } }";
+    const B: &str =
+        "resource b { chain d periodic=10 { task u prio=1 wcet=1 }\n chain e periodic=10 { task v prio=2 wcet=1 } }";
+
+    let dangling_chain = format!("{A}\n{B}\nlink a/ghost -> b/d");
+    match parse_distributed(&dangling_chain) {
+        Err(DistError::UnknownChain { resource, chain }) => {
+            assert_eq!(resource, "a");
+            assert_eq!(chain, "ghost");
+        }
+        other => panic!("expected UnknownChain, got {other:?}"),
+    }
+
+    let double_fed = format!("{A}\n{B}\nlink a/c -> b/d\nlink b/e -> b/d");
+    match parse_distributed(&double_fed) {
+        Err(DistError::DuplicateInput { resource, chain }) => {
+            assert_eq!(resource, "b");
+            assert_eq!(chain, "d");
+        }
+        other => panic!("expected DuplicateInput, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_and_comment_only_documents_are_parse_errors() {
+    for text in ["", "   \n\n  ", "# nothing\n# here"] {
+        assert!(
+            matches!(parse_distributed(text), Err(DistError::Parse { .. })),
+            "{text:?}"
+        );
+    }
+}
+
+#[test]
+fn error_rendering_includes_the_line_number() {
+    let error = parse_distributed("robot x {}").unwrap_err();
+    assert!(error.to_string().starts_with("line 1:"), "{error}");
+}

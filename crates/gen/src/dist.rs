@@ -1,7 +1,9 @@
-//! Random distributed-system generation.
+//! Random distributed-system generation: linear pipelines plus the
+//! star and tree topologies the conformance fuzzer exercises.
 
 use rand::Rng;
 
+use crate::stress::{random_stress_system, StressProfile};
 use crate::systems::{random_system, RandomSystemConfig};
 use twca_dist::{DistError, DistributedSystem, DistributedSystemBuilder};
 use twca_model::System;
@@ -72,18 +74,109 @@ pub fn random_pipeline(
     rng: &mut impl Rng,
     config: &RandomPipelineConfig,
 ) -> Result<DistributedSystem, DistError> {
-    assert!(
-        config.resources >= 1,
-        "pipeline needs at least one resource"
-    );
-    assert!(
-        config.resource.regular_chains >= 1,
-        "resources need a regular chain to link"
-    );
     let systems: Vec<System> = (0..config.resources)
         .map(|_| random_system(rng, &config.resource).expect("valid configuration"))
         .collect();
+    assemble(systems, DistTopology::Linear)
+}
 
+/// How the resources of a [`random_distributed`] system are wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DistTopology {
+    /// `r0 → r1 → … → rn`: every resource feeds the next.
+    Linear,
+    /// `r0` fans out to every other resource (one producer site with
+    /// multiple outgoing links).
+    Star,
+    /// A binary tree: resource `i` is fed by resource `(i − 1) / 2`.
+    Tree,
+}
+
+impl DistTopology {
+    /// Every topology, in a stable order.
+    pub const ALL: [DistTopology; 3] =
+        [DistTopology::Linear, DistTopology::Star, DistTopology::Tree];
+
+    /// The producing resource index for consumer `i ≥ 1`.
+    fn parent(self, i: usize) -> usize {
+        match self {
+            DistTopology::Linear => i - 1,
+            DistTopology::Star => 0,
+            DistTopology::Tree => (i - 1) / 2,
+        }
+    }
+}
+
+/// Configuration for [`random_distributed`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomDistConfig {
+    /// Number of resources (≥ 1).
+    pub resources: usize,
+    /// How resources are wired.
+    pub topology: DistTopology,
+    /// Stress shape of each resource's local system.
+    pub profile: StressProfile,
+}
+
+impl Default for RandomDistConfig {
+    fn default() -> Self {
+        RandomDistConfig {
+            resources: 3,
+            topology: DistTopology::Linear,
+            profile: StressProfile::Baseline,
+        }
+    }
+}
+
+/// Generates a random distributed system: `resources` independent
+/// stress-profile systems wired by `topology`. The first regular chain
+/// of each producer feeds the first regular chain of each consumer
+/// (whose declared activation then acts as a placeholder replaced by
+/// event-model propagation).
+///
+/// # Errors
+///
+/// Propagates [`DistError`] from validation (not expected for the
+/// built-in topologies, which are acyclic by construction).
+///
+/// # Panics
+///
+/// Panics if `config.resources == 0` or the profile generates a system
+/// without regular chains (nothing to link).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use twca_gen::{random_distributed, DistTopology, RandomDistConfig};
+///
+/// # fn main() -> Result<(), twca_dist::DistError> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let config = RandomDistConfig {
+///     resources: 4,
+///     topology: DistTopology::Star,
+///     ..RandomDistConfig::default()
+/// };
+/// let dist = random_distributed(&mut rng, &config)?;
+/// assert_eq!(dist.resources().len(), 4);
+/// assert_eq!(dist.links().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_distributed(
+    rng: &mut impl Rng,
+    config: &RandomDistConfig,
+) -> Result<DistributedSystem, DistError> {
+    let systems: Vec<System> = (0..config.resources)
+        .map(|_| random_stress_system(rng, config.profile).expect("valid profile"))
+        .collect();
+    assemble(systems, config.topology)
+}
+
+/// Wires pre-generated per-resource systems into a distributed system.
+fn assemble(systems: Vec<System>, topology: DistTopology) -> Result<DistributedSystem, DistError> {
+    assert!(!systems.is_empty(), "need at least one resource");
+    let resources = systems.len();
     let mut builder = DistributedSystemBuilder::new();
     let mut link_chains = Vec::with_capacity(systems.len());
     for (i, system) in systems.into_iter().enumerate() {
@@ -95,10 +188,11 @@ pub fn random_pipeline(
         builder = builder.resource(format!("r{i}"), system);
         link_chains.push(chain_name);
     }
-    for i in 0..config.resources - 1 {
+    for i in 1..resources {
+        let parent = topology.parent(i);
         builder = builder.link(
+            (format!("r{parent}"), link_chains[parent].clone()),
             (format!("r{i}"), link_chains[i].clone()),
-            (format!("r{}", i + 1), link_chains[i + 1].clone()),
         );
     }
     builder.build()
@@ -134,6 +228,52 @@ mod tests {
             assert!(!src.chain(link.from().chain()).is_overload());
         }
         assert!(dist.resource_topological_order().is_ok());
+    }
+
+    #[test]
+    fn star_topology_fans_out_from_the_hub() {
+        let config = RandomDistConfig {
+            resources: 5,
+            topology: DistTopology::Star,
+            ..RandomDistConfig::default()
+        };
+        let dist = random_distributed(&mut ChaCha8Rng::seed_from_u64(8), &config).unwrap();
+        assert_eq!(dist.links().len(), 4);
+        for link in dist.links() {
+            assert_eq!(link.from().resource().index(), 0);
+        }
+        assert!(dist.resource_topological_order().is_ok());
+    }
+
+    #[test]
+    fn tree_topology_is_acyclic_with_single_inputs() {
+        let config = RandomDistConfig {
+            resources: 7,
+            topology: DistTopology::Tree,
+            profile: crate::StressProfile::HighUtilization,
+        };
+        let dist = random_distributed(&mut ChaCha8Rng::seed_from_u64(9), &config).unwrap();
+        assert_eq!(dist.links().len(), 6);
+        assert!(dist.resource_topological_order().is_ok());
+        // Every consumer has exactly one incoming link (builder enforces
+        // it, but the topology must not even try to double-feed).
+        for link in dist.links() {
+            assert!(link.to().resource().index() >= 1);
+        }
+    }
+
+    #[test]
+    fn distributed_generation_is_reproducible() {
+        for topology in DistTopology::ALL {
+            let config = RandomDistConfig {
+                resources: 4,
+                topology,
+                ..RandomDistConfig::default()
+            };
+            let a = random_distributed(&mut ChaCha8Rng::seed_from_u64(10), &config).unwrap();
+            let b = random_distributed(&mut ChaCha8Rng::seed_from_u64(10), &config).unwrap();
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

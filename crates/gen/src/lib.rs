@@ -33,12 +33,16 @@
 
 mod dist;
 mod priorities;
+mod stress;
 mod systems;
 mod threads;
 mod unifast;
 
-pub use dist::{random_pipeline, RandomPipelineConfig};
+pub use dist::{
+    random_distributed, random_pipeline, DistTopology, RandomDistConfig, RandomPipelineConfig,
+};
 pub use priorities::{priority_permutations, random_priority_permutation};
+pub use stress::{random_stress_system, StressProfile};
 pub use systems::{random_system, RandomSystemConfig};
 pub use threads::{communicating_threads_system, ThreadSystemConfig};
 pub use unifast::uunifast;

@@ -1,0 +1,253 @@
+//! Named stress profiles: reproducible generator presets that push the
+//! analysis into its corner cases.
+//!
+//! The default [`crate::random_system`] configuration approximates the
+//! paper's case study; the conformance fuzzer (`twca-verify`) and
+//! `twca batch --gen --profile` need scenarios far outside that comfort
+//! zone — saturated processors, degenerate single-task chains with tight
+//! deadlines, bursty and jittery activation, overload-dominated load.
+//! Each [`StressProfile`] names one such shape.
+
+use rand::Rng;
+
+use crate::systems::{random_system, RandomSystemConfig};
+use twca_curves::{ActivationModel, Burst, EventModel as _, PeriodicJitter};
+use twca_model::{ModelError, System};
+
+/// A named generator preset for stress scenarios.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rand_chacha::ChaCha8Rng;
+/// use twca_gen::{random_stress_system, StressProfile};
+///
+/// let profile: StressProfile = "high-util".parse().unwrap();
+/// let mut rng = ChaCha8Rng::seed_from_u64(11);
+/// let system = random_stress_system(&mut rng, profile).unwrap();
+/// assert!(system.chains().len() >= 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StressProfile {
+    /// The default generator shape (case-study-like).
+    Baseline,
+    /// Near-saturated regular load plus heavy overload.
+    HighUtilization,
+    /// Many single-task chains with tiny periods and tightened
+    /// (sub-period) deadlines.
+    Degenerate,
+    /// Regular chains driven by burst and periodic-with-jitter
+    /// activation models.
+    Bursty,
+    /// Overload-dominated systems: rare-event chains carry most of the
+    /// load and may arrive as often as regular chains.
+    OverloadHeavy,
+}
+
+impl StressProfile {
+    /// Every uniprocessor profile, in a stable order.
+    pub const ALL: [StressProfile; 5] = [
+        StressProfile::Baseline,
+        StressProfile::HighUtilization,
+        StressProfile::Degenerate,
+        StressProfile::Bursty,
+        StressProfile::OverloadHeavy,
+    ];
+
+    /// The stable command-line name of this profile.
+    pub fn name(self) -> &'static str {
+        match self {
+            StressProfile::Baseline => "baseline",
+            StressProfile::HighUtilization => "high-util",
+            StressProfile::Degenerate => "degenerate",
+            StressProfile::Bursty => "bursty",
+            StressProfile::OverloadHeavy => "overload-heavy",
+        }
+    }
+
+    /// The generator configuration backing this profile.
+    pub fn config(self) -> RandomSystemConfig {
+        match self {
+            StressProfile::Baseline => RandomSystemConfig::default(),
+            StressProfile::HighUtilization => RandomSystemConfig {
+                regular_chains: 3,
+                overload_chains: 2,
+                regular_utilization: 0.92,
+                overload_utilization: 0.3,
+                ..RandomSystemConfig::default()
+            },
+            StressProfile::Degenerate => RandomSystemConfig {
+                regular_chains: 4,
+                overload_chains: 1,
+                tasks_per_chain: (1, 1),
+                period_range: (2, 12),
+                overload_rarity: 1,
+                regular_utilization: 0.7,
+                overload_utilization: 0.2,
+            },
+            StressProfile::Bursty => RandomSystemConfig {
+                regular_chains: 3,
+                overload_chains: 1,
+                ..RandomSystemConfig::default()
+            },
+            StressProfile::OverloadHeavy => RandomSystemConfig {
+                regular_chains: 1,
+                overload_chains: 4,
+                overload_rarity: 1,
+                regular_utilization: 0.3,
+                overload_utilization: 0.5,
+                ..RandomSystemConfig::default()
+            },
+        }
+    }
+}
+
+impl std::str::FromStr for StressProfile {
+    type Err = String;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        StressProfile::ALL
+            .into_iter()
+            .find(|p| p.name() == text)
+            .ok_or_else(|| {
+                let names: Vec<&str> = StressProfile::ALL.iter().map(|p| p.name()).collect();
+                format!(
+                    "unknown profile `{text}` (expected one of: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+impl std::fmt::Display for StressProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates a random system shaped by `profile`.
+///
+/// On top of the profile's [`RandomSystemConfig`], two profiles
+/// post-process the generated system:
+///
+/// * [`StressProfile::Bursty`] rewrites regular-chain activations into
+///   [`Burst`] or [`PeriodicJitter`] models (randomly per chain);
+/// * [`StressProfile::Degenerate`] tightens roughly half the deadlines
+///   to half the activation period, producing chains that miss even
+///   without overload (the trivial-bound corner of the miss model).
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from system validation (not expected for
+/// the built-in profiles).
+pub fn random_stress_system(
+    rng: &mut impl Rng,
+    profile: StressProfile,
+) -> Result<System, ModelError> {
+    let mut system = random_system(rng, &profile.config())?;
+    match profile {
+        StressProfile::Bursty => {
+            let regulars: Vec<_> = system.regular_chains().collect();
+            for id in regulars {
+                let period = system.chain(id).activation().delta_min(2).max(4);
+                let model = if rng.gen_bool(0.5) {
+                    let size = rng.gen_range(2..=4u64);
+                    let inner = (period / 4).max(1);
+                    ActivationModel::Burst(
+                        Burst::new(period * size, size, inner).expect("burst fits its period"),
+                    )
+                } else {
+                    let jitter = rng.gen_range(1..=period);
+                    ActivationModel::PeriodicJitter(
+                        PeriodicJitter::new(period, jitter, (period / 8).max(1))
+                            .expect("period and distance are positive"),
+                    )
+                };
+                system = system.with_activation(id, model);
+            }
+        }
+        StressProfile::Degenerate => {
+            let regulars: Vec<_> = system.regular_chains().collect();
+            for id in regulars {
+                if rng.gen_bool(0.5) {
+                    let period = system.chain(id).activation().delta_min(2);
+                    system = system.with_deadline(id, Some((period / 2).max(1)));
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(system)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn profile_names_round_trip() {
+        for profile in StressProfile::ALL {
+            assert_eq!(profile.name().parse::<StressProfile>(), Ok(profile));
+        }
+        assert!("bogus".parse::<StressProfile>().is_err());
+    }
+
+    #[test]
+    fn every_profile_generates_valid_systems() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for profile in StressProfile::ALL {
+            for _ in 0..10 {
+                let system = random_stress_system(&mut rng, profile).unwrap();
+                assert!(!system.chains().is_empty(), "{profile}");
+                for (_, chain) in system.iter() {
+                    assert!(!chain.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_profile_uses_burst_or_jitter_models() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut saw_special = false;
+        for _ in 0..5 {
+            let system = random_stress_system(&mut rng, StressProfile::Bursty).unwrap();
+            for id in system.regular_chains() {
+                saw_special |= matches!(
+                    system.chain(id).activation(),
+                    ActivationModel::Burst(_) | ActivationModel::PeriodicJitter(_)
+                );
+            }
+        }
+        assert!(saw_special, "bursty systems must rewrite activations");
+    }
+
+    #[test]
+    fn degenerate_profile_tightens_some_deadlines() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut saw_tight = false;
+        for _ in 0..10 {
+            let system = random_stress_system(&mut rng, StressProfile::Degenerate).unwrap();
+            for id in system.regular_chains() {
+                let chain = system.chain(id);
+                let period = chain.activation().delta_min(2);
+                if chain.deadline().is_some_and(|d| d < period) {
+                    saw_tight = true;
+                }
+            }
+        }
+        assert!(saw_tight, "degenerate systems must tighten deadlines");
+    }
+
+    #[test]
+    fn stress_generation_is_reproducible() {
+        for profile in StressProfile::ALL {
+            let a = random_stress_system(&mut ChaCha8Rng::seed_from_u64(42), profile).unwrap();
+            let b = random_stress_system(&mut ChaCha8Rng::seed_from_u64(42), profile).unwrap();
+            assert_eq!(a, b, "{profile}");
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The persistent regression corpus: every shrunk counterexample is
+//! committed as a textual fixture that `cargo test` replays forever.
+//!
+//! * `*.twca` files hold uniprocessor systems in the chain-system DSL;
+//! * `*.dist` files hold distributed systems in the linked-resource
+//!   document format;
+//! * `#`-comment headers record provenance (fuzz seed, profile, the
+//!   oracle that fired) without affecting replay.
+
+use std::path::{Path, PathBuf};
+
+use crate::oracle::{check_scenario, VerifyOptions, Violation};
+use crate::scenario::ScenarioBody;
+
+/// One loaded corpus fixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusEntry {
+    /// Where the fixture lives.
+    pub path: PathBuf,
+    /// The parsed scenario.
+    pub body: ScenarioBody,
+}
+
+/// Loads every `*.twca` and `*.dist` fixture under `dir`, sorted by
+/// file name for deterministic replay order.
+///
+/// # Errors
+///
+/// I/O errors reading the directory, and a rendered parse error (with
+/// the offending path) for corrupt fixtures — a corrupt committed
+/// fixture should fail loudly, not be skipped.
+pub fn load_corpus(dir: &Path) -> Result<Vec<CorpusEntry>, String> {
+    let mut entries = Vec::new();
+    let listing = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus directory {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = listing
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .is_some_and(|ext| ext == "twca" || ext == "dist")
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let body = if path.extension().is_some_and(|ext| ext == "dist") {
+            ScenarioBody::Dist(
+                twca_dist::parse_distributed(&text)
+                    .map_err(|e| format!("{}: {e}", path.display()))?,
+            )
+        } else {
+            ScenarioBody::Uni(
+                twca_model::parse_system(&text).map_err(|e| format!("{}: {e}", path.display()))?,
+            )
+        };
+        entries.push(CorpusEntry { path, body });
+    }
+    Ok(entries)
+}
+
+/// Replays the whole corpus through the oracle battery, returning every
+/// violation together with the fixture that produced it.
+///
+/// # Errors
+///
+/// See [`load_corpus`].
+pub fn replay_corpus(
+    dir: &Path,
+    opts: &VerifyOptions,
+) -> Result<Vec<(PathBuf, Violation)>, String> {
+    let mut failures = Vec::new();
+    for entry in load_corpus(dir)? {
+        for violation in check_scenario(&entry.body, opts) {
+            failures.push((entry.path.clone(), violation));
+        }
+    }
+    Ok(failures)
+}
+
+/// Writes a shrunk counterexample into `dir` with a provenance header,
+/// returning the path. File names are derived from the scenario label
+/// and fuzz seed, so re-running the same fuzz command overwrites its
+/// own finding instead of littering.
+///
+/// # Errors
+///
+/// I/O errors creating the directory or writing the file.
+pub fn persist_failure(
+    dir: &Path,
+    label: &str,
+    seed: u64,
+    body: &ScenarioBody,
+    violations: &[Violation],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let sanitized: String = label
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let extension = match body {
+        ScenarioBody::Uni(_) => "twca",
+        ScenarioBody::Dist(_) => "dist",
+    };
+    let path = dir.join(format!("fuzz-{sanitized}-seed{seed}.{extension}"));
+    let mut text = String::new();
+    text.push_str(&format!(
+        "# shrunk counterexample found by `twca fuzz --seed {seed}` (scenario {label})\n"
+    ));
+    for violation in violations {
+        text.push_str(&format!("# {violation}\n"));
+    }
+    text.push_str(&body.render());
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::OracleKind;
+    use twca_model::case_study;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("twca_corpus_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn persisted_failures_load_back() {
+        let dir = temp_dir("roundtrip");
+        let body = ScenarioBody::Uni(case_study());
+        let violation = Violation {
+            oracle: OracleKind::SimSoundness,
+            detail: "synthetic".into(),
+        };
+        let path = persist_failure(&dir, "baseline#3", 7, &body, &[violation]).unwrap();
+        assert!(path
+            .to_string_lossy()
+            .ends_with("fuzz-baseline_3-seed7.twca"));
+        let entries = load_corpus(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].body, body);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_fixtures_fail_loudly() {
+        let dir = temp_dir("corrupt");
+        std::fs::write(dir.join("broken.twca"), "chain nope {").unwrap();
+        let error = load_corpus(&dir).unwrap_err();
+        assert!(error.contains("broken.twca"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn distributed_fixtures_round_trip() {
+        use twca_dist::DistributedSystemBuilder;
+        let dir = temp_dir("dist");
+        let dist = DistributedSystemBuilder::new()
+            .resource("ecu0", case_study())
+            .build()
+            .unwrap();
+        let body = ScenarioBody::Dist(dist);
+        persist_failure(&dir, "dist-single#0", 1, &body, &[]).unwrap();
+        let entries = load_corpus(&dir).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].body, body);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,279 @@
+//! The fuzz driver: generate scenarios, run the oracle battery, shrink
+//! and persist anything that fails.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::corpus::persist_failure;
+use crate::oracle::{check_scenario, VerifyOptions, Violation};
+use crate::scenario::{ScenarioBody, ScenarioProfile};
+use crate::shrink::shrink_body;
+
+/// Configuration of one fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Master seed; the whole run is a pure function of it.
+    pub seed: u64,
+    /// Number of scenarios to generate (profiles rotate round-robin).
+    pub iterations: usize,
+    /// Optional wall-clock budget; the run stops early (reporting how
+    /// far it got) once the budget is exhausted.
+    pub time_budget: Option<Duration>,
+    /// The scenario shapes to rotate through.
+    pub profiles: Vec<ScenarioProfile>,
+    /// Oracle knobs (analysis options, window lengths, sim horizon,
+    /// fault injection).
+    pub verify: VerifyOptions,
+    /// Whether failing scenarios are shrunk before reporting.
+    pub shrink: bool,
+    /// Where to persist shrunk counterexamples (`None` disables
+    /// persistence).
+    pub corpus_dir: Option<PathBuf>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0,
+            iterations: 100,
+            time_budget: None,
+            profiles: ScenarioProfile::default_battery(),
+            verify: VerifyOptions::default(),
+            shrink: true,
+            corpus_dir: None,
+        }
+    }
+}
+
+/// One failing scenario, after shrinking.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The `profile#iteration` label of the original scenario.
+    pub label: String,
+    /// The violations of the *original* scenario.
+    pub violations: Vec<Violation>,
+    /// The shrunk counterexample (the original body when shrinking is
+    /// disabled).
+    pub shrunk: ScenarioBody,
+    /// Where the counterexample was persisted, if a corpus directory
+    /// was configured and the write succeeded.
+    pub persisted: Option<PathBuf>,
+    /// The rendered I/O error when persistence was configured but
+    /// failed — a found counterexample must never vanish silently.
+    pub persist_error: Option<String>,
+}
+
+/// What a fuzz run did.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Scenarios actually generated and checked.
+    pub iterations_run: usize,
+    /// `(profile name, scenarios checked)` per profile.
+    pub per_profile: Vec<(String, usize)>,
+    /// Every failing scenario, shrunk.
+    pub failures: Vec<FuzzFailure>,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl FuzzReport {
+    /// Whether every scenario passed every oracle.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the fuzzer; see the crate docs for the oracle list.
+///
+/// Deterministic for a fixed config (up to the time budget): scenario
+/// `i` is generated from its own RNG stream seeded by
+/// `seed ⊕ (i · 0x9E37_79B9_7F4A_7C15)` (a golden-ratio mix so nearby
+/// iterations decorrelate), so runs with larger iteration counts extend
+/// smaller ones.
+pub fn fuzz(config: &FuzzConfig) -> FuzzReport {
+    let start = Instant::now();
+    let mut report = FuzzReport::default();
+    if config.profiles.is_empty() {
+        report.elapsed = start.elapsed();
+        return report;
+    }
+    let mut counts: Vec<(String, usize)> =
+        config.profiles.iter().map(|p| (p.name(), 0usize)).collect();
+
+    for i in 0..config.iterations {
+        if let Some(budget) = config.time_budget {
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        let slot = i % config.profiles.len();
+        let profile = config.profiles[slot];
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let scenario = profile.generate(&mut rng, i);
+        report.iterations_run += 1;
+        counts[slot].1 += 1;
+
+        let violations = check_scenario(&scenario.body, &config.verify);
+        if violations.is_empty() {
+            continue;
+        }
+        // Shrink against "still trips at least one of the same oracle
+        // kinds", so the minimized system reproduces the original class
+        // of disagreement.
+        let kinds: Vec<_> = violations.iter().map(|v| v.oracle).collect();
+        let shrunk = if config.shrink {
+            shrink_body(&scenario.body, &|candidate: &ScenarioBody| {
+                check_scenario(candidate, &config.verify)
+                    .iter()
+                    .any(|v| kinds.contains(&v.oracle))
+            })
+        } else {
+            scenario.body.clone()
+        };
+        let (persisted, persist_error) = match config.corpus_dir.as_ref() {
+            None => (None, None),
+            Some(dir) => {
+                match persist_failure(dir, &scenario.label, config.seed, &shrunk, &violations) {
+                    Ok(path) => (Some(path), None),
+                    Err(e) => (
+                        None,
+                        Some(format!("cannot persist to {}: {e}", dir.display())),
+                    ),
+                }
+            }
+        };
+        report.failures.push(FuzzFailure {
+            label: scenario.label,
+            violations,
+            shrunk,
+            persisted,
+            persist_error,
+        });
+    }
+
+    report.per_profile = counts;
+    report.elapsed = start.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{Fault, OracleKind};
+    use twca_gen::StressProfile;
+
+    fn quick_config() -> FuzzConfig {
+        FuzzConfig {
+            seed: 7,
+            iterations: 8,
+            verify: VerifyOptions {
+                horizon: 4_000,
+                random_rounds: 1,
+                ..VerifyOptions::default()
+            },
+            ..FuzzConfig::default()
+        }
+    }
+
+    #[test]
+    fn a_quick_run_over_the_default_battery_is_clean() {
+        let report = fuzz(&quick_config());
+        assert_eq!(report.iterations_run, 8);
+        assert!(report.is_clean(), "{:?}", report.failures);
+        // All eight battery profiles saw exactly one scenario.
+        assert!(report.per_profile.iter().all(|(_, n)| *n == 1));
+    }
+
+    #[test]
+    fn an_injected_fault_is_caught_and_shrunk_small() {
+        // Degenerate systems miss deadlines by construction, so an
+        // undercounting dmm is caught immediately — and must shrink to
+        // at most three tasks.
+        let config = FuzzConfig {
+            profiles: vec![ScenarioProfile::Uni(StressProfile::Degenerate)],
+            iterations: 4,
+            verify: VerifyOptions {
+                horizon: 4_000,
+                random_rounds: 1,
+                fault: Fault::UnderReportDmm { delta: 1 },
+                ..VerifyOptions::default()
+            },
+            ..quick_config()
+        };
+        let report = fuzz(&config);
+        assert!(!report.is_clean(), "the fault must be caught");
+        let failure = &report.failures[0];
+        assert!(failure
+            .violations
+            .iter()
+            .any(|v| v.oracle == OracleKind::SimSoundness));
+        assert!(
+            failure.shrunk.task_count() <= 3,
+            "shrunk to {} tasks: {}",
+            failure.shrunk.task_count(),
+            failure.shrunk.render()
+        );
+    }
+
+    #[test]
+    fn fuzzing_is_deterministic() {
+        let a = fuzz(&quick_config());
+        let b = fuzz(&quick_config());
+        assert_eq!(a.iterations_run, b.iterations_run);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+
+    #[test]
+    fn an_empty_profile_list_yields_an_empty_report() {
+        let config = FuzzConfig {
+            profiles: Vec::new(),
+            ..quick_config()
+        };
+        let report = fuzz(&config);
+        assert_eq!(report.iterations_run, 0);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn persistence_failures_are_reported_not_swallowed() {
+        use crate::oracle::Fault;
+        use twca_gen::StressProfile;
+        // An unwritable corpus path (a file, not a directory) forces the
+        // persistence error path on a guaranteed-failing run.
+        let blocker = std::env::temp_dir().join(format!("twca_fuzz_block_{}", std::process::id()));
+        std::fs::write(&blocker, "not a directory").unwrap();
+        let config = FuzzConfig {
+            profiles: vec![ScenarioProfile::Uni(StressProfile::Degenerate)],
+            iterations: 4,
+            shrink: false,
+            corpus_dir: Some(blocker.clone()),
+            verify: VerifyOptions {
+                horizon: 4_000,
+                random_rounds: 1,
+                fault: Fault::UnderReportDmm { delta: 1 },
+                ..VerifyOptions::default()
+            },
+            ..quick_config()
+        };
+        let report = fuzz(&config);
+        assert!(!report.is_clean());
+        let failure = &report.failures[0];
+        assert!(failure.persisted.is_none());
+        assert!(failure.persist_error.is_some(), "{failure:?}");
+        std::fs::remove_file(&blocker).ok();
+    }
+
+    #[test]
+    fn the_time_budget_stops_the_run() {
+        let config = FuzzConfig {
+            time_budget: Some(Duration::ZERO),
+            ..quick_config()
+        };
+        let report = fuzz(&config);
+        assert_eq!(report.iterations_run, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! **Randomized conformance subsystem** for the TWCA suite: a scenario
+//! fuzzer, a battery of differential soundness oracles, counterexample
+//! shrinking, and a persistent regression corpus.
+//!
+//! The paper's central claim is a *sound* bound: the computed deadline
+//! miss model must never undercount the misses observed on any legal
+//! trace. This crate turns that claim — and every internal agreement
+//! the suite relies on — into a mechanized, self-replaying check:
+//!
+//! 1. **Scenario fuzzing** ([`ScenarioProfile`], [`fuzz`]) — seeded
+//!    random systems far beyond the default generator: saturated
+//!    processors, degenerate chains, bursty/jittery activation,
+//!    overload-dominated load, and distributed topologies (linear,
+//!    star, tree).
+//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — five
+//!    independent ways the suite could disagree with itself:
+//!    * analysis bound ≥ simulated behaviour on every trace
+//!      ([`OracleKind::SimSoundness`]);
+//!    * cached vs. uncached [`twca_chains::AnalysisContext`] agree
+//!      bit-for-bit ([`OracleKind::CacheAgreement`]);
+//!    * serial vs. parallel `BatchEngine` agree
+//!      ([`OracleKind::ParallelAgreement`]);
+//!    * the façade backends agree — `ChainBackend` vs. `DistBackend`
+//!      on single-resource systems, `DistBackend` vs. direct
+//!      `twca_dist::analyze` otherwise
+//!      ([`OracleKind::BackendAgreement`]);
+//!    * `dmm` curves are monotone in `k` and capped by `k`
+//!      ([`OracleKind::Monotonicity`]).
+//! 3. **Shrinking** ([`shrink_system`], [`shrink_body`]) — failing
+//!    scenarios are greedily minimized (chains, tasks, activation
+//!    models, WCETs) while still tripping the same oracle.
+//! 4. **Corpus** ([`persist_failure`], [`replay_corpus`]) — shrunk
+//!    counterexamples are committed as textual fixtures under
+//!    `corpus/` and replayed by `cargo test` forever.
+//!
+//! The CLI front end is `twca fuzz`; the harness proves it would catch
+//! a real bug through test-only [`Fault`] injection (a deliberately
+//! undercounting miss model is caught and shrunk to a ≤ 3-task
+//! counterexample).
+//!
+//! # Examples
+//!
+//! ```
+//! use twca_verify::{check_scenario, ScenarioBody, VerifyOptions};
+//! use twca_model::case_study;
+//!
+//! let violations = check_scenario(
+//!     &ScenarioBody::Uni(case_study()),
+//!     &VerifyOptions::default(),
+//! );
+//! assert!(violations.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod corpus;
+mod fuzz;
+mod oracle;
+mod scenario;
+mod shrink;
+
+pub use corpus::{load_corpus, persist_failure, replay_corpus, CorpusEntry};
+pub use fuzz::{fuzz, FuzzConfig, FuzzFailure, FuzzReport};
+pub use oracle::{check_scenario, Fault, OracleKind, VerifyOptions, Violation};
+pub use scenario::{Scenario, ScenarioBody, ScenarioProfile};
+pub use shrink::{shrink_body, shrink_distributed, shrink_system};

@@ -1,0 +1,690 @@
+//! The differential oracle battery: every generated scenario is checked
+//! against five independent ways the suite could disagree with itself.
+
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::scenario::ScenarioBody;
+use twca_api::{AnalysisRequest, Query, QueryOutcome, Session, Target};
+use twca_chains::{
+    latency_analysis, AnalysisCache, AnalysisContext, AnalysisOptions, DmmResult, DmmSweep,
+    OverloadMode,
+};
+use twca_curves::{EventModel, Time};
+use twca_dist::{analyze as dist_analyze, soundness_violations, DistOptions, DistributedSystem};
+use twca_model::{ChainId, System};
+use twca_sim::{adversarial_aligned_traces, periodic_trace, Simulation, TraceSet};
+
+/// The five oracles of the conformance battery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OracleKind {
+    /// Analytic bounds must dominate every simulated trace: observed
+    /// latency ≤ WCL and observed misses in any `k`-window ≤ `dmm(k)`.
+    SimSoundness,
+    /// Cached and uncached [`AnalysisContext`]s must agree bit-for-bit,
+    /// cold and warm.
+    CacheAgreement,
+    /// Serial and parallel `BatchEngine` runs must agree bit-for-bit.
+    ParallelAgreement,
+    /// The façade backends must agree: `ChainBackend` vs `DistBackend`
+    /// on single-resource systems, and `DistBackend` vs the direct
+    /// `twca_dist::analyze` on distributed ones.
+    BackendAgreement,
+    /// `dmm` curves must be monotone in `k`, capped by `k`, and typical
+    /// latencies must not exceed full ones.
+    Monotonicity,
+}
+
+impl OracleKind {
+    /// Every oracle, in reporting order.
+    pub const ALL: [OracleKind; 5] = [
+        OracleKind::SimSoundness,
+        OracleKind::CacheAgreement,
+        OracleKind::ParallelAgreement,
+        OracleKind::BackendAgreement,
+        OracleKind::Monotonicity,
+    ];
+
+    /// A short stable name for reports and corpus headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::SimSoundness => "sim-soundness",
+            OracleKind::CacheAgreement => "cache-agreement",
+            OracleKind::ParallelAgreement => "parallel-agreement",
+            OracleKind::BackendAgreement => "backend-agreement",
+            OracleKind::Monotonicity => "monotonicity",
+        }
+    }
+}
+
+impl std::fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One oracle disagreement on one scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which oracle fired.
+    pub oracle: OracleKind,
+    /// What disagreed, with the numbers involved.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle, self.detail)
+    }
+}
+
+/// Test-only fault injection: deliberately corrupts the analytic bounds
+/// *as seen by the soundness oracle* so the harness can prove it would
+/// catch an unsound analysis. Production paths never consult this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// No fault: the oracles see the real bounds.
+    #[default]
+    None,
+    /// Subtract `delta` from every `dmm(k)` bound before the soundness
+    /// comparison (saturating at zero) — a simulated undercounting bug.
+    UnderReportDmm {
+        /// How many misses to hide.
+        delta: u64,
+    },
+}
+
+impl Fault {
+    fn dmm_bound(self, bound: u64) -> u64 {
+        match self {
+            Fault::None => bound,
+            Fault::UnderReportDmm { delta } => bound.saturating_sub(delta),
+        }
+    }
+}
+
+/// Knobs of one oracle run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyOptions {
+    /// Per-chain analysis options (batch-tuned divergence limits by
+    /// default: random stress systems routinely exceed utilization 1).
+    pub options: AnalysisOptions,
+    /// Window lengths checked by the miss-model oracles.
+    pub ks: Vec<u64>,
+    /// Simulated horizon per trace scenario.
+    pub horizon: Time,
+    /// Randomized trace scenarios on top of the deterministic ones.
+    pub random_rounds: usize,
+    /// Seed for the randomized trace scenarios.
+    pub seed: u64,
+    /// Holistic sweep limit for distributed scenarios.
+    pub max_sweeps: usize,
+    /// Bound corruption for self-tests of the harness.
+    pub fault: Fault,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            // Much tighter divergence limits than even the batch
+            // defaults: conformance only needs *agreement* on whatever
+            // bound comes out, not a tight bound, and stress systems
+            // near utilization 1 would otherwise crawl through
+            // thousands of slow busy-window fixed points.
+            options: AnalysisOptions {
+                horizon: 100_000,
+                max_q: 500,
+                packing_budget: 20_000,
+                ..AnalysisOptions::default()
+            },
+            ks: vec![1, 2, 5, 10],
+            horizon: 10_000,
+            random_rounds: 2,
+            seed: 0x5EED,
+            max_sweeps: twca_dist::DistOptions::default().max_sweeps,
+            fault: Fault::None,
+        }
+    }
+}
+
+impl VerifyOptions {
+    fn dist_options(&self) -> DistOptions {
+        DistOptions {
+            chain_options: self.options,
+            max_sweeps: self.max_sweeps,
+        }
+    }
+}
+
+/// The analysis answers the oracles compare, computed once per context.
+struct ChainVerdicts {
+    /// Per deadline chain: id, full WCL, typical WCL, dmm curve (or the
+    /// analysis error rendered).
+    rows: Vec<ChainVerdict>,
+}
+
+struct ChainVerdict {
+    id: ChainId,
+    name: String,
+    full: Option<twca_chains::LatencyResult>,
+    typical: Option<twca_chains::LatencyResult>,
+    curve: Result<Vec<DmmResult>, String>,
+}
+
+fn chain_verdicts(ctx: &AnalysisContext<'_>, opts: &VerifyOptions) -> ChainVerdicts {
+    let system = ctx.system();
+    let mut rows = Vec::new();
+    for (id, chain) in system.iter() {
+        if chain.deadline().is_none() {
+            continue;
+        }
+        let full = latency_analysis(ctx, id, OverloadMode::Include, opts.options);
+        let typical = latency_analysis(ctx, id, OverloadMode::Exclude, opts.options);
+        let curve = DmmSweep::prepare(ctx, id, opts.options)
+            .map(|sweep| sweep.curve(opts.ks.iter().copied()))
+            .map_err(|e| e.to_string());
+        rows.push(ChainVerdict {
+            id,
+            name: chain.name().to_owned(),
+            full,
+            typical,
+            curve,
+        });
+    }
+    ChainVerdicts { rows }
+}
+
+/// Runs the full oracle battery on one scenario.
+///
+/// An empty result is the expected outcome; every entry is a genuine
+/// disagreement between two components that must agree (or, under a
+/// [`Fault`], the harness catching the injected bug).
+pub fn check_scenario(body: &ScenarioBody, opts: &VerifyOptions) -> Vec<Violation> {
+    match body {
+        ScenarioBody::Uni(system) => check_uni(system, opts),
+        ScenarioBody::Dist(dist) => check_dist(dist, opts),
+    }
+}
+
+fn check_uni(system: &System, opts: &VerifyOptions) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let ctx = AnalysisContext::new(system);
+    let verdicts = chain_verdicts(&ctx, opts);
+
+    check_monotonicity(&verdicts, &mut violations);
+    check_sim_soundness(system, &verdicts, opts, &mut violations);
+    check_cache_agreement(system, &verdicts, opts, &mut violations);
+    check_parallel_agreement(system, opts, &mut violations);
+    check_backend_agreement_uni(system, opts, &mut violations);
+    violations
+}
+
+/// Oracle 5: structural invariants of the computed curves.
+fn check_monotonicity(verdicts: &ChainVerdicts, violations: &mut Vec<Violation>) {
+    for row in &verdicts.rows {
+        if let (Some(full), Some(typical)) = (&row.full, &row.typical) {
+            if typical.worst_case_latency > full.worst_case_latency {
+                violations.push(Violation {
+                    oracle: OracleKind::Monotonicity,
+                    detail: format!(
+                        "{}: typical WCL {} exceeds full WCL {}",
+                        row.name, typical.worst_case_latency, full.worst_case_latency
+                    ),
+                });
+            }
+        }
+        let Ok(curve) = &row.curve else { continue };
+        for dmm in curve {
+            if dmm.bound > dmm.k {
+                violations.push(Violation {
+                    oracle: OracleKind::Monotonicity,
+                    detail: format!(
+                        "{}: dmm({}) = {} exceeds the window length",
+                        row.name, dmm.k, dmm.bound
+                    ),
+                });
+            }
+        }
+        for pair in curve.windows(2) {
+            if pair[0].k <= pair[1].k && pair[0].bound > pair[1].bound {
+                violations.push(Violation {
+                    oracle: OracleKind::Monotonicity,
+                    detail: format!(
+                        "{}: dmm({}) = {} > dmm({}) = {} breaks monotonicity in k",
+                        row.name, pair[0].k, pair[0].bound, pair[1].k, pair[1].bound
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Oracle 1: every model-conforming trace battery stays under the
+/// analytic bounds.
+fn check_sim_soundness(
+    system: &System,
+    verdicts: &ChainVerdicts,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+    let mut batteries: Vec<(String, TraceSet)> = vec![
+        (
+            "max-rate aligned".into(),
+            TraceSet::max_rate(system, opts.horizon),
+        ),
+        (
+            "overload aligned".into(),
+            adversarial_aligned_traces(system, opts.horizon),
+        ),
+        (
+            "typical (no overload)".into(),
+            TraceSet::max_rate_without_overload(system, opts.horizon),
+        ),
+    ];
+    for round in 0..opts.random_rounds {
+        let mut traces = TraceSet::max_rate(system, opts.horizon);
+        for (id, chain) in system.iter() {
+            if !chain.is_overload() {
+                continue;
+            }
+            let gap = chain.activation().delta_min(2).max(1);
+            let offset = rng.gen_range(0..gap);
+            traces.set_trace(id, periodic_trace(offset, gap, opts.horizon));
+        }
+        batteries.push((format!("random offsets #{round}"), traces));
+    }
+
+    for (label, traces) in &batteries {
+        let result = Simulation::new(system).run(traces);
+        for row in &verdicts.rows {
+            let stats = result.chain(row.id);
+            if let (Some(observed), Some(full)) = (stats.max_latency(), &row.full) {
+                if observed > full.worst_case_latency {
+                    violations.push(Violation {
+                        oracle: OracleKind::SimSoundness,
+                        detail: format!(
+                            "{} [{label}]: observed latency {observed} > WCL {}",
+                            row.name, full.worst_case_latency
+                        ),
+                    });
+                }
+            }
+            let Ok(curve) = &row.curve else { continue };
+            for dmm in curve {
+                let bound = opts.fault.dmm_bound(dmm.bound);
+                let observed = stats.max_misses_in_window(dmm.k as usize) as u64;
+                if observed > bound {
+                    violations.push(Violation {
+                        oracle: OracleKind::SimSoundness,
+                        detail: format!(
+                            "{} [{label}]: {observed} misses in a {}-window > dmm({}) = {bound}",
+                            row.name, dmm.k, dmm.k
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Oracle 2: the memo cache must be invisible — cold-cached,
+/// warm-cached and uncached analyses agree bit-for-bit.
+fn check_cache_agreement(
+    system: &System,
+    uncached: &ChainVerdicts,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    let cache = Arc::new(AnalysisCache::new());
+    for pass in ["cold", "warm"] {
+        let ctx = AnalysisContext::with_cache(system, Arc::clone(&cache));
+        let cached = chain_verdicts(&ctx, opts);
+        for (reference, observed) in uncached.rows.iter().zip(&cached.rows) {
+            if reference.full != observed.full || reference.typical != observed.typical {
+                violations.push(Violation {
+                    oracle: OracleKind::CacheAgreement,
+                    detail: format!(
+                        "{}: {pass}-cache latency result diverges from the uncached one \
+                         (cached {:?}/{:?} vs uncached {:?}/{:?})",
+                        reference.name,
+                        observed.full.as_ref().map(|r| r.worst_case_latency),
+                        observed.typical.as_ref().map(|r| r.worst_case_latency),
+                        reference.full.as_ref().map(|r| r.worst_case_latency),
+                        reference.typical.as_ref().map(|r| r.worst_case_latency),
+                    ),
+                });
+            }
+            if reference.curve != observed.curve {
+                violations.push(Violation {
+                    oracle: OracleKind::CacheAgreement,
+                    detail: format!(
+                        "{}: {pass}-cache dmm curve diverges from the uncached one",
+                        reference.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Oracle 3: parallel and serial batch runs agree bit-for-bit.
+fn check_parallel_agreement(
+    system: &System,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    use twca_engine::BatchEngine;
+    // Three copies: enough for real interleaving, cheap enough per
+    // scenario (copies two and three are answered from the cache).
+    let jobs: Vec<System> = (0..3).map(|_| system.clone()).collect();
+    let parallel = BatchEngine::new()
+        .with_options(opts.options)
+        .with_ks(opts.ks.iter().copied())
+        .with_threads(3)
+        .run(jobs.clone());
+    let serial = BatchEngine::new()
+        .with_options(opts.options)
+        .with_ks(opts.ks.iter().copied())
+        .run_serial(jobs);
+    if parallel != serial {
+        violations.push(Violation {
+            oracle: OracleKind::ParallelAgreement,
+            detail: "parallel BatchEngine verdicts diverge from the serial reference".into(),
+        });
+    }
+}
+
+/// Extracts `(name → (wcl, dmm points))` maps from a façade response.
+type OutcomeMap = Vec<(String, Option<Time>, Vec<(u64, u64)>)>;
+
+fn outcome_map(outcomes: &[QueryOutcome], strip_site_prefix: bool) -> OutcomeMap {
+    let mut map: OutcomeMap = Vec::new();
+    let canonical = |name: &str| {
+        if strip_site_prefix {
+            name.split_once('/')
+                .map(|(_, c)| c)
+                .unwrap_or(name)
+                .to_owned()
+        } else {
+            name.to_owned()
+        }
+    };
+    for outcome in outcomes {
+        match outcome {
+            QueryOutcome::Latency(rows) => {
+                for row in rows {
+                    map.push((canonical(&row.name), row.worst_case_latency, Vec::new()));
+                }
+            }
+            QueryOutcome::Dmm(rows) => {
+                for row in rows {
+                    let name = canonical(&row.name);
+                    let points: Vec<(u64, u64)> =
+                        row.points.iter().map(|p| (p.k, p.bound)).collect();
+                    if let Some(entry) = map.iter_mut().find(|(n, _, _)| *n == name) {
+                        entry.2 = points;
+                    } else {
+                        map.push((name, None, points));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    map.sort();
+    map
+}
+
+/// Oracle 4 (uniprocessor): the chain backend and the distributed
+/// backend agree when the distributed system is a single resource with
+/// no links — structurally the same analysis question.
+fn check_backend_agreement_uni(
+    system: &System,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    let text = twca_model::render_system(system);
+    let session = Session::new()
+        .with_options(opts.options)
+        .with_max_sweeps(opts.max_sweeps);
+    let queries = vec![
+        Query::Latency { chain: None },
+        Query::Dmm {
+            chain: None,
+            ks: opts.ks.clone(),
+        },
+    ];
+    let chain_request = AnalysisRequest {
+        id: None,
+        target: Target::Chains {
+            system: text.clone(),
+        },
+        queries: queries.clone(),
+        options: Default::default(),
+    };
+    let dist_request = AnalysisRequest {
+        id: None,
+        target: Target::Distributed {
+            resources: vec![("r0".into(), text)],
+            links: Vec::new(),
+        },
+        queries,
+        options: Default::default(),
+    };
+    let chain_response = session.analyze(&chain_request);
+    let dist_response = session.analyze(&dist_request);
+    match (&chain_response.outcome, &dist_response.outcome) {
+        (Ok(chain_outcomes), Ok(dist_outcomes)) => {
+            let chains = outcome_map(chain_outcomes, false);
+            let dist = outcome_map(dist_outcomes, true);
+            if chains != dist {
+                violations.push(Violation {
+                    oracle: OracleKind::BackendAgreement,
+                    detail: format!(
+                        "ChainBackend and single-resource DistBackend disagree: \
+                         {chains:?} vs {dist:?}"
+                    ),
+                });
+            }
+        }
+        (Ok(_), Err(e)) => violations.push(Violation {
+            oracle: OracleKind::BackendAgreement,
+            detail: format!("DistBackend failed where ChainBackend succeeded: {e}"),
+        }),
+        (Err(e), Ok(_)) => violations.push(Violation {
+            oracle: OracleKind::BackendAgreement,
+            detail: format!("ChainBackend failed where DistBackend succeeded: {e}"),
+        }),
+        (Err(_), Err(_)) => {}
+    }
+}
+
+fn check_dist(dist: &DistributedSystem, opts: &VerifyOptions) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let results = match dist_analyze(dist, opts.dist_options()) {
+        Ok(results) => results,
+        // Divergence and unbounded-latency failures are legitimate
+        // outcomes on stress systems; the backend-agreement oracle below
+        // still checks that the façade fails the same way.
+        Err(direct_error) => {
+            check_backend_agreement_dist_error(dist, opts, &direct_error, &mut violations);
+            return violations;
+        }
+    };
+
+    // Oracle 1: trace-propagating simulation against the holistic
+    // bounds (twca-dist's own cross-check, wired into the battery).
+    let max_k = opts.ks.iter().copied().max().unwrap_or(1);
+    match soundness_violations(dist, &results, opts.horizon, max_k) {
+        Ok(found) => {
+            for detail in found {
+                violations.push(Violation {
+                    oracle: OracleKind::SimSoundness,
+                    detail,
+                });
+            }
+        }
+        Err(e) => violations.push(Violation {
+            oracle: OracleKind::SimSoundness,
+            detail: format!("propagated simulation failed: {e}"),
+        }),
+    }
+
+    // Oracle 5: per-site dmm monotonicity on the holistic results.
+    for site in dist.sites() {
+        let chain = dist.resource(site.resource()).system().chain(site.chain());
+        if chain.deadline().is_none() {
+            continue;
+        }
+        let (resource_name, chain_name) = dist.site_names(site);
+        let mut previous: Option<(u64, u64)> = None;
+        for &k in &opts.ks {
+            let Ok(bound) = results.deadline_miss_model(site, k) else {
+                continue;
+            };
+            if bound > k {
+                violations.push(Violation {
+                    oracle: OracleKind::Monotonicity,
+                    detail: format!(
+                        "{resource_name}/{chain_name}: dmm({k}) = {bound} exceeds the window"
+                    ),
+                });
+            }
+            if let Some((pk, pb)) = previous {
+                if pk <= k && pb > bound {
+                    violations.push(Violation {
+                        oracle: OracleKind::Monotonicity,
+                        detail: format!(
+                            "{resource_name}/{chain_name}: dmm({pk}) = {pb} > dmm({k}) = {bound}"
+                        ),
+                    });
+                }
+            }
+            previous = Some((k, bound));
+        }
+    }
+
+    // Oracle 4 (distributed): the façade's DistBackend answers must
+    // match the direct holistic analysis it wraps.
+    let session = Session::new()
+        .with_options(opts.options)
+        .with_max_sweeps(opts.max_sweeps);
+    let request = AnalysisRequest::for_dist_text(twca_dist::render_distributed(dist))
+        .with_query(Query::Latency { chain: None });
+    match session.analyze(&request).outcome {
+        Ok(outcomes) => {
+            for outcome in &outcomes {
+                let QueryOutcome::Latency(rows) = outcome else {
+                    continue;
+                };
+                for row in rows {
+                    let Some((resource, chain)) = row.name.split_once('/') else {
+                        continue;
+                    };
+                    let Some(site) = dist.site(resource, chain) else {
+                        violations.push(Violation {
+                            oracle: OracleKind::BackendAgreement,
+                            detail: format!("façade invented site `{}`", row.name),
+                        });
+                        continue;
+                    };
+                    let direct = results.worst_case_latency(site);
+                    if direct != row.worst_case_latency {
+                        violations.push(Violation {
+                            oracle: OracleKind::BackendAgreement,
+                            detail: format!(
+                                "{}: façade WCL {:?} vs direct holistic WCL {:?}",
+                                row.name, row.worst_case_latency, direct
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Err(e) => violations.push(Violation {
+            oracle: OracleKind::BackendAgreement,
+            detail: format!("façade failed where the direct analysis succeeded: {e}"),
+        }),
+    }
+
+    violations
+}
+
+/// When the direct holistic analysis fails, the façade must report a
+/// failure too (same class of outcome), not a fabricated answer.
+fn check_backend_agreement_dist_error(
+    dist: &DistributedSystem,
+    opts: &VerifyOptions,
+    direct_error: &twca_dist::DistError,
+    violations: &mut Vec<Violation>,
+) {
+    let session = Session::new()
+        .with_options(opts.options)
+        .with_max_sweeps(opts.max_sweeps);
+    let request = AnalysisRequest::for_dist_text(twca_dist::render_distributed(dist))
+        .with_query(Query::Latency { chain: None });
+    if session.analyze(&request).outcome.is_ok() {
+        violations.push(Violation {
+            oracle: OracleKind::BackendAgreement,
+            detail: format!(
+                "façade produced an answer where the direct analysis failed with: {direct_error}"
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::case_study;
+
+    #[test]
+    fn the_case_study_passes_every_oracle() {
+        let violations =
+            check_scenario(&ScenarioBody::Uni(case_study()), &VerifyOptions::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn an_injected_dmm_undercount_is_caught() {
+        // σc really accumulates misses under the adversarial alignment,
+        // so hiding one miss per bound must trip the soundness oracle.
+        let opts = VerifyOptions {
+            fault: Fault::UnderReportDmm { delta: 1 },
+            ..VerifyOptions::default()
+        };
+        let violations = check_scenario(&ScenarioBody::Uni(case_study()), &opts);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.oracle == OracleKind::SimSoundness),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn a_distributed_pipeline_passes_every_oracle() {
+        use twca_dist::DistributedSystemBuilder;
+        use twca_model::SystemBuilder;
+        let downstream = SystemBuilder::new()
+            .chain("act")
+            .periodic(200)
+            .unwrap()
+            .deadline(200)
+            .task("a1", 1, 20)
+            .done()
+            .build()
+            .unwrap();
+        let dist = DistributedSystemBuilder::new()
+            .resource("ecu0", case_study())
+            .resource("ecu1", downstream)
+            .link(("ecu0", "sigma_c"), ("ecu1", "act"))
+            .build()
+            .unwrap();
+        let violations = check_scenario(&ScenarioBody::Dist(dist), &VerifyOptions::default());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

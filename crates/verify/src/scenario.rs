@@ -1,0 +1,238 @@
+//! Randomized scenario generation: named profiles over uniprocessor and
+//! distributed systems, far beyond the default generator shapes.
+
+use rand::Rng;
+
+use twca_dist::DistributedSystem;
+use twca_gen::{
+    random_distributed, random_stress_system, DistTopology, RandomDistConfig, StressProfile,
+};
+use twca_model::System;
+
+/// One generated input to the oracle battery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioBody {
+    /// A uniprocessor chain system.
+    Uni(System),
+    /// A distributed linked-resource system.
+    Dist(DistributedSystem),
+}
+
+impl ScenarioBody {
+    /// Renders the scenario in its textual fixture format: the system
+    /// DSL for uniprocessor scenarios, the linked-resource document for
+    /// distributed ones.
+    pub fn render(&self) -> String {
+        match self {
+            ScenarioBody::Uni(system) => twca_model::render_system(system),
+            ScenarioBody::Dist(dist) => twca_dist::render_distributed(dist),
+        }
+    }
+
+    /// Total number of tasks across every chain (and resource).
+    pub fn task_count(&self) -> usize {
+        match self {
+            ScenarioBody::Uni(system) => system.task_count(),
+            ScenarioBody::Dist(dist) => dist
+                .resources()
+                .iter()
+                .map(|r| r.system().task_count())
+                .sum(),
+        }
+    }
+}
+
+/// A scenario together with the label identifying how it was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// `"<profile>#<iteration>"`, stable for a given fuzz seed.
+    pub label: String,
+    /// The generated system.
+    pub body: ScenarioBody,
+}
+
+/// A named scenario shape: a uniprocessor stress profile, or a
+/// distributed topology whose resources follow a stress profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioProfile {
+    /// One SPP resource shaped by a [`StressProfile`].
+    Uni(StressProfile),
+    /// Linked resources shaped by a topology and a per-resource
+    /// [`StressProfile`].
+    Dist {
+        /// How the resources are wired.
+        topology: DistTopology,
+        /// Number of resources.
+        resources: usize,
+        /// Shape of each resource's local system.
+        profile: StressProfile,
+    },
+}
+
+impl ScenarioProfile {
+    /// The default battery: every uniprocessor stress profile plus a
+    /// linear pipeline, a star fan-out, and a single-resource
+    /// distributed system (the degenerate case both backends must agree
+    /// on).
+    pub fn default_battery() -> Vec<ScenarioProfile> {
+        let mut battery: Vec<ScenarioProfile> = StressProfile::ALL
+            .into_iter()
+            .map(ScenarioProfile::Uni)
+            .collect();
+        battery.push(ScenarioProfile::Dist {
+            topology: DistTopology::Linear,
+            resources: 3,
+            profile: StressProfile::Baseline,
+        });
+        battery.push(ScenarioProfile::Dist {
+            topology: DistTopology::Star,
+            resources: 4,
+            profile: StressProfile::HighUtilization,
+        });
+        battery.push(ScenarioProfile::Dist {
+            topology: DistTopology::Linear,
+            resources: 1,
+            profile: StressProfile::Baseline,
+        });
+        battery
+    }
+
+    /// The stable command-line name of this profile.
+    pub fn name(self) -> String {
+        match self {
+            ScenarioProfile::Uni(profile) => profile.name().to_owned(),
+            ScenarioProfile::Dist {
+                topology,
+                resources,
+                profile,
+            } => {
+                let shape = match topology {
+                    DistTopology::Linear if resources == 1 => "dist-single".to_owned(),
+                    DistTopology::Linear => "dist-linear".to_owned(),
+                    DistTopology::Star => "dist-star".to_owned(),
+                    DistTopology::Tree => "dist-tree".to_owned(),
+                };
+                if profile == StressProfile::Baseline {
+                    shape
+                } else {
+                    format!("{shape}:{}", profile.name())
+                }
+            }
+        }
+    }
+
+    /// Parses a command-line profile name: any [`StressProfile`] name,
+    /// or `dist-single`/`dist-linear`/`dist-star`/`dist-tree`,
+    /// optionally suffixed with `:<stress-profile>`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the unknown profile.
+    pub fn parse(text: &str) -> Result<ScenarioProfile, String> {
+        if let Ok(profile) = text.parse::<StressProfile>() {
+            return Ok(ScenarioProfile::Uni(profile));
+        }
+        let (shape, stress) = match text.split_once(':') {
+            Some((shape, stress)) => (shape, stress.parse::<StressProfile>()?),
+            None => (text, StressProfile::Baseline),
+        };
+        let (topology, resources) = match shape {
+            "dist-single" => (DistTopology::Linear, 1),
+            "dist-linear" => (DistTopology::Linear, 3),
+            "dist-star" => (DistTopology::Star, 4),
+            "dist-tree" => (DistTopology::Tree, 7),
+            other => {
+                return Err(format!(
+                    "unknown profile `{other}` (uniprocessor: baseline, high-util, degenerate, \
+                     bursty, overload-heavy; distributed: dist-single, dist-linear, dist-star, \
+                     dist-tree, each optionally `:<stress-profile>`)"
+                ));
+            }
+        };
+        Ok(ScenarioProfile::Dist {
+            topology,
+            resources,
+            profile: stress,
+        })
+    }
+
+    /// Generates one scenario of this profile.
+    pub fn generate(self, rng: &mut impl Rng, iteration: usize) -> Scenario {
+        let body = match self {
+            ScenarioProfile::Uni(profile) => ScenarioBody::Uni(
+                random_stress_system(rng, profile).expect("built-in profiles are valid"),
+            ),
+            ScenarioProfile::Dist {
+                topology,
+                resources,
+                profile,
+            } => ScenarioBody::Dist(
+                random_distributed(
+                    rng,
+                    &RandomDistConfig {
+                        resources,
+                        topology,
+                        profile,
+                    },
+                )
+                .expect("built-in topologies are acyclic"),
+            ),
+        };
+        Scenario {
+            label: format!("{}#{iteration}", self.name()),
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn profile_names_parse_back() {
+        for profile in ScenarioProfile::default_battery() {
+            assert_eq!(ScenarioProfile::parse(&profile.name()), Ok(profile));
+        }
+        assert_eq!(
+            ScenarioProfile::parse("dist-tree:overload-heavy"),
+            Ok(ScenarioProfile::Dist {
+                topology: DistTopology::Tree,
+                resources: 7,
+                profile: StressProfile::OverloadHeavy,
+            })
+        );
+        assert!(ScenarioProfile::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn generation_is_reproducible_and_renderable() {
+        for profile in ScenarioProfile::default_battery() {
+            let a = profile.generate(&mut ChaCha8Rng::seed_from_u64(3), 0);
+            let b = profile.generate(&mut ChaCha8Rng::seed_from_u64(3), 0);
+            assert_eq!(a, b);
+            assert!(!a.body.render().is_empty());
+            assert!(a.body.task_count() > 0);
+        }
+    }
+
+    #[test]
+    fn rendered_scenarios_parse_back() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for profile in ScenarioProfile::default_battery() {
+            let scenario = profile.generate(&mut rng, 1);
+            match &scenario.body {
+                ScenarioBody::Uni(system) => {
+                    let reparsed = twca_model::parse_system(&scenario.body.render()).unwrap();
+                    assert_eq!(&reparsed, system);
+                }
+                ScenarioBody::Dist(dist) => {
+                    let reparsed = twca_dist::parse_distributed(&scenario.body.render()).unwrap();
+                    assert_eq!(&reparsed, dist);
+                }
+            }
+        }
+    }
+}

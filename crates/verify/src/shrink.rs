@@ -1,0 +1,315 @@
+//! Greedy counterexample shrinking: reduce a failing scenario to a
+//! (locally) minimal system that still trips the same oracle.
+
+use crate::scenario::ScenarioBody;
+use twca_curves::{ActivationModel, EventModel as _};
+use twca_dist::{DistributedSystem, DistributedSystemBuilder};
+use twca_model::{Chain, ChainKind, System, SystemBuilder, Time};
+
+/// An editable description of one chain, rebuilt through the
+/// [`SystemBuilder`] after every reduction.
+#[derive(Debug, Clone)]
+struct ChainSpec {
+    name: String,
+    activation: ActivationModel,
+    deadline: Option<Time>,
+    kind: ChainKind,
+    overload: bool,
+    /// `(name, priority level, wcet)` per task.
+    tasks: Vec<(String, u32, Time)>,
+}
+
+impl ChainSpec {
+    fn of(chain: &Chain) -> ChainSpec {
+        ChainSpec {
+            name: chain.name().to_owned(),
+            activation: chain.activation().clone(),
+            deadline: chain.deadline(),
+            kind: chain.kind(),
+            overload: chain.is_overload(),
+            tasks: chain
+                .tasks()
+                .iter()
+                .map(|t| (t.name().to_owned(), t.priority().level(), t.wcet()))
+                .collect(),
+        }
+    }
+}
+
+fn specs(system: &System) -> Vec<ChainSpec> {
+    system
+        .iter()
+        .map(|(_, chain)| ChainSpec::of(chain))
+        .collect()
+}
+
+fn rebuild(specs: &[ChainSpec]) -> Option<System> {
+    let mut builder = SystemBuilder::new();
+    for spec in specs {
+        let mut cb = builder
+            .chain(&spec.name)
+            .activation(spec.activation.clone())
+            .kind(spec.kind);
+        if let Some(d) = spec.deadline {
+            cb = cb.deadline(d);
+        }
+        if spec.overload {
+            cb = cb.overload();
+        }
+        for (name, priority, wcet) in &spec.tasks {
+            cb = cb.task(name, *priority, *wcet);
+        }
+        builder = cb.done();
+    }
+    builder.build().ok()
+}
+
+/// Every one-step reduction of `specs`, most aggressive first.
+fn reductions(specs: &[ChainSpec]) -> Vec<Vec<ChainSpec>> {
+    let mut candidates = Vec::new();
+    // Drop a whole chain (keep at least one).
+    if specs.len() > 1 {
+        for i in 0..specs.len() {
+            let mut cand = specs.to_vec();
+            cand.remove(i);
+            candidates.push(cand);
+        }
+    }
+    // Drop one task of a multi-task chain.
+    for (i, spec) in specs.iter().enumerate() {
+        if spec.tasks.len() <= 1 {
+            continue;
+        }
+        for j in 0..spec.tasks.len() {
+            let mut cand = specs.to_vec();
+            cand[i].tasks.remove(j);
+            candidates.push(cand);
+        }
+    }
+    // Simplify exotic activations to plain periodic at the same minimum
+    // distance.
+    for (i, spec) in specs.iter().enumerate() {
+        if matches!(
+            spec.activation,
+            ActivationModel::Periodic(_) | ActivationModel::Sporadic(_)
+        ) {
+            continue;
+        }
+        let period = spec.activation.delta_min(2).max(1);
+        if let Ok(model) = ActivationModel::periodic(period) {
+            let mut cand = specs.to_vec();
+            cand[i].activation = model;
+            candidates.push(cand);
+        }
+    }
+    // Halve a task's execution time (floored at 1).
+    for (i, spec) in specs.iter().enumerate() {
+        for j in 0..spec.tasks.len() {
+            if spec.tasks[j].2 > 1 {
+                let mut cand = specs.to_vec();
+                cand[i].tasks[j].2 = (cand[i].tasks[j].2 / 2).max(1);
+                candidates.push(cand);
+            }
+        }
+    }
+    candidates
+}
+
+/// Greedily shrinks `system` while `fails` keeps returning `true`.
+///
+/// The result is locally minimal: no single chain removal, task
+/// removal, activation simplification or WCET halving preserves the
+/// failure. Deterministic for a deterministic predicate.
+///
+/// # Examples
+///
+/// ```
+/// use twca_verify::shrink_system;
+/// use twca_model::case_study;
+///
+/// // Shrink against a predicate that only needs one overload chain.
+/// let minimal = shrink_system(&case_study(), &|s| {
+///     s.overload_chains().count() >= 1
+/// });
+/// assert_eq!(minimal.chains().len(), 1);
+/// assert_eq!(minimal.task_count(), 1);
+/// ```
+pub fn shrink_system(system: &System, fails: &dyn Fn(&System) -> bool) -> System {
+    let mut current = specs(system);
+    let mut best = system.clone();
+    loop {
+        let mut reduced = false;
+        for candidate in reductions(&current) {
+            let Some(rebuilt) = rebuild(&candidate) else {
+                continue;
+            };
+            if fails(&rebuilt) {
+                current = candidate;
+                best = rebuilt;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return best;
+        }
+    }
+}
+
+/// Rebuilds a distributed system keeping only the resources whose
+/// indices satisfy `keep`, dropping every link touching a dropped
+/// resource.
+fn retain_resources(
+    dist: &DistributedSystem,
+    keep: &dyn Fn(usize) -> bool,
+) -> Option<DistributedSystem> {
+    let mut builder = DistributedSystemBuilder::new();
+    let mut any = false;
+    for (i, resource) in dist.resources().iter().enumerate() {
+        if keep(i) {
+            builder = builder.resource(resource.name().to_owned(), resource.system().clone());
+            any = true;
+        }
+    }
+    if !any {
+        return None;
+    }
+    for link in dist.links() {
+        if keep(link.from().resource().index()) && keep(link.to().resource().index()) {
+            let (from_resource, from_chain) = dist.site_names(link.from());
+            let (to_resource, to_chain) = dist.site_names(link.to());
+            builder = builder.link((from_resource, from_chain), (to_resource, to_chain));
+        }
+    }
+    builder.build().ok()
+}
+
+/// Rebuilds a distributed system with the local system of resource
+/// `index` replaced. `None` if the replacement breaks validation (e.g.
+/// a link endpoint's chain was shrunk away).
+fn replace_resource(
+    dist: &DistributedSystem,
+    index: usize,
+    replacement: &System,
+) -> Option<DistributedSystem> {
+    let mut builder = DistributedSystemBuilder::new();
+    for (i, resource) in dist.resources().iter().enumerate() {
+        let system = if i == index {
+            replacement.clone()
+        } else {
+            resource.system().clone()
+        };
+        builder = builder.resource(resource.name().to_owned(), system);
+    }
+    for link in dist.links() {
+        let (from_resource, from_chain) = dist.site_names(link.from());
+        let (to_resource, to_chain) = dist.site_names(link.to());
+        builder = builder.link((from_resource, from_chain), (to_resource, to_chain));
+    }
+    builder.build().ok()
+}
+
+/// Greedily shrinks a distributed system: first drop whole resources
+/// (with their links), then shrink each remaining resource's local
+/// system under the distributed failure predicate.
+pub fn shrink_distributed(
+    dist: &DistributedSystem,
+    fails: &dyn Fn(&DistributedSystem) -> bool,
+) -> DistributedSystem {
+    let mut best = dist.clone();
+    // Resource removal to a fixed point.
+    loop {
+        let count = best.resources().len();
+        let mut reduced = false;
+        if count > 1 {
+            for drop in 0..count {
+                if let Some(candidate) = retain_resources(&best, &|i| i != drop) {
+                    if fails(&candidate) {
+                        best = candidate;
+                        reduced = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    // Local shrinking inside each surviving resource.
+    for index in 0..best.resources().len() {
+        let local_fails = |local: &System| -> bool {
+            replace_resource(&best, index, local).is_some_and(|candidate| fails(&candidate))
+        };
+        let shrunk_local = shrink_system(best.resources()[index].system(), &local_fails);
+        if let Some(rebuilt) = replace_resource(&best, index, &shrunk_local) {
+            best = rebuilt;
+        }
+    }
+    best
+}
+
+/// Shrinks either scenario kind under a body-level predicate.
+pub fn shrink_body(body: &ScenarioBody, fails: &dyn Fn(&ScenarioBody) -> bool) -> ScenarioBody {
+    match body {
+        ScenarioBody::Uni(system) => ScenarioBody::Uni(shrink_system(system, &|s| {
+            fails(&ScenarioBody::Uni(s.clone()))
+        })),
+        ScenarioBody::Dist(dist) => ScenarioBody::Dist(shrink_distributed(dist, &|d| {
+            fails(&ScenarioBody::Dist(d.clone()))
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_model::case_study;
+
+    #[test]
+    fn shrinking_preserves_the_predicate_and_minimizes() {
+        // "Total WCET at least 20" shrinks to one chain whose remaining
+        // tasks sit exactly at the threshold: dropping any task or
+        // halving any wcet would fall below 20.
+        let minimal = shrink_system(&case_study(), &|s| {
+            s.task_refs().map(|r| s.task(r).wcet()).sum::<u64>() >= 20
+        });
+        assert_eq!(minimal.chains().len(), 1);
+        let wcet: u64 = minimal.task_refs().map(|r| minimal.task(r).wcet()).sum();
+        assert_eq!(wcet, 20, "locally minimal at the threshold");
+        assert!(minimal.task_count() <= 2);
+    }
+
+    #[test]
+    fn shrinking_never_returns_a_passing_system() {
+        let fails = |s: &System| s.chains().len() >= 2;
+        let minimal = shrink_system(&case_study(), &fails);
+        assert!(fails(&minimal));
+        assert_eq!(minimal.chains().len(), 2);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let fails = |s: &System| s.task_count() >= 3;
+        let a = shrink_system(&case_study(), &fails);
+        let b = shrink_system(&case_study(), &fails);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distributed_shrinking_drops_resources() {
+        use twca_dist::DistributedSystemBuilder;
+        let dist = DistributedSystemBuilder::new()
+            .resource("a", case_study())
+            .resource("b", case_study())
+            .resource("c", case_study())
+            .link(("a", "sigma_c"), ("b", "sigma_c"))
+            .link(("b", "sigma_c"), ("c", "sigma_c"))
+            .build()
+            .unwrap();
+        let minimal = shrink_distributed(&dist, &|d| !d.resources().is_empty());
+        assert_eq!(minimal.resources().len(), 1);
+        assert_eq!(minimal.links().len(), 0);
+        assert_eq!(minimal.resources()[0].system().task_count(), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Replays the committed regression corpus (`corpus/` at the workspace
+//! root) through the full oracle battery on every `cargo test` run —
+//! once a counterexample lands in the corpus, it is checked forever.
+
+use std::path::PathBuf;
+
+use twca_verify::{load_corpus, replay_corpus, ScenarioBody, VerifyOptions};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("corpus")
+}
+
+#[test]
+fn the_committed_corpus_exists_and_covers_both_scenario_kinds() {
+    let entries = load_corpus(&corpus_dir()).expect("the corpus directory is committed");
+    assert!(
+        entries.len() >= 4,
+        "the seeded corpus must not silently shrink"
+    );
+    assert!(entries
+        .iter()
+        .any(|e| matches!(e.body, ScenarioBody::Uni(_))));
+    assert!(entries
+        .iter()
+        .any(|e| matches!(e.body, ScenarioBody::Dist(_))));
+}
+
+#[test]
+fn every_corpus_fixture_replays_clean_through_all_oracles() {
+    let failures =
+        replay_corpus(&corpus_dir(), &VerifyOptions::default()).expect("corpus fixtures parse");
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures
+            .iter()
+            .map(|(path, violation)| format!("  {}: {violation}", path.display()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -17,3 +17,4 @@ pub use twca_independent as independent;
 pub use twca_model as model;
 pub use twca_report as report;
 pub use twca_sim as sim;
+pub use twca_verify as verify;

@@ -1,0 +1,104 @@
+//! Tier-1 wiring of the conformance subsystem: the committed corpus
+//! replays through the full oracle battery, a deterministic fuzz smoke
+//! run stays clean, and the fault-injection self-test proves the
+//! harness catches an unsound bound.
+
+use std::path::Path;
+
+use twca_suite::verify::{
+    check_scenario, fuzz, replay_corpus, Fault, FuzzConfig, OracleKind, ScenarioBody,
+    ScenarioProfile, VerifyOptions,
+};
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus"))
+}
+
+#[test]
+fn the_committed_corpus_replays_clean() {
+    let failures =
+        replay_corpus(corpus_dir(), &VerifyOptions::default()).expect("corpus fixtures parse");
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures
+            .iter()
+            .map(|(path, violation)| format!("  {}: {violation}", path.display()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn a_seeded_fuzz_smoke_run_is_clean_across_all_profiles() {
+    let report = fuzz(&FuzzConfig {
+        seed: 7,
+        iterations: 16,
+        verify: VerifyOptions {
+            horizon: 4_000,
+            random_rounds: 1,
+            ..VerifyOptions::default()
+        },
+        ..FuzzConfig::default()
+    });
+    assert_eq!(report.iterations_run, 16);
+    assert!(report.is_clean(), "{:?}", report.failures);
+    // Two full rotations: every battery profile was exercised twice.
+    assert!(report.per_profile.iter().all(|(_, n)| *n == 2));
+}
+
+#[test]
+fn the_harness_catches_an_injected_unsound_bound() {
+    let broken = VerifyOptions {
+        horizon: 4_000,
+        random_rounds: 1,
+        fault: Fault::UnderReportDmm { delta: 1 },
+        ..VerifyOptions::default()
+    };
+    let violations = check_scenario(&ScenarioBody::Uni(twca_suite::model::case_study()), &broken);
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.oracle == OracleKind::SimSoundness),
+        "an undercounting dmm must trip the soundness oracle"
+    );
+    // And the corpus stays a *negative* check: the same options without
+    // the fault are clean.
+    assert!(check_scenario(
+        &ScenarioBody::Uni(twca_suite::model::case_study()),
+        &VerifyOptions {
+            fault: Fault::None,
+            ..broken
+        },
+    )
+    .is_empty());
+}
+
+#[test]
+fn every_cli_profile_name_generates_and_checks() {
+    use rand::SeedableRng as _;
+    for name in [
+        "baseline",
+        "high-util",
+        "degenerate",
+        "bursty",
+        "overload-heavy",
+        "dist-single",
+        "dist-linear",
+        "dist-star",
+        "dist-tree:degenerate",
+    ] {
+        let profile = ScenarioProfile::parse(name).unwrap();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let scenario = profile.generate(&mut rng, 0);
+        let violations = check_scenario(
+            &scenario.body,
+            &VerifyOptions {
+                horizon: 2_000,
+                random_rounds: 0,
+                ..VerifyOptions::default()
+            },
+        );
+        assert!(violations.is_empty(), "{name}: {violations:?}");
+    }
+}
