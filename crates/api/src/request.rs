@@ -153,12 +153,17 @@ pub struct RequestOptions {
     pub horizon: Option<u64>,
     /// Busy-window activation limit.
     pub max_q: Option<u64>,
-    /// Combination enumeration limit.
+    /// Explicit combination limit (under the default lazy engine this
+    /// bounds witness expansion and the per-chain option arenas, not
+    /// analysis feasibility).
     pub max_combinations: Option<u64>,
     /// Holistic sweep limit (distributed targets).
     pub max_sweeps: Option<u64>,
     /// Work budget in query units; see [`crate::RequestControl`].
     pub budget: Option<u64>,
+    /// Combination engine selection (wire values `"lazy"` /
+    /// `"materialized"`); omitted requests use the session default.
+    pub engine: Option<twca_chains::CombinationEngineMode>,
 }
 
 impl RequestOptions {
@@ -594,6 +599,13 @@ fn options_to_json(options: &RequestOptions) -> Json {
     push("max_combinations", options.max_combinations);
     push("max_sweeps", options.max_sweeps);
     push("budget", options.budget);
+    if let Some(engine) = options.engine {
+        let name = match engine {
+            twca_chains::CombinationEngineMode::Lazy => "lazy",
+            twca_chains::CombinationEngineMode::Materialized => "materialized",
+        };
+        members.push(("engine".to_owned(), Json::Str(name.to_owned())));
+    }
     Json::Object(members)
 }
 
@@ -603,6 +615,21 @@ fn options_from_json(value: &Json) -> Result<RequestOptions, ApiError> {
         .ok_or_else(|| ApiError::request("`options` must be an object"))?;
     let mut options = RequestOptions::default();
     for (key, v) in obj {
+        if key == "engine" {
+            let name = v
+                .as_str()
+                .ok_or_else(|| ApiError::request("option `engine` must be a string"))?;
+            options.engine = Some(match name {
+                "lazy" => twca_chains::CombinationEngineMode::Lazy,
+                "materialized" => twca_chains::CombinationEngineMode::Materialized,
+                other => {
+                    return Err(ApiError::request(format!(
+                        "unknown engine `{other}` (expected `lazy` or `materialized`)"
+                    )));
+                }
+            });
+            continue;
+        }
         let v = v
             .as_u64()
             .ok_or_else(|| ApiError::request(format!("option `{key}` must be an integer")))?;

@@ -307,6 +307,7 @@ impl Session {
             // deployment-level tightness/latency trade-off, set on the
             // session.
             packing_budget: self.options.packing_budget,
+            combination_engine: overrides.engine.unwrap_or(self.options.combination_engine),
         }
     }
 

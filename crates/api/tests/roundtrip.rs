@@ -64,14 +64,23 @@ fn knob() -> impl Strategy<Value = Option<u64>> {
     prop_oneof![Just(None), (1u64..1_000_000).prop_map(Some)]
 }
 
+fn engine() -> impl Strategy<Value = Option<twca_chains::CombinationEngineMode>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(twca_chains::CombinationEngineMode::Lazy)),
+        Just(Some(twca_chains::CombinationEngineMode::Materialized)),
+    ]
+}
+
 fn options() -> impl Strategy<Value = RequestOptions> {
-    (knob(), knob(), knob(), knob(), knob()).prop_map(
-        |(horizon, max_q, max_combinations, max_sweeps, budget)| RequestOptions {
+    (knob(), knob(), knob(), knob(), knob(), engine()).prop_map(
+        |(horizon, max_q, max_combinations, max_sweeps, budget, engine)| RequestOptions {
             horizon,
             max_q,
             max_combinations,
             max_sweeps,
             budget,
+            engine,
         },
     )
 }

@@ -1,49 +1,19 @@
 //! Ablation: combination enumeration (Definition 9) as the number of
-//! overload chains and segments grows, and the slack-based criterion
-//! (Equation 5) that keeps the unschedulable set small.
+//! overload chains and segments grows, comparing the **materialized**
+//! reference (`CombinationSet::enumerate`) against the **lazy**
+//! dominance-pruned engine (`PreparedCombinations`) on the same
+//! classification questions: unschedulable count and the minimal item
+//! antichain the packing consumes.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use twca_chains::{typical_slack, AnalysisContext, AnalysisOptions, CombinationSet};
-use twca_model::{ChainKind, System, SystemBuilder};
-
-/// A victim chain plus `overloads` overload chains, each with
-/// `segments_per_chain` active segments (alternating priorities force
-/// segment splits).
-fn system_with_overloads(overloads: usize, segments_per_chain: usize) -> System {
-    let mut builder = SystemBuilder::new()
-        .chain("victim")
-        .periodic(1_000)
-        .expect("static period")
-        .deadline(1_000)
-        .kind(ChainKind::Synchronous)
-        .task("v1", 50, 10)
-        .task("v2", 1, 10)
-        .done();
-    let mut prio = 100u32;
-    for o in 0..overloads {
-        let mut cb = builder
-            .chain(format!("over_{o}"))
-            .sporadic(50_000)
-            .expect("static distance")
-            .overload();
-        for s in 0..segments_per_chain {
-            // High task (a segment/active segment) followed by a low task
-            // (priority 2..49 band keeps it above the victim's tail=1 but
-            // below v1=50? No: below the victim min => breaks segments).
-            cb = cb.task(format!("o{o}_hi{s}"), prio, 5);
-            prio += 1;
-            if s + 1 < segments_per_chain {
-                cb = cb.task(format!("o{o}_lo{s}"), 0, 1);
-            }
-        }
-        builder = cb.done();
-    }
-    builder.build().expect("well-formed")
-}
+use twca_bench::runner::system_with_overloads;
+use twca_chains::{
+    typical_slack, AnalysisContext, AnalysisOptions, CombinationSet, PreparedCombinations,
+};
 
 fn bench_combinations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_combinations");
@@ -59,10 +29,13 @@ fn bench_combinations(c: &mut Criterion) {
 
         let set = CombinationSet::enumerate(&ctx, victim, opts).expect("within limits");
         let slack = typical_slack(&ctx, victim, 1);
+        let prepared = PreparedCombinations::prepare(&ctx, victim, 1, opts).expect("within limits");
         println!(
-            "  {overloads} overload chains x {segs} segments: {} combinations, {} unschedulable at slack {slack}",
+            "  {overloads} overload chains x {segs} segments: {} combinations, {} unschedulable \
+             at slack {slack}, minimal antichain {}",
             set.combinations().len(),
-            set.unschedulable(slack).count()
+            set.unschedulable(slack).count(),
+            prepared.minimal_unschedulable(slack).len(),
         );
 
         let label = format!("{overloads}x{segs}");
@@ -77,6 +50,23 @@ fn bench_combinations(c: &mut Criterion) {
             BenchmarkId::new("classify_by_slack", &label),
             &set,
             |b, set| b.iter(|| black_box(set.unschedulable(slack).count())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lazy_prepare", &label),
+            &(&ctx, victim),
+            |b, &(ctx, victim)| {
+                b.iter(|| PreparedCombinations::prepare(black_box(ctx), victim, 1, opts).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lazy_count_unschedulable", &label),
+            &prepared,
+            |b, prepared| b.iter(|| black_box(prepared.count_unschedulable(slack))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lazy_minimal_antichain", &label),
+            &prepared,
+            |b, prepared| b.iter(|| black_box(prepared.minimal_unschedulable(slack).len())),
         );
     }
     group.finish();

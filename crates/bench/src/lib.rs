@@ -2,6 +2,8 @@
 //! paper's evaluation, used by both the `experiments` binary and the
 //! Criterion benches.
 
+pub mod runner;
+
 use std::collections::BTreeMap;
 
 use rand::SeedableRng;

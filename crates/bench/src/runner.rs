@@ -1,0 +1,647 @@
+//! In-process JSON benchmark runner behind `twca bench`.
+//!
+//! Criterion drives the statistical deep-dives (`cargo bench`); this
+//! runner exists so the perf trajectory of the hot paths is a
+//! *committed artifact* (`BENCH_combinations.json`) and a CI gate: it
+//! re-measures the same workloads in seconds, renders them as JSON, and
+//! [`check_against`] fails when a benchmark regresses more than the
+//! tolerance against the committed baseline — after normalizing the
+//! machines against each other through the `calibration/spin` entry.
+//!
+//! The headline metric is the **combination engine**: the lazy
+//! dominance-pruned enumerator vs the retained materialized reference,
+//! on the Definition 9 classification stage of `overload-heavy` stress
+//! systems (the packing solve downstream is engine-independent work and
+//! would only dilute the comparison).
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use twca_api::{Json, Session};
+use twca_chains::{
+    latency_analysis, typical_slack, AnalysisContext, AnalysisOptions, CombinationSet, DmmSweep,
+    OverloadMode, PreparedCombinations,
+};
+use twca_gen::{random_stress_system, StressProfile};
+use twca_model::{case_study, ChainId, ChainKind, System, SystemBuilder};
+
+/// Knobs of one runner invocation.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Seed of every generated workload.
+    pub seed: u64,
+    /// Fewer timed passes per benchmark (the CI smoke setting). The
+    /// *workloads* are identical in both modes, so quick runs remain
+    /// directly comparable against a full-mode committed baseline.
+    pub quick: bool,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            seed: 42,
+            quick: false,
+        }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchEntry {
+    /// Stable identifier (`group/variant`).
+    pub id: String,
+    /// Best (minimum) wall time of one workload pass, in nanoseconds —
+    /// the noise-robust estimator on shared machines: scheduling and
+    /// cache interference only ever add time.
+    pub best_ns: u64,
+    /// Number of timed passes the minimum was taken over.
+    pub samples: usize,
+}
+
+/// The full report `twca bench` renders and CI diffs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Seed the workloads were generated from.
+    pub seed: u64,
+    /// Whether the quick (CI) sample counts were used (the workloads
+    /// themselves are identical either way).
+    pub quick: bool,
+    /// Every measured benchmark.
+    pub entries: Vec<BenchEntry>,
+    /// Materialized-vs-lazy best-time ratio on the `overload-heavy`
+    /// combination-engine stage (> 1 means the lazy engine is faster).
+    pub overload_heavy_speedup: f64,
+}
+
+impl BenchReport {
+    /// The entry with the given id, if measured.
+    pub fn entry(&self, id: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Renders the wire/artifact form (`BENCH_combinations.json`).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("schema".to_owned(), Json::UInt(1)),
+            ("seed".to_owned(), Json::UInt(self.seed)),
+            ("quick".to_owned(), Json::Bool(self.quick)),
+            (
+                "benchmarks".to_owned(),
+                Json::Array(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::Object(vec![
+                                ("id".to_owned(), Json::Str(e.id.clone())),
+                                ("best_ns".to_owned(), Json::UInt(e.best_ns)),
+                                ("samples".to_owned(), Json::UInt(e.samples as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "overload_heavy_speedup".to_owned(),
+                Json::Str(format!("{:.2}", self.overload_heavy_speedup)),
+            ),
+        ])
+    }
+
+    /// Parses a report previously rendered by [`BenchReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed field.
+    pub fn from_json(value: &Json) -> Result<BenchReport, String> {
+        let obj = value.as_object().ok_or("report must be an object")?;
+        let field = |name: &str| {
+            obj.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{name}`"))
+        };
+        let seed = field("seed")?.as_u64().ok_or("`seed` must be an integer")?;
+        let quick = matches!(field("quick")?, Json::Bool(true));
+        let speedup: f64 = field("overload_heavy_speedup")?
+            .as_str()
+            .ok_or("`overload_heavy_speedup` must be a string")?
+            .parse()
+            .map_err(|_| "`overload_heavy_speedup` must parse as a number")?;
+        let mut entries = Vec::new();
+        let benches = field("benchmarks")?
+            .as_array()
+            .ok_or("`benchmarks` must be an array")?;
+        for bench in benches {
+            let bench = bench
+                .as_object()
+                .ok_or("each benchmark must be an object")?;
+            let get = |name: &str| {
+                bench
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| format!("benchmark missing `{name}`"))
+            };
+            entries.push(BenchEntry {
+                id: get("id")?
+                    .as_str()
+                    .ok_or("benchmark `id` must be a string")?
+                    .to_owned(),
+                best_ns: get("best_ns")?
+                    .as_u64()
+                    .ok_or("`best_ns` must be an integer")?,
+                samples: get("samples")?
+                    .as_u64()
+                    .ok_or("`samples` must be an integer")? as usize,
+            });
+        }
+        Ok(BenchReport {
+            seed,
+            quick,
+            entries,
+            overload_heavy_speedup: speedup,
+        })
+    }
+
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench: seed {} ({} workloads)",
+            self.seed,
+            if self.quick { "quick" } else { "full" }
+        );
+        let _ = writeln!(out, "{:<44} {:>14} {:>8}", "benchmark", "best", "samples");
+        for entry in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>14} {:>8}",
+                entry.id,
+                format_ns(entry.best_ns),
+                entry.samples
+            );
+        }
+        let _ = writeln!(
+            out,
+            "overload-heavy combination engine: lazy is {:.2}x faster than materialized",
+            self.overload_heavy_speedup
+        );
+        out
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Times one workload: runs it `samples` times, returns the minimum
+/// pass duration in nanoseconds (interference only ever adds time, so
+/// the minimum is the stable estimator on a shared machine).
+fn best_ns(samples: usize, mut pass: impl FnMut()) -> u64 {
+    (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            pass();
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .min()
+        .expect("at least one sample")
+}
+
+/// The batch-tuned options every workload analyzes under (random stress
+/// systems routinely exceed utilization 1; tight divergence limits keep
+/// the latency stage from dominating).
+fn bench_options() -> AnalysisOptions {
+    AnalysisOptions {
+        horizon: 2_000_000,
+        max_q: 20_000,
+        ..AnalysisOptions::default()
+    }
+}
+
+/// A victim chain plus `overloads` overload chains, each with
+/// `segments_per_chain` active segments — the ablation shape shared
+/// with `cargo bench ablation_combinations`.
+pub fn system_with_overloads(overloads: usize, segments_per_chain: usize) -> System {
+    let mut builder = SystemBuilder::new()
+        .chain("victim")
+        .periodic(1_000)
+        .expect("static period")
+        .deadline(1_000)
+        .kind(ChainKind::Synchronous)
+        .task("v1", 50, 10)
+        .task("v2", 1, 10)
+        .done();
+    let mut prio = 100u32;
+    for o in 0..overloads {
+        let mut cb = builder
+            .chain(format!("over_{o}"))
+            .sporadic(50_000)
+            .expect("static distance")
+            .overload();
+        for s in 0..segments_per_chain {
+            cb = cb.task(format!("o{o}_hi{s}"), prio, 5);
+            prio += 1;
+            if s + 1 < segments_per_chain {
+                cb = cb.task(format!("o{o}_lo{s}"), 0, 1);
+            }
+        }
+        builder = cb.done();
+    }
+    builder.build().expect("well-formed")
+}
+
+/// One prepared Definition 9 site: everything the combination-engine
+/// stage needs, with the latency stage precomputed outside the timed
+/// region.
+struct CombinationSite {
+    system: System,
+    chain: ChainId,
+    k_b: u64,
+    slack: i128,
+}
+
+/// Collects the Definition 9 sites of a batch of systems.
+fn combination_sites(systems: Vec<System>, options: AnalysisOptions) -> Vec<CombinationSite> {
+    let mut sites = Vec::new();
+    for system in systems {
+        let ctx = AnalysisContext::new(&system);
+        let mut found = Vec::new();
+        for (id, chain) in system.iter() {
+            if chain.deadline().is_none() {
+                continue;
+            }
+            let Some(full) = latency_analysis(&ctx, id, OverloadMode::Include, options) else {
+                continue;
+            };
+            let k_b = full.busy_window_activations;
+            let slack = typical_slack(&ctx, id, k_b);
+            if slack < 0 {
+                continue;
+            }
+            // Keep only sites *both* engines can run: a non-empty
+            // combination space whose product stays inside the
+            // materialized reference's explicit bound (the lazy engine
+            // alone would also handle bigger products, but then there
+            // would be nothing to compare against).
+            match PreparedCombinations::prepare(&ctx, id, k_b, options) {
+                Ok(prepared)
+                    if prepared.total_combinations() > 0
+                        && prepared.total_combinations() < options.max_combinations as u128 =>
+                {
+                    found.push((id, k_b, slack));
+                }
+                _ => {}
+            }
+        }
+        for (chain, k_b, slack) in found {
+            sites.push(CombinationSite {
+                system: system.clone(),
+                chain,
+                k_b,
+                slack,
+            });
+        }
+    }
+    sites
+}
+
+/// One lazy-engine pass over the sites: enumerate per-chain options,
+/// count the unschedulable set, extract the minimal antichain — the
+/// exact classification work `DmmSweep::prepare` performs.
+fn lazy_pass(sites: &[CombinationSite], options: AnalysisOptions) -> u128 {
+    let mut acc: u128 = 0;
+    for site in sites {
+        let ctx = AnalysisContext::new(&site.system);
+        let prepared = PreparedCombinations::prepare(&ctx, site.chain, site.k_b, options)
+            .expect("sites were prevalidated");
+        acc = acc.wrapping_add(prepared.count_unschedulable(site.slack));
+        acc = acc.wrapping_add(prepared.minimal_unschedulable(site.slack).len() as u128);
+    }
+    acc
+}
+
+/// One materialized-reference pass: the full Definition 9 product, the
+/// slack filter, and the dominance reduction its raw item list forces
+/// on the packing layer downstream.
+fn materialized_pass(sites: &[CombinationSite], options: AnalysisOptions) -> u128 {
+    let mut acc: u128 = 0;
+    for site in sites {
+        let ctx = AnalysisContext::new(&site.system);
+        let set =
+            CombinationSet::enumerate(&ctx, site.chain, options).expect("sites were prevalidated");
+        let multipliers = set.window_multipliers(&ctx, site.chain, site.k_b);
+        let items: Vec<Vec<usize>> = set
+            .unschedulable_scaled(site.slack, &multipliers)
+            .map(|c| c.members.clone())
+            .collect();
+        let n = items.len();
+        let is_subset = |a: &[usize], b: &[usize]| a.iter().all(|r| b.binary_search(r).is_ok());
+        let minimal = (0..n)
+            .filter(|&i| {
+                !(0..n).any(|j| {
+                    j != i
+                        && is_subset(&items[j], &items[i])
+                        && (items[j].len() < items[i].len() || j < i)
+                })
+            })
+            .count();
+        acc = acc.wrapping_add(n as u128).wrapping_add(minimal as u128);
+    }
+    acc
+}
+
+/// Runs the whole suite.
+pub fn run_bench(config: &BenchConfig) -> BenchReport {
+    let samples = if config.quick { 7 } else { 11 };
+    let options = bench_options();
+    let mut entries = Vec::new();
+
+    // Machine-speed calibration, used by `check_against` to normalize
+    // baselines recorded on other machines. Deliberately shaped like
+    // the real benchmarks — allocation plus a data-dependent memory
+    // walk — so cache/memory contention moves it the same way it moves
+    // them (a pure ALU spin would not).
+    entries.push(BenchEntry {
+        id: "calibration/spin".to_owned(),
+        best_ns: best_ns(samples, || {
+            let mut x: u64 = 0x9E37_79B9;
+            let mut table: Vec<u64> = Vec::with_capacity(1 << 16);
+            for i in 0..(1u64 << 16) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+                table.push(x);
+            }
+            let mut acc = 0u64;
+            let mut at = 0usize;
+            for _ in 0..2_000_000u64 {
+                let v = table[at];
+                acc = acc.wrapping_add(v);
+                at = (v as usize) & ((1 << 16) - 1);
+            }
+            std::hint::black_box((acc, table));
+        }),
+        samples,
+    });
+
+    // Ablation grid: the synthetic shapes of `cargo bench
+    // ablation_combinations`, classification stage only.
+    for (overloads, segments) in [(2usize, 4usize), (4, 4)] {
+        let sites = combination_sites(vec![system_with_overloads(overloads, segments)], options);
+        // Micro workloads repeat per pass so a pass is long enough for
+        // the 1.5x regression gate to be noise-immune.
+        let id = format!("ablation_combinations/{overloads}x{segments}");
+        entries.push(BenchEntry {
+            id: format!("{id}/lazy"),
+            best_ns: best_ns(samples, || {
+                for _ in 0..50 {
+                    std::hint::black_box(lazy_pass(&sites, options));
+                }
+            }),
+            samples,
+        });
+        entries.push(BenchEntry {
+            id: format!("{id}/materialized"),
+            best_ns: best_ns(samples, || {
+                for _ in 0..50 {
+                    std::hint::black_box(materialized_pass(&sites, options));
+                }
+            }),
+            samples,
+        });
+    }
+
+    // The headline: the combination-engine stage on overload-heavy
+    // stress systems.
+    let count = 48;
+    let systems: Vec<System> = (0..count)
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(i));
+            random_stress_system(&mut rng, StressProfile::OverloadHeavy).expect("built-in profile")
+        })
+        .collect();
+    let sites = combination_sites(systems, options);
+    let check_lazy = lazy_pass(&sites, options);
+    let check_mat = materialized_pass(&sites, options);
+    assert_eq!(
+        check_lazy, check_mat,
+        "the engines disagreed on the bench workload"
+    );
+    let lazy_ns = best_ns(samples, || {
+        std::hint::black_box(lazy_pass(&sites, options));
+    });
+    let mat_ns = best_ns(samples, || {
+        std::hint::black_box(materialized_pass(&sites, options));
+    });
+    entries.push(BenchEntry {
+        id: "overload_heavy/combinations/lazy".to_owned(),
+        best_ns: lazy_ns,
+        samples,
+    });
+    entries.push(BenchEntry {
+        id: "overload_heavy/combinations/materialized".to_owned(),
+        best_ns: mat_ns,
+        samples,
+    });
+    let overload_heavy_speedup = mat_ns as f64 / lazy_ns.max(1) as f64;
+
+    // Table II reproduction: the case-study dmm curve, full pipeline.
+    entries.push(BenchEntry {
+        id: "table2_dmm".to_owned(),
+        best_ns: best_ns(samples, || {
+            for _ in 0..50 {
+                let system = case_study();
+                let ctx = AnalysisContext::new(&system);
+                let (c, _) = system.chain_by_name("sigma_c").expect("case-study chain");
+                let sweep =
+                    DmmSweep::prepare(&ctx, c, AnalysisOptions::default()).expect("case study");
+                std::hint::black_box(sweep.curve([1, 3, 10, 76, 250]));
+            }
+        }),
+        samples,
+    });
+
+    // Batch engine throughput on one worker: the `twca batch` hot path
+    // with the thread fan-out pinned to 1 so the single-threaded
+    // calibration entry can normalize it across machines with different
+    // core counts (parallel scaling itself is criterion's
+    // `engine_scaling` bench, not a regression-gated number).
+    let batch: Vec<System> = {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        (0..16)
+            .map(|_| {
+                random_stress_system(&mut rng, StressProfile::Baseline).expect("built-in profile")
+            })
+            .collect()
+    };
+    entries.push(BenchEntry {
+        id: "engine_scaling".to_owned(),
+        best_ns: best_ns(samples, || {
+            for _ in 0..5 {
+                let session = Session::new().with_options(options);
+                let engine = twca_engine::BatchEngine::from_session(session)
+                    .with_ks([1, 10, 100])
+                    .with_threads(1);
+                std::hint::black_box(engine.run(batch.clone()));
+            }
+        }),
+        samples,
+    });
+
+    BenchReport {
+        seed: config.seed,
+        quick: config.quick,
+        entries,
+        overload_heavy_speedup,
+    }
+}
+
+/// Compares a fresh report against a committed baseline.
+///
+/// Both reports must have been measured on the same seed (different
+/// seeds mean different workloads — comparing them validates nothing).
+/// Best-of-N times are normalized by the two reports'
+/// `calibration/spin` entries (so a baseline recorded on a faster
+/// machine does not fail CI spuriously), then every shared benchmark id
+/// must stay within `tolerance` × baseline; the overload-heavy speedup
+/// must not collapse below `baseline / tolerance` and must keep the
+/// ≥ 5× contract. Returns the list of regressions (empty = pass).
+pub fn check_against(current: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
+    if current.seed != baseline.seed {
+        regressions.push(format!(
+            "seed mismatch: measured {} vs baseline {} — different seeds are different \
+             workloads, nothing below is comparable",
+            current.seed, baseline.seed
+        ));
+        return regressions;
+    }
+    let scale = match (
+        current.entry("calibration/spin"),
+        baseline.entry("calibration/spin"),
+    ) {
+        (Some(c), Some(b)) if b.best_ns > 0 => c.best_ns as f64 / b.best_ns as f64,
+        _ => 1.0,
+    };
+    for entry in &baseline.entries {
+        if entry.id == "calibration/spin" {
+            continue;
+        }
+        let Some(current_entry) = current.entry(&entry.id) else {
+            regressions.push(format!("benchmark `{}` disappeared", entry.id));
+            continue;
+        };
+        let allowed = entry.best_ns as f64 * scale * tolerance;
+        if current_entry.best_ns as f64 > allowed {
+            regressions.push(format!(
+                "`{}` regressed: {} vs allowed {} (baseline {} × machine scale {:.2} × \
+                 tolerance {tolerance})",
+                entry.id,
+                format_ns(current_entry.best_ns),
+                format_ns(allowed as u64),
+                format_ns(entry.best_ns),
+                scale,
+            ));
+        }
+    }
+    if current.overload_heavy_speedup < baseline.overload_heavy_speedup / tolerance {
+        regressions.push(format!(
+            "overload-heavy speedup collapsed: {:.2}x vs baseline {:.2}x",
+            current.overload_heavy_speedup, baseline.overload_heavy_speedup
+        ));
+    }
+    if current.overload_heavy_speedup < 5.0 {
+        regressions.push(format!(
+            "overload-heavy speedup below the 5x contract: {:.2}x",
+            current.overload_heavy_speedup
+        ));
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = BenchReport {
+            seed: 7,
+            quick: true,
+            entries: vec![
+                BenchEntry {
+                    id: "calibration/spin".into(),
+                    best_ns: 1_000,
+                    samples: 3,
+                },
+                BenchEntry {
+                    id: "x/y".into(),
+                    best_ns: 42,
+                    samples: 3,
+                },
+            ],
+            overload_heavy_speedup: 12.5,
+        };
+        let json = report.to_json().to_string();
+        let reparsed = BenchReport::from_json(&Json::parse(&json).expect("valid json"))
+            .expect("well-formed report");
+        assert_eq!(reparsed, report);
+        assert!(report.render().contains("x/y"));
+    }
+
+    #[test]
+    fn regression_check_scales_by_calibration_and_flags_slowdowns() {
+        let mk = |spin: u64, work: u64, speedup: f64| BenchReport {
+            seed: 1,
+            quick: true,
+            entries: vec![
+                BenchEntry {
+                    id: "calibration/spin".into(),
+                    best_ns: spin,
+                    samples: 3,
+                },
+                BenchEntry {
+                    id: "work".into(),
+                    best_ns: work,
+                    samples: 3,
+                },
+            ],
+            overload_heavy_speedup: speedup,
+        };
+        let baseline = mk(1_000, 10_000, 50.0);
+        // Twice-slower machine, work scaled accordingly: clean.
+        assert!(check_against(&mk(2_000, 20_000, 50.0), &baseline, 1.5).is_empty());
+        // Same machine, work 2x slower: regression.
+        assert!(!check_against(&mk(1_000, 20_001, 50.0), &baseline, 1.5).is_empty());
+        // Speedup collapse and sub-contract speedups are caught.
+        assert!(!check_against(&mk(1_000, 10_000, 20.0), &baseline, 1.5).is_empty());
+        assert!(!check_against(&mk(1_000, 10_000, 4.0), &baseline, 1.5).is_empty());
+    }
+
+    #[test]
+    fn quick_suite_runs_and_keeps_the_contract() {
+        let report = run_bench(&BenchConfig {
+            seed: 42,
+            quick: true,
+        });
+        assert!(report.entry("table2_dmm").is_some());
+        assert!(report.entry("engine_scaling").is_some());
+        assert!(report.entry("overload_heavy/combinations/lazy").is_some());
+        // No wall-clock ratio assertions here: this runs unoptimized
+        // and time-shared under `cargo test`. run_bench itself asserts
+        // the engines *agree* on the workload (deterministic), and the
+        // release-mode CI bench step gates the speedup contract.
+        assert!(report.overload_heavy_speedup.is_finite());
+    }
+}

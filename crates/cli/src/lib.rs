@@ -17,6 +17,7 @@
 //! twca dist <file>                    distributed (linked-resource) analysis
 //! twca serve                          JSON-Lines request/response streaming
 //! twca fuzz                           randomized conformance fuzzing (verify)
+//! twca bench                          perf-trajectory runner (JSON + CI gate)
 //! ```
 //!
 //! `batch` flags: `--gen N` (analyze `N` generated systems), `--seed S`,
@@ -26,8 +27,9 @@
 //! `fuzz` generates random scenarios (uniprocessor stress profiles and
 //! distributed topologies) and checks every one against the
 //! [`twca_verify`] oracle battery: simulation soundness, cache
-//! agreement, serial/parallel agreement, backend agreement and dmm
-//! monotonicity. Failing scenarios are auto-shrunk and persisted to the
+//! agreement, serial/parallel agreement, backend agreement, dmm
+//! monotonicity and lazy-vs-materialized combination-engine
+//! agreement. Failing scenarios are auto-shrunk and persisted to the
 //! regression corpus. Flags: `--seed S`, `--iters N`, `--budget SECS`,
 //! `--profile P1,P2,...`, `--k K1,K2,...`, `--horizon H`,
 //! `--corpus DIR`, `--no-shrink`.
@@ -859,7 +861,7 @@ impl FuzzArgs {
 
 /// `twca fuzz`: randomized conformance fuzzing through the
 /// [`twca_verify`] oracle battery. Every generated scenario is checked
-/// against all five oracles; failures are auto-shrunk to minimal
+/// against all six oracles; failures are auto-shrunk to minimal
 /// counterexamples and (with `--corpus`) persisted as regression
 /// fixtures.
 ///
@@ -915,6 +917,108 @@ pub fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
     Err(CliError::Verify(out))
 }
 
+/// Parsed flags of `twca bench`.
+struct BenchCliArgs {
+    config: twca_bench::runner::BenchConfig,
+    json: bool,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+impl BenchCliArgs {
+    const USAGE: &'static str = "twca bench [--json] [--out FILE] [--seed S] [--quick] \
+                                 [--check BASELINE.json]";
+
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut parsed = BenchCliArgs {
+            config: twca_bench::runner::BenchConfig::default(),
+            json: false,
+            out: None,
+            check: None,
+        };
+        let mut rest = args.iter();
+        while let Some(arg) = rest.next() {
+            let mut value_of = |flag: &str| {
+                rest.next().ok_or_else(|| {
+                    CliError::Usage(format!("{flag} needs a value; {}", Self::USAGE))
+                })
+            };
+            match arg.as_str() {
+                "--json" => parsed.json = true,
+                "--quick" => parsed.config.quick = true,
+                "--seed" => {
+                    parsed.config.seed = value_of("--seed")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("`--seed` expects an integer".into()))?;
+                }
+                "--out" => parsed.out = Some(value_of("--out")?.clone()),
+                "--check" => parsed.check = Some(value_of("--check")?.clone()),
+                flag => {
+                    return Err(CliError::Usage(format!(
+                        "unknown bench flag `{flag}`; {}",
+                        Self::USAGE
+                    )));
+                }
+            }
+        }
+        Ok(parsed)
+    }
+}
+
+/// `twca bench`: the in-process perf-trajectory runner
+/// ([`twca_bench::runner`]) — best-of-N timings for the combination-engine
+/// ablations (`ablation_combinations`, `overload_heavy/combinations`),
+/// `table2_dmm` and `engine_scaling`, rendered as a table or as the
+/// `BENCH_combinations.json` artifact with `--json`/`--out`.
+/// `--check BASELINE.json` re-measures and fails (non-zero exit) when
+/// any benchmark regresses more than 1.5× against the committed
+/// baseline after machine-speed normalization, or when the
+/// overload-heavy lazy-engine speedup falls below its contract.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for bad flags, [`CliError::Io`] for
+/// unreadable/unwritable files, and [`CliError::Verify`] with the
+/// regression list when `--check` fails.
+pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
+    use twca_bench::runner::{check_against, run_bench, BenchReport};
+
+    let parsed = BenchCliArgs::parse(args)?;
+    // Load the baseline before measuring anything: a missing or
+    // malformed baseline must fail fast, not after seconds of timing.
+    let baseline = match &parsed.check {
+        None => None,
+        Some(baseline_path) => {
+            let text = std::fs::read_to_string(baseline_path)?;
+            let value = twca_api::Json::parse(&text)
+                .map_err(|e| CliError::Usage(format!("`{baseline_path}` is not JSON: {e}")))?;
+            Some(BenchReport::from_json(&value).map_err(|e| {
+                CliError::Usage(format!("`{baseline_path}` is not a bench report: {e}"))
+            })?)
+        }
+    };
+    let report = run_bench(&parsed.config);
+    let json = format!("{}\n", report.to_json());
+    if let Some(path) = &parsed.out {
+        std::fs::write(path, &json)?;
+    }
+    if let Some(baseline) = baseline {
+        let regressions = check_against(&report, &baseline, 1.5);
+        if !regressions.is_empty() {
+            let mut out = String::from("performance regressions against the baseline:\n");
+            for regression in &regressions {
+                let _ = writeln!(out, "  {regression}");
+            }
+            out.push_str(&report.render());
+            return Err(CliError::Verify(out));
+        }
+    }
+    if parsed.json {
+        return Ok(json);
+    }
+    Ok(report.render())
+}
+
 /// Dispatches a full argument vector (excluding the program name).
 ///
 /// # Errors
@@ -923,13 +1027,16 @@ pub fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
 /// failures and analysis failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     const USAGE: &str = "twca <analyze|explain|dmm|simulate|dot|gantt|report|synthesize|batch|\
-                         dist|serve|fuzz> <file> [...]";
+                         dist|serve|fuzz|bench> <file> [...]";
     let command = args.first().ok_or_else(|| CliError::Usage(USAGE.into()))?;
     if command == "batch" {
         return cmd_batch(&args[1..]);
     }
     if command == "fuzz" {
         return cmd_fuzz(&args[1..]);
+    }
+    if command == "bench" {
+        return cmd_bench(&args[1..]);
     }
     if command == "dist" {
         return cmd_dist(&args[1..]);
@@ -1258,6 +1365,26 @@ chain diag sporadic=1500 overload {
                 Err(CliError::Usage(_))
             ));
         }
+    }
+
+    #[test]
+    fn bench_validates_flags() {
+        assert!(matches!(
+            cmd_bench(&args(&["--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_bench(&args(&["--seed", "not-a-number"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_bench(&args(&["--check"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_bench(&args(&["--check", "/nonexistent/baseline.json"])),
+            Err(CliError::Io(_))
+        ));
     }
 
     #[test]

@@ -217,6 +217,18 @@ struct DmmKey {
     /// 0 = sufficient (Equation 5) classification, 1 = exact
     /// (Equation 3).
     variant: u8,
+    /// Which combination engine produced the value (the engines agree
+    /// bit-for-bit wherever both run, but the lazy one also covers
+    /// instances the materialized one rejects — entries must not leak
+    /// across the modes).
+    engine: u8,
+}
+
+fn engine_bit(mode: crate::config::CombinationEngineMode) -> u8 {
+    match mode {
+        crate::config::CombinationEngineMode::Lazy => 0,
+        crate::config::CombinationEngineMode::Materialized => 1,
+    }
 }
 
 const SHARDS: usize = 16;
@@ -464,6 +476,7 @@ impl AnalysisCache {
             max_combinations: options.max_combinations,
             packing_budget: options.packing_budget,
             variant: exact as u8,
+            engine: engine_bit(options.combination_engine),
         };
         if let Some(hit) = self.dmm.get(&key) {
             self.record(true);

@@ -2,6 +2,31 @@
 
 use twca_curves::Time;
 
+/// Which Definition 9 combination engine the miss-model pipeline uses.
+///
+/// The two engines produce **bit-identical** results on every instance
+/// the materialized engine can handle; the lazy engine additionally
+/// analyzes instances whose implicit combination count exceeds
+/// [`AnalysisOptions::max_combinations`] (the `twca-verify`
+/// lazy-agreement oracle holds them to that contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CombinationEngineMode {
+    /// Stream combinations through the dominance-pruned lazy engine
+    /// ([`crate::PreparedCombinations`]): per-chain options are
+    /// enumerated once into a flat arena, the unschedulable set is
+    /// counted by branch-and-bound with closed-form subtree counts, and
+    /// the Theorem 3 packing receives the inclusion-minimal item
+    /// antichain instead of exploded members. Explicit members are
+    /// reconstructed only on the witness path. The default.
+    #[default]
+    Lazy,
+    /// Materialize the full Definition 9 Cartesian product
+    /// ([`crate::CombinationSet::enumerate`]) before classifying — the
+    /// original reference pipeline, retained for differential testing
+    /// and as the execution path of the per-combination cap hook.
+    Materialized,
+}
+
 /// Limits and switches for the fixed-point computations and the
 /// combination enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,14 +37,26 @@ pub struct AnalysisOptions {
     /// Maximum number of activations `q` explored when searching for the
     /// end of the busy window (`K_b`).
     pub max_q: u64,
-    /// Maximum number of combinations materialized by the DMM
-    /// computation.
+    /// Maximum number of combinations **materialized explicitly**.
+    ///
+    /// Under [`CombinationEngineMode::Materialized`] (and the
+    /// per-combination cap hook of
+    /// [`crate::dmm::deadline_miss_model_with_caps`]) this bounds the whole
+    /// Definition 9 product, exactly as in the original pipeline. Under
+    /// the default lazy engine it bounds only *explicit* expansions —
+    /// the per-chain option arena, packing-witness rows and the
+    /// compatibility tier — not analysis feasibility: instances whose
+    /// implicit product exceeds the limit are still analyzed via the
+    /// pruned antichain path.
     pub max_combinations: usize,
     /// Deterministic work budget of the Theorem 3 packing solver (see
     /// `twca_ilp::PackingProblem::solve_with_budget`). Exhaustion
     /// degrades the packing value to a sound upper bound, so small
     /// budgets trade tightness for speed — never soundness.
     pub packing_budget: u64,
+    /// Which combination engine classifies Definition 9 (see
+    /// [`CombinationEngineMode`]).
+    pub combination_engine: CombinationEngineMode,
 }
 
 impl Default for AnalysisOptions {
@@ -29,6 +66,7 @@ impl Default for AnalysisOptions {
             max_q: 100_000,
             max_combinations: 1_000_000,
             packing_budget: twca_ilp::PackingProblem::DEFAULT_BUDGET,
+            combination_engine: CombinationEngineMode::default(),
         }
     }
 }

@@ -1,16 +1,203 @@
 //! Deadline miss models for task chains (Theorem 3 and Lemma 3 of the
 //! paper).
 
-use crate::combinations::{Combination, CombinationSet, OverloadSegment};
-use crate::config::AnalysisOptions;
+use crate::combinations::{
+    Combination, CombinationSet, ItemArena, OverloadSegment, PreparedCombinations,
+};
+use crate::config::{AnalysisOptions, CombinationEngineMode};
 use crate::context::AnalysisContext;
 use crate::criterion::typical_slack;
 use crate::error::AnalysisError;
 use crate::latency::{latency_analysis, OverloadMode};
 use crate::omega::overload_budget;
 use twca_curves::EventModel;
-use twca_ilp::PackingProblem;
+use twca_ilp::{PackingProblem, PackingSolution};
 use twca_model::ChainId;
+
+/// Saturates an implicit (possibly astronomically large) count into the
+/// `usize` fields of [`DmmResult`].
+fn saturate_count(count: u128) -> usize {
+    count.min(usize::MAX as u128) as usize
+}
+
+/// The classified Definition 9 state the Theorem 3 packing consumes:
+/// the segment (resource) table, the combination counts, and the
+/// packing items in whichever representation the active engine tier
+/// produced.
+#[derive(Debug, Clone)]
+struct ClassifiedCombinations {
+    segments: Vec<OverloadSegment>,
+    /// Total combinations (implicit count, saturated at `usize::MAX`).
+    combinations: usize,
+    /// Unschedulable combinations (saturated likewise).
+    unschedulable: usize,
+    items: PackingItems,
+}
+
+/// The packing-item tiers. The lazy engine picks the representation
+/// that is provably bit-identical to the materialized reference
+/// wherever the reference can run at all:
+///
+/// * up to `PackingProblem::DOMINANCE_LIMIT` unschedulable combinations
+///   the reference solver reduces the raw item list to the
+///   inclusion-minimal antichain itself, so handing it the antichain
+///   directly changes nothing — `Pruned`;
+/// * beyond that limit (where the reference solver skips its dominance
+///   prefilter) but within the explicit product bound, the exact raw
+///   item list is reproduced — `Explicit`;
+/// * past the explicit product bound the reference errors out with
+///   `TooManyCombinations` and the antichain tier is the only (and
+///   newly possible) behavior — `Pruned`.
+#[derive(Debug, Clone)]
+enum PackingItems {
+    /// Explicit member lists of every unschedulable combination, in
+    /// enumeration order — the materialized reference shape.
+    Explicit(ItemArena),
+    /// The inclusion-minimal antichain, plus the engine and slack
+    /// needed to re-expand explicit members on the witness path.
+    Pruned {
+        minimal: ItemArena,
+        prepared: Box<PreparedCombinations>,
+        slack: i128,
+    },
+}
+
+impl PackingItems {
+    /// Solves the Theorem 3 packing over these items.
+    fn solve(&self, capacities: Vec<u64>, budget: u64) -> PackingSolution {
+        match self {
+            PackingItems::Explicit(items) => {
+                PackingProblem::from_arena(capacities, items.offsets(), items.members())
+                    .expect("indices in range by construction")
+                    .solve_with_budget(budget)
+            }
+            PackingItems::Pruned { minimal, .. } => {
+                PackingProblem::from_arena(capacities, minimal.offsets(), minimal.members())
+                    .expect("indices in range by construction")
+                    .solve_assuming_antichain(budget)
+            }
+        }
+    }
+}
+
+/// Classifies the combination space of `observed` against `slack`
+/// through the engine selected in `options`.
+fn classify_combinations(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    k_b: u64,
+    slack: i128,
+    options: AnalysisOptions,
+) -> Result<ClassifiedCombinations, AnalysisError> {
+    match options.combination_engine {
+        CombinationEngineMode::Materialized => {
+            let set = CombinationSet::enumerate(ctx, observed, options)?;
+            let multipliers = set.window_multipliers(ctx, observed, k_b);
+            let items: ItemArena = set
+                .unschedulable_scaled(slack, &multipliers)
+                .map(|c| c.members.clone())
+                .collect();
+            Ok(ClassifiedCombinations {
+                segments: set.segments().to_vec(),
+                combinations: set.combinations().len(),
+                unschedulable: items.len(),
+                items: PackingItems::Explicit(items),
+            })
+        }
+        CombinationEngineMode::Lazy => {
+            let prepared = PreparedCombinations::prepare(ctx, observed, k_b, options)?;
+            classify_lazy(prepared, slack, options)
+        }
+    }
+}
+
+/// The lazy tier choice; see [`PackingItems`] for why each tier is
+/// bit-identical to the reference on its regime.
+///
+/// # Errors
+///
+/// [`AnalysisError::TooManyCombinations`] when the counting or
+/// antichain walk exhausts its deterministic budget — possible only on
+/// adversarial instances whose schedulable/unschedulable *boundary* is
+/// itself combinatorial (instances the materialized reference could
+/// run can never exhaust it; see
+/// [`PreparedCombinations::walk_budget`]).
+fn classify_lazy(
+    prepared: PreparedCombinations,
+    slack: i128,
+    options: AnalysisOptions,
+) -> Result<ClassifiedCombinations, AnalysisError> {
+    let too_many = || AnalysisError::TooManyCombinations {
+        limit: options.max_combinations,
+    };
+    let budget = PreparedCombinations::walk_budget(&options);
+    let total = prepared.total_combinations();
+    let count = prepared
+        .count_unschedulable_within(slack, budget)
+        .ok_or_else(too_many)?;
+    let segments = prepared.segments().to_vec();
+    let items = if count <= PackingProblem::DOMINANCE_LIMIT as u128
+        || total >= options.max_combinations as u128
+    {
+        PackingItems::Pruned {
+            minimal: prepared
+                .minimal_unschedulable_within(slack, budget)
+                .ok_or_else(too_many)?,
+            prepared: Box::new(prepared),
+            slack,
+        }
+    } else {
+        // Between the reference's dominance-prefilter limit and its
+        // explicit product bound: reproduce its raw item list exactly
+        // (the reference would not have reduced to the antichain here).
+        let expanded = prepared
+            .expand_unschedulable(slack, options.max_combinations)
+            .expect("the unschedulable count is bounded by the product, which fits the cap");
+        PackingItems::Explicit(expanded.into_iter().map(|c| c.members).collect())
+    };
+    Ok(ClassifiedCombinations {
+        segments,
+        combinations: saturate_count(total),
+        unschedulable: saturate_count(count),
+        items,
+    })
+}
+
+/// Every unschedulable combination explicitly, for the per-combination
+/// cap hook (whose artificial cap resources defeat the antichain
+/// reduction). Mirrors the materialized product gate in both modes.
+fn explicit_unschedulable_for_hook(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    k_b: u64,
+    slack: i128,
+    options: AnalysisOptions,
+) -> Result<(Vec<OverloadSegment>, usize, Vec<Combination>), AnalysisError> {
+    match options.combination_engine {
+        CombinationEngineMode::Materialized => {
+            let set = CombinationSet::enumerate(ctx, observed, options)?;
+            let multipliers = set.window_multipliers(ctx, observed, k_b);
+            let combos: Vec<Combination> = set
+                .unschedulable_scaled(slack, &multipliers)
+                .cloned()
+                .collect();
+            Ok((set.segments().to_vec(), set.combinations().len(), combos))
+        }
+        CombinationEngineMode::Lazy => {
+            let prepared = PreparedCombinations::prepare(ctx, observed, k_b, options)?;
+            let total = prepared.total_combinations();
+            if total >= options.max_combinations as u128 {
+                return Err(AnalysisError::TooManyCombinations {
+                    limit: options.max_combinations,
+                });
+            }
+            let combos = prepared
+                .expand_unschedulable(slack, options.max_combinations)
+                .expect("the product fits the explicit cap");
+            Ok((prepared.segments().to_vec(), total as usize, combos))
+        }
+    }
+}
 
 /// A computed deadline miss model value `dmm_b(k)`, with the intermediate
 /// quantities of Theorem 3 exposed for inspection.
@@ -41,7 +228,10 @@ pub struct DmmResult {
     pub typical_slack: i128,
     /// Overload budgets `Ω_a^b` per overload chain.
     pub omegas: Vec<(ChainId, u64)>,
-    /// Number of combinations enumerated (Definition 9).
+    /// Number of valid combinations (Definition 9). Under the lazy
+    /// engine this is the *implicit* count — nothing was materialized
+    /// to obtain it — saturated at `usize::MAX` for astronomically
+    /// large products.
     pub combinations: usize,
     /// Number of unschedulable combinations (the ILP items).
     pub unschedulable_combinations: usize,
@@ -170,32 +360,10 @@ pub fn deadline_miss_model_with_caps(
         return Ok(trivial(false, misses_per_window));
     }
 
-    // Step 3: combinations, classified under the soundly scaled costs
-    // (each segment × its chain's activations per deadline horizon; all
-    // multipliers are 1 on the paper's rare-overload domain).
-    let set = CombinationSet::enumerate(ctx, observed, options)?;
-    let multipliers = set.window_multipliers(ctx, observed, full.busy_window_activations);
-    let unschedulable: Vec<&Combination> = set.unschedulable_scaled(slack, &multipliers).collect();
-    let num_unschedulable = unschedulable.len();
-    if unschedulable.is_empty() {
-        // Every packing is harmless; a busy window can only miss when an
-        // unschedulable combination executes in it.
-        return Ok(DmmResult {
-            k,
-            bound: 0,
-            informative: true,
-            misses_per_window,
-            packed_windows: 0,
-            packing_exact: true,
-            typical_slack: slack,
-            omegas: budgets(ctx, observed, k, &full),
-            combinations: set.combinations().len(),
-            unschedulable_combinations: 0,
-        });
-    }
-
     // Step 4: budgets Ω_a^b per overload chain, mapped onto the segment
-    // resources.
+    // resources. A busy window can only miss when an unschedulable
+    // combination executes in it, so an empty classification solves to
+    // a zero packing without touching the solver.
     let omegas = budgets(ctx, observed, k, &full);
     let omega_of = |chain: ChainId| -> u64 {
         omegas
@@ -205,38 +373,78 @@ pub fn deadline_miss_model_with_caps(
             .expect("every overload chain has a budget")
     };
 
-    // Step 5: the packing problem. Resources: one per overload active
-    // segment (capacity = its chain's Ω), plus one artificial resource
-    // per capped item.
-    let mut capacities: Vec<u64> = set.segments().iter().map(|s| omega_of(s.chain)).collect();
-    let mut items: Vec<Vec<usize>> = Vec::with_capacity(unschedulable.len());
-    for combo in &unschedulable {
-        let mut resources = combo.members.clone();
-        if let Some(hook) = item_cap {
-            if let Some(cap) = hook(combo, set.segments()) {
-                let extra = capacities.len();
-                capacities.push(cap);
-                resources.push(extra);
-            }
+    // Steps 3 and 5: combinations classified under the soundly scaled
+    // costs (each segment × its chain's activations per deadline
+    // horizon; all multipliers are 1 on the paper's rare-overload
+    // domain), then packed into busy windows under the Ω capacities.
+    // The per-combination cap hook needs every unschedulable
+    // combination explicitly (its artificial cap resources defeat the
+    // antichain reduction); the plain Theorem 3 path goes through the
+    // configured engine's tiers.
+    let (combinations, num_unschedulable, solution) = match item_cap {
+        Some(hook) => {
+            let (segments, combinations, unschedulable) = explicit_unschedulable_for_hook(
+                ctx,
+                observed,
+                full.busy_window_activations,
+                slack,
+                options,
+            )?;
+            let solution = if unschedulable.is_empty() {
+                None
+            } else {
+                // Resources: one per overload active segment (capacity
+                // = its chain's Ω), plus one artificial resource per
+                // capped item.
+                let mut capacities: Vec<u64> = segments.iter().map(|s| omega_of(s.chain)).collect();
+                let mut items: Vec<Vec<usize>> = Vec::with_capacity(unschedulable.len());
+                for combo in &unschedulable {
+                    let mut resources = combo.members.clone();
+                    if let Some(cap) = hook(combo, &segments) {
+                        let extra = capacities.len();
+                        capacities.push(cap);
+                        resources.push(extra);
+                    }
+                    items.push(resources);
+                }
+                Some(
+                    PackingProblem::new(capacities, items)?
+                        .solve_with_budget(options.packing_budget),
+                )
+            };
+            (combinations, unschedulable.len(), solution)
         }
-        items.push(resources);
-    }
-    let solution =
-        PackingProblem::new(capacities, items)?.solve_with_budget(options.packing_budget);
-    let packed = solution.packed_total();
+        None => {
+            let classified =
+                classify_combinations(ctx, observed, full.busy_window_activations, slack, options)?;
+            let solution = if classified.unschedulable == 0 {
+                None
+            } else {
+                let capacities: Vec<u64> = classified
+                    .segments
+                    .iter()
+                    .map(|s| omega_of(s.chain))
+                    .collect();
+                Some(classified.items.solve(capacities, options.packing_budget))
+            };
+            (classified.combinations, classified.unschedulable, solution)
+        }
+    };
+    let (packed, packing_exact) = solution
+        .map(|s| (s.packed_total(), s.is_exact()))
+        .unwrap_or((0, true));
 
     // Step 6: the DMM value.
-    let bound = k.min(misses_per_window.saturating_mul(packed));
     Ok(DmmResult {
         k,
-        bound,
+        bound: k.min(misses_per_window.saturating_mul(packed)),
         informative: true,
         misses_per_window,
         packed_windows: packed,
-        packing_exact: solution.is_exact(),
+        packing_exact,
         typical_slack: slack,
         omegas,
-        combinations: set.combinations().len(),
+        combinations,
         unschedulable_combinations: num_unschedulable,
     })
 }
@@ -334,23 +542,53 @@ fn compute_deadline_miss_model_exact(
         });
     }
 
-    let set = CombinationSet::enumerate(ctx, observed, options)?;
-    let multipliers = set.window_multipliers(ctx, observed, k_b);
-    let unschedulable: Vec<&Combination> = set
-        .combinations()
-        .iter()
-        .filter(|c| {
-            let cost = set.effective_cost(c, &multipliers);
-            // Fast path: Equation 5 proves schedulability.
-            if (cost as i128) <= slack {
-                return false;
+    let classified = match options.combination_engine {
+        CombinationEngineMode::Materialized => {
+            let set = CombinationSet::enumerate(ctx, observed, options)?;
+            let multipliers = set.window_multipliers(ctx, observed, k_b);
+            let items: ItemArena = set
+                .combinations()
+                .iter()
+                .filter(|c| {
+                    let cost = set.effective_cost(c, &multipliers);
+                    // Fast path: Equation 5 proves schedulability.
+                    if (cost as i128) <= slack {
+                        return false;
+                    }
+                    !crate::criterion::combination_schedulable_exact(
+                        ctx, observed, cost, k_b, options,
+                    )
+                })
+                .map(|c| c.members.clone())
+                .collect();
+            ClassifiedCombinations {
+                segments: set.segments().to_vec(),
+                combinations: set.combinations().len(),
+                unschedulable: items.len(),
+                items: PackingItems::Explicit(items),
             }
-            !crate::criterion::combination_schedulable_exact(ctx, observed, cost, k_b, options)
-        })
-        .collect();
-    let num_unschedulable = unschedulable.len();
+        }
+        CombinationEngineMode::Lazy => {
+            // Equation 3 only sees a combination through its total
+            // cost, and the injected cost enters the busy-window fixed
+            // point as a constant, so exact schedulability is monotone
+            // (downward closed) in the cost: one threshold bisection
+            // replaces the per-combination fixed points, and the slack
+            // machinery classifies against the exact threshold.
+            let prepared = PreparedCombinations::prepare(ctx, observed, k_b, options)?;
+            let threshold = exact_threshold(
+                ctx,
+                observed,
+                k_b,
+                slack,
+                prepared.max_total_cost(),
+                options,
+            );
+            classify_lazy(prepared, threshold, options)?
+        }
+    };
     let omegas = budgets(ctx, observed, k, &full);
-    let (packed, packing_exact) = if unschedulable.is_empty() {
+    let (packed, packing_exact) = if classified.unschedulable == 0 {
         (0, true)
     } else {
         let omega_of = |chain: ChainId| -> u64 {
@@ -360,10 +598,12 @@ fn compute_deadline_miss_model_exact(
                 .map(|&(_, w)| w)
                 .expect("every overload chain has a budget")
         };
-        let capacities: Vec<u64> = set.segments().iter().map(|s| omega_of(s.chain)).collect();
-        let items: Vec<Vec<usize>> = unschedulable.iter().map(|c| c.members.clone()).collect();
-        let solution =
-            PackingProblem::new(capacities, items)?.solve_with_budget(options.packing_budget);
+        let capacities: Vec<u64> = classified
+            .segments
+            .iter()
+            .map(|s| omega_of(s.chain))
+            .collect();
+        let solution = classified.items.solve(capacities, options.packing_budget);
         (solution.packed_total(), solution.is_exact())
     };
     Ok(DmmResult {
@@ -375,9 +615,45 @@ fn compute_deadline_miss_model_exact(
         packing_exact,
         typical_slack: slack,
         omegas,
-        combinations: set.combinations().len(),
-        unschedulable_combinations: num_unschedulable,
+        combinations: classified.combinations,
+        unschedulable_combinations: classified.unschedulable,
     })
+}
+
+/// The largest cost `T ≥ slack` such that a combination costing `T` is
+/// schedulable under the exact Equation 3 criterion (costs at or below
+/// the slack are schedulable by Equation 5 without any fixed point).
+/// Combinations are then exactly-unschedulable iff their cost exceeds
+/// `T`, by monotonicity of the injected-cost fixed point.
+fn exact_threshold(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    k_b: u64,
+    slack: i128,
+    max_cost: u64,
+    options: AnalysisOptions,
+) -> i128 {
+    if slack >= max_cost as i128 {
+        // No combination costs more than the slack.
+        return slack;
+    }
+    let mut lo: u64 = if slack < 0 { 0 } else { slack as u64 };
+    let mut hi: u64 = max_cost;
+    if crate::criterion::combination_schedulable_exact(ctx, observed, hi, k_b, options) {
+        // Even the costliest combination closes its busy window in time.
+        return hi as i128;
+    }
+    // Invariant: schedulable at `lo` (or `lo` is the slack boundary),
+    // unschedulable at `hi`.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if crate::criterion::combination_schedulable_exact(ctx, observed, mid, k_b, options) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as i128
 }
 
 fn budgets(
@@ -451,9 +727,10 @@ enum SweepState {
         misses_per_window: u64,
         slack: i128,
         worst_case_latency: twca_curves::Time,
-        segments: Vec<crate::combinations::OverloadSegment>,
-        items: Vec<Vec<usize>>,
-        combinations: usize,
+        /// The `k`-independent Definition 9 classification, computed
+        /// once and shared by every window length of the sweep (the
+        /// budgets and the packing are the only `k`-dependent parts).
+        classified: ClassifiedCombinations,
     },
 }
 
@@ -506,12 +783,8 @@ impl<'a> DmmSweep<'a> {
                 },
             });
         }
-        let set = CombinationSet::enumerate(ctx, observed, options)?;
-        let multipliers = set.window_multipliers(ctx, observed, full.busy_window_activations);
-        let items: Vec<Vec<usize>> = set
-            .unschedulable_scaled(slack, &multipliers)
-            .map(|c| c.members.clone())
-            .collect();
+        let classified =
+            classify_combinations(ctx, observed, full.busy_window_activations, slack, options)?;
         Ok(DmmSweep {
             ctx,
             observed,
@@ -520,9 +793,7 @@ impl<'a> DmmSweep<'a> {
                 misses_per_window,
                 slack,
                 worst_case_latency: full.worst_case_latency,
-                segments: set.segments().to_vec(),
-                items,
-                combinations: set.combinations().len(),
+                classified,
             },
         })
     }
@@ -575,9 +846,7 @@ impl<'a> DmmSweep<'a> {
                 misses_per_window,
                 slack,
                 worst_case_latency,
-                segments,
-                items,
-                combinations,
+                classified,
             } => {
                 let omegas: Vec<(ChainId, u64)> = self
                     .ctx
@@ -591,7 +860,7 @@ impl<'a> DmmSweep<'a> {
                         )
                     })
                     .collect();
-                let (packed, packing_exact) = if items.is_empty() {
+                let (packed, packing_exact) = if classified.unschedulable == 0 {
                     (0, true)
                 } else {
                     let omega_of = |chain: ChainId| -> u64 {
@@ -601,10 +870,14 @@ impl<'a> DmmSweep<'a> {
                             .map(|&(_, w)| w)
                             .expect("every overload chain has a budget")
                     };
-                    let capacities: Vec<u64> = segments.iter().map(|s| omega_of(s.chain)).collect();
-                    let solution = PackingProblem::new(capacities, items.clone())
-                        .expect("indices in range by construction")
-                        .solve_with_budget(self.options.packing_budget);
+                    let capacities: Vec<u64> = classified
+                        .segments
+                        .iter()
+                        .map(|s| omega_of(s.chain))
+                        .collect();
+                    let solution = classified
+                        .items
+                        .solve(capacities, self.options.packing_budget);
                     (solution.packed_total(), solution.is_exact())
                 };
                 DmmResult {
@@ -616,8 +889,8 @@ impl<'a> DmmSweep<'a> {
                     packing_exact,
                     typical_slack: *slack,
                     omegas,
-                    combinations: *combinations,
-                    unschedulable_combinations: items.len(),
+                    combinations: classified.combinations,
+                    unschedulable_combinations: classified.unschedulable,
                 }
             }
         }
@@ -635,17 +908,24 @@ impl<'a> DmmSweep<'a> {
     /// never misses — there is no packing to witness then.
     ///
     /// The witness explains the bound: `bound = min(k, N_b · Σ windows)`.
+    ///
+    /// Under the lazy engine, explicit witness rows are reconstructed
+    /// on demand; when more than
+    /// [`AnalysisOptions::max_combinations`] unschedulable combinations
+    /// would have to be expanded (a regime the materialized reference
+    /// cannot reach at all), the rows are truncated to the packed
+    /// minimal antichain — the bound, budgets and totals stay complete.
     pub fn witness(&self, k: u64) -> Option<DmmWitness> {
         let SweepState::Packing {
             misses_per_window,
             worst_case_latency,
-            segments,
-            items,
+            classified,
             ..
         } = &self.state
         else {
             return None;
         };
+        let segments = &classified.segments;
         let omegas: Vec<(ChainId, u64)> = self
             .ctx
             .system()
@@ -661,7 +941,7 @@ impl<'a> DmmSweep<'a> {
         let mut rows = Vec::new();
         let mut packed = 0u64;
         let mut packing_exact = true;
-        if !items.is_empty() {
+        if classified.unschedulable > 0 {
             let omega_of = |chain: ChainId| -> u64 {
                 omegas
                     .iter()
@@ -670,17 +950,53 @@ impl<'a> DmmSweep<'a> {
                     .expect("every overload chain has a budget")
             };
             let capacities: Vec<u64> = segments.iter().map(|s| omega_of(s.chain)).collect();
-            let solution = PackingProblem::new(capacities, items.clone())
-                .expect("indices in range by construction")
-                .solve_with_budget(self.options.packing_budget);
+            let solution = classified
+                .items
+                .solve(capacities, self.options.packing_budget);
             packed = solution.packed_total();
             packing_exact = solution.is_exact();
-            for (members, &windows) in items.iter().zip(solution.counts()) {
-                rows.push(WitnessRow {
-                    segments: members.iter().map(|&i| segments[i].clone()).collect(),
-                    wcet: members.iter().map(|&i| segments[i].wcet).sum(),
-                    windows,
-                });
+            let row_for = |members: &[usize], windows: u64| WitnessRow {
+                segments: members.iter().map(|&i| segments[i].clone()).collect(),
+                wcet: members.iter().map(|&i| segments[i].wcet).sum(),
+                windows,
+            };
+            match &classified.items {
+                PackingItems::Explicit(items) => {
+                    for (members, &windows) in items.iter().zip(solution.counts()) {
+                        rows.push(row_for(members, windows));
+                    }
+                }
+                PackingItems::Pruned {
+                    minimal,
+                    prepared,
+                    slack,
+                } => {
+                    // Non-minimal items can never carry a positive
+                    // multiplicity (the solver reduces to the antichain
+                    // itself), so the explicit row list is the lazy
+                    // expansion with the antichain's counts scattered
+                    // onto the minimal members and zero elsewhere.
+                    let by_members: std::collections::HashMap<&[usize], u64> = minimal
+                        .iter()
+                        .zip(solution.counts().iter().copied())
+                        .collect();
+                    match prepared.expand_unschedulable(*slack, self.options.max_combinations) {
+                        Some(all) => {
+                            for combo in &all {
+                                let windows = by_members
+                                    .get(combo.members.as_slice())
+                                    .copied()
+                                    .unwrap_or(0);
+                                rows.push(row_for(&combo.members, windows));
+                            }
+                        }
+                        None => {
+                            for (members, &windows) in minimal.iter().zip(solution.counts()) {
+                                rows.push(row_for(members, windows));
+                            }
+                        }
+                    }
+                }
             }
         }
         Some(DmmWitness {
@@ -1169,5 +1485,136 @@ mod tests {
         let (ctx, _, d) = case_ctx(&s);
         let sweep = DmmSweep::prepare(&ctx, d, AnalysisOptions::default()).unwrap();
         assert!(sweep.witness(10).is_none());
+    }
+
+    /// The borderline system of
+    /// [`exact_dmm_is_strictly_tighter_on_borderline_systems`].
+    fn borderline_system() -> twca_model::System {
+        SystemBuilder::new()
+            .chain("x")
+            .periodic(100)
+            .unwrap()
+            .deadline(100)
+            .task("x1", 1, 10)
+            .done()
+            .chain("y")
+            .periodic(90)
+            .unwrap()
+            .task("y1", 5, 30)
+            .done()
+            .chain("o1")
+            .sporadic(10_000)
+            .unwrap()
+            .overload()
+            .task("o1_t", 9, 31)
+            .done()
+            .chain("o2")
+            .sporadic(10_000)
+            .unwrap()
+            .overload()
+            .task("o2_t", 8, 40)
+            .done()
+            .build()
+            .unwrap()
+    }
+
+    /// The lazy engine must reproduce the materialized reference
+    /// bit-for-bit: pointwise dmm, sweeps, witnesses, the exact
+    /// variant, and the capped (refinement) entry point.
+    #[test]
+    fn lazy_and_materialized_pipelines_agree_bit_for_bit() {
+        let systems = [case_study(), borderline_system()];
+        for s in &systems {
+            let ctx = AnalysisContext::new(s);
+            let lazy = AnalysisOptions::default();
+            let reference = AnalysisOptions {
+                combination_engine: crate::CombinationEngineMode::Materialized,
+                ..AnalysisOptions::default()
+            };
+            for (id, chain) in s.iter() {
+                if chain.deadline().is_none() {
+                    continue;
+                }
+                let sweep_lazy = DmmSweep::prepare(&ctx, id, lazy).unwrap();
+                let sweep_ref = DmmSweep::prepare(&ctx, id, reference).unwrap();
+                for k in [1u64, 2, 3, 7, 10, 76, 250] {
+                    assert_eq!(
+                        deadline_miss_model(&ctx, id, k, lazy).unwrap(),
+                        deadline_miss_model(&ctx, id, k, reference).unwrap(),
+                        "dmm({k})"
+                    );
+                    assert_eq!(sweep_lazy.at(k), sweep_ref.at(k), "sweep({k})");
+                    assert_eq!(sweep_lazy.witness(k), sweep_ref.witness(k), "witness({k})");
+                    assert_eq!(
+                        deadline_miss_model_exact(&ctx, id, k, lazy).unwrap(),
+                        deadline_miss_model_exact(&ctx, id, k, reference).unwrap(),
+                        "exact dmm({k})"
+                    );
+                    let cap_one = |_c: &Combination, _s: &[OverloadSegment]| Some(1u64);
+                    assert_eq!(
+                        deadline_miss_model_with_caps(&ctx, id, k, lazy, Some(&cap_one)).unwrap(),
+                        deadline_miss_model_with_caps(&ctx, id, k, reference, Some(&cap_one))
+                            .unwrap(),
+                        "capped dmm({k})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Implicit products beyond `max_combinations` were a hard error;
+    /// the lazy engine analyzes them (and its bound matches the
+    /// reference run under a raised explicit limit).
+    #[test]
+    fn lazy_dmm_analyzes_beyond_the_explicit_combination_bound() {
+        let mut builder = SystemBuilder::new()
+            .chain("victim")
+            .periodic(10_000)
+            .unwrap()
+            .deadline(300)
+            .task("v_min", 1, 100)
+            .task("v_tail", 50, 100)
+            .done();
+        for o in 0..6 {
+            builder = builder
+                .chain(format!("over_{o}"))
+                .sporadic(500_000)
+                .unwrap()
+                .overload()
+                .task(format!("o{o}_a"), 100, 40)
+                .task(format!("o{o}_x"), 2, 1)
+                .task(format!("o{o}_b"), 101, 40)
+                .task(format!("o{o}_y"), 2, 1)
+                .task(format!("o{o}_c"), 102, 40)
+                .done();
+        }
+        let s = builder.build().unwrap();
+        let ctx = AnalysisContext::new(&s);
+        let victim = ChainId::from_index(0);
+        let tight = AnalysisOptions {
+            max_combinations: 1_000,
+            ..AnalysisOptions::default()
+        };
+        let materialized_tight = AnalysisOptions {
+            combination_engine: crate::CombinationEngineMode::Materialized,
+            ..tight
+        };
+        assert_eq!(
+            deadline_miss_model(&ctx, victim, 10, materialized_tight).unwrap_err(),
+            AnalysisError::TooManyCombinations { limit: 1_000 }
+        );
+        let lazy = deadline_miss_model(&ctx, victim, 10, tight).unwrap();
+        let reference = deadline_miss_model(
+            &ctx,
+            victim,
+            10,
+            AnalysisOptions {
+                combination_engine: crate::CombinationEngineMode::Materialized,
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(lazy, reference);
+        assert!(lazy.combinations > 100_000);
     }
 }

@@ -71,8 +71,10 @@ mod analysis;
 pub use analysis::ChainAnalysis;
 pub use busy_time::{busy_time, busy_time_breakdown, busy_time_with_extra, BusyTimeBreakdown};
 pub use cache::{AnalysisCache, CacheStats, SystemFingerprint};
-pub use combinations::{Combination, CombinationSet};
-pub use config::AnalysisOptions;
+pub use combinations::{
+    Combination, CombinationSet, ItemArena, OverloadSegment, PreparedCombinations,
+};
+pub use config::{AnalysisOptions, CombinationEngineMode};
 pub use context::AnalysisContext;
 pub use criterion::{combination_schedulable_exact, typical_load, typical_slack};
 pub use dmm::{

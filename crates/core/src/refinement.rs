@@ -15,6 +15,14 @@
 //! with a fixed period and phase. For plain sporadic chains (which may
 //! re-phase adversarially) the refinement must not be applied — chains
 //! without an entry in [`PhasedRecurrence`] are simply left uncapped.
+//!
+//! Because each cap attaches an artificial packing resource to one
+//! specific combination, the capped pipeline always works on the
+//! **explicit** unschedulable expansion (the lazy engine's antichain
+//! reduction does not apply — a capped superset is not interchangeable
+//! with its minimal subset). Refined miss models therefore keep the
+//! original [`AnalysisOptions::max_combinations`] feasibility gate on
+//! the implicit product, under either engine.
 
 use crate::combinations::{Combination, OverloadSegment};
 use crate::config::AnalysisOptions;

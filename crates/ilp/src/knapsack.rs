@@ -108,6 +108,58 @@ impl PackingProblem {
         })
     }
 
+    /// [`PackingProblem::new`] over the grouped-item (flat-arena) form:
+    /// item `i`'s resource indices are `members[offsets[i]..offsets[i + 1]]`.
+    /// Items are normalized (sorted, deduplicated, validated) exactly
+    /// like the `Vec<Vec<usize>>` constructor, so the two build
+    /// identical problems — this entry just lets callers that already
+    /// keep their items in one shared buffer (the lazy combination
+    /// engine) hand them over without exploding per-item vectors first.
+    ///
+    /// # Errors
+    ///
+    /// [`IlpError::VariableOutOfRange`] for empty items or resource
+    /// indices out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is not a monotone offset table into
+    /// `members` starting at 0.
+    pub fn from_arena(
+        capacities: Vec<u64>,
+        offsets: &[usize],
+        members: &[usize],
+    ) -> Result<Self, IlpError> {
+        assert!(
+            offsets.first() == Some(&0) || offsets.is_empty(),
+            "offset tables start at zero"
+        );
+        let num = capacities.len();
+        let mut normalized = Vec::with_capacity(offsets.len().saturating_sub(1));
+        for window in offsets.windows(2) {
+            let mut item: Vec<usize> = members[window[0]..window[1]].to_vec();
+            item.sort_unstable();
+            item.dedup();
+            if item.is_empty() {
+                return Err(IlpError::VariableOutOfRange {
+                    index: usize::MAX,
+                    num_vars: num,
+                });
+            }
+            if let Some(&bad) = item.iter().find(|&&r| r >= num) {
+                return Err(IlpError::VariableOutOfRange {
+                    index: bad,
+                    num_vars: num,
+                });
+            }
+            normalized.push(item);
+        }
+        Ok(PackingProblem {
+            capacities,
+            items: normalized,
+        })
+    }
+
     /// The resource capacities.
     pub fn capacities(&self) -> &[u64] {
         &self.capacities
@@ -128,6 +180,22 @@ impl PackingProblem {
     /// bound)` either way, so results remain sound and can only
     /// tighten.
     pub const DEFAULT_BUDGET: u64 = 1 << 22;
+
+    /// Largest item count on which [`PackingProblem::solve`] runs its
+    /// quadratic dominance prefilter (reducing the items to the
+    /// inclusion-minimal antichain); above it the solver works on the
+    /// raw item list. Every phase stays bounded either way: the filter
+    /// is quadratic only up to this limit, and both search strategies
+    /// recurse one level per item, so the entering item count also caps
+    /// the stack depth. Public so callers performing the reduction
+    /// upstream (the lazy combination engine) can mirror the exact tier
+    /// boundary.
+    pub const DOMINANCE_LIMIT: usize = 4_096;
+
+    /// Largest item count the exact searches accept; beyond it the
+    /// solver reports the greedy incumbent capped by the admissible
+    /// root bound (sound, deterministic, stack-safe).
+    pub const MAX_SEARCH_ITEMS: usize = 1_024;
 
     /// Solves the packing problem exactly.
     ///
@@ -151,6 +219,23 @@ impl PackingProblem {
     /// a valid bound fast (batch sweeps, conformance fuzzing) pass a
     /// small budget here.
     pub fn solve_with_budget(&self, budget: u64) -> PackingSolution {
+        self.solve_inner(budget, false)
+    }
+
+    /// [`PackingProblem::solve_with_budget`] for callers that guarantee
+    /// the items already form an inclusion-minimal **antichain** (no
+    /// item's resource set contains another's): the quadratic dominance
+    /// prefilter — an identity map on antichains — is skipped outright.
+    ///
+    /// The lazy combination engine feeds exactly such item sets; with
+    /// the filter limit at [`PackingProblem::DOMINANCE_LIMIT`] items
+    /// this saves up to `DOMINANCE_LIMIT²` subset tests per solve while
+    /// provably returning the same solution.
+    pub fn solve_assuming_antichain(&self, budget: u64) -> PackingSolution {
+        self.solve_inner(budget, true)
+    }
+
+    fn solve_inner(&self, budget: u64, assume_antichain: bool) -> PackingSolution {
         let n = self.items.len();
         if n == 0 {
             return PackingSolution {
@@ -159,12 +244,6 @@ impl PackingProblem {
                 exact: true,
             };
         }
-        // Every phase below is bounded: the dominance prefilter is
-        // quadratic and only runs on moderate item counts, and both
-        // search strategies recurse one level per item, so the item
-        // count entering them also caps the stack depth.
-        const DOMINANCE_LIMIT: usize = 4_096;
-        const MAX_SEARCH_ITEMS: usize = 1_024;
 
         // Dominance: replacing a packed item by any other item whose
         // resource set is a subset keeps feasibility and the unit
@@ -174,7 +253,7 @@ impl PackingProblem {
         // unschedulable), so this typically collapses hundreds of
         // combinations to a small antichain.
         let is_subset = |a: &[usize], b: &[usize]| a.iter().all(|r| b.binary_search(r).is_ok());
-        let mut order: Vec<usize> = if n <= DOMINANCE_LIMIT {
+        let mut order: Vec<usize> = if n <= Self::DOMINANCE_LIMIT && !assume_antichain {
             (0..n)
                 .filter(|&i| {
                     !(0..n).any(|j| {
@@ -192,7 +271,7 @@ impl PackingProblem {
         // first tightens the bound early.
         order.sort_by_key(|&i| std::cmp::Reverse(self.items[i].len()));
 
-        if order.len() > MAX_SEARCH_ITEMS {
+        if order.len() > Self::MAX_SEARCH_ITEMS {
             // Too many items to search (or even recurse over): report
             // the greedy incumbent capped by the root upper bound —
             // sound, deterministic, stack-safe.
@@ -482,15 +561,15 @@ impl PackingProblem {
             p.set_objective(v, Rational::ONE);
         }
         for (r, &cap) in self.capacities.iter().enumerate() {
-            let users: Vec<(usize, Rational)> = self
+            let users: Vec<usize> = self
                 .items
                 .iter()
                 .enumerate()
                 .filter(|(_, item)| item.contains(&r))
-                .map(|(i, _)| (i, Rational::ONE))
+                .map(|(i, _)| i)
                 .collect();
             if !users.is_empty() {
-                p.add_le_constraint(users, Rational::from(cap as i128))
+                p.add_unit_le_constraint(users, Rational::from(cap as i128))
                     .expect("indices are in range by construction");
             }
         }
@@ -582,5 +661,43 @@ mod tests {
         let s = p.solve();
         assert_eq!(s.packed_total(), 3);
         assert_eq!(s.counts(), &[0, 3]);
+    }
+
+    #[test]
+    fn arena_constructor_matches_vec_constructor() {
+        // Items {0}, {0,1}, {2,1} (unsorted, to exercise normalization).
+        let offsets = [0usize, 1, 3, 5];
+        let members = [0usize, 0, 1, 2, 1];
+        let from_arena = PackingProblem::from_arena(vec![3, 2, 4], &offsets, &members).unwrap();
+        let from_vecs =
+            PackingProblem::new(vec![3, 2, 4], vec![vec![0], vec![0, 1], vec![2, 1]]).unwrap();
+        assert_eq!(from_arena, from_vecs);
+        assert_eq!(
+            from_arena.solve().packed_total(),
+            from_vecs.solve().packed_total()
+        );
+        // Invalid arenas report the same typed errors.
+        assert!(PackingProblem::from_arena(vec![1], &[0, 0], &[]).is_err());
+        assert!(PackingProblem::from_arena(vec![1], &[0, 1], &[7]).is_err());
+    }
+
+    #[test]
+    fn antichain_solve_matches_general_solve_on_antichains() {
+        // Pairwise incomparable items: the dominance prefilter is an
+        // identity map, so skipping it must not change anything.
+        let p = PackingProblem::new(
+            vec![5, 4, 3],
+            vec![vec![0], vec![1], vec![2], vec![0, 1], vec![1, 2]],
+        )
+        .unwrap();
+        // Not an antichain ({0} ⊂ {0,1}), but solve_assuming_antichain
+        // is only *called* on antichains; restrict to one:
+        let antichain =
+            PackingProblem::new(vec![5, 4, 3], vec![vec![0], vec![1], vec![2]]).unwrap();
+        let general = antichain.solve();
+        let assumed = antichain.solve_assuming_antichain(PackingProblem::DEFAULT_BUDGET);
+        assert_eq!(general, assumed);
+        // And the general problem still solves through the filter.
+        assert_eq!(p.solve().packed_total(), 12);
     }
 }

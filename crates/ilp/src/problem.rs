@@ -112,6 +112,54 @@ impl Problem {
         Ok(())
     }
 
+    /// Adds the unit-coefficient constraint `Σ_{v ∈ vars} x_v ≤ rhs` —
+    /// the row shape every resource of a grouped packing instance
+    /// produces. Equivalent to [`Problem::add_le_constraint`] with
+    /// all-one coefficients, without building the `(var, coefficient)`
+    /// pair list first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::VariableOutOfRange`] if a variable index is
+    /// out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use twca_ilp::{solve_lp, Problem};
+    ///
+    /// # fn main() -> Result<(), twca_ilp::IlpError> {
+    /// let mut p = Problem::maximize(3);
+    /// p.set_objective(0, 1);
+    /// p.set_objective(2, 1);
+    /// p.add_unit_le_constraint([0, 2], 4)?;
+    /// let lp = solve_lp(&p)?.expect_optimal();
+    /// assert_eq!(lp.objective_value().to_f64(), 4.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn add_unit_le_constraint(
+        &mut self,
+        vars: impl IntoIterator<Item = usize>,
+        rhs: impl Into<Rational>,
+    ) -> Result<(), IlpError> {
+        let mut coeffs: Vec<(usize, Rational)> = Vec::new();
+        for var in vars {
+            if var >= self.num_vars {
+                return Err(IlpError::VariableOutOfRange {
+                    index: var,
+                    num_vars: self.num_vars,
+                });
+            }
+            coeffs.push((var, Rational::ONE));
+        }
+        self.constraints.push(Constraint {
+            coefficients: coeffs,
+            rhs: rhs.into(),
+        });
+        Ok(())
+    }
+
     /// Adds the constraint `Σ coefficient·x_var ≥ rhs` (stored negated).
     ///
     /// # Errors

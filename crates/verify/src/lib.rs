@@ -12,7 +12,7 @@
 //!    processors, degenerate chains, bursty/jittery activation,
 //!    overload-dominated load, and distributed topologies (linear,
 //!    star, tree).
-//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — five
+//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — six
 //!    independent ways the suite could disagree with itself:
 //!    * analysis bound ≥ simulated behaviour on every trace
 //!      ([`OracleKind::SimSoundness`]);
@@ -25,7 +25,11 @@
 //!      `twca_dist::analyze` otherwise
 //!      ([`OracleKind::BackendAgreement`]);
 //!    * `dmm` curves are monotone in `k` and capped by `k`
-//!      ([`OracleKind::Monotonicity`]).
+//!      ([`OracleKind::Monotonicity`]);
+//!    * the lazy (dominance-pruned) and materialized combination
+//!      engines agree bit-for-bit — curves, packing witnesses, exact
+//!      variant, holistic results
+//!      ([`OracleKind::LazyAgreement`]).
 //! 3. **Shrinking** ([`shrink_system`], [`shrink_body`]) — failing
 //!    scenarios are greedily minimized (chains, tasks, activation
 //!    models, WCETs) while still tripping the same oracle.

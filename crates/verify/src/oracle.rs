@@ -1,5 +1,5 @@
 //! The differential oracle battery: every generated scenario is checked
-//! against five independent ways the suite could disagree with itself.
+//! against six independent ways the suite could disagree with itself.
 
 use std::sync::Arc;
 
@@ -17,7 +17,7 @@ use twca_dist::{analyze as dist_analyze, soundness_violations, DistOptions, Dist
 use twca_model::{ChainId, System};
 use twca_sim::{adversarial_aligned_traces, periodic_trace, Simulation, TraceSet};
 
-/// The five oracles of the conformance battery.
+/// The six oracles of the conformance battery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// Analytic bounds must dominate every simulated trace: observed
@@ -35,16 +35,24 @@ pub enum OracleKind {
     /// `dmm` curves must be monotone in `k`, capped by `k`, and typical
     /// latencies must not exceed full ones.
     Monotonicity,
+    /// The lazy (dominance-pruned) and materialized combination engines
+    /// must agree bit-for-bit: dmm curves, packing witnesses and the
+    /// exact-criterion variant, on uniprocessor and holistic analyses
+    /// alike. The materialized reference refusing an instance the lazy
+    /// engine can handle (`TooManyCombinations`) is the one sanctioned
+    /// divergence.
+    LazyAgreement,
 }
 
 impl OracleKind {
     /// Every oracle, in reporting order.
-    pub const ALL: [OracleKind; 5] = [
+    pub const ALL: [OracleKind; 6] = [
         OracleKind::SimSoundness,
         OracleKind::CacheAgreement,
         OracleKind::ParallelAgreement,
         OracleKind::BackendAgreement,
         OracleKind::Monotonicity,
+        OracleKind::LazyAgreement,
     ];
 
     /// A short stable name for reports and corpus headers.
@@ -55,6 +63,7 @@ impl OracleKind {
             OracleKind::ParallelAgreement => "parallel-agreement",
             OracleKind::BackendAgreement => "backend-agreement",
             OracleKind::Monotonicity => "monotonicity",
+            OracleKind::LazyAgreement => "lazy-agreement",
         }
     }
 }
@@ -218,7 +227,90 @@ fn check_uni(system: &System, opts: &VerifyOptions) -> Vec<Violation> {
     check_cache_agreement(system, &verdicts, opts, &mut violations);
     check_parallel_agreement(system, opts, &mut violations);
     check_backend_agreement_uni(system, opts, &mut violations);
+    check_lazy_agreement_uni(system, opts, &mut violations);
     violations
+}
+
+/// Oracle 6 (uniprocessor): the lazy and materialized combination
+/// engines agree bit-for-bit on curves, witnesses and the exact
+/// variant. A `TooManyCombinations` refusal by the materialized
+/// reference on an instance the lazy engine analyzes is the documented
+/// capability gap, not a violation.
+fn check_lazy_agreement_uni(
+    system: &System,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    use twca_chains::{deadline_miss_model_exact, AnalysisError, CombinationEngineMode};
+    let ctx = AnalysisContext::new(system);
+    let lazy_opts = AnalysisOptions {
+        combination_engine: CombinationEngineMode::Lazy,
+        ..opts.options
+    };
+    let mat_opts = AnalysisOptions {
+        combination_engine: CombinationEngineMode::Materialized,
+        ..opts.options
+    };
+    let sanctioned = |e: &AnalysisError| matches!(e, AnalysisError::TooManyCombinations { .. });
+    for (id, chain) in system.iter() {
+        if chain.deadline().is_none() {
+            continue;
+        }
+        let name = chain.name();
+        match (
+            DmmSweep::prepare(&ctx, id, lazy_opts),
+            DmmSweep::prepare(&ctx, id, mat_opts),
+        ) {
+            (Ok(lazy), Ok(materialized)) => {
+                for &k in &opts.ks {
+                    let (a, b) = (lazy.at(k), materialized.at(k));
+                    if a != b {
+                        violations.push(Violation {
+                            oracle: OracleKind::LazyAgreement,
+                            detail: format!(
+                                "{name}: lazy dmm({k}) diverges from materialized: {a:?} vs {b:?}"
+                            ),
+                        });
+                    }
+                    let (wa, wb) = (lazy.witness(k), materialized.witness(k));
+                    if wa != wb {
+                        violations.push(Violation {
+                            oracle: OracleKind::LazyAgreement,
+                            detail: format!("{name}: lazy witness({k}) diverges from materialized"),
+                        });
+                    }
+                }
+            }
+            (Ok(_), Err(e)) if sanctioned(&e) => {}
+            (lazy, materialized) => {
+                let (le, me) = (lazy.err(), materialized.err());
+                if le != me {
+                    violations.push(Violation {
+                        oracle: OracleKind::LazyAgreement,
+                        detail: format!(
+                            "{name}: engines disagree on preparation: lazy {le:?} vs \
+                             materialized {me:?}"
+                        ),
+                    });
+                }
+            }
+        }
+        // The exact (Equation 3) variant exercises the threshold
+        // bisection; one window length bounds the fixed-point cost.
+        if let Some(&k) = opts.ks.last() {
+            let a = deadline_miss_model_exact(&ctx, id, k, lazy_opts);
+            let b = deadline_miss_model_exact(&ctx, id, k, mat_opts);
+            let gap = matches!((&a, &b), (Ok(_), Err(e)) if sanctioned(e));
+            if !gap && a != b {
+                violations.push(Violation {
+                    oracle: OracleKind::LazyAgreement,
+                    detail: format!(
+                        "{name}: exact dmm({k}) diverges between engines: {a:?} vs {b:?}"
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Oracle 5: structural invariants of the computed curves.
@@ -514,6 +606,120 @@ fn check_dist(dist: &DistributedSystem, opts: &VerifyOptions) -> Vec<Violation> 
             return violations;
         }
     };
+
+    // Oracle 6 (distributed): the holistic fixed point must not care
+    // which combination engine classifies Definition 9. Both sides are
+    // *forced* to their engine (reusing `results` only when the caller
+    // already runs lazy — the default — so the check never degenerates
+    // into comparing one engine against itself). The stored options
+    // legitimately differ (they name the engine), so the comparison
+    // covers the outputs: sweep count, per-site latency bounds and
+    // miss models (equal latency bounds pin the propagated effective
+    // systems too — propagation only reads the WCLs).
+    {
+        use twca_chains::CombinationEngineMode;
+        let mut lazy_options = opts.dist_options();
+        lazy_options.chain_options.combination_engine = CombinationEngineMode::Lazy;
+        let forced_lazy;
+        let lazy_results = if opts.options.combination_engine == CombinationEngineMode::Lazy {
+            Some(&results)
+        } else {
+            match dist_analyze(dist, lazy_options) {
+                Ok(run) => {
+                    forced_lazy = run;
+                    Some(&forced_lazy)
+                }
+                Err(e) => {
+                    violations.push(Violation {
+                        oracle: OracleKind::LazyAgreement,
+                        detail: format!(
+                            "lazy holistic analysis failed where the configured engine \
+                             succeeded: {e}"
+                        ),
+                    });
+                    None
+                }
+            }
+        };
+        let mut mat_options = opts.dist_options();
+        mat_options.chain_options.combination_engine = CombinationEngineMode::Materialized;
+        match (lazy_results, dist_analyze(dist, mat_options)) {
+            (None, _) => {}
+            (Some(results), Ok(materialized)) => {
+                let mut divergence: Option<String> = None;
+                if materialized.sweeps() != results.sweeps() {
+                    divergence = Some(format!(
+                        "sweeps {} vs {}",
+                        results.sweeps(),
+                        materialized.sweeps()
+                    ));
+                }
+                for site in dist.sites() {
+                    if divergence.is_some() {
+                        break;
+                    }
+                    let (resource_name, chain_name) = dist.site_names(site);
+                    if materialized.worst_case_latency(site) != results.worst_case_latency(site) {
+                        divergence = Some(format!(
+                            "{resource_name}/{chain_name}: WCL {:?} vs {:?}",
+                            results.worst_case_latency(site),
+                            materialized.worst_case_latency(site)
+                        ));
+                        break;
+                    }
+                    let chain = dist.resource(site.resource()).system().chain(site.chain());
+                    if chain.deadline().is_none() {
+                        continue;
+                    }
+                    for &k in &opts.ks {
+                        let lazy = results.deadline_miss_model(site, k);
+                        let mat = materialized.deadline_miss_model(site, k);
+                        let sanctioned = matches!(
+                            (&lazy, &mat),
+                            (
+                                Ok(_),
+                                Err(twca_dist::DistError::Analysis(
+                                    twca_chains::AnalysisError::TooManyCombinations { .. },
+                                )),
+                            )
+                        );
+                        if !sanctioned && lazy != mat {
+                            divergence = Some(format!(
+                                "{resource_name}/{chain_name}: dmm({k}) {lazy:?} vs {mat:?}"
+                            ));
+                            break;
+                        }
+                    }
+                }
+                if let Some(what) = divergence {
+                    violations.push(Violation {
+                        oracle: OracleKind::LazyAgreement,
+                        detail: format!(
+                            "holistic results diverge between the lazy and materialized \
+                             combination engines: {what}"
+                        ),
+                    });
+                }
+            }
+            // The materialized reference refusing a combination space
+            // the lazy engine streams through is the sanctioned gap;
+            // any other failure where the lazy run succeeded is not.
+            (
+                Some(_),
+                Err(twca_dist::DistError::Analysis(
+                    twca_chains::AnalysisError::TooManyCombinations { .. },
+                )),
+            ) => {}
+            (Some(_), Err(e)) => {
+                violations.push(Violation {
+                    oracle: OracleKind::LazyAgreement,
+                    detail: format!(
+                        "materialized holistic analysis failed where the lazy one succeeded: {e}"
+                    ),
+                });
+            }
+        }
+    }
 
     // Oracle 1: trace-propagating simulation against the holistic
     // bounds (twca-dist's own cross-check, wired into the battery).
