@@ -672,6 +672,97 @@ mod tests {
         );
     }
 
+    /// Two resources where the linked producer has no latency bound:
+    /// the façade error must say *which* limit was hit, not just
+    /// "unbounded" (the two limits call for different fixes).
+    #[test]
+    fn unbounded_producer_reasons_reach_the_facade_error() {
+        // Producer resource at utilization 1.2: per-q busy times
+        // converge but the busy window never closes.
+        let producer = "
+chain feed periodic=10 sync { task f1 prio=1 wcet=6 }
+chain noise periodic=10 sync { task n1 prio=2 wcet=6 }
+";
+        let request = |options: crate::RequestOptions| AnalysisRequest {
+            id: None,
+            target: Target::Distributed {
+                resources: vec![
+                    ("ecu0".into(), producer.into()),
+                    ("ecu1".into(), DOWNSTREAM.into()),
+                ],
+                links: vec![crate::LinkSpec {
+                    from: SiteSpec::parse("ecu0/feed").unwrap(),
+                    to: SiteSpec::parse("ecu1/act").unwrap(),
+                }],
+            },
+            queries: vec![Query::Latency { chain: None }],
+            options,
+        };
+
+        let session = Session::new();
+        let horizon_limited = session
+            .analyze(&request(crate::RequestOptions {
+                horizon: Some(1_000),
+                ..Default::default()
+            }))
+            .outcome
+            .unwrap_err();
+        assert_eq!(horizon_limited.kind, ApiErrorKind::Dist);
+        assert!(
+            horizon_limited.message.contains("horizon 1000"),
+            "{horizon_limited}"
+        );
+
+        let q_limited = session
+            .analyze(&request(crate::RequestOptions {
+                max_q: Some(3),
+                ..Default::default()
+            }))
+            .outcome
+            .unwrap_err();
+        assert_eq!(q_limited.kind, ApiErrorKind::Dist);
+        assert!(q_limited.message.contains("max_q = 3"), "{q_limited}");
+    }
+
+    #[test]
+    fn zero_max_sweeps_is_rejected_at_the_boundary() {
+        let session = Session::new();
+        let request = dist_request()
+            .with_query(Query::Latency { chain: None })
+            .with_options(crate::RequestOptions {
+                max_sweeps: Some(0),
+                ..Default::default()
+            });
+        let error = session.analyze(&request).outcome.unwrap_err();
+        assert_eq!(error.kind, ApiErrorKind::Dist);
+        assert!(error.message.contains("max_sweeps"), "{error}");
+    }
+
+    #[test]
+    fn solver_override_changes_nothing_observable() {
+        let session = Session::new();
+        let query = Query::Dmm {
+            chain: Some("sigma_c".into()),
+            ks: vec![3, 10, 76],
+        };
+        let default_run = session
+            .analyze(&AnalysisRequest::for_system(case_study_text()).with_query(query.clone()))
+            .outcome
+            .unwrap();
+        let iterative_run = session
+            .analyze(
+                &AnalysisRequest::for_system(case_study_text())
+                    .with_query(query)
+                    .with_options(crate::RequestOptions {
+                        solver: Some(twca_chains::SolverMode::Iterative),
+                        ..Default::default()
+                    }),
+            )
+            .outcome
+            .unwrap();
+        assert_eq!(default_run, iterative_run);
+    }
+
     #[test]
     fn mismatched_query_and_target_are_rejected() {
         let session = Session::new();

@@ -164,6 +164,11 @@ pub struct RequestOptions {
     /// Combination engine selection (wire values `"lazy"` /
     /// `"materialized"`); omitted requests use the session default.
     pub engine: Option<twca_chains::CombinationEngineMode>,
+    /// Busy-window solver selection (wire values `"scheduling-points"`
+    /// / `"iterative"`); omitted requests use the session default. The
+    /// solvers agree bit-for-bit — the switch exists for differential
+    /// testing and performance comparisons.
+    pub solver: Option<twca_chains::SolverMode>,
 }
 
 impl RequestOptions {
@@ -606,6 +611,13 @@ fn options_to_json(options: &RequestOptions) -> Json {
         };
         members.push(("engine".to_owned(), Json::Str(name.to_owned())));
     }
+    if let Some(solver) = options.solver {
+        let name = match solver {
+            twca_chains::SolverMode::SchedulingPoints => "scheduling-points",
+            twca_chains::SolverMode::Iterative => "iterative",
+        };
+        members.push(("solver".to_owned(), Json::Str(name.to_owned())));
+    }
     Json::Object(members)
 }
 
@@ -625,6 +637,21 @@ fn options_from_json(value: &Json) -> Result<RequestOptions, ApiError> {
                 other => {
                     return Err(ApiError::request(format!(
                         "unknown engine `{other}` (expected `lazy` or `materialized`)"
+                    )));
+                }
+            });
+            continue;
+        }
+        if key == "solver" {
+            let name = v
+                .as_str()
+                .ok_or_else(|| ApiError::request("option `solver` must be a string"))?;
+            options.solver = Some(match name {
+                "scheduling-points" => twca_chains::SolverMode::SchedulingPoints,
+                "iterative" => twca_chains::SolverMode::Iterative,
+                other => {
+                    return Err(ApiError::request(format!(
+                        "unknown solver `{other}` (expected `scheduling-points` or `iterative`)"
                     )));
                 }
             });

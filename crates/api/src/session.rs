@@ -308,6 +308,7 @@ impl Session {
             // session.
             packing_budget: self.options.packing_budget,
             combination_engine: overrides.engine.unwrap_or(self.options.combination_engine),
+            solver: overrides.solver.unwrap_or(self.options.solver),
         }
     }
 

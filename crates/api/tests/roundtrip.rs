@@ -72,15 +72,24 @@ fn engine() -> impl Strategy<Value = Option<twca_chains::CombinationEngineMode>>
     ]
 }
 
+fn solver() -> impl Strategy<Value = Option<twca_chains::SolverMode>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(twca_chains::SolverMode::SchedulingPoints)),
+        Just(Some(twca_chains::SolverMode::Iterative)),
+    ]
+}
+
 fn options() -> impl Strategy<Value = RequestOptions> {
-    (knob(), knob(), knob(), knob(), knob(), engine()).prop_map(
-        |(horizon, max_q, max_combinations, max_sweeps, budget, engine)| RequestOptions {
+    (knob(), knob(), knob(), knob(), knob(), engine(), solver()).prop_map(
+        |(horizon, max_q, max_combinations, max_sweeps, budget, engine, solver)| RequestOptions {
             horizon,
             max_q,
             max_combinations,
             max_sweeps,
             budget,
             engine,
+            solver,
         },
     )
 }

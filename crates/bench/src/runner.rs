@@ -21,10 +21,10 @@ use rand_chacha::ChaCha8Rng;
 
 use twca_api::{Json, Session};
 use twca_chains::{
-    latency_analysis, typical_slack, AnalysisContext, AnalysisOptions, CombinationSet, DmmSweep,
-    OverloadMode, PreparedCombinations,
+    busy_times, latency_analysis, typical_slack, AnalysisContext, AnalysisOptions, CombinationSet,
+    DmmSweep, OverloadMode, PreparedCombinations, SolverMode,
 };
-use twca_gen::{random_stress_system, StressProfile};
+use twca_gen::{random_distributed, random_stress_system, RandomDistConfig, StressProfile};
 use twca_model::{case_study, ChainId, ChainKind, System, SystemBuilder};
 
 /// Knobs of one runner invocation.
@@ -79,6 +79,14 @@ impl BenchReport {
     /// The entry with the given id, if measured.
     pub fn entry(&self, id: &str) -> Option<&BenchEntry> {
         self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// The `slow / fast` best-time ratio between two measured entries
+    /// (`> 1` means `fast` is faster), when both exist.
+    pub fn speedup(&self, fast: &str, slow: &str) -> Option<f64> {
+        let fast_ns = self.entry(fast)?.best_ns.max(1);
+        let slow_ns = self.entry(slow)?.best_ns;
+        Some(slow_ns as f64 / fast_ns as f64)
     }
 
     /// Renders the wire/artifact form (`BENCH_combinations.json`).
@@ -190,9 +198,67 @@ impl BenchReport {
             "overload-heavy combination engine: lazy is {:.2}x faster than materialized",
             self.overload_heavy_speedup
         );
+        for (label, fast, slow) in SOLVER_SPEEDUPS {
+            if let Some(speedup) = self.speedup(fast, slow) {
+                let _ = writeln!(
+                    out,
+                    "{label}: scheduling-point path is {speedup:.2}x faster than the iterative \
+                     reference"
+                );
+            }
+        }
         out
     }
 }
+
+/// The solver-stage speedup pairs reported by [`BenchReport::render`]
+/// and gated by [`check_against`]: `(label, fast id, slow id)`.
+const SOLVER_SPEEDUPS: [(&str, &str, &str); 4] = [
+    (
+        "busy_window",
+        "busy_window/scheduling-points",
+        "busy_window/iterative",
+    ),
+    (
+        "latency_sweep",
+        "latency_sweep/scheduling-points",
+        "latency_sweep/iterative",
+    ),
+    (
+        "holistic_scaling/linear",
+        "holistic_scaling/linear/worklist",
+        "holistic_scaling/linear/full-sweeps",
+    ),
+    (
+        "holistic_scaling/star",
+        "holistic_scaling/star/worklist",
+        "holistic_scaling/star/full-sweeps",
+    ),
+];
+
+/// Contract floors for the gated subset of [`SOLVER_SPEEDUPS`]: the
+/// deep-pipeline worklist must keep ≥ 5x over the full-sweep reference,
+/// the busy-window and latency stages ≥ 2x. (The star shape is
+/// measured and regression-gated per entry, but its headline win is
+/// thread fan-out, which single-core CI runners cannot reproduce — no
+/// ratio floor there.)
+const SPEEDUP_CONTRACTS: [(&str, &str, f64); 3] = [
+    (
+        "busy_window/scheduling-points",
+        "busy_window/iterative",
+        2.0,
+    ),
+    (
+        "latency_sweep/scheduling-points",
+        "latency_sweep/iterative",
+        2.0,
+    ),
+    (
+        "holistic_scaling/linear/worklist",
+        "holistic_scaling/linear/full-sweeps",
+        5.0,
+    ),
+];
 
 fn format_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
@@ -363,6 +429,69 @@ fn materialized_pass(sites: &[CombinationSite], options: AnalysisOptions) -> u12
     acc
 }
 
+/// Forces a busy-window solver onto shared options.
+fn with_solver(options: AnalysisOptions, solver: SolverMode) -> AnalysisOptions {
+    AnalysisOptions { solver, ..options }
+}
+
+/// One busy-window pass: the Theorem 1 ladder `B(1..=48)` for every
+/// chain of every context, full worst-case mode — the innermost stage
+/// of every latency query, in the ladder form all consumers (window
+/// search, miss models, weakly-hard checks) invoke it.
+fn busy_window_pass(ctxs: &[AnalysisContext<'_>], options: AnalysisOptions) -> u64 {
+    let mut acc = 0u64;
+    for ctx in ctxs {
+        for (id, _) in ctx.system().iter() {
+            for busy in busy_times(ctx, id, 48, OverloadMode::Include, options)
+                .into_iter()
+                .flatten()
+            {
+                acc = acc.wrapping_add(busy);
+            }
+        }
+    }
+    acc
+}
+
+/// One latency-sweep pass: whole Theorem 2 analyses (full and typical
+/// mode) for every chain of every context — the per-resource unit of
+/// the batch and holistic pipelines.
+fn latency_sweep_pass(ctxs: &[AnalysisContext<'_>], options: AnalysisOptions) -> u64 {
+    let mut acc = 0u64;
+    for ctx in ctxs {
+        for (id, _) in ctx.system().iter() {
+            for mode in [OverloadMode::Include, OverloadMode::Exclude] {
+                if let Some(r) = latency_analysis(ctx, id, mode, options) {
+                    acc = acc.wrapping_add(r.worst_case_latency);
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// The first seed whose generated distributed system converges under
+/// both holistic drivers (so the timed workload measures fixed points,
+/// not error paths), together with the system.
+fn convergent_distributed(
+    seed: u64,
+    config: &RandomDistConfig,
+    options: twca_dist::DistOptions,
+) -> twca_dist::DistributedSystem {
+    let mut iterative = options;
+    iterative.chain_options.solver = SolverMode::Iterative;
+    for attempt in 0..512u64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(attempt));
+        let dist = random_distributed(&mut rng, config).expect("built-in topology");
+        if twca_dist::analyze(&dist, options).is_ok()
+            && twca_dist::analyze(&dist, iterative).is_ok()
+        {
+            return dist;
+        }
+    }
+    panic!("no convergent distributed workload within 512 seeds");
+}
+
 /// Runs the whole suite.
 pub fn run_bench(config: &BenchConfig) -> BenchReport {
     let samples = if config.quick { 7 } else { 11 };
@@ -499,6 +628,131 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
         samples,
     });
 
+    // Busy-window and latency-sweep solver comparison: the Theorem 1/2
+    // stages on high-utilization and bursty stress systems (long busy
+    // windows, expensive arrival curves), identical workloads per
+    // solver. Contexts are prebuilt — both solvers share the segment
+    // views; the scheduling-point side additionally amortizes its
+    // interference plans across the passes, which is exactly the
+    // production shape (one context, many queries).
+    let stress_batch = |offset: u64, profiles: [StressProfile; 2]| -> Vec<System> {
+        (0..24)
+            .map(|i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(offset + i));
+                let profile = profiles[(i % 2) as usize];
+                random_stress_system(&mut rng, profile).expect("built-in profile")
+            })
+            .collect()
+    };
+    let jump = with_solver(options, SolverMode::SchedulingPoints);
+    let iterative = with_solver(options, SolverMode::Iterative);
+
+    // Busy-window ladders on convergence-friendly profiles (baseline +
+    // bursty): divergent chains cost one identical horizon-bounded solve
+    // under either solver, so they only dilute the comparison — the
+    // warm-started rungs on *closing* windows are the contested work.
+    let busy_systems = stress_batch(1_000, [StressProfile::Baseline, StressProfile::Bursty]);
+    let busy_ctxs: Vec<AnalysisContext<'_>> =
+        busy_systems.iter().map(AnalysisContext::new).collect();
+    assert_eq!(
+        busy_window_pass(&busy_ctxs, jump),
+        busy_window_pass(&busy_ctxs, iterative),
+        "the busy-window solvers disagreed on the bench workload"
+    );
+    // Whole latency analyses on the heavy profiles (high-utilization +
+    // bursty): long busy windows, large `K_b`, expensive arrival curves.
+    let latency_systems = stress_batch(
+        1_100,
+        [StressProfile::HighUtilization, StressProfile::Bursty],
+    );
+    let latency_ctxs: Vec<AnalysisContext<'_>> =
+        latency_systems.iter().map(AnalysisContext::new).collect();
+    assert_eq!(
+        latency_sweep_pass(&latency_ctxs, jump),
+        latency_sweep_pass(&latency_ctxs, iterative),
+        "the latency solvers disagreed on the bench workload"
+    );
+    for (id, solver_options) in [("scheduling-points", jump), ("iterative", iterative)] {
+        entries.push(BenchEntry {
+            id: format!("busy_window/{id}"),
+            best_ns: best_ns(samples, || {
+                std::hint::black_box(busy_window_pass(&busy_ctxs, solver_options));
+            }),
+            samples,
+        });
+        entries.push(BenchEntry {
+            id: format!("latency_sweep/{id}"),
+            best_ns: best_ns(samples, || {
+                std::hint::black_box(latency_sweep_pass(&latency_ctxs, solver_options));
+            }),
+            samples,
+        });
+    }
+
+    // Holistic scaling: the incremental worklist vs the full-sweep
+    // reference on the two topologies the worklist exists for — a deep
+    // linear pipeline (jitter crosses one hop per sweep, so the frontier
+    // is one resource) and a wide star (the ready set fans out).
+    let dist_options = twca_dist::DistOptions {
+        chain_options: jump,
+        ..twca_dist::DistOptions::default()
+    };
+    let mut dist_iterative = dist_options;
+    dist_iterative.chain_options = iterative;
+    // Bursty per-resource systems: long busy windows with expensive
+    // arrival curves, the production-shaped load where both the
+    // worklist and the scheduling-point chain solver earn their keep
+    // (baseline-profile resources are so cheap that per-sweep
+    // bookkeeping dominates either driver).
+    for (shape, dist_config) in [
+        (
+            "linear",
+            RandomDistConfig::deep_pipeline(10, StressProfile::Bursty),
+        ),
+        (
+            "star",
+            RandomDistConfig::wide_star(10, StressProfile::Bursty),
+        ),
+    ] {
+        let dist =
+            convergent_distributed(config.seed.wrapping_add(2_000), &dist_config, dist_options);
+        let worklist = twca_dist::analyze(&dist, dist_options).expect("prevalidated");
+        let reference = twca_dist::analyze(&dist, dist_iterative).expect("prevalidated");
+        assert_eq!(
+            (
+                worklist.sweeps(),
+                dist.sites()
+                    .map(|s| worklist.worst_case_latency(s))
+                    .collect::<Vec<_>>()
+            ),
+            (
+                reference.sweeps(),
+                dist.sites()
+                    .map(|s| reference.worst_case_latency(s))
+                    .collect::<Vec<_>>()
+            ),
+            "the holistic drivers disagreed on the {shape} bench workload"
+        );
+        entries.push(BenchEntry {
+            id: format!("holistic_scaling/{shape}/worklist"),
+            best_ns: best_ns(samples, || {
+                std::hint::black_box(
+                    twca_dist::analyze(&dist, dist_options).expect("prevalidated"),
+                );
+            }),
+            samples,
+        });
+        entries.push(BenchEntry {
+            id: format!("holistic_scaling/{shape}/full-sweeps"),
+            best_ns: best_ns(samples, || {
+                std::hint::black_box(
+                    twca_dist::analyze(&dist, dist_iterative).expect("prevalidated"),
+                );
+            }),
+            samples,
+        });
+    }
+
     BenchReport {
         seed: config.seed,
         quick: config.quick,
@@ -566,6 +820,15 @@ pub fn check_against(current: &BenchReport, baseline: &BenchReport, tolerance: f
             "overload-heavy speedup below the 5x contract: {:.2}x",
             current.overload_heavy_speedup
         ));
+    }
+    for (fast, slow, floor) in SPEEDUP_CONTRACTS {
+        if let Some(speedup) = current.speedup(fast, slow) {
+            if speedup < floor {
+                regressions.push(format!(
+                    "`{fast}` speedup below its {floor}x contract: {speedup:.2}x vs `{slow}`"
+                ));
+            }
+        }
     }
     regressions
 }

@@ -25,14 +25,16 @@
 //! `--serial`, `--k K1,K2,...`, `--json`, `--progress`.
 //!
 //! `fuzz` generates random scenarios (uniprocessor stress profiles and
-//! distributed topologies) and checks every one against the
-//! [`twca_verify`] oracle battery: simulation soundness, cache
-//! agreement, serial/parallel agreement, backend agreement, dmm
-//! monotonicity and lazy-vs-materialized combination-engine
-//! agreement. Failing scenarios are auto-shrunk and persisted to the
-//! regression corpus. Flags: `--seed S`, `--iters N`, `--budget SECS`,
-//! `--profile P1,P2,...`, `--k K1,K2,...`, `--horizon H`,
-//! `--corpus DIR`, `--no-shrink`.
+//! distributed topologies, including the `dist-deep` pipeline and
+//! `dist-wide` star shapes that stress the incremental holistic
+//! worklist) and checks every one against the [`twca_verify`] oracle
+//! battery: simulation soundness, cache agreement, serial/parallel
+//! agreement, backend agreement, dmm monotonicity,
+//! lazy-vs-materialized combination-engine agreement and
+//! scheduling-point-vs-iterative solver agreement. Failing scenarios
+//! are auto-shrunk and persisted to the regression corpus. Flags:
+//! `--seed S`, `--iters N`, `--budget SECS`, `--profile P1,P2,...`,
+//! `--k K1,K2,...`, `--horizon H`, `--corpus DIR`, `--no-shrink`.
 //!
 //! `serve` reads one [`twca_api::AnalysisRequest`] per stdin line (or
 //! from `--file F`) and streams one response line per request, in input
@@ -119,6 +121,17 @@ impl From<twca_dist::DistError> for CliError {
 fn load(path: &str) -> Result<System, CliError> {
     let text = std::fs::read_to_string(path)?;
     Ok(parse_system(&text)?)
+}
+
+/// Parses a `--solver` value (same names as the wire option).
+fn parse_solver(value: &str) -> Result<twca_chains::SolverMode, CliError> {
+    match value {
+        "scheduling-points" => Ok(twca_chains::SolverMode::SchedulingPoints),
+        "iterative" => Ok(twca_chains::SolverMode::Iterative),
+        other => Err(CliError::Usage(format!(
+            "unknown solver `{other}` (expected `scheduling-points` or `iterative`)"
+        ))),
+    }
 }
 
 fn chain_id(system: &System, name: &str) -> Result<twca_model::ChainId, CliError> {
@@ -345,12 +358,14 @@ struct BatchArgs {
     progress: bool,
     horizon: u64,
     max_q: u64,
+    solver: twca_chains::SolverMode,
 }
 
 impl BatchArgs {
     const USAGE: &'static str = "twca batch [files...] [--gen N] [--seed S] [--profile P] \
                                  [--threads T] [--serial] [--k K1,K2,...] [--horizon H] \
-                                 [--max-q Q] [--json] [--progress]";
+                                 [--max-q Q] [--solver scheduling-points|iterative] [--json] \
+                                 [--progress]";
 
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut parsed = BatchArgs {
@@ -368,6 +383,7 @@ impl BatchArgs {
             // default (divergent fixed points crawl to the horizon).
             horizon: 2_000_000,
             max_q: 20_000,
+            solver: twca_chains::SolverMode::default(),
         };
         let mut rest = args.iter();
         while let Some(arg) = rest.next() {
@@ -415,6 +431,7 @@ impl BatchArgs {
                         CliError::Usage("`--max-q` expects an activation count".into())
                     })?;
                 }
+                "--solver" => parsed.solver = parse_solver(value_of("--solver")?)?,
                 "--serial" => parsed.serial = true,
                 "--json" => parsed.json = true,
                 "--progress" => parsed.progress = true,
@@ -474,6 +491,7 @@ pub fn cmd_batch(args: &[String]) -> Result<String, CliError> {
     let options = twca_chains::AnalysisOptions {
         horizon: parsed.horizon,
         max_q: parsed.max_q,
+        solver: parsed.solver,
         ..twca_chains::AnalysisOptions::default()
     };
     // One façade session owns the cache and options; the engine is a
@@ -549,10 +567,12 @@ struct ServeArgs {
     budget: Option<u64>,
     horizon: Option<u64>,
     max_q: Option<u64>,
+    solver: Option<twca_chains::SolverMode>,
 }
 
 impl ServeArgs {
-    const USAGE: &'static str = "twca serve [--file F] [--budget UNITS] [--horizon H] [--max-q Q]";
+    const USAGE: &'static str = "twca serve [--file F] [--budget UNITS] [--horizon H] [--max-q Q] \
+                                 [--solver scheduling-points|iterative]";
 
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut parsed = ServeArgs {
@@ -560,6 +580,7 @@ impl ServeArgs {
             budget: None,
             horizon: None,
             max_q: None,
+            solver: None,
         };
         let mut rest = args.iter();
         while let Some(arg) = rest.next() {
@@ -587,6 +608,7 @@ impl ServeArgs {
                         CliError::Usage("`--max-q` expects an activation count".into())
                     })?);
                 }
+                "--solver" => parsed.solver = Some(parse_solver(value_of("--solver")?)?),
                 flag => {
                     return Err(CliError::Usage(format!(
                         "unknown serve flag `{flag}`; {}",
@@ -603,6 +625,7 @@ impl ServeArgs {
         let mut session = Session::new().with_options(twca_chains::AnalysisOptions {
             horizon: self.horizon.unwrap_or(defaults.horizon),
             max_q: self.max_q.unwrap_or(defaults.max_q),
+            solver: self.solver.unwrap_or(defaults.solver),
             ..defaults
         });
         if let Some(budget) = self.budget {
@@ -861,7 +884,7 @@ impl FuzzArgs {
 
 /// `twca fuzz`: randomized conformance fuzzing through the
 /// [`twca_verify`] oracle battery. Every generated scenario is checked
-/// against all six oracles; failures are auto-shrunk to minimal
+/// against all seven oracles; failures are auto-shrunk to minimal
 /// counterexamples and (with `--corpus`) persisted as regression
 /// fixtures.
 ///
@@ -1321,6 +1344,34 @@ chain diag sporadic=1500 overload {
         assert_ne!(baseline, degenerate);
         assert!(matches!(
             cmd_batch(&args(&["--gen", "1", "--profile", "bogus"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn batch_solver_flag_is_observably_inert() {
+        let default_run = cmd_batch(&args(&[
+            "--gen", "4", "--seed", "9", "--k", "1,10", "--json",
+        ]))
+        .unwrap();
+        let iterative = cmd_batch(&args(&[
+            "--gen",
+            "4",
+            "--seed",
+            "9",
+            "--k",
+            "1,10",
+            "--solver",
+            "iterative",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            default_run, iterative,
+            "the solvers must be byte-identical through the whole batch pipeline"
+        );
+        assert!(matches!(
+            cmd_batch(&args(&["--gen", "1", "--solver", "quantum"])),
             Err(CliError::Usage(_))
         ));
     }

@@ -58,7 +58,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::busy_time::BusyTimeBreakdown;
-use crate::latency::{LatencyResult, OverloadMode};
+use crate::config::SolverMode;
+use crate::latency::{LatencyFailure, LatencyResult, OverloadMode};
 use twca_curves::{ActivationModel, Time};
 use twca_model::{ChainId, System};
 
@@ -165,6 +166,17 @@ fn mode_bit(mode: OverloadMode) -> u8 {
     }
 }
 
+/// The busy-window solvers agree bit-for-bit, but the cache still keys
+/// on the solver so a (hypothetical) divergence between them can never
+/// leak across the modes unnoticed — the `solver-agreement` oracle
+/// compares genuinely independent computations.
+fn solver_bit(solver: SolverMode) -> u8 {
+    match solver {
+        SolverMode::SchedulingPoints => 0,
+        SolverMode::Iterative => 1,
+    }
+}
+
 /// Key of one memoized busy-time fixed point (Theorem 1 / Equation 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct BusyKey {
@@ -174,6 +186,7 @@ struct BusyKey {
     mode: u8,
     extra: Time,
     horizon: Time,
+    solver: u8,
 }
 
 /// Key of one memoized latency analysis (Theorem 2).
@@ -184,6 +197,7 @@ struct LatencyKey {
     mode: u8,
     horizon: Time,
     max_q: u64,
+    solver: u8,
 }
 
 /// Key of one memoized overload budget (Lemma 4).
@@ -222,6 +236,8 @@ struct DmmKey {
     /// instances the materialized one rejects — entries must not leak
     /// across the modes).
     engine: u8,
+    /// Which busy-window solver the pipeline ran under.
+    solver: u8,
 }
 
 fn engine_bit(mode: crate::config::CombinationEngineMode) -> u8 {
@@ -310,7 +326,7 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct AnalysisCache {
     busy: Sharded<BusyKey, Option<BusyTimeBreakdown>>,
-    latency: Sharded<LatencyKey, Option<LatencyResult>>,
+    latency: Sharded<LatencyKey, Result<LatencyResult, LatencyFailure>>,
     omega: Sharded<OmegaKey, u64>,
     delta: Sharded<DeltaKey, Time>,
     dmm: Sharded<DmmKey, crate::dmm::DmmResult>,
@@ -380,6 +396,7 @@ impl AnalysisCache {
         mode: OverloadMode,
         extra: Time,
         horizon: Time,
+        solver: SolverMode,
         compute: impl FnOnce() -> Option<BusyTimeBreakdown>,
     ) -> Option<BusyTimeBreakdown> {
         let key = BusyKey {
@@ -389,6 +406,7 @@ impl AnalysisCache {
             mode: mode_bit(mode),
             extra,
             horizon,
+            solver: solver_bit(solver),
         };
         if let Some(hit) = self.busy.get(&key) {
             self.record(true);
@@ -400,7 +418,9 @@ impl AnalysisCache {
         value
     }
 
-    /// Memoizes one whole latency analysis.
+    /// Memoizes one whole latency analysis (including its typed failure
+    /// reason, so detailed and collapsed lookups share entries).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn latency(
         &self,
         sys: SystemFingerprint,
@@ -408,14 +428,16 @@ impl AnalysisCache {
         mode: OverloadMode,
         horizon: Time,
         max_q: u64,
-        compute: impl FnOnce() -> Option<LatencyResult>,
-    ) -> Option<LatencyResult> {
+        solver: SolverMode,
+        compute: impl FnOnce() -> Result<LatencyResult, LatencyFailure>,
+    ) -> Result<LatencyResult, LatencyFailure> {
         let key = LatencyKey {
             sys,
             chain: chain.index(),
             mode: mode_bit(mode),
             horizon,
             max_q,
+            solver: solver_bit(solver),
         };
         if let Some(hit) = self.latency.get(&key) {
             self.record(true);
@@ -477,6 +499,7 @@ impl AnalysisCache {
             packing_budget: options.packing_budget,
             variant: exact as u8,
             engine: engine_bit(options.combination_engine),
+            solver: solver_bit(options.solver),
         };
         if let Some(hit) = self.dmm.get(&key) {
             self.record(true);

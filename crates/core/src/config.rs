@@ -27,6 +27,31 @@ pub enum CombinationEngineMode {
     Materialized,
 }
 
+/// Which busy-window fixed-point solver the Theorem 1 / Equation 3
+/// computations use.
+///
+/// The two solvers compute the **same least fixed point** — busy times,
+/// breakdowns, divergence verdicts and everything derived from them are
+/// bit-identical (the `twca-verify` `solver-agreement` oracle holds them
+/// to that contract). They differ only in how they get there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverMode {
+    /// Jump between scheduling points: interferers are flattened once
+    /// per `(observed, mode)` into a cached interference plan, each
+    /// iteration re-evaluates only the arrival curves whose next
+    /// activation breakpoint was crossed, and a candidate below every
+    /// breakpoint is recognized as the fixed point without another
+    /// sweep. Busy times are additionally warm-started monotonically
+    /// (`B(q)` seeds `B(q+1)`; Equation 3 probes seed each other along
+    /// the threshold bisection). The default.
+    #[default]
+    SchedulingPoints,
+    /// Naive successive substitution re-partitioning the interferers
+    /// per call — the original reference solver, retained for
+    /// differential testing.
+    Iterative,
+}
+
 /// Limits and switches for the fixed-point computations and the
 /// combination enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +82,9 @@ pub struct AnalysisOptions {
     /// Which combination engine classifies Definition 9 (see
     /// [`CombinationEngineMode`]).
     pub combination_engine: CombinationEngineMode,
+    /// Which busy-window solver converges Theorem 1 (see
+    /// [`SolverMode`]).
+    pub solver: SolverMode,
 }
 
 impl Default for AnalysisOptions {
@@ -67,6 +95,7 @@ impl Default for AnalysisOptions {
             max_combinations: 1_000_000,
             packing_budget: twca_ilp::PackingProblem::DEFAULT_BUDGET,
             combination_engine: CombinationEngineMode::default(),
+            solver: SolverMode::default(),
         }
     }
 }

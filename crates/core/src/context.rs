@@ -1,9 +1,28 @@
 //! Cached structural data for all ordered chain pairs of a system.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
+use crate::busy_time::InterferencePlan;
 use crate::cache::{AnalysisCache, SystemFingerprint};
+use crate::latency::OverloadMode;
 use twca_model::{ChainId, SegmentView, System};
+
+/// Lazily-built [`InterferencePlan`]s per `(observed, mode)`, shared by
+/// every busy-time fixed point of the scheduling-point solver. Interior
+/// mutability so `&AnalysisContext` stays the only handle analyses need;
+/// plans are pure functions of the system, so cloning clones the cached
+/// plans (and rebuilding them instead would be equally correct).
+#[derive(Debug, Default)]
+struct PlanStore(Mutex<HashMap<(usize, u8), Arc<InterferencePlan>>>);
+
+impl Clone for PlanStore {
+    fn clone(&self) -> Self {
+        PlanStore(Mutex::new(
+            self.0.lock().expect("plan store poisoned").clone(),
+        ))
+    }
+}
 
 /// Precomputed [`SegmentView`]s for every ordered pair of distinct chains,
 /// so repeated analyses (latency sweeps, DMM curves, priority-assignment
@@ -33,6 +52,8 @@ pub struct AnalysisContext<'a> {
     /// Shared memo store plus the system's fingerprint; `None` disables
     /// memoization (the default).
     cache: Option<(Arc<AnalysisCache>, SystemFingerprint)>,
+    /// Interference plans of the scheduling-point busy-window solver.
+    plans: PlanStore,
 }
 
 impl<'a> AnalysisContext<'a> {
@@ -53,6 +74,7 @@ impl<'a> AnalysisContext<'a> {
             system,
             views,
             cache: None,
+            plans: PlanStore::default(),
         }
     }
 
@@ -94,6 +116,22 @@ impl<'a> AnalysisContext<'a> {
     /// The attached cache and fingerprint, if any.
     pub(crate) fn memo(&self) -> Option<(&AnalysisCache, SystemFingerprint)> {
         self.cache.as_ref().map(|(c, f)| (c.as_ref(), *f))
+    }
+
+    /// The interference plan of `observed` under `mode`, built on first
+    /// use and shared by every subsequent busy-time fixed point of this
+    /// context.
+    pub(crate) fn plan(&self, observed: ChainId, mode: OverloadMode) -> Arc<InterferencePlan> {
+        let key = (
+            observed.index(),
+            matches!(mode, OverloadMode::Exclude) as u8,
+        );
+        let mut plans = self.plans.0.lock().expect("plan store poisoned");
+        Arc::clone(
+            plans
+                .entry(key)
+                .or_insert_with(|| Arc::new(InterferencePlan::build(self, observed, mode))),
+        )
     }
 
     /// The attached shared cache, if any.

@@ -15,7 +15,7 @@
 //! slack** `min_q (δ−_b(q) + D_b − L_b(q))`. A combination is
 //! unschedulable exactly when its total cost exceeds that slack.
 
-use crate::busy_time::busy_time_with_extra;
+use crate::busy_time::busy_time_seeded;
 use crate::config::AnalysisOptions;
 use crate::context::AnalysisContext;
 use crate::latency::OverloadMode;
@@ -166,26 +166,61 @@ pub fn combination_schedulable_exact(
     k_b: u64,
     options: AnalysisOptions,
 ) -> bool {
+    combination_schedulable_exact_seeded(
+        ctx,
+        observed,
+        combination_wcet,
+        k_b,
+        options,
+        &[],
+        &mut Vec::new(),
+    )
+}
+
+/// The warm-started Equation 3 check behind
+/// [`combination_schedulable_exact`], used by the exact-threshold
+/// bisection of the miss model. `seeds[q - 1]` may hold the converged
+/// busy time of a **smaller or equal** injected cost (the fixed point is
+/// monotone in the injected cost, so such values are sound lower
+/// bounds); within the call, each `B(q)` additionally seeds `B(q+1)`.
+/// On a fully schedulable verdict, `out` holds the converged busy times
+/// `B(1..=k_b)` for reuse as seeds of costlier probes. The verdict is
+/// identical to the cold check.
+pub(crate) fn combination_schedulable_exact_seeded(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    combination_wcet: Time,
+    k_b: u64,
+    options: AnalysisOptions,
+    seeds: &[Time],
+    out: &mut Vec<Time>,
+) -> bool {
     assert!(k_b > 0, "need at least one activation");
     let chain_b = ctx.system().chain(observed);
     let deadline = chain_b
         .deadline()
         .expect("exact criterion needs a deadline");
+    out.clear();
+    let mut warm: Time = 0;
     for q in 1..=k_b {
-        let Some(busy) = busy_time_with_extra(
+        let seed = warm.max(seeds.get(q as usize - 1).copied().unwrap_or(0));
+        let Some(busy) = busy_time_seeded(
             ctx,
             observed,
             q,
             OverloadMode::Exclude,
             combination_wcet,
             options,
+            seed,
         ) else {
             return false; // divergent: conservatively unschedulable
         };
         let arrival = chain_b.activation().delta_min(q);
+        out.push(busy.total);
         if busy.total.saturating_sub(arrival) > deadline {
             return false;
         }
+        warm = busy.total;
     }
     true
 }

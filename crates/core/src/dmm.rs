@@ -644,11 +644,25 @@ fn exact_threshold(
         return hi as i128;
     }
     // Invariant: schedulable at `lo` (or `lo` is the slack boundary),
-    // unschedulable at `hi`.
+    // unschedulable at `hi`. The injected-cost fixed point is monotone
+    // in the cost, so the busy times of the best schedulable probe so
+    // far (`lo`) warm-start every later probe (all at costs > `lo`);
+    // the verdicts are identical to cold checks.
+    let mut lo_seeds: Vec<twca_curves::Time> = Vec::new();
+    let mut probe_seeds: Vec<twca_curves::Time> = Vec::new();
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if crate::criterion::combination_schedulable_exact(ctx, observed, mid, k_b, options) {
+        if crate::criterion::combination_schedulable_exact_seeded(
+            ctx,
+            observed,
+            mid,
+            k_b,
+            options,
+            &lo_seeds,
+            &mut probe_seeds,
+        ) {
             lo = mid;
+            std::mem::swap(&mut lo_seeds, &mut probe_seeds);
         } else {
             hi = mid;
         }

@@ -1,6 +1,6 @@
 //! Worst-case latency of task chains (Theorem 2 of the paper).
 
-use crate::busy_time::busy_time;
+use crate::busy_time::busy_time_seeded;
 use crate::config::AnalysisOptions;
 use crate::context::AnalysisContext;
 use twca_curves::{EventModel, Time};
@@ -15,6 +15,46 @@ pub enum OverloadMode {
     /// Overload chains are abstracted away (the *typical* system of
     /// TWCA).
     Exclude,
+}
+
+/// Why a latency analysis produced no bound — the two exits that
+/// [`latency_analysis`] collapses into `None`.
+///
+/// The distinction matters operationally: a horizon exceedance means
+/// the busy window provably does not close within the configured
+/// divergence horizon (the chain is worst-case overloaded), while a
+/// `max_q` exhaustion means the busy window kept closing but the end of
+/// the window was not found within the configured activation budget —
+/// raising `max_q` may still produce a bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LatencyFailure {
+    /// The `q`-event busy time exceeded `options.horizon`.
+    HorizonExceeded {
+        /// The activation count whose fixed point diverged.
+        q: u64,
+        /// The configured divergence horizon.
+        horizon: Time,
+    },
+    /// The busy-window end search exhausted `options.max_q`.
+    MaxQExceeded {
+        /// The configured activation budget.
+        max_q: u64,
+    },
+}
+
+impl std::fmt::Display for LatencyFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LatencyFailure::HorizonExceeded { q, horizon } => write!(
+                f,
+                "busy window diverged past the horizon {horizon} at q = {q} (worst-case overload)"
+            ),
+            LatencyFailure::MaxQExceeded { max_q } => write!(
+                f,
+                "busy-window end not found within max_q = {max_q} activations"
+            ),
+        }
+    }
 }
 
 /// Result of a latency analysis of one chain.
@@ -55,7 +95,8 @@ impl LatencyResult {
 ///
 /// Returns `None` when the busy window does not provably close within
 /// `options` (the chain is worst-case overloaded and has no finite
-/// latency bound).
+/// latency bound). Use [`latency_analysis_detailed`] to learn *which*
+/// limit was hit.
 ///
 /// # Panics
 ///
@@ -81,21 +122,52 @@ pub fn latency_analysis(
     mode: OverloadMode,
     options: AnalysisOptions,
 ) -> Option<LatencyResult> {
+    latency_analysis_detailed(ctx, observed, mode, options).ok()
+}
+
+/// Like [`latency_analysis`], but reporting the typed [`LatencyFailure`]
+/// instead of collapsing both failure exits into `None`.
+///
+/// # Errors
+///
+/// * [`LatencyFailure::HorizonExceeded`] when a busy-time fixed point
+///   diverged past `options.horizon`;
+/// * [`LatencyFailure::MaxQExceeded`] when the end of the busy window
+///   was not found within `options.max_q` activations.
+///
+/// # Panics
+///
+/// Panics if `observed` is out of range.
+pub fn latency_analysis_detailed(
+    ctx: &AnalysisContext<'_>,
+    observed: ChainId,
+    mode: OverloadMode,
+    options: AnalysisOptions,
+) -> Result<LatencyResult, LatencyFailure> {
     if let Some((cache, sys)) = ctx.memo() {
-        return cache.latency(sys, observed, mode, options.horizon, options.max_q, || {
-            compute_latency_analysis(ctx, observed, mode, options)
-        });
+        return cache.latency(
+            sys,
+            observed,
+            mode,
+            options.horizon,
+            options.max_q,
+            options.solver,
+            || compute_latency_analysis(ctx, observed, mode, options),
+        );
     }
     compute_latency_analysis(ctx, observed, mode, options)
 }
 
-/// The uncached Theorem 2 iteration behind [`latency_analysis`].
+/// The uncached Theorem 2 iteration behind [`latency_analysis`]. Each
+/// `B(q+1)` fixed point is warm-started from `B(q)` (the busy time is
+/// monotone in `q`), which the scheduling-point solver exploits; the
+/// converged values are identical to cold solves.
 fn compute_latency_analysis(
     ctx: &AnalysisContext<'_>,
     observed: ChainId,
     mode: OverloadMode,
     options: AnalysisOptions,
-) -> Option<LatencyResult> {
+) -> Result<LatencyResult, LatencyFailure> {
     let activation = ctx.system().chain(observed).activation().clone();
     let memo = ctx.memo();
     let delta_min = |q: u64| match memo {
@@ -104,20 +176,29 @@ fn compute_latency_analysis(
     };
     let mut busy_times = Vec::new();
     let mut wcl: Time = 0;
+    let mut warm: Time = 0;
     let mut q = 1u64;
     loop {
         if q > options.max_q {
-            return None;
+            return Err(LatencyFailure::MaxQExceeded {
+                max_q: options.max_q,
+            });
         }
-        let busy = busy_time(ctx, observed, q, mode, options)?;
+        let busy = busy_time_seeded(ctx, observed, q, mode, 0, options, warm)
+            .ok_or(LatencyFailure::HorizonExceeded {
+                q,
+                horizon: options.horizon,
+            })?
+            .total;
         busy_times.push(busy);
         wcl = wcl.max(busy.saturating_sub(delta_min(q)));
         if busy <= delta_min(q + 1) {
             break;
         }
+        warm = busy;
         q += 1;
     }
-    Some(LatencyResult {
+    Ok(LatencyResult {
         busy_window_activations: q,
         busy_times,
         worst_case_latency: wcl,
@@ -173,5 +254,96 @@ mod tests {
         let act = chain.activation().clone();
         use twca_curves::EventModel;
         assert_eq!(r.misses_per_window(200, |k| act.delta_min(k)), 1);
+    }
+
+    #[test]
+    fn divergence_reasons_are_distinguished() {
+        use twca_model::SystemBuilder;
+        // Over-utilized pair: the busy window never closes. A small
+        // horizon reports HorizonExceeded; an enormous horizon with a
+        // tiny max_q reports MaxQExceeded instead.
+        let s = SystemBuilder::new()
+            .chain("x")
+            .periodic(10)
+            .unwrap()
+            .task("x1", 2, 6)
+            .done()
+            .chain("y")
+            .periodic(10)
+            .unwrap()
+            .task("y1", 1, 6)
+            .done()
+            .build()
+            .unwrap();
+        let ctx = AnalysisContext::new(&s);
+        let id = twca_model::ChainId::from_index(1);
+
+        let tight_horizon = AnalysisOptions {
+            horizon: 100,
+            ..AnalysisOptions::default()
+        };
+        let failure =
+            latency_analysis_detailed(&ctx, id, OverloadMode::Include, tight_horizon).unwrap_err();
+        assert!(
+            matches!(
+                failure,
+                LatencyFailure::HorizonExceeded { horizon: 100, .. }
+            ),
+            "{failure:?}"
+        );
+        assert!(failure.to_string().contains("horizon"));
+
+        let tight_q = AnalysisOptions {
+            max_q: 5,
+            ..AnalysisOptions::default()
+        };
+        let failure =
+            latency_analysis_detailed(&ctx, id, OverloadMode::Include, tight_q).unwrap_err();
+        assert_eq!(failure, LatencyFailure::MaxQExceeded { max_q: 5 });
+        assert!(failure.to_string().contains("max_q"));
+
+        // Both collapse to None on the untyped surface.
+        assert_eq!(
+            latency_analysis(&ctx, id, OverloadMode::Include, tight_horizon),
+            None
+        );
+        assert_eq!(
+            latency_analysis(&ctx, id, OverloadMode::Include, tight_q),
+            None
+        );
+    }
+
+    #[test]
+    fn detailed_failures_are_cached_with_their_reason() {
+        use std::sync::Arc;
+        use twca_model::SystemBuilder;
+        let s = SystemBuilder::new()
+            .chain("x")
+            .periodic(10)
+            .unwrap()
+            .task("x1", 2, 6)
+            .done()
+            .chain("y")
+            .periodic(10)
+            .unwrap()
+            .task("y1", 1, 6)
+            .done()
+            .build()
+            .unwrap();
+        let cache = Arc::new(crate::AnalysisCache::new());
+        let ctx = AnalysisContext::with_cache(&s, Arc::clone(&cache));
+        let id = twca_model::ChainId::from_index(1);
+        let opts = AnalysisOptions {
+            max_q: 5,
+            ..AnalysisOptions::default()
+        };
+        let first = latency_analysis_detailed(&ctx, id, OverloadMode::Include, opts);
+        let second = latency_analysis_detailed(&ctx, id, OverloadMode::Include, opts);
+        assert_eq!(first, second);
+        assert_eq!(
+            first.unwrap_err(),
+            LatencyFailure::MaxQExceeded { max_q: 5 }
+        );
+        assert!(cache.stats().hits > 0);
     }
 }

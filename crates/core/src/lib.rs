@@ -69,12 +69,14 @@ pub mod weakly_hard;
 mod analysis;
 
 pub use analysis::ChainAnalysis;
-pub use busy_time::{busy_time, busy_time_breakdown, busy_time_with_extra, BusyTimeBreakdown};
+pub use busy_time::{
+    busy_time, busy_time_breakdown, busy_time_with_extra, busy_times, BusyTimeBreakdown,
+};
 pub use cache::{AnalysisCache, CacheStats, SystemFingerprint};
 pub use combinations::{
     Combination, CombinationSet, ItemArena, OverloadSegment, PreparedCombinations,
 };
-pub use config::{AnalysisOptions, CombinationEngineMode};
+pub use config::{AnalysisOptions, CombinationEngineMode, SolverMode};
 pub use context::AnalysisContext;
 pub use criterion::{combination_schedulable_exact, typical_load, typical_slack};
 pub use dmm::{
@@ -82,7 +84,9 @@ pub use dmm::{
 };
 pub use error::AnalysisError;
 pub use explain::explain;
-pub use latency::{latency_analysis, LatencyResult, OverloadMode};
+pub use latency::{
+    latency_analysis, latency_analysis_detailed, LatencyFailure, LatencyResult, OverloadMode,
+};
 pub use omega::overload_budget;
 pub use report::{ChainReport, SystemReport};
 pub use weakly_hard::{

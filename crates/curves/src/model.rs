@@ -57,6 +57,28 @@ pub trait EventModel: std::fmt::Debug + Send + Sync {
     fn is_recurring(&self) -> bool {
         true
     }
+
+    /// The next activation breakpoint after `delta`: the smallest window
+    /// length `Δ' > delta` with `eta_plus(Δ') > eta_plus(delta)`, or
+    /// [`Time::MAX`] when the count never increases again (non-recurring
+    /// sources).
+    ///
+    /// Scheduling-point fixed-point solvers use this to leap between the
+    /// points where the interference function can actually change,
+    /// instead of re-evaluating every arrival curve at every candidate
+    /// window. The default implementation pseudo-inverts `delta_min`
+    /// (`η+(Δ) = max{k : δ-(k) < Δ}` jumps to `n + 1` at
+    /// `δ-(n + 1) + 1`), which is exact for every model whose two curve
+    /// views are consistent; the result is always `> delta`.
+    fn next_step(&self, delta: Time) -> Time {
+        if !self.is_recurring() {
+            return Time::MAX;
+        }
+        let count = self.eta_plus(delta);
+        self.delta_min(count.saturating_add(1))
+            .saturating_add(1)
+            .max(delta.saturating_add(1))
+    }
 }
 
 /// A closed, serializable union of the event models shipped with this crate.
@@ -169,6 +191,10 @@ impl EventModel for ActivationModel {
     fn is_recurring(&self) -> bool {
         self.as_dyn().is_recurring()
     }
+
+    fn next_step(&self, delta: Time) -> Time {
+        self.as_dyn().next_step(delta)
+    }
 }
 
 impl From<Periodic> for ActivationModel {
@@ -226,6 +252,33 @@ mod tests {
         let m = ActivationModel::never();
         assert!(!m.is_recurring());
         assert_eq!(m.eta_plus(1_000_000), 0);
+        assert_eq!(m.next_step(0), Time::MAX);
+    }
+
+    #[test]
+    fn next_step_is_the_minimal_count_increase() {
+        let models = [
+            ActivationModel::periodic(100).unwrap(),
+            ActivationModel::sporadic(70).unwrap(),
+            ActivationModel::periodic_jitter(100, 150, 10).unwrap(),
+            crate::Burst::new(100, 3, 5).unwrap().into(),
+            crate::DeltaTable::new(vec![5, 30]).unwrap().into(),
+        ];
+        for model in &models {
+            for delta in 0..500u64 {
+                let step = model.next_step(delta);
+                assert!(step > delta, "{model:?} at {delta}");
+                assert!(
+                    model.eta_plus(step) > model.eta_plus(delta),
+                    "{model:?}: no increase at step {step} from {delta}"
+                );
+                assert_eq!(
+                    model.eta_plus(step - 1),
+                    model.eta_plus(delta),
+                    "{model:?}: step {step} from {delta} is not minimal"
+                );
+            }
+        }
     }
 
     #[test]

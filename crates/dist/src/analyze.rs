@@ -1,9 +1,25 @@
 //! The holistic fixed-point iteration: per-resource chain analysis
 //! alternating with output event-model propagation along the links.
+//!
+//! Two fixed-point drivers share the propagation rules (selected by the
+//! busy-window [`twca_chains::SolverMode`] of the chain options): the
+//! default **dirty-resource worklist** re-analyzes only resources whose
+//! effective activation models changed in the previous propagation,
+//! mutates activation updates in place, keeps one memoized analysis
+//! cache alive across sweeps (keyed by the effective systems' activation
+//! fingerprints), and fans ready resources out across threads; the
+//! retained **full-sweep** reference re-analyzes every resource on every
+//! sweep. Both produce byte-identical results — effective systems,
+//! latency bounds, sweep counts and error behavior (the `twca-verify`
+//! `solver-agreement` oracle pins the contract).
+
+use std::collections::HashMap;
 
 use crate::error::DistError;
 use crate::system::{DistributedSystem, ResourceId, SiteId};
-use twca_chains::{deadline_miss_model, AnalysisContext, AnalysisOptions};
+use twca_chains::{
+    deadline_miss_model, AnalysisContext, AnalysisOptions, ChainAnalysis, SolverMode,
+};
 use twca_curves::{ActivationModel, EventModel, Time};
 use twca_independent::propagate_output_model;
 use twca_model::System;
@@ -11,10 +27,15 @@ use twca_model::System;
 /// Options of the distributed analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DistOptions {
-    /// Options forwarded to every per-resource chain analysis.
+    /// Options forwarded to every per-resource chain analysis (whose
+    /// [`twca_chains::SolverMode`] also selects the holistic driver:
+    /// the incremental worklist by default, the full-sweep reference
+    /// under [`SolverMode::Iterative`]).
     pub chain_options: AnalysisOptions,
     /// Maximum number of holistic sweeps before reporting
-    /// [`DistError::Diverged`].
+    /// [`DistError::Diverged`]. Must be at least 1 (the fixed point
+    /// needs its confirming sweep); [`analyze`] rejects 0 with
+    /// [`DistError::ZeroSweeps`].
     pub max_sweeps: usize,
 }
 
@@ -175,49 +196,241 @@ fn propagation_parameters(system: &System, chain: twca_model::ChainId, wcl: Time
 
 /// Runs the holistic iteration to its fixed point.
 ///
-/// Each sweep analyzes every resource with [`twca_chains`] under the
-/// current effective activation models, then propagates each link
-/// source's output event model (input model shifted by its response
-/// jitter, floored by its completion spacing) into the destination
-/// chain. The iteration converges when no effective model changes.
+/// Each sweep analyzes the resources whose effective activation models
+/// may have changed with [`twca_chains`] under the current models, then
+/// propagates each link source's output event model (input model
+/// shifted by its response jitter, floored by its completion spacing)
+/// into the destination chain. The iteration converges when no
+/// effective model changes. Under the default scheduling-point solver
+/// only *dirty* resources are re-analyzed (see the module docs); under
+/// [`SolverMode::Iterative`] every resource is re-analyzed every sweep.
+/// Results are identical either way.
 ///
 /// # Errors
 ///
+/// * [`DistError::ZeroSweeps`] when `options.max_sweeps` is zero;
 /// * [`DistError::UnboundedLatency`] when a *linked* producer chain has
-///   no finite latency bound (nothing sound can be propagated);
+///   no finite latency bound (nothing sound can be propagated) — the
+///   error carries the typed [`twca_chains::LatencyFailure`] naming
+///   which limit was hit;
 /// * [`DistError::Diverged`] when `options.max_sweeps` sweeps do not
-///   reach a fixed point (e.g. cyclic resource graphs under load).
+///   reach a fixed point (e.g. heavily loaded feedback through long
+///   chains); `sweeps` reports the sweeps actually run.
 pub fn analyze(system: &DistributedSystem, options: DistOptions) -> Result<DistResults, DistError> {
+    if options.max_sweeps == 0 {
+        return Err(DistError::ZeroSweeps);
+    }
+    match options.chain_options.solver {
+        SolverMode::SchedulingPoints => analyze_worklist(system, options),
+        SolverMode::Iterative => analyze_full_sweeps(system, options),
+    }
+}
+
+/// One per-chain worst-case latency row, with the typed divergence
+/// reason of any diverging chain (consumed only if that chain turns out
+/// to be a link source).
+type WclRow = Vec<Result<Time, twca_chains::LatencyFailure>>;
+
+/// Analyzes one effective resource system into its latency row.
+fn wcl_row(local: &System, options: AnalysisOptions) -> WclRow {
+    let analysis = ChainAnalysis::new(local).with_options(options);
+    local
+        .iter()
+        .map(|(id, _)| {
+            twca_chains::latency_analysis_detailed(
+                analysis.context(),
+                id,
+                twca_chains::OverloadMode::Include,
+                options,
+            )
+            .map(|r| r.worst_case_latency)
+        })
+        .collect()
+}
+
+/// How many dirty resources justify spawning worker threads: below
+/// this, thread setup costs more than the analyses.
+const PARALLEL_THRESHOLD: usize = 4;
+
+/// Analyzes the dirty resources, fanning out across threads when the
+/// ready set is wide (star/tree topologies). Results are ordered by
+/// resource index and bit-identical to the serial path — each row is a
+/// pure function of its effective system.
+fn analyze_dirty(
+    effective: &[System],
+    dirty: &[usize],
+    options: AnalysisOptions,
+) -> Vec<(usize, WclRow)> {
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(dirty.len());
+    if workers <= 1 || dirty.len() < PARALLEL_THRESHOLD {
+        return dirty
+            .iter()
+            .map(|&i| (i, wcl_row(&effective[i], options)))
+            .collect();
+    }
+    let chunk = dirty.len().div_ceil(workers);
+    let mut rows = Vec::with_capacity(dirty.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = dirty
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|&i| (i, wcl_row(&effective[i], options)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            rows.extend(handle.join().expect("worklist worker panicked"));
+        }
+    });
+    rows
+}
+
+/// The incremental driver: a dirty-resource worklist over the link
+/// graph. A resource is dirty when its effective activation models
+/// changed in the previous propagation (all resources start dirty);
+/// only dirty resources are re-analyzed — the expensive half of a
+/// sweep. Propagation still walks every link with the stored latency
+/// rows (cheap model arithmetic), which keeps the intra-sweep cascade
+/// semantics of the reference driver exactly: a link whose inputs did
+/// not change since its last evaluation reproduces its output
+/// bit-for-bit, so skipping its *source analysis* is safe while
+/// skipping its *evaluation* would not be (an earlier link in the same
+/// sweep may just have rewritten the source's input model). One row
+/// memo keyed by the effective systems'
+/// [`twca_chains::SystemFingerprint`]s (which cover the activation
+/// models) survives the whole iteration, so a resource whose models
+/// revisit an earlier state — and identical resources anywhere in the
+/// topology — are answered from the memo instead of re-converging.
+fn analyze_worklist(
+    system: &DistributedSystem,
+    options: DistOptions,
+) -> Result<DistResults, DistError> {
+    let mut effective: Vec<System> = system
+        .resources()
+        .iter()
+        .map(|r| r.system().clone())
+        .collect();
+    let n = effective.len();
+    let mut row_memo: HashMap<twca_chains::SystemFingerprint, WclRow> = HashMap::new();
+    let mut wcl: Vec<WclRow> = vec![Vec::new(); n];
+    let mut dirty: Vec<bool> = vec![true; n];
+
+    for sweep in 1..=options.max_sweeps {
+        // Re-analyze exactly the resources whose models changed, and of
+        // those only one representative per activation fingerprint not
+        // already memoized (the row is a pure function of the system).
+        let fingerprints: Vec<(usize, twca_chains::SystemFingerprint)> = (0..n)
+            .filter(|&i| dirty[i])
+            .map(|i| (i, twca_chains::SystemFingerprint::of(&effective[i])))
+            .collect();
+        let mut to_analyze: Vec<(usize, twca_chains::SystemFingerprint)> =
+            Vec::with_capacity(fingerprints.len());
+        for &(i, fingerprint) in &fingerprints {
+            if !row_memo.contains_key(&fingerprint)
+                && to_analyze.iter().all(|&(_, f)| f != fingerprint)
+            {
+                to_analyze.push((i, fingerprint));
+            }
+        }
+        let misses: Vec<usize> = to_analyze.iter().map(|&(i, _)| i).collect();
+        let rows = analyze_dirty(&effective, &misses, options.chain_options);
+        debug_assert_eq!(rows.len(), to_analyze.len());
+        for ((i, row), &(j, fingerprint)) in rows.into_iter().zip(&to_analyze) {
+            debug_assert_eq!(i, j);
+            let _ = i;
+            row_memo.insert(fingerprint, row);
+        }
+        for (i, fingerprint) in fingerprints {
+            wcl[i] = row_memo
+                .get(&fingerprint)
+                .expect("every dirty fingerprint was analyzed or memoized")
+                .clone();
+        }
+
+        // Propagate along *every* link, exactly like the reference
+        // driver — including its mid-loop cascade, where a link reads a
+        // source model an earlier link of the same sweep just rewrote.
+        // Only the analyses above are skipped for clean resources;
+        // their stored rows equal what a re-analysis would compute.
+        dirty = vec![false; n];
+        let mut changed = false;
+        for link in system.links() {
+            let (from, to) = (link.from(), link.to());
+            let bound = match wcl[from.resource().index()][from.chain().index()] {
+                Ok(bound) => bound,
+                Err(reason) => {
+                    return Err(DistError::UnboundedLatency {
+                        site: from,
+                        reason: Some(reason),
+                    });
+                }
+            };
+            let source_system = &effective[from.resource().index()];
+            let input = source_system.chain(from.chain()).activation().clone();
+            let (floor, jitter) = propagation_parameters(source_system, from.chain(), bound);
+            let output = propagate_with_floor(&input, jitter, floor);
+            let destination = &effective[to.resource().index()];
+            if *destination.chain(to.chain()).activation() != output {
+                effective[to.resource().index()].set_activation(to.chain(), output);
+                dirty[to.resource().index()] = true;
+                changed = true;
+            }
+        }
+
+        if !changed {
+            return Ok(DistResults {
+                effective,
+                wcl: wcl
+                    .into_iter()
+                    .map(|row| row.into_iter().map(Result::ok).collect())
+                    .collect(),
+                sweeps: sweep,
+                options,
+            });
+        }
+    }
+    Err(DistError::Diverged {
+        sweeps: options.max_sweeps,
+    })
+}
+
+/// The full-sweep reference driver: every resource re-analyzed on every
+/// sweep, whole systems re-cloned per propagated link — retained for
+/// differential testing against the worklist.
+fn analyze_full_sweeps(
+    system: &DistributedSystem,
+    options: DistOptions,
+) -> Result<DistResults, DistError> {
     let mut effective: Vec<System> = system
         .resources()
         .iter()
         .map(|r| r.system().clone())
         .collect();
 
-    for sweep in 1..=options.max_sweeps.max(1) {
+    for sweep in 1..=options.max_sweeps {
         // Per-resource chain analysis under the current models.
-        let mut wcl: Vec<Vec<Option<Time>>> = Vec::with_capacity(effective.len());
-        for local in &effective {
-            let analysis =
-                twca_chains::ChainAnalysis::new(local).with_options(options.chain_options);
-            let row = local
-                .iter()
-                .map(|(id, _)| {
-                    analysis
-                        .try_worst_case_latency(id)
-                        .expect("chain ids from the same system")
-                        .map(|r| r.worst_case_latency)
-                })
-                .collect();
-            wcl.push(row);
-        }
+        let wcl: Vec<Vec<Result<Time, twca_chains::LatencyFailure>>> = effective
+            .iter()
+            .map(|local| wcl_row(local, options.chain_options))
+            .collect();
 
         // Propagate along every link.
         let mut changed = false;
         for link in system.links() {
             let (from, to) = (link.from(), link.to());
-            let Some(bound) = wcl[from.resource().index()][from.chain().index()] else {
-                return Err(DistError::UnboundedLatency { site: from });
+            let bound = match wcl[from.resource().index()][from.chain().index()] {
+                Ok(bound) => bound,
+                Err(reason) => {
+                    return Err(DistError::UnboundedLatency {
+                        site: from,
+                        reason: Some(reason),
+                    });
+                }
             };
             let source_system = &effective[from.resource().index()];
             let input = source_system.chain(from.chain()).activation().clone();
@@ -233,7 +446,10 @@ pub fn analyze(system: &DistributedSystem, options: DistOptions) -> Result<DistR
         if !changed {
             return Ok(DistResults {
                 effective,
-                wcl,
+                wcl: wcl
+                    .into_iter()
+                    .map(|row| row.into_iter().map(Result::ok).collect())
+                    .collect(),
                 sweeps: sweep,
                 options,
             });
@@ -296,6 +512,116 @@ mod tests {
         for delta in [1_000u64, 10_000] {
             assert!(shifted.eta_plus(delta) >= m.eta_plus(delta));
             assert!(shifted.eta_plus(delta) <= m.eta_plus(delta) + 1);
+        }
+    }
+
+    #[test]
+    fn zero_sweeps_is_a_typed_error() {
+        let dist = DistributedSystemBuilder::new()
+            .resource("ecu0", case_study())
+            .build()
+            .unwrap();
+        let options = DistOptions {
+            max_sweeps: 0,
+            ..DistOptions::default()
+        };
+        assert_eq!(analyze(&dist, options).unwrap_err(), DistError::ZeroSweeps);
+        // Both drivers reject at the boundary.
+        let mut iterative = options;
+        iterative.chain_options.solver = twca_chains::SolverMode::Iterative;
+        assert_eq!(
+            analyze(&dist, iterative).unwrap_err(),
+            DistError::ZeroSweeps
+        );
+    }
+
+    #[test]
+    fn diverged_reports_the_sweeps_actually_run() {
+        // A two-resource ping-pong through jitter accumulation that
+        // cannot settle in one sweep: capping max_sweeps at 1 must
+        // report exactly 1 sweep run.
+        let downstream = SystemBuilder::new()
+            .chain("act")
+            .periodic(200)
+            .unwrap()
+            .deadline(200)
+            .task("a1", 1, 20)
+            .done()
+            .build()
+            .unwrap();
+        let dist = DistributedSystemBuilder::new()
+            .resource("ecu0", case_study())
+            .resource("ecu1", downstream)
+            .link(("ecu0", "sigma_c"), ("ecu1", "act"))
+            .build()
+            .unwrap();
+        let options = DistOptions {
+            max_sweeps: 1,
+            ..DistOptions::default()
+        };
+        assert_eq!(
+            analyze(&dist, options).unwrap_err(),
+            DistError::Diverged { sweeps: 1 }
+        );
+    }
+
+    /// The worklist and the full-sweep reference must agree on
+    /// everything observable: sweeps, latencies, effective activations.
+    #[test]
+    fn worklist_matches_full_sweeps_on_a_pipeline() {
+        let mk = |period: u64| {
+            SystemBuilder::new()
+                .chain("stage")
+                .periodic(period)
+                .unwrap()
+                .deadline(period)
+                .task("hi", 5, 10)
+                .task("lo", 1, 15)
+                .done()
+                .chain("noise")
+                .periodic(70)
+                .unwrap()
+                .task("n1", 3, 9)
+                .done()
+                .build()
+                .unwrap()
+        };
+        let mut builder = DistributedSystemBuilder::new();
+        for (i, period) in [200u64, 210, 220, 230, 240].iter().enumerate() {
+            builder = builder.resource(format!("r{i}"), mk(*period));
+        }
+        for i in 0..4 {
+            builder = builder.link(
+                (format!("r{i}"), "stage".to_owned()),
+                (format!("r{}", i + 1), "stage".to_owned()),
+            );
+        }
+        let dist = builder.build().unwrap();
+
+        let worklist = analyze(&dist, DistOptions::default()).unwrap();
+        let mut iterative_options = DistOptions::default();
+        iterative_options.chain_options.solver = twca_chains::SolverMode::Iterative;
+        let reference = analyze(&dist, iterative_options).unwrap();
+
+        assert_eq!(worklist.sweeps(), reference.sweeps());
+        assert!(worklist.sweeps() > 1, "propagation must actually happen");
+        for site in dist.sites() {
+            assert_eq!(
+                worklist.worst_case_latency(site),
+                reference.worst_case_latency(site),
+                "site {site}"
+            );
+            assert_eq!(
+                worklist.effective_activation(site),
+                reference.effective_activation(site),
+                "site {site}"
+            );
+        }
+        for r in 0..dist.resources().len() {
+            assert_eq!(
+                worklist.effective_system(crate::system::ResourceId::from_index(r)),
+                reference.effective_system(crate::system::ResourceId::from_index(r)),
+            );
         }
     }
 }

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::system::SiteId;
-use twca_chains::AnalysisError;
+use twca_chains::{AnalysisError, LatencyFailure};
 
 /// Errors of the distributed model and analysis.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,12 +50,20 @@ pub enum DistError {
     UnboundedLatency {
         /// The unbounded site.
         site: SiteId,
+        /// Which analysis limit was hit, when the failure was observed
+        /// during the fixed point itself (`None` on readout paths that
+        /// only see the collapsed bound).
+        reason: Option<LatencyFailure>,
     },
     /// The holistic iteration did not reach a fixed point.
     Diverged {
-        /// Sweeps performed before giving up.
+        /// Sweeps actually performed before giving up.
         sweeps: usize,
     },
+    /// [`crate::DistOptions::max_sweeps`] was zero: the iteration could
+    /// not even run its confirming sweep. Rejected at the boundary so a
+    /// zero never silently means "one".
+    ZeroSweeps,
     /// A miss-model query hit a chain without a deadline.
     MissingDeadline {
         /// The deadline-less site.
@@ -93,13 +101,23 @@ impl fmt::Display for DistError {
                 write!(f, "consecutive path hops {from} and {to} are not linked")
             }
             DistError::Cyclic => write!(f, "the resource graph has a cycle"),
-            DistError::UnboundedLatency { site } => {
-                write!(f, "linked chain {site} has no finite latency bound")
+            DistError::UnboundedLatency { site, reason } => {
+                write!(f, "linked chain {site} has no finite latency bound")?;
+                if let Some(reason) = reason {
+                    write!(f, ": {reason}")?;
+                }
+                Ok(())
             }
             DistError::Diverged { sweeps } => {
                 write!(
                     f,
                     "holistic iteration did not converge after {sweeps} sweeps"
+                )
+            }
+            DistError::ZeroSweeps => {
+                write!(
+                    f,
+                    "max_sweeps must be at least 1 (the fixed point needs a confirming sweep)"
                 )
             }
             DistError::MissingDeadline { site } => {

@@ -71,7 +71,10 @@ impl DistPath {
         let mut total: Time = 0;
         for &hop in &self.hops {
             let Some(wcl) = results.worst_case_latency(hop) else {
-                return Err(DistError::UnboundedLatency { site: hop });
+                return Err(DistError::UnboundedLatency {
+                    site: hop,
+                    reason: None,
+                });
             };
             total = total.saturating_add(wcl);
         }

@@ -14,6 +14,12 @@ impl ResourceId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Builds an id from a raw position (for tools iterating all
+    /// resources; panics later if out of range when used).
+    pub fn from_index(index: usize) -> ResourceId {
+        ResourceId(index)
+    }
 }
 
 impl fmt::Display for ResourceId {

@@ -128,6 +128,35 @@ impl Default for RandomDistConfig {
     }
 }
 
+impl RandomDistConfig {
+    /// A deep linear pipeline (`resources ≥ 8`): jitter propagates hop
+    /// by hop, so the holistic fixed point needs about one sweep per
+    /// hop — the shape where an incremental (dirty-resource) iteration
+    /// beats full re-analysis by the pipeline depth. The conformance
+    /// fuzzer's `dist-deep` profile.
+    pub fn deep_pipeline(resources: usize, profile: StressProfile) -> RandomDistConfig {
+        assert!(resources >= 8, "a deep pipeline has at least 8 resources");
+        RandomDistConfig {
+            resources,
+            topology: DistTopology::Linear,
+            profile,
+        }
+    }
+
+    /// A wide star (`resources ≥ 8`): one hub feeding every other
+    /// resource, so after the hub settles the whole ready set is
+    /// independent — the shape that exercises the worklist's parallel
+    /// fan-out. The conformance fuzzer's `dist-wide` profile.
+    pub fn wide_star(resources: usize, profile: StressProfile) -> RandomDistConfig {
+        assert!(resources >= 8, "a wide star has at least 8 resources");
+        RandomDistConfig {
+            resources,
+            topology: DistTopology::Star,
+            profile,
+        }
+    }
+}
+
 /// Generates a random distributed system: `resources` independent
 /// stress-profile systems wired by `topology`. The first regular chain
 /// of each producer feeds the first regular chain of each consumer
@@ -273,6 +302,27 @@ mod tests {
             let a = random_distributed(&mut ChaCha8Rng::seed_from_u64(10), &config).unwrap();
             let b = random_distributed(&mut ChaCha8Rng::seed_from_u64(10), &config).unwrap();
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn worklist_stress_presets_have_the_promised_shapes() {
+        let deep = RandomDistConfig::deep_pipeline(8, StressProfile::Baseline);
+        let dist = random_distributed(&mut ChaCha8Rng::seed_from_u64(11), &deep).unwrap();
+        assert_eq!(dist.resources().len(), 8);
+        assert_eq!(dist.links().len(), 7);
+        // Linear: every consumer is fed by its predecessor.
+        for link in dist.links() {
+            assert_eq!(
+                link.from().resource().index() + 1,
+                link.to().resource().index()
+            );
+        }
+        let wide = RandomDistConfig::wide_star(9, StressProfile::HighUtilization);
+        let dist = random_distributed(&mut ChaCha8Rng::seed_from_u64(12), &wide).unwrap();
+        assert_eq!(dist.links().len(), 8);
+        for link in dist.links() {
+            assert_eq!(link.from().resource().index(), 0);
         }
     }
 

@@ -183,6 +183,20 @@ impl System {
         System { chains }
     }
 
+    /// Replaces one chain's activation model in place.
+    ///
+    /// The in-place sibling of [`System::with_activation`], used by
+    /// iterations that update activation models sweep after sweep (the
+    /// holistic distributed fixed point) without cloning whole systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_activation(&mut self, id: ChainId, activation: ActivationModel) {
+        assert!(id.index() < self.chains.len(), "chain id out of range");
+        self.chains[id.index()].activation = activation;
+    }
+
     /// Returns a copy of the system with the execution times of all
     /// tasks in *overload* chains scaled to
     /// `ceil(wcet · numerator / denominator)`.

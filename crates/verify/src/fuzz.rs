@@ -169,7 +169,7 @@ mod tests {
     fn quick_config() -> FuzzConfig {
         FuzzConfig {
             seed: 7,
-            iterations: 8,
+            iterations: ScenarioProfile::default_battery().len(),
             verify: VerifyOptions {
                 horizon: 4_000,
                 random_rounds: 1,
@@ -181,10 +181,12 @@ mod tests {
 
     #[test]
     fn a_quick_run_over_the_default_battery_is_clean() {
+        let battery = ScenarioProfile::default_battery().len();
         let report = fuzz(&quick_config());
-        assert_eq!(report.iterations_run, 8);
+        assert_eq!(report.iterations_run, battery);
         assert!(report.is_clean(), "{:?}", report.failures);
-        // All eight battery profiles saw exactly one scenario.
+        // Every battery profile (including the deep-pipeline and
+        // wide-star worklist shapes) saw exactly one scenario.
         assert!(report.per_profile.iter().all(|(_, n)| *n == 1));
     }
 

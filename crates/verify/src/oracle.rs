@@ -1,5 +1,5 @@
 //! The differential oracle battery: every generated scenario is checked
-//! against six independent ways the suite could disagree with itself.
+//! against seven independent ways the suite could disagree with itself.
 
 use std::sync::Arc;
 
@@ -17,7 +17,7 @@ use twca_dist::{analyze as dist_analyze, soundness_violations, DistOptions, Dist
 use twca_model::{ChainId, System};
 use twca_sim::{adversarial_aligned_traces, periodic_trace, Simulation, TraceSet};
 
-/// The six oracles of the conformance battery.
+/// The seven oracles of the conformance battery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// Analytic bounds must dominate every simulated trace: observed
@@ -42,17 +42,25 @@ pub enum OracleKind {
     /// engine can handle (`TooManyCombinations`) is the one sanctioned
     /// divergence.
     LazyAgreement,
+    /// The scheduling-point and iterative busy-window solvers must agree
+    /// bit-for-bit: busy-time breakdowns, latency results including the
+    /// typed divergence reason, dmm curves and witnesses, and — on
+    /// distributed scenarios — the holistic fixed point (sweeps,
+    /// per-site bounds, effective activation models) between the
+    /// worklist and full-sweep drivers. No sanctioned divergence exists.
+    SolverAgreement,
 }
 
 impl OracleKind {
     /// Every oracle, in reporting order.
-    pub const ALL: [OracleKind; 6] = [
+    pub const ALL: [OracleKind; 7] = [
         OracleKind::SimSoundness,
         OracleKind::CacheAgreement,
         OracleKind::ParallelAgreement,
         OracleKind::BackendAgreement,
         OracleKind::Monotonicity,
         OracleKind::LazyAgreement,
+        OracleKind::SolverAgreement,
     ];
 
     /// A short stable name for reports and corpus headers.
@@ -64,6 +72,7 @@ impl OracleKind {
             OracleKind::BackendAgreement => "backend-agreement",
             OracleKind::Monotonicity => "monotonicity",
             OracleKind::LazyAgreement => "lazy-agreement",
+            OracleKind::SolverAgreement => "solver-agreement",
         }
     }
 }
@@ -228,7 +237,102 @@ fn check_uni(system: &System, opts: &VerifyOptions) -> Vec<Violation> {
     check_parallel_agreement(system, opts, &mut violations);
     check_backend_agreement_uni(system, opts, &mut violations);
     check_lazy_agreement_uni(system, opts, &mut violations);
+    check_solver_agreement_uni(system, opts, &mut violations);
     violations
+}
+
+/// Oracle 7 (uniprocessor): the scheduling-point and iterative
+/// busy-window solvers agree bit-for-bit on busy-time breakdowns,
+/// detailed latency results (including the typed divergence reason) and
+/// the whole miss-model pipeline.
+fn check_solver_agreement_uni(
+    system: &System,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    use twca_chains::{
+        busy_time_breakdown, deadline_miss_model_exact, latency_analysis_detailed, SolverMode,
+    };
+    let ctx = AnalysisContext::new(system);
+    let jump = AnalysisOptions {
+        solver: SolverMode::SchedulingPoints,
+        ..opts.options
+    };
+    let iterative = AnalysisOptions {
+        solver: SolverMode::Iterative,
+        ..opts.options
+    };
+    for (id, chain) in system.iter() {
+        let name = chain.name();
+        for mode in [OverloadMode::Include, OverloadMode::Exclude] {
+            for q in 1..=3u64 {
+                let a = busy_time_breakdown(&ctx, id, q, mode, jump);
+                let b = busy_time_breakdown(&ctx, id, q, mode, iterative);
+                if a != b {
+                    violations.push(Violation {
+                        oracle: OracleKind::SolverAgreement,
+                        detail: format!(
+                            "{name}: B({q}) under {mode:?} diverges between solvers: {a:?} vs {b:?}"
+                        ),
+                    });
+                }
+            }
+            let a = latency_analysis_detailed(&ctx, id, mode, jump);
+            let b = latency_analysis_detailed(&ctx, id, mode, iterative);
+            if a != b {
+                violations.push(Violation {
+                    oracle: OracleKind::SolverAgreement,
+                    detail: format!(
+                        "{name}: latency under {mode:?} diverges between solvers: {a:?} vs {b:?}"
+                    ),
+                });
+            }
+        }
+        if chain.deadline().is_none() {
+            continue;
+        }
+        match (
+            DmmSweep::prepare(&ctx, id, jump),
+            DmmSweep::prepare(&ctx, id, iterative),
+        ) {
+            (Ok(a), Ok(b)) => {
+                for &k in &opts.ks {
+                    if a.at(k) != b.at(k) {
+                        violations.push(Violation {
+                            oracle: OracleKind::SolverAgreement,
+                            detail: format!("{name}: dmm({k}) diverges between solvers"),
+                        });
+                    }
+                    if a.witness(k) != b.witness(k) {
+                        violations.push(Violation {
+                            oracle: OracleKind::SolverAgreement,
+                            detail: format!("{name}: witness({k}) diverges between solvers"),
+                        });
+                    }
+                }
+            }
+            (a, b) => {
+                if a.err() != b.err() {
+                    violations.push(Violation {
+                        oracle: OracleKind::SolverAgreement,
+                        detail: format!("{name}: solvers disagree on sweep preparation"),
+                    });
+                }
+            }
+        }
+        if let Some(&k) = opts.ks.last() {
+            let a = deadline_miss_model_exact(&ctx, id, k, jump);
+            let b = deadline_miss_model_exact(&ctx, id, k, iterative);
+            if a != b {
+                violations.push(Violation {
+                    oracle: OracleKind::SolverAgreement,
+                    detail: format!(
+                        "{name}: exact dmm({k}) diverges between solvers: {a:?} vs {b:?}"
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Oracle 6 (uniprocessor): the lazy and materialized combination
@@ -603,9 +707,106 @@ fn check_dist(dist: &DistributedSystem, opts: &VerifyOptions) -> Vec<Violation> 
         // still checks that the façade fails the same way.
         Err(direct_error) => {
             check_backend_agreement_dist_error(dist, opts, &direct_error, &mut violations);
+            check_solver_agreement_dist_error(dist, opts, &direct_error, &mut violations);
             return violations;
         }
     };
+
+    // Oracle 7 (distributed): the incremental worklist and the
+    // full-sweep reference driver must reach the identical fixed point:
+    // sweep count, per-site latency bounds, effective activation models
+    // and the miss models computed on top. Both sides are *forced* to
+    // their driver (reusing `results` only when the caller already runs
+    // the forced value, so the check never compares a driver against
+    // itself).
+    {
+        use twca_chains::SolverMode;
+        let mut worklist_options = opts.dist_options();
+        worklist_options.chain_options.solver = SolverMode::SchedulingPoints;
+        let forced_worklist;
+        let worklist_results = if opts.options.solver == SolverMode::SchedulingPoints {
+            Some(&results)
+        } else {
+            match dist_analyze(dist, worklist_options) {
+                Ok(run) => {
+                    forced_worklist = run;
+                    Some(&forced_worklist)
+                }
+                Err(e) => {
+                    violations.push(Violation {
+                        oracle: OracleKind::SolverAgreement,
+                        detail: format!(
+                            "worklist driver failed where the configured solver succeeded: {e}"
+                        ),
+                    });
+                    None
+                }
+            }
+        };
+        let mut iterative_options = opts.dist_options();
+        iterative_options.chain_options.solver = SolverMode::Iterative;
+        match (worklist_results, dist_analyze(dist, iterative_options)) {
+            (None, _) => {}
+            (Some(worklist), Ok(reference)) => {
+                let mut divergence: Option<String> = None;
+                if worklist.sweeps() != reference.sweeps() {
+                    divergence = Some(format!(
+                        "sweeps {} vs {}",
+                        worklist.sweeps(),
+                        reference.sweeps()
+                    ));
+                }
+                for site in dist.sites() {
+                    if divergence.is_some() {
+                        break;
+                    }
+                    let (resource_name, chain_name) = dist.site_names(site);
+                    if worklist.worst_case_latency(site) != reference.worst_case_latency(site) {
+                        divergence = Some(format!(
+                            "{resource_name}/{chain_name}: WCL {:?} vs {:?}",
+                            worklist.worst_case_latency(site),
+                            reference.worst_case_latency(site)
+                        ));
+                        break;
+                    }
+                    if worklist.effective_activation(site) != reference.effective_activation(site) {
+                        divergence = Some(format!(
+                            "{resource_name}/{chain_name}: effective activation models differ"
+                        ));
+                        break;
+                    }
+                    let chain = dist.resource(site.resource()).system().chain(site.chain());
+                    if chain.deadline().is_none() {
+                        continue;
+                    }
+                    for &k in &opts.ks {
+                        if worklist.deadline_miss_model(site, k)
+                            != reference.deadline_miss_model(site, k)
+                        {
+                            divergence =
+                                Some(format!("{resource_name}/{chain_name}: dmm({k}) differs"));
+                            break;
+                        }
+                    }
+                }
+                if let Some(what) = divergence {
+                    violations.push(Violation {
+                        oracle: OracleKind::SolverAgreement,
+                        detail: format!(
+                            "holistic results diverge between the worklist and full-sweep \
+                             drivers: {what}"
+                        ),
+                    });
+                }
+            }
+            (Some(_), Err(e)) => {
+                violations.push(Violation {
+                    oracle: OracleKind::SolverAgreement,
+                    detail: format!("full-sweep driver failed where the worklist succeeded: {e}"),
+                });
+            }
+        }
+    }
 
     // Oracle 6 (distributed): the holistic fixed point must not care
     // which combination engine classifies Definition 9. Both sides are
@@ -817,6 +1018,38 @@ fn check_dist(dist: &DistributedSystem, opts: &VerifyOptions) -> Vec<Violation> 
     }
 
     violations
+}
+
+/// When the configured driver fails, the other driver must fail with
+/// the *identical* typed error — divergence sweeps, unbounded sites and
+/// their reasons included (there is no sanctioned gap between the
+/// drivers).
+fn check_solver_agreement_dist_error(
+    dist: &DistributedSystem,
+    opts: &VerifyOptions,
+    direct_error: &twca_dist::DistError,
+    violations: &mut Vec<Violation>,
+) {
+    use twca_chains::SolverMode;
+    let mut other = opts.dist_options();
+    other.chain_options.solver = match opts.options.solver {
+        SolverMode::SchedulingPoints => SolverMode::Iterative,
+        SolverMode::Iterative => SolverMode::SchedulingPoints,
+    };
+    match dist_analyze(dist, other) {
+        Ok(_) => violations.push(Violation {
+            oracle: OracleKind::SolverAgreement,
+            detail: format!(
+                "the other holistic driver produced an answer where the configured one \
+                 failed with: {direct_error}"
+            ),
+        }),
+        Err(e) if &e != direct_error => violations.push(Violation {
+            oracle: OracleKind::SolverAgreement,
+            detail: format!("holistic drivers fail differently: {direct_error} vs {e}"),
+        }),
+        Err(_) => {}
+    }
 }
 
 /// When the direct holistic analysis fails, the façade must report a

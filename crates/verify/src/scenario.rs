@@ -70,10 +70,20 @@ pub enum ScenarioProfile {
 }
 
 impl ScenarioProfile {
+    /// Resources in a `dist-deep` pipeline — long enough that the
+    /// incremental worklist's frontier is a small fraction of the
+    /// system, so its bookkeeping is genuinely oracle-checked.
+    pub const DEEP_PIPELINE_RESOURCES: usize = 8;
+    /// Resources in a `dist-wide` star (one hub fanning out to the
+    /// rest — the shape that exercises the worklist's parallel ready
+    /// set).
+    pub const WIDE_STAR_RESOURCES: usize = 8;
+
     /// The default battery: every uniprocessor stress profile plus a
-    /// linear pipeline, a star fan-out, and a single-resource
-    /// distributed system (the degenerate case both backends must agree
-    /// on).
+    /// linear pipeline, a star fan-out, a single-resource distributed
+    /// system (the degenerate case both backends must agree on), and
+    /// the deep-pipeline / wide-star shapes that stress the incremental
+    /// holistic worklist.
     pub fn default_battery() -> Vec<ScenarioProfile> {
         let mut battery: Vec<ScenarioProfile> = StressProfile::ALL
             .into_iter()
@@ -94,6 +104,16 @@ impl ScenarioProfile {
             resources: 1,
             profile: StressProfile::Baseline,
         });
+        battery.push(ScenarioProfile::Dist {
+            topology: DistTopology::Linear,
+            resources: Self::DEEP_PIPELINE_RESOURCES,
+            profile: StressProfile::Baseline,
+        });
+        battery.push(ScenarioProfile::Dist {
+            topology: DistTopology::Star,
+            resources: Self::WIDE_STAR_RESOURCES,
+            profile: StressProfile::Baseline,
+        });
         battery
     }
 
@@ -108,7 +128,13 @@ impl ScenarioProfile {
             } => {
                 let shape = match topology {
                     DistTopology::Linear if resources == 1 => "dist-single".to_owned(),
+                    DistTopology::Linear if resources >= Self::DEEP_PIPELINE_RESOURCES => {
+                        "dist-deep".to_owned()
+                    }
                     DistTopology::Linear => "dist-linear".to_owned(),
+                    DistTopology::Star if resources >= Self::WIDE_STAR_RESOURCES => {
+                        "dist-wide".to_owned()
+                    }
                     DistTopology::Star => "dist-star".to_owned(),
                     DistTopology::Tree => "dist-tree".to_owned(),
                 };
@@ -139,13 +165,15 @@ impl ScenarioProfile {
         let (topology, resources) = match shape {
             "dist-single" => (DistTopology::Linear, 1),
             "dist-linear" => (DistTopology::Linear, 3),
+            "dist-deep" => (DistTopology::Linear, Self::DEEP_PIPELINE_RESOURCES),
             "dist-star" => (DistTopology::Star, 4),
+            "dist-wide" => (DistTopology::Star, Self::WIDE_STAR_RESOURCES),
             "dist-tree" => (DistTopology::Tree, 7),
             other => {
                 return Err(format!(
                     "unknown profile `{other}` (uniprocessor: baseline, high-util, degenerate, \
-                     bursty, overload-heavy; distributed: dist-single, dist-linear, dist-star, \
-                     dist-tree, each optionally `:<stress-profile>`)"
+                     bursty, overload-heavy; distributed: dist-single, dist-linear, dist-deep, \
+                     dist-star, dist-wide, dist-tree, each optionally `:<stress-profile>`)"
                 ));
             }
         };

@@ -31,9 +31,10 @@ fn the_committed_corpus_replays_clean() {
 
 #[test]
 fn a_seeded_fuzz_smoke_run_is_clean_across_all_profiles() {
+    let battery = ScenarioProfile::default_battery().len();
     let report = fuzz(&FuzzConfig {
         seed: 7,
-        iterations: 16,
+        iterations: 2 * battery,
         verify: VerifyOptions {
             horizon: 4_000,
             random_rounds: 1,
@@ -41,9 +42,10 @@ fn a_seeded_fuzz_smoke_run_is_clean_across_all_profiles() {
         },
         ..FuzzConfig::default()
     });
-    assert_eq!(report.iterations_run, 16);
+    assert_eq!(report.iterations_run, 2 * battery);
     assert!(report.is_clean(), "{:?}", report.failures);
-    // Two full rotations: every battery profile was exercised twice.
+    // Two full rotations: every battery profile (including the
+    // deep-pipeline and wide-star worklist shapes) was exercised twice.
     assert!(report.per_profile.iter().all(|(_, n)| *n == 2));
 }
 
@@ -85,7 +87,9 @@ fn every_cli_profile_name_generates_and_checks() {
         "overload-heavy",
         "dist-single",
         "dist-linear",
+        "dist-deep",
         "dist-star",
+        "dist-wide",
         "dist-tree:degenerate",
     ] {
         let profile = ScenarioProfile::parse(name).unwrap();
