@@ -7,7 +7,7 @@ use crate::error::ApiError;
 use crate::request::{Query, SiteSpec};
 use crate::response::{
     DmmOutcome, DmmPoint, LatencyOutcome, MkOutcome, PathOutcome, QueryOutcome, SensitivityOutcome,
-    WitnessOutcome,
+    SimChainOutcome, SimulateOutcome, WitnessOutcome,
 };
 use crate::session::{RequestControl, Session};
 use twca_chains::{
@@ -30,6 +30,8 @@ pub struct QueryEnv<'a> {
     pub options: AnalysisOptions,
     /// Holistic sweep limit (distributed targets).
     pub max_sweeps: usize,
+    /// Simulation core for `simulate` queries.
+    pub sim_engine: twca_sim::SimEngineMode,
     /// Budget and cancellation accounting.
     pub control: &'a RequestControl,
 }
@@ -275,6 +277,58 @@ impl Analyze for ChainBackend<'_> {
                     env.options,
                 )))
             }
+            Query::Simulate {
+                chain,
+                runs,
+                horizon,
+                seed,
+                threads,
+            } => {
+                // One unit per run: each run simulates the whole system
+                // over the full horizon.
+                env.control.charge((*runs).max(1))?;
+                if let Some(name) = chain {
+                    self.named_chain(name)?;
+                }
+                let config = twca_sim::MonteCarloConfig {
+                    runs: *runs,
+                    horizon: *horizon,
+                    seed: *seed,
+                    threads: (*threads).min(64) as usize,
+                    // The wire report carries pooled totals, not the
+                    // per-k window profile.
+                    ks: Vec::new(),
+                    engine: env.sim_engine,
+                    policy: twca_sim::ExecutionPolicy::WorstCase,
+                };
+                let report = twca_sim::MonteCarlo::new(self.system, config).run();
+                let rows = report
+                    .chains()
+                    .iter()
+                    .filter(|profile| match chain {
+                        Some(name) => profile.name() == name,
+                        None => profile.deadline().is_some(),
+                    })
+                    .map(|profile| {
+                        let (ci_low_ppm, ci_high_ppm) = profile.confidence_ppm();
+                        SimChainOutcome {
+                            name: profile.name().to_owned(),
+                            instances: profile.instances(),
+                            misses: profile.misses(),
+                            miss_rate_ppm: profile.miss_rate_ppm(),
+                            ci_low_ppm,
+                            ci_high_ppm,
+                            max_latency: profile.max_latency(),
+                        }
+                    })
+                    .collect();
+                Ok(QueryOutcome::Simulate(SimulateOutcome {
+                    runs: *runs,
+                    horizon: *horizon,
+                    seed: *seed,
+                    chains: rows,
+                }))
+            }
         }
     }
 }
@@ -488,6 +542,9 @@ impl Analyze for DistBackend {
             }
             Query::Full { .. } => Err(ApiError::request(
                 "`full` queries need a chain target; query sites individually instead",
+            )),
+            Query::Simulate { .. } => Err(ApiError::request(
+                "`simulate` queries need a chain target; simulate resources individually instead",
             )),
         }
     }
@@ -779,6 +836,91 @@ chain noise periodic=10 sync { task n1 prio=2 wcet=6 }
         assert_eq!(
             session.analyze(&full_on_dist).outcome.unwrap_err().kind,
             ApiErrorKind::Request
+        );
+        let simulate_on_dist = dist_request().with_query(Query::Simulate {
+            chain: None,
+            runs: 1,
+            horizon: 1_000,
+            seed: 0,
+            threads: 1,
+        });
+        assert_eq!(
+            session.analyze(&simulate_on_dist).outcome.unwrap_err().kind,
+            ApiErrorKind::Request
+        );
+    }
+
+    #[test]
+    fn simulate_query_reports_empirical_rates() {
+        let session = Session::new();
+        let simulate = Query::Simulate {
+            chain: Some("sigma_c".into()),
+            runs: 6,
+            horizon: 20_000,
+            seed: 42,
+            threads: 2,
+        };
+        let outcomes = session
+            .analyze(&AnalysisRequest::for_system(case_study_text()).with_query(simulate.clone()))
+            .outcome
+            .unwrap();
+        let QueryOutcome::Simulate(sim) = &outcomes[0] else {
+            panic!("expected simulate outcome");
+        };
+        assert_eq!((sim.runs, sim.horizon, sim.seed), (6, 20_000, 42));
+        assert_eq!(sim.chains.len(), 1);
+        let row = &sim.chains[0];
+        assert_eq!(row.name, "sigma_c");
+        assert!(row.instances > 0);
+        // Observed latency is a lower bound on the analytic WCL (331).
+        assert!(row.max_latency.unwrap() <= 331);
+        assert!(row.ci_low_ppm <= row.miss_rate_ppm && row.miss_rate_ppm <= row.ci_high_ppm);
+
+        // The classic-engine override changes nothing observable.
+        let classic = session
+            .analyze(
+                &AnalysisRequest::for_system(case_study_text())
+                    .with_query(simulate)
+                    .with_options(crate::RequestOptions {
+                        sim_engine: Some(twca_sim::SimEngineMode::Classic),
+                        ..Default::default()
+                    }),
+            )
+            .outcome
+            .unwrap();
+        assert_eq!(outcomes, classic);
+    }
+
+    #[test]
+    fn simulate_budget_charges_per_run() {
+        let session = Session::new();
+        let request = AnalysisRequest::for_system(case_study_text())
+            .with_query(Query::Simulate {
+                chain: None,
+                runs: 100,
+                horizon: 1_000,
+                seed: 0,
+                threads: 1,
+            })
+            .with_options(crate::RequestOptions {
+                budget: Some(10),
+                ..Default::default()
+            });
+        assert_eq!(
+            session.analyze(&request).outcome.unwrap_err().kind,
+            ApiErrorKind::Budget
+        );
+        let bad_chain =
+            AnalysisRequest::for_system(case_study_text()).with_query(Query::Simulate {
+                chain: Some("sigma_x".into()),
+                runs: 1,
+                horizon: 1_000,
+                seed: 0,
+                threads: 1,
+            });
+        assert_eq!(
+            session.analyze(&bad_chain).outcome.unwrap_err().kind,
+            ApiErrorKind::NoSuchChain
         );
     }
 }

@@ -14,7 +14,8 @@
 //!   document;
 //! * a list of **queries** — latency, `dmm(k)` points/curves, packing
 //!   witnesses, weakly-hard `(m, k)` verdicts, overload sensitivity,
-//!   end-to-end paths, or the full batch pipeline;
+//!   end-to-end paths, the full batch pipeline, or Monte Carlo
+//!   simulation of empirical miss rates;
 //! * **options** overriding the session defaults, including a work
 //!   budget.
 //!
@@ -67,7 +68,8 @@ pub use request::{
 };
 pub use response::{
     AnalysisResponse, ChainOutcome, DmmOutcome, DmmPoint, LatencyOutcome, MkOutcome, PathOutcome,
-    QueryOutcome, SensitivityOutcome, SystemOutcome, WitnessOutcome,
+    QueryOutcome, SensitivityOutcome, SimChainOutcome, SimulateOutcome, SystemOutcome,
+    WitnessOutcome,
 };
 pub use serve::{respond_line, respond_line_with, serve, serve_with, ServeSummary};
 pub use session::{CancelToken, RequestControl, Session};

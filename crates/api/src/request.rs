@@ -144,6 +144,20 @@ pub enum Query {
         /// Window lengths of the sweep.
         ks: Vec<u64>,
     },
+    /// Monte Carlo simulation: empirical per-chain miss rates with
+    /// confidence intervals (uniprocessor targets only).
+    Simulate {
+        /// Restrict the report to one chain.
+        chain: Option<String>,
+        /// Number of simulation runs.
+        runs: u64,
+        /// Horizon of each run, in time units.
+        horizon: u64,
+        /// Base RNG seed; reports are deterministic in it.
+        seed: u64,
+        /// Worker threads; the report is identical at any count.
+        threads: u64,
+    },
 }
 
 /// Per-request knobs; every field defaults to the session's setting.
@@ -169,6 +183,11 @@ pub struct RequestOptions {
     /// solvers agree bit-for-bit — the switch exists for differential
     /// testing and performance comparisons.
     pub solver: Option<twca_chains::SolverMode>,
+    /// Simulation engine selection (wire values `"event-queue"` /
+    /// `"classic"`); omitted requests use the session default. The
+    /// engines are bit-identical — the switch exists for differential
+    /// testing and performance comparisons.
+    pub sim_engine: Option<twca_sim::SimEngineMode>,
 }
 
 impl RequestOptions {
@@ -487,6 +506,21 @@ fn query_to_json(query: &Query) -> Json {
                 Json::Array(ks.iter().map(|&k| Json::UInt(k)).collect()),
             )],
         ),
+        Query::Simulate {
+            chain,
+            runs,
+            horizon,
+            seed,
+            threads,
+        } => {
+            let mut members = Vec::new();
+            push_opt_chain(&mut members, chain);
+            members.push(("runs".into(), Json::UInt(*runs)));
+            members.push(("horizon".into(), Json::UInt(*horizon)));
+            members.push(("seed".into(), Json::UInt(*seed)));
+            members.push(("threads".into(), Json::UInt(*threads)));
+            ("simulate", members)
+        }
     };
     Json::Object(vec![(tag.into(), Json::Object(body))])
 }
@@ -586,6 +620,13 @@ fn query_from_json(value: &Json) -> Result<Query, ApiError> {
                 "ks",
             )?,
         },
+        "simulate" => Query::Simulate {
+            chain: opt_chain(body)?,
+            runs: req_u64(body, "runs")?,
+            horizon: req_u64(body, "horizon")?,
+            seed: req_u64(body, "seed")?,
+            threads: req_u64(body, "threads")?,
+        },
         other => {
             return Err(ApiError::request(format!("unknown query kind `{other}`")));
         }
@@ -617,6 +658,13 @@ fn options_to_json(options: &RequestOptions) -> Json {
             twca_chains::SolverMode::Iterative => "iterative",
         };
         members.push(("solver".to_owned(), Json::Str(name.to_owned())));
+    }
+    if let Some(sim_engine) = options.sim_engine {
+        let name = match sim_engine {
+            twca_sim::SimEngineMode::EventQueue => "event-queue",
+            twca_sim::SimEngineMode::Classic => "classic",
+        };
+        members.push(("sim_engine".to_owned(), Json::Str(name.to_owned())));
     }
     Json::Object(members)
 }
@@ -652,6 +700,21 @@ fn options_from_json(value: &Json) -> Result<RequestOptions, ApiError> {
                 other => {
                     return Err(ApiError::request(format!(
                         "unknown solver `{other}` (expected `scheduling-points` or `iterative`)"
+                    )));
+                }
+            });
+            continue;
+        }
+        if key == "sim_engine" {
+            let name = v
+                .as_str()
+                .ok_or_else(|| ApiError::request("option `sim_engine` must be a string"))?;
+            options.sim_engine = Some(match name {
+                "event-queue" => twca_sim::SimEngineMode::EventQueue,
+                "classic" => twca_sim::SimEngineMode::Classic,
+                other => {
+                    return Err(ApiError::request(format!(
+                        "unknown sim engine `{other}` (expected `event-queue` or `classic`)"
                     )));
                 }
             });
@@ -737,9 +800,17 @@ mod tests {
                 ks: vec![5],
             })
             .with_query(Query::Full { ks: vec![1, 10] })
+            .with_query(Query::Simulate {
+                chain: Some("c".into()),
+                runs: 50,
+                horizon: 100_000,
+                seed: 7,
+                threads: 4,
+            })
             .with_options(RequestOptions {
                 horizon: Some(1_000_000),
                 budget: Some(500),
+                sim_engine: Some(twca_sim::SimEngineMode::Classic),
                 ..RequestOptions::default()
             });
         let wire = request.to_json().to_string();
@@ -771,6 +842,8 @@ mod tests {
         assert!(SiteSpec::parse("nochain").is_err());
         assert!(SiteSpec::parse("/c").is_err());
         let value = Json::parse(r#"{"system": "x", "options": {"bogus": 1}}"#).unwrap();
+        assert!(AnalysisRequest::from_json(&value).is_err());
+        let value = Json::parse(r#"{"system": "x", "options": {"sim_engine": "turbo"}}"#).unwrap();
         assert!(AnalysisRequest::from_json(&value).is_err());
     }
 }

@@ -243,6 +243,41 @@ pub struct PathOutcome {
     pub points: Vec<DmmPoint>,
 }
 
+/// One empirical miss-rate row of a [`QueryOutcome::Simulate`] answer.
+///
+/// All rates are carried as parts-per-million integers so the wire
+/// schema stays `Eq`-comparable and bit-exact across platforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimChainOutcome {
+    /// Chain name.
+    pub name: String,
+    /// Completed instances across all runs.
+    pub instances: u64,
+    /// Deadline misses across all runs.
+    pub misses: u64,
+    /// Empirical miss rate in parts per million.
+    pub miss_rate_ppm: u64,
+    /// Lower end of the 95% Wilson confidence interval, in ppm.
+    pub ci_low_ppm: u64,
+    /// Upper end of the 95% Wilson confidence interval, in ppm.
+    pub ci_high_ppm: u64,
+    /// Largest observed latency; `None` when nothing completed.
+    pub max_latency: Option<Time>,
+}
+
+/// The answer to a [`QueryOutcome::Simulate`] query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulateOutcome {
+    /// Number of simulation runs pooled into the report.
+    pub runs: u64,
+    /// Horizon of each run, in time units.
+    pub horizon: u64,
+    /// Base RNG seed the report is deterministic in.
+    pub seed: u64,
+    /// Per-chain empirical rows, one per selected deadline chain.
+    pub chains: Vec<SimChainOutcome>,
+}
+
 /// One answered query, mirroring [`crate::Query`] case by case.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryOutcome {
@@ -260,6 +295,8 @@ pub enum QueryOutcome {
     Path(PathOutcome),
     /// The full batch pipeline outcome.
     Full(SystemOutcome),
+    /// Empirical Monte Carlo miss rates.
+    Simulate(SimulateOutcome),
 }
 
 /// The response to one [`crate::AnalysisRequest`]: either the answered
@@ -522,8 +559,44 @@ fn outcome_to_json(outcome: &QueryOutcome) -> Json {
             ]),
         ),
         QueryOutcome::Full(system) => ("full", system.to_json()),
+        QueryOutcome::Simulate(s) => (
+            "simulate",
+            Json::Object(vec![
+                ("runs".into(), Json::UInt(s.runs)),
+                ("horizon".into(), Json::UInt(s.horizon)),
+                ("seed".into(), Json::UInt(s.seed)),
+                (
+                    "chains".into(),
+                    Json::Array(s.chains.iter().map(sim_row_to_json).collect()),
+                ),
+            ]),
+        ),
     };
     Json::Object(vec![(tag.into(), body)])
+}
+
+fn sim_row_to_json(row: &SimChainOutcome) -> Json {
+    Json::Object(vec![
+        ("name".into(), Json::str(&row.name)),
+        ("instances".into(), Json::UInt(row.instances)),
+        ("misses".into(), Json::UInt(row.misses)),
+        ("miss_rate_ppm".into(), Json::UInt(row.miss_rate_ppm)),
+        ("ci_low_ppm".into(), Json::UInt(row.ci_low_ppm)),
+        ("ci_high_ppm".into(), Json::UInt(row.ci_high_ppm)),
+        ("max_latency".into(), Json::opt_u64(row.max_latency)),
+    ])
+}
+
+fn sim_row_from_json(value: &Json) -> Result<SimChainOutcome, ApiError> {
+    Ok(SimChainOutcome {
+        name: str_field(value, "name")?,
+        instances: u64_field(value, "instances")?,
+        misses: u64_field(value, "misses")?,
+        miss_rate_ppm: u64_field(value, "miss_rate_ppm")?,
+        ci_low_ppm: u64_field(value, "ci_low_ppm")?,
+        ci_high_ppm: u64_field(value, "ci_high_ppm")?,
+        max_latency: opt_u64_field(value, "max_latency")?,
+    })
 }
 
 fn outcome_from_json(value: &Json) -> Result<QueryOutcome, ApiError> {
@@ -601,6 +674,18 @@ fn outcome_from_json(value: &Json) -> Result<QueryOutcome, ApiError> {
                 .collect::<Result<Vec<_>, _>>()?,
         }),
         "full" => QueryOutcome::Full(SystemOutcome::from_json(body)?),
+        "simulate" => QueryOutcome::Simulate(SimulateOutcome {
+            runs: u64_field(body, "runs")?,
+            horizon: u64_field(body, "horizon")?,
+            seed: u64_field(body, "seed")?,
+            chains: body
+                .get("chains")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ApiError::request("`simulate` needs a `chains` array"))?
+                .iter()
+                .map(sim_row_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        }),
         other => {
             return Err(ApiError::request(format!("unknown outcome kind `{other}`")));
         }
@@ -676,6 +761,20 @@ mod tests {
                     m: 1,
                     k: 10,
                     max_percent: None,
+                }),
+                QueryOutcome::Simulate(SimulateOutcome {
+                    runs: 100,
+                    horizon: 50_000,
+                    seed: 42,
+                    chains: vec![SimChainOutcome {
+                        name: "c".into(),
+                        instances: 5000,
+                        misses: 125,
+                        miss_rate_ppm: 25_000,
+                        ci_low_ppm: 21_000,
+                        ci_high_ppm: 29_600,
+                        max_latency: Some(180),
+                    }],
                 }),
             ],
         );

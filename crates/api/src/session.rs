@@ -245,6 +245,7 @@ impl Session {
             session: self,
             options,
             max_sweeps,
+            sim_engine: request.options.sim_engine.unwrap_or_default(),
             control: &control,
         };
 

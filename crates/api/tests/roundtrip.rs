@@ -7,7 +7,8 @@ use proptest::prelude::*;
 use twca_api::{
     AnalysisRequest, AnalysisResponse, ApiError, ApiErrorKind, ChainOutcome, DmmOutcome, DmmPoint,
     Json, LatencyOutcome, LinkSpec, MkOutcome, PathOutcome, Query, QueryOutcome, RequestOptions,
-    SensitivityOutcome, SiteSpec, SystemOutcome, Target, WitnessOutcome,
+    SensitivityOutcome, SimChainOutcome, SimulateOutcome, SiteSpec, SystemOutcome, Target,
+    WitnessOutcome,
 };
 
 fn any_bool() -> impl Strategy<Value = bool> {
@@ -57,6 +58,20 @@ fn query() -> impl Strategy<Value = Query> {
         (proptest::collection::vec(site(), 1..4), ks())
             .prop_map(|(hops, ks)| Query::Path { hops, ks }),
         ks().prop_map(|ks| Query::Full { ks }),
+        (
+            opt_name(),
+            0u64..1000,
+            0u64..1_000_000,
+            0u64..u64::MAX,
+            0u64..64
+        )
+            .prop_map(|(chain, runs, horizon, seed, threads)| Query::Simulate {
+                chain,
+                runs,
+                horizon,
+                seed,
+                threads,
+            }),
     ]
 }
 
@@ -80,18 +95,39 @@ fn solver() -> impl Strategy<Value = Option<twca_chains::SolverMode>> {
     ]
 }
 
+fn sim_engine() -> impl Strategy<Value = Option<twca_sim::SimEngineMode>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(twca_sim::SimEngineMode::EventQueue)),
+        Just(Some(twca_sim::SimEngineMode::Classic)),
+    ]
+}
+
 fn options() -> impl Strategy<Value = RequestOptions> {
-    (knob(), knob(), knob(), knob(), knob(), engine(), solver()).prop_map(
-        |(horizon, max_q, max_combinations, max_sweeps, budget, engine, solver)| RequestOptions {
-            horizon,
-            max_q,
-            max_combinations,
-            max_sweeps,
-            budget,
-            engine,
-            solver,
-        },
+    (
+        knob(),
+        knob(),
+        knob(),
+        knob(),
+        knob(),
+        engine(),
+        solver(),
+        sim_engine(),
     )
+        .prop_map(
+            |(horizon, max_q, max_combinations, max_sweeps, budget, engine, solver, sim_engine)| {
+                RequestOptions {
+                    horizon,
+                    max_q,
+                    max_combinations,
+                    max_sweeps,
+                    budget,
+                    engine,
+                    solver,
+                    sim_engine,
+                }
+            },
+        )
 }
 
 fn target() -> impl Strategy<Value = Target> {
@@ -250,7 +286,46 @@ fn outcome() -> impl Strategy<Value = QueryOutcome> {
             proptest::collection::vec(chain_outcome(), 0..4)
         )
             .prop_map(|(index, chains)| QueryOutcome::Full(SystemOutcome { index, chains })),
+        (
+            0u64..1000,
+            0u64..1_000_000,
+            0u64..u64::MAX,
+            proptest::collection::vec(sim_row(), 0..4)
+        )
+            .prop_map(|(runs, horizon, seed, chains)| {
+                QueryOutcome::Simulate(SimulateOutcome {
+                    runs,
+                    horizon,
+                    seed,
+                    chains,
+                })
+            }),
     ]
+}
+
+fn sim_row() -> impl Strategy<Value = SimChainOutcome> {
+    (
+        name(),
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u64..=1_000_000,
+        0u64..=1_000_000,
+        0u64..=1_000_000,
+        opt_u64(),
+    )
+        .prop_map(
+            |(name, instances, misses, miss_rate_ppm, ci_low_ppm, ci_high_ppm, max_latency)| {
+                SimChainOutcome {
+                    name,
+                    instances,
+                    misses,
+                    miss_rate_ppm,
+                    ci_low_ppm,
+                    ci_high_ppm,
+                    max_latency,
+                }
+            },
+        )
 }
 
 fn api_error() -> impl Strategy<Value = ApiError> {

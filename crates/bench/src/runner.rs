@@ -24,8 +24,12 @@ use twca_chains::{
     busy_times, latency_analysis, typical_slack, AnalysisContext, AnalysisOptions, CombinationSet,
     DmmSweep, OverloadMode, PreparedCombinations, SolverMode,
 };
-use twca_gen::{random_distributed, random_stress_system, RandomDistConfig, StressProfile};
+use twca_gen::{
+    random_distributed, random_stress_system, wide_throughput_system, RandomDistConfig,
+    StressProfile,
+};
 use twca_model::{case_study, ChainId, ChainKind, System, SystemBuilder};
+use twca_sim::{SimArena, SimEngineMode, Simulation, TraceSet};
 
 /// Knobs of one runner invocation.
 #[derive(Debug, Clone)]
@@ -207,6 +211,13 @@ impl BenchReport {
                 );
             }
         }
+        if let Some(speedup) = self.speedup("sim_throughput/event-queue", "sim_throughput/classic")
+        {
+            let _ = writeln!(
+                out,
+                "sim_throughput: event-queue core is {speedup:.2}x faster than the classic engine"
+            );
+        }
         out
     }
 }
@@ -236,13 +247,15 @@ const SOLVER_SPEEDUPS: [(&str, &str, &str); 4] = [
     ),
 ];
 
-/// Contract floors for the gated subset of [`SOLVER_SPEEDUPS`]: the
-/// deep-pipeline worklist must keep ≥ 5x over the full-sweep reference,
-/// the busy-window and latency stages ≥ 2x. (The star shape is
-/// measured and regression-gated per entry, but its headline win is
-/// thread fan-out, which single-core CI runners cannot reproduce — no
-/// ratio floor there.)
-const SPEEDUP_CONTRACTS: [(&str, &str, f64); 3] = [
+/// Contract floors for the gated speedup pairs: the deep-pipeline
+/// worklist must keep ≥ 5x over the full-sweep reference, the
+/// busy-window and latency stages ≥ 2x, and the event-queue simulation
+/// core ≥ 10x jobs/sec over the retained classic chain-scan engine on
+/// the wide throughput workload. (The star shape is measured and
+/// regression-gated per entry, but its headline win is thread fan-out,
+/// which single-core CI runners cannot reproduce — no ratio floor
+/// there.)
+const SPEEDUP_CONTRACTS: [(&str, &str, f64); 4] = [
     (
         "busy_window/scheduling-points",
         "busy_window/iterative",
@@ -258,6 +271,7 @@ const SPEEDUP_CONTRACTS: [(&str, &str, f64); 3] = [
         "holistic_scaling/linear/full-sweeps",
         5.0,
     ),
+    ("sim_throughput/event-queue", "sim_throughput/classic", 10.0),
 ];
 
 fn format_ns(ns: u64) -> String {
@@ -752,6 +766,39 @@ pub fn run_bench(config: &BenchConfig) -> BenchReport {
             samples,
         });
     }
+
+    // Simulation throughput: one whole-trace pass of the wide
+    // high-event-rate workload through each core. The event-queue side
+    // reuses one arena across passes — the production Monte Carlo shape,
+    // and the zero-allocation claim under test — while the classic
+    // chain-scan engine is the retained differential baseline the 10x
+    // contract is measured against.
+    let sim_system = wide_throughput_system(512);
+    let sim_traces = TraceSet::max_rate(&sim_system, 100_000);
+    let sim = Simulation::new(&sim_system);
+    let mut arena = SimArena::default();
+    assert_eq!(
+        sim.run_in_arena(&sim_traces, &mut arena),
+        sim.clone()
+            .with_engine(SimEngineMode::Classic)
+            .run(&sim_traces),
+        "the simulation engines disagreed on the bench workload"
+    );
+    entries.push(BenchEntry {
+        id: "sim_throughput/event-queue".to_owned(),
+        best_ns: best_ns(samples, || {
+            std::hint::black_box(sim.run_in_arena(&sim_traces, &mut arena));
+        }),
+        samples,
+    });
+    let classic = sim.clone().with_engine(SimEngineMode::Classic);
+    entries.push(BenchEntry {
+        id: "sim_throughput/classic".to_owned(),
+        best_ns: best_ns(samples, || {
+            std::hint::black_box(classic.run(&sim_traces));
+        }),
+        samples,
+    });
 
     BenchReport {
         seed: config.seed,

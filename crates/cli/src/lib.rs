@@ -9,6 +9,7 @@
 //! twca explain <file> <chain>         full analysis derivation
 //! twca dmm <file> <chain> <k>...      miss model at given window lengths
 //! twca simulate <file> [horizon]      adversarial simulation vs bounds
+//! twca sim <file> [flags]             Monte Carlo empirical miss rates
 //! twca dot <file>                     Graphviz export
 //! twca gantt <file> [horizon]         textual Gantt of an adversarial run
 //! twca report <file>                  Markdown analysis report
@@ -30,8 +31,10 @@
 //! worklist) and checks every one against the [`twca_verify`] oracle
 //! battery: simulation soundness, cache agreement, serial/parallel
 //! agreement, backend agreement, dmm monotonicity,
-//! lazy-vs-materialized combination-engine agreement and
-//! scheduling-point-vs-iterative solver agreement. Failing scenarios
+//! lazy-vs-materialized combination-engine agreement,
+//! scheduling-point-vs-iterative solver agreement,
+//! event-queue-vs-classic simulation-core agreement and Monte Carlo
+//! miss-rate soundness. Failing scenarios
 //! are auto-shrunk and persisted to the regression corpus. Flags:
 //! `--seed S`, `--iters N`, `--budget SECS`, `--profile P1,P2,...`,
 //! `--k K1,K2,...`, `--horizon H`, `--corpus DIR`, `--no-shrink`.
@@ -134,6 +137,18 @@ fn parse_solver(value: &str) -> Result<twca_chains::SolverMode, CliError> {
     }
 }
 
+/// Parses an `--engine` value of `twca sim` (same names as the wire
+/// option).
+fn parse_sim_engine(value: &str) -> Result<twca_sim::SimEngineMode, CliError> {
+    match value {
+        "event-queue" => Ok(twca_sim::SimEngineMode::EventQueue),
+        "classic" => Ok(twca_sim::SimEngineMode::Classic),
+        other => Err(CliError::Usage(format!(
+            "unknown sim engine `{other}` (expected `event-queue` or `classic`)"
+        ))),
+    }
+}
+
 fn chain_id(system: &System, name: &str) -> Result<twca_model::ChainId, CliError> {
     system
         .chain_by_name(name)
@@ -220,6 +235,141 @@ pub fn cmd_simulate(system: &System, horizon: u64) -> Result<String, CliError> {
             stats.max_latency().map_or("-".into(), |l| l.to_string()),
             wcl,
             stats.miss_count()
+        );
+    }
+    Ok(out)
+}
+
+/// Parsed flags of `twca sim`.
+struct SimArgs {
+    file: String,
+    runs: u64,
+    horizon: u64,
+    seed: u64,
+    threads: u64,
+    chain: Option<String>,
+    engine: Option<twca_sim::SimEngineMode>,
+    json: bool,
+}
+
+impl SimArgs {
+    const USAGE: &'static str = "twca sim <file> [--runs N] [--horizon H] [--seed S] \
+                                 [--threads T] [--chain NAME] \
+                                 [--engine event-queue|classic] [--json]";
+
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut file = None;
+        let mut parsed = SimArgs {
+            file: String::new(),
+            runs: 100,
+            horizon: 100_000,
+            seed: 0xD1CE,
+            threads: 4,
+            chain: None,
+            engine: None,
+            json: false,
+        };
+        let mut rest = args.iter();
+        while let Some(arg) = rest.next() {
+            let mut value_of = |flag: &str| {
+                rest.next().ok_or_else(|| {
+                    CliError::Usage(format!("{flag} needs a value; {}", Self::USAGE))
+                })
+            };
+            match arg.as_str() {
+                "--runs" => {
+                    parsed.runs = value_of("--runs")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("`--runs` expects a run count".into()))?;
+                }
+                "--horizon" => {
+                    parsed.horizon = value_of("--horizon")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("`--horizon` expects a time bound".into()))?;
+                }
+                "--seed" => {
+                    parsed.seed = value_of("--seed")?
+                        .parse()
+                        .map_err(|_| CliError::Usage("`--seed` expects an integer".into()))?;
+                }
+                "--threads" => {
+                    parsed.threads = value_of("--threads")?.parse().map_err(|_| {
+                        CliError::Usage("`--threads` expects a worker count".into())
+                    })?;
+                }
+                "--chain" => parsed.chain = Some(value_of("--chain")?.clone()),
+                "--engine" => parsed.engine = Some(parse_sim_engine(value_of("--engine")?)?),
+                "--json" => parsed.json = true,
+                flag if flag.starts_with("--") => {
+                    return Err(CliError::Usage(format!(
+                        "unknown sim flag `{flag}`; {}",
+                        Self::USAGE
+                    )));
+                }
+                value if file.is_none() => file = Some(value.to_owned()),
+                _ => return Err(CliError::Usage(format!("too many files; {}", Self::USAGE))),
+            }
+        }
+        parsed.file = file.ok_or_else(|| CliError::Usage(Self::USAGE.into()))?;
+        Ok(parsed)
+    }
+}
+
+/// `twca sim`: Monte Carlo simulation through the façade — per-chain
+/// empirical miss rates with 95% confidence intervals, pooled over
+/// `--runs` seeded runs fanned across `--threads` workers. The report
+/// is deterministic in the seed at any thread count; `--engine classic`
+/// selects the retained reference core (bit-identical by construction).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad flags, unreadable files and façade
+/// failures (parse errors, unknown chains).
+pub fn cmd_sim(args: &[String]) -> Result<String, CliError> {
+    let parsed = SimArgs::parse(args)?;
+    let text = std::fs::read_to_string(&parsed.file)?;
+    let mut request = AnalysisRequest::for_system(text).with_query(Query::Simulate {
+        chain: parsed.chain.clone(),
+        runs: parsed.runs,
+        horizon: parsed.horizon,
+        seed: parsed.seed,
+        threads: parsed.threads,
+    });
+    if let Some(engine) = parsed.engine {
+        request = request.with_options(twca_api::RequestOptions {
+            sim_engine: Some(engine),
+            ..Default::default()
+        });
+    }
+    let response = Session::new().analyze(&request);
+    if parsed.json {
+        return Ok(format!("{}\n", response.to_json()));
+    }
+    let outcomes = response.outcome.map_err(CliError::Api)?;
+    let QueryOutcome::Simulate(sim) = &outcomes[0] else {
+        unreachable!("a simulate query answers with a simulate outcome");
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} run(s), horizon {}, seed {}",
+        sim.runs, sim.horizon, sim.seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>8} {:>10} {:>19} {:>8}",
+        "chain", "instances", "misses", "rate(ppm)", "95% CI (ppm)", "max lat"
+    );
+    for row in &sim.chains {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10} {:>8} {:>10} {:>19} {:>8}",
+            row.name,
+            row.instances,
+            row.misses,
+            row.miss_rate_ppm,
+            format!("[{}, {}]", row.ci_low_ppm, row.ci_high_ppm),
+            row.max_latency.map_or("-".into(), |l| l.to_string()),
         );
     }
     Ok(out)
@@ -884,7 +1034,7 @@ impl FuzzArgs {
 
 /// `twca fuzz`: randomized conformance fuzzing through the
 /// [`twca_verify`] oracle battery. Every generated scenario is checked
-/// against all seven oracles; failures are auto-shrunk to minimal
+/// against all nine oracles; failures are auto-shrunk to minimal
 /// counterexamples and (with `--corpus`) persisted as regression
 /// fixtures.
 ///
@@ -1049,11 +1199,14 @@ pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
 /// Returns [`CliError`] for usage errors, unreadable files, parse
 /// failures and analysis failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    const USAGE: &str = "twca <analyze|explain|dmm|simulate|dot|gantt|report|synthesize|batch|\
+    const USAGE: &str = "twca <analyze|explain|dmm|simulate|sim|dot|gantt|report|synthesize|batch|\
                          dist|serve|fuzz|bench> <file> [...]";
     let command = args.first().ok_or_else(|| CliError::Usage(USAGE.into()))?;
     if command == "batch" {
         return cmd_batch(&args[1..]);
+    }
+    if command == "sim" {
+        return cmd_sim(&args[1..]);
     }
     if command == "fuzz" {
         return cmd_fuzz(&args[1..]);
@@ -1189,6 +1342,57 @@ chain recovery sporadic=1000 overload {
         let out = cmd_simulate(&system(), 50_000).unwrap();
         assert!(out.contains("control"));
         assert!(out.contains("WCL"));
+    }
+
+    #[test]
+    fn sim_reports_rates_and_validates_flags() {
+        let path =
+            std::env::temp_dir().join(format!("twca_cli_sim_test_{}.twca", std::process::id()));
+        std::fs::write(&path, EXAMPLE).unwrap();
+        let p = path.to_string_lossy().to_string();
+        let base = args(&[
+            "sim",
+            &p,
+            "--runs",
+            "6",
+            "--horizon",
+            "20000",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+        ]);
+        let out = run(&base).unwrap();
+        assert!(out.contains("6 run(s), horizon 20000, seed 9"));
+        assert!(out.contains("control"));
+        assert!(out.contains("rate(ppm)"));
+        // Only deadline chains appear by default.
+        assert!(!out.contains("recovery"));
+
+        // The classic engine renders the identical report.
+        let mut classic = base.clone();
+        classic.extend(args(&["--engine", "classic"]));
+        assert_eq!(run(&classic).unwrap(), out);
+
+        // --chain restricts the table; unknown names are typed errors.
+        let mut one = base.clone();
+        one.extend(args(&["--chain", "recovery"]));
+        let table = run(&one).unwrap();
+        assert!(table.contains("recovery") && !table.contains("control"));
+        let mut ghost = base.clone();
+        ghost.extend(args(&["--chain", "ghost"]));
+        assert!(matches!(run(&ghost), Err(CliError::Api(_))));
+
+        assert!(matches!(
+            cmd_sim(&args(&[&p, "--engine", "turbo"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_sim(&args(&[&p, "--runs", "many"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(cmd_sim(&args(&[])), Err(CliError::Usage(_))));
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -66,7 +66,10 @@ pub trait EventModel: std::fmt::Debug + Send + Sync {
     /// Scheduling-point fixed-point solvers use this to leap between the
     /// points where the interference function can actually change,
     /// instead of re-evaluating every arrival curve at every candidate
-    /// window. The default implementation pseudo-inverts `delta_min`
+    /// window; the simulator's batched arrival generator
+    /// (`twca_sim::batched_max_rate_trace`) walks the same breakpoints
+    /// to emit whole arrival batches instead of one event per call. The
+    /// default implementation pseudo-inverts `delta_min`
     /// (`η+(Δ) = max{k : δ-(k) < Δ}` jumps to `n + 1` at
     /// `δ-(n + 1) + 1`), which is exact for every model whose two curve
     /// views are consistent; the result is always `> delta`.

@@ -43,6 +43,6 @@ pub use dist::{
 };
 pub use priorities::{priority_permutations, random_priority_permutation};
 pub use stress::{random_stress_system, StressProfile};
-pub use systems::{random_system, RandomSystemConfig};
+pub use systems::{random_system, wide_throughput_system, RandomSystemConfig};
 pub use threads::{communicating_threads_system, ThreadSystemConfig};
 pub use unifast::uunifast;

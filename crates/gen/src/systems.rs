@@ -164,6 +164,45 @@ pub fn random_system(
     builder.build()
 }
 
+/// Builds the deterministic **wide throughput system**: `chains`
+/// synchronous periodic chains with short, staggered periods, one task
+/// each and distinct priorities — a high-event-rate workload for
+/// simulation throughput benchmarks (`sim_throughput`) and scale tests.
+///
+/// The shape stays schedulable at **any** width: chain `i` has period
+/// `chains + i` and WCET 1, so total utilization is
+/// `Σ 1/(chains+i) ≈ ln 2 ≈ 0.69` regardless of how many chains fan
+/// out — widening the system grows the scheduler's bookkeeping load
+/// (the quantity under test) without growing the simulated horizon's
+/// job count or backlogging the processor.
+///
+/// # Panics
+///
+/// Panics if `chains` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let system = twca_gen::wide_throughput_system(256);
+/// assert_eq!(system.chains().len(), 256);
+/// assert!(system.utilization_bound(1_000_000) < 1.0);
+/// ```
+pub fn wide_throughput_system(chains: usize) -> System {
+    assert!(chains > 0, "need at least one chain");
+    let mut builder = SystemBuilder::new();
+    for i in 0..chains {
+        let period = (chains + i) as Time;
+        builder = builder
+            .chain(format!("wide_{i}"))
+            .periodic(period)
+            .expect("positive period")
+            .deadline(period)
+            .task(format!("wide_{i}_t0"), (chains - i) as u32, 1)
+            .done();
+    }
+    builder.build().expect("the wide system is well-formed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

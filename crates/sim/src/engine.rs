@@ -3,11 +3,39 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
+use crate::event_queue::{self, SimArena};
 use crate::gantt::{ExecutionSpan, ExecutionTrace};
 use crate::metrics::{ChainStats, InstanceRecord};
 use crate::trace::TraceSet;
 use twca_curves::Time;
 use twca_model::{ChainId, ChainKind, System};
+
+/// Why an execution-time policy was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyError {
+    /// The scale factor is NaN or infinite.
+    NonFinite(f64),
+    /// The scale factor is negative.
+    Negative(f64),
+}
+
+impl std::fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyError::NonFinite(factor) => {
+                write!(f, "execution scale factor must be finite, got {factor}")
+            }
+            PolicyError::Negative(factor) => {
+                write!(
+                    f,
+                    "execution scale factor must be non-negative, got {factor}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
 
 /// How job execution times are derived from task WCET bounds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,11 +45,54 @@ pub enum ExecutionPolicy {
     WorstCase,
     /// Every job runs for `ceil(wcet · factor)`, clamped to `[0, wcet]`.
     /// Models systems whose typical execution times undershoot the bound.
+    ///
+    /// Construct via [`ExecutionPolicy::scaled`] to reject NaN, infinite
+    /// and negative factors with a typed error instead of silently
+    /// clamping them through float casts.
     Scaled(f64),
 }
 
 impl ExecutionPolicy {
-    fn execution_time(self, wcet: Time) -> Time {
+    /// Validated constructor for [`ExecutionPolicy::Scaled`].
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError::NonFinite`] for NaN or infinite factors,
+    /// [`PolicyError::Negative`] for negative ones.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use twca_sim::ExecutionPolicy;
+    ///
+    /// assert!(ExecutionPolicy::scaled(0.5).is_ok());
+    /// assert!(ExecutionPolicy::scaled(f64::NAN).is_err());
+    /// assert!(ExecutionPolicy::scaled(-0.25).is_err());
+    /// ```
+    pub fn scaled(factor: f64) -> Result<Self, PolicyError> {
+        if !factor.is_finite() {
+            return Err(PolicyError::NonFinite(factor));
+        }
+        if factor < 0.0 {
+            return Err(PolicyError::Negative(factor));
+        }
+        Ok(ExecutionPolicy::Scaled(factor))
+    }
+
+    /// Checks a policy built from raw enum literals.
+    ///
+    /// # Errors
+    ///
+    /// The same errors as [`ExecutionPolicy::scaled`] for invalid
+    /// `Scaled` factors; `WorstCase` is always valid.
+    pub fn validate(self) -> Result<Self, PolicyError> {
+        match self {
+            ExecutionPolicy::Scaled(factor) => ExecutionPolicy::scaled(factor),
+            ExecutionPolicy::WorstCase => Ok(self),
+        }
+    }
+
+    pub(crate) fn execution_time(self, wcet: Time) -> Time {
         match self {
             ExecutionPolicy::WorstCase => wcet,
             ExecutionPolicy::Scaled(f) => {
@@ -36,18 +107,35 @@ impl ExecutionPolicy {
     }
 }
 
+/// Which simulation core executes a run.
+///
+/// Both cores implement the exact same scheduling semantics and produce
+/// bit-identical results — the classic chain-scan engine is retained as
+/// the differential baseline for the `sim-agreement` verify oracle,
+/// mirroring the solver flag of the busy-window analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimEngineMode {
+    /// The event-queue core: arrival min-heap plus a reusable arena,
+    /// `O(log n)` per scheduling decision (default).
+    #[default]
+    EventQueue,
+    /// The original engine that rescans every chain at every scheduling
+    /// decision, `O(chains)` per step.
+    Classic,
+}
+
 /// A ready job. Ordering puts the job to schedule next on top of a
 /// max-heap: highest task priority first, then earliest activation, then
 /// lowest release sequence number (deterministic FIFO tie-break).
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Job {
-    priority: u32,
-    activation: Time,
-    seq: u64,
-    chain: usize,
-    instance: usize,
-    task_index: usize,
-    remaining: Time,
+pub(crate) struct Job {
+    pub(crate) priority: u32,
+    pub(crate) activation: Time,
+    pub(crate) seq: u64,
+    pub(crate) chain: usize,
+    pub(crate) instance: usize,
+    pub(crate) task_index: usize,
+    pub(crate) remaining: Time,
 }
 
 impl Ord for Job {
@@ -84,19 +172,20 @@ impl PartialOrd for Job {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulation<'a> {
-    system: &'a System,
-    policy: ExecutionPolicy,
-    record_execution: bool,
+    pub(crate) system: &'a System,
+    pub(crate) policy: ExecutionPolicy,
+    pub(crate) record_execution: bool,
     /// `links[x] = Some(y)`: completing an instance of chain `x`
     /// activates chain `y` (path semantics, footnote 1 of the paper).
-    links: Vec<Option<usize>>,
+    pub(crate) links: Vec<Option<usize>>,
+    pub(crate) engine: SimEngineMode,
 }
 
 /// Per-chain observation records produced by [`Simulation::run`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimulationResult {
-    chains: Vec<ChainStats>,
-    execution_trace: Option<ExecutionTrace>,
+    pub(crate) chains: Vec<ChainStats>,
+    pub(crate) execution_trace: Option<ExecutionTrace>,
 }
 
 impl SimulationResult {
@@ -134,7 +223,8 @@ struct ChainState {
 }
 
 impl<'a> Simulation<'a> {
-    /// Creates a simulation with the worst-case execution policy.
+    /// Creates a simulation with the worst-case execution policy and the
+    /// default [`SimEngineMode::EventQueue`] core.
     pub fn new(system: &'a System) -> Self {
         let links = vec![None; system.chains().len()];
         Simulation {
@@ -142,6 +232,7 @@ impl<'a> Simulation<'a> {
             policy: ExecutionPolicy::WorstCase,
             record_execution: false,
             links,
+            engine: SimEngineMode::default(),
         }
     }
 
@@ -174,9 +265,26 @@ impl<'a> Simulation<'a> {
     }
 
     /// Sets the execution-time policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy carries an invalid (NaN, infinite or
+    /// negative) scale factor; use [`ExecutionPolicy::scaled`] to handle
+    /// that case as a typed error instead.
     #[must_use]
     pub fn with_policy(mut self, policy: ExecutionPolicy) -> Self {
-        self.policy = policy;
+        match policy.validate() {
+            Ok(policy) => self.policy = policy,
+            Err(error) => panic!("invalid execution policy: {error}"),
+        }
+        self
+    }
+
+    /// Selects the simulation core. Both cores produce bit-identical
+    /// results; see [`SimEngineMode`].
+    #[must_use]
+    pub fn with_engine(mut self, engine: SimEngineMode) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -200,11 +308,40 @@ impl<'a> Simulation<'a> {
             self.system.chains().len(),
             "trace set does not match system"
         );
+        match self.engine {
+            SimEngineMode::EventQueue => {
+                let mut arena = SimArena::new();
+                event_queue::execute(self, traces.traces(), &mut arena);
+                arena.materialize(self.system, self.record_execution)
+            }
+            SimEngineMode::Classic => self.run_classic(traces.traces()),
+        }
+    }
+
+    /// Runs on the event-queue core reusing `arena`'s buffers, so repeated
+    /// runs over the same (or same-sized) system allocate nothing in the
+    /// steady state. The configured [`SimEngineMode`] is ignored — this
+    /// entry point *is* the event-queue core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` does not match the system (one trace per chain).
+    pub fn run_in_arena(&self, traces: &TraceSet, arena: &mut SimArena) -> SimulationResult {
+        assert_eq!(
+            traces.traces().len(),
+            self.system.chains().len(),
+            "trace set does not match system"
+        );
+        event_queue::execute(self, traces.traces(), arena);
+        arena.materialize(self.system, self.record_execution)
+    }
+
+    pub(crate) fn run_classic(&self, traces: &[crate::trace::Trace]) -> SimulationResult {
         let mut states: Vec<ChainState> = self
             .system
             .chains()
             .iter()
-            .zip(traces.traces())
+            .zip(traces)
             .map(|(chain, trace)| ChainState {
                 kind: chain.kind(),
                 pending: trace.times().iter().copied().collect(),
@@ -543,6 +680,89 @@ mod tests {
         assert_eq!(ExecutionPolicy::Scaled(0.0).execution_time(10), 0);
         assert_eq!(ExecutionPolicy::Scaled(2.0).execution_time(10), 10);
         assert_eq!(ExecutionPolicy::WorstCase.execution_time(10), 10);
+    }
+
+    /// Non-finite and negative scale factors are typed errors, not
+    /// silent clamps.
+    #[test]
+    fn scaled_policy_rejects_invalid_factors() {
+        assert!(matches!(
+            ExecutionPolicy::scaled(f64::NAN),
+            Err(PolicyError::NonFinite(_))
+        ));
+        assert!(matches!(
+            ExecutionPolicy::scaled(f64::INFINITY),
+            Err(PolicyError::NonFinite(f)) if f.is_infinite()
+        ));
+        assert!(matches!(
+            ExecutionPolicy::scaled(-0.25),
+            Err(PolicyError::Negative(f)) if f == -0.25
+        ));
+        // Valid factors round-trip, and validate() accepts raw literals.
+        assert_eq!(
+            ExecutionPolicy::scaled(1.5),
+            Ok(ExecutionPolicy::Scaled(1.5))
+        );
+        assert_eq!(
+            ExecutionPolicy::Scaled(0.75).validate(),
+            Ok(ExecutionPolicy::Scaled(0.75))
+        );
+        assert_eq!(
+            ExecutionPolicy::WorstCase.validate(),
+            Ok(ExecutionPolicy::WorstCase)
+        );
+        let message = ExecutionPolicy::scaled(-1.0).unwrap_err().to_string();
+        assert!(message.contains("non-negative"), "{message}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid execution policy")]
+    fn with_policy_panics_on_nan_factor() {
+        let s = SystemBuilder::new()
+            .chain("x")
+            .periodic(10)
+            .unwrap()
+            .task("t", 1, 1)
+            .done()
+            .build()
+            .unwrap();
+        let _ = Simulation::new(&s).with_policy(ExecutionPolicy::Scaled(f64::NAN));
+    }
+
+    /// The event-queue core and the classic engine are bit-identical:
+    /// same records, same stats, same execution spans.
+    #[test]
+    fn engines_agree_across_scenarios() {
+        let systems = [twca_model::case_study(), {
+            let mut b = SystemBuilder::new();
+            for i in 0..6 {
+                b = b
+                    .chain(&format!("c{i}"))
+                    .periodic(40 + 13 * i as u64)
+                    .unwrap()
+                    .deadline(80)
+                    .task(&format!("a{i}"), (i % 3 + 1) as u32, 3)
+                    .task(&format!("b{i}"), 1, 2)
+                    .done();
+            }
+            b.build().unwrap()
+        }];
+        for system in &systems {
+            for traces in [
+                TraceSet::max_rate(system, 5_000),
+                crate::trace::adversarial_aligned_traces(system, 5_000),
+            ] {
+                let classic = Simulation::new(system)
+                    .with_engine(SimEngineMode::Classic)
+                    .with_execution_trace(true)
+                    .run(&traces);
+                let event_queue = Simulation::new(system)
+                    .with_engine(SimEngineMode::EventQueue)
+                    .with_execution_trace(true)
+                    .run(&traces);
+                assert_eq!(classic, event_queue);
+            }
+        }
     }
 
     /// Linked chains form a path: the downstream chain activates exactly

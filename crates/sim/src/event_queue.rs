@@ -1,0 +1,320 @@
+//! The zero-allocation event-queue simulation core.
+//!
+//! The classic engine rescans every chain twice per scheduling decision
+//! (release sweep + next-arrival minimum), an `O(chains)` cost paid per
+//! simulated event, and allocates fresh per-chain state on every run.
+//! This core replaces both costs:
+//!
+//! * pending arrivals live in a min-heap keyed `(time, chain)`, so each
+//!   decision point costs `O(log chains)` — the heap shape borrowed from
+//!   event-driven simulators like desque;
+//! * all run state (ready heap, arrival heap, per-chain lanes, instance
+//!   records, span buffer) lives in a [`SimArena`] whose buffers are
+//!   reused across runs, so the steady state of a Monte Carlo sweep
+//!   allocates nothing per run.
+//!
+//! The schedule it produces is **bit-identical** to the classic engine:
+//! in the classic loop, time only ever advances to the minimum pending
+//! arrival, to a completion that precedes it, or jumps to it when idle,
+//! so activations are always released at exactly their arrival instant —
+//! and same-instant releases happen in chain-index order, which is
+//! exactly the pop order of a `(time, chain)` min-heap. Sequence numbers
+//! (the FIFO tie-break) therefore coincide, and with them every heap
+//! decision. The `sim-agreement` verify oracle pins this equivalence
+//! differentially.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::engine::{ExecutionPolicy, Job, Simulation, SimulationResult};
+use crate::gantt::{ExecutionSpan, ExecutionTrace};
+use crate::metrics::{ChainStats, InstanceRecord};
+use crate::trace::Trace;
+use twca_curves::Time;
+use twca_model::System;
+
+/// Reusable storage for event-queue simulation runs.
+///
+/// Create once, pass to [`Simulation::run_in_arena`] (or the Monte Carlo
+/// driver does so internally, one arena per worker thread) — every
+/// buffer is cleared and reused, so repeated runs allocate only when a
+/// run outgrows all previous ones.
+///
+/// # Examples
+///
+/// ```
+/// use twca_model::case_study;
+/// use twca_sim::{SimArena, Simulation, TraceSet};
+///
+/// let system = case_study();
+/// let traces = TraceSet::max_rate(&system, 10_000);
+/// let sim = Simulation::new(&system);
+/// let mut arena = SimArena::new();
+/// let first = sim.run_in_arena(&traces, &mut arena);
+/// let second = sim.run_in_arena(&traces, &mut arena);
+/// assert_eq!(first.chains(), second.chains());
+/// ```
+#[derive(Debug, Default)]
+pub struct SimArena {
+    /// Ready jobs, max-heap on `(priority, -activation, -seq)`.
+    ready: BinaryHeap<Job>,
+    /// Earliest unreleased external arrival per chain, min-heap on
+    /// `(time, chain)`. At most one entry per chain.
+    arrivals: BinaryHeap<Reverse<(Time, usize)>>,
+    lanes: Vec<Lane>,
+    /// Flattened per-task schedule parameters, indexed via `task_offset`.
+    task_prio: Vec<u32>,
+    task_exec: Vec<Time>,
+    task_offset: Vec<usize>,
+    links: Vec<Option<usize>>,
+    trace: ExecutionTrace,
+    record: bool,
+}
+
+/// Per-chain bookkeeping, the arena counterpart of the classic engine's
+/// `ChainState`.
+#[derive(Debug, Default)]
+struct Lane {
+    synchronous: bool,
+    /// Next unreleased index into the chain's external trace.
+    cursor: usize,
+    backlog: VecDeque<Time>,
+    active: bool,
+    records: Vec<InstanceRecord>,
+}
+
+impl SimArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        SimArena::default()
+    }
+
+    /// Clears all buffers and caches the per-task schedule parameters of
+    /// `system` under `policy`.
+    fn reset(
+        &mut self,
+        system: &System,
+        policy: ExecutionPolicy,
+        links: &[Option<usize>],
+        record: bool,
+    ) {
+        self.ready.clear();
+        self.arrivals.clear();
+        self.task_prio.clear();
+        self.task_exec.clear();
+        self.task_offset.clear();
+        self.task_offset.push(0);
+        self.links.clear();
+        self.links.extend_from_slice(links);
+        self.trace.clear();
+        self.record = record;
+        let chains = system.chains();
+        self.lanes.truncate(chains.len());
+        while self.lanes.len() < chains.len() {
+            self.lanes.push(Lane::default());
+        }
+        for (lane, chain) in self.lanes.iter_mut().zip(chains) {
+            lane.synchronous = chain.kind().is_synchronous();
+            lane.cursor = 0;
+            lane.backlog.clear();
+            lane.active = false;
+            lane.records.clear();
+            for task in chain.tasks() {
+                self.task_prio.push(task.priority().level());
+                self.task_exec.push(policy.execution_time(task.wcet()));
+            }
+            self.task_offset.push(self.task_prio.len());
+        }
+    }
+
+    fn chain_len(&self, chain: usize) -> usize {
+        self.task_offset[chain + 1] - self.task_offset[chain]
+    }
+
+    fn job(
+        &self,
+        chain: usize,
+        task_index: usize,
+        activation: Time,
+        instance: usize,
+        seq: u64,
+    ) -> Job {
+        let slot = self.task_offset[chain] + task_index;
+        Job {
+            priority: self.task_prio[slot],
+            activation,
+            seq,
+            chain,
+            instance,
+            task_index,
+            remaining: self.task_exec[slot],
+        }
+    }
+
+    /// Mirrors the classic engine's `release_instance`.
+    fn release(&mut self, chain: usize, activation: Time, seq: &mut u64) {
+        let lane = &mut self.lanes[chain];
+        if lane.synchronous && lane.active {
+            lane.backlog.push_back(activation);
+            return;
+        }
+        let instance = lane.records.len();
+        lane.records.push(InstanceRecord::activated(activation));
+        lane.active = true;
+        *seq += 1;
+        let job = self.job(chain, 0, activation, instance, *seq);
+        self.ready.push(job);
+    }
+
+    /// Mirrors the classic engine's `complete_job`.
+    fn complete(&mut self, job: Job, now: Time, seq: &mut u64) {
+        if job.task_index + 1 < self.chain_len(job.chain) {
+            *seq += 1;
+            let successor = self.job(
+                job.chain,
+                job.task_index + 1,
+                job.activation,
+                job.instance,
+                *seq,
+            );
+            self.ready.push(successor);
+            return;
+        }
+        let lane = &mut self.lanes[job.chain];
+        lane.records[job.instance].complete(now);
+        lane.active = false;
+        if lane.synchronous {
+            if let Some(activation) = lane.backlog.pop_front() {
+                self.release(job.chain, activation, seq);
+            }
+        }
+        if let Some(target) = self.links[job.chain] {
+            self.release(target, now, seq);
+        }
+    }
+
+    fn record_span(&mut self, job: &Job, start: Time, end: Time) {
+        if self.record {
+            self.trace.record(ExecutionSpan {
+                chain: job.chain,
+                instance: job.instance,
+                task_index: job.task_index,
+                start,
+                end,
+            });
+        }
+    }
+
+    /// The instance records of one chain from the last run, in
+    /// activation order (borrowed, for allocation-free aggregation).
+    pub(crate) fn records(&self, chain: usize) -> &[InstanceRecord] {
+        &self.lanes[chain].records
+    }
+
+    /// Clones the run state out into an owned [`SimulationResult`].
+    pub(crate) fn materialize(&self, system: &System, record: bool) -> SimulationResult {
+        let chains = self
+            .lanes
+            .iter()
+            .zip(system.chains())
+            .map(|(lane, chain)| ChainStats::new(lane.records.clone(), chain.deadline()))
+            .collect();
+        SimulationResult {
+            chains,
+            execution_trace: record.then(|| self.trace.clone()),
+        }
+    }
+}
+
+/// Runs `sim` over `traces` (one per chain, time-sorted), leaving the
+/// results in `arena`.
+pub(crate) fn execute(sim: &Simulation<'_>, traces: &[Trace], arena: &mut SimArena) {
+    arena.reset(sim.system, sim.policy, &sim.links, sim.record_execution);
+    for (chain, trace) in traces.iter().enumerate() {
+        if let Some(&first) = trace.times().first() {
+            arena.arrivals.push(Reverse((first, chain)));
+        }
+    }
+
+    let mut time: Time = 0;
+    let mut seq: u64 = 0;
+    loop {
+        // Release every arrival due at or before `time`. Equal-time
+        // entries pop in chain order, matching the classic release sweep.
+        while let Some(&Reverse((t, chain))) = arena.arrivals.peek() {
+            if t > time {
+                break;
+            }
+            arena.arrivals.pop();
+            let times = traces[chain].times();
+            loop {
+                match times.get(arena.lanes[chain].cursor) {
+                    Some(&activation) if activation <= time => {
+                        arena.lanes[chain].cursor += 1;
+                        arena.release(chain, activation, &mut seq);
+                    }
+                    Some(&activation) => {
+                        arena.arrivals.push(Reverse((activation, chain)));
+                        break;
+                    }
+                    None => break,
+                }
+            }
+        }
+
+        let next_activation = arena.arrivals.peek().map(|&Reverse((t, _))| t);
+        let Some(job) = arena.ready.peek() else {
+            match next_activation {
+                Some(t) => {
+                    time = time.max(t);
+                    continue;
+                }
+                None => break, // no ready work, no future arrivals
+            }
+        };
+
+        let finish = time + job.remaining;
+        if let Some(t_act) = next_activation {
+            if t_act < finish {
+                // Run the current job up to the arrival, then rescan
+                // (the arrival may preempt).
+                let mut job = arena.ready.pop().expect("peeked non-empty");
+                job.remaining -= t_act - time;
+                arena.record_span(&job, time, t_act);
+                time = t_act;
+                arena.ready.push(job);
+                continue;
+            }
+        }
+
+        let job = arena.ready.pop().expect("peeked non-empty");
+        arena.record_span(&job, time, finish);
+        time = finish;
+        arena.complete(job, time, &mut seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceSet;
+    use twca_model::case_study;
+
+    #[test]
+    fn arena_reuse_is_observationally_pure() {
+        let system = case_study();
+        let big = TraceSet::max_rate(&system, 20_000);
+        let small = TraceSet::max_rate_without_overload(&system, 3_000);
+        let sim = Simulation::new(&system).with_execution_trace(true);
+        let mut arena = SimArena::new();
+        // Interleave differently sized runs: stale state must never leak.
+        let big_first = sim.run_in_arena(&big, &mut arena);
+        let small_first = sim.run_in_arena(&small, &mut arena);
+        let big_again = sim.run_in_arena(&big, &mut arena);
+        let small_again = sim.run_in_arena(&small, &mut arena);
+        assert_eq!(big_first, big_again);
+        assert_eq!(small_first, small_again);
+        let mut fresh = SimArena::new();
+        assert_eq!(big_first, sim.run_in_arena(&big, &mut fresh));
+    }
+}

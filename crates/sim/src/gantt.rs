@@ -50,6 +50,11 @@ impl ExecutionTrace {
         ExecutionTrace::default()
     }
 
+    /// Empties the trace, keeping the span buffer for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.spans.clear();
+    }
+
     /// Appends a span, merging it with the previous one when the same job
     /// continues seamlessly.
     pub(crate) fn record(&mut self, span: ExecutionSpan) {

@@ -14,6 +14,14 @@
 //! * the scheduler is deadline-agnostic: instances always run to
 //!   completion.
 //!
+//! Two cores implement these semantics: the default zero-allocation
+//! event-queue engine ([`SimArena`], [`SimEngineMode::EventQueue`]) and
+//! the original chain-scan engine ([`SimEngineMode::Classic`]), retained
+//! as a differential baseline — they are bit-identical by construction
+//! and pinned so by the `sim-agreement` verify oracle. On top, the
+//! [`MonteCarlo`] driver fans seeded runs across threads to produce
+//! per-chain empirical miss-rate curves with confidence intervals.
+//!
 //! The primary use in this workspace is *validation*: simulated deadline
 //! misses in any window of `k` consecutive activations must never exceed
 //! the analytic deadline miss model `dmm(k)`, and simulated latencies must
@@ -38,18 +46,22 @@
 //! ```
 
 mod engine;
+mod event_queue;
 mod falsify;
 mod gantt;
 mod metrics;
 mod monitor;
+mod montecarlo;
 mod trace;
 
-pub use engine::{ExecutionPolicy, Simulation, SimulationResult};
+pub use engine::{ExecutionPolicy, PolicyError, SimEngineMode, Simulation, SimulationResult};
+pub use event_queue::SimArena;
 pub use falsify::{falsify, FalsificationConfig, FalsificationOutcome};
 pub use gantt::{ExecutionSpan, ExecutionTrace};
 pub use metrics::{ChainStats, InstanceRecord};
 pub use monitor::MkMonitor;
+pub use montecarlo::{ChainMissProfile, MonteCarlo, MonteCarloConfig, MonteCarloReport};
 pub use trace::{
-    adversarial_aligned_traces, max_rate_trace, periodic_trace, random_sporadic_trace, Trace,
-    TraceSet,
+    adversarial_aligned_traces, batched_max_rate_trace, max_rate_trace, periodic_trace,
+    random_sporadic_trace, Trace, TraceSet,
 };

@@ -118,25 +118,7 @@ impl ChainStats {
     /// run are still counted (a sound lower bound on the supremum over
     /// infinite runs).
     pub fn max_misses_in_window(&self, k: usize) -> usize {
-        if k == 0 {
-            return 0;
-        }
-        let flags = self.miss_flags();
-        if flags.is_empty() {
-            return 0;
-        }
-        let mut best = 0usize;
-        let mut current = 0usize;
-        for i in 0..flags.len() {
-            if flags[i] {
-                current += 1;
-            }
-            if i >= k && flags[i - k] {
-                current -= 1;
-            }
-            best = best.max(current);
-        }
-        best
+        max_misses_in_flag_window(&self.miss_flags(), k)
     }
 
     /// Fraction of instances that missed their deadline (`0.0` when there
@@ -177,6 +159,27 @@ impl ChainStats {
     pub fn weakly_hard_profile(&self, max_k: usize) -> Vec<usize> {
         (1..=max_k).map(|k| self.max_misses_in_window(k)).collect()
     }
+}
+
+/// Sliding-window maximum over a per-instance miss-flag slice: the shared
+/// core of [`ChainStats::max_misses_in_window`] and the Monte Carlo
+/// driver's allocation-free aggregation.
+pub(crate) fn max_misses_in_flag_window(flags: &[bool], k: usize) -> usize {
+    if k == 0 || flags.is_empty() {
+        return 0;
+    }
+    let mut best = 0usize;
+    let mut current = 0usize;
+    for i in 0..flags.len() {
+        if flags[i] {
+            current += 1;
+        }
+        if i >= k && flags[i - k] {
+            current -= 1;
+        }
+        best = best.max(current);
+    }
+    best
 }
 
 #[cfg(test)]

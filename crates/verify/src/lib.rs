@@ -12,7 +12,7 @@
 //!    processors, degenerate chains, bursty/jittery activation,
 //!    overload-dominated load, and distributed topologies (linear,
 //!    star, tree).
-//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — six
+//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — nine
 //!    independent ways the suite could disagree with itself:
 //!    * analysis bound ≥ simulated behaviour on every trace
 //!      ([`OracleKind::SimSoundness`]);
@@ -29,7 +29,15 @@
 //!    * the lazy (dominance-pruned) and materialized combination
 //!      engines agree bit-for-bit — curves, packing witnesses, exact
 //!      variant, holistic results
-//!      ([`OracleKind::LazyAgreement`]).
+//!      ([`OracleKind::LazyAgreement`]);
+//!    * the scheduling-point and iterative busy-window solvers (and,
+//!      holistically, the worklist and full-sweep drivers) agree
+//!      bit-for-bit ([`OracleKind::SolverAgreement`]);
+//!    * the event-queue and classic simulation cores agree bit-for-bit
+//!      on every trace battery ([`OracleKind::SimAgreement`]);
+//!    * empirical Monte Carlo miss rates stay under the analytic
+//!      `dmm(k)` and WCL bounds
+//!      ([`OracleKind::MissRateSoundness`]).
 //! 3. **Shrinking** ([`shrink_system`], [`shrink_body`]) — failing
 //!    scenarios are greedily minimized (chains, tasks, activation
 //!    models, WCETs) while still tripping the same oracle.

@@ -1,5 +1,5 @@
 //! The differential oracle battery: every generated scenario is checked
-//! against seven independent ways the suite could disagree with itself.
+//! against nine independent ways the suite could disagree with itself.
 
 use std::sync::Arc;
 
@@ -15,9 +15,12 @@ use twca_chains::{
 use twca_curves::{EventModel, Time};
 use twca_dist::{analyze as dist_analyze, soundness_violations, DistOptions, DistributedSystem};
 use twca_model::{ChainId, System};
-use twca_sim::{adversarial_aligned_traces, periodic_trace, Simulation, TraceSet};
+use twca_sim::{
+    adversarial_aligned_traces, periodic_trace, MonteCarlo, MonteCarloConfig, SimEngineMode,
+    Simulation, TraceSet,
+};
 
-/// The seven oracles of the conformance battery.
+/// The nine oracles of the conformance battery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// Analytic bounds must dominate every simulated trace: observed
@@ -49,11 +52,23 @@ pub enum OracleKind {
     /// per-site bounds, effective activation models) between the
     /// worklist and full-sweep drivers. No sanctioned divergence exists.
     SolverAgreement,
+    /// The zero-allocation event-queue simulation core and the retained
+    /// classic chain-scan core must agree bit-for-bit on the full
+    /// [`twca_sim::SimulationResult`] — per-chain statistics, instance
+    /// records, miss flags and the recorded execution spans — over every
+    /// trace battery the soundness oracle drives. No sanctioned
+    /// divergence exists.
+    SimAgreement,
+    /// Empirical Monte Carlo miss rates must respect the analytic
+    /// bounds: across every randomized (conformance-preserving) run, the
+    /// worst miss count in any `k`-window stays ≤ `dmm(k)` and the worst
+    /// observed latency stays ≤ the analytic WCL.
+    MissRateSoundness,
 }
 
 impl OracleKind {
     /// Every oracle, in reporting order.
-    pub const ALL: [OracleKind; 7] = [
+    pub const ALL: [OracleKind; 9] = [
         OracleKind::SimSoundness,
         OracleKind::CacheAgreement,
         OracleKind::ParallelAgreement,
@@ -61,6 +76,8 @@ impl OracleKind {
         OracleKind::Monotonicity,
         OracleKind::LazyAgreement,
         OracleKind::SolverAgreement,
+        OracleKind::SimAgreement,
+        OracleKind::MissRateSoundness,
     ];
 
     /// A short stable name for reports and corpus headers.
@@ -73,6 +90,8 @@ impl OracleKind {
             OracleKind::Monotonicity => "monotonicity",
             OracleKind::LazyAgreement => "lazy-agreement",
             OracleKind::SolverAgreement => "solver-agreement",
+            OracleKind::SimAgreement => "sim-agreement",
+            OracleKind::MissRateSoundness => "miss-rate-soundness",
         }
     }
 }
@@ -139,6 +158,9 @@ pub struct VerifyOptions {
     pub seed: u64,
     /// Holistic sweep limit for distributed scenarios.
     pub max_sweeps: usize,
+    /// Monte Carlo runs checked by the miss-rate-soundness oracle (one
+    /// rotation of the four run styles by default).
+    pub mc_runs: u64,
     /// Bound corruption for self-tests of the harness.
     pub fault: Fault,
 }
@@ -162,6 +184,7 @@ impl Default for VerifyOptions {
             random_rounds: 2,
             seed: 0x5EED,
             max_sweeps: twca_dist::DistOptions::default().max_sweeps,
+            mc_runs: 4,
             fault: Fault::None,
         }
     }
@@ -238,6 +261,8 @@ fn check_uni(system: &System, opts: &VerifyOptions) -> Vec<Violation> {
     check_backend_agreement_uni(system, opts, &mut violations);
     check_lazy_agreement_uni(system, opts, &mut violations);
     check_solver_agreement_uni(system, opts, &mut violations);
+    check_sim_agreement(system, opts, &mut violations);
+    check_miss_rate_soundness(system, &verdicts, opts, &mut violations);
     violations
 }
 
@@ -457,14 +482,9 @@ fn check_monotonicity(verdicts: &ChainVerdicts, violations: &mut Vec<Violation>)
     }
 }
 
-/// Oracle 1: every model-conforming trace battery stays under the
-/// analytic bounds.
-fn check_sim_soundness(
-    system: &System,
-    verdicts: &ChainVerdicts,
-    opts: &VerifyOptions,
-    violations: &mut Vec<Violation>,
-) {
+/// The deterministic + seeded-random trace batteries shared by the
+/// sim-soundness and sim-agreement oracles.
+fn trace_batteries(system: &System, opts: &VerifyOptions) -> Vec<(String, TraceSet)> {
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
     let mut batteries: Vec<(String, TraceSet)> = vec![
         (
@@ -492,8 +512,18 @@ fn check_sim_soundness(
         }
         batteries.push((format!("random offsets #{round}"), traces));
     }
+    batteries
+}
 
-    for (label, traces) in &batteries {
+/// Oracle 1: every model-conforming trace battery stays under the
+/// analytic bounds.
+fn check_sim_soundness(
+    system: &System,
+    verdicts: &ChainVerdicts,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    for (label, traces) in &trace_batteries(system, opts) {
         let result = Simulation::new(system).run(traces);
         for row in &verdicts.rows {
             let stats = result.chain(row.id);
@@ -521,6 +551,107 @@ fn check_sim_soundness(
                         ),
                     });
                 }
+            }
+        }
+    }
+}
+
+/// Oracle 8 (uniprocessor): the event-queue and classic simulation
+/// cores agree bit-for-bit — per-chain statistics, instance records,
+/// miss flags and recorded execution spans — on every battery the
+/// soundness oracle drives.
+fn check_sim_agreement(system: &System, opts: &VerifyOptions, violations: &mut Vec<Violation>) {
+    for (label, traces) in &trace_batteries(system, opts) {
+        let event_queue = Simulation::new(system)
+            .with_engine(SimEngineMode::EventQueue)
+            .with_execution_trace(true)
+            .run(traces);
+        let classic = Simulation::new(system)
+            .with_engine(SimEngineMode::Classic)
+            .with_execution_trace(true)
+            .run(traces);
+        if event_queue == classic {
+            continue;
+        }
+        // Pinpoint the first divergent chain (or the span trace) so the
+        // report names what drifted, not just that something did.
+        let mut what = String::from("recorded execution spans differ");
+        for (id, chain) in system.iter() {
+            let (a, b) = (event_queue.chain(id), classic.chain(id));
+            if a != b {
+                what = format!("chain {} stats diverge: {a:?} vs {b:?}", chain.name());
+                break;
+            }
+        }
+        violations.push(Violation {
+            oracle: OracleKind::SimAgreement,
+            detail: format!("[{label}] event-queue and classic engines disagree: {what}"),
+        });
+    }
+}
+
+/// Oracle 9 (uniprocessor): long-horizon Monte Carlo miss rates respect
+/// the analytic bounds. Every run's traces are conformance-preserving
+/// transformations of the max-rate trace, so the analytic `dmm(k)` must
+/// dominate the worst observed `k`-window of every run, and the worst
+/// observed latency must stay under the analytic WCL.
+fn check_miss_rate_soundness(
+    system: &System,
+    verdicts: &ChainVerdicts,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    if opts.mc_runs == 0 {
+        return;
+    }
+    let report = MonteCarlo::new(
+        system,
+        MonteCarloConfig {
+            runs: opts.mc_runs,
+            horizon: opts.horizon,
+            seed: opts.seed,
+            threads: 1,
+            ks: opts.ks.clone(),
+            ..MonteCarloConfig::default()
+        },
+    )
+    .run();
+    for row in &verdicts.rows {
+        let Some(profile) = report.chain(&row.name) else {
+            continue;
+        };
+        if let (Some(observed), Some(full)) = (profile.max_latency(), &row.full) {
+            if observed > full.worst_case_latency {
+                violations.push(Violation {
+                    oracle: OracleKind::MissRateSoundness,
+                    detail: format!(
+                        "{}: empirical max latency {observed} over {} runs > WCL {}",
+                        row.name,
+                        report.runs(),
+                        full.worst_case_latency
+                    ),
+                });
+            }
+        }
+        let Ok(curve) = &row.curve else { continue };
+        for dmm in curve {
+            let bound = opts.fault.dmm_bound(dmm.bound);
+            let Some(&(_, observed)) = profile.window_misses().iter().find(|(k, _)| *k == dmm.k)
+            else {
+                continue;
+            };
+            if observed > bound {
+                violations.push(Violation {
+                    oracle: OracleKind::MissRateSoundness,
+                    detail: format!(
+                        "{}: {observed} empirical misses in a {}-window over {} runs > \
+                         dmm({}) = {bound}",
+                        row.name,
+                        dmm.k,
+                        report.runs(),
+                        dmm.k
+                    ),
+                });
             }
         }
     }
@@ -1100,6 +1231,14 @@ mod tests {
             violations
                 .iter()
                 .any(|v| v.oracle == OracleKind::SimSoundness),
+            "{violations:?}"
+        );
+        // Run 0 of the Monte Carlo sweep replays the same aligned
+        // max-rate stress, so the empirical oracle must catch it too.
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.oracle == OracleKind::MissRateSoundness),
             "{violations:?}"
         );
     }
