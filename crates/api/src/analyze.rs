@@ -277,6 +277,7 @@ impl Analyze for ChainBackend<'_> {
                     env.options,
                 )))
             }
+            Query::Stats => Ok(QueryOutcome::Stats(env.session.stats_outcome())),
             Query::Simulate {
                 chain,
                 runs,
@@ -543,6 +544,7 @@ impl Analyze for DistBackend {
             Query::Full { .. } => Err(ApiError::request(
                 "`full` queries need a chain target; query sites individually instead",
             )),
+            Query::Stats => Ok(QueryOutcome::Stats(env.session.stats_outcome())),
             Query::Simulate { .. } => Err(ApiError::request(
                 "`simulate` queries need a chain target; simulate resources individually instead",
             )),

@@ -28,6 +28,10 @@ pub enum ApiErrorKind {
     Canceled,
     /// The request exhausted its work budget.
     Budget,
+    /// The service rejected the request at admission: its pending
+    /// queue was full (backpressure) or it was shutting down. The
+    /// connection stays alive — clients should back off and retry.
+    Overloaded,
     /// An input file or stream could not be read.
     Io,
 }
@@ -46,6 +50,7 @@ impl ApiErrorKind {
             ApiErrorKind::NoSuchResource => "no_such_resource",
             ApiErrorKind::Canceled => "canceled",
             ApiErrorKind::Budget => "budget",
+            ApiErrorKind::Overloaded => "overloaded",
             ApiErrorKind::Io => "io",
         }
     }
@@ -63,6 +68,7 @@ impl ApiErrorKind {
             "no_such_resource" => ApiErrorKind::NoSuchResource,
             "canceled" => ApiErrorKind::Canceled,
             "budget" => ApiErrorKind::Budget,
+            "overloaded" => ApiErrorKind::Overloaded,
             "io" => ApiErrorKind::Io,
             _ => return None,
         })
@@ -132,6 +138,24 @@ impl ApiError {
         ApiError::new(
             ApiErrorKind::Budget,
             format!("work budget of {limit} unit(s) exhausted"),
+        )
+    }
+
+    /// The admission-control rejection: the service's pending queue of
+    /// `capacity` request(s) was full.
+    pub fn overloaded(capacity: usize) -> ApiError {
+        ApiError::new(
+            ApiErrorKind::Overloaded,
+            format!("service overloaded: pending queue of {capacity} request(s) is full"),
+        )
+    }
+
+    /// The shutting-down rejection (also kind
+    /// [`ApiErrorKind::Overloaded`]: clients treat both as "back off").
+    pub fn draining() -> ApiError {
+        ApiError::new(
+            ApiErrorKind::Overloaded,
+            "service shutting down: no new requests admitted",
         )
     }
 
@@ -230,6 +254,7 @@ mod tests {
             ApiErrorKind::NoSuchResource,
             ApiErrorKind::Canceled,
             ApiErrorKind::Budget,
+            ApiErrorKind::Overloaded,
             ApiErrorKind::Io,
         ] {
             assert_eq!(ApiErrorKind::from_str_tag(kind.as_str()), Some(kind));

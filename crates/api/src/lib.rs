@@ -68,8 +68,8 @@ pub use request::{
 };
 pub use response::{
     AnalysisResponse, ChainOutcome, DmmOutcome, DmmPoint, LatencyOutcome, MkOutcome, PathOutcome,
-    QueryOutcome, SensitivityOutcome, SimChainOutcome, SimulateOutcome, SystemOutcome,
-    WitnessOutcome,
+    QueryOutcome, SensitivityOutcome, SimChainOutcome, SimulateOutcome, StatsOutcome,
+    SystemOutcome, WitnessOutcome,
 };
-pub use serve::{respond_line, respond_line_with, serve, serve_with, ServeSummary};
-pub use session::{CancelToken, RequestControl, Session};
+pub use serve::{respond_line, respond_line_with, serve, serve_with, LatencyStats, ServeSummary};
+pub use session::{CancelToken, RequestControl, ServiceCounters, Session};

@@ -36,6 +36,11 @@ pub enum Target {
         /// The linked-resource description.
         text: String,
     },
+    /// No analysis target at all: the request only asks about the
+    /// serving process itself (every query is [`Query::Stats`]). On
+    /// the wire this is a request with no `system`/`resources`/`dist`
+    /// member.
+    Service,
 }
 
 /// One site reference in `resource/chain` notation.
@@ -144,6 +149,11 @@ pub enum Query {
         /// Window lengths of the sweep.
         ks: Vec<u64>,
     },
+    /// Cache statistics and service counters of the answering process.
+    /// The only query usable without a target (see
+    /// [`Target::Service`]); with a target it rides along with the
+    /// analysis queries on the same session.
+    Stats,
     /// Monte Carlo simulation: empirical per-chain miss rates with
     /// confidence intervals (uniprocessor targets only).
     Simulate {
@@ -306,6 +316,7 @@ impl AnalysisRequest {
             Target::DistText { text } => {
                 members.push(("dist".into(), Json::str(text)));
             }
+            Target::Service => {}
         }
         members.push((
             "queries".into(),
@@ -410,9 +421,7 @@ impl AnalysisRequest {
                     .to_owned(),
             }
         } else {
-            return Err(ApiError::request(
-                "a request needs a target: `system`, `resources` or `dist`",
-            ));
+            Target::Service
         };
 
         let queries = match value.get("queries") {
@@ -423,6 +432,14 @@ impl AnalysisRequest {
                 .collect::<Result<Vec<_>, _>>()?,
             Some(_) => return Err(ApiError::request("`queries` must be an array")),
         };
+        if target == Target::Service
+            && (queries.is_empty() || queries.iter().any(|q| *q != Query::Stats))
+        {
+            return Err(ApiError::request(
+                "a request needs a target: `system`, `resources` or `dist` \
+                 (only pure `stats` requests may omit it)",
+            ));
+        }
         let options = match value.get("options") {
             None => RequestOptions::default(),
             Some(v) => options_from_json(v)?,
@@ -506,6 +523,7 @@ fn query_to_json(query: &Query) -> Json {
                 Json::Array(ks.iter().map(|&k| Json::UInt(k)).collect()),
             )],
         ),
+        Query::Stats => ("stats", Vec::new()),
         Query::Simulate {
             chain,
             runs,
@@ -620,6 +638,7 @@ fn query_from_json(value: &Json) -> Result<Query, ApiError> {
                 "ks",
             )?,
         },
+        "stats" => Query::Stats,
         "simulate" => Query::Simulate {
             chain: opt_chain(body)?,
             runs: req_u64(body, "runs")?,
@@ -800,6 +819,7 @@ mod tests {
                 ks: vec![5],
             })
             .with_query(Query::Full { ks: vec![1, 10] })
+            .with_query(Query::Stats)
             .with_query(Query::Simulate {
                 chain: Some("c".into()),
                 runs: 50,
@@ -816,6 +836,23 @@ mod tests {
         let wire = request.to_json().to_string();
         let reparsed = AnalysisRequest::from_json(&Json::parse(&wire).unwrap()).unwrap();
         assert_eq!(request, reparsed);
+    }
+
+    #[test]
+    fn pure_stats_requests_may_omit_the_target() {
+        let value = Json::parse(r#"{"queries": [{"stats": {}}]}"#).unwrap();
+        let request = AnalysisRequest::from_json(&value).unwrap();
+        assert_eq!(request.target, Target::Service);
+        assert_eq!(request.queries, vec![Query::Stats]);
+        let wire = request.to_json().to_string();
+        let reparsed = AnalysisRequest::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(request, reparsed);
+
+        // Anything beyond pure stats still needs a target.
+        let value = Json::parse(r#"{"queries": [{"stats": {}}, {"latency": {}}]}"#).unwrap();
+        assert!(AnalysisRequest::from_json(&value).is_err());
+        let value = Json::parse("{}").unwrap();
+        assert!(AnalysisRequest::from_json(&value).is_err());
     }
 
     #[test]

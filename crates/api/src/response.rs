@@ -278,6 +278,25 @@ pub struct SimulateOutcome {
     pub chains: Vec<SimChainOutcome>,
 }
 
+/// The answer to a [`QueryOutcome::Stats`] query: the shared cache's
+/// hit/miss counters plus the service counters of the answering
+/// process. Outside a service the counters are all zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsOutcome {
+    /// Cache hits since the cache was created.
+    pub cache_hits: u64,
+    /// Cache misses since the cache was created.
+    pub cache_misses: u64,
+    /// Entries currently resident in the cache.
+    pub cache_entries: u64,
+    /// Requests answered by the service (ok or error).
+    pub served: u64,
+    /// Requests rejected at admission (`overloaded`).
+    pub rejected: u64,
+    /// Requests admitted but not yet answered.
+    pub in_flight: u64,
+}
+
 /// One answered query, mirroring [`crate::Query`] case by case.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QueryOutcome {
@@ -295,6 +314,8 @@ pub enum QueryOutcome {
     Path(PathOutcome),
     /// The full batch pipeline outcome.
     Full(SystemOutcome),
+    /// Cache statistics and service counters.
+    Stats(StatsOutcome),
     /// Empirical Monte Carlo miss rates.
     Simulate(SimulateOutcome),
 }
@@ -559,6 +580,17 @@ fn outcome_to_json(outcome: &QueryOutcome) -> Json {
             ]),
         ),
         QueryOutcome::Full(system) => ("full", system.to_json()),
+        QueryOutcome::Stats(s) => (
+            "stats",
+            Json::Object(vec![
+                ("cache_hits".into(), Json::UInt(s.cache_hits)),
+                ("cache_misses".into(), Json::UInt(s.cache_misses)),
+                ("cache_entries".into(), Json::UInt(s.cache_entries)),
+                ("served".into(), Json::UInt(s.served)),
+                ("rejected".into(), Json::UInt(s.rejected)),
+                ("in_flight".into(), Json::UInt(s.in_flight)),
+            ]),
+        ),
         QueryOutcome::Simulate(s) => (
             "simulate",
             Json::Object(vec![
@@ -674,6 +706,14 @@ fn outcome_from_json(value: &Json) -> Result<QueryOutcome, ApiError> {
                 .collect::<Result<Vec<_>, _>>()?,
         }),
         "full" => QueryOutcome::Full(SystemOutcome::from_json(body)?),
+        "stats" => QueryOutcome::Stats(StatsOutcome {
+            cache_hits: u64_field(body, "cache_hits")?,
+            cache_misses: u64_field(body, "cache_misses")?,
+            cache_entries: u64_field(body, "cache_entries")?,
+            served: u64_field(body, "served")?,
+            rejected: u64_field(body, "rejected")?,
+            in_flight: u64_field(body, "in_flight")?,
+        }),
         "simulate" => QueryOutcome::Simulate(SimulateOutcome {
             runs: u64_field(body, "runs")?,
             horizon: u64_field(body, "horizon")?,
@@ -761,6 +801,14 @@ mod tests {
                     m: 1,
                     k: 10,
                     max_percent: None,
+                }),
+                QueryOutcome::Stats(StatsOutcome {
+                    cache_hits: 12,
+                    cache_misses: 3,
+                    cache_entries: 3,
+                    served: 15,
+                    rejected: 1,
+                    in_flight: 2,
                 }),
                 QueryOutcome::Simulate(SimulateOutcome {
                     runs: 100,

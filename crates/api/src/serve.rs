@@ -2,11 +2,66 @@
 //! output line, in input order.
 
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 use crate::json::Json;
 use crate::request::AnalysisRequest;
 use crate::response::AnalysisResponse;
 use crate::session::{CancelToken, Session};
+
+/// Per-request wall-clock latency accumulation: count, total, and the
+/// min/max extremes, all in nanoseconds. Mergeable across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    /// Requests timed.
+    pub count: u64,
+    /// Summed latency of all timed requests.
+    pub total_ns: u64,
+    /// Fastest request; 0 when nothing was timed.
+    pub min_ns: u64,
+    /// Slowest request; 0 when nothing was timed.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Records one request latency.
+    pub fn record(&mut self, elapsed: Duration) {
+        self.record_ns(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one request latency given in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+
+    /// Folds another accumulation into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+    }
+
+    /// Mean latency in nanoseconds; 0 when nothing was timed.
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
 
 /// What a [`serve`] loop processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -15,6 +70,31 @@ pub struct ServeSummary {
     pub requests: usize,
     /// Responses whose outcome was an error.
     pub errors: usize,
+    /// Per-request wall-clock latency accumulation.
+    pub latency: LatencyStats,
+}
+
+impl ServeSummary {
+    /// Serializes the summary. The historical `requests`/`errors`
+    /// members come first, byte-identical to earlier builds; the
+    /// latency object is appended only when something was timed.
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("requests".into(), Json::UInt(self.requests as u64)),
+            ("errors".into(), Json::UInt(self.errors as u64)),
+        ];
+        if self.latency.count > 0 {
+            members.push((
+                "latency_ns".into(),
+                Json::Object(vec![
+                    ("min".into(), Json::UInt(self.latency.min_ns)),
+                    ("mean".into(), Json::UInt(self.latency.mean_ns())),
+                    ("max".into(), Json::UInt(self.latency.max_ns)),
+                ]),
+            ));
+        }
+        Json::Object(members)
+    }
 }
 
 /// Answers one request line. Malformed lines never panic and never
@@ -94,7 +174,9 @@ pub fn serve_with(
         if line.trim().is_empty() {
             continue;
         }
+        let started = Instant::now();
         let response = respond_line_with(session, &line, cancel);
+        summary.latency.record(started.elapsed());
         summary.requests += 1;
         if response.outcome.is_err() {
             summary.errors += 1;
@@ -207,6 +289,49 @@ mod tests {
                 ApiErrorKind::Canceled
             );
         }
+    }
+
+    #[test]
+    fn latency_stats_accumulate_and_merge() {
+        let mut a = LatencyStats::default();
+        a.record_ns(10);
+        a.record_ns(30);
+        assert_eq!((a.count, a.min_ns, a.max_ns, a.mean_ns()), (2, 10, 30, 20));
+        let mut b = LatencyStats::default();
+        b.record_ns(5);
+        a.merge(&b);
+        assert_eq!((a.count, a.min_ns, a.max_ns), (3, 5, 30));
+        let mut empty = LatencyStats::default();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn summary_json_leads_with_the_historical_fields() {
+        let empty = ServeSummary {
+            requests: 2,
+            errors: 1,
+            latency: LatencyStats::default(),
+        };
+        assert_eq!(
+            empty.to_json().to_string(),
+            "{\"requests\": 2, \"errors\": 1}"
+        );
+        let mut timed = empty;
+        timed.latency.record_ns(7);
+        assert_eq!(
+            timed.to_json().to_string(),
+            "{\"requests\": 2, \"errors\": 1, \
+             \"latency_ns\": {\"min\": 7, \"mean\": 7, \"max\": 7}}"
+        );
+    }
+
+    #[test]
+    fn serve_times_every_request() {
+        let input = format!("{{\"system\": \"{CHAIN}\"}}\nnot json\n");
+        let summary = serve(&Session::new(), input.as_bytes(), &mut Vec::new()).unwrap();
+        assert_eq!(summary.latency.count, 2);
+        assert!(summary.latency.min_ns <= summary.latency.max_ns);
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //! per-request budget and cancellation.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::analyze::{Analyze, ChainBackend, DistBackend, QueryEnv};
 use crate::error::ApiError;
-use crate::request::{AnalysisRequest, RequestOptions, Target};
-use crate::response::{AnalysisResponse, ChainOutcome, DmmPoint, QueryOutcome, SystemOutcome};
+use crate::request::{AnalysisRequest, Query, RequestOptions, Target};
+use crate::response::{
+    AnalysisResponse, ChainOutcome, DmmPoint, QueryOutcome, StatsOutcome, SystemOutcome,
+};
 use twca_chains::{
     latency_analysis, AnalysisCache, AnalysisContext, AnalysisOptions, CacheStats, DmmSweep,
     OverloadMode,
@@ -46,6 +48,51 @@ impl CancelToken {
     /// Whether the flag has been raised.
     pub fn is_canceled(&self) -> bool {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared observability counters of a serving process, surfaced
+/// through the wire `stats` query. A service increments them; plain
+/// sessions never do, so a sessions-only deployment reports zeros.
+///
+/// All counters are relaxed atomics: they are monotone operational
+/// telemetry, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServiceCounters {
+    served: AtomicU64,
+    rejected: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl ServiceCounters {
+    /// Fresh counters, all zero.
+    pub fn new() -> ServiceCounters {
+        ServiceCounters::default()
+    }
+
+    /// Records a request admitted into the service (now in flight).
+    pub fn record_admitted(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an admitted request answered (ok or error).
+    pub fn record_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a request rejected at admission (never in flight).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current `(served, rejected, in_flight)` values.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.served.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.in_flight.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -140,6 +187,7 @@ pub struct Session {
     options: AnalysisOptions,
     max_sweeps: usize,
     default_budget: Option<u64>,
+    counters: Option<Arc<ServiceCounters>>,
 }
 
 impl Default for Session {
@@ -156,6 +204,7 @@ impl Session {
             options: AnalysisOptions::default(),
             max_sweeps: twca_dist::DistOptions::default().max_sweeps,
             default_budget: None,
+            counters: None,
         }
     }
 
@@ -189,9 +238,34 @@ impl Session {
         self
     }
 
+    /// Attaches shared service counters, surfaced by `stats` queries.
+    #[must_use]
+    pub fn with_service_counters(mut self, counters: Arc<ServiceCounters>) -> Session {
+        self.counters = Some(counters);
+        self
+    }
+
     /// The shared cache handle.
     pub fn cache(&self) -> Arc<AnalysisCache> {
         Arc::clone(&self.cache)
+    }
+
+    /// Cache statistics plus service counters, as answered to a wire
+    /// `stats` query.
+    pub fn stats_outcome(&self) -> StatsOutcome {
+        let cache = self.cache_stats();
+        let (served, rejected, in_flight) = match &self.counters {
+            Some(counters) => counters.snapshot(),
+            None => (0, 0, 0),
+        };
+        StatsOutcome {
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_entries: cache.entries as u64,
+            served,
+            rejected,
+            in_flight,
+        }
     }
 
     /// Hit/miss counters of the shared cache.
@@ -255,11 +329,11 @@ impl Session {
         let chain_system: System;
         let chain_backend: ChainBackend<'_>;
         let dist_backend: DistBackend;
-        let backend: &dyn Analyze = match &request.target {
+        let backend: Option<&dyn Analyze> = match &request.target {
             Target::Chains { system } => {
                 chain_system = parse_system(system)?;
                 chain_backend = ChainBackend::new(&chain_system);
-                &chain_backend
+                Some(&chain_backend)
             }
             Target::Distributed { resources, links } => {
                 let mut builder = DistributedSystemBuilder::new();
@@ -279,18 +353,27 @@ impl Session {
                     );
                 }
                 dist_backend = DistBackend::new(builder.build()?);
-                &dist_backend
+                Some(&dist_backend)
             }
             Target::DistText { text } => {
                 dist_backend = DistBackend::new(twca_dist::parse_distributed(text)?);
-                &dist_backend
+                Some(&dist_backend)
             }
+            Target::Service => None,
         };
 
         request
             .queries
             .iter()
-            .map(|query| backend.query(query, &env))
+            .map(|query| match (query, backend) {
+                // Stats never touch a backend: the answer is about the
+                // serving process, whatever the target.
+                (Query::Stats, _) => Ok(QueryOutcome::Stats(self.stats_outcome())),
+                (query, Some(backend)) => backend.query(query, &env),
+                (_, None) => Err(ApiError::request(
+                    "only `stats` queries may run without a target",
+                )),
+            })
             .collect()
     }
 
@@ -421,6 +504,59 @@ chain recovery sporadic=1000 overload {
         });
         assert_eq!(effective.horizon, 123);
         assert_eq!(effective.max_q, session.options().max_q);
+    }
+
+    #[test]
+    fn stats_queries_report_cache_and_service_counters() {
+        let counters = Arc::new(ServiceCounters::new());
+        let session = Session::new().with_service_counters(Arc::clone(&counters));
+        counters.record_admitted();
+        counters.record_served();
+        counters.record_admitted();
+        counters.record_rejected();
+
+        // Targetless stats request.
+        let request = AnalysisRequest {
+            id: None,
+            target: Target::Service,
+            queries: vec![Query::Stats],
+            options: RequestOptions::default(),
+        };
+        let outcomes = session.analyze(&request).outcome.unwrap();
+        let QueryOutcome::Stats(stats) = outcomes[0] else {
+            panic!("expected stats outcome");
+        };
+        assert_eq!((stats.served, stats.rejected, stats.in_flight), (1, 1, 1));
+
+        // Stats ride along with analysis queries on a real target.
+        let request = AnalysisRequest::for_system(SYSTEM)
+            .with_query(Query::Latency { chain: None })
+            .with_query(Query::Stats);
+        let outcomes = session.analyze(&request).outcome.unwrap();
+        let QueryOutcome::Stats(stats) = outcomes[1] else {
+            panic!("expected stats outcome");
+        };
+        assert!(stats.cache_misses > 0);
+
+        // Non-stats queries without a target are typed request errors.
+        let request = AnalysisRequest {
+            id: None,
+            target: Target::Service,
+            queries: vec![Query::Latency { chain: None }],
+            options: RequestOptions::default(),
+        };
+        assert_eq!(
+            session.analyze(&request).outcome.unwrap_err().kind,
+            ApiErrorKind::Request
+        );
+
+        // Sessions without counters report zeros, not errors.
+        let plain = Session::new();
+        let outcome = plain.stats_outcome();
+        assert_eq!(
+            (outcome.served, outcome.rejected, outcome.in_flight),
+            (0, 0, 0)
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! twca batch [files...] [--gen N]     parallel batch analysis (engine)
 //! twca dist <file>                    distributed (linked-resource) analysis
 //! twca serve                          JSON-Lines request/response streaming
+//! twca serve --listen ADDR            multi-worker TCP analysis server
+//! twca loadgen --connect ADDR         throughput/latency load generator
 //! twca fuzz                           randomized conformance fuzzing (verify)
 //! twca bench                          perf-trajectory runner (JSON + CI gate)
 //! ```
@@ -718,11 +720,16 @@ struct ServeArgs {
     horizon: Option<u64>,
     max_q: Option<u64>,
     solver: Option<twca_chains::SolverMode>,
+    listen: Option<String>,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    deadline_ms: Option<u64>,
 }
 
 impl ServeArgs {
     const USAGE: &'static str = "twca serve [--file F] [--budget UNITS] [--horizon H] [--max-q Q] \
-                                 [--solver scheduling-points|iterative]";
+                                 [--solver scheduling-points|iterative] [--listen ADDR] \
+                                 [--workers N] [--queue N] [--deadline-ms MS]";
 
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut parsed = ServeArgs {
@@ -731,6 +738,10 @@ impl ServeArgs {
             horizon: None,
             max_q: None,
             solver: None,
+            listen: None,
+            workers: None,
+            queue: None,
+            deadline_ms: None,
         };
         let mut rest = args.iter();
         while let Some(arg) = rest.next() {
@@ -759,6 +770,23 @@ impl ServeArgs {
                     })?);
                 }
                 "--solver" => parsed.solver = Some(parse_solver(value_of("--solver")?)?),
+                "--listen" => parsed.listen = Some(value_of("--listen")?.clone()),
+                "--workers" => {
+                    parsed.workers = Some(value_of("--workers")?.parse().map_err(|_| {
+                        CliError::Usage("`--workers` expects a thread count".into())
+                    })?);
+                }
+                "--queue" => {
+                    parsed.queue = Some(value_of("--queue")?.parse().map_err(|_| {
+                        CliError::Usage("`--queue` expects a queue capacity".into())
+                    })?);
+                }
+                "--deadline-ms" => {
+                    parsed.deadline_ms =
+                        Some(value_of("--deadline-ms")?.parse().map_err(|_| {
+                            CliError::Usage("`--deadline-ms` expects milliseconds".into())
+                        })?);
+                }
                 flag => {
                     return Err(CliError::Usage(format!(
                         "unknown serve flag `{flag}`; {}",
@@ -783,6 +811,39 @@ impl ServeArgs {
         }
         session
     }
+
+    fn service_config(&self) -> twca_service::ServiceConfig {
+        let defaults = twca_service::ServiceConfig::default();
+        twca_service::ServiceConfig {
+            workers: self.workers.unwrap_or(defaults.workers),
+            queue_capacity: self.queue.unwrap_or(defaults.queue_capacity),
+            deadline: self.deadline_ms.map(std::time::Duration::from_millis),
+            max_frame_bytes: defaults.max_frame_bytes,
+        }
+    }
+}
+
+fn render_serve_summary(
+    summary: &twca_api::ServeSummary,
+    stats: twca_chains::CacheStats,
+) -> String {
+    // The first line is load-bearing: scripts (and the smoke test) key
+    // on its `served N request(s), M error(s)` prefix.
+    let mut out = format!(
+        "served {} request(s), {} error(s); cache: {} hits / {} misses ({} entries)\n",
+        summary.requests, summary.errors, stats.hits, stats.misses, stats.entries
+    );
+    if summary.latency.count > 0 {
+        let _ = writeln!(
+            out,
+            "latency: min {} µs / mean {} µs / max {} µs over {} timed request(s)",
+            summary.latency.min_ns / 1_000,
+            summary.latency.mean_ns() / 1_000,
+            summary.latency.max_ns / 1_000,
+            summary.latency.count
+        );
+    }
+    out
 }
 
 /// `twca serve`: the long-lived JSON-Lines analysis loop over explicit
@@ -790,6 +851,14 @@ impl ServeArgs {
 /// line out, in input order, all answered from one warm
 /// [`Session`]. The binary wires this to stdin/stdout; tests to
 /// buffers.
+///
+/// With `--listen ADDR` the same session instead backs a
+/// [`twca_service::WorkerPool`] shared by a TCP front end and the stdio
+/// lane: `--workers` sizes the pool, `--queue` bounds the pending
+/// queue (overflow draws typed `overloaded` errors), `--deadline-ms`
+/// cancels requests that outlive their deadline. End-of-input on the
+/// stdio lane triggers a graceful drain of the whole server, so
+/// holding stdin open (e.g. a FIFO) keeps the server up.
 ///
 /// # Errors
 ///
@@ -802,6 +871,39 @@ pub fn cmd_serve(
 ) -> Result<String, CliError> {
     let parsed = ServeArgs::parse(args)?;
     let session = parsed.session();
+    if let Some(addr) = &parsed.listen {
+        let cache = session.cache();
+        let config = parsed.service_config();
+        let server = twca_service::TcpServer::start(addr.as_str(), session, &config)?;
+        eprintln!(
+            "listening on {} with {} worker(s), queue {}",
+            server.local_addr(),
+            config.workers,
+            config.queue_capacity
+        );
+        // The stdio lane feeds the same pool; responses to it go to
+        // real stdout (the generic `output` need not be Send). EOF on
+        // the lane is the drain signal.
+        match &parsed.file {
+            Some(path) => {
+                let file = std::fs::File::open(path)?;
+                twca_service::serve_connection(
+                    server.pool(),
+                    std::io::BufReader::new(file),
+                    Box::new(std::io::stdout()),
+                    server.max_frame_bytes(),
+                );
+            }
+            None => twca_service::serve_connection(
+                server.pool(),
+                input,
+                Box::new(std::io::stdout()),
+                server.max_frame_bytes(),
+            ),
+        }
+        let summary = server.shutdown(std::time::Duration::from_secs(30));
+        return Ok(render_serve_summary(&summary, cache.stats()));
+    }
     let summary = match &parsed.file {
         Some(path) => {
             let file = std::fs::File::open(path)?;
@@ -810,10 +912,86 @@ pub fn cmd_serve(
         None => twca_api::serve(&session, input, output)?,
     };
     let stats = session.cache_stats();
-    Ok(format!(
-        "served {} request(s), {} error(s); cache: {} hits / {} misses ({} entries)\n",
-        summary.requests, summary.errors, stats.hits, stats.misses, stats.entries
-    ))
+    Ok(render_serve_summary(&summary, stats))
+}
+
+/// `twca loadgen`: drives the TCP server with a deterministic corpus —
+/// `--streams` logical request streams of `--requests` requests each,
+/// multiplexed over `--connections` sockets — and reports throughput
+/// and p50/p95/p99 tail latency. `--expect-clean` fails (non-zero
+/// exit) unless every request came back successful: no errors, no
+/// `overloaded` rejections, no lost responses.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for bad flags, [`CliError::Io`] when
+/// the server cannot be reached, and [`CliError::Verify`] with the
+/// report when `--expect-clean` saw failures.
+pub fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
+    const USAGE: &str = "twca loadgen --connect ADDR [--streams K] [--requests N] \
+                         [--connections C] [--mix chain|dist|mixed] [--seed S] [--json] \
+                         [--expect-clean]";
+    let mut addr: Option<String> = None;
+    let mut config = twca_service::LoadgenConfig::default();
+    let mut json = false;
+    let mut expect_clean = false;
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        let mut value_of = |flag: &str| {
+            rest.next()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value; {USAGE}")))
+        };
+        match arg.as_str() {
+            "--connect" => addr = Some(value_of("--connect")?.clone()),
+            "--streams" => {
+                config.streams = value_of("--streams")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("`--streams` expects a count".into()))?;
+            }
+            "--requests" => {
+                config.requests_per_stream = value_of("--requests")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("`--requests` expects a count".into()))?;
+            }
+            "--connections" => {
+                config.connections = value_of("--connections")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("`--connections` expects a count".into()))?;
+            }
+            "--mix" => {
+                let name = value_of("--mix")?;
+                config.mix = twca_service::RequestMix::parse(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "`--mix` must be chain, dist or mixed, not `{name}`"
+                    ))
+                })?;
+            }
+            "--seed" => {
+                config.seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("`--seed` expects an integer".into()))?;
+            }
+            "--json" => json = true,
+            "--expect-clean" => expect_clean = true,
+            flag => {
+                return Err(CliError::Usage(format!(
+                    "unknown loadgen flag `{flag}`; {USAGE}"
+                )));
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let report = twca_service::run_loadgen(addr.as_str(), &config)?;
+    if expect_clean && report.ok != report.requests {
+        return Err(CliError::Verify(format!(
+            "loadgen expected a clean run but saw failures:\n{}",
+            report.render()
+        )));
+    }
+    if json {
+        return Ok(format!("{}\n", report.to_json()));
+    }
+    Ok(report.render())
 }
 
 /// `twca dist <file> [--k K1,K2,...] [--path r/c,r/c,...] [--json]`:
@@ -1034,7 +1212,7 @@ impl FuzzArgs {
 
 /// `twca fuzz`: randomized conformance fuzzing through the
 /// [`twca_verify`] oracle battery. Every generated scenario is checked
-/// against all nine oracles; failures are auto-shrunk to minimal
+/// against all ten oracles; failures are auto-shrunk to minimal
 /// counterexamples and (with `--corpus`) persisted as regression
 /// fixtures.
 ///
@@ -1096,11 +1274,12 @@ struct BenchCliArgs {
     json: bool,
     out: Option<String>,
     check: Option<String>,
+    service_suite: bool,
 }
 
 impl BenchCliArgs {
-    const USAGE: &'static str = "twca bench [--json] [--out FILE] [--seed S] [--quick] \
-                                 [--check BASELINE.json]";
+    const USAGE: &'static str = "twca bench [--suite core|service] [--json] [--out FILE] \
+                                 [--seed S] [--quick] [--check BASELINE.json]";
 
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut parsed = BenchCliArgs {
@@ -1108,6 +1287,7 @@ impl BenchCliArgs {
             json: false,
             out: None,
             check: None,
+            service_suite: false,
         };
         let mut rest = args.iter();
         while let Some(arg) = rest.next() {
@@ -1126,6 +1306,17 @@ impl BenchCliArgs {
                 }
                 "--out" => parsed.out = Some(value_of("--out")?.clone()),
                 "--check" => parsed.check = Some(value_of("--check")?.clone()),
+                "--suite" => {
+                    parsed.service_suite = match value_of("--suite")?.as_str() {
+                        "core" => false,
+                        "service" => true,
+                        suite => {
+                            return Err(CliError::Usage(format!(
+                                "`--suite` must be core or service, not `{suite}`"
+                            )));
+                        }
+                    };
+                }
                 flag => {
                     return Err(CliError::Usage(format!(
                         "unknown bench flag `{flag}`; {}",
@@ -1143,6 +1334,10 @@ impl BenchCliArgs {
 /// ablations (`ablation_combinations`, `overload_heavy/combinations`),
 /// `table2_dmm` and `engine_scaling`, rendered as a table or as the
 /// `BENCH_combinations.json` artifact with `--json`/`--out`.
+/// `--suite service` instead runs the `service_saturation` workload —
+/// an in-process TCP server saturated by 10 000 concurrent request
+/// streams — whose requests/sec and p50/p95/p99 tail latency land in
+/// `BENCH_service.json`.
 /// `--check BASELINE.json` re-measures and fails (non-zero exit) when
 /// any benchmark regresses more than 1.5× against the committed
 /// baseline after machine-speed normalization, or when the
@@ -1154,7 +1349,7 @@ impl BenchCliArgs {
 /// unreadable/unwritable files, and [`CliError::Verify`] with the
 /// regression list when `--check` fails.
 pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
-    use twca_bench::runner::{check_against, run_bench, BenchReport};
+    use twca_bench::runner::{check_against, run_bench, run_service_bench, BenchReport};
 
     let parsed = BenchCliArgs::parse(args)?;
     // Load the baseline before measuring anything: a missing or
@@ -1170,7 +1365,11 @@ pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
             })?)
         }
     };
-    let report = run_bench(&parsed.config);
+    let report = if parsed.service_suite {
+        run_service_bench(&parsed.config)
+    } else {
+        run_bench(&parsed.config)
+    };
     let json = format!("{}\n", report.to_json());
     if let Some(path) = &parsed.out {
         std::fs::write(path, &json)?;
@@ -1200,7 +1399,7 @@ pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
 /// failures and analysis failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     const USAGE: &str = "twca <analyze|explain|dmm|simulate|sim|dot|gantt|report|synthesize|batch|\
-                         dist|serve|fuzz|bench> <file> [...]";
+                         dist|serve|loadgen|fuzz|bench> <file> [...]";
     let command = args.first().ok_or_else(|| CliError::Usage(USAGE.into()))?;
     if command == "batch" {
         return cmd_batch(&args[1..]);
@@ -1220,11 +1419,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if command == "serve" {
         // The streaming loop writes to stdout as responses are
         // produced; the returned summary goes to stderr in main.
+        // Stdout must stay UNLOCKED here: in `--listen` mode the pool's
+        // worker threads answer the stdio lane through their own
+        // `std::io::stdout()` handle, and `Stdout`'s lock is reentrant
+        // only on the owning thread — holding it across `cmd_serve`
+        // deadlocks the drain.
         let stdin = std::io::stdin();
-        let stdout = std::io::stdout();
-        let summary = cmd_serve(&args[1..], stdin.lock(), stdout.lock())?;
+        let summary = cmd_serve(&args[1..], stdin.lock(), std::io::stdout())?;
         eprint!("{summary}");
         return Ok(String::new());
+    }
+    if command == "loadgen" {
+        return cmd_loadgen(&args[1..]);
     }
     let path = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
     let system = load(path)?;

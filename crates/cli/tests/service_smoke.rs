@@ -1,0 +1,94 @@
+//! End-to-end smoke of the TCP service tier: boot the real `twca
+//! serve --listen` binary on an ephemeral port, drive a mixed request
+//! load through the real `twca loadgen` binary, and check that every
+//! request is answered cleanly, that the stdio lane still works next
+//! to the socket lane, and that the exit summary accounts for both.
+
+use std::io::{BufRead, BufReader, Read, Write as _};
+use std::process::{Command, Stdio};
+
+use twca_api::{AnalysisResponse, Json};
+
+const STREAMS: usize = 25;
+const REQUESTS_PER_STREAM: usize = 4;
+
+#[test]
+fn loadgen_drives_a_live_server_cleanly() {
+    let mut server = Command::new(env!("CARGO_BIN_EXE_twca"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn twca serve --listen");
+    // Keep stdin open: EOF on the stdio lane is the drain signal.
+    let mut stdin = server.stdin.take().expect("piped stdin");
+    let mut stderr = BufReader::new(server.stderr.take().expect("piped stderr"));
+
+    // The first stderr line announces the ephemeral port.
+    let mut banner = String::new();
+    stderr.read_line(&mut banner).expect("read listen banner");
+    let addr = banner
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_owned();
+
+    let loadgen = Command::new(env!("CARGO_BIN_EXE_twca"))
+        .args([
+            "loadgen",
+            "--connect",
+            &addr,
+            "--streams",
+            &STREAMS.to_string(),
+            "--requests",
+            &REQUESTS_PER_STREAM.to_string(),
+            "--connections",
+            "4",
+            "--mix",
+            "mixed",
+            "--expect-clean",
+        ])
+        .output()
+        .expect("run twca loadgen");
+    assert!(
+        loadgen.status.success(),
+        "loadgen failed: {}{}",
+        String::from_utf8_lossy(&loadgen.stdout),
+        String::from_utf8_lossy(&loadgen.stderr)
+    );
+
+    // The stdio lane shares the same pool while the socket lane runs.
+    writeln!(
+        stdin,
+        "{{\"id\": \"stdio-1\", \"system\": \
+         \"chain c periodic=100 deadline=100 {{ task t prio=1 wcet=10 }}\"}}"
+    )
+    .expect("write stdio request");
+    drop(stdin); // EOF: drain the server.
+
+    let output = server.wait_with_output().expect("twca serve exits");
+    assert!(
+        output.status.success(),
+        "serve exited with {:?}",
+        output.status
+    );
+    let stdout = String::from_utf8(output.stdout).expect("UTF-8 stdio responses");
+    let response =
+        AnalysisResponse::from_json(&Json::parse(stdout.trim()).expect("one JSON response"))
+            .expect("typed stdio response");
+    assert_eq!(response.id.as_deref(), Some("stdio-1"));
+    assert!(response.outcome.is_ok());
+
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).expect("read summary");
+    let total = STREAMS * REQUESTS_PER_STREAM + 1;
+    assert!(
+        rest.contains(&format!("served {total} request(s), 0 error(s)")),
+        "summary must count both lanes: {rest}"
+    );
+    assert!(
+        rest.contains("latency: min"),
+        "summary must report latency percentiles: {rest}"
+    );
+}

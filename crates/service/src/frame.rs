@@ -1,0 +1,141 @@
+//! The wire framing layer: bounded line-delimited frames.
+//!
+//! The service speaks the same JSON-Lines protocol as [`twca_api::serve`],
+//! but a network front end cannot trust its peers: a frame longer than
+//! the configured cap is discarded *without buffering it* — the reader
+//! skips to the next newline and reports how many bytes it dropped, so
+//! a hostile client cannot make the server allocate unbounded memory.
+//! Invalid UTF-8 is converted lossily instead of erroring, so a garbage
+//! frame becomes a JSON parse error response rather than a dead
+//! connection.
+
+use std::io::BufRead;
+
+/// One frame read off a connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (without its newline), lossily decoded.
+    Line(String),
+    /// A line longer than the cap; its bytes were discarded.
+    Oversized {
+        /// How many bytes the frame carried (excluding the newline).
+        bytes: usize,
+    },
+}
+
+/// A bounded line reader over any [`BufRead`] source.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    input: R,
+    max_frame_bytes: usize,
+}
+
+impl<R: BufRead> FrameReader<R> {
+    /// Wraps `input`, capping frames at `max_frame_bytes` bytes.
+    pub fn new(input: R, max_frame_bytes: usize) -> FrameReader<R> {
+        FrameReader {
+            input,
+            max_frame_bytes,
+        }
+    }
+
+    /// Reads the next frame; `None` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors of the underlying reader; frame content never
+    /// fails (oversized and non-UTF-8 frames are reported in-band).
+    pub fn next_frame(&mut self) -> std::io::Result<Option<Frame>> {
+        let mut buf: Vec<u8> = Vec::new();
+        let mut total = 0usize;
+        let mut saw_input = false;
+        loop {
+            let available = self.input.fill_buf()?;
+            if available.is_empty() {
+                if !saw_input {
+                    return Ok(None);
+                }
+                break;
+            }
+            saw_input = true;
+            let (chunk, done) = match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => (pos, true),
+                None => (available.len(), false),
+            };
+            // Buffer only up to the cap; oversized tails are dropped on
+            // the floor but still counted.
+            let room = self.max_frame_bytes.saturating_sub(buf.len());
+            buf.extend_from_slice(&available[..chunk.min(room)]);
+            total += chunk;
+            self.input.consume(chunk + usize::from(done));
+            if done {
+                break;
+            }
+        }
+        if total > self.max_frame_bytes {
+            return Ok(Some(Frame::Oversized { bytes: total }));
+        }
+        Ok(Some(Frame::Line(
+            String::from_utf8_lossy(&buf).into_owned(),
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(input: &[u8], cap: usize) -> Vec<Frame> {
+        let mut reader = FrameReader::new(input, cap);
+        let mut out = Vec::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            out.push(frame);
+        }
+        out
+    }
+
+    #[test]
+    fn plain_lines_round_trip() {
+        assert_eq!(
+            frames(b"a\nbb\n\nccc", 10),
+            vec![
+                Frame::Line("a".into()),
+                Frame::Line("bb".into()),
+                Frame::Line(String::new()),
+                Frame::Line("ccc".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_discarded_not_buffered() {
+        let mut input = vec![b'x'; 1000];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        assert_eq!(
+            frames(&input, 8),
+            vec![Frame::Oversized { bytes: 1000 }, Frame::Line("ok".into())]
+        );
+    }
+
+    #[test]
+    fn exactly_at_the_cap_is_still_a_line() {
+        assert_eq!(
+            frames(b"12345678\n", 8),
+            vec![Frame::Line("12345678".into())]
+        );
+        assert_eq!(
+            frames(b"123456789\n", 8),
+            vec![Frame::Oversized { bytes: 9 }]
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_degrades_lossily() {
+        let out = frames(b"\xff\xfe{\n", 10);
+        let Frame::Line(text) = &out[0] else {
+            panic!("expected a line");
+        };
+        assert!(text.contains('\u{FFFD}'));
+    }
+}

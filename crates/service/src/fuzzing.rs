@@ -1,0 +1,186 @@
+//! Deterministic malformed-frame generator for wire-robustness
+//! testing: the `service-robustness` oracle and the service's own
+//! tests feed these frames through the socket path and assert typed
+//! error responses, no panics, and stream survival.
+
+use twca_api::{AnalysisRequest, Query};
+
+/// A deterministic generator of malformed, truncated, and oversized
+/// wire frames. Frames never contain a newline (the frame separator)
+/// and are never blank (blank lines are skipped by the server, so they
+/// would produce no response to assert on).
+#[derive(Debug, Clone)]
+pub struct FrameFuzzer {
+    state: u64,
+}
+
+impl FrameFuzzer {
+    /// A generator seeded for reproducibility.
+    #[must_use]
+    pub fn new(seed: u64) -> FrameFuzzer {
+        FrameFuzzer {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*: tiny, deterministic, dependency-free.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// A syntactically valid request line to truncate.
+    fn valid_line(&mut self) -> String {
+        let period = 50 + 10 * self.pick(8) as u64;
+        AnalysisRequest::for_system(format!(
+            "chain c periodic={period} deadline={period} {{ task t prio=1 wcet=5 }}"
+        ))
+        .with_id(format!("fz{}", self.pick(1000)))
+        .with_query(Query::Dmm {
+            chain: None,
+            ks: vec![1, 5],
+        })
+        .to_json()
+        .to_string()
+    }
+
+    /// One malformed frame. Every frame draws exactly one typed error
+    /// response from a correct server — never a panic, never a dropped
+    /// connection.
+    pub fn frame(&mut self) -> Vec<u8> {
+        match self.pick(8) {
+            // Not JSON at all.
+            0 => {
+                let junk = [
+                    "hello",
+                    "{",
+                    "}{",
+                    "[1, 2",
+                    "\"open string",
+                    "nan",
+                    "{]}",
+                    "@@@@",
+                ];
+                junk[self.pick(junk.len())].as_bytes().to_vec()
+            }
+            // Valid JSON, structurally invalid request.
+            1 => {
+                let bad = [
+                    r#"{"queries": []}"#,
+                    r#"{"system": 42}"#,
+                    r#"{"system": "x", "dist": "y"}"#,
+                    r#"{"system": "x", "queries": [{"bogus": {}}]}"#,
+                    r#"{"system": "x", "options": {"budget": "lots"}}"#,
+                    r#"{"system": "x", "id": 7}"#,
+                    r"[1, 2, 3]",
+                    r#"{"resources": "nope"}"#,
+                ];
+                bad[self.pick(bad.len())].as_bytes().to_vec()
+            }
+            // Unsupported schema version.
+            2 => format!("{{\"v\": {}, \"system\": \"x\"}}", 2 + self.pick(100)).into_bytes(),
+            // A valid request truncated mid-frame: any strict prefix of
+            // a single-line JSON object is invalid JSON.
+            3 => {
+                let line = self.valid_line().into_bytes();
+                let cut = 1 + self.pick(line.len() - 1);
+                line[..cut].to_vec()
+            }
+            // Invalid UTF-8.
+            4 => {
+                let mut frame = vec![0xFF, 0xFE, 0x80];
+                frame.extend_from_slice(b"{\"system\"");
+                frame.push(0xC0);
+                frame
+            }
+            // Control bytes and NULs.
+            5 => b"{\"system\": \"x\x00y\x01\"}".to_vec(),
+            // DSL text that does not parse.
+            6 => {
+                let bad = [
+                    r#"{"system": "chain broken {"}"#,
+                    r#"{"system": "chain c periodic=0 { task t prio=1 wcet=1 }"}"#,
+                    r#"{"dist": "resource r { chain"}"#,
+                ];
+                bad[self.pick(bad.len())].as_bytes().to_vec()
+            }
+            // Unknown selectors on a well-formed system.
+            _ => {
+                let bad = [
+                    r#"{"system": "chain c periodic=10 { task t prio=1 wcet=1 }", "queries": [{"latency": {"chain": "ghost"}}]}"#,
+                    r#"{"system": "chain c periodic=10 { task t prio=1 wcet=1 }", "queries": [{"witness": {"chain": "c"}}]}"#,
+                    r#"{"system": "chain c periodic=10 { task t prio=1 wcet=1 }", "queries": [{"path": {"hops": ["a/b"], "ks": [1]}}]}"#,
+                ];
+                bad[self.pick(bad.len())].as_bytes().to_vec()
+            }
+        }
+    }
+
+    /// `count` malformed frames.
+    pub fn frames(&mut self, count: usize) -> Vec<Vec<u8>> {
+        (0..count).map(|_| self.frame()).collect()
+    }
+
+    /// One frame strictly larger than `limit` bytes (newline-free), to
+    /// exercise the oversized-frame rejection.
+    pub fn oversized(&mut self, limit: usize) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(limit + 16);
+        frame.extend_from_slice(b"{\"system\": \"");
+        while frame.len() <= limit + 8 {
+            frame.push(b'a' + (self.pick(26) as u8));
+        }
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_are_newline_free_and_non_blank() {
+        let mut fuzzer = FrameFuzzer::new(7);
+        for frame in fuzzer.frames(500) {
+            assert!(!frame.contains(&b'\n'));
+            assert!(
+                frame.iter().any(|b| !b.is_ascii_whitespace()),
+                "blank frames draw no response"
+            );
+        }
+        let big = fuzzer.oversized(100);
+        assert!(big.len() > 100);
+        assert!(!big.contains(&b'\n'));
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = FrameFuzzer::new(42).frames(100);
+        let b = FrameFuzzer::new(42).frames(100);
+        assert_eq!(a, b);
+        let c = FrameFuzzer::new(43).frames(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_frame_is_rejected_by_a_direct_session() {
+        use twca_api::{respond_line, Session};
+        let session = Session::new();
+        let mut fuzzer = FrameFuzzer::new(11);
+        for frame in fuzzer.frames(300) {
+            let line = String::from_utf8_lossy(&frame).into_owned();
+            let response = respond_line(&session, &line);
+            assert!(
+                response.outcome.is_err(),
+                "fuzz frames must be invalid: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! The service tier: a multi-worker analysis server over the
+//! [`twca_api`] wire protocol.
+//!
+//! The crate turns a single shared-cache [`twca_api::Session`] into a
+//! network service:
+//!
+//! - [`frame`] — bounded line-delimited framing (hostile peers cannot
+//!   force unbounded buffering),
+//! - [`pool`] — the worker pool: bounded admission queue with typed
+//!   `overloaded` rejection, per-request deadlines raised through
+//!   [`twca_api::CancelToken`]s, ordered per-connection response
+//!   delivery, graceful drain,
+//! - [`server`] — the TCP listener plus a stdio lane feeding the same
+//!   pool,
+//! - [`loadgen`] — the deterministic load generator behind
+//!   `twca loadgen` and the `service_saturation` bench,
+//! - [`fuzzing`] — the malformed-frame generator behind the
+//!   `service-robustness` oracle.
+//!
+//! Everything is `std`-only: the listener is [`std::net::TcpListener`],
+//! workers are plain OS threads, and frames are the same line-delimited
+//! JSON the stdio server already speaks.
+
+#![warn(missing_docs)]
+#![warn(clippy::pedantic)]
+#![allow(clippy::missing_panics_doc)]
+#![allow(clippy::module_name_repetitions)]
+#![allow(clippy::cast_precision_loss)]
+#![allow(clippy::cast_possible_truncation)]
+#![allow(clippy::cast_sign_loss)]
+
+pub mod frame;
+pub mod fuzzing;
+pub mod loadgen;
+pub mod pool;
+pub mod server;
+
+pub use frame::{Frame, FrameReader};
+pub use fuzzing::FrameFuzzer;
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, RequestMix};
+pub use pool::{Connection, ServiceConfig, WorkerPool};
+pub use server::{serve_connection, TcpServer};

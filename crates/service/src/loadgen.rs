@@ -1,0 +1,450 @@
+//! The load generator behind `twca loadgen` and the
+//! `service_saturation` bench: N logical request streams multiplexed
+//! over C TCP connections, fully pipelined, with per-request latency
+//! sampling.
+//!
+//! One OS thread per *connection* (not per stream) keeps 10k+
+//! concurrent streams practical on small machines: each connection
+//! carries its share of streams round-robin, a writer thread keeps the
+//! pipeline full, and the reader thread matches responses to send
+//! timestamps by order — the server guarantees per-connection response
+//! ordering, so no id bookkeeping is needed.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use twca_api::{AnalysisRequest, Json, LinkSpec, Query, SiteSpec, Target};
+
+/// What kind of requests a run drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestMix {
+    /// Uniprocessor chain-system requests only.
+    Chain,
+    /// Distributed linked-resource requests only.
+    Dist,
+    /// Alternating chain and distributed requests.
+    Mixed,
+}
+
+impl RequestMix {
+    /// Parses the CLI/wire name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<RequestMix> {
+        Some(match name {
+            "chain" => RequestMix::Chain,
+            "dist" => RequestMix::Dist,
+            "mixed" => RequestMix::Mixed,
+            _ => return None,
+        })
+    }
+}
+
+/// Knobs of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Logical request streams.
+    pub streams: usize,
+    /// Requests sent per stream.
+    pub requests_per_stream: usize,
+    /// TCP connections the streams are multiplexed over.
+    pub connections: usize,
+    /// Request kinds.
+    pub mix: RequestMix,
+    /// Seed of the deterministic request corpus.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            streams: 100,
+            requests_per_stream: 10,
+            connections: 8,
+            mix: RequestMix::Mixed,
+            seed: 42,
+        }
+    }
+}
+
+/// The deterministic request for `(stream, index)` under `mix` and
+/// `seed`. A small parameter space (the same few systems recur across
+/// streams) makes the run exercise the service tier — sharding,
+/// queueing, cache sharing — rather than raw analysis throughput.
+#[must_use]
+pub fn request_for(mix: RequestMix, seed: u64, stream: usize, index: usize) -> AnalysisRequest {
+    let variant = (seed as usize)
+        .wrapping_add(stream.wrapping_mul(31))
+        .wrapping_add(index.wrapping_mul(7));
+    let chain = match mix {
+        RequestMix::Chain => true,
+        RequestMix::Dist => false,
+        RequestMix::Mixed => (stream + index).is_multiple_of(2),
+    };
+    let id = format!("s{stream}-r{index}");
+    if chain {
+        let period = 60 + 20 * (variant % 4) as u64;
+        let wcet = 5 + (variant % 3) as u64;
+        let request = AnalysisRequest::for_system(format!(
+            "chain c periodic={period} deadline={period} sync {{ \
+             task a prio=2 wcet={wcet} task b prio=1 wcet=10 }}\n\
+             chain burst sporadic=900 overload {{ task x prio=3 wcet=15 }}"
+        ))
+        .with_id(id);
+        match variant % 3 {
+            0 => request.with_query(Query::Latency { chain: None }),
+            1 => request.with_query(Query::Dmm {
+                chain: Some("c".into()),
+                ks: vec![1, 5, 10],
+            }),
+            _ => request.with_query(Query::WeaklyHard {
+                chain: Some("c".into()),
+                m: 2,
+                k: 10,
+            }),
+        }
+    } else {
+        let period = 80 + 20 * (variant % 3) as u64;
+        AnalysisRequest {
+            id: Some(id),
+            target: Target::Distributed {
+                resources: vec![
+                    (
+                        "e0".into(),
+                        format!(
+                            "chain feed periodic={period} deadline={period} sync \
+                             {{ task f prio=1 wcet=12 }}"
+                        ),
+                    ),
+                    (
+                        "e1".into(),
+                        "chain act periodic=200 deadline=200 sync { task a prio=1 wcet=20 }".into(),
+                    ),
+                ],
+                links: vec![LinkSpec {
+                    from: SiteSpec {
+                        resource: "e0".into(),
+                        chain: "feed".into(),
+                    },
+                    to: SiteSpec {
+                        resource: "e1".into(),
+                        chain: "act".into(),
+                    },
+                }],
+            },
+            queries: vec![Query::Latency { chain: None }],
+            options: twca_api::RequestOptions::default(),
+        }
+    }
+}
+
+/// The outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests sent (and responses received).
+    pub requests: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Error responses other than `overloaded`.
+    pub errors: u64,
+    /// Typed `overloaded` rejections.
+    pub rejected: u64,
+    /// Responses that never arrived (server died mid-run).
+    pub lost: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    latencies_ns: Vec<u64>,
+}
+
+impl LoadgenReport {
+    /// Sustained request rate over the whole run.
+    #[must_use]
+    pub fn requests_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) of per-request latency in
+    /// nanoseconds; 0 when nothing completed.
+    #[must_use]
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let n = self.latencies_ns.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.latencies_ns[rank - 1]
+    }
+
+    /// Renders the human-readable report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{} request(s) in {:.3}s — {:.0} req/s\n\
+             ok {} · errors {} · rejected {} · lost {}\n\
+             latency p50 {} µs · p95 {} µs · p99 {} µs\n",
+            self.requests,
+            self.elapsed.as_secs_f64(),
+            self.requests_per_sec(),
+            self.ok,
+            self.errors,
+            self.rejected,
+            self.lost,
+            self.percentile_ns(0.50) / 1_000,
+            self.percentile_ns(0.95) / 1_000,
+            self.percentile_ns(0.99) / 1_000,
+        )
+    }
+
+    /// Serializes the report for `--json` consumers.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("requests".into(), Json::UInt(self.requests)),
+            ("ok".into(), Json::UInt(self.ok)),
+            ("errors".into(), Json::UInt(self.errors)),
+            ("rejected".into(), Json::UInt(self.rejected)),
+            ("lost".into(), Json::UInt(self.lost)),
+            (
+                "elapsed_ns".into(),
+                Json::UInt(self.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64),
+            ),
+            (
+                "requests_per_sec".into(),
+                Json::UInt(self.requests_per_sec() as u64),
+            ),
+            ("p50_ns".into(), Json::UInt(self.percentile_ns(0.50))),
+            ("p95_ns".into(), Json::UInt(self.percentile_ns(0.95))),
+            ("p99_ns".into(), Json::UInt(self.percentile_ns(0.99))),
+        ])
+    }
+}
+
+struct ConnTally {
+    ok: u64,
+    errors: u64,
+    rejected: u64,
+    lost: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// Drives `config` against the server at `addr`.
+///
+/// # Errors
+///
+/// Connection-establishment failures; mid-run losses are reported in
+/// the `lost` counter instead of aborting the run.
+pub fn run_loadgen(
+    addr: impl ToSocketAddrs + Clone,
+    config: &LoadgenConfig,
+) -> std::io::Result<LoadgenReport> {
+    let connections = config.connections.clamp(1, config.streams.max(1));
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(connections);
+    for conn_index in 0..connections {
+        let streams: Vec<usize> = (0..config.streams)
+            .filter(|s| s % connections == conn_index)
+            .collect();
+        if streams.is_empty() {
+            continue;
+        }
+        let stream = TcpStream::connect(addr.clone())?;
+        stream.set_nodelay(true)?;
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            drive_connection(stream, &streams, &config)
+        }));
+    }
+    let mut ok = 0;
+    let mut errors = 0;
+    let mut rejected = 0;
+    let mut lost = 0;
+    let mut latencies_ns = Vec::new();
+    for handle in handles {
+        let tally = handle.join().unwrap_or(ConnTally {
+            ok: 0,
+            errors: 0,
+            rejected: 0,
+            lost: 0,
+            latencies_ns: Vec::new(),
+        });
+        ok += tally.ok;
+        errors += tally.errors;
+        rejected += tally.rejected;
+        lost += tally.lost;
+        latencies_ns.extend(tally.latencies_ns);
+    }
+    latencies_ns.sort_unstable();
+    Ok(LoadgenReport {
+        requests: (config.streams * config.requests_per_stream) as u64,
+        ok,
+        errors,
+        rejected,
+        lost,
+        elapsed: started.elapsed(),
+        latencies_ns,
+    })
+}
+
+fn drive_connection(stream: TcpStream, streams: &[usize], config: &LoadgenConfig) -> ConnTally {
+    let total = streams.len() * config.requests_per_stream;
+    let sent: Arc<Mutex<VecDeque<Instant>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let writer_sent = Arc::clone(&sent);
+    let Ok(mut write_half) = stream.try_clone() else {
+        return ConnTally {
+            ok: 0,
+            errors: 0,
+            rejected: 0,
+            lost: total as u64,
+            latencies_ns: Vec::new(),
+        };
+    };
+    let my_streams = streams.to_vec();
+    let mix = config.mix;
+    let seed = config.seed;
+    let rounds = config.requests_per_stream;
+    let writer = std::thread::spawn(move || {
+        let mut line = String::new();
+        for round in 0..rounds {
+            for &s in &my_streams {
+                line.clear();
+                line.push_str(&request_for(mix, seed, s, round).to_json().to_string());
+                line.push('\n');
+                writer_sent
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push_back(Instant::now());
+                if write_half.write_all(line.as_bytes()).is_err() {
+                    return;
+                }
+            }
+        }
+        // Half-close so the server's reader sees EOF once the pipeline
+        // is drained.
+        let _ = write_half.shutdown(Shutdown::Write);
+    });
+
+    let mut tally = ConnTally {
+        ok: 0,
+        errors: 0,
+        rejected: 0,
+        lost: 0,
+        latencies_ns: Vec::with_capacity(total),
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    for _ in 0..total {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let received = Instant::now();
+        let sent_at = sent
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front();
+        if let Some(sent_at) = sent_at {
+            let ns = received
+                .saturating_duration_since(sent_at)
+                .as_nanos()
+                .min(u128::from(u64::MAX)) as u64;
+            tally.latencies_ns.push(ns);
+        }
+        match classify(&line) {
+            Outcome::Ok => tally.ok += 1,
+            Outcome::Rejected => tally.rejected += 1,
+            Outcome::Error => tally.errors += 1,
+        }
+    }
+    let _ = writer.join();
+    let answered = tally.ok + tally.errors + tally.rejected;
+    tally.lost = (total as u64).saturating_sub(answered);
+    tally
+}
+
+enum Outcome {
+    Ok,
+    Rejected,
+    Error,
+}
+
+fn classify(line: &str) -> Outcome {
+    match Json::parse(line) {
+        Err(_) => Outcome::Error,
+        Ok(value) => match value.get("error") {
+            None => Outcome::Ok,
+            Some(error) => match error.get("kind").and_then(Json::as_str) {
+                Some("overloaded") => Outcome::Rejected,
+                _ => Outcome::Error,
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ServiceConfig;
+    use crate::server::TcpServer;
+    use twca_api::Session;
+
+    #[test]
+    fn corpus_is_deterministic_and_valid() {
+        for mix in [RequestMix::Chain, RequestMix::Dist, RequestMix::Mixed] {
+            for stream in 0..4 {
+                for index in 0..4 {
+                    let a = request_for(mix, 42, stream, index);
+                    let b = request_for(mix, 42, stream, index);
+                    assert_eq!(a, b);
+                    let wire = a.to_json().to_string();
+                    let reparsed =
+                        AnalysisRequest::from_json(&Json::parse(&wire).unwrap()).unwrap();
+                    assert_eq!(a, reparsed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loadgen_round_trip_is_clean() {
+        let server =
+            TcpServer::start("127.0.0.1:0", Session::new(), &ServiceConfig::default()).unwrap();
+        let config = LoadgenConfig {
+            streams: 20,
+            requests_per_stream: 3,
+            connections: 4,
+            mix: RequestMix::Mixed,
+            seed: 7,
+        };
+        let report = run_loadgen(server.local_addr(), &config).unwrap();
+        assert_eq!(report.requests, 60);
+        assert_eq!(report.ok, 60);
+        assert_eq!(report.errors + report.rejected + report.lost, 0);
+        assert!(report.percentile_ns(0.5) <= report.percentile_ns(0.99));
+        let summary = server.shutdown(std::time::Duration::from_secs(5));
+        assert_eq!(summary.requests, 60);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn percentiles_come_from_the_sorted_tail() {
+        let report = LoadgenReport {
+            requests: 4,
+            ok: 4,
+            errors: 0,
+            rejected: 0,
+            lost: 0,
+            elapsed: Duration::from_secs(1),
+            latencies_ns: vec![10, 20, 30, 100],
+        };
+        assert_eq!(report.percentile_ns(0.50), 20);
+        assert_eq!(report.percentile_ns(0.99), 100);
+        assert_eq!(report.requests_per_sec() as u64, 4);
+    }
+}

@@ -1,0 +1,671 @@
+//! The worker pool: a bounded pending-request queue fanned out across
+//! N worker threads, each answering through a [`Session`] clone that
+//! shares one `AnalysisCache` — warm-cache hits survive sharding.
+//!
+//! Admission control and backpressure live here: a submission against
+//! a full queue is answered immediately with a typed `overloaded`
+//! error *through the same ordered response lane* as real answers, so
+//! clients see backpressure as data, never as a dropped connection.
+//! Per-request deadlines ride the existing [`CancelToken`] seam: a
+//! watchdog thread raises the token when the deadline passes, and the
+//! request streams back a typed `canceled` error whether it was still
+//! queued or already mid-analysis.
+
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use twca_api::{
+    respond_line_with, AnalysisResponse, ApiError, CancelToken, Json, LatencyStats, ServeSummary,
+    ServiceCounters, Session,
+};
+
+/// Deployment knobs of a service front end.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads answering requests (at least 1).
+    pub workers: usize,
+    /// Bounded pending-request queue capacity; submissions beyond it
+    /// are rejected with a typed `overloaded` error.
+    pub queue_capacity: usize,
+    /// Per-request deadline from admission to answer; `None` disables
+    /// the watchdog.
+    pub deadline: Option<Duration>,
+    /// Largest accepted frame (request line) in bytes.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            queue_capacity: 1024,
+            deadline: None,
+            max_frame_bytes: 1 << 20,
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A worker that panicked mid-request must not take the whole
+    // service down with lock poisoning.
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One client connection's response lane. Responses are handed in by
+/// whichever thread finishes first but written strictly in submission
+/// order; a write failure (the client is gone) retires the lane
+/// silently without touching any other connection.
+pub struct Connection {
+    out: Mutex<OutState>,
+    dead: AtomicBool,
+    retired: Condvar,
+}
+
+struct OutState {
+    writer: Box<dyn Write + Send>,
+    next_seq: u64,
+    parked: BTreeMap<u64, String>,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("dead", &self.is_dead())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Connection {
+    /// Wraps the write half of a connection.
+    #[must_use]
+    pub fn new(writer: Box<dyn Write + Send>) -> Arc<Connection> {
+        Arc::new(Connection {
+            out: Mutex::new(OutState {
+                writer,
+                next_seq: 0,
+                parked: BTreeMap::new(),
+            }),
+            dead: AtomicBool::new(false),
+            retired: Condvar::new(),
+        })
+    }
+
+    /// Whether a write has failed (the client disconnected).
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Hands in the response for submission number `seq` (0-based per
+    /// connection). It is written once every earlier submission has
+    /// been; out-of-order completions are parked until their turn.
+    pub fn deliver(&self, seq: u64, line: String) {
+        let mut out = lock(&self.out);
+        out.parked.insert(seq, line);
+        loop {
+            let next = out.next_seq;
+            let Some(line) = out.parked.remove(&next) else {
+                break;
+            };
+            out.next_seq += 1;
+            if self.dead.load(Ordering::Relaxed) {
+                continue; // keep sequencing so the lane can retire fully
+            }
+            let wrote = writeln!(out.writer, "{line}").and_then(|()| out.writer.flush());
+            if wrote.is_err() {
+                self.dead.store(true, Ordering::Relaxed);
+            }
+        }
+        self.retired.notify_all();
+    }
+
+    /// Blocks until the responses of submissions `0..count` have all
+    /// passed through the lane (written or, on a dead lane, retired).
+    /// Lets a front end half-close the connection's write side only
+    /// once everything admitted has been answered.
+    pub fn await_retired(&self, count: u64) {
+        let mut out = lock(&self.out);
+        while out.next_seq < count {
+            out = self
+                .retired
+                .wait(out)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+struct Job {
+    seq: u64,
+    line: String,
+    conn: Arc<Connection>,
+    cancel: CancelToken,
+    submitted: Instant,
+}
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    ready: Condvar,
+    errors: AtomicU64,
+    capacity: usize,
+}
+
+/// A deadline entry, min-ordered by expiry instant so the earliest
+/// deadline sits on top of the watchdog's heap.
+struct Expiry {
+    at: Instant,
+    token: CancelToken,
+}
+
+impl PartialEq for Expiry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for Expiry {}
+impl PartialOrd for Expiry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Expiry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at) // reversed: BinaryHeap pops the earliest
+    }
+}
+
+struct WatchdogShared {
+    state: Mutex<(BinaryHeap<Expiry>, bool)>,
+    wake: Condvar,
+}
+
+struct Watchdog {
+    shared: Option<Arc<WatchdogShared>>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Watchdog {
+    fn disabled() -> Watchdog {
+        Watchdog {
+            shared: None,
+            handle: Mutex::new(None),
+        }
+    }
+
+    fn start() -> Watchdog {
+        let shared = Arc::new(WatchdogShared {
+            state: Mutex::new((BinaryHeap::new(), false)),
+            wake: Condvar::new(),
+        });
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            let mut guard = lock(&worker.state);
+            loop {
+                if guard.1 {
+                    break;
+                }
+                let now = Instant::now();
+                while guard.0.peek().is_some_and(|e| e.at <= now) {
+                    let expired = guard.0.pop().expect("peeked");
+                    expired.token.cancel();
+                }
+                guard = match guard.0.peek() {
+                    Some(next) => {
+                        let timeout = next.at.saturating_duration_since(now);
+                        worker
+                            .wake
+                            .wait_timeout(guard, timeout)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .0
+                    }
+                    None => worker
+                        .wake
+                        .wait(guard)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                };
+            }
+        });
+        Watchdog {
+            shared: Some(shared),
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    fn register(&self, at: Instant, token: CancelToken) {
+        if let Some(shared) = &self.shared {
+            lock(&shared.state).0.push(Expiry { at, token });
+            shared.wake.notify_one();
+        }
+    }
+
+    fn stop(&self) {
+        if let Some(shared) = &self.shared {
+            lock(&shared.state).1 = true;
+            shared.wake.notify_all();
+        }
+        if let Some(handle) = lock(&self.handle).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The sharded multi-worker request engine; see the module docs.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    counters: Arc<ServiceCounters>,
+    deadline: Option<Duration>,
+    watchdog: Watchdog,
+    workers: Mutex<Vec<JoinHandle<LatencyStats>>>,
+    summary: Mutex<Option<ServeSummary>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("capacity", &self.shared.capacity)
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `config.workers` threads, each owning a clone of
+    /// `session` (the clones share one cache and one set of service
+    /// counters).
+    #[must_use]
+    pub fn new(session: Session, config: &ServiceConfig) -> WorkerPool {
+        let counters = Arc::new(ServiceCounters::new());
+        let session = session.with_service_counters(Arc::clone(&counters));
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            errors: AtomicU64::new(0),
+            capacity: config.queue_capacity.max(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let counters = Arc::clone(&counters);
+                let session = session.clone();
+                std::thread::spawn(move || worker_loop(&shared, &counters, &session))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            counters,
+            deadline: config.deadline,
+            watchdog: match config.deadline {
+                Some(_) => Watchdog::start(),
+                None => Watchdog::disabled(),
+            },
+            workers: Mutex::new(workers),
+            summary: Mutex::new(None),
+        }
+    }
+
+    /// The pool's shared observability counters.
+    pub fn counters(&self) -> Arc<ServiceCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Submits request line number `seq` of `conn`. Never fails: a
+    /// full or closed queue answers with a typed `overloaded` error on
+    /// the connection's ordered lane.
+    pub fn submit(&self, conn: &Arc<Connection>, seq: u64, line: String) {
+        {
+            let mut state = lock(&self.shared.state);
+            if !state.closed && state.jobs.len() < self.shared.capacity {
+                self.counters.record_admitted();
+                let cancel = CancelToken::new();
+                if let Some(deadline) = self.deadline {
+                    self.watchdog
+                        .register(Instant::now() + deadline, cancel.clone());
+                }
+                state.jobs.push_back(Job {
+                    seq,
+                    line,
+                    conn: Arc::clone(conn),
+                    cancel,
+                    submitted: Instant::now(),
+                });
+                drop(state);
+                self.shared.ready.notify_one();
+                return;
+            }
+            // Rejected: fall through without the queue lock held (the
+            // client write below must not serialize admission).
+            if state.closed {
+                drop(state);
+                self.reject(conn, seq, &line, ApiError::draining());
+            } else {
+                drop(state);
+                self.reject(conn, seq, &line, ApiError::overloaded(self.shared.capacity));
+            }
+        }
+    }
+
+    fn reject(&self, conn: &Arc<Connection>, seq: u64, line: &str, error: ApiError) {
+        self.counters.record_rejected();
+        self.shared.errors.fetch_add(1, Ordering::Relaxed);
+        // Echo the id when one is recoverable, as respond_line does.
+        let id = Json::parse(line)
+            .ok()
+            .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_owned));
+        conn.deliver(
+            seq,
+            AnalysisResponse::error(id, error).to_json().to_string(),
+        );
+    }
+
+    /// Answers submission `seq` with a locally produced error, without
+    /// queueing (used for oversized frames the reader already
+    /// discarded). Counts as one served, errored request.
+    pub fn respond_local_error(&self, conn: &Arc<Connection>, seq: u64, error: ApiError) {
+        self.counters.record_admitted();
+        self.counters.record_served();
+        self.shared.errors.fetch_add(1, Ordering::Relaxed);
+        conn.deliver(
+            seq,
+            AnalysisResponse::error(None, error).to_json().to_string(),
+        );
+    }
+
+    /// Graceful drain: closes admission (new submissions become typed
+    /// `overloaded` errors), answers everything already queued, joins
+    /// the workers, and summarizes. Idempotent.
+    pub fn shutdown(&self) -> ServeSummary {
+        let mut slot = lock(&self.summary);
+        if let Some(summary) = *slot {
+            return summary;
+        }
+        lock(&self.shared.state).closed = true;
+        self.shared.ready.notify_all();
+        let mut latency = LatencyStats::default();
+        for handle in lock(&self.workers).drain(..) {
+            if let Ok(stats) = handle.join() {
+                latency.merge(&stats);
+            }
+        }
+        self.watchdog.stop();
+        let (served, rejected, _) = self.counters.snapshot();
+        let summary = ServeSummary {
+            requests: (served + rejected) as usize,
+            errors: self.shared.errors.load(Ordering::Relaxed) as usize,
+            latency,
+        };
+        *slot = Some(summary);
+        summary
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared, counters: &ServiceCounters, session: &Session) -> LatencyStats {
+    let mut latency = LatencyStats::default();
+    loop {
+        let job = {
+            let mut state = lock(&shared.state);
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.closed {
+                    return latency;
+                }
+                state = shared
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let response = respond_line_with(session, &job.line, Some(&job.cancel));
+        if response.outcome.is_err() {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        counters.record_served();
+        latency.record(job.submitted.elapsed());
+        job.conn.deliver(job.seq, response.to_json().to_string());
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A shared in-memory sink usable as a connection writer.
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedSink(pub Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            lock(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedSink {
+        pub(crate) fn text(&self) -> String {
+            String::from_utf8_lossy(&lock(&self.0)).into_owned()
+        }
+    }
+
+    const CHAIN: &str = "chain c periodic=100 deadline=100 { task t prio=1 wcet=10 }";
+
+    fn request_line(id: &str) -> String {
+        format!("{{\"id\": \"{id}\", \"system\": \"{CHAIN}\"}}")
+    }
+
+    #[test]
+    fn responses_come_back_in_submission_order() {
+        let pool = WorkerPool::new(
+            Session::new(),
+            &ServiceConfig {
+                workers: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let sink = SharedSink::default();
+        let conn = Connection::new(Box::new(sink.clone()));
+        for i in 0..20 {
+            pool.submit(&conn, i, request_line(&format!("r{i}")));
+        }
+        let summary = pool.shutdown();
+        assert_eq!(summary.requests, 20);
+        assert_eq!(summary.errors, 0);
+        assert_eq!(summary.latency.count, 20);
+        let ids: Vec<String> = sink
+            .text()
+            .lines()
+            .map(|line| {
+                AnalysisResponse::from_json(&Json::parse(line).unwrap())
+                    .unwrap()
+                    .id
+                    .unwrap()
+            })
+            .collect();
+        let expected: Vec<String> = (0..20).map(|i| format!("r{i}")).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn queue_overflow_is_a_typed_overloaded_error() {
+        // Zero workers are clamped to one, but a closed... keep the
+        // queue tiny and flood it before workers can drain: use a
+        // 1-capacity queue and many submissions; at least one must be
+        // rejected with the typed kind, and every submission must be
+        // answered.
+        let pool = WorkerPool::new(
+            Session::new(),
+            &ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let sink = SharedSink::default();
+        let conn = Connection::new(Box::new(sink.clone()));
+        for i in 0..50 {
+            pool.submit(&conn, i, request_line(&format!("r{i}")));
+        }
+        let summary = pool.shutdown();
+        assert_eq!(summary.requests, 50, "rejections still count as requests");
+        let responses: Vec<AnalysisResponse> = sink
+            .text()
+            .lines()
+            .map(|l| AnalysisResponse::from_json(&Json::parse(l).unwrap()).unwrap())
+            .collect();
+        assert_eq!(responses.len(), 50, "every submission draws a response");
+        let rejected = responses
+            .iter()
+            .filter(
+                |r| matches!(&r.outcome, Err(e) if e.kind == twca_api::ApiErrorKind::Overloaded),
+            )
+            .count();
+        assert!(
+            rejected > 0,
+            "a 1-deep queue under 50 submissions must reject"
+        );
+        assert_eq!(summary.errors, rejected);
+        // Rejections echo the id for correlation.
+        let overloaded = responses
+            .iter()
+            .find(|r| matches!(&r.outcome, Err(e) if e.kind == twca_api::ApiErrorKind::Overloaded))
+            .unwrap();
+        assert!(overloaded.id.is_some());
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_draining_errors() {
+        let pool = WorkerPool::new(Session::new(), &ServiceConfig::default());
+        pool.shutdown();
+        let sink = SharedSink::default();
+        let conn = Connection::new(Box::new(sink.clone()));
+        pool.submit(&conn, 0, request_line("late"));
+        let response =
+            AnalysisResponse::from_json(&Json::parse(sink.text().lines().next().unwrap()).unwrap())
+                .unwrap();
+        let error = response.outcome.unwrap_err();
+        assert_eq!(error.kind, twca_api::ApiErrorKind::Overloaded);
+        assert!(error.message.contains("shutting down"), "{error}");
+    }
+
+    #[test]
+    fn expired_deadlines_cancel_queued_work() {
+        let pool = WorkerPool::new(
+            Session::new(),
+            &ServiceConfig {
+                workers: 1,
+                deadline: Some(Duration::from_millis(0)),
+                ..ServiceConfig::default()
+            },
+        );
+        let sink = SharedSink::default();
+        let conn = Connection::new(Box::new(sink.clone()));
+        // An already-expired deadline: the watchdog raises the token
+        // before (or while) the worker runs, and the answer must be a
+        // typed canceled error, not a hang or a dropped line.
+        std::thread::sleep(Duration::from_millis(5));
+        for i in 0..5 {
+            pool.submit(&conn, i, request_line(&format!("r{i}")));
+        }
+        let summary = pool.shutdown();
+        assert_eq!(summary.requests, 5);
+        let canceled = sink
+            .text()
+            .lines()
+            .map(|l| AnalysisResponse::from_json(&Json::parse(l).unwrap()).unwrap())
+            .filter(|r| matches!(&r.outcome, Err(e) if e.kind == twca_api::ApiErrorKind::Canceled))
+            .count();
+        assert_eq!(
+            canceled, 5,
+            "expired deadlines produce typed canceled errors"
+        );
+    }
+
+    #[test]
+    fn a_dead_connection_never_poisons_others() {
+        struct BrokenPipe;
+        impl Write for BrokenPipe {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "client gone",
+                ))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let pool = WorkerPool::new(Session::new(), &ServiceConfig::default());
+        let broken = Connection::new(Box::new(BrokenPipe));
+        let sink = SharedSink::default();
+        let healthy = Connection::new(Box::new(sink.clone()));
+        for i in 0..10 {
+            pool.submit(&broken, i, request_line(&format!("b{i}")));
+            pool.submit(&healthy, i, request_line(&format!("h{i}")));
+        }
+        let summary = pool.shutdown();
+        assert!(broken.is_dead());
+        assert!(!healthy.is_dead());
+        assert_eq!(summary.requests, 20, "dead-lane answers still count");
+        assert_eq!(sink.text().lines().count(), 10);
+    }
+
+    #[test]
+    fn pool_cache_is_shared_across_workers() {
+        let session = Session::new();
+        let cache = session.cache();
+        let pool = WorkerPool::new(
+            session,
+            &ServiceConfig {
+                workers: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let sink = SharedSink::default();
+        let conn = Connection::new(Box::new(sink.clone()));
+        let line =
+            format!("{{\"system\": \"{CHAIN}\", \"queries\": [{{\"dmm\": {{\"ks\": [10]}}}}]}}");
+        for i in 0..16 {
+            pool.submit(&conn, i, line.clone());
+        }
+        pool.shutdown();
+        assert!(cache.stats().hits > 0, "workers must share one cache");
+    }
+
+    #[test]
+    fn stats_queries_see_the_pool_counters() {
+        let pool = WorkerPool::new(Session::new(), &ServiceConfig::default());
+        let sink = SharedSink::default();
+        let conn = Connection::new(Box::new(sink.clone()));
+        pool.submit(&conn, 0, request_line("warm"));
+        pool.submit(&conn, 1, "{\"queries\": [{\"stats\": {}}]}".into());
+        pool.shutdown();
+        let last = sink.text().lines().last().unwrap().to_owned();
+        let response = AnalysisResponse::from_json(&Json::parse(&last).unwrap()).unwrap();
+        let outcomes = response.outcome.unwrap();
+        let twca_api::QueryOutcome::Stats(stats) = outcomes[0] else {
+            panic!("expected stats outcome");
+        };
+        assert!(stats.served >= 1);
+    }
+}

@@ -1,0 +1,293 @@
+//! The front ends: a TCP listener and a stdio lane, both feeding the
+//! same [`WorkerPool`].
+//!
+//! Shutdown semantics: [`TcpServer::shutdown`] first stops accepting,
+//! then gives connected clients a grace period to finish their input
+//! streams, then half-closes stragglers' read sides (their queued work
+//! is still answered — the write halves stay open until the pool has
+//! drained). Nothing admitted is ever silently dropped.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use twca_api::{ApiError, ServeSummary, Session};
+
+use crate::frame::{Frame, FrameReader};
+use crate::pool::{Connection, ServiceConfig, WorkerPool};
+
+/// Reads frames from `input`, submits them to `pool`, and streams the
+/// ordered responses into `writer`. Returns once the input is
+/// exhausted (or errors, or the client stops reading responses) *and*
+/// every frame submitted up to that point has been answered — so a
+/// front end may close the connection as soon as this returns.
+pub fn serve_connection(
+    pool: &WorkerPool,
+    input: impl BufRead,
+    writer: Box<dyn Write + Send>,
+    max_frame_bytes: usize,
+) {
+    let conn = Connection::new(writer);
+    let mut reader = FrameReader::new(input, max_frame_bytes);
+    let mut seq = 0u64;
+    loop {
+        if conn.is_dead() {
+            break;
+        }
+        match reader.next_frame() {
+            Err(_) | Ok(None) => break,
+            Ok(Some(Frame::Line(line))) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                pool.submit(&conn, seq, line);
+                seq += 1;
+            }
+            Ok(Some(Frame::Oversized { bytes })) => {
+                pool.respond_local_error(
+                    &conn,
+                    seq,
+                    ApiError::request(format!(
+                        "frame too large: {bytes} byte(s) exceed the \
+                         {max_frame_bytes} byte frame limit"
+                    )),
+                );
+                seq += 1;
+            }
+        }
+    }
+    conn.await_retired(seq);
+}
+
+/// Live connections: each entry keeps the accepted stream (for the
+/// shutdown half-close) next to its reader thread's handle.
+type ReaderRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// A running TCP front end over a [`WorkerPool`].
+#[derive(Debug)]
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    readers: ReaderRegistry,
+    pool: Arc<WorkerPool>,
+    max_frame_bytes: usize,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts accepting connections, each served by a reader thread
+    /// over the shared pool.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors of the bind itself.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        session: Session,
+        config: &ServiceConfig,
+    ) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let pool = Arc::new(WorkerPool::new(session, config));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: ReaderRegistry = Arc::new(Mutex::new(Vec::new()));
+        let max_frame_bytes = config.max_frame_bytes;
+        let accept = {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            let readers = Arc::clone(&readers);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let _ = stream.set_nonblocking(false);
+                            let _ = stream.set_nodelay(true);
+                            let Ok(tracked) = stream.try_clone() else {
+                                continue;
+                            };
+                            let pool = Arc::clone(&pool);
+                            let handle = std::thread::spawn(move || {
+                                let Ok(writer) = stream.try_clone() else {
+                                    return;
+                                };
+                                let Ok(closer) = stream.try_clone() else {
+                                    return;
+                                };
+                                serve_connection(
+                                    &pool,
+                                    BufReader::new(stream),
+                                    Box::new(writer),
+                                    max_frame_bytes,
+                                );
+                                // Everything admitted has been answered;
+                                // let the client see EOF. (Clones keep
+                                // the fd alive, so an explicit
+                                // half-close is needed.)
+                                let _ = closer.shutdown(Shutdown::Write);
+                            });
+                            readers
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push((tracked, handle));
+                        }
+                        // Nonblocking accept: poll so the stop flag is
+                        // honored promptly and portably.
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+        };
+        Ok(TcpServer {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            readers,
+            pool,
+            max_frame_bytes,
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared pool, e.g. to serve an extra stdio lane through it.
+    #[must_use]
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The configured frame cap, for extra lanes.
+    #[must_use]
+    pub fn max_frame_bytes(&self) -> usize {
+        self.max_frame_bytes
+    }
+
+    /// Graceful drain: stops accepting, waits up to `grace` for
+    /// clients to finish their input streams, half-closes the read
+    /// side of stragglers, answers everything admitted, and
+    /// summarizes.
+    #[must_use]
+    pub fn shutdown(mut self, grace: Duration) -> ServeSummary {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let deadline = Instant::now() + grace;
+        loop {
+            let all_done = self
+                .readers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .iter()
+                .all(|(_, handle)| handle.is_finished());
+            if all_done || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let readers = std::mem::take(
+            &mut *self
+                .readers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for (stream, handle) in readers {
+            // Stop further submissions from stragglers; their write
+            // half stays open so drained answers still reach them.
+            let _ = stream.shutdown(Shutdown::Read);
+            let _ = handle.join();
+        }
+        self.pool.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_api::{AnalysisResponse, Json};
+
+    const CHAIN: &str = "chain c periodic=100 deadline=100 { task t prio=1 wcet=10 }";
+
+    fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    #[test]
+    fn tcp_round_trip_serves_ordered_responses() {
+        let server =
+            TcpServer::start("127.0.0.1:0", Session::new(), &ServiceConfig::default()).unwrap();
+        let (mut stream, mut reader) = connect(server.local_addr());
+        for i in 0..5 {
+            writeln!(stream, "{{\"id\": \"t{i}\", \"system\": \"{CHAIN}\"}}").unwrap();
+        }
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut ids = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            let response = AnalysisResponse::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert!(response.outcome.is_ok());
+            ids.push(response.id.unwrap());
+        }
+        assert_eq!(ids, ["t0", "t1", "t2", "t3", "t4"]);
+        let summary = server.shutdown(Duration::from_secs(5));
+        assert_eq!(summary.requests, 5);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn oversized_tcp_frames_draw_typed_errors_and_the_stream_survives() {
+        let config = ServiceConfig {
+            max_frame_bytes: 256,
+            ..ServiceConfig::default()
+        };
+        let server = TcpServer::start("127.0.0.1:0", Session::new(), &config).unwrap();
+        let (mut stream, mut reader) = connect(server.local_addr());
+        let huge = "x".repeat(1000);
+        writeln!(stream, "{huge}").unwrap();
+        writeln!(stream, "{{\"id\": \"after\", \"system\": \"{CHAIN}\"}}").unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let first = AnalysisResponse::from_json(&Json::parse(&line).unwrap()).unwrap();
+        let error = first.outcome.unwrap_err();
+        assert_eq!(error.kind, twca_api::ApiErrorKind::Request);
+        assert!(error.message.contains("frame too large"), "{error}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let second = AnalysisResponse::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(second.id.as_deref(), Some("after"));
+        assert!(second.outcome.is_ok());
+        server.shutdown(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn stdio_lane_shares_the_tcp_pool() {
+        let server =
+            TcpServer::start("127.0.0.1:0", Session::new(), &ServiceConfig::default()).unwrap();
+        let input = format!("{{\"id\": \"s\", \"system\": \"{CHAIN}\"}}\n");
+        let sink = crate::pool::tests::SharedSink::default();
+        serve_connection(
+            server.pool(),
+            input.as_bytes(),
+            Box::new(sink.clone()),
+            server.max_frame_bytes(),
+        );
+        let summary = server.shutdown(Duration::from_secs(5));
+        assert_eq!(summary.requests, 1);
+        assert!(sink.text().contains("\"id\": \"s\""));
+    }
+}

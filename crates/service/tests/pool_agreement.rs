@@ -1,0 +1,120 @@
+//! Satellite 3: K parallel connections against one shared-cache pool
+//! must produce responses bit-identical to a serial single-session
+//! replay, and a mid-connection disconnect must never poison other
+//! connections.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use twca_api::{respond_line, Session};
+use twca_service::loadgen::request_for;
+use twca_service::{RequestMix, ServiceConfig, TcpServer};
+
+const CONNECTIONS: usize = 6;
+const PER_CONNECTION: usize = 8;
+
+fn drive(addr: std::net::SocketAddr, conn: usize) -> (Vec<String>, Vec<String>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut requests = Vec::new();
+    for index in 0..PER_CONNECTION {
+        let line = request_for(RequestMix::Mixed, 3, conn, index)
+            .to_json()
+            .to_string();
+        writeln!(stream, "{line}").unwrap();
+        requests.push(line);
+    }
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut responses = Vec::new();
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf).unwrap() == 0 {
+            break;
+        }
+        responses.push(buf.trim_end().to_owned());
+    }
+    (requests, responses)
+}
+
+#[test]
+fn parallel_pool_responses_match_serial_replay_bit_for_bit() {
+    let server = TcpServer::start(
+        "127.0.0.1:0",
+        Session::new(),
+        &ServiceConfig {
+            workers: 4,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..CONNECTIONS)
+        .map(|conn| std::thread::spawn(move || drive(addr, conn)))
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let summary = server.shutdown(Duration::from_secs(10));
+    assert_eq!(summary.requests, CONNECTIONS * PER_CONNECTION);
+    assert_eq!(summary.errors, 0);
+
+    // Replay the same requests serially on one fresh session: every
+    // pooled response must be byte-identical, independent of which
+    // worker answered and how warm the shared cache was.
+    let serial = Session::new();
+    for (requests, responses) in results {
+        assert_eq!(requests.len(), responses.len());
+        for (request, response) in requests.iter().zip(&responses) {
+            let expected = respond_line(&serial, request).to_json().to_string();
+            assert_eq!(response, &expected);
+        }
+    }
+}
+
+#[test]
+fn mid_connection_disconnect_never_poisons_other_connections() {
+    let server = TcpServer::start(
+        "127.0.0.1:0",
+        Session::new(),
+        &ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // Rude clients: pipeline requests, then slam the connection shut
+    // without reading a single response (close-with-unread-data sends
+    // RST on most stacks, so server writes fail hard).
+    let rude: Vec<_> = (0..3)
+        .map(|conn| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                for index in 0..PER_CONNECTION {
+                    let line = request_for(RequestMix::Chain, 5, conn, index)
+                        .to_json()
+                        .to_string();
+                    if writeln!(stream, "{line}").is_err() {
+                        break;
+                    }
+                }
+                drop(stream);
+            })
+        })
+        .collect();
+
+    // A healthy client runs concurrently and must see every one of its
+    // responses, in order, bit-identical to a serial replay.
+    let (requests, responses) = drive(addr, 9);
+    for handle in rude {
+        handle.join().unwrap();
+    }
+    assert_eq!(responses.len(), requests.len());
+    let serial = Session::new();
+    for (request, response) in requests.iter().zip(&responses) {
+        let expected = respond_line(&serial, request).to_json().to_string();
+        assert_eq!(response, &expected);
+    }
+    server.shutdown(Duration::from_secs(10));
+}

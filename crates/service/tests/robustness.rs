@@ -1,0 +1,78 @@
+//! Satellite 4: the malformed/truncated/oversized frame battery driven
+//! through the real socket path. Every hostile frame must draw exactly
+//! one typed error response — no panics, no dropped connections — and
+//! a valid request after the battery must still be answered.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use twca_api::{AnalysisResponse, Json, Session};
+use twca_service::{FrameFuzzer, ServiceConfig, TcpServer};
+
+#[test]
+fn the_socket_survives_a_malformed_frame_battery() {
+    let config = ServiceConfig {
+        workers: 2,
+        max_frame_bytes: 4096,
+        ..ServiceConfig::default()
+    };
+    let server = TcpServer::start("127.0.0.1:0", Session::new(), &config).unwrap();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let mut fuzzer = FrameFuzzer::new(99);
+    let mut sent = 0usize;
+    // Interleave reading with writing so neither side's socket buffer
+    // can fill up and deadlock the pipeline.
+    let drain = |reader: &mut BufReader<TcpStream>, upto: &mut usize, sent: usize| {
+        let mut line = String::new();
+        let mut errors = 0;
+        while *upto < sent {
+            line.clear();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                panic!("connection died after {upto} responses");
+            }
+            let response = AnalysisResponse::from_json(&Json::parse(&line).unwrap())
+                .unwrap_or_else(|e| panic!("untyped response {line:?}: {e}"));
+            assert!(response.outcome.is_err(), "hostile frame accepted: {line}");
+            errors += 1;
+            *upto += 1;
+        }
+        errors
+    };
+    let mut answered = 0usize;
+    for batch in 0..10 {
+        for frame in fuzzer.frames(30) {
+            stream.write_all(&frame).unwrap();
+            stream.write_all(b"\n").unwrap();
+            sent += 1;
+        }
+        if batch % 2 == 1 {
+            let big = fuzzer.oversized(config.max_frame_bytes);
+            stream.write_all(&big).unwrap();
+            stream.write_all(b"\n").unwrap();
+            sent += 1;
+        }
+        drain(&mut reader, &mut answered, sent);
+    }
+    assert_eq!(answered, sent);
+
+    // The stream must still serve a valid request after the battery.
+    writeln!(
+        stream,
+        "{{\"id\": \"alive\", \"system\": \
+         \"chain c periodic=100 deadline=100 {{ task t prio=1 wcet=10 }}\"}}"
+    )
+    .unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let response = AnalysisResponse::from_json(&Json::parse(&line).unwrap()).unwrap();
+    assert_eq!(response.id.as_deref(), Some("alive"));
+    assert!(response.outcome.is_ok());
+
+    let summary = server.shutdown(Duration::from_secs(10));
+    assert_eq!(summary.requests, sent + 1);
+    assert_eq!(summary.errors, sent);
+}

@@ -12,7 +12,7 @@
 //!    processors, degenerate chains, bursty/jittery activation,
 //!    overload-dominated load, and distributed topologies (linear,
 //!    star, tree).
-//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — nine
+//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — ten
 //!    independent ways the suite could disagree with itself:
 //!    * analysis bound ≥ simulated behaviour on every trace
 //!      ([`OracleKind::SimSoundness`]);
@@ -37,7 +37,11 @@
 //!      on every trace battery ([`OracleKind::SimAgreement`]);
 //!    * empirical Monte Carlo miss rates stay under the analytic
 //!      `dmm(k)` and WCL bounds
-//!      ([`OracleKind::MissRateSoundness`]).
+//!      ([`OracleKind::MissRateSoundness`]);
+//!    * the service tier answers the scenario bit-identically to a
+//!      direct session and survives a malformed-frame battery with
+//!      typed errors only
+//!      ([`OracleKind::ServiceRobustness`]).
 //! 3. **Shrinking** ([`shrink_system`], [`shrink_body`]) — failing
 //!    scenarios are greedily minimized (chains, tasks, activation
 //!    models, WCETs) while still tripping the same oracle.

@@ -1,13 +1,15 @@
 //! The differential oracle battery: every generated scenario is checked
-//! against nine independent ways the suite could disagree with itself.
+//! against ten independent ways the suite could disagree with itself.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::scenario::ScenarioBody;
-use twca_api::{AnalysisRequest, Query, QueryOutcome, Session, Target};
+use twca_api::{
+    respond_line, AnalysisRequest, AnalysisResponse, Json, Query, QueryOutcome, Session, Target,
+};
 use twca_chains::{
     latency_analysis, AnalysisCache, AnalysisContext, AnalysisOptions, DmmResult, DmmSweep,
     OverloadMode,
@@ -20,7 +22,7 @@ use twca_sim::{
     Simulation, TraceSet,
 };
 
-/// The nine oracles of the conformance battery.
+/// The ten oracles of the conformance battery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// Analytic bounds must dominate every simulated trace: observed
@@ -64,11 +66,18 @@ pub enum OracleKind {
     /// worst miss count in any `k`-window stays ≤ `dmm(k)` and the worst
     /// observed latency stays ≤ the analytic WCL.
     MissRateSoundness,
+    /// The service tier must be a transparent wire veneer: driving the
+    /// scenario through a [`twca_service::WorkerPool`] connection —
+    /// interleaved with a malformed/oversized frame battery — must
+    /// answer every hostile frame with a typed error, never drop or
+    /// reorder a response, and return the valid request's response
+    /// bit-identical to a direct [`Session`] answering the same line.
+    ServiceRobustness,
 }
 
 impl OracleKind {
     /// Every oracle, in reporting order.
-    pub const ALL: [OracleKind; 9] = [
+    pub const ALL: [OracleKind; 10] = [
         OracleKind::SimSoundness,
         OracleKind::CacheAgreement,
         OracleKind::ParallelAgreement,
@@ -78,6 +87,7 @@ impl OracleKind {
         OracleKind::SolverAgreement,
         OracleKind::SimAgreement,
         OracleKind::MissRateSoundness,
+        OracleKind::ServiceRobustness,
     ];
 
     /// A short stable name for reports and corpus headers.
@@ -92,6 +102,7 @@ impl OracleKind {
             OracleKind::SolverAgreement => "solver-agreement",
             OracleKind::SimAgreement => "sim-agreement",
             OracleKind::MissRateSoundness => "miss-rate-soundness",
+            OracleKind::ServiceRobustness => "service-robustness",
         }
     }
 }
@@ -243,9 +254,152 @@ fn chain_verdicts(ctx: &AnalysisContext<'_>, opts: &VerifyOptions) -> ChainVerdi
 /// disagreement between two components that must agree (or, under a
 /// [`Fault`], the harness catching the injected bug).
 pub fn check_scenario(body: &ScenarioBody, opts: &VerifyOptions) -> Vec<Violation> {
-    match body {
+    let mut violations = match body {
         ScenarioBody::Uni(system) => check_uni(system, opts),
         ScenarioBody::Dist(dist) => check_dist(dist, opts),
+    };
+    check_service_robustness(body, opts, &mut violations);
+    violations
+}
+
+/// A capture sink for the service-robustness oracle: the pool's worker
+/// threads write ordered response lines here.
+#[derive(Clone, Default)]
+struct CapturedOutput(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for CapturedOutput {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Oracle 10: the service tier is a transparent veneer over the direct
+/// API. The scenario's request — sandwiched between malformed frames
+/// and an oversized frame — is driven through a real [`WorkerPool`]
+/// connection; every hostile frame must draw exactly one typed error,
+/// the stream must survive, and both copies of the valid request must
+/// come back bit-identical to [`respond_line`] on a fresh session.
+fn check_service_robustness(
+    body: &ScenarioBody,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    use twca_service::{serve_connection, FrameFuzzer, ServiceConfig, WorkerPool};
+
+    let queries = vec![
+        Query::Latency { chain: None },
+        Query::Dmm {
+            chain: None,
+            ks: opts.ks.clone(),
+        },
+    ];
+    let request = match body {
+        ScenarioBody::Uni(system) => AnalysisRequest::for_system(twca_model::render_system(system)),
+        ScenarioBody::Dist(dist) => {
+            AnalysisRequest::for_dist_text(twca_dist::render_distributed(dist))
+        }
+    };
+    let request = AnalysisRequest { queries, ..request }.with_id("scenario");
+    let line = request.to_json().to_string();
+
+    // The reference answer: a direct session, no wire in between.
+    // Analysis failures are fine — the service must then relay the
+    // *same* typed error, so agreement is still bit-for-bit.
+    let mk_session = || {
+        Session::new()
+            .with_options(opts.options)
+            .with_max_sweeps(opts.max_sweeps)
+    };
+    let expected = respond_line(&mk_session(), &line).to_json().to_string();
+
+    // Keep the oversized frame cheap: a limit just above the valid
+    // request instead of the production 1 MiB default.
+    let max_frame_bytes = (line.len() + 1024).max(4096);
+    let mut fuzzer = FrameFuzzer::new(opts.seed);
+    let mut input: Vec<u8> = Vec::new();
+    // `true` marks positions whose response must equal `expected`.
+    let mut valid = Vec::new();
+    for round in 0..2 {
+        for frame in fuzzer.frames(6) {
+            input.extend_from_slice(&frame);
+            input.push(b'\n');
+            valid.push(false);
+        }
+        if round == 0 {
+            input.extend_from_slice(&fuzzer.oversized(max_frame_bytes));
+            input.push(b'\n');
+            valid.push(false);
+        }
+        input.extend_from_slice(line.as_bytes());
+        input.push(b'\n');
+        valid.push(true);
+    }
+
+    let pool = WorkerPool::new(
+        mk_session(),
+        &ServiceConfig {
+            workers: 2,
+            deadline: None,
+            max_frame_bytes,
+            ..ServiceConfig::default()
+        },
+    );
+    let sink = CapturedOutput::default();
+    serve_connection(
+        &pool,
+        input.as_slice(),
+        Box::new(sink.clone()),
+        max_frame_bytes,
+    );
+    let summary = pool.shutdown();
+
+    let output = String::from_utf8_lossy(&sink.0.lock().unwrap()).into_owned();
+    let responses: Vec<&str> = output.lines().collect();
+    if responses.len() != valid.len() || summary.requests != valid.len() {
+        violations.push(Violation {
+            oracle: OracleKind::ServiceRobustness,
+            detail: format!(
+                "response accounting broke: {} frame(s) sent, {} response line(s) \
+                 received, summary says {} request(s)",
+                valid.len(),
+                responses.len(),
+                summary.requests
+            ),
+        });
+        return;
+    }
+    for (index, (response, &is_valid)) in responses.iter().zip(&valid).enumerate() {
+        if is_valid {
+            if *response != expected {
+                violations.push(Violation {
+                    oracle: OracleKind::ServiceRobustness,
+                    detail: format!(
+                        "service response #{index} diverged from the direct session: \
+                         {response} vs {expected}"
+                    ),
+                });
+            }
+            continue;
+        }
+        let typed = Json::parse(response)
+            .ok()
+            .and_then(|json| AnalysisResponse::from_json(&json).ok());
+        match typed {
+            Some(parsed) if parsed.outcome.is_err() => {}
+            Some(_) => violations.push(Violation {
+                oracle: OracleKind::ServiceRobustness,
+                detail: format!("hostile frame #{index} was accepted: {response}"),
+            }),
+            None => violations.push(Violation {
+                oracle: OracleKind::ServiceRobustness,
+                detail: format!("hostile frame #{index} drew an untyped response: {response}"),
+            }),
+        }
     }
 }
 
