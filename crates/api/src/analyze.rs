@@ -37,7 +37,7 @@ pub struct QueryEnv<'a> {
 }
 
 impl QueryEnv<'_> {
-    fn dist_options(&self) -> DistOptions {
+    pub(crate) fn dist_options(&self) -> DistOptions {
         DistOptions {
             chain_options: self.options,
             max_sweeps: self.max_sweeps,
@@ -278,6 +278,11 @@ impl Analyze for ChainBackend<'_> {
                 )))
             }
             Query::Stats => Ok(QueryOutcome::Stats(env.session.stats_outcome())),
+            // The session intercepts store queries before backend
+            // dispatch; reaching a backend directly is a misuse.
+            Query::StorePut { .. } | Query::StoreAnalyze { .. } => Err(ApiError::request(
+                "store queries are answered by the session, not a backend",
+            )),
             Query::Simulate {
                 chain,
                 runs,
@@ -545,6 +550,9 @@ impl Analyze for DistBackend {
                 "`full` queries need a chain target; query sites individually instead",
             )),
             Query::Stats => Ok(QueryOutcome::Stats(env.session.stats_outcome())),
+            Query::StorePut { .. } | Query::StoreAnalyze { .. } => Err(ApiError::request(
+                "store queries are answered by the session, not a backend",
+            )),
             Query::Simulate { .. } => Err(ApiError::request(
                 "`simulate` queries need a chain target; simulate resources individually instead",
             )),

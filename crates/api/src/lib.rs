@@ -59,6 +59,7 @@ mod request;
 mod response;
 mod serve;
 mod session;
+mod store;
 
 pub use analyze::{Analyze, ChainBackend, DistBackend, QueryEnv};
 pub use error::{ApiError, ApiErrorKind};
@@ -69,7 +70,8 @@ pub use request::{
 pub use response::{
     AnalysisResponse, ChainOutcome, DmmOutcome, DmmPoint, LatencyOutcome, MkOutcome, PathOutcome,
     QueryOutcome, SensitivityOutcome, SimChainOutcome, SimulateOutcome, StatsOutcome,
-    SystemOutcome, WitnessOutcome,
+    StoreAnalyzeOutcome, StorePutOutcome, SystemOutcome, WitnessOutcome,
 };
 pub use serve::{respond_line, respond_line_with, serve, serve_with, LatencyStats, ServeSummary};
 pub use session::{CancelToken, RequestControl, ServiceCounters, Session};
+pub use store::{PutReceipt, StoreDiff, StoredBody, SystemStore};

@@ -150,10 +150,31 @@ pub enum Query {
         ks: Vec<u64>,
     },
     /// Cache statistics and service counters of the answering process.
-    /// The only query usable without a target (see
-    /// [`Target::Service`]); with a target it rides along with the
-    /// analysis queries on the same session.
+    /// Usable without a target (see [`Target::Service`]); with a
+    /// target it rides along with the analysis queries on the same
+    /// session.
     Stats,
+    /// Stores (or replaces) a named system in the session's
+    /// [`crate::SystemStore`]. Exactly one of `system` (uniprocessor
+    /// DSL) and `dist` (linked-resource DSL) must be given. Usable
+    /// without a target.
+    StorePut {
+        /// The entry name.
+        name: String,
+        /// Uniprocessor chain-system DSL text.
+        system: Option<String>,
+        /// Linked-resource document text.
+        dist: Option<String>,
+    },
+    /// Analyzes the current version of a stored system, reusing the
+    /// entry's warm per-resource rows so only the parts affected by
+    /// the latest edits are recomputed. Usable without a target.
+    StoreAnalyze {
+        /// The entry name.
+        name: String,
+        /// Window lengths of the per-chain miss-model sweep.
+        ks: Vec<u64>,
+    },
     /// Monte Carlo simulation: empirical per-chain miss rates with
     /// confidence intervals (uniprocessor targets only).
     Simulate {
@@ -168,6 +189,18 @@ pub enum Query {
         /// Worker threads; the report is identical at any count.
         threads: u64,
     },
+}
+
+impl Query {
+    /// Whether the query asks about the serving process (its cache,
+    /// counters, or system store) rather than a request target — the
+    /// queries a [`Target::Service`] request may carry.
+    pub fn is_service(&self) -> bool {
+        matches!(
+            self,
+            Query::Stats | Query::StorePut { .. } | Query::StoreAnalyze { .. }
+        )
+    }
 }
 
 /// Per-request knobs; every field defaults to the session's setting.
@@ -433,11 +466,11 @@ impl AnalysisRequest {
             Some(_) => return Err(ApiError::request("`queries` must be an array")),
         };
         if target == Target::Service
-            && (queries.is_empty() || queries.iter().any(|q| *q != Query::Stats))
+            && (queries.is_empty() || !queries.iter().all(Query::is_service))
         {
             return Err(ApiError::request(
                 "a request needs a target: `system`, `resources` or `dist` \
-                 (only pure `stats` requests may omit it)",
+                 (only `stats`, `store_put` and `store_analyze` requests may omit it)",
             ));
         }
         let options = match value.get("options") {
@@ -524,6 +557,26 @@ fn query_to_json(query: &Query) -> Json {
             )],
         ),
         Query::Stats => ("stats", Vec::new()),
+        Query::StorePut { name, system, dist } => {
+            let mut members = vec![("name".into(), Json::str(name))];
+            if let Some(system) = system {
+                members.push(("system".into(), Json::str(system)));
+            }
+            if let Some(dist) = dist {
+                members.push(("dist".into(), Json::str(dist)));
+            }
+            ("store_put", members)
+        }
+        Query::StoreAnalyze { name, ks } => (
+            "store_analyze",
+            vec![
+                ("name".into(), Json::str(name)),
+                (
+                    "ks".into(),
+                    Json::Array(ks.iter().map(|&k| Json::UInt(k)).collect()),
+                ),
+            ],
+        ),
         Query::Simulate {
             chain,
             runs,
@@ -574,6 +627,14 @@ fn req_str(body: &Json, key: &str) -> Result<String, ApiError> {
         .and_then(Json::as_str)
         .map(str::to_owned)
         .ok_or_else(|| ApiError::request(format!("query needs a string `{key}`")))
+}
+
+fn opt_str(body: &Json, key: &str) -> Result<Option<String>, ApiError> {
+    match body.get(key) {
+        None => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(ApiError::request(format!("`{key}` must be a string"))),
+    }
 }
 
 fn query_from_json(value: &Json) -> Result<Query, ApiError> {
@@ -639,6 +700,19 @@ fn query_from_json(value: &Json) -> Result<Query, ApiError> {
             )?,
         },
         "stats" => Query::Stats,
+        "store_put" => Query::StorePut {
+            name: req_str(body, "name")?,
+            system: opt_str(body, "system")?,
+            dist: opt_str(body, "dist")?,
+        },
+        "store_analyze" => Query::StoreAnalyze {
+            name: req_str(body, "name")?,
+            ks: u64_list(
+                body.get("ks")
+                    .ok_or_else(|| ApiError::request("`store_analyze` needs `ks`"))?,
+                "ks",
+            )?,
+        },
         "simulate" => Query::Simulate {
             chain: opt_chain(body)?,
             runs: req_u64(body, "runs")?,
@@ -820,6 +894,20 @@ mod tests {
             })
             .with_query(Query::Full { ks: vec![1, 10] })
             .with_query(Query::Stats)
+            .with_query(Query::StorePut {
+                name: "plant".into(),
+                system: Some("chain c periodic=10 { task t prio=1 wcet=1 }".into()),
+                dist: None,
+            })
+            .with_query(Query::StorePut {
+                name: "grid".into(),
+                system: None,
+                dist: Some("resource r { chain c periodic=10 { task t prio=1 wcet=1 } }".into()),
+            })
+            .with_query(Query::StoreAnalyze {
+                name: "plant".into(),
+                ks: vec![1, 10],
+            })
             .with_query(Query::Simulate {
                 chain: Some("c".into()),
                 runs: 50,
@@ -848,11 +936,29 @@ mod tests {
         let reparsed = AnalysisRequest::from_json(&Json::parse(&wire).unwrap()).unwrap();
         assert_eq!(request, reparsed);
 
-        // Anything beyond pure stats still needs a target.
+        // Anything beyond service queries still needs a target.
         let value = Json::parse(r#"{"queries": [{"stats": {}}, {"latency": {}}]}"#).unwrap();
         assert!(AnalysisRequest::from_json(&value).is_err());
         let value = Json::parse("{}").unwrap();
         assert!(AnalysisRequest::from_json(&value).is_err());
+    }
+
+    #[test]
+    fn store_requests_may_omit_the_target() {
+        let value = Json::parse(
+            r#"{"queries": [
+                {"store_put": {"name": "s", "system": "chain c periodic=10 { task t prio=1 wcet=1 }"}},
+                {"store_analyze": {"name": "s", "ks": [1, 10]}},
+                {"stats": {}}
+            ]}"#,
+        )
+        .unwrap();
+        let request = AnalysisRequest::from_json(&value).unwrap();
+        assert_eq!(request.target, Target::Service);
+        assert_eq!(request.queries.len(), 3);
+        let wire = request.to_json().to_string();
+        let reparsed = AnalysisRequest::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(request, reparsed);
     }
 
     #[test]

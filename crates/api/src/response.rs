@@ -287,14 +287,60 @@ pub struct StatsOutcome {
     pub cache_hits: u64,
     /// Cache misses since the cache was created.
     pub cache_misses: u64,
-    /// Entries currently resident in the cache.
+    /// Entries currently resident in the cache (kept alongside
+    /// `resident_entries` for wire compatibility).
     pub cache_entries: u64,
+    /// Entries evicted by the cache's budget enforcement since the
+    /// cache was created (clears do not count).
+    pub evictions: u64,
+    /// Entries currently resident in the cache.
+    pub resident_entries: u64,
+    /// Estimated bytes currently resident in the cache.
+    pub resident_bytes_est: u64,
     /// Requests answered by the service (ok or error).
     pub served: u64,
     /// Requests rejected at admission (`overloaded`).
     pub rejected: u64,
     /// Requests admitted but not yet answered.
     pub in_flight: u64,
+}
+
+/// The answer to a [`crate::Query::StorePut`]: the version now current
+/// under the name and the diff against the previous version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorePutOutcome {
+    /// The entry name.
+    pub name: String,
+    /// The version just stored (1 for a first put).
+    pub version: u64,
+    /// Resources with any changed chain or moved incident link.
+    pub resources_changed: u64,
+    /// Chains added, removed, or edited.
+    pub chains_changed: u64,
+    /// Tasks added, removed, or edited.
+    pub tasks_changed: u64,
+}
+
+/// The answer to a [`crate::Query::StoreAnalyze`]: per-chain bounds of
+/// the stored system's current version plus the delta-re-analysis
+/// accounting (how many per-resource rows were recomputed vs. answered
+/// from the entry's warm memo).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreAnalyzeOutcome {
+    /// The entry name.
+    pub name: String,
+    /// The analyzed version.
+    pub version: u64,
+    /// Per-resource holistic rows recomputed by this analysis
+    /// (0 for uniprocessor entries, which memoize at a finer grain in
+    /// the session cache).
+    pub rows_analyzed: u64,
+    /// Per-resource holistic rows answered from the entry's warm memo.
+    pub memo_hits: u64,
+    /// Latency rows, one per chain/site.
+    pub latency: Vec<LatencyOutcome>,
+    /// Miss-model rows, one per deadline chain/site.
+    pub dmm: Vec<DmmOutcome>,
 }
 
 /// One answered query, mirroring [`crate::Query`] case by case.
@@ -316,6 +362,10 @@ pub enum QueryOutcome {
     Full(SystemOutcome),
     /// Cache statistics and service counters.
     Stats(StatsOutcome),
+    /// A store-put receipt.
+    StorePut(StorePutOutcome),
+    /// A delta re-analysis of a stored system.
+    StoreAnalyze(StoreAnalyzeOutcome),
     /// Empirical Monte Carlo miss rates.
     Simulate(SimulateOutcome),
 }
@@ -586,9 +636,42 @@ fn outcome_to_json(outcome: &QueryOutcome) -> Json {
                 ("cache_hits".into(), Json::UInt(s.cache_hits)),
                 ("cache_misses".into(), Json::UInt(s.cache_misses)),
                 ("cache_entries".into(), Json::UInt(s.cache_entries)),
+                ("evictions".into(), Json::UInt(s.evictions)),
+                ("resident_entries".into(), Json::UInt(s.resident_entries)),
+                (
+                    "resident_bytes_est".into(),
+                    Json::UInt(s.resident_bytes_est),
+                ),
                 ("served".into(), Json::UInt(s.served)),
                 ("rejected".into(), Json::UInt(s.rejected)),
                 ("in_flight".into(), Json::UInt(s.in_flight)),
+            ]),
+        ),
+        QueryOutcome::StorePut(p) => (
+            "store_put",
+            Json::Object(vec![
+                ("name".into(), Json::str(&p.name)),
+                ("version".into(), Json::UInt(p.version)),
+                ("resources_changed".into(), Json::UInt(p.resources_changed)),
+                ("chains_changed".into(), Json::UInt(p.chains_changed)),
+                ("tasks_changed".into(), Json::UInt(p.tasks_changed)),
+            ]),
+        ),
+        QueryOutcome::StoreAnalyze(a) => (
+            "store_analyze",
+            Json::Object(vec![
+                ("name".into(), Json::str(&a.name)),
+                ("version".into(), Json::UInt(a.version)),
+                ("rows_analyzed".into(), Json::UInt(a.rows_analyzed)),
+                ("memo_hits".into(), Json::UInt(a.memo_hits)),
+                (
+                    "latency".into(),
+                    Json::Array(a.latency.iter().map(latency_row_to_json).collect()),
+                ),
+                (
+                    "dmm".into(),
+                    Json::Array(a.dmm.iter().map(dmm_row_to_json).collect()),
+                ),
             ]),
         ),
         QueryOutcome::Simulate(s) => (
@@ -710,9 +793,39 @@ fn outcome_from_json(value: &Json) -> Result<QueryOutcome, ApiError> {
             cache_hits: u64_field(body, "cache_hits")?,
             cache_misses: u64_field(body, "cache_misses")?,
             cache_entries: u64_field(body, "cache_entries")?,
+            evictions: u64_field(body, "evictions")?,
+            resident_entries: u64_field(body, "resident_entries")?,
+            resident_bytes_est: u64_field(body, "resident_bytes_est")?,
             served: u64_field(body, "served")?,
             rejected: u64_field(body, "rejected")?,
             in_flight: u64_field(body, "in_flight")?,
+        }),
+        "store_put" => QueryOutcome::StorePut(StorePutOutcome {
+            name: str_field(body, "name")?,
+            version: u64_field(body, "version")?,
+            resources_changed: u64_field(body, "resources_changed")?,
+            chains_changed: u64_field(body, "chains_changed")?,
+            tasks_changed: u64_field(body, "tasks_changed")?,
+        }),
+        "store_analyze" => QueryOutcome::StoreAnalyze(StoreAnalyzeOutcome {
+            name: str_field(body, "name")?,
+            version: u64_field(body, "version")?,
+            rows_analyzed: u64_field(body, "rows_analyzed")?,
+            memo_hits: u64_field(body, "memo_hits")?,
+            latency: body
+                .get("latency")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ApiError::request("`store_analyze` needs a `latency` array"))?
+                .iter()
+                .map(latency_row_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            dmm: body
+                .get("dmm")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ApiError::request("`store_analyze` needs a `dmm` array"))?
+                .iter()
+                .map(dmm_row_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
         }),
         "simulate" => QueryOutcome::Simulate(SimulateOutcome {
             runs: u64_field(body, "runs")?,
@@ -806,9 +919,41 @@ mod tests {
                     cache_hits: 12,
                     cache_misses: 3,
                     cache_entries: 3,
+                    evictions: 7,
+                    resident_entries: 3,
+                    resident_bytes_est: 4096,
                     served: 15,
                     rejected: 1,
                     in_flight: 2,
+                }),
+                QueryOutcome::StorePut(StorePutOutcome {
+                    name: "plant".into(),
+                    version: 4,
+                    resources_changed: 1,
+                    chains_changed: 2,
+                    tasks_changed: 3,
+                }),
+                QueryOutcome::StoreAnalyze(StoreAnalyzeOutcome {
+                    name: "plant".into(),
+                    version: 4,
+                    rows_analyzed: 2,
+                    memo_hits: 98,
+                    latency: vec![LatencyOutcome {
+                        name: "r0/c".into(),
+                        deadline: Some(100),
+                        overload: false,
+                        worst_case_latency: Some(35),
+                        typical_latency: None,
+                    }],
+                    dmm: vec![DmmOutcome {
+                        name: "r0/c".into(),
+                        points: vec![DmmPoint {
+                            k: 10,
+                            bound: 2,
+                            informative: true,
+                        }],
+                        error: None,
+                    }],
                 }),
                 QueryOutcome::Simulate(SimulateOutcome {
                     runs: 100,

@@ -9,13 +9,15 @@ use crate::analyze::{Analyze, ChainBackend, DistBackend, QueryEnv};
 use crate::error::ApiError;
 use crate::request::{AnalysisRequest, Query, RequestOptions, Target};
 use crate::response::{
-    AnalysisResponse, ChainOutcome, DmmPoint, QueryOutcome, StatsOutcome, SystemOutcome,
+    AnalysisResponse, ChainOutcome, DmmOutcome, DmmPoint, LatencyOutcome, QueryOutcome,
+    StatsOutcome, StoreAnalyzeOutcome, StorePutOutcome, SystemOutcome,
 };
+use crate::store::{StoredBody, SystemStore};
 use twca_chains::{
     latency_analysis, AnalysisCache, AnalysisContext, AnalysisOptions, CacheStats, DmmSweep,
     OverloadMode,
 };
-use twca_dist::DistributedSystemBuilder;
+use twca_dist::{analyze_with_memo, DistributedSystemBuilder};
 use twca_model::{parse_system, System};
 
 /// A shareable cancellation flag; cloning shares the flag.
@@ -184,6 +186,7 @@ impl RequestControl {
 #[derive(Debug, Clone)]
 pub struct Session {
     cache: Arc<AnalysisCache>,
+    store: Arc<SystemStore>,
     options: AnalysisOptions,
     max_sweeps: usize,
     default_budget: Option<u64>,
@@ -201,6 +204,7 @@ impl Session {
     pub fn new() -> Session {
         Session {
             cache: Arc::new(AnalysisCache::new()),
+            store: Arc::new(SystemStore::new()),
             options: AnalysisOptions::default(),
             max_sweeps: twca_dist::DistOptions::default().max_sweeps,
             default_budget: None,
@@ -212,6 +216,14 @@ impl Session {
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<AnalysisCache>) -> Session {
         self.cache = cache;
+        self
+    }
+
+    /// Shares an existing system store (e.g. across sessions of one
+    /// serving process). Clones of a session already share the store.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<SystemStore>) -> Session {
+        self.store = store;
         self
     }
 
@@ -250,6 +262,11 @@ impl Session {
         Arc::clone(&self.cache)
     }
 
+    /// The shared system store handle.
+    pub fn store(&self) -> Arc<SystemStore> {
+        Arc::clone(&self.store)
+    }
+
     /// Cache statistics plus service counters, as answered to a wire
     /// `stats` query.
     pub fn stats_outcome(&self) -> StatsOutcome {
@@ -262,6 +279,9 @@ impl Session {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_entries: cache.entries as u64,
+            evictions: cache.evictions,
+            resident_entries: cache.entries as u64,
+            resident_bytes_est: cache.resident_bytes_est,
             served,
             rejected,
             in_flight,
@@ -366,15 +386,162 @@ impl Session {
             .queries
             .iter()
             .map(|query| match (query, backend) {
-                // Stats never touch a backend: the answer is about the
-                // serving process, whatever the target.
+                // Service queries never touch a backend: the answer is
+                // about the serving process, whatever the target.
                 (Query::Stats, _) => Ok(QueryOutcome::Stats(self.stats_outcome())),
+                (Query::StorePut { name, system, dist }, _) => {
+                    self.store_put(name, system, dist, &env)
+                }
+                (Query::StoreAnalyze { name, ks }, _) => self.store_analyze(name, ks, &env),
                 (query, Some(backend)) => backend.query(query, &env),
                 (_, None) => Err(ApiError::request(
-                    "only `stats` queries may run without a target",
+                    "only `stats`, `store_put` and `store_analyze` queries may run \
+                     without a target",
                 )),
             })
             .collect()
+    }
+
+    /// Answers one `store_put` query: parse, diff, version.
+    fn store_put(
+        &self,
+        name: &str,
+        system: &Option<String>,
+        dist: &Option<String>,
+        env: &QueryEnv<'_>,
+    ) -> Result<QueryOutcome, ApiError> {
+        env.control.charge(1)?;
+        let body = match (system, dist) {
+            (Some(text), None) => StoredBody::Uni(parse_system(text)?),
+            (None, Some(text)) => StoredBody::Dist(twca_dist::parse_distributed(text)?),
+            _ => {
+                return Err(ApiError::request(
+                    "`store_put` needs exactly one of `system` and `dist`",
+                ))
+            }
+        };
+        let receipt = self.store.put(name, body);
+        Ok(QueryOutcome::StorePut(StorePutOutcome {
+            name: receipt.name,
+            version: receipt.version,
+            resources_changed: receipt.diff.resources_changed,
+            chains_changed: receipt.diff.chains_changed,
+            tasks_changed: receipt.diff.tasks_changed,
+        }))
+    }
+
+    /// Answers one `store_analyze` query on the entry's current
+    /// version. Distributed entries run the holistic fixed point
+    /// against the entry's warm memo, so only rows whose effective
+    /// inputs changed since the last analysis are recomputed.
+    fn store_analyze(
+        &self,
+        name: &str,
+        ks: &[u64],
+        env: &QueryEnv<'_>,
+    ) -> Result<QueryOutcome, ApiError> {
+        let slot = self
+            .store
+            .handle(name)
+            .ok_or_else(|| ApiError::request(format!("no stored system named `{name}`")))?;
+        let entry = slot.lock().expect("store entry poisoned");
+        let (rows_analyzed, memo_hits, latency, dmm) = match &entry.body {
+            StoredBody::Uni(system) => {
+                env.control
+                    .charge(system.chains().len() as u64 * (1 + ks.len() as u64))?;
+                let ctx = AnalysisContext::with_cache(system, self.cache());
+                let mut latency = Vec::new();
+                let mut dmm = Vec::new();
+                for (id, chain) in system.iter() {
+                    let full = latency_analysis(&ctx, id, OverloadMode::Include, env.options);
+                    let typical = latency_analysis(&ctx, id, OverloadMode::Exclude, env.options);
+                    latency.push(LatencyOutcome {
+                        name: chain.name().to_owned(),
+                        deadline: chain.deadline(),
+                        overload: chain.is_overload(),
+                        worst_case_latency: full.map(|r| r.worst_case_latency),
+                        typical_latency: typical.map(|r| r.worst_case_latency),
+                    });
+                    if chain.deadline().is_none() {
+                        continue;
+                    }
+                    let (points, error) = match DmmSweep::prepare(&ctx, id, env.options) {
+                        Ok(sweep) => (
+                            sweep
+                                .curve(ks.iter().copied())
+                                .into_iter()
+                                .map(DmmPoint::from)
+                                .collect(),
+                            None,
+                        ),
+                        Err(e) => (Vec::new(), Some(e.to_string())),
+                    };
+                    dmm.push(DmmOutcome {
+                        name: chain.name().to_owned(),
+                        points,
+                        error,
+                    });
+                }
+                (0, 0, latency, dmm)
+            }
+            StoredBody::Dist(system) => {
+                let sites: Vec<_> = system.sites().collect();
+                env.control
+                    .charge(sites.len() as u64 * (1 + ks.len() as u64))?;
+                let (results, report) = analyze_with_memo(system, env.dist_options(), &entry.memo)?;
+                let mut latency = Vec::new();
+                let mut dmm = Vec::new();
+                for site in sites {
+                    let (resource, chain_name) = system.site_names(site);
+                    let site_name = format!("{resource}/{chain_name}");
+                    let declared = system
+                        .resource(site.resource())
+                        .system()
+                        .chain(site.chain());
+                    latency.push(LatencyOutcome {
+                        name: site_name.clone(),
+                        deadline: declared.deadline(),
+                        overload: declared.is_overload(),
+                        worst_case_latency: results.worst_case_latency(site),
+                        typical_latency: None,
+                    });
+                    if declared.deadline().is_none() {
+                        continue;
+                    }
+                    let mut points = Vec::with_capacity(ks.len());
+                    let mut error = None;
+                    for &k in ks {
+                        match results.deadline_miss_model_full(site, k) {
+                            Ok(point) => points.push(DmmPoint::from(&point)),
+                            Err(e) => {
+                                error = Some(e.to_string());
+                                points.clear();
+                                break;
+                            }
+                        }
+                    }
+                    dmm.push(DmmOutcome {
+                        name: site_name,
+                        points,
+                        error,
+                    });
+                }
+                (
+                    report.rows_analyzed as u64,
+                    report.memo_hits as u64,
+                    latency,
+                    dmm,
+                )
+            }
+        };
+        Ok(QueryOutcome::StoreAnalyze(StoreAnalyzeOutcome {
+            name: name.to_owned(),
+            version: entry.version,
+            rows_analyzed,
+            memo_hits,
+            latency,
+            dmm,
+        }))
     }
 
     /// The request's effective options: the session defaults with the
@@ -557,6 +724,174 @@ chain recovery sporadic=1000 overload {
             (outcome.served, outcome.rejected, outcome.in_flight),
             (0, 0, 0)
         );
+    }
+
+    #[test]
+    fn store_queries_version_diff_and_delta_analyze() {
+        let session = Session::new();
+        // A 6-stage pipeline; the edit touches only the tail resource,
+        // so everything upstream stays memo-warm on re-analysis.
+        let dist = |tail_wcet: u64| {
+            let mut text = String::new();
+            for i in 0..6 {
+                let wcet = if i == 5 { tail_wcet } else { 10 };
+                text.push_str(&format!(
+                    "resource r{i} {{ chain c{i} periodic=100 deadline=400 \
+                     {{ task t{i} prio=1 wcet={wcet} }} }}\n"
+                ));
+            }
+            for i in 0..5 {
+                text.push_str(&format!("link r{i}/c{i} -> r{}/c{}\n", i + 1, i + 1));
+            }
+            text
+        };
+        let put = |text: String| AnalysisRequest {
+            id: None,
+            target: Target::Service,
+            queries: vec![Query::StorePut {
+                name: "grid".into(),
+                system: None,
+                dist: Some(text),
+            }],
+            options: RequestOptions::default(),
+        };
+        let analyze = AnalysisRequest {
+            id: None,
+            target: Target::Service,
+            queries: vec![Query::StoreAnalyze {
+                name: "grid".into(),
+                ks: vec![1, 10],
+            }],
+            options: RequestOptions::default(),
+        };
+
+        let outcomes = session.analyze(&put(dist(10))).outcome.unwrap();
+        let QueryOutcome::StorePut(receipt) = &outcomes[0] else {
+            panic!("expected store_put outcome");
+        };
+        assert_eq!((receipt.version, receipt.resources_changed), (1, 0));
+
+        let outcomes = session.analyze(&analyze).outcome.unwrap();
+        let QueryOutcome::StoreAnalyze(cold) = &outcomes[0] else {
+            panic!("expected store_analyze outcome");
+        };
+        assert_eq!(cold.version, 1);
+        assert_eq!(cold.latency.len(), 6);
+        assert_eq!(cold.dmm.len(), 6);
+        assert!(cold.rows_analyzed > 0);
+
+        // Editing one task's WCET dirties exactly one resource...
+        let outcomes = session.analyze(&put(dist(11))).outcome.unwrap();
+        let QueryOutcome::StorePut(receipt) = &outcomes[0] else {
+            panic!("expected store_put outcome");
+        };
+        assert_eq!(receipt.version, 2);
+        assert_eq!(
+            (
+                receipt.resources_changed,
+                receipt.chains_changed,
+                receipt.tasks_changed
+            ),
+            (1, 1, 1)
+        );
+
+        // ...and the re-analysis reuses warm rows for the rest.
+        let outcomes = session.analyze(&analyze).outcome.unwrap();
+        let QueryOutcome::StoreAnalyze(warm) = &outcomes[0] else {
+            panic!("expected store_analyze outcome");
+        };
+        assert_eq!(warm.version, 2);
+        assert!(warm.memo_hits > 0, "unchanged resources hit the memo");
+        assert!(
+            warm.rows_analyzed < cold.rows_analyzed,
+            "delta re-analysis recomputes fewer rows ({} vs {})",
+            warm.rows_analyzed,
+            cold.rows_analyzed
+        );
+
+        // The delta result agrees with a from-scratch analysis.
+        let fresh = Session::new();
+        fresh.analyze(&put(dist(11))).outcome.unwrap();
+        let outcomes = fresh.analyze(&analyze).outcome.unwrap();
+        let QueryOutcome::StoreAnalyze(scratch) = &outcomes[0] else {
+            panic!("expected store_analyze outcome");
+        };
+        assert_eq!(warm.latency, scratch.latency);
+        assert_eq!(warm.dmm, scratch.dmm);
+
+        // Unknown names and ambiguous puts are typed request errors.
+        let missing = AnalysisRequest {
+            id: None,
+            target: Target::Service,
+            queries: vec![Query::StoreAnalyze {
+                name: "nope".into(),
+                ks: vec![1],
+            }],
+            options: RequestOptions::default(),
+        };
+        assert_eq!(
+            session.analyze(&missing).outcome.unwrap_err().kind,
+            ApiErrorKind::Request
+        );
+        let ambiguous = AnalysisRequest {
+            id: None,
+            target: Target::Service,
+            queries: vec![Query::StorePut {
+                name: "x".into(),
+                system: Some("a".into()),
+                dist: Some("b".into()),
+            }],
+            options: RequestOptions::default(),
+        };
+        assert_eq!(
+            session.analyze(&ambiguous).outcome.unwrap_err().kind,
+            ApiErrorKind::Request
+        );
+    }
+
+    #[test]
+    fn store_analyze_on_uni_entries_matches_direct_queries() {
+        let session = Session::new();
+        let put = AnalysisRequest {
+            id: None,
+            target: Target::Service,
+            queries: vec![Query::StorePut {
+                name: "plant".into(),
+                system: Some(SYSTEM.into()),
+                dist: None,
+            }],
+            options: RequestOptions::default(),
+        };
+        session.analyze(&put).outcome.unwrap();
+        let analyze = AnalysisRequest {
+            id: None,
+            target: Target::Service,
+            queries: vec![Query::StoreAnalyze {
+                name: "plant".into(),
+                ks: vec![10],
+            }],
+            options: RequestOptions::default(),
+        };
+        let outcomes = session.analyze(&analyze).outcome.unwrap();
+        let QueryOutcome::StoreAnalyze(stored) = &outcomes[0] else {
+            panic!("expected store_analyze outcome");
+        };
+        let direct = AnalysisRequest::for_system(SYSTEM)
+            .with_query(Query::Latency { chain: None })
+            .with_query(Query::Dmm {
+                chain: None,
+                ks: vec![10],
+            });
+        let outcomes = session.analyze(&direct).outcome.unwrap();
+        let QueryOutcome::Latency(latency) = &outcomes[0] else {
+            panic!("expected latency outcome");
+        };
+        let QueryOutcome::Dmm(dmm) = &outcomes[1] else {
+            panic!("expected dmm outcome");
+        };
+        assert_eq!(&stored.latency, latency);
+        assert_eq!(&stored.dmm, dmm);
+        assert_eq!((stored.rows_analyzed, stored.memo_hits), (0, 0));
     }
 
     #[test]

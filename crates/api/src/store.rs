@@ -1,0 +1,448 @@
+//! The versioned system store behind the `store_put` and
+//! `store_analyze` wire queries.
+//!
+//! A [`SystemStore`] holds *named* systems in parsed form. Every
+//! `store_put` on a name bumps that entry's version and diffs the new
+//! body against the previous one at **resource, chain and task
+//! granularity** ([`StoreDiff`]); every `store_analyze` re-analyzes the
+//! current version **incrementally**: distributed entries keep a
+//! per-entry [`HolisticMemo`] whose rows are keyed by the
+//! fingerprint-and-guard [`twca_chains::SystemKey`] of each resource's
+//! effective system, so an edit invalidates exactly the rows whose
+//! inputs changed — unchanged resources are answered from the memo,
+//! and only the dirty-resource worklist downstream of the edit is
+//! recomputed.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use twca_dist::{DistributedSystem, HolisticMemo};
+use twca_model::System;
+
+/// One stored body: a uniprocessor chain system or a distributed
+/// linked-resource system, kept parsed so repeated analyses skip the
+/// DSL front end.
+#[derive(Debug, Clone)]
+pub enum StoredBody {
+    /// One SPP resource.
+    Uni(System),
+    /// A distributed system of linked resources.
+    Dist(DistributedSystem),
+}
+
+/// What changed between two consecutive versions of a stored system.
+///
+/// Counts are over the *new* body plus removals: an added, removed or
+/// edited chain counts once in `chains_changed` and once per affected
+/// task in `tasks_changed`; a resource counts in `resources_changed`
+/// when any of its chains changed or its incident links moved.
+/// Uniprocessor bodies are treated as a single resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreDiff {
+    /// Resources with any changed chain or a moved incident link.
+    pub resources_changed: u64,
+    /// Chains added, removed, or edited (any field, including tasks).
+    pub chains_changed: u64,
+    /// Tasks added, removed, or edited (name, priority, or WCET).
+    pub tasks_changed: u64,
+}
+
+impl StoreDiff {
+    /// Whether nothing changed between the versions.
+    pub fn is_empty(&self) -> bool {
+        *self == StoreDiff::default()
+    }
+}
+
+/// The receipt of one [`SystemStore::put`]: the version now current
+/// under the name and the diff against the previous version (all-zero
+/// for a first put).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutReceipt {
+    /// The entry name.
+    pub name: String,
+    /// The version just stored (1 for a first put).
+    pub version: u64,
+    /// Diff against the previous version; all-zero when `version == 1`.
+    pub diff: StoreDiff,
+}
+
+/// One named entry: the current version, its parsed body, and the
+/// warm per-resource analysis rows reused by delta re-analysis.
+#[derive(Debug)]
+pub(crate) struct StoreEntry {
+    pub(crate) version: u64,
+    pub(crate) body: StoredBody,
+    /// Per-resource holistic rows keyed by effective-system
+    /// [`twca_chains::SystemKey`]; survives puts so unchanged
+    /// resources of the next version hit warm rows.
+    pub(crate) memo: HolisticMemo,
+}
+
+/// Named, versioned systems with per-entry delta-analysis memos.
+///
+/// The outer map lock is held only for lookups and insertions; each
+/// entry has its own lock, held for the duration of a put or an
+/// analysis of that entry, so concurrent requests on *different* names
+/// never serialize against each other.
+///
+/// # Examples
+///
+/// ```
+/// use twca_api::{StoredBody, SystemStore};
+/// use twca_model::parse_system;
+///
+/// let store = SystemStore::new();
+/// let sys = "chain c periodic=100 deadline=100 { task t prio=1 wcet=10 }";
+/// let first = store.put("plant", StoredBody::Uni(parse_system(sys).unwrap()));
+/// assert_eq!(first.version, 1);
+/// assert!(first.diff.is_empty());
+///
+/// let edited = "chain c periodic=100 deadline=100 { task t prio=1 wcet=12 }";
+/// let second = store.put("plant", StoredBody::Uni(parse_system(edited).unwrap()));
+/// assert_eq!(second.version, 2);
+/// assert_eq!(second.diff.tasks_changed, 1);
+/// assert_eq!(second.diff.chains_changed, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SystemStore {
+    entries: Mutex<HashMap<String, Arc<Mutex<StoreEntry>>>>,
+}
+
+impl SystemStore {
+    /// An empty store.
+    pub fn new() -> SystemStore {
+        SystemStore::default()
+    }
+
+    /// Stores `body` under `name`, creating version 1 or bumping the
+    /// existing entry's version, and returns the receipt with the diff
+    /// against the previous version.
+    pub fn put(&self, name: &str, body: StoredBody) -> PutReceipt {
+        let slot = {
+            let mut entries = self.entries.lock().expect("store poisoned");
+            match entries.get(name) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    entries.insert(
+                        name.to_owned(),
+                        Arc::new(Mutex::new(StoreEntry {
+                            version: 1,
+                            body,
+                            memo: HolisticMemo::new(),
+                        })),
+                    );
+                    return PutReceipt {
+                        name: name.to_owned(),
+                        version: 1,
+                        diff: StoreDiff::default(),
+                    };
+                }
+            }
+        };
+        let mut entry = slot.lock().expect("store entry poisoned");
+        let diff = diff_bodies(&entry.body, &body);
+        entry.version += 1;
+        entry.body = body;
+        // The memo is deliberately kept: rows are keyed by the
+        // effective system's fingerprint, so rows of unchanged
+        // resources stay valid and rows of edited ones simply miss.
+        PutReceipt {
+            name: name.to_owned(),
+            version: entry.version,
+            diff,
+        }
+    }
+
+    /// The names currently stored, in no particular order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries
+            .lock()
+            .expect("store poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The handle of `name`'s entry, if present. The caller locks the
+    /// entry for the duration of its analysis.
+    pub(crate) fn handle(&self, name: &str) -> Option<Arc<Mutex<StoreEntry>>> {
+        self.entries
+            .lock()
+            .expect("store poisoned")
+            .get(name)
+            .map(Arc::clone)
+    }
+}
+
+/// Diffs two bodies. A kind flip (uni ↔ dist) counts the whole new
+/// body as changed — nothing structural carries over.
+fn diff_bodies(old: &StoredBody, new: &StoredBody) -> StoreDiff {
+    match (old, new) {
+        (StoredBody::Uni(o), StoredBody::Uni(n)) => {
+            let (chains, tasks) = diff_systems(o, n);
+            StoreDiff {
+                resources_changed: (chains > 0) as u64,
+                chains_changed: chains,
+                tasks_changed: tasks,
+            }
+        }
+        (StoredBody::Dist(o), StoredBody::Dist(n)) => diff_dist(o, n),
+        (_, new) => full_diff(new),
+    }
+}
+
+/// Counts every resource, chain and task of `body` as changed.
+fn full_diff(body: &StoredBody) -> StoreDiff {
+    match body {
+        StoredBody::Uni(system) => StoreDiff {
+            resources_changed: 1,
+            chains_changed: system.chains().len() as u64,
+            tasks_changed: system.chains().iter().map(|c| c.tasks().len() as u64).sum(),
+        },
+        StoredBody::Dist(system) => StoreDiff {
+            resources_changed: system.resources().len() as u64,
+            chains_changed: system
+                .resources()
+                .iter()
+                .map(|r| r.system().chains().len() as u64)
+                .sum(),
+            tasks_changed: system
+                .resources()
+                .iter()
+                .flat_map(|r| r.system().chains())
+                .map(|c| c.tasks().len() as u64)
+                .sum(),
+        },
+    }
+}
+
+/// `(chains_changed, tasks_changed)` between two chain systems,
+/// matching chains by name and tasks by position within a chain.
+fn diff_systems(old: &System, new: &System) -> (u64, u64) {
+    let mut chains = 0u64;
+    let mut tasks = 0u64;
+    for new_chain in new.chains() {
+        match old.chain_by_name(new_chain.name()) {
+            None => {
+                chains += 1;
+                tasks += new_chain.tasks().len() as u64;
+            }
+            Some((_, old_chain)) => {
+                if old_chain == new_chain {
+                    continue;
+                }
+                chains += 1;
+                let (ot, nt) = (old_chain.tasks(), new_chain.tasks());
+                for i in 0..ot.len().max(nt.len()) {
+                    if ot.get(i) != nt.get(i) {
+                        tasks += 1;
+                    }
+                }
+            }
+        }
+    }
+    for old_chain in old.chains() {
+        if new.chain_by_name(old_chain.name()).is_none() {
+            chains += 1;
+            tasks += old_chain.tasks().len() as u64;
+        }
+    }
+    (chains, tasks)
+}
+
+/// Diffs two distributed systems: resources are matched by name, each
+/// matched pair diffed as chain systems; added/removed resources count
+/// fully. A link added or removed marks its consumer-side resource
+/// changed (its effective activation inputs move) even when the
+/// resource's own declaration is untouched.
+fn diff_dist(old: &DistributedSystem, new: &DistributedSystem) -> StoreDiff {
+    let mut diff = StoreDiff::default();
+    let mut changed_resources: Vec<String> = Vec::new();
+    let old_by_name: HashMap<&str, &System> = old
+        .resources()
+        .iter()
+        .map(|r| (r.name(), r.system()))
+        .collect();
+    let new_names: HashMap<&str, ()> = new.resources().iter().map(|r| (r.name(), ())).collect();
+
+    for resource in new.resources() {
+        match old_by_name.get(resource.name()) {
+            None => {
+                changed_resources.push(resource.name().to_owned());
+                diff.chains_changed += resource.system().chains().len() as u64;
+                diff.tasks_changed += resource
+                    .system()
+                    .chains()
+                    .iter()
+                    .map(|c| c.tasks().len() as u64)
+                    .sum::<u64>();
+            }
+            Some(old_system) => {
+                let (chains, tasks) = diff_systems(old_system, resource.system());
+                if chains > 0 {
+                    changed_resources.push(resource.name().to_owned());
+                }
+                diff.chains_changed += chains;
+                diff.tasks_changed += tasks;
+            }
+        }
+    }
+    for resource in old.resources() {
+        if !new_names.contains_key(resource.name()) {
+            changed_resources.push(resource.name().to_owned());
+            diff.chains_changed += resource.system().chains().len() as u64;
+            diff.tasks_changed += resource
+                .system()
+                .chains()
+                .iter()
+                .map(|c| c.tasks().len() as u64)
+                .sum::<u64>();
+        }
+    }
+
+    // Links are compared as name quadruples so resource reordering is
+    // not a change; a moved link dirties the consumer resource.
+    let old_links = link_names(old);
+    let new_links = link_names(new);
+    for link in old_links.iter().filter(|l| !new_links.contains(l)) {
+        changed_resources.push(link.2.clone());
+    }
+    for link in new_links.iter().filter(|l| !old_links.contains(l)) {
+        changed_resources.push(link.2.clone());
+    }
+
+    changed_resources.sort_unstable();
+    changed_resources.dedup();
+    diff.resources_changed = changed_resources.len() as u64;
+    diff
+}
+
+/// `(from_resource, from_chain, to_resource, to_chain)` per link.
+fn link_names(system: &DistributedSystem) -> Vec<(String, String, String, String)> {
+    system
+        .links()
+        .iter()
+        .map(|link| {
+            let (fr, fc) = system.site_names(link.from());
+            let (tr, tc) = system.site_names(link.to());
+            (fr, fc, tr, tc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twca_dist::DistributedSystemBuilder;
+    use twca_model::parse_system;
+
+    fn uni(wcet: u64) -> StoredBody {
+        StoredBody::Uni(
+            parse_system(&format!(
+                "chain c periodic=100 deadline=100 {{ task t prio=1 wcet={wcet} }}
+                 chain d periodic=200 {{ task u prio=2 wcet=5 }}"
+            ))
+            .unwrap(),
+        )
+    }
+
+    fn dist(edit: Option<usize>) -> StoredBody {
+        let mut builder = DistributedSystemBuilder::new();
+        for i in 0..4 {
+            let wcet = 10 + u64::from(edit == Some(i));
+            let system = parse_system(&format!(
+                "chain c{i} periodic=100 deadline=400 {{ task t{i} prio=1 wcet={wcet} }}"
+            ))
+            .unwrap();
+            builder = builder.resource(format!("r{i}"), system);
+        }
+        StoredBody::Dist(
+            builder
+                .link(("r0", "c0"), ("r1", "c1"))
+                .link(("r1", "c1"), ("r2", "c2"))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn versions_count_up_and_diffs_localize_edits() {
+        let store = SystemStore::new();
+        assert_eq!(store.put("s", uni(10)).version, 1);
+        let receipt = store.put("s", uni(11));
+        assert_eq!(receipt.version, 2);
+        assert_eq!(
+            receipt.diff,
+            StoreDiff {
+                resources_changed: 1,
+                chains_changed: 1,
+                tasks_changed: 1
+            }
+        );
+        // Identical put: version bumps, nothing changed.
+        let receipt = store.put("s", uni(11));
+        assert_eq!(receipt.version, 3);
+        assert!(receipt.diff.is_empty());
+        // Names are independent entries.
+        assert_eq!(store.put("other", uni(10)).version, 1);
+        let mut names = store.names();
+        names.sort();
+        assert_eq!(names, ["other", "s"]);
+    }
+
+    #[test]
+    fn dist_diff_counts_only_the_edited_resource() {
+        let store = SystemStore::new();
+        store.put("d", dist(None));
+        let receipt = store.put("d", dist(Some(2)));
+        assert_eq!(
+            receipt.diff,
+            StoreDiff {
+                resources_changed: 1,
+                chains_changed: 1,
+                tasks_changed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn link_moves_dirty_the_consumer_resource() {
+        let build = |second_target: &str| {
+            let mut builder = DistributedSystemBuilder::new();
+            for i in 0..4 {
+                let system = parse_system(&format!(
+                    "chain c{i} periodic=100 {{ task t{i} prio=1 wcet=10 }}"
+                ))
+                .unwrap();
+                builder = builder.resource(format!("r{i}"), system);
+            }
+            StoredBody::Dist(
+                builder
+                    .link(("r0", "c0"), ("r1", "c1"))
+                    .link(
+                        ("r0", "c0"),
+                        (second_target, format!("c{}", &second_target[1..])),
+                    )
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let store = SystemStore::new();
+        store.put("d", build("r2"));
+        let receipt = store.put("d", build("r3"));
+        // No chain declaration changed, but both link consumers moved.
+        assert_eq!(receipt.diff.chains_changed, 0);
+        assert_eq!(receipt.diff.resources_changed, 2);
+    }
+
+    #[test]
+    fn kind_flips_count_the_whole_new_body() {
+        let store = SystemStore::new();
+        store.put("s", uni(10));
+        let receipt = store.put("s", dist(None));
+        assert_eq!(receipt.diff.resources_changed, 4);
+        assert_eq!(receipt.diff.chains_changed, 4);
+        assert_eq!(receipt.diff.tasks_changed, 4);
+    }
+}

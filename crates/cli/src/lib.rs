@@ -724,12 +724,15 @@ struct ServeArgs {
     workers: Option<usize>,
     queue: Option<usize>,
     deadline_ms: Option<u64>,
+    cache_entries: Option<u64>,
+    cache_bytes: Option<u64>,
 }
 
 impl ServeArgs {
     const USAGE: &'static str = "twca serve [--file F] [--budget UNITS] [--horizon H] [--max-q Q] \
                                  [--solver scheduling-points|iterative] [--listen ADDR] \
-                                 [--workers N] [--queue N] [--deadline-ms MS]";
+                                 [--workers N] [--queue N] [--deadline-ms MS] \
+                                 [--cache-entries N] [--cache-bytes B]";
 
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut parsed = ServeArgs {
@@ -742,6 +745,8 @@ impl ServeArgs {
             workers: None,
             queue: None,
             deadline_ms: None,
+            cache_entries: None,
+            cache_bytes: None,
         };
         let mut rest = args.iter();
         while let Some(arg) = rest.next() {
@@ -787,6 +792,18 @@ impl ServeArgs {
                             CliError::Usage("`--deadline-ms` expects milliseconds".into())
                         })?);
                 }
+                "--cache-entries" => {
+                    parsed.cache_entries =
+                        Some(value_of("--cache-entries")?.parse().map_err(|_| {
+                            CliError::Usage("`--cache-entries` expects an entry count".into())
+                        })?);
+                }
+                "--cache-bytes" => {
+                    parsed.cache_bytes =
+                        Some(value_of("--cache-bytes")?.parse().map_err(|_| {
+                            CliError::Usage("`--cache-bytes` expects a byte budget".into())
+                        })?);
+                }
                 flag => {
                     return Err(CliError::Usage(format!(
                         "unknown serve flag `{flag}`; {}",
@@ -809,6 +826,14 @@ impl ServeArgs {
         if let Some(budget) = self.budget {
             session = session.with_default_budget(budget);
         }
+        if self.cache_entries.is_some() || self.cache_bytes.is_some() {
+            session = session.with_cache(std::sync::Arc::new(
+                twca_chains::AnalysisCache::with_capacity(twca_chains::CacheCapacity {
+                    max_entries: self.cache_entries,
+                    max_bytes: self.cache_bytes,
+                }),
+            ));
+        }
         session
     }
 
@@ -830,8 +855,15 @@ fn render_serve_summary(
     // The first line is load-bearing: scripts (and the smoke test) key
     // on its `served N request(s), M error(s)` prefix.
     let mut out = format!(
-        "served {} request(s), {} error(s); cache: {} hits / {} misses ({} entries)\n",
-        summary.requests, summary.errors, stats.hits, stats.misses, stats.entries
+        "served {} request(s), {} error(s); cache: {} hits / {} misses \
+         ({} entries, {} evicted, ~{} KiB resident)\n",
+        summary.requests,
+        summary.errors,
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        stats.evictions,
+        stats.resident_bytes_est / 1024
     );
     if summary.latency.count > 0 {
         let _ = writeln!(
@@ -1212,7 +1244,7 @@ impl FuzzArgs {
 
 /// `twca fuzz`: randomized conformance fuzzing through the
 /// [`twca_verify`] oracle battery. Every generated scenario is checked
-/// against all ten oracles; failures are auto-shrunk to minimal
+/// against all eleven oracles; failures are auto-shrunk to minimal
 /// counterexamples and (with `--corpus`) persisted as regression
 /// fixtures.
 ///
@@ -1268,17 +1300,25 @@ pub fn cmd_fuzz(args: &[String]) -> Result<String, CliError> {
     Err(CliError::Verify(out))
 }
 
+/// The workload family `twca bench --suite` selects.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BenchSuite {
+    Core,
+    Service,
+    Delta,
+}
+
 /// Parsed flags of `twca bench`.
 struct BenchCliArgs {
     config: twca_bench::runner::BenchConfig,
     json: bool,
     out: Option<String>,
     check: Option<String>,
-    service_suite: bool,
+    suite: BenchSuite,
 }
 
 impl BenchCliArgs {
-    const USAGE: &'static str = "twca bench [--suite core|service] [--json] [--out FILE] \
+    const USAGE: &'static str = "twca bench [--suite core|service|delta] [--json] [--out FILE] \
                                  [--seed S] [--quick] [--check BASELINE.json]";
 
     fn parse(args: &[String]) -> Result<Self, CliError> {
@@ -1287,7 +1327,7 @@ impl BenchCliArgs {
             json: false,
             out: None,
             check: None,
-            service_suite: false,
+            suite: BenchSuite::Core,
         };
         let mut rest = args.iter();
         while let Some(arg) = rest.next() {
@@ -1307,12 +1347,13 @@ impl BenchCliArgs {
                 "--out" => parsed.out = Some(value_of("--out")?.clone()),
                 "--check" => parsed.check = Some(value_of("--check")?.clone()),
                 "--suite" => {
-                    parsed.service_suite = match value_of("--suite")?.as_str() {
-                        "core" => false,
-                        "service" => true,
+                    parsed.suite = match value_of("--suite")?.as_str() {
+                        "core" => BenchSuite::Core,
+                        "service" => BenchSuite::Service,
+                        "delta" => BenchSuite::Delta,
                         suite => {
                             return Err(CliError::Usage(format!(
-                                "`--suite` must be core or service, not `{suite}`"
+                                "`--suite` must be core, service or delta, not `{suite}`"
                             )));
                         }
                     };
@@ -1337,7 +1378,10 @@ impl BenchCliArgs {
 /// `--suite service` instead runs the `service_saturation` workload —
 /// an in-process TCP server saturated by 10 000 concurrent request
 /// streams — whose requests/sec and p50/p95/p99 tail latency land in
-/// `BENCH_service.json`.
+/// `BENCH_service.json`. `--suite delta` measures memoized holistic
+/// re-analysis after a one-task WCET edit on a 100-resource pipeline
+/// against the cold full fixed point (`BENCH_delta.json`, ≥ 10x
+/// contract).
 /// `--check BASELINE.json` re-measures and fails (non-zero exit) when
 /// any benchmark regresses more than 1.5× against the committed
 /// baseline after machine-speed normalization, or when the
@@ -1349,7 +1393,9 @@ impl BenchCliArgs {
 /// unreadable/unwritable files, and [`CliError::Verify`] with the
 /// regression list when `--check` fails.
 pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
-    use twca_bench::runner::{check_against, run_bench, run_service_bench, BenchReport};
+    use twca_bench::runner::{
+        check_against, run_bench, run_delta_bench, run_service_bench, BenchReport,
+    };
 
     let parsed = BenchCliArgs::parse(args)?;
     // Load the baseline before measuring anything: a missing or
@@ -1365,10 +1411,10 @@ pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
             })?)
         }
     };
-    let report = if parsed.service_suite {
-        run_service_bench(&parsed.config)
-    } else {
-        run_bench(&parsed.config)
+    let report = match parsed.suite {
+        BenchSuite::Core => run_bench(&parsed.config),
+        BenchSuite::Service => run_service_bench(&parsed.config),
+        BenchSuite::Delta => run_delta_bench(&parsed.config),
     };
     let json = format!("{}\n", report.to_json());
     if let Some(path) = &parsed.out {
@@ -1605,6 +1651,25 @@ chain recovery sporadic=1000 overload {
     fn synthesize_produces_assignment() {
         let out = cmd_synthesize(&system(), 1, 10).unwrap();
         assert!(out.contains("priority"));
+    }
+
+    #[test]
+    fn serve_cache_flags_bound_the_session_cache() {
+        let parsed =
+            ServeArgs::parse(&args(&["--cache-entries", "64", "--cache-bytes", "65536"])).unwrap();
+        let cap = parsed.session().cache().capacity();
+        assert_eq!(cap.max_entries, Some(64));
+        assert_eq!(cap.max_bytes, Some(65536));
+
+        // Without the flags the session keeps its default, unbounded cache.
+        let cap = ServeArgs::parse(&[]).unwrap().session().cache().capacity();
+        assert_eq!(cap.max_entries, None);
+        assert_eq!(cap.max_bytes, None);
+
+        assert!(matches!(
+            ServeArgs::parse(&args(&["--cache-entries", "lots"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::busy_time::InterferencePlan;
-use crate::cache::{AnalysisCache, SystemFingerprint};
+use crate::cache::{AnalysisCache, SystemKey};
 use crate::latency::OverloadMode;
 use twca_model::{ChainId, SegmentView, System};
 
@@ -49,9 +49,9 @@ pub struct AnalysisContext<'a> {
     /// `views[a][b]`: structure of chain `a` w.r.t. chain `b`; the
     /// diagonal holds `None`.
     views: Vec<Vec<Option<SegmentView>>>,
-    /// Shared memo store plus the system's fingerprint; `None` disables
-    /// memoization (the default).
-    cache: Option<(Arc<AnalysisCache>, SystemFingerprint)>,
+    /// Shared memo store plus the system's fingerprint-and-guard key;
+    /// `None` disables memoization (the default).
+    cache: Option<(Arc<AnalysisCache>, SystemKey)>,
     /// Interference plans of the scheduling-point busy-window solver.
     plans: PlanStore,
 }
@@ -81,7 +81,7 @@ impl<'a> AnalysisContext<'a> {
     /// Like [`AnalysisContext::new`], additionally attaching a shared
     /// [`AnalysisCache`]: every subsequent busy-time, latency, budget
     /// and distance computation through this context is memoized under
-    /// the system's [`SystemFingerprint`].
+    /// the system's [`crate::cache::SystemFingerprint`].
     ///
     /// # Examples
     ///
@@ -109,13 +109,13 @@ impl<'a> AnalysisContext<'a> {
     /// Attaches a shared cache to an already-built context (computes
     /// the fingerprint, keeps the segment views).
     pub(crate) fn attach_cache(&mut self, cache: Arc<AnalysisCache>) {
-        let fingerprint = SystemFingerprint::of(self.system);
-        self.cache = Some((cache, fingerprint));
+        let key = SystemKey::of(self.system);
+        self.cache = Some((cache, key));
     }
 
-    /// The attached cache and fingerprint, if any.
-    pub(crate) fn memo(&self) -> Option<(&AnalysisCache, SystemFingerprint)> {
-        self.cache.as_ref().map(|(c, f)| (c.as_ref(), *f))
+    /// The attached cache and system key, if any.
+    pub(crate) fn memo(&self) -> Option<(&AnalysisCache, SystemKey)> {
+        self.cache.as_ref().map(|(c, k)| (c.as_ref(), *k))
     }
 
     /// The interference plan of `observed` under `mode`, built on first

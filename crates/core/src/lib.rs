@@ -72,7 +72,9 @@ pub use analysis::ChainAnalysis;
 pub use busy_time::{
     busy_time, busy_time_breakdown, busy_time_with_extra, busy_times, BusyTimeBreakdown,
 };
-pub use cache::{AnalysisCache, CacheStats, SystemFingerprint};
+pub use cache::{
+    AnalysisCache, CacheCapacity, CacheStats, FingerprintGuard, SystemFingerprint, SystemKey,
+};
 pub use combinations::{
     Combination, CombinationSet, ItemArena, OverloadSegment, PreparedCombinations,
 };

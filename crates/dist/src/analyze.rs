@@ -14,11 +14,12 @@
 //! `solver-agreement` oracle pins the contract).
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::error::DistError;
 use crate::system::{DistributedSystem, ResourceId, SiteId};
 use twca_chains::{
-    deadline_miss_model, AnalysisContext, AnalysisOptions, ChainAnalysis, SolverMode,
+    deadline_miss_model, AnalysisContext, AnalysisOptions, ChainAnalysis, SolverMode, SystemKey,
 };
 use twca_curves::{ActivationModel, EventModel, Time};
 use twca_independent::propagate_output_model;
@@ -221,9 +222,128 @@ pub fn analyze(system: &DistributedSystem, options: DistOptions) -> Result<DistR
         return Err(DistError::ZeroSweeps);
     }
     match options.chain_options.solver {
-        SolverMode::SchedulingPoints => analyze_worklist(system, options),
+        SolverMode::SchedulingPoints => {
+            let mut rows = HashMap::new();
+            worklist_pass(system, options, &mut rows).map(|(results, _)| results)
+        }
         SolverMode::Iterative => analyze_full_sweeps(system, options),
     }
+}
+
+/// Upper bound on retained memo rows before a [`HolisticMemo`] resets
+/// itself: rows of superseded versions linger until then, bounding the
+/// memory of a long edit sequence without any per-row bookkeeping.
+const MEMO_MAX_ROWS: usize = 4_096;
+
+/// A persistent per-resource latency-row memo for **delta re-analysis**:
+/// keep one `HolisticMemo` alive across [`analyze_with_memo`] calls on
+/// successive versions of a system, and only the resources whose
+/// effective activation state actually differs from anything previously
+/// analyzed are re-converged — everything untouched by an edit is
+/// answered from the memo, bit-identically (each row is keyed by the
+/// effective system's [`twca_chains::SystemKey`], fingerprint plus
+/// collision guard, and is a pure function of that system).
+///
+/// The memo self-invalidates when the [`DistOptions`] change and resets
+/// after `MEMO_MAX_ROWS` retained rows. Interior mutability: one memo
+/// can be shared behind an `Arc`, with calls on the same memo
+/// serialized by its lock.
+#[derive(Debug, Default)]
+pub struct HolisticMemo {
+    inner: Mutex<MemoInner>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct MemoInner {
+    /// Options the retained rows were computed under; a call with
+    /// different options resets the memo (rows depend on them).
+    options: Option<DistOptions>,
+    rows: HashMap<SystemKey, WclRow>,
+}
+
+impl Clone for HolisticMemo {
+    fn clone(&self) -> Self {
+        HolisticMemo {
+            inner: Mutex::new(self.inner.lock().expect("holistic memo poisoned").clone()),
+        }
+    }
+}
+
+impl HolisticMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of retained latency rows.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("holistic memo poisoned")
+            .rows
+            .len()
+    }
+
+    /// Whether no rows are retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every retained row (the next analysis runs cold).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("holistic memo poisoned");
+        inner.rows.clear();
+        inner.options = None;
+    }
+}
+
+/// Delta telemetry of one [`analyze_with_memo`] run: how much work the
+/// memo saved. Kept out of [`DistResults`] so memoized and from-scratch
+/// results stay `==`-comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaReport {
+    /// Resource latency rows actually (re-)converged this run.
+    pub rows_analyzed: usize,
+    /// Dirty lookups answered from the persistent memo.
+    pub memo_hits: usize,
+}
+
+/// Like [`analyze`], but keeping `memo` warm across calls so a small
+/// edit costs a small re-analysis: after a one-task change, only the
+/// edited resource and the resources its propagation actually reaches
+/// are re-converged. Results are bit-identical to a from-scratch
+/// [`analyze`] of the same system (the `delta-agreement` verify oracle
+/// pins this).
+///
+/// Under [`SolverMode::Iterative`] (the full-sweep reference driver)
+/// the memo is bypassed and every resource is analyzed every sweep.
+///
+/// # Errors
+///
+/// Exactly those of [`analyze`].
+pub fn analyze_with_memo(
+    system: &DistributedSystem,
+    options: DistOptions,
+    memo: &HolisticMemo,
+) -> Result<(DistResults, DeltaReport), DistError> {
+    if options.max_sweeps == 0 {
+        return Err(DistError::ZeroSweeps);
+    }
+    if options.chain_options.solver == SolverMode::Iterative {
+        let results = analyze_full_sweeps(system, options)?;
+        let report = DeltaReport {
+            rows_analyzed: system.resources().len() * results.sweeps(),
+            memo_hits: 0,
+        };
+        return Ok((results, report));
+    }
+    let mut inner = memo.inner.lock().expect("holistic memo poisoned");
+    if inner.options != Some(options) || inner.rows.len() > MEMO_MAX_ROWS {
+        inner.rows.clear();
+        inner.options = Some(options);
+    }
+    let MemoInner { rows, .. } = &mut *inner;
+    worklist_pass(system, options, rows)
 }
 
 /// One per-chain worst-case latency row, with the typed divergence
@@ -300,54 +420,56 @@ fn analyze_dirty(
 /// not change since its last evaluation reproduces its output
 /// bit-for-bit, so skipping its *source analysis* is safe while
 /// skipping its *evaluation* would not be (an earlier link in the same
-/// sweep may just have rewritten the source's input model). One row
-/// memo keyed by the effective systems'
-/// [`twca_chains::SystemFingerprint`]s (which cover the activation
-/// models) survives the whole iteration, so a resource whose models
-/// revisit an earlier state — and identical resources anywhere in the
-/// topology — are answered from the memo instead of re-converging.
-fn analyze_worklist(
+/// sweep may just have rewritten the source's input model). The row
+/// memo keyed by the effective systems' [`twca_chains::SystemKey`]s
+/// (fingerprint plus collision guard, covering the activation models)
+/// survives the whole iteration — and, through
+/// [`analyze_with_memo`], across successive versions of the system —
+/// so a resource whose models revisit an earlier state, identical
+/// resources anywhere in the topology, and resources untouched by an
+/// edit are all answered from the memo instead of re-converging.
+fn worklist_pass(
     system: &DistributedSystem,
     options: DistOptions,
-) -> Result<DistResults, DistError> {
+    row_memo: &mut HashMap<SystemKey, WclRow>,
+) -> Result<(DistResults, DeltaReport), DistError> {
     let mut effective: Vec<System> = system
         .resources()
         .iter()
         .map(|r| r.system().clone())
         .collect();
     let n = effective.len();
-    let mut row_memo: HashMap<twca_chains::SystemFingerprint, WclRow> = HashMap::new();
     let mut wcl: Vec<WclRow> = vec![Vec::new(); n];
     let mut dirty: Vec<bool> = vec![true; n];
+    let mut report = DeltaReport::default();
 
     for sweep in 1..=options.max_sweeps {
         // Re-analyze exactly the resources whose models changed, and of
         // those only one representative per activation fingerprint not
         // already memoized (the row is a pure function of the system).
-        let fingerprints: Vec<(usize, twca_chains::SystemFingerprint)> = (0..n)
+        let keys: Vec<(usize, SystemKey)> = (0..n)
             .filter(|&i| dirty[i])
-            .map(|i| (i, twca_chains::SystemFingerprint::of(&effective[i])))
+            .map(|i| (i, SystemKey::of(&effective[i])))
             .collect();
-        let mut to_analyze: Vec<(usize, twca_chains::SystemFingerprint)> =
-            Vec::with_capacity(fingerprints.len());
-        for &(i, fingerprint) in &fingerprints {
-            if !row_memo.contains_key(&fingerprint)
-                && to_analyze.iter().all(|&(_, f)| f != fingerprint)
-            {
-                to_analyze.push((i, fingerprint));
+        let mut to_analyze: Vec<(usize, SystemKey)> = Vec::with_capacity(keys.len());
+        for &(i, key) in &keys {
+            if !row_memo.contains_key(&key) && to_analyze.iter().all(|&(_, k)| k != key) {
+                to_analyze.push((i, key));
             }
         }
+        report.rows_analyzed += to_analyze.len();
+        report.memo_hits += keys.len() - to_analyze.len();
         let misses: Vec<usize> = to_analyze.iter().map(|&(i, _)| i).collect();
         let rows = analyze_dirty(&effective, &misses, options.chain_options);
         debug_assert_eq!(rows.len(), to_analyze.len());
-        for ((i, row), &(j, fingerprint)) in rows.into_iter().zip(&to_analyze) {
+        for ((i, row), &(j, key)) in rows.into_iter().zip(&to_analyze) {
             debug_assert_eq!(i, j);
             let _ = i;
-            row_memo.insert(fingerprint, row);
+            row_memo.insert(key, row);
         }
-        for (i, fingerprint) in fingerprints {
+        for (i, key) in keys {
             wcl[i] = row_memo
-                .get(&fingerprint)
+                .get(&key)
                 .expect("every dirty fingerprint was analyzed or memoized")
                 .clone();
         }
@@ -383,7 +505,7 @@ fn analyze_worklist(
         }
 
         if !changed {
-            return Ok(DistResults {
+            let results = DistResults {
                 effective,
                 wcl: wcl
                     .into_iter()
@@ -391,7 +513,8 @@ fn analyze_worklist(
                     .collect(),
                 sweeps: sweep,
                 options,
-            });
+            };
+            return Ok((results, report));
         }
     }
     Err(DistError::Diverged {
@@ -623,5 +746,99 @@ mod tests {
                 reference.effective_system(crate::system::ResourceId::from_index(r)),
             );
         }
+    }
+
+    /// Builds an n-stage pipeline whose `edited` stage (if any) carries
+    /// a bumped WCET — the delta-re-analysis workload shape.
+    fn pipeline(stages: usize, edited: Option<usize>) -> DistributedSystem {
+        let mut builder = DistributedSystemBuilder::new();
+        for i in 0..stages {
+            let wcet = 10 + u64::from(edited == Some(i));
+            let stage = SystemBuilder::new()
+                .chain("stage")
+                .periodic(200 + 10 * i as u64)
+                .unwrap()
+                .deadline(400)
+                .task("hi", 5, wcet)
+                .task("lo", 1, 15)
+                .done()
+                .build()
+                .unwrap();
+            builder = builder.resource(format!("r{i}"), stage);
+        }
+        for i in 0..stages.saturating_sub(1) {
+            builder = builder.link(
+                (format!("r{i}"), "stage".to_owned()),
+                (format!("r{}", i + 1), "stage".to_owned()),
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    /// A warm memo must make re-analysis after a one-task edit cost
+    /// O(affected resources) — and still agree bit-for-bit with a
+    /// from-scratch run of the edited system.
+    #[test]
+    fn memoized_reanalysis_is_incremental_and_bit_identical() {
+        let stages = 12;
+        let memo = HolisticMemo::new();
+        let options = DistOptions::default();
+
+        let v1 = pipeline(stages, None);
+        let (cold, cold_report) = analyze_with_memo(&v1, options, &memo).unwrap();
+        assert_eq!(cold, analyze(&v1, options).unwrap());
+        assert!(cold_report.rows_analyzed >= stages, "cold run analyzes all");
+
+        // Edit the last stage: nothing downstream of it exists, so the
+        // warm run should re-converge only that one resource.
+        let v2 = pipeline(stages, Some(stages - 1));
+        let (warm, warm_report) = analyze_with_memo(&v2, options, &memo).unwrap();
+        assert_eq!(warm, analyze(&v2, options).unwrap());
+        // Only the edited resource re-converges (once per effective
+        // state it passes through); the other 11 stages hit the memo.
+        assert!(
+            warm_report.rows_analyzed <= warm.sweeps(),
+            "a tail-stage edit re-analyzed {} rows over {} sweeps",
+            warm_report.rows_analyzed,
+            warm.sweeps()
+        );
+        assert!(warm_report.rows_analyzed < cold_report.rows_analyzed / 4);
+        assert!(warm_report.memo_hits >= stages - 1);
+
+        // Re-running the same version is answered entirely from memo.
+        let (again, again_report) = analyze_with_memo(&v2, options, &memo).unwrap();
+        assert_eq!(again, warm);
+        assert_eq!(again_report.rows_analyzed, 0);
+    }
+
+    /// Changing the options invalidates the memo (rows depend on them).
+    #[test]
+    fn memo_resets_when_options_change() {
+        let memo = HolisticMemo::new();
+        let dist = pipeline(3, None);
+        let options = DistOptions::default();
+        let _ = analyze_with_memo(&dist, options, &memo).unwrap();
+        assert!(!memo.is_empty());
+        let mut tighter = options;
+        tighter.chain_options.max_q = options.chain_options.max_q / 2;
+        let (_, report) = analyze_with_memo(&dist, tighter, &memo).unwrap();
+        assert!(report.rows_analyzed > 0, "stale rows must not be reused");
+        memo.clear();
+        assert!(memo.is_empty());
+    }
+
+    /// The iterative reference driver bypasses the memo but reports
+    /// honest telemetry.
+    #[test]
+    fn iterative_driver_bypasses_the_memo() {
+        let memo = HolisticMemo::new();
+        let dist = pipeline(3, None);
+        let mut options = DistOptions::default();
+        options.chain_options.solver = twca_chains::SolverMode::Iterative;
+        let (results, report) = analyze_with_memo(&dist, options, &memo).unwrap();
+        assert_eq!(results, analyze(&dist, options).unwrap());
+        assert_eq!(report.memo_hits, 0);
+        assert_eq!(report.rows_analyzed, 3 * results.sweeps());
+        assert!(memo.is_empty(), "the reference driver must not populate it");
     }
 }

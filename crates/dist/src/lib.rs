@@ -58,7 +58,9 @@ mod sensitivity;
 mod simulate;
 mod system;
 
-pub use analyze::{analyze, jitter_shifted, DistOptions, DistResults};
+pub use analyze::{
+    analyze, analyze_with_memo, jitter_shifted, DeltaReport, DistOptions, DistResults, HolisticMemo,
+};
 pub use error::DistError;
 pub use parse::{parse_distributed, render_distributed};
 pub use path::DistPath;

@@ -170,14 +170,19 @@ impl LoadgenReport {
     }
 
     /// The `q`-quantile (0 < q ≤ 1) of per-request latency in
-    /// nanoseconds; 0 when nothing completed.
+    /// nanoseconds, by the nearest-rank rule `rank = ⌈q·n⌉`; 0 when
+    /// nothing completed.
     #[must_use]
     pub fn percentile_ns(&self, q: f64) -> u64 {
         if self.latencies_ns.is_empty() {
             return 0;
         }
-        let n = self.latencies_ns.len();
-        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let n = self.latencies_ns.len() as u64;
+        // Integer basis points: floating-point `q * n` can land a hair
+        // above an exact rank (0.99 × 100 = 99.000…01) and its ceil
+        // then indexes one past the intended sample.
+        let bp = (q * 10_000.0).round() as u64;
+        let rank = bp.saturating_mul(n).div_ceil(10_000).clamp(1, n) as usize;
         self.latencies_ns[rank - 1]
     }
 
@@ -446,5 +451,48 @@ mod tests {
         assert_eq!(report.percentile_ns(0.50), 20);
         assert_eq!(report.percentile_ns(0.99), 100);
         assert_eq!(report.requests_per_sec() as u64, 4);
+    }
+
+    fn report_with(latencies_ns: Vec<u64>) -> LoadgenReport {
+        LoadgenReport {
+            requests: latencies_ns.len() as u64,
+            ok: latencies_ns.len() as u64,
+            errors: 0,
+            rejected: 0,
+            lost: 0,
+            elapsed: Duration::from_secs(1),
+            latencies_ns,
+        }
+    }
+
+    /// Nearest-rank on small sample counts: `rank = ⌈q·n⌉` exactly,
+    /// never one past it (the old float ceil indexed past the intended
+    /// rank whenever `q·n` was representable a hair above an integer).
+    #[test]
+    fn small_sample_percentiles_use_exact_nearest_rank() {
+        // 1 sample: every quantile is that sample.
+        let one = report_with(vec![7]);
+        for q in [0.01, 0.50, 0.95, 0.99, 1.0] {
+            assert_eq!(one.percentile_ns(q), 7, "q={q}");
+        }
+
+        // 2 samples: ranks split at q = 0.5.
+        let two = report_with(vec![10, 20]);
+        assert_eq!(two.percentile_ns(0.50), 10);
+        assert_eq!(two.percentile_ns(0.95), 20);
+        assert_eq!(two.percentile_ns(0.99), 20);
+
+        // 99 samples 1..=99: ⌈q·99⌉ directly names the value.
+        let ninety_nine = report_with((1..=99).collect());
+        assert_eq!(ninety_nine.percentile_ns(0.50), 50);
+        assert_eq!(ninety_nine.percentile_ns(0.95), 95); // ⌈94.05⌉
+        assert_eq!(ninety_nine.percentile_ns(0.99), 99); // ⌈98.01⌉
+
+        // 100 samples 1..=100: q·n is an exact integer — the rank must
+        // be q·n itself, not one past it.
+        let hundred = report_with((1..=100).collect());
+        assert_eq!(hundred.percentile_ns(0.95), 95);
+        assert_eq!(hundred.percentile_ns(0.99), 99);
+        assert_eq!(hundred.percentile_ns(1.0), 100);
     }
 }

@@ -12,7 +12,7 @@
 //!    processors, degenerate chains, bursty/jittery activation,
 //!    overload-dominated load, and distributed topologies (linear,
 //!    star, tree).
-//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — ten
+//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — eleven
 //!    independent ways the suite could disagree with itself:
 //!    * analysis bound ≥ simulated behaviour on every trace
 //!      ([`OracleKind::SimSoundness`]);
@@ -41,7 +41,10 @@
 //!    * the service tier answers the scenario bit-identically to a
 //!      direct session and survives a malformed-frame battery with
 //!      typed errors only
-//!      ([`OracleKind::ServiceRobustness`]).
+//!      ([`OracleKind::ServiceRobustness`]);
+//!    * versioned-store delta re-analysis across fuzzed WCET-edit
+//!      sequences answers bit-identically to from-scratch analysis of
+//!      every version ([`OracleKind::DeltaAgreement`]).
 //! 3. **Shrinking** ([`shrink_system`], [`shrink_body`]) — failing
 //!    scenarios are greedily minimized (chains, tasks, activation
 //!    models, WCETs) while still tripping the same oracle.
@@ -77,6 +80,8 @@ mod shrink;
 
 pub use corpus::{load_corpus, persist_failure, replay_corpus, CorpusEntry};
 pub use fuzz::{fuzz, FuzzConfig, FuzzFailure, FuzzReport};
-pub use oracle::{check_scenario, Fault, OracleKind, VerifyOptions, Violation};
+pub use oracle::{
+    check_delta_agreement, check_scenario, Fault, OracleKind, VerifyOptions, Violation,
+};
 pub use scenario::{Scenario, ScenarioBody, ScenarioProfile};
 pub use shrink::{shrink_body, shrink_distributed, shrink_system};

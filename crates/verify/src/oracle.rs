@@ -1,5 +1,5 @@
 //! The differential oracle battery: every generated scenario is checked
-//! against ten independent ways the suite could disagree with itself.
+//! against eleven independent ways the suite could disagree with itself.
 
 use std::sync::{Arc, Mutex};
 
@@ -22,7 +22,7 @@ use twca_sim::{
     Simulation, TraceSet,
 };
 
-/// The ten oracles of the conformance battery.
+/// The eleven oracles of the conformance battery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// Analytic bounds must dominate every simulated trace: observed
@@ -73,11 +73,19 @@ pub enum OracleKind {
     /// reorder a response, and return the valid request's response
     /// bit-identical to a direct [`Session`] answering the same line.
     ServiceRobustness,
+    /// Versioned-store delta re-analysis must be invisible: a session
+    /// that keeps one named system across a fuzzed sequence of WCET
+    /// edits (its memoized rows surviving every `store_put`) must
+    /// answer each `store_analyze` bit-identical to a fresh session
+    /// analyzing the same version from scratch — including failing
+    /// with the identical typed error when the edit breaks the
+    /// analysis.
+    DeltaAgreement,
 }
 
 impl OracleKind {
     /// Every oracle, in reporting order.
-    pub const ALL: [OracleKind; 10] = [
+    pub const ALL: [OracleKind; 11] = [
         OracleKind::SimSoundness,
         OracleKind::CacheAgreement,
         OracleKind::ParallelAgreement,
@@ -88,6 +96,7 @@ impl OracleKind {
         OracleKind::SimAgreement,
         OracleKind::MissRateSoundness,
         OracleKind::ServiceRobustness,
+        OracleKind::DeltaAgreement,
     ];
 
     /// A short stable name for reports and corpus headers.
@@ -103,6 +112,7 @@ impl OracleKind {
             OracleKind::SimAgreement => "sim-agreement",
             OracleKind::MissRateSoundness => "miss-rate-soundness",
             OracleKind::ServiceRobustness => "service-robustness",
+            OracleKind::DeltaAgreement => "delta-agreement",
         }
     }
 }
@@ -259,7 +269,123 @@ pub fn check_scenario(body: &ScenarioBody, opts: &VerifyOptions) -> Vec<Violatio
         ScenarioBody::Dist(dist) => check_dist(dist, opts),
     };
     check_service_robustness(body, opts, &mut violations);
+    check_delta_agreement(body, opts, &mut violations);
     violations
+}
+
+/// Replaces the `pick`-th (modulo count) `wcet=N` token of a rendered
+/// scenario with `wcet=<new_wcet>` — the textual edit the
+/// delta-agreement oracle drives through `store_put`.
+fn with_wcet_edit(text: &str, pick: usize, new_wcet: u64) -> String {
+    let starts: Vec<usize> = text.match_indices("wcet=").map(|(i, _)| i + 5).collect();
+    let Some(&at) = starts.get(pick % starts.len().max(1)) else {
+        return text.to_owned();
+    };
+    let end = text[at..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(text.len(), |d| at + d);
+    format!("{}{new_wcet}{}", &text[..at], &text[end..])
+}
+
+/// Oracle 11: versioned-store delta re-analysis is invisible. One
+/// persistent session holds the scenario under a store name across a
+/// seeded sequence of random one-task WCET edits; after every edit,
+/// its (memo-warm) `store_analyze` answer must be bit-identical to a
+/// fresh session putting and analyzing the same text from scratch —
+/// typed analysis errors included.
+pub fn check_delta_agreement(
+    body: &ScenarioBody,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    let is_dist = matches!(body, ScenarioBody::Dist(_));
+    let base = body.render();
+    if !base.contains("wcet=") {
+        return;
+    }
+    let mk_session = || {
+        Session::new()
+            .with_options(opts.options)
+            .with_max_sweeps(opts.max_sweeps)
+    };
+    let mk_request = |text: &str| AnalysisRequest {
+        id: None,
+        target: Target::Service,
+        queries: vec![
+            Query::StorePut {
+                name: "scenario".into(),
+                system: (!is_dist).then(|| text.to_owned()),
+                dist: is_dist.then(|| text.to_owned()),
+            },
+            Query::StoreAnalyze {
+                name: "scenario".into(),
+                ks: opts.ks.clone(),
+            },
+        ],
+        options: Default::default(),
+    };
+
+    // Seed the persistent store (and its memo / cache) with the
+    // unedited scenario, then drive the edit sequence.
+    let persistent = mk_session();
+    let _ = persistent.analyze(&mk_request(&base));
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0xDE17A);
+    let mut text = base;
+    for step in 0..3 {
+        text = with_wcet_edit(&text, rng.gen::<u32>() as usize, rng.gen_range(1..=64));
+        let request = mk_request(&text);
+        let warm = persistent.analyze(&request).outcome;
+        let cold = mk_session().analyze(&request).outcome;
+        match (warm, cold) {
+            (Ok(warm), Ok(cold)) => {
+                let pair = match (warm.get(1), cold.get(1)) {
+                    (
+                        Some(QueryOutcome::StoreAnalyze(warm)),
+                        Some(QueryOutcome::StoreAnalyze(cold)),
+                    ) => Some((warm.clone(), cold.clone())),
+                    _ => None,
+                };
+                let Some((warm, cold)) = pair else {
+                    violations.push(Violation {
+                        oracle: OracleKind::DeltaAgreement,
+                        detail: format!(
+                            "edit #{step}: a store_analyze query answered with a non-store outcome"
+                        ),
+                    });
+                    continue;
+                };
+                if warm.latency != cold.latency || warm.dmm != cold.dmm {
+                    violations.push(Violation {
+                        oracle: OracleKind::DeltaAgreement,
+                        detail: format!(
+                            "edit #{step}: delta re-analysis diverged from from-scratch: \
+                             {:?}/{:?} vs {:?}/{:?}",
+                            warm.latency, warm.dmm, cold.latency, cold.dmm
+                        ),
+                    });
+                }
+            }
+            (Err(warm), Err(cold)) => {
+                if warm != cold {
+                    violations.push(Violation {
+                        oracle: OracleKind::DeltaAgreement,
+                        detail: format!(
+                            "edit #{step}: delta and from-scratch analyses fail differently: \
+                             {warm} vs {cold}"
+                        ),
+                    });
+                }
+            }
+            (Ok(_), Err(e)) => violations.push(Violation {
+                oracle: OracleKind::DeltaAgreement,
+                detail: format!("edit #{step}: from-scratch failed where delta succeeded: {e}"),
+            }),
+            (Err(e), Ok(_)) => violations.push(Violation {
+                oracle: OracleKind::DeltaAgreement,
+                detail: format!("edit #{step}: delta failed where from-scratch succeeded: {e}"),
+            }),
+        }
+    }
 }
 
 /// A capture sink for the service-robustness oracle: the pool's worker
@@ -812,16 +938,29 @@ fn check_miss_rate_soundness(
 }
 
 /// Oracle 2: the memo cache must be invisible — cold-cached,
-/// warm-cached and uncached analyses agree bit-for-bit.
+/// warm-cached, uncached and *capacity-starved* analyses agree
+/// bit-for-bit. The tiny-capacity passes run the same analyses through
+/// a two-entry cache, so entries are evicted mid-analysis and the
+/// recompute-on-miss path is oracle-checked too.
 fn check_cache_agreement(
     system: &System,
     uncached: &ChainVerdicts,
     opts: &VerifyOptions,
     violations: &mut Vec<Violation>,
 ) {
+    use twca_chains::CacheCapacity;
     let cache = Arc::new(AnalysisCache::new());
-    for pass in ["cold", "warm"] {
-        let ctx = AnalysisContext::with_cache(system, Arc::clone(&cache));
+    let tiny = Arc::new(AnalysisCache::with_capacity(CacheCapacity {
+        max_entries: Some(2),
+        max_bytes: None,
+    }));
+    for (pass, cache) in [
+        ("cold", &cache),
+        ("warm", &cache),
+        ("tiny-cold", &tiny),
+        ("tiny-warm", &tiny),
+    ] {
+        let ctx = AnalysisContext::with_cache(system, Arc::clone(cache));
         let cached = chain_verdicts(&ctx, opts);
         for (reference, observed) in uncached.rows.iter().zip(&cached.rows) {
             if reference.full != observed.full || reference.typical != observed.typical {

@@ -1,0 +1,44 @@
+//! The delta-agreement gate: versioned-store delta re-analysis must
+//! match from-scratch analysis over ≥ 1000 fuzzed WCET-edit sequences
+//! (one seeded sequence per generated scenario, profiles rotating
+//! round-robin over the whole default battery).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use twca_verify::{check_delta_agreement, ScenarioProfile, VerifyOptions, Violation};
+
+#[test]
+fn a_thousand_fuzzed_edit_sequences_match_from_scratch_analysis() {
+    let profiles = ScenarioProfile::default_battery();
+    // Tighter-than-default limits: agreement needs identical answers,
+    // not tight bounds, and 1000 sequences must stay test-suite cheap.
+    let mut opts = VerifyOptions::default();
+    opts.options.horizon = 20_000;
+    opts.options.max_q = 200;
+    opts.ks = vec![1, 5];
+
+    let mut sequences = 0usize;
+    let mut violations: Vec<(String, Violation)> = Vec::new();
+    for i in 0..1000usize {
+        let profile = profiles[i % profiles.len()];
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(0xED17 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let scenario = profile.generate(&mut rng, i);
+        // A distinct seed per scenario fuzzes a distinct edit sequence.
+        let opts = VerifyOptions {
+            seed: 0xED17 ^ i as u64,
+            ..opts.clone()
+        };
+        let mut found = Vec::new();
+        check_delta_agreement(&scenario.body, &opts, &mut found);
+        sequences += 1;
+        violations.extend(found.into_iter().map(|v| (scenario.label.clone(), v)));
+    }
+    assert_eq!(sequences, 1000);
+    assert!(
+        violations.is_empty(),
+        "{} delta-agreement violation(s), first: {:?}",
+        violations.len(),
+        violations.first()
+    );
+}
