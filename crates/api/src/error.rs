@@ -34,6 +34,12 @@ pub enum ApiErrorKind {
     Overloaded,
     /// An input file or stream could not be read.
     Io,
+    /// The store's durability layer failed: journal or snapshot I/O,
+    /// or refused corruption detected during recovery.
+    Persist,
+    /// The service hit an internal fault (a worker panic) handling the
+    /// request. The connection and the worker pool stay alive.
+    Internal,
 }
 
 impl ApiErrorKind {
@@ -52,6 +58,8 @@ impl ApiErrorKind {
             ApiErrorKind::Budget => "budget",
             ApiErrorKind::Overloaded => "overloaded",
             ApiErrorKind::Io => "io",
+            ApiErrorKind::Persist => "persist",
+            ApiErrorKind::Internal => "internal",
         }
     }
 
@@ -70,6 +78,8 @@ impl ApiErrorKind {
             "budget" => ApiErrorKind::Budget,
             "overloaded" => ApiErrorKind::Overloaded,
             "io" => ApiErrorKind::Io,
+            "persist" => ApiErrorKind::Persist,
+            "internal" => ApiErrorKind::Internal,
             _ => return None,
         })
     }
@@ -159,6 +169,15 @@ impl ApiError {
         )
     }
 
+    /// The worker-panic error: the request died to an internal fault,
+    /// the connection and pool did not.
+    pub fn internal(detail: impl Into<String>) -> ApiError {
+        ApiError::new(
+            ApiErrorKind::Internal,
+            format!("internal error: {}", detail.into()),
+        )
+    }
+
     /// Serializes the error as its wire object.
     pub fn to_json(&self) -> Json {
         Json::Object(vec![
@@ -231,6 +250,12 @@ impl From<std::io::Error> for ApiError {
     }
 }
 
+impl From<crate::persist::PersistError> for ApiError {
+    fn from(value: crate::persist::PersistError) -> Self {
+        ApiError::new(ApiErrorKind::Persist, value.to_string())
+    }
+}
+
 impl From<crate::json::JsonParseError> for ApiError {
     fn from(value: crate::json::JsonParseError) -> Self {
         ApiError::new(ApiErrorKind::Json, value.to_string())
@@ -256,6 +281,8 @@ mod tests {
             ApiErrorKind::Budget,
             ApiErrorKind::Overloaded,
             ApiErrorKind::Io,
+            ApiErrorKind::Persist,
+            ApiErrorKind::Internal,
         ] {
             assert_eq!(ApiErrorKind::from_str_tag(kind.as_str()), Some(kind));
         }

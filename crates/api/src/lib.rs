@@ -30,6 +30,12 @@
 //! [`Session::system_outcome`], so the batch and streaming surfaces
 //! share one pipeline and one serializer.
 //!
+//! The [`SystemStore`] behind the `store_put`/`store_analyze` queries
+//! can be opened durably ([`SystemStore::durable`]) over the
+//! snapshot-plus-journal layer in [`persist`], so a restarted server
+//! resumes version history warm and a crash can never silently serve
+//! wrong history.
+//!
 //! # Examples
 //!
 //! ```
@@ -55,6 +61,7 @@
 mod analyze;
 mod error;
 mod json;
+pub mod persist;
 mod request;
 mod response;
 mod serve;
@@ -64,6 +71,10 @@ mod store;
 pub use analyze::{Analyze, ChainBackend, DistBackend, QueryEnv};
 pub use error::{ApiError, ApiErrorKind};
 pub use json::{escape, Json, JsonParseError};
+pub use persist::{
+    crash_states, DirIo, IoOp, MemIo, PersistError, PersistErrorKind, PersistPolicy, PersistStats,
+    RecoveryReport, StoreIo,
+};
 pub use request::{
     AnalysisRequest, LinkSpec, Query, RequestOptions, SiteSpec, Target, SCHEMA_VERSION,
 };

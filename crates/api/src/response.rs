@@ -303,6 +303,20 @@ pub struct StatsOutcome {
     pub rejected: u64,
     /// Requests admitted but not yet answered.
     pub in_flight: u64,
+    /// Worker panics caught and answered with typed `internal` errors.
+    pub panics: u64,
+    /// Put records appended to the store journal.
+    pub journal_appends: u64,
+    /// Bytes appended to the store journal.
+    pub journal_bytes: u64,
+    /// Journal fsyncs issued.
+    pub journal_syncs: u64,
+    /// Store snapshots written (including drain flushes).
+    pub snapshots_written: u64,
+    /// Journal records replayed when the store was recovered.
+    pub recovered_records: u64,
+    /// Torn-tail bytes truncated when the store was recovered.
+    pub truncated_bytes: u64,
 }
 
 /// The answer to a [`crate::Query::StorePut`]: the version now current
@@ -645,6 +659,13 @@ fn outcome_to_json(outcome: &QueryOutcome) -> Json {
                 ("served".into(), Json::UInt(s.served)),
                 ("rejected".into(), Json::UInt(s.rejected)),
                 ("in_flight".into(), Json::UInt(s.in_flight)),
+                ("panics".into(), Json::UInt(s.panics)),
+                ("journal_appends".into(), Json::UInt(s.journal_appends)),
+                ("journal_bytes".into(), Json::UInt(s.journal_bytes)),
+                ("journal_syncs".into(), Json::UInt(s.journal_syncs)),
+                ("snapshots_written".into(), Json::UInt(s.snapshots_written)),
+                ("recovered_records".into(), Json::UInt(s.recovered_records)),
+                ("truncated_bytes".into(), Json::UInt(s.truncated_bytes)),
             ]),
         ),
         QueryOutcome::StorePut(p) => (
@@ -799,6 +820,13 @@ fn outcome_from_json(value: &Json) -> Result<QueryOutcome, ApiError> {
             served: u64_field(body, "served")?,
             rejected: u64_field(body, "rejected")?,
             in_flight: u64_field(body, "in_flight")?,
+            panics: u64_field(body, "panics")?,
+            journal_appends: u64_field(body, "journal_appends")?,
+            journal_bytes: u64_field(body, "journal_bytes")?,
+            journal_syncs: u64_field(body, "journal_syncs")?,
+            snapshots_written: u64_field(body, "snapshots_written")?,
+            recovered_records: u64_field(body, "recovered_records")?,
+            truncated_bytes: u64_field(body, "truncated_bytes")?,
         }),
         "store_put" => QueryOutcome::StorePut(StorePutOutcome {
             name: str_field(body, "name")?,
@@ -925,6 +953,13 @@ mod tests {
                     served: 15,
                     rejected: 1,
                     in_flight: 2,
+                    panics: 1,
+                    journal_appends: 9,
+                    journal_bytes: 1234,
+                    journal_syncs: 9,
+                    snapshots_written: 1,
+                    recovered_records: 4,
+                    truncated_bytes: 17,
                 }),
                 QueryOutcome::StorePut(StorePutOutcome {
                     name: "plant".into(),

@@ -64,6 +64,7 @@ pub struct ServiceCounters {
     served: AtomicU64,
     rejected: AtomicU64,
     in_flight: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl ServiceCounters {
@@ -88,12 +89,19 @@ impl ServiceCounters {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The current `(served, rejected, in_flight)` values.
-    pub fn snapshot(&self) -> (u64, u64, u64) {
+    /// Records a worker panic caught while executing a request (the
+    /// request was answered with a typed internal error).
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current `(served, rejected, in_flight, panics)` values.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (
             self.served.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
             self.in_flight.load(Ordering::Relaxed),
+            self.panics.load(Ordering::Relaxed),
         )
     }
 }
@@ -271,10 +279,11 @@ impl Session {
     /// `stats` query.
     pub fn stats_outcome(&self) -> StatsOutcome {
         let cache = self.cache_stats();
-        let (served, rejected, in_flight) = match &self.counters {
+        let (served, rejected, in_flight, panics) = match &self.counters {
             Some(counters) => counters.snapshot(),
-            None => (0, 0, 0),
+            None => (0, 0, 0, 0),
         };
+        let persist = self.store.persist_stats();
         StatsOutcome {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -285,6 +294,13 @@ impl Session {
             served,
             rejected,
             in_flight,
+            panics,
+            journal_appends: persist.journal_appends,
+            journal_bytes: persist.journal_bytes,
+            journal_syncs: persist.journal_syncs,
+            snapshots_written: persist.snapshots_written,
+            recovered_records: persist.recovered_records,
+            truncated_bytes: persist.truncated_bytes,
         }
     }
 
@@ -420,7 +436,7 @@ impl Session {
                 ))
             }
         };
-        let receipt = self.store.put(name, body);
+        let receipt = self.store.put(name, body)?;
         Ok(QueryOutcome::StorePut(StorePutOutcome {
             name: receipt.name,
             version: receipt.version,

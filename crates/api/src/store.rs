@@ -14,10 +14,17 @@
 //! recomputed.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
-use twca_dist::{DistributedSystem, HolisticMemo};
-use twca_model::System;
+use twca_dist::{render_distributed, DistributedSystem, HolisticMemo};
+use twca_model::{render_system, System};
+
+use crate::error::{ApiError, ApiErrorKind};
+use crate::persist::{
+    self, encode_put, recover, PersistPolicy, PersistSeq, PersistStats, Persistence, PutRecord,
+    RecoveryReport, StoreIo, JOURNAL_FILE, KIND_DIST, KIND_UNI, SNAPSHOT_FILE,
+};
+use std::sync::atomic::Ordering;
 
 /// One stored body: a uniprocessor chain system or a distributed
 /// linked-resource system, kept parsed so repeated analyses skip the
@@ -73,6 +80,9 @@ pub struct PutReceipt {
 pub(crate) struct StoreEntry {
     pub(crate) version: u64,
     pub(crate) body: StoredBody,
+    /// The body rendered to DSL text — kept only on durable stores,
+    /// where snapshots re-emit it without re-rendering.
+    pub(crate) text: Option<String>,
     /// Per-resource holistic rows keyed by effective-system
     /// [`twca_chains::SystemKey`]; survives puts so unchanged
     /// resources of the next version hit warm rows.
@@ -94,31 +104,152 @@ pub(crate) struct StoreEntry {
 ///
 /// let store = SystemStore::new();
 /// let sys = "chain c periodic=100 deadline=100 { task t prio=1 wcet=10 }";
-/// let first = store.put("plant", StoredBody::Uni(parse_system(sys).unwrap()));
+/// let first = store.put("plant", StoredBody::Uni(parse_system(sys).unwrap())).unwrap();
 /// assert_eq!(first.version, 1);
 /// assert!(first.diff.is_empty());
 ///
 /// let edited = "chain c periodic=100 deadline=100 { task t prio=1 wcet=12 }";
-/// let second = store.put("plant", StoredBody::Uni(parse_system(edited).unwrap()));
+/// let second = store.put("plant", StoredBody::Uni(parse_system(edited).unwrap())).unwrap();
 /// assert_eq!(second.version, 2);
 /// assert_eq!(second.diff.tasks_changed, 1);
 /// assert_eq!(second.diff.chains_changed, 1);
 /// ```
+///
+/// # Durability
+///
+/// [`SystemStore::durable`] opens a store backed by a journal and
+/// snapshots behind a [`StoreIo`] (see [`crate::persist`]): every put
+/// is appended to the journal *before* it is visible in memory, and a
+/// restart replays snapshot + journal so version history survives the
+/// process. Durable puts serialize on the journal's commit lock —
+/// the per-entry concurrency of in-memory stores applies to analyses,
+/// not to durable puts.
 #[derive(Debug, Default)]
 pub struct SystemStore {
     entries: Mutex<HashMap<String, Arc<Mutex<StoreEntry>>>>,
+    persist: Option<Persistence>,
+}
+
+/// The longest accepted store name, in bytes.
+const MAX_STORE_NAME: usize = 128;
+
+/// Rejects names that are empty, over-long, or could escape a store
+/// directory once used as snapshot/journal path components.
+pub(crate) fn validate_store_name(name: &str) -> Result<(), ApiError> {
+    let reason = if name.is_empty() {
+        Some("empty".to_owned())
+    } else if name.len() > MAX_STORE_NAME {
+        Some(format!("longer than {MAX_STORE_NAME} bytes"))
+    } else if name.contains('/') || name.contains('\\') {
+        Some("contains a path separator".to_owned())
+    } else if name.contains('\0') {
+        Some("contains a NUL byte".to_owned())
+    } else if name.contains("..") {
+        Some("contains `..`".to_owned())
+    } else {
+        None
+    };
+    match reason {
+        None => Ok(()),
+        Some(reason) => Err(ApiError::new(
+            ApiErrorKind::Request,
+            format!("invalid store name: {reason}"),
+        )),
+    }
+}
+
+/// Renders a body to the DSL text the journal and snapshots carry.
+/// Bodies that round-trip through the parser always render; hand-built
+/// bodies with activation models the DSL cannot express are refused —
+/// persisting them would corrupt recovery.
+fn render_body(body: &StoredBody) -> Result<(u8, String), ApiError> {
+    let (kind, text) = match body {
+        StoredBody::Uni(system) => (KIND_UNI, render_system(system)),
+        StoredBody::Dist(system) => (KIND_DIST, render_distributed(system)),
+    };
+    if text.contains("# unrepresentable") {
+        return Err(ApiError::new(
+            ApiErrorKind::Persist,
+            "body uses an activation model the persistent DSL format cannot express",
+        ));
+    }
+    Ok((kind, text))
 }
 
 impl SystemStore {
-    /// An empty store.
+    /// An empty in-memory store; history dies with the process.
     pub fn new() -> SystemStore {
         SystemStore::default()
     }
 
+    /// Opens a durable store over `io`: recovers the newest valid
+    /// snapshot plus journal (repairing a torn tail), and journals
+    /// every subsequent put per `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiErrorKind::Persist`] when recovery refuses corruption or
+    /// the backing I/O fails — never a silently empty store.
+    pub fn durable(
+        io: Arc<dyn StoreIo>,
+        policy: PersistPolicy,
+    ) -> Result<(SystemStore, RecoveryReport), ApiError> {
+        let recovered = recover(io.as_ref())?;
+        if let Some(valid_prefix) = &recovered.repaired_journal {
+            io.replace(JOURNAL_FILE, valid_prefix)?;
+        }
+        let entries = recovered
+            .entries
+            .into_iter()
+            .map(|(name, (version, body, text))| {
+                (
+                    name,
+                    Arc::new(Mutex::new(StoreEntry {
+                        version,
+                        body,
+                        text: Some(text),
+                        memo: HolisticMemo::new(),
+                    })),
+                )
+            })
+            .collect();
+        let store = SystemStore {
+            entries: Mutex::new(entries),
+            persist: Some(Persistence {
+                io,
+                policy,
+                seq: Mutex::new(PersistSeq {
+                    next_seq: recovered.last_seq + 1,
+                    since_sync: 0,
+                    since_snapshot: 0,
+                }),
+                counters: Default::default(),
+                recovery: recovered.report,
+            }),
+        };
+        Ok((store, recovered.report))
+    }
+
     /// Stores `body` under `name`, creating version 1 or bumping the
     /// existing entry's version, and returns the receipt with the diff
-    /// against the previous version.
-    pub fn put(&self, name: &str, body: StoredBody) -> PutReceipt {
+    /// against the previous version. On a durable store the put is
+    /// journaled before it becomes visible.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiErrorKind::Request`] for an invalid name;
+    /// [`ApiErrorKind::Persist`] when journaling fails (the put is not
+    /// applied) or a post-append fsync/snapshot fails (the put *is*
+    /// applied and journaled; retrying is safe).
+    pub fn put(&self, name: &str, body: StoredBody) -> Result<PutReceipt, ApiError> {
+        validate_store_name(name)?;
+        match &self.persist {
+            None => Ok(self.put_in_memory(name, body)),
+            Some(_) => self.put_durable(name, body),
+        }
+    }
+
+    fn put_in_memory(&self, name: &str, body: StoredBody) -> PutReceipt {
         let slot = {
             let mut entries = self.entries.lock().expect("store poisoned");
             match entries.get(name) {
@@ -129,6 +260,7 @@ impl SystemStore {
                         Arc::new(Mutex::new(StoreEntry {
                             version: 1,
                             body,
+                            text: None,
                             memo: HolisticMemo::new(),
                         })),
                     );
@@ -154,6 +286,167 @@ impl SystemStore {
         }
     }
 
+    fn put_durable(&self, name: &str, body: StoredBody) -> Result<PutReceipt, ApiError> {
+        let persist = self.persist.as_ref().expect("checked durable");
+        let (kind, text) = render_body(&body)?;
+        // The commit lock: journal order, sequence numbers and entry
+        // versions must agree, so durable puts fully serialize here.
+        let mut seq = persist.seq.lock().expect("persist poisoned");
+
+        // Compute the receipt against the current entry (lock released
+        // before I/O; no other put can interleave while we hold `seq`).
+        let slot = self.handle(name);
+        let (version, diff) = match &slot {
+            None => (1, StoreDiff::default()),
+            Some(slot) => {
+                let entry = slot.lock().expect("store entry poisoned");
+                (entry.version + 1, diff_bodies(&entry.body, &body))
+            }
+        };
+
+        // Journal first: a put is only acknowledged once its record is
+        // on the journal, so recovery can never know *more* than the
+        // client was told.
+        let record = encode_put(&PutRecord {
+            seq: seq.next_seq,
+            version,
+            kind,
+            name: name.to_owned(),
+            text: text.clone(),
+        });
+        persist.io.append(JOURNAL_FILE, &record)?;
+        seq.next_seq += 1;
+        seq.since_sync += 1;
+        seq.since_snapshot += 1;
+        persist
+            .counters
+            .journal_appends
+            .fetch_add(1, Ordering::Relaxed);
+        persist
+            .counters
+            .journal_bytes
+            .fetch_add(record.len() as u64, Ordering::Relaxed);
+
+        // The record is down: make the put visible before anything
+        // else can fail, so memory and journal never diverge.
+        match slot {
+            Some(slot) => {
+                let mut entry = slot.lock().expect("store entry poisoned");
+                entry.version = version;
+                entry.body = body;
+                entry.text = Some(text);
+            }
+            None => {
+                self.entries.lock().expect("store poisoned").insert(
+                    name.to_owned(),
+                    Arc::new(Mutex::new(StoreEntry {
+                        version,
+                        body,
+                        text: Some(text),
+                        memo: HolisticMemo::new(),
+                    })),
+                );
+            }
+        }
+        let receipt = PutReceipt {
+            name: name.to_owned(),
+            version,
+            diff,
+        };
+
+        // Policy work after the commit point. A failure here surfaces
+        // as an error, but the put above is journaled and applied —
+        // retrying simply appends the same body as the next version.
+        if persist.policy.sync_every > 0 && seq.since_sync >= persist.policy.sync_every {
+            persist.io.sync(JOURNAL_FILE)?;
+            seq.since_sync = 0;
+            persist
+                .counters
+                .journal_syncs
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if persist.policy.snapshot_every > 0 && seq.since_snapshot >= persist.policy.snapshot_every
+        {
+            self.write_snapshot(persist, &mut seq)?;
+        }
+        Ok(receipt)
+    }
+
+    /// Writes a snapshot covering everything journaled so far, then
+    /// resets the journal. Caller holds the commit lock.
+    fn write_snapshot(
+        &self,
+        persist: &Persistence,
+        seq: &mut MutexGuard<'_, PersistSeq>,
+    ) -> Result<(), ApiError> {
+        let last_seq = seq.next_seq - 1;
+        let slots: Vec<(String, Arc<Mutex<StoreEntry>>)> = {
+            let entries = self.entries.lock().expect("store poisoned");
+            entries
+                .iter()
+                .map(|(name, slot)| (name.clone(), Arc::clone(slot)))
+                .collect()
+        };
+        let mut dump: Vec<(String, u64, u8, String)> = Vec::with_capacity(slots.len());
+        for (name, slot) in slots {
+            let entry = slot.lock().expect("store entry poisoned");
+            let (kind, text) = match &entry.text {
+                Some(text) => {
+                    let kind = match &entry.body {
+                        StoredBody::Uni(_) => KIND_UNI,
+                        StoredBody::Dist(_) => KIND_DIST,
+                    };
+                    (kind, text.clone())
+                }
+                None => render_body(&entry.body)?,
+            };
+            dump.push((name, entry.version, kind, text));
+        }
+        dump.sort_by(|a, b| a.0.cmp(&b.0));
+        let bytes = persist::encode_snapshot(last_seq, &dump);
+        persist.io.replace(SNAPSHOT_FILE, &bytes)?;
+        // Crash window here: the snapshot already covers every journal
+        // record, so replay skips them all — reset is cosmetic.
+        persist.io.replace(JOURNAL_FILE, &[])?;
+        seq.since_snapshot = 0;
+        seq.since_sync = 0;
+        persist
+            .counters
+            .snapshots_written
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Forces a snapshot (and journal reset) now. Called on service
+    /// drain so a clean shutdown restarts from a snapshot, not a
+    /// replay. No-op on in-memory stores.
+    pub fn flush(&self) -> Result<(), ApiError> {
+        match &self.persist {
+            None => Ok(()),
+            Some(persist) => {
+                let mut seq = persist.seq.lock().expect("persist poisoned");
+                if seq.next_seq == 1 && self.entries.lock().expect("store poisoned").is_empty() {
+                    return Ok(()); // nothing ever stored
+                }
+                self.write_snapshot(persist, &mut seq)
+            }
+        }
+    }
+
+    /// Point-in-time persistence counters; all zeros for an in-memory
+    /// store.
+    pub fn persist_stats(&self) -> PersistStats {
+        self.persist
+            .as_ref()
+            .map(Persistence::stats)
+            .unwrap_or_default()
+    }
+
+    /// What recovery found when this store was opened, if durable.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.persist.as_ref().map(|p| p.recovery)
+    }
+
     /// The names currently stored, in no particular order.
     pub fn names(&self) -> Vec<String> {
         self.entries
@@ -162,6 +455,28 @@ impl SystemStore {
             .keys()
             .cloned()
             .collect()
+    }
+
+    /// A sorted dump of every entry: `(name, version, body)`. Used by
+    /// the recovery oracle to compare a recovered store against the
+    /// expected prefix state.
+    pub fn export(&self) -> Vec<(String, u64, StoredBody)> {
+        let slots: Vec<(String, Arc<Mutex<StoreEntry>>)> = {
+            let entries = self.entries.lock().expect("store poisoned");
+            entries
+                .iter()
+                .map(|(name, slot)| (name.clone(), Arc::clone(slot)))
+                .collect()
+        };
+        let mut dump: Vec<(String, u64, StoredBody)> = slots
+            .into_iter()
+            .map(|(name, slot)| {
+                let entry = slot.lock().expect("store entry poisoned");
+                (name, entry.version, entry.body.clone())
+            })
+            .collect();
+        dump.sort_by(|a, b| a.0.cmp(&b.0));
+        dump
     }
 
     /// The handle of `name`'s entry, if present. The caller locks the
@@ -369,8 +684,8 @@ mod tests {
     #[test]
     fn versions_count_up_and_diffs_localize_edits() {
         let store = SystemStore::new();
-        assert_eq!(store.put("s", uni(10)).version, 1);
-        let receipt = store.put("s", uni(11));
+        assert_eq!(store.put("s", uni(10)).unwrap().version, 1);
+        let receipt = store.put("s", uni(11)).unwrap();
         assert_eq!(receipt.version, 2);
         assert_eq!(
             receipt.diff,
@@ -381,11 +696,11 @@ mod tests {
             }
         );
         // Identical put: version bumps, nothing changed.
-        let receipt = store.put("s", uni(11));
+        let receipt = store.put("s", uni(11)).unwrap();
         assert_eq!(receipt.version, 3);
         assert!(receipt.diff.is_empty());
         // Names are independent entries.
-        assert_eq!(store.put("other", uni(10)).version, 1);
+        assert_eq!(store.put("other", uni(10)).unwrap().version, 1);
         let mut names = store.names();
         names.sort();
         assert_eq!(names, ["other", "s"]);
@@ -394,8 +709,8 @@ mod tests {
     #[test]
     fn dist_diff_counts_only_the_edited_resource() {
         let store = SystemStore::new();
-        store.put("d", dist(None));
-        let receipt = store.put("d", dist(Some(2)));
+        store.put("d", dist(None)).unwrap();
+        let receipt = store.put("d", dist(Some(2))).unwrap();
         assert_eq!(
             receipt.diff,
             StoreDiff {
@@ -429,18 +744,120 @@ mod tests {
             )
         };
         let store = SystemStore::new();
-        store.put("d", build("r2"));
-        let receipt = store.put("d", build("r3"));
+        store.put("d", build("r2")).unwrap();
+        let receipt = store.put("d", build("r3")).unwrap();
         // No chain declaration changed, but both link consumers moved.
         assert_eq!(receipt.diff.chains_changed, 0);
         assert_eq!(receipt.diff.resources_changed, 2);
     }
 
     #[test]
+    fn bad_names_are_rejected_with_typed_errors() {
+        let store = SystemStore::new();
+        let long = "x".repeat(MAX_STORE_NAME + 1);
+        for bad in ["", "a/b", "a\\b", "..", "a..b", "a\0b", long.as_str()] {
+            let err = store.put(bad, uni(10)).unwrap_err();
+            assert_eq!(err.kind, ApiErrorKind::Request, "name {bad:?}");
+            assert!(
+                err.message.contains("invalid store name"),
+                "{}",
+                err.message
+            );
+        }
+        // Boundary: exactly the limit is fine, as are dots that are
+        // not `..`.
+        let edge = "x".repeat(MAX_STORE_NAME);
+        assert!(store.put(&edge, uni(10)).is_ok());
+        assert!(store.put("v1.2.plant", uni(10)).is_ok());
+    }
+
+    #[test]
+    fn durable_puts_survive_reopen() {
+        use crate::persist::MemIo;
+
+        let io = Arc::new(MemIo::new());
+        let (store, report) = SystemStore::durable(
+            Arc::clone(&io) as Arc<dyn StoreIo>,
+            PersistPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        store.put("s", uni(10)).unwrap();
+        store.put("s", uni(11)).unwrap();
+        store.put("d", dist(None)).unwrap();
+        let before = store.export();
+
+        let (reopened, report) = SystemStore::durable(
+            Arc::new(MemIo::from_state(io.state())) as Arc<dyn StoreIo>,
+            PersistPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.entries, 2);
+        let after = reopened.export();
+        assert_eq!(before.len(), after.len());
+        for ((n0, v0, b0), (n1, v1, b1)) in before.iter().zip(after.iter()) {
+            assert_eq!((n0, v0), (n1, v1));
+            assert_eq!(render_body(b0).unwrap(), render_body(b1).unwrap());
+        }
+        // Version history continues where it left off.
+        assert_eq!(reopened.put("s", uni(12)).unwrap().version, 3);
+    }
+
+    #[test]
+    fn flush_snapshots_and_resets_the_journal() {
+        use crate::persist::MemIo;
+
+        let io = Arc::new(MemIo::new());
+        let (store, _) = SystemStore::durable(
+            Arc::clone(&io) as Arc<dyn StoreIo>,
+            PersistPolicy::default(),
+        )
+        .unwrap();
+        store.put("s", uni(10)).unwrap();
+        store.flush().unwrap();
+        let state = io.state();
+        assert!(state[JOURNAL_FILE].is_empty());
+        assert!(!state[SNAPSHOT_FILE].is_empty());
+        let stats = store.persist_stats();
+        assert_eq!(stats.journal_appends, 1);
+        assert_eq!(stats.snapshots_written, 1);
+
+        // Snapshot-only state (journal reset) recovers cleanly — the
+        // snapshot-newer-than-journal edge.
+        let (reopened, report) = SystemStore::durable(
+            Arc::new(MemIo::from_state(state)) as Arc<dyn StoreIo>,
+            PersistPolicy::default(),
+        )
+        .unwrap();
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.replayed, 0);
+        assert_eq!(reopened.put("s", uni(11)).unwrap().version, 2);
+    }
+
+    #[test]
+    fn journal_failure_refuses_the_put_without_applying_it() {
+        use crate::persist::MemIo;
+
+        let io = Arc::new(MemIo::new());
+        let (store, _) = SystemStore::durable(
+            Arc::clone(&io) as Arc<dyn StoreIo>,
+            PersistPolicy::default(),
+        )
+        .unwrap();
+        store.put("s", uni(10)).unwrap();
+        io.fail_after(0);
+        let err = store.put("s", uni(11)).unwrap_err();
+        assert_eq!(err.kind, ApiErrorKind::Persist);
+        // The failed put is not visible: version unchanged.
+        assert_eq!(store.export()[0].1, 1);
+    }
+
+    #[test]
     fn kind_flips_count_the_whole_new_body() {
         let store = SystemStore::new();
-        store.put("s", uni(10));
-        let receipt = store.put("s", dist(None));
+        store.put("s", uni(10)).unwrap();
+        let receipt = store.put("s", dist(None)).unwrap();
         assert_eq!(receipt.diff.resources_changed, 4);
         assert_eq!(receipt.diff.chains_changed, 4);
         assert_eq!(receipt.diff.tasks_changed, 4);

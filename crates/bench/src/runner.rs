@@ -325,6 +325,14 @@ const SPEEDUP_CONTRACTS: [(&str, &str, f64); 5] = [
     ),
 ];
 
+/// Cap contracts: the first entry must stay within `cap` × the second
+/// (the inverse of a speedup floor). Durable `store_put` journaling —
+/// render, frame, checksum, `write(2)` — must cost at most 1.5× the
+/// in-memory put it shadows, or the durability layer has become the
+/// bottleneck of every store-backed deployment.
+const OVERHEAD_CAPS: [(&str, &str, f64); 1] =
+    [("persist/put_journaled", "persist/put_in_memory", 1.5)];
+
 fn format_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2} s", ns as f64 / 1e9)
@@ -1092,6 +1100,165 @@ pub fn run_delta_bench(config: &BenchConfig) -> BenchReport {
     }
 }
 
+/// The `--suite persist` put workload: `versions` distinct revisions
+/// of a mid-size chain system (stepped WCETs so every put carries a
+/// real diff), as DSL text — the timed passes parse it per put, the
+/// way every wire `store_put` does. Every body round-trips the
+/// persistent DSL format by construction.
+fn persist_texts(versions: usize) -> Vec<String> {
+    (0..versions)
+        .map(|step| {
+            let mut text = String::new();
+            for chain in 0..6 {
+                text.push_str(&format!(
+                    "chain c{chain} periodic={} deadline={} {{\n",
+                    100 + 10 * chain,
+                    100 + 10 * chain
+                ));
+                for task in 0..5 {
+                    text.push_str(&format!(
+                        "  task c{chain}t{task} prio={} wcet={}\n",
+                        1 + chain * 5 + task,
+                        3 + (step + chain + task) % 7
+                    ));
+                }
+                text.push_str("}\n");
+            }
+            text
+        })
+        .collect()
+}
+
+/// Runs the `--suite persist` durability workloads behind
+/// `BENCH_persist.json`:
+///
+/// * `persist/put_in_memory` — 64 `store_put`s (two names, stepped
+///   bodies, DSL parse included exactly as on the wire path) on a
+///   plain in-memory [`twca_api::SystemStore`];
+/// * `persist/put_journaled` — the same 64 puts on a durable store
+///   over a real directory ([`twca_api::DirIo`]), journal appends
+///   only (no per-put fsync, no snapshot) so the delta over the
+///   in-memory entry is the render + frame + checksum + `write(2)`
+///   cost the journal adds per put — the pair is gated by the 1.5×
+///   overhead cap in [`check_against`];
+/// * `persist/recovery` — reopening the store from a 64-record
+///   journal (cold replay, no snapshot), the restart-latency number.
+///
+/// Before timing anything the recovery path is checked: the reopened
+/// store must report both entries at version 32.
+pub fn run_persist_bench(config: &BenchConfig) -> BenchReport {
+    use std::sync::Arc;
+    use twca_api::{DirIo, PersistPolicy, SystemStore};
+
+    let samples = if config.quick { 5 } else { 9 };
+    const PUTS: usize = 64;
+    // Appends only: fsync cadence is a deployment policy measuring
+    // disk hardware, not suite code, and would swamp the append cost
+    // this suite gates.
+    let policy = PersistPolicy {
+        snapshot_every: 0,
+        sync_every: 0,
+    };
+    let texts = persist_texts(PUTS);
+    let scratch = std::env::temp_dir().join(format!("twca-bench-persist-{}", std::process::id()));
+    let run_puts = |store: &SystemStore| {
+        for (i, text) in texts.iter().enumerate() {
+            let name = if i % 2 == 0 { "alpha" } else { "beta" };
+            let body = twca_api::StoredBody::Uni(
+                twca_model::parse_system(text).expect("persist bench body parses"),
+            );
+            store.put(name, body).expect("bench put succeeds");
+        }
+    };
+
+    // Sanity before timing: a journal written by this workload must
+    // recover to the exact final state.
+    let check_dir = scratch.join("check");
+    let (seed_store, _) = SystemStore::durable(
+        Arc::new(DirIo::open(&check_dir).expect("temp store dir opens")),
+        policy,
+    )
+    .expect("fresh durable store opens");
+    run_puts(&seed_store);
+    drop(seed_store);
+    let (reopened, report) = SystemStore::durable(
+        Arc::new(DirIo::open(&check_dir).expect("temp store dir reopens")),
+        policy,
+    )
+    .expect("journal recovers");
+    assert_eq!(
+        report.replayed, PUTS as u64,
+        "recovery replayed {} of the {PUTS} journaled puts",
+        report.replayed
+    );
+    let versions: Vec<(String, u64)> = reopened
+        .export()
+        .into_iter()
+        .map(|(name, version, _)| (name, version))
+        .collect();
+    assert_eq!(
+        versions,
+        vec![
+            ("alpha".to_owned(), PUTS as u64 / 2),
+            ("beta".to_owned(), PUTS as u64 / 2)
+        ],
+        "recovered store diverged from the put sequence"
+    );
+    drop(reopened);
+
+    let mut entries = vec![calibration_entry(samples)];
+    entries.push(BenchEntry {
+        id: "persist/put_in_memory".to_owned(),
+        best_ns: best_ns(samples, || {
+            let store = SystemStore::new();
+            run_puts(&store);
+            std::hint::black_box(store.names());
+        }),
+        samples,
+    });
+    // One pre-opened store per pass: directory setup is not the
+    // workload, the 64 journaled puts are.
+    let mut fresh: Vec<SystemStore> = (0..samples)
+        .map(|pass| {
+            let dir = scratch.join(format!("puts-{pass}"));
+            let (store, _) = SystemStore::durable(
+                Arc::new(DirIo::open(dir).expect("temp store dir opens")),
+                policy,
+            )
+            .expect("fresh durable store opens");
+            store
+        })
+        .collect();
+    entries.push(BenchEntry {
+        id: "persist/put_journaled".to_owned(),
+        best_ns: best_ns(samples, || {
+            let store = fresh.pop().expect("one store per sample");
+            run_puts(&store);
+            std::hint::black_box(store.persist_stats().journal_bytes);
+        }),
+        samples,
+    });
+    // Recovery re-reads the same 64-record journal every pass (replay
+    // never mutates a journal with no torn tail).
+    entries.push(BenchEntry {
+        id: "persist/recovery".to_owned(),
+        best_ns: best_ns(samples, || {
+            let io = Arc::new(DirIo::open(&check_dir).expect("temp store dir reopens"));
+            let (store, report) = SystemStore::durable(io, policy).expect("journal recovers");
+            std::hint::black_box((store.names(), report));
+        }),
+        samples,
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
+    BenchReport {
+        seed: config.seed,
+        quick: config.quick,
+        entries,
+        overload_heavy_speedup: 0.0,
+        service_requests_per_sec: None,
+    }
+}
+
 /// Compares a fresh report against a committed baseline.
 ///
 /// Both reports must have been measured on the same seed (different
@@ -1161,6 +1328,16 @@ pub fn check_against(current: &BenchReport, baseline: &BenchReport, tolerance: f
             if speedup < floor {
                 regressions.push(format!(
                     "`{fast}` speedup below its {floor}x contract: {speedup:.2}x vs `{slow}`"
+                ));
+            }
+        }
+    }
+    for (capped, base, cap) in OVERHEAD_CAPS {
+        // speedup(base, capped) is capped_ns / base_ns — the overhead.
+        if let Some(overhead) = current.speedup(base, capped) {
+            if overhead > cap {
+                regressions.push(format!(
+                    "`{capped}` overhead above its {cap}x cap: {overhead:.2}x vs `{base}`"
                 ));
             }
         }
@@ -1236,6 +1413,35 @@ mod tests {
     }
 
     #[test]
+    fn overhead_cap_flags_expensive_journaling() {
+        let mk = |journaled: u64| BenchReport {
+            seed: 1,
+            quick: true,
+            entries: vec![
+                BenchEntry {
+                    id: "persist/put_in_memory".into(),
+                    best_ns: 10_000,
+                    samples: 3,
+                },
+                BenchEntry {
+                    id: "persist/put_journaled".into(),
+                    best_ns: journaled,
+                    samples: 3,
+                },
+            ],
+            overload_heavy_speedup: 0.0,
+            service_requests_per_sec: None,
+        };
+        let baseline = mk(12_000);
+        assert!(check_against(&mk(14_000), &baseline, 1.5).is_empty());
+        let flagged = check_against(&mk(16_000), &baseline, 1.5);
+        assert!(
+            flagged.iter().any(|r| r.contains("1.5x cap")),
+            "journal overhead above the cap was not flagged: {flagged:?}"
+        );
+    }
+
+    #[test]
     fn quick_suite_runs_and_keeps_the_contract() {
         let report = run_bench(&BenchConfig {
             seed: 42,
@@ -1279,6 +1485,35 @@ mod tests {
             .iter()
             .all(|r| r.contains("contract")));
         assert!(report.render().contains("delta_reanalysis"));
+    }
+
+    #[test]
+    fn persist_suite_recovers_its_own_journal_and_round_trips() {
+        let report = run_persist_bench(&BenchConfig {
+            seed: 42,
+            quick: true,
+        });
+        for id in [
+            "calibration/spin",
+            "persist/put_in_memory",
+            "persist/put_journaled",
+            "persist/recovery",
+        ] {
+            assert!(report.entry(id).is_some(), "missing entry `{id}`");
+        }
+        let json = report.to_json().to_string();
+        let reparsed =
+            BenchReport::from_json(&Json::parse(&json).expect("valid json")).expect("well-formed");
+        assert_eq!(reparsed.entries, report.entries);
+        // No wall-clock cap assertion here (unoptimized, time-shared —
+        // the release-mode CI bench step gates the 1.5x overhead cap);
+        // run_persist_bench itself asserts the journal recovers to the
+        // exact final state. Self-comparison may only ever flag the
+        // cap, never a timing regression.
+        assert!(check_against(&report, &reparsed, 1.5)
+            .iter()
+            .all(|r| r.contains("cap")));
+        assert!(report.render().contains("persist/recovery"));
     }
 
     #[test]

@@ -726,13 +726,14 @@ struct ServeArgs {
     deadline_ms: Option<u64>,
     cache_entries: Option<u64>,
     cache_bytes: Option<u64>,
+    store_dir: Option<String>,
 }
 
 impl ServeArgs {
     const USAGE: &'static str = "twca serve [--file F] [--budget UNITS] [--horizon H] [--max-q Q] \
                                  [--solver scheduling-points|iterative] [--listen ADDR] \
                                  [--workers N] [--queue N] [--deadline-ms MS] \
-                                 [--cache-entries N] [--cache-bytes B]";
+                                 [--cache-entries N] [--cache-bytes B] [--store-dir DIR]";
 
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut parsed = ServeArgs {
@@ -747,6 +748,7 @@ impl ServeArgs {
             deadline_ms: None,
             cache_entries: None,
             cache_bytes: None,
+            store_dir: None,
         };
         let mut rest = args.iter();
         while let Some(arg) = rest.next() {
@@ -804,6 +806,7 @@ impl ServeArgs {
                             CliError::Usage("`--cache-bytes` expects a byte budget".into())
                         })?);
                 }
+                "--store-dir" => parsed.store_dir = Some(value_of("--store-dir")?.clone()),
                 flag => {
                     return Err(CliError::Usage(format!(
                         "unknown serve flag `{flag}`; {}",
@@ -837,6 +840,27 @@ impl ServeArgs {
         session
     }
 
+    /// Opens the durable store behind `--store-dir`, if requested:
+    /// recovery (snapshot + journal replay, torn tail repaired) runs
+    /// here, before the server accepts a single request.
+    fn durable_store(
+        &self,
+    ) -> Result<
+        Option<(
+            std::sync::Arc<twca_api::SystemStore>,
+            twca_api::RecoveryReport,
+        )>,
+        CliError,
+    > {
+        let Some(dir) = &self.store_dir else {
+            return Ok(None);
+        };
+        let io = std::sync::Arc::new(twca_api::DirIo::open(dir).map_err(twca_api::ApiError::from)?);
+        let (store, report) =
+            twca_api::SystemStore::durable(io, twca_api::PersistPolicy::default())?;
+        Ok(Some((std::sync::Arc::new(store), report)))
+    }
+
     fn service_config(&self) -> twca_service::ServiceConfig {
         let defaults = twca_service::ServiceConfig::default();
         twca_service::ServiceConfig {
@@ -851,6 +875,7 @@ impl ServeArgs {
 fn render_serve_summary(
     summary: &twca_api::ServeSummary,
     stats: twca_chains::CacheStats,
+    persist: Option<(twca_api::PersistStats, twca_api::RecoveryReport)>,
 ) -> String {
     // The first line is load-bearing: scripts (and the smoke test) key
     // on its `served N request(s), M error(s)` prefix.
@@ -875,6 +900,22 @@ fn render_serve_summary(
             summary.latency.count
         );
     }
+    if let Some((stats, recovery)) = persist {
+        let _ = writeln!(
+            out,
+            "persist: {} journal append(s) ({} bytes, {} fsync(s)), {} snapshot(s); \
+             recovered {} entr{} ({} replayed, {} skipped, {} torn byte(s) truncated)",
+            stats.journal_appends,
+            stats.journal_bytes,
+            stats.journal_syncs,
+            stats.snapshots_written,
+            recovery.entries,
+            if recovery.entries == 1 { "y" } else { "ies" },
+            recovery.replayed,
+            recovery.skipped,
+            recovery.truncated_bytes
+        );
+    }
     out
 }
 
@@ -892,6 +933,13 @@ fn render_serve_summary(
 /// stdio lane triggers a graceful drain of the whole server, so
 /// holding stdin open (e.g. a FIFO) keeps the server up.
 ///
+/// With `--store-dir DIR` the session's system store is durable:
+/// every `store_put` is journaled to `DIR` before it is acknowledged,
+/// recovery (snapshot + journal replay) runs before the server
+/// accepts requests, and the drain flushes a fresh snapshot. The
+/// drain summary grows a `persist:` line with the journal, snapshot
+/// and recovery counters (also live in the `stats` wire query).
+///
 /// # Errors
 ///
 /// Returns [`CliError`] for bad flags and stream I/O failures; parse
@@ -902,7 +950,39 @@ pub fn cmd_serve(
     output: impl Write,
 ) -> Result<String, CliError> {
     let parsed = ServeArgs::parse(args)?;
-    let session = parsed.session();
+    let mut session = parsed.session();
+    let recovery = match parsed.durable_store()? {
+        None => None,
+        Some((store, report)) => {
+            eprintln!(
+                "recovered store from {}: {} entr{} ({} journal record(s) replayed, \
+                 {} skipped, {} torn byte(s) truncated)",
+                parsed.store_dir.as_deref().unwrap_or("."),
+                report.entries,
+                if report.entries == 1 { "y" } else { "ies" },
+                report.replayed,
+                report.skipped,
+                report.truncated_bytes
+            );
+            session = session.with_store(store);
+            Some(report)
+        }
+    };
+    // Held across the serve loop so the drain path can flush the
+    // durable store and report its counters after the session moved
+    // into the server.
+    let store = session.store();
+    // On drain: force a snapshot so a clean shutdown restarts from a
+    // snapshot instead of a journal replay. A flush failure keeps the
+    // journal intact (nothing acknowledged is lost), so warn and keep
+    // the summary.
+    let flush_on_drain = |store: &twca_api::SystemStore| {
+        if recovery.is_some() {
+            if let Err(error) = store.flush() {
+                eprintln!("warning: flush on drain failed: {error}");
+            }
+        }
+    };
     if let Some(addr) = &parsed.listen {
         let cache = session.cache();
         let config = parsed.service_config();
@@ -934,7 +1014,9 @@ pub fn cmd_serve(
             ),
         }
         let summary = server.shutdown(std::time::Duration::from_secs(30));
-        return Ok(render_serve_summary(&summary, cache.stats()));
+        flush_on_drain(&store);
+        let persist = recovery.map(|report| (store.persist_stats(), report));
+        return Ok(render_serve_summary(&summary, cache.stats(), persist));
     }
     let summary = match &parsed.file {
         Some(path) => {
@@ -943,8 +1025,10 @@ pub fn cmd_serve(
         }
         None => twca_api::serve(&session, input, output)?,
     };
+    flush_on_drain(&store);
     let stats = session.cache_stats();
-    Ok(render_serve_summary(&summary, stats))
+    let persist = recovery.map(|report| (store.persist_stats(), report));
+    Ok(render_serve_summary(&summary, stats, persist))
 }
 
 /// `twca loadgen`: drives the TCP server with a deterministic corpus —
@@ -1244,7 +1328,7 @@ impl FuzzArgs {
 
 /// `twca fuzz`: randomized conformance fuzzing through the
 /// [`twca_verify`] oracle battery. Every generated scenario is checked
-/// against all eleven oracles; failures are auto-shrunk to minimal
+/// against all twelve oracles; failures are auto-shrunk to minimal
 /// counterexamples and (with `--corpus`) persisted as regression
 /// fixtures.
 ///
@@ -1306,6 +1390,7 @@ enum BenchSuite {
     Core,
     Service,
     Delta,
+    Persist,
 }
 
 /// Parsed flags of `twca bench`.
@@ -1318,8 +1403,8 @@ struct BenchCliArgs {
 }
 
 impl BenchCliArgs {
-    const USAGE: &'static str = "twca bench [--suite core|service|delta] [--json] [--out FILE] \
-                                 [--seed S] [--quick] [--check BASELINE.json]";
+    const USAGE: &'static str = "twca bench [--suite core|service|delta|persist] [--json] \
+                                 [--out FILE] [--seed S] [--quick] [--check BASELINE.json]";
 
     fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut parsed = BenchCliArgs {
@@ -1351,9 +1436,10 @@ impl BenchCliArgs {
                         "core" => BenchSuite::Core,
                         "service" => BenchSuite::Service,
                         "delta" => BenchSuite::Delta,
+                        "persist" => BenchSuite::Persist,
                         suite => {
                             return Err(CliError::Usage(format!(
-                                "`--suite` must be core, service or delta, not `{suite}`"
+                                "`--suite` must be core, service, delta or persist, not `{suite}`"
                             )));
                         }
                     };
@@ -1381,7 +1467,10 @@ impl BenchCliArgs {
 /// `BENCH_service.json`. `--suite delta` measures memoized holistic
 /// re-analysis after a one-task WCET edit on a 100-resource pipeline
 /// against the cold full fixed point (`BENCH_delta.json`, ≥ 10x
-/// contract).
+/// contract). `--suite persist` measures durable-store `store_put`
+/// journaling against the in-memory put plus cold recovery time
+/// (`BENCH_persist.json`); journal append overhead is capped at 1.5×
+/// the in-memory put.
 /// `--check BASELINE.json` re-measures and fails (non-zero exit) when
 /// any benchmark regresses more than 1.5× against the committed
 /// baseline after machine-speed normalization, or when the
@@ -1394,7 +1483,8 @@ impl BenchCliArgs {
 /// regression list when `--check` fails.
 pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
     use twca_bench::runner::{
-        check_against, run_bench, run_delta_bench, run_service_bench, BenchReport,
+        check_against, run_bench, run_delta_bench, run_persist_bench, run_service_bench,
+        BenchReport,
     };
 
     let parsed = BenchCliArgs::parse(args)?;
@@ -1415,6 +1505,7 @@ pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
         BenchSuite::Core => run_bench(&parsed.config),
         BenchSuite::Service => run_service_bench(&parsed.config),
         BenchSuite::Delta => run_delta_bench(&parsed.config),
+        BenchSuite::Persist => run_persist_bench(&parsed.config),
     };
     let json = format!("{}\n", report.to_json());
     if let Some(path) = &parsed.out {
@@ -1670,6 +1761,53 @@ chain recovery sporadic=1000 overload {
             ServeArgs::parse(&args(&["--cache-entries", "lots"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn serve_store_dir_persists_puts_across_restarts() {
+        let dir = std::env::temp_dir().join(format!("twca-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let serve_args = args(&["--store-dir", dir.to_str().unwrap()]);
+
+        // First process life: two versions of one entry, then drain.
+        let input = concat!(
+            r#"{"queries": [{"store_put": {"name": "plant", "system": "chain c periodic=100 deadline=100 { task t prio=1 wcet=10 }"}}]}"#,
+            "\n",
+            r#"{"queries": [{"store_put": {"name": "plant", "system": "chain c periodic=100 deadline=100 { task t prio=1 wcet=12 }"}}]}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = cmd_serve(&serve_args, input.as_bytes(), &mut out).unwrap();
+        assert!(
+            summary.contains("persist: 2 journal append(s)"),
+            "summary lost the persist line: {summary}"
+        );
+        assert!(String::from_utf8(out).unwrap().contains("\"version\": 2"));
+
+        // Second life over the same directory: the drain snapshot (plus
+        // empty journal) recovers, and analysis sees version 2.
+        let input =
+            r#"{"queries": [{"store_analyze": {"name": "plant", "ks": [1]}}]}"#.to_owned() + "\n";
+        let mut out = Vec::new();
+        let summary = cmd_serve(&serve_args, input.as_bytes(), &mut out).unwrap();
+        assert!(
+            summary.contains("recovered 1 entry"),
+            "restart did not recover the entry: {summary}"
+        );
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("\"version\": 2"), "history lost: {out}");
+
+        // A store directory that cannot be created is a typed error.
+        let bad = dir.join("store.journal").join("nested");
+        assert!(matches!(
+            cmd_serve(
+                &args(&["--store-dir", bad.to_str().unwrap()]),
+                &b""[..],
+                Vec::new()
+            ),
+            Err(CliError::Api(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -258,6 +259,11 @@ impl Watchdog {
     }
 }
 
+/// How a worker turns a request line into a response. Injectable so
+/// tests can drive the panic-isolation path with a purpose-built
+/// panicking executor; production pools use [`respond_line_with`].
+type Executor = Arc<dyn Fn(&Session, &str, Option<&CancelToken>) -> AnalysisResponse + Send + Sync>;
+
 /// The sharded multi-worker request engine; see the module docs.
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
@@ -283,6 +289,21 @@ impl WorkerPool {
     /// counters).
     #[must_use]
     pub fn new(session: Session, config: &ServiceConfig) -> WorkerPool {
+        let executor: Executor = Arc::new(
+            |session: &Session, line: &str, cancel: Option<&CancelToken>| {
+                respond_line_with(session, line, cancel)
+            },
+        );
+        WorkerPool::with_executor(session, config, &executor)
+    }
+
+    /// [`WorkerPool::new`] with an injected request executor; the seam
+    /// the panic-isolation tests use to make a request panic on cue.
+    pub(crate) fn with_executor(
+        session: Session,
+        config: &ServiceConfig,
+        executor: &Executor,
+    ) -> WorkerPool {
         let counters = Arc::new(ServiceCounters::new());
         let session = session.with_service_counters(Arc::clone(&counters));
         let shared = Arc::new(PoolShared {
@@ -299,7 +320,25 @@ impl WorkerPool {
                 let shared = Arc::clone(&shared);
                 let counters = Arc::clone(&counters);
                 let session = session.clone();
-                std::thread::spawn(move || worker_loop(&shared, &counters, &session))
+                let executor = Arc::clone(executor);
+                // The outer loop is the respawn: should a panic ever
+                // escape the per-job catch (e.g. while delivering),
+                // the worker restarts instead of shrinking the pool.
+                std::thread::spawn(move || {
+                    let mut latency = LatencyStats::default();
+                    loop {
+                        let run = catch_unwind(AssertUnwindSafe(|| {
+                            worker_loop(&shared, &counters, &session, &executor)
+                        }));
+                        match run {
+                            Ok(stats) => {
+                                latency.merge(&stats);
+                                return latency;
+                            }
+                            Err(_) => counters.record_panic(),
+                        }
+                    }
+                })
             })
             .collect();
         WorkerPool {
@@ -399,7 +438,7 @@ impl WorkerPool {
             }
         }
         self.watchdog.stop();
-        let (served, rejected, _) = self.counters.snapshot();
+        let (served, rejected, _, _) = self.counters.snapshot();
         let summary = ServeSummary {
             requests: (served + rejected) as usize,
             errors: self.shared.errors.load(Ordering::Relaxed) as usize,
@@ -416,7 +455,12 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &PoolShared, counters: &ServiceCounters, session: &Session) -> LatencyStats {
+fn worker_loop(
+    shared: &PoolShared,
+    counters: &ServiceCounters,
+    session: &Session,
+    executor: &Executor,
+) -> LatencyStats {
     let mut latency = LatencyStats::default();
     loop {
         let job = {
@@ -434,13 +478,36 @@ fn worker_loop(shared: &PoolShared, counters: &ServiceCounters, session: &Sessio
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
-        let response = respond_line_with(session, &job.line, Some(&job.cancel));
+        // A panicking analysis must never hang the connection or
+        // shrink the pool: catch it, answer the lane with a typed
+        // `internal` error, count it, and keep the worker alive.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            executor(session, &job.line, Some(&job.cancel))
+        }));
+        let response = match run {
+            Ok(response) => response,
+            Err(payload) => {
+                counters.record_panic();
+                AnalysisResponse::error(None, ApiError::internal(panic_detail(&*payload)))
+            }
+        };
         if response.outcome.is_err() {
             shared.errors.fetch_add(1, Ordering::Relaxed);
         }
         counters.record_served();
         latency.record(job.submitted.elapsed());
         job.conn.deliver(job.seq, response.to_json().to_string());
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_owned()
     }
 }
 
@@ -551,6 +618,54 @@ pub(crate) mod tests {
             .find(|r| matches!(&r.outcome, Err(e) if e.kind == twca_api::ApiErrorKind::Overloaded))
             .unwrap();
         assert!(overloaded.id.is_some());
+    }
+
+    #[test]
+    fn panicking_requests_answer_typed_internal_errors_and_spare_the_pool() {
+        // One worker, so a swallowed panic would hang every later
+        // request on this connection — the strongest version of
+        // "never hang a connection or shrink the pool".
+        let executor: Executor = Arc::new(
+            |session: &Session, line: &str, cancel: Option<&CancelToken>| {
+                assert!(!line.contains("boom"), "injected analysis panic");
+                respond_line_with(session, line, cancel)
+            },
+        );
+        let pool = WorkerPool::with_executor(
+            Session::new(),
+            &ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            &executor,
+        );
+        let sink = SharedSink::default();
+        let conn = Connection::new(Box::new(sink.clone()));
+        pool.submit(&conn, 0, request_line("ok-before"));
+        pool.submit(&conn, 1, request_line("boom"));
+        pool.submit(&conn, 2, request_line("ok-after"));
+        let (_, _, _, panics) = {
+            let counters = pool.counters();
+            let summary = pool.shutdown();
+            assert_eq!(summary.requests, 3, "the panicked request still counts");
+            assert_eq!(summary.errors, 1);
+            counters.snapshot()
+        };
+        assert_eq!(panics, 1);
+        let responses: Vec<AnalysisResponse> = sink
+            .text()
+            .lines()
+            .map(|l| AnalysisResponse::from_json(&Json::parse(l).unwrap()).unwrap())
+            .collect();
+        assert_eq!(responses.len(), 3, "the panic never swallowed a response");
+        assert!(responses[0].outcome.is_ok());
+        assert!(
+            responses[2].outcome.is_ok(),
+            "the worker survived the panic"
+        );
+        let error = responses[1].outcome.as_ref().unwrap_err();
+        assert_eq!(error.kind, twca_api::ApiErrorKind::Internal);
+        assert!(error.message.contains("injected analysis panic"), "{error}");
     }
 
     #[test]

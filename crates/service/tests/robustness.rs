@@ -76,3 +76,88 @@ fn the_socket_survives_a_malformed_frame_battery() {
     assert_eq!(summary.requests, sent + 1);
     assert_eq!(summary.errors, sent);
 }
+
+/// PR 9 satellite: a client that dies mid-`store_put` — half a request
+/// line, no newline, then a dropped socket — must leave the durable
+/// journal consistent: nothing of the torn request is journaled,
+/// acknowledged puts keep their versions, and a reopen of the store
+/// directory replays exactly the acknowledged history.
+#[test]
+fn a_rude_disconnect_mid_store_put_keeps_the_durable_journal_consistent() {
+    use std::sync::Arc;
+    use twca_api::{DirIo, PersistPolicy, SystemStore};
+
+    let dir = std::env::temp_dir().join(format!("twca-rude-put-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let open_store = || {
+        SystemStore::durable(
+            Arc::new(DirIo::open(&dir).expect("store dir opens")),
+            PersistPolicy::default(),
+        )
+        .expect("durable store opens")
+    };
+    let (store, _) = open_store();
+    let session = Session::new().with_store(Arc::new(store));
+    let config = ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    };
+    let server = TcpServer::start("127.0.0.1:0", session, &config).unwrap();
+
+    let put = |wcet: u64| {
+        format!(
+            "{{\"queries\": [{{\"store_put\": {{\"name\": \"plant\", \"system\": \
+             \"chain c periodic=100 deadline=100 {{ task t prio=1 wcet={wcet} }}\"}}}}]}}"
+        )
+    };
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    writeln!(stream, "{}", put(10)).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("\"version\": 1"), "first put refused: {line}");
+
+    // The rude client: half a store_put, never a newline, then gone.
+    let torn = put(99);
+    let mut rude = TcpStream::connect(server.local_addr()).unwrap();
+    rude.write_all(&torn.as_bytes()[..torn.len() / 2]).unwrap();
+    drop(rude);
+
+    // The surviving connection still puts; the torn request claimed no
+    // version and journaled nothing.
+    line.clear();
+    writeln!(stream, "{}", put(12)).unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains("\"version\": 2"),
+        "second put refused: {line}"
+    );
+    stream.shutdown(Shutdown::Write).unwrap();
+    let _ = server.shutdown(Duration::from_secs(10));
+
+    // Reopen the directory: exactly the two acknowledged puts replay —
+    // no torn bytes, no trace of wcet=99.
+    let (reopened, report) = open_store();
+    assert_eq!(report.replayed, 2);
+    assert_eq!(report.truncated_bytes, 0);
+    let dump = reopened.export();
+    assert_eq!(dump.len(), 1);
+    let (name, version, body) = &dump[0];
+    assert_eq!((name.as_str(), *version), ("plant", 2));
+    match body {
+        twca_api::StoredBody::Uni(system) => {
+            let wcets: Vec<u64> = system.chains()[0]
+                .tasks()
+                .iter()
+                .map(|t| t.wcet())
+                .collect();
+            assert_eq!(
+                wcets,
+                vec![12],
+                "recovered body is not the acknowledged one"
+            );
+        }
+        other => panic!("recovered body has the wrong shape: {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

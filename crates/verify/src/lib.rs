@@ -12,7 +12,7 @@
 //!    processors, degenerate chains, bursty/jittery activation,
 //!    overload-dominated load, and distributed topologies (linear,
 //!    star, tree).
-//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — eleven
+//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — twelve
 //!    independent ways the suite could disagree with itself:
 //!    * analysis bound ≥ simulated behaviour on every trace
 //!      ([`OracleKind::SimSoundness`]);
@@ -44,7 +44,13 @@
 //!      ([`OracleKind::ServiceRobustness`]);
 //!    * versioned-store delta re-analysis across fuzzed WCET-edit
 //!      sequences answers bit-identically to from-scratch analysis of
-//!      every version ([`OracleKind::DeltaAgreement`]).
+//!      every version ([`OracleKind::DeltaAgreement`]);
+//!    * the durable store recovers prefix-equal from a crash injected
+//!      at every journal/snapshot write boundary (torn tails
+//!      truncated, never an acknowledged-and-journaled put lost) and
+//!      always detects injected bit-flip corruption with a typed
+//!      refusal — never silently wrong history
+//!      ([`OracleKind::RecoveryAgreement`]).
 //! 3. **Shrinking** ([`shrink_system`], [`shrink_body`]) — failing
 //!    scenarios are greedily minimized (chains, tasks, activation
 //!    models, WCETs) while still tripping the same oracle.
@@ -81,7 +87,8 @@ mod shrink;
 pub use corpus::{load_corpus, persist_failure, replay_corpus, CorpusEntry};
 pub use fuzz::{fuzz, FuzzConfig, FuzzFailure, FuzzReport};
 pub use oracle::{
-    check_delta_agreement, check_scenario, Fault, OracleKind, VerifyOptions, Violation,
+    check_delta_agreement, check_recovery_agreement, check_scenario, Fault, OracleKind,
+    VerifyOptions, Violation,
 };
 pub use scenario::{Scenario, ScenarioBody, ScenarioProfile};
 pub use shrink::{shrink_body, shrink_distributed, shrink_system};

@@ -1,5 +1,5 @@
 //! The differential oracle battery: every generated scenario is checked
-//! against eleven independent ways the suite could disagree with itself.
+//! against twelve independent ways the suite could disagree with itself.
 
 use std::sync::{Arc, Mutex};
 
@@ -8,7 +8,8 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::scenario::ScenarioBody;
 use twca_api::{
-    respond_line, AnalysisRequest, AnalysisResponse, Json, Query, QueryOutcome, Session, Target,
+    crash_states, respond_line, AnalysisRequest, AnalysisResponse, Json, MemIo, PersistPolicy,
+    Query, QueryOutcome, Session, StoreIo, StoredBody, SystemStore, Target,
 };
 use twca_chains::{
     latency_analysis, AnalysisCache, AnalysisContext, AnalysisOptions, DmmResult, DmmSweep,
@@ -22,7 +23,7 @@ use twca_sim::{
     Simulation, TraceSet,
 };
 
-/// The eleven oracles of the conformance battery.
+/// The twelve oracles of the conformance battery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// Analytic bounds must dominate every simulated trace: observed
@@ -81,11 +82,21 @@ pub enum OracleKind {
     /// with the identical typed error when the edit breaks the
     /// analysis.
     DeltaAgreement,
+    /// The durable store must survive its own fault model: for a
+    /// fuzzed `store_put` sequence journaled through a recording
+    /// [`MemIo`], recovery from *every* injected crash point (each
+    /// write boundary plus torn prefixes of each append) must yield a
+    /// store prefix-equal to the pre-crash put history — at least
+    /// every fully-journaled put, each surviving version's body
+    /// bit-identical — and injected bit flips must be *detected*: a
+    /// typed refusal or a valid tail truncation, never silently wrong
+    /// history.
+    RecoveryAgreement,
 }
 
 impl OracleKind {
     /// Every oracle, in reporting order.
-    pub const ALL: [OracleKind; 11] = [
+    pub const ALL: [OracleKind; 12] = [
         OracleKind::SimSoundness,
         OracleKind::CacheAgreement,
         OracleKind::ParallelAgreement,
@@ -97,6 +108,7 @@ impl OracleKind {
         OracleKind::MissRateSoundness,
         OracleKind::ServiceRobustness,
         OracleKind::DeltaAgreement,
+        OracleKind::RecoveryAgreement,
     ];
 
     /// A short stable name for reports and corpus headers.
@@ -113,6 +125,7 @@ impl OracleKind {
             OracleKind::MissRateSoundness => "miss-rate-soundness",
             OracleKind::ServiceRobustness => "service-robustness",
             OracleKind::DeltaAgreement => "delta-agreement",
+            OracleKind::RecoveryAgreement => "recovery-agreement",
         }
     }
 }
@@ -270,6 +283,7 @@ pub fn check_scenario(body: &ScenarioBody, opts: &VerifyOptions) -> Vec<Violatio
     };
     check_service_robustness(body, opts, &mut violations);
     check_delta_agreement(body, opts, &mut violations);
+    check_recovery_agreement(body, opts, &mut violations);
     violations
 }
 
@@ -384,6 +398,168 @@ pub fn check_delta_agreement(
                 oracle: OracleKind::DeltaAgreement,
                 detail: format!("edit #{step}: delta failed where from-scratch succeeded: {e}"),
             }),
+        }
+    }
+}
+
+/// A stable textual key of a store dump, comparable across recoveries:
+/// `name@version` plus the body rendered back to DSL text. Two stores
+/// with equal keys hold bit-identical parsed histories.
+fn render_store_dump(dump: &[(String, u64, StoredBody)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, version, body) in dump {
+        let text = match body {
+            StoredBody::Uni(system) => twca_model::render_system(system),
+            StoredBody::Dist(system) => twca_dist::render_distributed(system),
+        };
+        let _ = writeln!(out, "{name}@{version}\n{text}");
+    }
+    out
+}
+
+/// Oracle 12: the durable store recovers prefix-equal from every
+/// crash point, and always detects corruption. The scenario seeds a
+/// fuzzed put sequence (the base body plus seeded WCET edits,
+/// alternating two entry names) against a durable store over a
+/// recording [`MemIo`] with a snapshot every two puts — so the crash
+/// matrix crosses journal appends, fsyncs, snapshot replaces and the
+/// journal reset. Every simulated post-crash disk must recover to the
+/// state after *some* prefix of the acknowledged puts, at least every
+/// put whose I/O fully completed; seeded bit flips on the final disk
+/// must draw a typed refusal or a valid tail truncation — never a
+/// state matching no prefix.
+pub fn check_recovery_agreement(
+    body: &ScenarioBody,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    let is_dist = matches!(body, ScenarioBody::Dist(_));
+    let base = body.render();
+    if base.contains("# unrepresentable") {
+        return; // the body cannot live in the persistent format
+    }
+    let mut fail = |detail: String| {
+        violations.push(Violation {
+            oracle: OracleKind::RecoveryAgreement,
+            detail,
+        })
+    };
+
+    // The fuzzed put sequence: the base body, then seeded WCET edits,
+    // alternating names so recovery juggles multiple entries.
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed ^ 0x05EC_07E4);
+    let mut texts = vec![base.clone()];
+    if base.contains("wcet=") {
+        let mut text = base;
+        for _ in 0..3 {
+            text = with_wcet_edit(&text, rng.gen::<u32>() as usize, rng.gen_range(1..=64));
+            texts.push(text.clone());
+        }
+    }
+    let parse = |text: &str| -> Option<StoredBody> {
+        if is_dist {
+            twca_dist::parse_distributed(text)
+                .ok()
+                .map(StoredBody::Dist)
+        } else {
+            twca_model::parse_system(text).ok().map(StoredBody::Uni)
+        }
+    };
+    // Snapshot every 2 puts: the 4-put sequence exercises both the
+    // snapshot path and journal records on top of a snapshot.
+    let policy = PersistPolicy {
+        snapshot_every: 2,
+        sync_every: 1,
+    };
+
+    // Drive the sequence against a recording MemIo, capturing the
+    // expected store state and the I/O op count after every put.
+    let io = Arc::new(MemIo::new());
+    let (store, _) = match SystemStore::durable(Arc::clone(&io) as Arc<dyn StoreIo>, policy) {
+        Ok(opened) => opened,
+        Err(e) => {
+            fail(format!("fresh durable store refused to open: {e}"));
+            return;
+        }
+    };
+    let mut expected: Vec<String> = vec![render_store_dump(&store.export())];
+    let mut boundaries: Vec<usize> = vec![0];
+    for (j, text) in texts.iter().enumerate() {
+        let Some(body) = parse(text) else {
+            return; // an edit broke the DSL; nothing to persist
+        };
+        let name = if j % 2 == 0 { "alpha" } else { "beta" };
+        if let Err(e) = store.put(name, body) {
+            fail(format!("put #{j} failed on a healthy store: {e}"));
+            return;
+        }
+        expected.push(render_store_dump(&store.export()));
+        boundaries.push(io.ops().len());
+    }
+    let ops = io.ops();
+
+    // Crash matrix: recovery from every boundary and torn prefix must
+    // succeed and land on an expected prefix no older than the last
+    // fully-journaled put.
+    for (desc, ops_applied, state) in crash_states(&ops) {
+        let reopened = SystemStore::durable(
+            Arc::new(MemIo::from_state(state)) as Arc<dyn StoreIo>,
+            policy,
+        );
+        let (recovered, _) = match reopened {
+            Ok(opened) => opened,
+            Err(e) => {
+                fail(format!("crash state `{desc}` refused recovery: {e}"));
+                continue;
+            }
+        };
+        let got = render_store_dump(&recovered.export());
+        let min_prefix = boundaries.iter().filter(|&&b| b <= ops_applied).count() - 1;
+        match expected.iter().position(|s| *s == got) {
+            Some(j) if j >= min_prefix => {}
+            Some(j) => fail(format!(
+                "crash state `{desc}` lost acknowledged puts: recovered prefix {j}, \
+                 but {min_prefix} put(s) were fully journaled"
+            )),
+            None => fail(format!(
+                "crash state `{desc}` recovered to a state matching no put prefix"
+            )),
+        }
+    }
+
+    // Corruption matrix: seeded bit flips on the final disk must be
+    // detected — a typed refusal, or a recovery that still equals a
+    // valid put prefix (tail truncation). Never an unrecognized state.
+    let final_state = io.state();
+    for file in [
+        twca_api::persist::JOURNAL_FILE,
+        twca_api::persist::SNAPSHOT_FILE,
+    ] {
+        let len = final_state.get(file).map_or(0, Vec::len);
+        if len == 0 {
+            continue;
+        }
+        let mut targets: Vec<usize> = vec![0, len / 2, len - 1];
+        for _ in 0..3 {
+            targets.push(rng.gen_range(0..len));
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        for byte in targets {
+            let flipped = MemIo::from_state(final_state.clone());
+            flipped.flip_bit(file, byte, rng.gen_range(0..8));
+            match SystemStore::durable(Arc::new(flipped) as Arc<dyn StoreIo>, policy) {
+                Err(_) => {} // detected and refused: the required outcome
+                Ok((recovered, _)) => {
+                    let got = render_store_dump(&recovered.export());
+                    if !expected.contains(&got) {
+                        fail(format!(
+                            "bit flip at {file}[{byte}] silently recovered to wrong history"
+                        ));
+                    }
+                }
+            }
         }
     }
 }
