@@ -84,5 +84,5 @@ pub use response::{
     StoreAnalyzeOutcome, StorePutOutcome, SystemOutcome, WitnessOutcome,
 };
 pub use serve::{respond_line, respond_line_with, serve, serve_with, LatencyStats, ServeSummary};
-pub use session::{CancelToken, RequestControl, ServiceCounters, Session};
+pub use session::{CancelToken, EdgeCounters, RequestControl, ServiceCounters, Session};
 pub use store::{PutReceipt, StoreDiff, StoredBody, SystemStore};

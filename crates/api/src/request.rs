@@ -165,6 +165,10 @@ pub enum Query {
         system: Option<String>,
         /// Linked-resource document text.
         dist: Option<String>,
+        /// Client-chosen idempotency id: a put carrying one is applied
+        /// at most once, so a client may safely retry it after a
+        /// transport failure that swallowed the acknowledgement.
+        dedup: Option<String>,
     },
     /// Analyzes the current version of a stored system, reusing the
     /// entry's warm per-resource rows so only the parts affected by
@@ -557,13 +561,21 @@ fn query_to_json(query: &Query) -> Json {
             )],
         ),
         Query::Stats => ("stats", Vec::new()),
-        Query::StorePut { name, system, dist } => {
+        Query::StorePut {
+            name,
+            system,
+            dist,
+            dedup,
+        } => {
             let mut members = vec![("name".into(), Json::str(name))];
             if let Some(system) = system {
                 members.push(("system".into(), Json::str(system)));
             }
             if let Some(dist) = dist {
                 members.push(("dist".into(), Json::str(dist)));
+            }
+            if let Some(dedup) = dedup {
+                members.push(("dedup".into(), Json::str(dedup)));
             }
             ("store_put", members)
         }
@@ -704,6 +716,7 @@ fn query_from_json(value: &Json) -> Result<Query, ApiError> {
             name: req_str(body, "name")?,
             system: opt_str(body, "system")?,
             dist: opt_str(body, "dist")?,
+            dedup: opt_str(body, "dedup")?,
         },
         "store_analyze" => Query::StoreAnalyze {
             name: req_str(body, "name")?,
@@ -898,11 +911,13 @@ mod tests {
                 name: "plant".into(),
                 system: Some("chain c periodic=10 { task t prio=1 wcet=1 }".into()),
                 dist: None,
+                dedup: None,
             })
             .with_query(Query::StorePut {
                 name: "grid".into(),
                 system: None,
                 dist: Some("resource r { chain c periodic=10 { task t prio=1 wcet=1 } }".into()),
+                dedup: Some("put-7f".into()),
             })
             .with_query(Query::StoreAnalyze {
                 name: "plant".into(),

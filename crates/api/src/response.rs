@@ -317,6 +317,19 @@ pub struct StatsOutcome {
     pub recovered_records: u64,
     /// Torn-tail bytes truncated when the store was recovered.
     pub truncated_bytes: u64,
+    /// Client connections currently open at the service edge.
+    pub open_connections: u64,
+    /// Connections reaped at the idle timeout (slow-loris defense).
+    pub reaped: u64,
+    /// Connections closed after a per-read timeout expired.
+    pub timeouts: u64,
+    /// Connections that ended in a reset.
+    pub resets: u64,
+    /// Connections disconnected for overflowing their bounded
+    /// outbound response buffer.
+    pub slow_consumers: u64,
+    /// Largest per-connection response-queue depth observed.
+    pub queue_depth_peak: u64,
 }
 
 /// The answer to a [`crate::Query::StorePut`]: the version now current
@@ -333,6 +346,11 @@ pub struct StorePutOutcome {
     pub chains_changed: u64,
     /// Tasks added, removed, or edited.
     pub tasks_changed: u64,
+    /// Whether the put was answered from the store's dedup ledger
+    /// instead of being applied again: the request carried a `dedup`
+    /// id that had already been acknowledged, so this receipt repeats
+    /// the original one (at-most-once apply).
+    pub deduped: bool,
 }
 
 /// The answer to a [`crate::Query::StoreAnalyze`]: per-chain bounds of
@@ -666,6 +684,12 @@ fn outcome_to_json(outcome: &QueryOutcome) -> Json {
                 ("snapshots_written".into(), Json::UInt(s.snapshots_written)),
                 ("recovered_records".into(), Json::UInt(s.recovered_records)),
                 ("truncated_bytes".into(), Json::UInt(s.truncated_bytes)),
+                ("open_connections".into(), Json::UInt(s.open_connections)),
+                ("reaped".into(), Json::UInt(s.reaped)),
+                ("timeouts".into(), Json::UInt(s.timeouts)),
+                ("resets".into(), Json::UInt(s.resets)),
+                ("slow_consumers".into(), Json::UInt(s.slow_consumers)),
+                ("queue_depth_peak".into(), Json::UInt(s.queue_depth_peak)),
             ]),
         ),
         QueryOutcome::StorePut(p) => (
@@ -676,6 +700,7 @@ fn outcome_to_json(outcome: &QueryOutcome) -> Json {
                 ("resources_changed".into(), Json::UInt(p.resources_changed)),
                 ("chains_changed".into(), Json::UInt(p.chains_changed)),
                 ("tasks_changed".into(), Json::UInt(p.tasks_changed)),
+                ("deduped".into(), Json::Bool(p.deduped)),
             ]),
         ),
         QueryOutcome::StoreAnalyze(a) => (
@@ -827,6 +852,14 @@ fn outcome_from_json(value: &Json) -> Result<QueryOutcome, ApiError> {
             snapshots_written: u64_field(body, "snapshots_written")?,
             recovered_records: u64_field(body, "recovered_records")?,
             truncated_bytes: u64_field(body, "truncated_bytes")?,
+            // Edge counters arrived after v1 first shipped; tolerate
+            // their absence so older recorded responses still parse.
+            open_connections: opt_u64_field(body, "open_connections")?.unwrap_or(0),
+            reaped: opt_u64_field(body, "reaped")?.unwrap_or(0),
+            timeouts: opt_u64_field(body, "timeouts")?.unwrap_or(0),
+            resets: opt_u64_field(body, "resets")?.unwrap_or(0),
+            slow_consumers: opt_u64_field(body, "slow_consumers")?.unwrap_or(0),
+            queue_depth_peak: opt_u64_field(body, "queue_depth_peak")?.unwrap_or(0),
         }),
         "store_put" => QueryOutcome::StorePut(StorePutOutcome {
             name: str_field(body, "name")?,
@@ -834,6 +867,7 @@ fn outcome_from_json(value: &Json) -> Result<QueryOutcome, ApiError> {
             resources_changed: u64_field(body, "resources_changed")?,
             chains_changed: u64_field(body, "chains_changed")?,
             tasks_changed: u64_field(body, "tasks_changed")?,
+            deduped: body.get("deduped").and_then(Json::as_bool).unwrap_or(false),
         }),
         "store_analyze" => QueryOutcome::StoreAnalyze(StoreAnalyzeOutcome {
             name: str_field(body, "name")?,
@@ -960,6 +994,12 @@ mod tests {
                     snapshots_written: 1,
                     recovered_records: 4,
                     truncated_bytes: 17,
+                    open_connections: 3,
+                    reaped: 2,
+                    timeouts: 1,
+                    resets: 5,
+                    slow_consumers: 1,
+                    queue_depth_peak: 42,
                 }),
                 QueryOutcome::StorePut(StorePutOutcome {
                     name: "plant".into(),
@@ -967,6 +1007,7 @@ mod tests {
                     resources_changed: 1,
                     chains_changed: 2,
                     tasks_changed: 3,
+                    deduped: true,
                 }),
                 QueryOutcome::StoreAnalyze(StoreAnalyzeOutcome {
                     name: "plant".into(),

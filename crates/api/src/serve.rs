@@ -72,12 +72,16 @@ pub struct ServeSummary {
     pub errors: usize,
     /// Per-request wall-clock latency accumulation.
     pub latency: LatencyStats,
+    /// Connection-edge counters of the drained service; all-zero for
+    /// the single-lane stdio loop, which has no connection edge.
+    pub edge: crate::EdgeCounters,
 }
 
 impl ServeSummary {
     /// Serializes the summary. The historical `requests`/`errors`
     /// members come first, byte-identical to earlier builds; the
-    /// latency object is appended only when something was timed.
+    /// latency object is appended only when something was timed, and
+    /// the edge object only when a connection edge saw any events.
     pub fn to_json(&self) -> Json {
         let mut members = vec![
             ("requests".into(), Json::UInt(self.requests as u64)),
@@ -90,6 +94,28 @@ impl ServeSummary {
                     ("min".into(), Json::UInt(self.latency.min_ns)),
                     ("mean".into(), Json::UInt(self.latency.mean_ns())),
                     ("max".into(), Json::UInt(self.latency.max_ns)),
+                ]),
+            ));
+        }
+        if !self.edge.is_empty() {
+            members.push((
+                "edge".into(),
+                Json::Object(vec![
+                    (
+                        "open_connections".into(),
+                        Json::UInt(self.edge.open_connections),
+                    ),
+                    ("reaped".into(), Json::UInt(self.edge.reaped)),
+                    ("timeouts".into(), Json::UInt(self.edge.timeouts)),
+                    ("resets".into(), Json::UInt(self.edge.resets)),
+                    (
+                        "slow_consumers".into(),
+                        Json::UInt(self.edge.slow_consumers),
+                    ),
+                    (
+                        "queue_depth_peak".into(),
+                        Json::UInt(self.edge.queue_depth_peak),
+                    ),
                 ]),
             ));
         }
@@ -311,7 +337,7 @@ mod tests {
         let empty = ServeSummary {
             requests: 2,
             errors: 1,
-            latency: LatencyStats::default(),
+            ..ServeSummary::default()
         };
         assert_eq!(
             empty.to_json().to_string(),

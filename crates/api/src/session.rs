@@ -65,6 +65,40 @@ pub struct ServiceCounters {
     rejected: AtomicU64,
     in_flight: AtomicU64,
     panics: AtomicU64,
+    open_connections: AtomicU64,
+    reaped: AtomicU64,
+    timeouts: AtomicU64,
+    resets: AtomicU64,
+    slow_consumers: AtomicU64,
+    queue_depth_peak: AtomicU64,
+}
+
+/// Connection-edge telemetry of a serving process: how many client
+/// connections are open right now and how the ones that went away
+/// went away. A snapshot of the edge-facing half of
+/// [`ServiceCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EdgeCounters {
+    /// Client connections currently open.
+    pub open_connections: u64,
+    /// Connections reaped at the idle timeout (slow-loris defense).
+    pub reaped: u64,
+    /// Connections closed after a per-read timeout expired.
+    pub timeouts: u64,
+    /// Connections that ended in a reset (theirs or injected).
+    pub resets: u64,
+    /// Connections disconnected for overflowing their bounded
+    /// outbound response buffer (slow-consumer defense).
+    pub slow_consumers: u64,
+    /// Largest per-connection response-queue depth observed.
+    pub queue_depth_peak: u64,
+}
+
+impl EdgeCounters {
+    /// Whether every counter is zero (nothing edge-worthy happened).
+    pub fn is_empty(&self) -> bool {
+        *self == EdgeCounters::default()
+    }
 }
 
 impl ServiceCounters {
@@ -95,6 +129,42 @@ impl ServiceCounters {
         self.panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a client connection accepted by the edge.
+    pub fn record_conn_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a client connection ending, however it ended.
+    pub fn record_conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection reaped at the idle timeout.
+    pub fn record_reaped(&self) {
+        self.reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection closed after a per-read timeout.
+    pub fn record_read_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection that ended in a reset.
+    pub fn record_reset(&self) {
+        self.resets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection disconnected as a slow consumer.
+    pub fn record_slow_consumer(&self) {
+        self.slow_consumers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one observation of a connection's response-queue depth
+    /// into the peak gauge.
+    pub fn note_queue_depth(&self, depth: u64) {
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// The current `(served, rejected, in_flight, panics)` values.
     pub fn snapshot(&self) -> (u64, u64, u64, u64) {
         (
@@ -103,6 +173,18 @@ impl ServiceCounters {
             self.in_flight.load(Ordering::Relaxed),
             self.panics.load(Ordering::Relaxed),
         )
+    }
+
+    /// The current connection-edge counters.
+    pub fn edge(&self) -> EdgeCounters {
+        EdgeCounters {
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            reaped: self.reaped.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+            slow_consumers: self.slow_consumers.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -283,6 +365,10 @@ impl Session {
             Some(counters) => counters.snapshot(),
             None => (0, 0, 0, 0),
         };
+        let edge = match &self.counters {
+            Some(counters) => counters.edge(),
+            None => EdgeCounters::default(),
+        };
         let persist = self.store.persist_stats();
         StatsOutcome {
             cache_hits: cache.hits,
@@ -301,6 +387,12 @@ impl Session {
             snapshots_written: persist.snapshots_written,
             recovered_records: persist.recovered_records,
             truncated_bytes: persist.truncated_bytes,
+            open_connections: edge.open_connections,
+            reaped: edge.reaped,
+            timeouts: edge.timeouts,
+            resets: edge.resets,
+            slow_consumers: edge.slow_consumers,
+            queue_depth_peak: edge.queue_depth_peak,
         }
     }
 
@@ -405,9 +497,15 @@ impl Session {
                 // Service queries never touch a backend: the answer is
                 // about the serving process, whatever the target.
                 (Query::Stats, _) => Ok(QueryOutcome::Stats(self.stats_outcome())),
-                (Query::StorePut { name, system, dist }, _) => {
-                    self.store_put(name, system, dist, &env)
-                }
+                (
+                    Query::StorePut {
+                        name,
+                        system,
+                        dist,
+                        dedup,
+                    },
+                    _,
+                ) => self.store_put(name, system, dist, dedup.as_deref(), &env),
                 (Query::StoreAnalyze { name, ks }, _) => self.store_analyze(name, ks, &env),
                 (query, Some(backend)) => backend.query(query, &env),
                 (_, None) => Err(ApiError::request(
@@ -418,12 +516,16 @@ impl Session {
             .collect()
     }
 
-    /// Answers one `store_put` query: parse, diff, version.
+    /// Answers one `store_put` query: parse, diff, version. A request
+    /// carrying a `dedup` id is applied at most once per id: a retry
+    /// of an already-acknowledged put returns the original receipt
+    /// instead of bumping the version again.
     fn store_put(
         &self,
         name: &str,
         system: &Option<String>,
         dist: &Option<String>,
+        dedup: Option<&str>,
         env: &QueryEnv<'_>,
     ) -> Result<QueryOutcome, ApiError> {
         env.control.charge(1)?;
@@ -436,13 +538,14 @@ impl Session {
                 ))
             }
         };
-        let receipt = self.store.put(name, body)?;
+        let (receipt, deduped) = self.store.put_dedup(name, body, dedup)?;
         Ok(QueryOutcome::StorePut(StorePutOutcome {
             name: receipt.name,
             version: receipt.version,
             resources_changed: receipt.diff.resources_changed,
             chains_changed: receipt.diff.chains_changed,
             tasks_changed: receipt.diff.tasks_changed,
+            deduped,
         }))
     }
 
@@ -768,6 +871,7 @@ chain recovery sporadic=1000 overload {
                 name: "grid".into(),
                 system: None,
                 dist: Some(text),
+                dedup: None,
             }],
             options: RequestOptions::default(),
         };
@@ -856,6 +960,7 @@ chain recovery sporadic=1000 overload {
                 name: "x".into(),
                 system: Some("a".into()),
                 dist: Some("b".into()),
+                dedup: None,
             }],
             options: RequestOptions::default(),
         };
@@ -875,6 +980,7 @@ chain recovery sporadic=1000 overload {
                 name: "plant".into(),
                 system: Some(SYSTEM.into()),
                 dist: None,
+                dedup: None,
             }],
             options: RequestOptions::default(),
         };

@@ -14,7 +14,7 @@
 //! recomputed.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use twca_dist::{render_distributed, DistributedSystem, HolisticMemo};
 use twca_model::{render_system, System};
@@ -128,7 +128,25 @@ pub(crate) struct StoreEntry {
 pub struct SystemStore {
     entries: Mutex<HashMap<String, Arc<Mutex<StoreEntry>>>>,
     persist: Option<Persistence>,
+    dedup: Mutex<DedupLedger>,
 }
+
+/// At-most-once receipts for puts that carried a client dedup id:
+/// a bounded id → receipt map in insertion order, so a retried put
+/// whose acknowledgement was lost in transit returns the original
+/// receipt instead of being applied again.
+///
+/// The ledger is in-memory: its at-most-once guarantee covers the
+/// lifetime of the serving process (a client retrying across a server
+/// crash re-applies, which is the pre-dedup behavior).
+#[derive(Debug, Default)]
+struct DedupLedger {
+    receipts: HashMap<String, PutReceipt>,
+    order: std::collections::VecDeque<String>,
+}
+
+/// Dedup receipts remembered before the oldest ids are forgotten.
+const DEDUP_CAPACITY: usize = 4096;
 
 /// The longest accepted store name, in bytes.
 const MAX_STORE_NAME: usize = 128;
@@ -226,6 +244,7 @@ impl SystemStore {
                 counters: Default::default(),
                 recovery: recovered.report,
             }),
+            dedup: Mutex::new(DedupLedger::default()),
         };
         Ok((store, recovered.report))
     }
@@ -247,6 +266,42 @@ impl SystemStore {
             None => Ok(self.put_in_memory(name, body)),
             Some(_) => self.put_durable(name, body),
         }
+    }
+
+    /// [`SystemStore::put`] with an optional client dedup id, honored
+    /// at most once: a retry of an id this store already acknowledged
+    /// returns the original receipt (flagged `true`) without applying
+    /// or journaling anything again.
+    ///
+    /// # Errors
+    ///
+    /// As [`SystemStore::put`]; a failed put records nothing under the
+    /// id, so retrying it is safe and will apply.
+    pub fn put_dedup(
+        &self,
+        name: &str,
+        body: StoredBody,
+        dedup: Option<&str>,
+    ) -> Result<(PutReceipt, bool), ApiError> {
+        let Some(id) = dedup else {
+            return Ok((self.put(name, body)?, false));
+        };
+        // The ledger lock is held across the apply so two concurrent
+        // retries of one id cannot both miss and double-apply; puts
+        // without an id never touch it.
+        let mut ledger = self.dedup.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(receipt) = ledger.receipts.get(id) {
+            return Ok((receipt.clone(), true));
+        }
+        let receipt = self.put(name, body)?;
+        if ledger.receipts.len() >= DEDUP_CAPACITY {
+            if let Some(oldest) = ledger.order.pop_front() {
+                ledger.receipts.remove(&oldest);
+            }
+        }
+        ledger.order.push_back(id.to_owned());
+        ledger.receipts.insert(id.to_owned(), receipt.clone());
+        Ok((receipt, false))
     }
 
     fn put_in_memory(&self, name: &str, body: StoredBody) -> PutReceipt {

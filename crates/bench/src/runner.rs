@@ -889,6 +889,7 @@ pub fn run_service_bench(config: &BenchConfig) -> BenchReport {
         connections: 32,
         mix: twca_service::RequestMix::Mixed,
         seed: config.seed,
+        ..twca_service::LoadgenConfig::default()
     };
     service_bench(config, &load, samples)
 }
@@ -908,6 +909,13 @@ fn service_bench(
         queue_capacity: (load.streams * load.requests_per_stream).max(1024),
         deadline: None,
         max_frame_bytes: 1 << 20,
+        // The acceptance bar is measured with the production edge
+        // hardening armed: generous timeouts that a healthy loadgen
+        // never trips, but the reaping machinery is live.
+        read_timeout: Some(Duration::from_secs(5)),
+        idle_timeout: Some(Duration::from_secs(10)),
+        write_timeout: Some(Duration::from_secs(5)),
+        write_buffer_bytes: 4 << 20,
     };
     let total_requests = (load.streams * load.requests_per_stream) as u64;
     let mut best_elapsed_ns = u64::MAX;
@@ -1531,6 +1539,7 @@ mod tests {
             connections: 8,
             mix: twca_service::RequestMix::Mixed,
             seed: config.seed,
+            ..twca_service::LoadgenConfig::default()
         };
         let report = service_bench(&config, &load, 1);
         for id in [

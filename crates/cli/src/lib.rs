@@ -19,6 +19,7 @@
 //! twca serve                          JSON-Lines request/response streaming
 //! twca serve --listen ADDR            multi-worker TCP analysis server
 //! twca loadgen --connect ADDR         throughput/latency load generator
+//! twca chaos --connect ADDR           transport fault injection vs a live server
 //! twca fuzz                           randomized conformance fuzzing (verify)
 //! twca bench                          perf-trajectory runner (JSON + CI gate)
 //! ```
@@ -727,12 +728,16 @@ struct ServeArgs {
     cache_entries: Option<u64>,
     cache_bytes: Option<u64>,
     store_dir: Option<String>,
+    read_timeout_ms: Option<u64>,
+    idle_timeout_ms: Option<u64>,
+    write_buffer: Option<usize>,
 }
 
 impl ServeArgs {
     const USAGE: &'static str = "twca serve [--file F] [--budget UNITS] [--horizon H] [--max-q Q] \
                                  [--solver scheduling-points|iterative] [--listen ADDR] \
                                  [--workers N] [--queue N] [--deadline-ms MS] \
+                                 [--read-timeout MS] [--idle-timeout MS] [--write-buffer BYTES] \
                                  [--cache-entries N] [--cache-bytes B] [--store-dir DIR]";
 
     fn parse(args: &[String]) -> Result<Self, CliError> {
@@ -749,6 +754,9 @@ impl ServeArgs {
             cache_entries: None,
             cache_bytes: None,
             store_dir: None,
+            read_timeout_ms: None,
+            idle_timeout_ms: None,
+            write_buffer: None,
         };
         let mut rest = args.iter();
         while let Some(arg) = rest.next() {
@@ -807,6 +815,24 @@ impl ServeArgs {
                         })?);
                 }
                 "--store-dir" => parsed.store_dir = Some(value_of("--store-dir")?.clone()),
+                "--read-timeout" => {
+                    parsed.read_timeout_ms =
+                        Some(value_of("--read-timeout")?.parse().map_err(|_| {
+                            CliError::Usage("`--read-timeout` expects milliseconds".into())
+                        })?);
+                }
+                "--idle-timeout" => {
+                    parsed.idle_timeout_ms =
+                        Some(value_of("--idle-timeout")?.parse().map_err(|_| {
+                            CliError::Usage("`--idle-timeout` expects milliseconds".into())
+                        })?);
+                }
+                "--write-buffer" => {
+                    parsed.write_buffer =
+                        Some(value_of("--write-buffer")?.parse().map_err(|_| {
+                            CliError::Usage("`--write-buffer` expects a byte budget".into())
+                        })?);
+                }
                 flag => {
                     return Err(CliError::Usage(format!(
                         "unknown serve flag `{flag}`; {}",
@@ -868,6 +894,10 @@ impl ServeArgs {
             queue_capacity: self.queue.unwrap_or(defaults.queue_capacity),
             deadline: self.deadline_ms.map(std::time::Duration::from_millis),
             max_frame_bytes: defaults.max_frame_bytes,
+            read_timeout: self.read_timeout_ms.map(std::time::Duration::from_millis),
+            idle_timeout: self.idle_timeout_ms.map(std::time::Duration::from_millis),
+            write_timeout: defaults.write_timeout,
+            write_buffer_bytes: self.write_buffer.unwrap_or(defaults.write_buffer_bytes),
         }
     }
 }
@@ -898,6 +928,19 @@ fn render_serve_summary(
             summary.latency.mean_ns() / 1_000,
             summary.latency.max_ns / 1_000,
             summary.latency.count
+        );
+    }
+    if !summary.edge.is_empty() {
+        let _ = writeln!(
+            out,
+            "edge: {} connection(s) open, queue depth peak {}; {} reaped, {} timeout(s), \
+             {} reset(s), {} slow consumer(s)",
+            summary.edge.open_connections,
+            summary.edge.queue_depth_peak,
+            summary.edge.reaped,
+            summary.edge.timeouts,
+            summary.edge.resets,
+            summary.edge.slow_consumers
         );
     }
     if let Some((stats, recovery)) = persist {
@@ -1045,7 +1088,8 @@ pub fn cmd_serve(
 /// report when `--expect-clean` saw failures.
 pub fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
     const USAGE: &str = "twca loadgen --connect ADDR [--streams K] [--requests N] \
-                         [--connections C] [--mix chain|dist|mixed] [--seed S] [--json] \
+                         [--connections C] [--mix chain|dist|mixed|store] [--seed S] \
+                         [--retry N] [--reset-ppm P] [--server-stats] [--json] \
                          [--expect-clean]";
     let mut addr: Option<String> = None;
     let mut config = twca_service::LoadgenConfig::default();
@@ -1078,7 +1122,7 @@ pub fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
                 let name = value_of("--mix")?;
                 config.mix = twca_service::RequestMix::parse(name).ok_or_else(|| {
                     CliError::Usage(format!(
-                        "`--mix` must be chain, dist or mixed, not `{name}`"
+                        "`--mix` must be chain, dist, mixed or store, not `{name}`"
                     ))
                 })?;
             }
@@ -1087,6 +1131,18 @@ pub fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage("`--seed` expects an integer".into()))?;
             }
+            "--retry" => {
+                let attempts = value_of("--retry")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("`--retry` expects an attempt count".into()))?;
+                config.retry = Some(twca_service::RetryPolicy::with_attempts(attempts));
+            }
+            "--reset-ppm" => {
+                config.reset_ppm = value_of("--reset-ppm")?.parse().map_err(|_| {
+                    CliError::Usage("`--reset-ppm` expects parts-per-million".into())
+                })?;
+            }
+            "--server-stats" => config.fetch_stats = true,
             "--json" => json = true,
             "--expect-clean" => expect_clean = true,
             flag => {
@@ -1108,6 +1164,163 @@ pub fn cmd_loadgen(args: &[String]) -> Result<String, CliError> {
         return Ok(format!("{}\n", report.to_json()));
     }
     Ok(report.render())
+}
+
+/// `twca chaos`: hurls seeded transport chaos at a *running* server
+/// over real TCP — per schedule, a client whose write side injects
+/// delays, partial writes, and mid-stream resets (plus occasional
+/// abrupt early closes) — then verifies the edge stayed live and
+/// truthful: every complete response is typed, no connection wedges
+/// past its deadline, and a final clean probe on a fresh connection
+/// still gets an ok answer.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for bad flags, [`CliError::Io`] when
+/// the server cannot be reached at all, and [`CliError::Verify`]
+/// (non-zero exit) when any liveness or typed-response invariant
+/// breaks.
+pub fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::net::{Shutdown, TcpStream};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const USAGE: &str = "twca chaos --connect ADDR [--schedules N] [--seed S]";
+    let mut addr: Option<String> = None;
+    let mut schedules: u64 = 20;
+    let mut seed: u64 = 0xC4A0;
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        let mut value_of = |flag: &str| {
+            rest.next()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value; {USAGE}")))
+        };
+        match arg.as_str() {
+            "--connect" => addr = Some(value_of("--connect")?.clone()),
+            "--schedules" => {
+                schedules = value_of("--schedules")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("`--schedules` expects a count".into()))?;
+            }
+            "--seed" => {
+                seed = value_of("--seed")?
+                    .parse()
+                    .map_err(|_| CliError::Usage("`--seed` expects an integer".into()))?;
+            }
+            flag => {
+                return Err(CliError::Usage(format!(
+                    "unknown chaos flag `{flag}`; {USAGE}"
+                )));
+            }
+        }
+    }
+    let addr = addr.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+
+    let request = |id: String| {
+        format!(
+            "{{\"id\": \"{id}\", \"system\": \"chain c periodic=100 deadline=100 \
+             {{ task t prio=1 wcet=10 }}\"}}\n"
+        )
+    };
+    let mut violations: Vec<String> = Vec::new();
+    let tally = Arc::new(twca_service::ChaosTally::new());
+    let mut early_closes = 0u64;
+    for schedule in 0..schedules {
+        let schedule_seed = seed.wrapping_add(schedule.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let stream = TcpStream::connect(addr.as_str())?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        let reader = stream.try_clone()?;
+        let mut writer = twca_service::ChaosWrite::new(
+            stream.try_clone()?,
+            Arc::new(twca_service::FaultPlan::fuzzed_write(schedule_seed, 32)),
+            Arc::clone(&tally),
+        );
+        // Every 4th schedule hangs up abruptly mid-stream: the server
+        // must absorb the reset and keep serving everyone else.
+        let early_close = schedule % 4 == 3;
+        let mut sent = 0usize;
+        for index in 0..4usize {
+            let line = request(format!("c{schedule}-{index}"));
+            if writer.write_all(line.as_bytes()).is_err() {
+                break; // an injected reset tore the stream; fine
+            }
+            sent += 1;
+            if early_close && index == 1 {
+                break;
+            }
+        }
+        if early_close {
+            early_closes += 1;
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        let _ = stream.shutdown(Shutdown::Write);
+        let mut reader = BufReader::new(reader);
+        let mut line = String::new();
+        let mut answered = 0usize;
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    if twca_api::Json::parse(&line)
+                        .ok()
+                        .and_then(|json| twca_api::AnalysisResponse::from_json(&json).ok())
+                        .is_none()
+                    {
+                        violations.push(format!("schedule {schedule}: untyped response: {line:?}"));
+                    }
+                    answered += 1;
+                }
+                Err(e) => {
+                    violations.push(format!(
+                        "schedule {schedule}: the server wedged after {answered} of {sent} \
+                         response(s): {e}"
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    // The liveness probe: after all that, a fresh well-behaved client
+    // still gets a prompt, typed, successful answer.
+    let mut probe = TcpStream::connect(addr.as_str())?;
+    probe.set_read_timeout(Some(Duration::from_secs(10)))?;
+    probe.write_all(request("probe".into()).as_bytes())?;
+    probe.shutdown(Shutdown::Write)?;
+    let mut response = String::new();
+    let mut ok = false;
+    if BufReader::new(&mut probe).read_line(&mut response).is_ok() {
+        ok = twca_api::Json::parse(&response)
+            .ok()
+            .and_then(|json| twca_api::AnalysisResponse::from_json(&json).ok())
+            .is_some_and(|r| r.outcome.is_ok());
+    }
+    if !ok {
+        violations.push(format!(
+            "the post-chaos liveness probe failed: {response:?}"
+        ));
+    }
+
+    let report = format!(
+        "chaos: {schedules} schedule(s) against {addr}: {} delay(s), {} short write(s), \
+         {} injected reset(s), {early_closes} early close(s); liveness probe {}\n",
+        tally.delays(),
+        tally.shorts(),
+        tally.resets(),
+        if ok { "ok" } else { "FAILED" }
+    );
+    if violations.is_empty() {
+        Ok(report)
+    } else {
+        Err(CliError::Verify(format!(
+            "{report}{} chaos violation(s), first: {}",
+            violations.len(),
+            violations[0]
+        )))
+    }
 }
 
 /// `twca dist <file> [--k K1,K2,...] [--path r/c,r/c,...] [--json]`:
@@ -1536,7 +1749,7 @@ pub fn cmd_bench(args: &[String]) -> Result<String, CliError> {
 /// failures and analysis failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     const USAGE: &str = "twca <analyze|explain|dmm|simulate|sim|dot|gantt|report|synthesize|batch|\
-                         dist|serve|loadgen|fuzz|bench> <file> [...]";
+                         dist|serve|loadgen|chaos|fuzz|bench> <file> [...]";
     let command = args.first().ok_or_else(|| CliError::Usage(USAGE.into()))?;
     if command == "batch" {
         return cmd_batch(&args[1..]);
@@ -1568,6 +1781,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
     if command == "loadgen" {
         return cmd_loadgen(&args[1..]);
+    }
+    if command == "chaos" {
+        return cmd_chaos(&args[1..]);
     }
     let path = args.get(1).ok_or_else(|| CliError::Usage(USAGE.into()))?;
     let system = load(path)?;
@@ -1759,6 +1975,94 @@ chain recovery sporadic=1000 overload {
 
         assert!(matches!(
             ServeArgs::parse(&args(&["--cache-entries", "lots"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_edge_flags_configure_the_service() {
+        let parsed = ServeArgs::parse(&args(&[
+            "--read-timeout",
+            "1500",
+            "--idle-timeout",
+            "250",
+            "--write-buffer",
+            "8192",
+        ]))
+        .unwrap();
+        let config = parsed.service_config();
+        assert_eq!(
+            config.read_timeout,
+            Some(std::time::Duration::from_millis(1500))
+        );
+        assert_eq!(
+            config.idle_timeout,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(config.write_buffer_bytes, 8192);
+
+        // Without the flags, the defaults stand.
+        let defaults = twca_service::ServiceConfig::default();
+        let config = ServeArgs::parse(&[]).unwrap().service_config();
+        assert_eq!(config.read_timeout, defaults.read_timeout);
+        assert_eq!(config.write_buffer_bytes, defaults.write_buffer_bytes);
+
+        assert!(matches!(
+            ServeArgs::parse(&args(&["--read-timeout", "forever"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn loadgen_retry_flags_parse_and_require_a_server() {
+        // Flag errors surface before any connection is attempted.
+        assert!(matches!(
+            cmd_loadgen(&args(&["--retry", "several"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_loadgen(&args(&["--reset-ppm", "half"])),
+            Err(CliError::Usage(_))
+        ));
+        // The store mix parses; a missing --connect is still usage.
+        assert!(matches!(
+            cmd_loadgen(&args(&["--mix", "store", "--retry", "3", "--server-stats"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_loadgen(&args(&["--mix", "sabotage"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn chaos_hammers_a_live_server_and_the_probe_survives() {
+        let config = twca_service::ServiceConfig {
+            workers: 2,
+            read_timeout: Some(std::time::Duration::from_secs(5)),
+            idle_timeout: Some(std::time::Duration::from_secs(5)),
+            ..twca_service::ServiceConfig::default()
+        };
+        let server =
+            twca_service::TcpServer::start("127.0.0.1:0", Session::new(), &config).unwrap();
+        let addr = server.local_addr().to_string();
+        let out = cmd_chaos(&args(&[
+            "--connect",
+            &addr,
+            "--schedules",
+            "8",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("8 schedule(s)"), "report broke: {out}");
+        assert!(out.contains("liveness probe ok"), "probe failed: {out}");
+        let summary = server.shutdown(std::time::Duration::from_secs(10));
+        assert!(summary.requests > 0, "no chaos request was ever admitted");
+
+        assert!(matches!(cmd_chaos(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            cmd_chaos(&args(&["--connect", "127.0.0.1:1", "--schedules", "nope"])),
             Err(CliError::Usage(_))
         ));
     }

@@ -1,0 +1,429 @@
+//! The fault-injectable transport seam.
+//!
+//! [`ChaosRead`] / [`ChaosWrite`] wrap any byte stream and replay a
+//! seeded, schedulable [`FaultPlan`] against it: delayed and stalled
+//! operations, short reads / partial writes, mid-frame resets, and
+//! single-bit corruption. The wrappers are byte-transparent when the
+//! plan is empty — [`FaultPlan::none`] makes them a pure pass-through
+//! — so the same code path serves production traffic and chaos runs.
+//!
+//! Every *injected* fault is counted in a shared [`ChaosTally`], which
+//! is what lets the `chaos-liveness` oracle reconcile the server's
+//! connection counters against the plan: a reset that was scheduled
+//! but never reached (the stream ended first) is not in the tally and
+//! must not be in the server's counters either.
+
+use std::collections::BTreeMap;
+use std::io::{Error, ErrorKind, Read, Result, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One scheduled fault, applied to a single read or write call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Sleep briefly before performing the operation.
+    Delay(Duration),
+    /// Sleep long enough to look like a hung peer, then proceed.
+    Stall(Duration),
+    /// Truncate the operation to at most this many bytes (≥ 1): a
+    /// short read or a partial write. Splits multi-byte UTF-8
+    /// sequences and frames across calls.
+    Short(usize),
+    /// Fail the operation with `ConnectionReset`; every later call on
+    /// this wrapper fails too (the peer is gone).
+    Reset,
+    /// Flip one bit (0–7) of the first byte moved by the operation.
+    Corrupt(u8),
+}
+
+/// A seeded schedule of faults keyed by operation index: the `n`-th
+/// read (or write) through a wrapper hits the fault planned for `n`.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, FaultKind>,
+}
+
+/// A tiny xorshift64* generator, seeded deterministically; the service
+/// crate stays dependency-free.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Whitens a user seed into a non-zero xorshift state (splitmix64
+/// finalizer); adjacent seeds must not collide (`42 | 1 == 43 | 1`).
+fn mix_seed(seed: u64) -> u64 {
+    let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (x ^ (x >> 31)) | 1
+}
+
+impl FaultPlan {
+    /// The empty plan: wrappers carrying it are byte-transparent.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Schedules `fault` for operation number `op` (builder-style).
+    #[must_use]
+    pub fn with(mut self, op: u64, fault: FaultKind) -> FaultPlan {
+        self.faults.insert(op, fault);
+        self
+    }
+
+    /// A fuzzed schedule for a read-side wrapper: over the first `ops`
+    /// operations, roughly 3% delays, 1% stalls, 8% short reads, 1%
+    /// corrupted bytes, and 0.7% resets, all deterministic in `seed`.
+    #[must_use]
+    pub fn fuzzed_read(seed: u64, ops: u64) -> FaultPlan {
+        let mut state = mix_seed(seed);
+        let mut plan = FaultPlan::none();
+        for op in 0..ops {
+            let roll = xorshift(&mut state) % 1000;
+            let fault = match roll {
+                0..=29 => FaultKind::Delay(Duration::from_micros(50 + xorshift(&mut state) % 450)),
+                30..=39 => FaultKind::Stall(Duration::from_millis(1 + xorshift(&mut state) % 7)),
+                40..=119 => FaultKind::Short(1 + (xorshift(&mut state) % 3) as usize),
+                120..=129 => FaultKind::Corrupt((xorshift(&mut state) % 8) as u8),
+                130..=136 => FaultKind::Reset,
+                _ => continue,
+            };
+            plan.faults.insert(op, fault);
+        }
+        plan
+    }
+
+    /// A fuzzed schedule for a write-side wrapper: delays, partial
+    /// writes, and rare resets — no corruption, so an injected fault
+    /// can tear or kill a response stream but never forge one.
+    #[must_use]
+    pub fn fuzzed_write(seed: u64, ops: u64) -> FaultPlan {
+        // Decorrelate from the read plan of the same seed.
+        let mut state = mix_seed(seed ^ 0xC3A5_C85C_97CB_3127);
+        let mut plan = FaultPlan::none();
+        for op in 0..ops {
+            let roll = xorshift(&mut state) % 1000;
+            let fault = match roll {
+                0..=29 => FaultKind::Delay(Duration::from_micros(50 + xorshift(&mut state) % 450)),
+                30..=109 => FaultKind::Short(1 + (xorshift(&mut state) % 3) as usize),
+                110..=112 => FaultKind::Reset,
+                _ => continue,
+            };
+            plan.faults.insert(op, fault);
+        }
+        plan
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault scheduled for operation `op`, if any.
+    #[must_use]
+    pub fn fault_at(&self, op: u64) -> Option<FaultKind> {
+        self.faults.get(&op).copied()
+    }
+}
+
+/// Counts of faults actually injected (a scheduled fault past the end
+/// of the stream never fires and is never counted). Shared between
+/// the read and write halves of a chaotic connection.
+#[derive(Debug, Default)]
+pub struct ChaosTally {
+    delays: AtomicU64,
+    stalls: AtomicU64,
+    shorts: AtomicU64,
+    resets: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+impl ChaosTally {
+    /// A fresh all-zero tally.
+    #[must_use]
+    pub fn new() -> ChaosTally {
+        ChaosTally::default()
+    }
+
+    /// Injected delays + stalls.
+    pub fn delays(&self) -> u64 {
+        self.delays.load(Ordering::Relaxed) + self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Injected short reads / partial writes.
+    pub fn shorts(&self) -> u64 {
+        self.shorts.load(Ordering::Relaxed)
+    }
+
+    /// Injected resets.
+    pub fn resets(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
+    }
+
+    /// Injected corrupted bytes.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted.load(Ordering::Relaxed)
+    }
+}
+
+/// The read half of a chaotic stream; see the module docs.
+#[derive(Debug)]
+pub struct ChaosRead<R> {
+    inner: R,
+    plan: Arc<FaultPlan>,
+    tally: Arc<ChaosTally>,
+    op: u64,
+    dead: bool,
+}
+
+impl<R: Read> ChaosRead<R> {
+    /// Wraps `inner` under `plan`, counting injections into `tally`.
+    pub fn new(inner: R, plan: Arc<FaultPlan>, tally: Arc<ChaosTally>) -> ChaosRead<R> {
+        ChaosRead {
+            inner,
+            plan,
+            tally,
+            op: 0,
+            dead: false,
+        }
+    }
+}
+
+impl<R: Read> Read for ChaosRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if self.dead {
+            return Err(Error::new(ErrorKind::ConnectionReset, "injected reset"));
+        }
+        let op = self.op;
+        self.op += 1;
+        match self.plan.fault_at(op) {
+            None => self.inner.read(buf),
+            Some(FaultKind::Delay(d)) => {
+                self.tally.delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            Some(FaultKind::Stall(d)) => {
+                self.tally.stalls.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            Some(FaultKind::Short(max)) => {
+                let cap = buf.len().min(max.max(1));
+                if cap > 0 {
+                    self.tally.shorts.fetch_add(1, Ordering::Relaxed);
+                }
+                self.inner.read(&mut buf[..cap])
+            }
+            Some(FaultKind::Reset) => {
+                self.dead = true;
+                self.tally.resets.fetch_add(1, Ordering::Relaxed);
+                Err(Error::new(ErrorKind::ConnectionReset, "injected reset"))
+            }
+            Some(FaultKind::Corrupt(bit)) => {
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    self.tally.corrupted.fetch_add(1, Ordering::Relaxed);
+                    buf[0] ^= 1 << (bit % 8);
+                }
+                Ok(n)
+            }
+        }
+    }
+}
+
+/// The write half of a chaotic stream; see the module docs.
+#[derive(Debug)]
+pub struct ChaosWrite<W> {
+    inner: W,
+    plan: Arc<FaultPlan>,
+    tally: Arc<ChaosTally>,
+    op: u64,
+    dead: bool,
+}
+
+impl<W: Write> ChaosWrite<W> {
+    /// Wraps `inner` under `plan`, counting injections into `tally`.
+    pub fn new(inner: W, plan: Arc<FaultPlan>, tally: Arc<ChaosTally>) -> ChaosWrite<W> {
+        ChaosWrite {
+            inner,
+            plan,
+            tally,
+            op: 0,
+            dead: false,
+        }
+    }
+}
+
+impl<W: Write> Write for ChaosWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> Result<usize> {
+        if self.dead {
+            return Err(Error::new(ErrorKind::ConnectionReset, "injected reset"));
+        }
+        if buf.is_empty() {
+            return self.inner.write(buf);
+        }
+        let op = self.op;
+        self.op += 1;
+        match self.plan.fault_at(op) {
+            None => self.inner.write(buf),
+            Some(FaultKind::Delay(d)) => {
+                self.tally.delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            Some(FaultKind::Stall(d)) => {
+                self.tally.stalls.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            Some(FaultKind::Short(max)) => {
+                self.tally.shorts.fetch_add(1, Ordering::Relaxed);
+                self.inner.write(&buf[..buf.len().min(max.max(1))])
+            }
+            Some(FaultKind::Reset) => {
+                self.dead = true;
+                self.tally.resets.fetch_add(1, Ordering::Relaxed);
+                Err(Error::new(ErrorKind::ConnectionReset, "injected reset"))
+            }
+            Some(FaultKind::Corrupt(bit)) => {
+                self.tally.corrupted.fetch_add(1, Ordering::Relaxed);
+                let mut flipped = buf.to_vec();
+                flipped[0] ^= 1 << (bit % 8);
+                // All-or-nothing on the corrupted copy keeps the op
+                // accounting simple: one op, one (corrupted) write.
+                self.inner.write_all(&flipped)?;
+                Ok(buf.len())
+            }
+        }
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Cursor};
+
+    #[test]
+    fn an_empty_plan_is_byte_transparent() {
+        let input = b"hello chaotic world\nsecond line\n".to_vec();
+        let tally = Arc::new(ChaosTally::new());
+        let mut reader = ChaosRead::new(
+            Cursor::new(input.clone()),
+            Arc::new(FaultPlan::none()),
+            Arc::clone(&tally),
+        );
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out).unwrap();
+        assert_eq!(out, input);
+
+        let mut sink = Vec::new();
+        {
+            let mut writer =
+                ChaosWrite::new(&mut sink, Arc::new(FaultPlan::none()), Arc::clone(&tally));
+            writer.write_all(&input).unwrap();
+            writer.flush().unwrap();
+        }
+        assert_eq!(sink, input);
+        assert_eq!(
+            (
+                tally.delays(),
+                tally.shorts(),
+                tally.resets(),
+                tally.corrupted()
+            ),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn short_reads_split_multibyte_sequences_without_losing_bytes() {
+        // Every read capped at 1 byte: any multi-byte UTF-8 sequence
+        // is split across calls, but a buffered consumer still sees
+        // the exact byte stream.
+        let text = "αβγ → done\n";
+        let mut plan = FaultPlan::none();
+        for op in 0..64 {
+            plan = plan.with(op, FaultKind::Short(1));
+        }
+        let tally = Arc::new(ChaosTally::new());
+        let reader = ChaosRead::new(Cursor::new(text.as_bytes()), Arc::new(plan), tally);
+        let mut lines = BufReader::new(reader).lines();
+        assert_eq!(lines.next().unwrap().unwrap(), "αβγ → done");
+    }
+
+    #[test]
+    fn resets_are_sticky_and_counted_once_per_injection() {
+        let plan = FaultPlan::none().with(1, FaultKind::Reset);
+        let tally = Arc::new(ChaosTally::new());
+        let mut reader = ChaosRead::new(
+            Cursor::new(b"abcdef".to_vec()),
+            Arc::new(plan),
+            Arc::clone(&tally),
+        );
+        let mut buf = [0u8; 2];
+        assert_eq!(reader.read(&mut buf).unwrap(), 2);
+        let err = reader.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
+        let err = reader.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::ConnectionReset);
+        assert_eq!(tally.resets(), 1);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let plan = FaultPlan::none().with(0, FaultKind::Corrupt(3));
+        let tally = Arc::new(ChaosTally::new());
+        let mut sink = Vec::new();
+        {
+            let mut writer = ChaosWrite::new(&mut sink, Arc::new(plan), Arc::clone(&tally));
+            writer.write_all(b"AB").unwrap();
+        }
+        assert_eq!(sink, vec![b'A' ^ 0b1000, b'B']);
+        assert_eq!(tally.corrupted(), 1);
+    }
+
+    #[test]
+    fn fuzzed_plans_are_deterministic_in_the_seed() {
+        let a = FaultPlan::fuzzed_read(42, 100);
+        let b = FaultPlan::fuzzed_read(42, 100);
+        for op in 0..100 {
+            assert_eq!(a.fault_at(op), b.fault_at(op));
+        }
+        assert!(
+            (0..100).any(|op| a.fault_at(op).is_some()),
+            "a 100-op fuzzed plan schedules something"
+        );
+        let c = FaultPlan::fuzzed_read(43, 100);
+        assert!(
+            (0..100).any(|op| a.fault_at(op) != c.fault_at(op)),
+            "different seeds give different plans"
+        );
+    }
+
+    #[test]
+    fn scheduled_faults_past_the_stream_end_never_tally() {
+        let plan = FaultPlan::none().with(50, FaultKind::Reset);
+        let tally = Arc::new(ChaosTally::new());
+        let mut reader = ChaosRead::new(
+            Cursor::new(b"xy".to_vec()),
+            Arc::new(plan),
+            Arc::clone(&tally),
+        );
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out).unwrap();
+        assert_eq!(tally.resets(), 0);
+    }
+}

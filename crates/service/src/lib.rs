@@ -4,14 +4,21 @@
 //! The crate turns a single shared-cache [`twca_api::Session`] into a
 //! network service:
 //!
-//! - [`frame`] — bounded line-delimited framing (hostile peers cannot
-//!   force unbounded buffering),
+//! - [`frame`] — bounded, resumable line-delimited framing (hostile
+//!   peers cannot force unbounded buffering; timeouts mid-frame lose
+//!   no bytes),
 //! - [`pool`] — the worker pool: bounded admission queue with typed
 //!   `overloaded` rejection, per-request deadlines raised through
 //!   [`twca_api::CancelToken`]s, ordered per-connection response
-//!   delivery, graceful drain,
+//!   delivery (synchronous or buffered behind a writer thread with a
+//!   slow-consumer bound), graceful drain,
 //! - [`server`] — the TCP listener plus a stdio lane feeding the same
-//!   pool,
+//!   pool, with read/idle timeouts and slow-loris reaping,
+//! - [`chaos`] — seeded transport fault injection ([`FaultPlan`],
+//!   [`ChaosRead`]/[`ChaosWrite`]) behind the `chaos-liveness` oracle
+//!   and `twca chaos`,
+//! - [`retry`] — client-side retry with exponential backoff and
+//!   deterministic jitter,
 //! - [`loadgen`] — the deterministic load generator behind
 //!   `twca loadgen` and the `service_saturation` bench,
 //! - [`fuzzing`] — the malformed-frame generator behind the
@@ -29,14 +36,18 @@
 #![allow(clippy::cast_possible_truncation)]
 #![allow(clippy::cast_sign_loss)]
 
+pub mod chaos;
 pub mod frame;
 pub mod fuzzing;
 pub mod loadgen;
 pub mod pool;
+pub mod retry;
 pub mod server;
 
-pub use frame::{Frame, FrameReader};
+pub use chaos::{ChaosRead, ChaosTally, ChaosWrite, FaultKind, FaultPlan};
+pub use frame::{Frame, FrameReader, FrameStep};
 pub use fuzzing::FrameFuzzer;
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport, RequestMix};
 pub use pool::{Connection, ServiceConfig, WorkerPool};
-pub use server::{serve_connection, TcpServer};
+pub use retry::RetryPolicy;
+pub use server::{serve_connection, serve_lane, LaneEnd, LaneOptions, TcpServer};

@@ -37,6 +37,24 @@ pub struct ServiceConfig {
     pub deadline: Option<Duration>,
     /// Largest accepted frame (request line) in bytes.
     pub max_frame_bytes: usize,
+    /// Longest tolerated byte-silence while reading a connection;
+    /// exceeding it closes the connection (counted under `timeouts`).
+    /// `None` disables the check.
+    pub read_timeout: Option<Duration>,
+    /// Longest tolerated wall time since a connection's last
+    /// *completed* frame; exceeding it reaps the connection (the
+    /// slow-loris defense — a byte-dripping client completes no frame
+    /// and cannot evade it). `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Socket write timeout armed on accepted connections; a response
+    /// write blocked longer kills the lane. `None` leaves writes
+    /// unbounded.
+    pub write_timeout: Option<Duration>,
+    /// Bound on a connection's buffered outbound responses, in bytes.
+    /// A client that stops reading while the budget overflows is
+    /// disconnected as a slow consumer; workers never block on a
+    /// client's socket either way. `0` disables the bound.
+    pub write_buffer_bytes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -46,6 +64,10 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             deadline: None,
             max_frame_bytes: 1 << 20,
+            read_timeout: None,
+            idle_timeout: None,
+            write_timeout: None,
+            write_buffer_bytes: 4 << 20,
         }
     }
 }
@@ -62,44 +84,194 @@ fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
 /// whichever thread finishes first but written strictly in submission
 /// order; a write failure (the client is gone) retires the lane
 /// silently without touching any other connection.
+///
+/// Lanes come in two flavors. [`Connection::new`] writes responses
+/// synchronously in the delivering thread — the right shape for tests
+/// and the stdio lane, where the writer never blocks on a hostile
+/// peer. [`Connection::buffered`] spawns a dedicated writer thread
+/// draining a bounded outbound queue, so a worker thread only ever
+/// *enqueues* a response and can never be wedged by a client that
+/// stopped reading; a client whose backlog overflows the byte budget
+/// is disconnected as a slow consumer.
 pub struct Connection {
     out: Mutex<OutState>,
-    dead: AtomicBool,
+    dead: Arc<AtomicBool>,
     retired: Condvar,
+    lane: Option<Arc<LaneShared>>,
+    counters: Option<Arc<ServiceCounters>>,
+    write_budget: usize,
+    closer: Option<std::net::TcpStream>,
 }
 
 struct OutState {
-    writer: Box<dyn Write + Send>,
+    /// `Some` on synchronous lanes; buffered lanes moved the writer
+    /// into their writer thread.
+    writer: Option<Box<dyn Write + Send>>,
     next_seq: u64,
     parked: BTreeMap<u64, String>,
+    parked_bytes: usize,
+}
+
+/// The writer thread's side of a buffered lane.
+struct LaneShared {
+    queue: Mutex<LaneQueue>,
+    work: Condvar,
+    done: Condvar,
+}
+
+struct LaneQueue {
+    /// In-order lines awaiting the writer thread.
+    ready: VecDeque<String>,
+    /// Bytes held in `ready` (incl. newlines).
+    ready_bytes: usize,
+    /// Lines written (or dropped on a dead lane) by the writer.
+    written: u64,
+    /// No further deliveries will arrive; drain and exit.
+    finished: bool,
 }
 
 impl std::fmt::Debug for Connection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Connection")
             .field("dead", &self.is_dead())
+            .field("buffered", &self.lane.is_some())
             .finish_non_exhaustive()
     }
 }
 
 impl Connection {
-    /// Wraps the write half of a connection.
+    /// Wraps the write half of a connection; responses are written
+    /// synchronously by whichever thread completes them in order.
     #[must_use]
     pub fn new(writer: Box<dyn Write + Send>) -> Arc<Connection> {
         Arc::new(Connection {
             out: Mutex::new(OutState {
-                writer,
+                writer: Some(writer),
                 next_seq: 0,
                 parked: BTreeMap::new(),
+                parked_bytes: 0,
             }),
-            dead: AtomicBool::new(false),
+            dead: Arc::new(AtomicBool::new(false)),
             retired: Condvar::new(),
+            lane: None,
+            counters: None,
+            write_budget: 0,
+            closer: None,
         })
     }
 
-    /// Whether a write has failed (the client disconnected).
+    /// Wraps the write half of a connection behind a dedicated writer
+    /// thread and a bounded outbound buffer (`write_budget` bytes;
+    /// `0` = unbounded). `counters` receives queue-depth observations
+    /// and the slow-consumer/timeout tallies; `closer`, when given,
+    /// is shut down as soon as the lane dies so a blocked reader
+    /// wakes up promptly.
+    #[must_use]
+    pub fn buffered(
+        writer: Box<dyn Write + Send>,
+        write_budget: usize,
+        counters: Option<Arc<ServiceCounters>>,
+        closer: Option<std::net::TcpStream>,
+    ) -> Arc<Connection> {
+        let lane = Arc::new(LaneShared {
+            queue: Mutex::new(LaneQueue {
+                ready: VecDeque::new(),
+                ready_bytes: 0,
+                written: 0,
+                finished: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let dead = Arc::new(AtomicBool::new(false));
+        {
+            let lane = Arc::clone(&lane);
+            let dead = Arc::clone(&dead);
+            let counters = counters.clone();
+            let closer = closer.as_ref().and_then(|s| s.try_clone().ok());
+            let mut writer = writer;
+            std::thread::spawn(move || {
+                let mut queue = lock(&lane.queue);
+                loop {
+                    if let Some(line) = queue.ready.pop_front() {
+                        queue.ready_bytes -= line.len() + 1;
+                        drop(queue);
+                        if !dead.load(Ordering::Relaxed) {
+                            let wrote = writeln!(writer, "{line}").and_then(|()| writer.flush());
+                            if let Err(e) = wrote {
+                                if let Some(counters) = &counters {
+                                    match e.kind() {
+                                        std::io::ErrorKind::TimedOut
+                                        | std::io::ErrorKind::WouldBlock => {
+                                            counters.record_read_timeout();
+                                        }
+                                        std::io::ErrorKind::ConnectionReset
+                                        | std::io::ErrorKind::ConnectionAborted
+                                        | std::io::ErrorKind::BrokenPipe => {
+                                            counters.record_reset();
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                                dead.store(true, Ordering::Relaxed);
+                                if let Some(closer) = &closer {
+                                    let _ = closer.shutdown(std::net::Shutdown::Both);
+                                }
+                            }
+                        }
+                        queue = lock(&lane.queue);
+                        queue.written += 1;
+                        lane.done.notify_all();
+                        continue;
+                    }
+                    if queue.finished {
+                        return;
+                    }
+                    queue = lane
+                        .work
+                        .wait(queue)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            });
+        }
+        Arc::new(Connection {
+            out: Mutex::new(OutState {
+                writer: None,
+                next_seq: 0,
+                parked: BTreeMap::new(),
+                parked_bytes: 0,
+            }),
+            dead,
+            retired: Condvar::new(),
+            lane: Some(lane),
+            counters,
+            write_budget,
+            closer,
+        })
+    }
+
+    /// Whether a write has failed (the client disconnected) or the
+    /// lane was killed (slow consumer).
     pub fn is_dead(&self) -> bool {
         self.dead.load(Ordering::Relaxed)
+    }
+
+    /// Kills the lane: deliveries keep sequencing (so `await_retired`
+    /// still completes) but nothing further is written, and the
+    /// underlying socket, when known, is shut down to unblock its
+    /// reader. Returns whether this call did the killing.
+    fn kill(&self) -> bool {
+        let first = !self.dead.swap(true, Ordering::Relaxed);
+        if first {
+            if let Some(closer) = &self.closer {
+                let _ = closer.shutdown(std::net::Shutdown::Both);
+            }
+            if let Some(lane) = &self.lane {
+                // Wake the writer so it drains the backlog as drops.
+                lane.work.notify_all();
+            }
+        }
+        first
     }
 
     /// Hands in the response for submission number `seq` (0-based per
@@ -107,20 +279,60 @@ impl Connection {
     /// been; out-of-order completions are parked until their turn.
     pub fn deliver(&self, seq: u64, line: String) {
         let mut out = lock(&self.out);
+        out.parked_bytes += line.len() + 1;
         out.parked.insert(seq, line);
+        let mut unparked: Vec<String> = Vec::new();
         loop {
             let next = out.next_seq;
             let Some(line) = out.parked.remove(&next) else {
                 break;
             };
             out.next_seq += 1;
-            if self.dead.load(Ordering::Relaxed) {
-                continue; // keep sequencing so the lane can retire fully
+            out.parked_bytes -= line.len() + 1;
+            if self.lane.is_some() {
+                unparked.push(line);
+            } else {
+                // Synchronous lane: write in the delivering thread.
+                if self.dead.load(Ordering::Relaxed) {
+                    continue; // keep sequencing so the lane retires
+                }
+                let writer = out.writer.as_mut().expect("sync lane has a writer");
+                let wrote = writeln!(writer, "{line}").and_then(|()| writer.flush());
+                if wrote.is_err() {
+                    self.dead.store(true, Ordering::Relaxed);
+                }
             }
-            let wrote = writeln!(out.writer, "{line}").and_then(|()| out.writer.flush());
-            if wrote.is_err() {
-                self.dead.store(true, Ordering::Relaxed);
+        }
+        if let Some(lane) = &self.lane {
+            // Push under the `out` lock: it is what serializes the
+            // in-order unparking, so releasing it before the queue
+            // push would let two deliverers enqueue out of order.
+            // Lock order is always out → queue; the writer thread
+            // takes only the queue lock, so this cannot deadlock.
+            let (depth, overflow) = {
+                let mut queue = lock(&lane.queue);
+                for line in unparked {
+                    queue.ready_bytes += line.len() + 1;
+                    queue.ready.push_back(line);
+                }
+                let depth = (queue.ready.len() + out.parked.len()) as u64;
+                let outstanding = queue.ready_bytes + out.parked_bytes;
+                let overflow =
+                    self.write_budget > 0 && outstanding > self.write_budget && !self.is_dead();
+                (depth, overflow)
+            };
+            drop(out);
+            if let Some(counters) = &self.counters {
+                counters.note_queue_depth(depth);
             }
+            if overflow && self.kill() {
+                if let Some(counters) = &self.counters {
+                    counters.record_slow_consumer();
+                }
+            }
+            lane.work.notify_one();
+        } else {
+            drop(out);
         }
         self.retired.notify_all();
     }
@@ -130,12 +342,31 @@ impl Connection {
     /// Lets a front end half-close the connection's write side only
     /// once everything admitted has been answered.
     pub fn await_retired(&self, count: u64) {
-        let mut out = lock(&self.out);
-        while out.next_seq < count {
-            out = self
-                .retired
-                .wait(out)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(lane) = &self.lane {
+            let mut queue = lock(&lane.queue);
+            while queue.written < count {
+                queue = lane
+                    .done
+                    .wait(queue)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        } else {
+            let mut out = lock(&self.out);
+            while out.next_seq < count {
+                out = self
+                    .retired
+                    .wait(out)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        if let Some(lane) = &self.lane {
+            lock(&lane.queue).finished = true;
+            lane.work.notify_all();
         }
     }
 }
@@ -443,6 +674,7 @@ impl WorkerPool {
             requests: (served + rejected) as usize,
             errors: self.shared.errors.load(Ordering::Relaxed) as usize,
             latency,
+            edge: self.counters.edge(),
         };
         *slot = Some(summary);
         summary

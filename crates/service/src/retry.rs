@@ -1,0 +1,119 @@
+//! Client-side retry with exponential backoff and deterministic
+//! jitter.
+//!
+//! The policy is *safe by construction* at its call sites: idempotent
+//! queries retry freely, while `store_put` retries only when the
+//! client supplied a dedup id the store honors at most once — a
+//! retried put whose first attempt actually landed (the transport
+//! swallowed the ack) is answered from the dedup ledger instead of
+//! double-applying. The jitter is a pure function of `(seed, attempt)`
+//! so a seeded load run replays byte-identically.
+
+use std::time::Duration;
+
+/// An exponential-backoff retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` disables retry).
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per further retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(20),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `attempts` total attempts and the default
+    /// base/cap.
+    #[must_use]
+    pub fn with_attempts(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Whether attempt number `attempt` (0-based; `0` is the first
+    /// try) is still within the budget.
+    #[must_use]
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt < self.attempts
+    }
+
+    /// The backoff to sleep before (1-based) retry number `retry`,
+    /// with deterministic jitter in the 50–100% band of the
+    /// exponential step: `base * 2^(retry-1)`, capped, then scaled by
+    /// a jitter drawn from `(seed, retry)`. Returns zero for
+    /// `retry == 0` (the first attempt never waits).
+    #[must_use]
+    pub fn backoff(&self, seed: u64, retry: u32) -> Duration {
+        if retry == 0 {
+            return Duration::ZERO;
+        }
+        let step = self
+            .base
+            .saturating_mul(1u32 << (retry - 1).min(20))
+            .min(self.cap);
+        // splitmix64 over (seed, retry): full-period, dependency-free.
+        let mut x = seed
+            .wrapping_add(u64::from(retry).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        // Jitter in [1/2, 1): spreads synchronized retry storms while
+        // keeping the exponential envelope.
+        let frac = 0.5 + (x >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        step.mul_f64(frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_in_the_seed() {
+        let policy = RetryPolicy::default();
+        for retry in 1..6 {
+            assert_eq!(policy.backoff(42, retry), policy.backoff(42, retry));
+        }
+        assert_ne!(policy.backoff(1, 3), policy.backoff(2, 3), "seeds differ");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_respects_the_cap() {
+        let policy = RetryPolicy {
+            attempts: 10,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+        };
+        assert_eq!(policy.backoff(7, 0), Duration::ZERO);
+        for retry in 1..10 {
+            let b = policy.backoff(7, retry);
+            let step = Duration::from_millis(10 * (1u64 << (retry - 1)).min(10));
+            assert!(b <= step.min(Duration::from_millis(100)), "{retry}: {b:?}");
+            assert!(
+                b >= step.min(Duration::from_millis(100)) / 2,
+                "{retry}: {b:?} under half the envelope"
+            );
+        }
+    }
+
+    #[test]
+    fn attempts_budget_counts_the_first_try() {
+        let policy = RetryPolicy::with_attempts(1);
+        assert!(policy.allows(0));
+        assert!(!policy.allows(1), "one attempt means no retry");
+    }
+}

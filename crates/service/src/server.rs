@@ -7,7 +7,7 @@
 //! is still answered — the write halves stay open until the pool has
 //! drained). Nothing admitted is ever silently dropped.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -16,14 +16,175 @@ use std::time::{Duration, Instant};
 
 use twca_api::{ApiError, ServeSummary, Session};
 
-use crate::frame::{Frame, FrameReader};
+use crate::frame::{Frame, FrameReader, FrameStep};
 use crate::pool::{Connection, ServiceConfig, WorkerPool};
+
+/// Per-lane serving knobs; the subset of [`ServiceConfig`] a single
+/// read loop enforces.
+#[derive(Debug, Clone)]
+pub struct LaneOptions {
+    /// Largest accepted frame in bytes.
+    pub max_frame_bytes: usize,
+    /// Longest tolerated byte-silence; requires the underlying stream
+    /// to surface `WouldBlock`/`TimedOut` (e.g. a socket read
+    /// timeout), which the lane treats as deadline ticks.
+    pub read_timeout: Option<Duration>,
+    /// Longest tolerated wall time since the last *completed* frame —
+    /// the slow-loris defense: a byte-dripping client keeps resetting
+    /// any byte-silence clock but never completes a frame.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl LaneOptions {
+    /// Timeout-free options at the given frame cap (the stdio shape).
+    #[must_use]
+    pub fn unlimited(max_frame_bytes: usize) -> LaneOptions {
+        LaneOptions {
+            max_frame_bytes,
+            read_timeout: None,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Why a lane's read loop ended. Whatever the reason, everything the
+/// lane admitted has been answered by the time [`serve_lane`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneEnd {
+    /// The input was exhausted cleanly.
+    Eof,
+    /// The lane died first: the client stopped reading responses, or
+    /// the write side failed, or a slow-consumer kill.
+    ClientGone,
+    /// The idle timeout passed with no completed frame (slow loris).
+    Reaped,
+    /// The read timeout passed with complete byte-silence.
+    TimedOut,
+    /// The peer reset or abandoned the connection mid-stream.
+    Reset,
+    /// Any other read error.
+    ReadError,
+}
+
+/// Reads frames from `input` and submits them to `pool` on `conn`'s
+/// ordered response lane, enforcing the lane's frame cap and
+/// timeouts. Returns why the loop ended, and only once every frame
+/// submitted has been answered — a front end may close the connection
+/// as soon as this returns.
+pub fn serve_lane(
+    pool: &WorkerPool,
+    input: impl BufRead,
+    conn: &Arc<Connection>,
+    opts: &LaneOptions,
+) -> LaneEnd {
+    let counters = pool.counters();
+    let mut reader = FrameReader::new(input, opts.max_frame_bytes);
+    let mut seq = 0u64;
+    let mut last_byte = Instant::now();
+    let mut last_frame = last_byte;
+    let reap_check = |last_frame: Instant| {
+        opts.idle_timeout
+            .is_some_and(|idle| last_frame.elapsed() >= idle)
+    };
+    let end = loop {
+        if conn.is_dead() {
+            break LaneEnd::ClientGone;
+        }
+        match reader.step() {
+            Ok(FrameStep::Eof) => break LaneEnd::Eof,
+            Ok(FrameStep::NeedMore) => {
+                // Bytes arrived but no frame completed: the byte clock
+                // resets, the frame clock keeps running (the loris
+                // path).
+                last_byte = Instant::now();
+                if reap_check(last_frame) {
+                    counters.record_reaped();
+                    break LaneEnd::Reaped;
+                }
+            }
+            Ok(FrameStep::Frame(frame)) => {
+                last_byte = Instant::now();
+                last_frame = last_byte;
+                match frame {
+                    Frame::Line(line) => {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        pool.submit(conn, seq, line);
+                        seq += 1;
+                    }
+                    Frame::Oversized { bytes } => {
+                        pool.respond_local_error(
+                            conn,
+                            seq,
+                            ApiError::request(format!(
+                                "frame too large: {bytes} byte(s) exceed the {} byte \
+                                 frame limit",
+                                opts.max_frame_bytes
+                            )),
+                        );
+                        seq += 1;
+                    }
+                    Frame::Invalid { offset, bytes } => {
+                        pool.respond_local_error(
+                            conn,
+                            seq,
+                            ApiError::request(format!(
+                                "frame is not valid UTF-8: invalid byte at offset \
+                                 {offset} of the {bytes}-byte frame"
+                            )),
+                        );
+                        seq += 1;
+                    }
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // A deadline tick from an armed socket timeout: no
+                // byte arrived this interval. Without lane timeouts
+                // there is nothing to enforce, so treat it as a plain
+                // read error rather than spinning forever.
+                if opts.read_timeout.is_none() && opts.idle_timeout.is_none() {
+                    break LaneEnd::ReadError;
+                }
+                if opts
+                    .read_timeout
+                    .is_some_and(|rt| last_byte.elapsed() >= rt)
+                {
+                    counters.record_read_timeout();
+                    break LaneEnd::TimedOut;
+                }
+                if reap_check(last_frame) {
+                    counters.record_reaped();
+                    break LaneEnd::Reaped;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                        | ErrorKind::BrokenPipe
+                ) =>
+            {
+                counters.record_reset();
+                break LaneEnd::Reset;
+            }
+            Err(_) => break LaneEnd::ReadError,
+        }
+    };
+    conn.await_retired(seq);
+    end
+}
 
 /// Reads frames from `input`, submits them to `pool`, and streams the
 /// ordered responses into `writer`. Returns once the input is
 /// exhausted (or errors, or the client stops reading responses) *and*
 /// every frame submitted up to that point has been answered — so a
 /// front end may close the connection as soon as this returns.
+///
+/// This is the synchronous-writer, timeout-free lane shape (stdio and
+/// tests); the TCP front end arms timeouts and buffered writers via
+/// [`serve_lane`].
 pub fn serve_connection(
     pool: &WorkerPool,
     input: impl BufRead,
@@ -31,35 +192,7 @@ pub fn serve_connection(
     max_frame_bytes: usize,
 ) {
     let conn = Connection::new(writer);
-    let mut reader = FrameReader::new(input, max_frame_bytes);
-    let mut seq = 0u64;
-    loop {
-        if conn.is_dead() {
-            break;
-        }
-        match reader.next_frame() {
-            Err(_) | Ok(None) => break,
-            Ok(Some(Frame::Line(line))) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                pool.submit(&conn, seq, line);
-                seq += 1;
-            }
-            Ok(Some(Frame::Oversized { bytes })) => {
-                pool.respond_local_error(
-                    &conn,
-                    seq,
-                    ApiError::request(format!(
-                        "frame too large: {bytes} byte(s) exceed the \
-                         {max_frame_bytes} byte frame limit"
-                    )),
-                );
-                seq += 1;
-            }
-        }
-    }
-    conn.await_retired(seq);
+    serve_lane(pool, input, &conn, &LaneOptions::unlimited(max_frame_bytes));
 }
 
 /// Live connections: each entry keeps the accepted stream (for the
@@ -97,6 +230,21 @@ impl TcpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let readers: ReaderRegistry = Arc::new(Mutex::new(Vec::new()));
         let max_frame_bytes = config.max_frame_bytes;
+        let lane_opts = LaneOptions {
+            max_frame_bytes,
+            read_timeout: config.read_timeout,
+            idle_timeout: config.idle_timeout,
+        };
+        // Enforcing lane timeouts needs the socket to tick: arm a read
+        // timeout well under the tightest lane bound so even a fully
+        // silent client is checked on time.
+        let tick = [config.read_timeout, config.idle_timeout]
+            .into_iter()
+            .flatten()
+            .min()
+            .map(|t| (t / 2).max(Duration::from_millis(5)));
+        let write_timeout = config.write_timeout;
+        let write_buffer_bytes = config.write_buffer_bytes;
         let accept = {
             let pool = Arc::clone(&pool);
             let stop = Arc::clone(&stop);
@@ -107,28 +255,45 @@ impl TcpServer {
                         Ok((stream, _peer)) => {
                             let _ = stream.set_nonblocking(false);
                             let _ = stream.set_nodelay(true);
+                            let _ = stream.set_read_timeout(tick);
+                            let _ = stream.set_write_timeout(write_timeout);
                             let Ok(tracked) = stream.try_clone() else {
                                 continue;
                             };
                             let pool = Arc::clone(&pool);
+                            let lane_opts = lane_opts.clone();
                             let handle = std::thread::spawn(move || {
-                                let Ok(writer) = stream.try_clone() else {
-                                    return;
-                                };
-                                let Ok(closer) = stream.try_clone() else {
-                                    return;
-                                };
-                                serve_connection(
-                                    &pool,
-                                    BufReader::new(stream),
-                                    Box::new(writer),
-                                    max_frame_bytes,
-                                );
-                                // Everything admitted has been answered;
-                                // let the client see EOF. (Clones keep
-                                // the fd alive, so an explicit
-                                // half-close is needed.)
-                                let _ = closer.shutdown(Shutdown::Write);
+                                let counters = pool.counters();
+                                counters.record_conn_opened();
+                                if let (Ok(writer), Ok(closer), Ok(killer)) =
+                                    (stream.try_clone(), stream.try_clone(), stream.try_clone())
+                                {
+                                    let conn = Connection::buffered(
+                                        Box::new(writer),
+                                        write_buffer_bytes,
+                                        Some(Arc::clone(&counters)),
+                                        Some(killer),
+                                    );
+                                    let end = serve_lane(
+                                        &pool,
+                                        BufReader::new(stream),
+                                        &conn,
+                                        &lane_opts,
+                                    );
+                                    // Everything admitted has been
+                                    // answered; let the client see EOF.
+                                    // (Clones keep the fd alive, so an
+                                    // explicit half-close is needed.)
+                                    // A reaped or timed-out peer also
+                                    // loses its read side: we are done
+                                    // listening to it.
+                                    let how = match end {
+                                        LaneEnd::Reaped | LaneEnd::TimedOut => Shutdown::Both,
+                                        _ => Shutdown::Write,
+                                    };
+                                    let _ = closer.shutdown(how);
+                                }
+                                counters.record_conn_closed();
                             });
                             readers
                                 .lock()
@@ -271,7 +436,7 @@ mod tests {
         let second = AnalysisResponse::from_json(&Json::parse(&line).unwrap()).unwrap();
         assert_eq!(second.id.as_deref(), Some("after"));
         assert!(second.outcome.is_ok());
-        server.shutdown(Duration::from_secs(5));
+        let _ = server.shutdown(Duration::from_secs(5));
     }
 
     #[test]

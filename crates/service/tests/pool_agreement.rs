@@ -116,5 +116,5 @@ fn mid_connection_disconnect_never_poisons_other_connections() {
         let expected = respond_line(&serial, request).to_json().to_string();
         assert_eq!(response, &expected);
     }
-    server.shutdown(Duration::from_secs(10));
+    let _ = server.shutdown(Duration::from_secs(10));
 }

@@ -3,7 +3,7 @@
 //! one typed error response — no panics, no dropped connections — and
 //! a valid request after the battery must still be answered.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::time::Duration;
 
@@ -160,4 +160,108 @@ fn a_rude_disconnect_mid_store_put_keeps_the_durable_journal_consistent() {
         other => panic!("recovered body has the wrong shape: {other:?}"),
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// PR 10 satellite: the slow-loris client — one byte every few tens of
+/// milliseconds, never a newline — must be reaped at the idle timeout
+/// while a concurrent well-behaved client on the same pool keeps
+/// receiving its responses in order.
+#[test]
+fn a_slow_loris_is_reaped_while_honest_clients_keep_flowing() {
+    use std::time::Instant;
+
+    let config = ServiceConfig {
+        workers: 2,
+        read_timeout: Some(Duration::from_secs(2)),
+        idle_timeout: Some(Duration::from_millis(250)),
+        ..ServiceConfig::default()
+    };
+    let server = TcpServer::start("127.0.0.1:0", Session::new(), &config).unwrap();
+    let addr = server.local_addr();
+
+    // The loris: drip one byte of a would-be request every 30 ms. Each
+    // byte resets any byte-silence clock, so only the completed-frame
+    // (idle) clock can catch it.
+    let loris = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let started = Instant::now();
+        let body = b"{\"id\": \"loris\", \"system\": \"chain";
+        let mut buf = [0u8; 64];
+        // Drip bytes while watching the read side: a reaped connection
+        // shows as EOF (the server's half-close) or a reset — writes
+        // into a half-closed socket can keep succeeding, so they are
+        // not the signal.
+        for chunk in body.iter().cycle() {
+            if stream.write_all(std::slice::from_ref(chunk)).is_err() {
+                break;
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => break,
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            assert!(
+                started.elapsed() <= Duration::from_secs(8),
+                "the loris was never reaped"
+            );
+        }
+        started.elapsed()
+    });
+
+    // Meanwhile an honest client gets every response, in order.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for i in 0..10 {
+        writeln!(
+            stream,
+            "{{\"id\": \"ok{i}\", \"system\": \
+             \"chain c periodic=100 deadline=100 {{ task t prio=1 wcet=10 }}\"}}"
+        )
+        .unwrap();
+        // Spread the writes across the loris's lifetime so the pool
+        // serves both clients concurrently.
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut ids = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        let response = AnalysisResponse::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert!(response.outcome.is_ok(), "honest request failed: {line}");
+        ids.push(response.id.unwrap());
+    }
+    let expected: Vec<String> = (0..10).map(|i| format!("ok{i}")).collect();
+    assert_eq!(ids, expected, "honest responses out of order or missing");
+
+    let reaped_after = loris.join().unwrap();
+    assert!(
+        reaped_after < Duration::from_secs(8),
+        "loris outlived the idle timeout: {reaped_after:?}"
+    );
+
+    let counters = server.pool().counters();
+    assert!(
+        counters.edge().reaped >= 1,
+        "the reap was counted: {:?}",
+        counters.edge()
+    );
+    let summary = server.shutdown(Duration::from_secs(10));
+    assert!(
+        summary.edge.reaped >= 1,
+        "the drain summary carries edge counters"
+    );
+    assert_eq!(summary.requests, 10, "only honest requests were admitted");
 }

@@ -12,7 +12,7 @@
 //!    processors, degenerate chains, bursty/jittery activation,
 //!    overload-dominated load, and distributed topologies (linear,
 //!    star, tree).
-//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — twelve
+//! 2. **Oracles** ([`check_scenario`], [`OracleKind`]) — thirteen
 //!    independent ways the suite could disagree with itself:
 //!    * analysis bound ≥ simulated behaviour on every trace
 //!      ([`OracleKind::SimSoundness`]);
@@ -50,7 +50,14 @@
 //!      truncated, never an acknowledged-and-journaled put lost) and
 //!      always detects injected bit-flip corruption with a typed
 //!      refusal — never silently wrong history
-//!      ([`OracleKind::RecoveryAgreement`]).
+//!      ([`OracleKind::RecoveryAgreement`]);
+//!    * the service edge stays live and truthful under seeded
+//!      transport chaos — every admitted request draws exactly one
+//!      typed terminal response, acknowledged `store_put`s are never
+//!      lost, dedup-tagged puts apply at most once, edge counters
+//!      reconcile with the injected faults, and the fault-free
+//!      schedule is byte-identical to the plain lane
+//!      ([`OracleKind::ChaosLiveness`]).
 //! 3. **Shrinking** ([`shrink_system`], [`shrink_body`]) — failing
 //!    scenarios are greedily minimized (chains, tasks, activation
 //!    models, WCETs) while still tripping the same oracle.
@@ -87,8 +94,8 @@ mod shrink;
 pub use corpus::{load_corpus, persist_failure, replay_corpus, CorpusEntry};
 pub use fuzz::{fuzz, FuzzConfig, FuzzFailure, FuzzReport};
 pub use oracle::{
-    check_delta_agreement, check_recovery_agreement, check_scenario, Fault, OracleKind,
-    VerifyOptions, Violation,
+    check_chaos_liveness, check_delta_agreement, check_recovery_agreement, check_scenario, Fault,
+    OracleKind, VerifyOptions, Violation,
 };
 pub use scenario::{Scenario, ScenarioBody, ScenarioProfile};
 pub use shrink::{shrink_body, shrink_distributed, shrink_system};

@@ -1,5 +1,6 @@
 //! The differential oracle battery: every generated scenario is checked
-//! against twelve independent ways the suite could disagree with itself.
+//! against thirteen independent ways the suite could disagree with
+//! itself.
 
 use std::sync::{Arc, Mutex};
 
@@ -23,7 +24,7 @@ use twca_sim::{
     Simulation, TraceSet,
 };
 
-/// The twelve oracles of the conformance battery.
+/// The thirteen oracles of the conformance battery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OracleKind {
     /// Analytic bounds must dominate every simulated trace: observed
@@ -92,11 +93,24 @@ pub enum OracleKind {
     /// typed refusal or a valid tail truncation, never silently wrong
     /// history.
     RecoveryAgreement,
+    /// The service edge must stay live and truthful under transport
+    /// chaos: driving the scenario's request script through a real
+    /// [`twca_service::WorkerPool`] lane wrapped in seeded
+    /// [`twca_service::ChaosRead`]/[`twca_service::ChaosWrite`] fault
+    /// schedules (delays, stalls, short reads, partial writes,
+    /// mid-frame resets, bit corruption) must always terminate, answer
+    /// every admitted request with exactly one typed terminal response
+    /// (none forged, none lost while the write side is healthy), never
+    /// lose an acknowledged `store_put`, apply a dedup-tagged put
+    /// at most once, and reconcile the lane's edge counters with the
+    /// faults actually injected. The fault-free schedule must be
+    /// byte-identical to the plain (chaos-free) lane.
+    ChaosLiveness,
 }
 
 impl OracleKind {
     /// Every oracle, in reporting order.
-    pub const ALL: [OracleKind; 12] = [
+    pub const ALL: [OracleKind; 13] = [
         OracleKind::SimSoundness,
         OracleKind::CacheAgreement,
         OracleKind::ParallelAgreement,
@@ -109,6 +123,7 @@ impl OracleKind {
         OracleKind::ServiceRobustness,
         OracleKind::DeltaAgreement,
         OracleKind::RecoveryAgreement,
+        OracleKind::ChaosLiveness,
     ];
 
     /// A short stable name for reports and corpus headers.
@@ -126,6 +141,7 @@ impl OracleKind {
             OracleKind::ServiceRobustness => "service-robustness",
             OracleKind::DeltaAgreement => "delta-agreement",
             OracleKind::RecoveryAgreement => "recovery-agreement",
+            OracleKind::ChaosLiveness => "chaos-liveness",
         }
     }
 }
@@ -284,6 +300,7 @@ pub fn check_scenario(body: &ScenarioBody, opts: &VerifyOptions) -> Vec<Violatio
     check_service_robustness(body, opts, &mut violations);
     check_delta_agreement(body, opts, &mut violations);
     check_recovery_agreement(body, opts, &mut violations);
+    check_chaos_liveness(body, opts, &mut violations);
     violations
 }
 
@@ -330,6 +347,7 @@ pub fn check_delta_agreement(
                 name: "scenario".into(),
                 system: (!is_dist).then(|| text.to_owned()),
                 dist: is_dist.then(|| text.to_owned()),
+                dedup: None,
             },
             Query::StoreAnalyze {
                 name: "scenario".into(),
@@ -702,6 +720,332 @@ fn check_service_robustness(
                 detail: format!("hostile frame #{index} drew an untyped response: {response}"),
             }),
         }
+    }
+}
+
+/// The request script every chaos schedule replays: a dedup-tagged
+/// `store_put` of the scenario, the *same* put again (the at-most-once
+/// probe), and a `stats` query. Parse-only work, so a thousand
+/// schedules stay cheap; analysis identity is the service-robustness
+/// oracle's job.
+fn chaos_input(body: &ScenarioBody) -> String {
+    let is_dist = matches!(body, ScenarioBody::Dist(_));
+    let text = match body {
+        ScenarioBody::Uni(system) => twca_model::render_system(system),
+        ScenarioBody::Dist(dist) => twca_dist::render_distributed(dist),
+    };
+    let put = |id: &str| {
+        AnalysisRequest {
+            id: Some(id.into()),
+            target: Target::Service,
+            queries: vec![Query::StorePut {
+                name: "plant".into(),
+                system: (!is_dist).then(|| text.clone()),
+                dist: is_dist.then(|| text.clone()),
+                dedup: Some("chaos-put".into()),
+            }],
+            options: Default::default(),
+        }
+        .to_json()
+        .to_string()
+    };
+    let stats = AnalysisRequest {
+        id: Some("r2".into()),
+        target: Target::Service,
+        queries: vec![Query::Stats],
+        options: Default::default(),
+    }
+    .to_json()
+    .to_string();
+    format!("{}\n{}\n{stats}\n", put("r0"), put("r1"))
+}
+
+/// Everything one chaos schedule leaves behind, for invariant checks.
+struct ChaosRun {
+    output: String,
+    summary: twca_api::ServeSummary,
+    end: twca_service::LaneEnd,
+    read_resets: u64,
+    read_corrupted: u64,
+    write_resets: u64,
+    /// Version of the `plant` entry after the run (0 = never applied).
+    final_version: u64,
+}
+
+/// Drives the chaos request script through a real [`WorkerPool`] lane
+/// with the given fault schedules on each side of the transport.
+fn run_chaos_schedule(
+    input: &str,
+    opts: &VerifyOptions,
+    workers: usize,
+    read_plan: twca_service::FaultPlan,
+    write_plan: twca_service::FaultPlan,
+) -> ChaosRun {
+    use twca_service::{
+        serve_lane, ChaosRead, ChaosTally, ChaosWrite, Connection, LaneOptions, ServiceConfig,
+        WorkerPool,
+    };
+
+    let store = Arc::new(SystemStore::new());
+    let session = Session::new()
+        .with_options(opts.options)
+        .with_max_sweeps(opts.max_sweeps)
+        .with_store(Arc::clone(&store));
+    let max_frame_bytes = (input.len() + 1024).max(4096);
+    let pool = WorkerPool::new(
+        session,
+        &ServiceConfig {
+            workers,
+            deadline: None,
+            max_frame_bytes,
+            ..ServiceConfig::default()
+        },
+    );
+    let read_tally = Arc::new(ChaosTally::new());
+    let write_tally = Arc::new(ChaosTally::new());
+    let sink = CapturedOutput::default();
+    let conn = Connection::new(Box::new(ChaosWrite::new(
+        sink.clone(),
+        Arc::new(write_plan),
+        Arc::clone(&write_tally),
+    )));
+    let end = serve_lane(
+        &pool,
+        std::io::BufReader::new(ChaosRead::new(
+            input.as_bytes(),
+            Arc::new(read_plan),
+            Arc::clone(&read_tally),
+        )),
+        &conn,
+        &LaneOptions::unlimited(max_frame_bytes),
+    );
+    let summary = pool.shutdown();
+    let output = String::from_utf8_lossy(&sink.0.lock().unwrap()).into_owned();
+    let final_version = store
+        .export()
+        .iter()
+        .find(|(name, ..)| name == "plant")
+        .map_or(0, |(_, version, _)| *version);
+    ChaosRun {
+        output,
+        summary,
+        end,
+        read_resets: read_tally.resets(),
+        read_corrupted: read_tally.corrupted(),
+        write_resets: write_tally.resets(),
+        final_version,
+    }
+}
+
+/// The `store_put` acks parsed out of a run's *complete* response
+/// lines, as `(version, deduped)` pairs; untyped complete lines are
+/// reported as violations.
+fn chaos_acks(
+    run: &ChaosRun,
+    label: &str,
+    violations: &mut Vec<Violation>,
+) -> (usize, Vec<(u64, bool)>) {
+    // A write-side fault may tear the final line; only lines finished
+    // with a newline are terminal responses.
+    let mut lines: Vec<&str> = run.output.split('\n').collect();
+    lines.pop();
+    let mut acked = Vec::new();
+    for (index, line) in lines.iter().enumerate() {
+        let typed = Json::parse(line)
+            .ok()
+            .and_then(|json| AnalysisResponse::from_json(&json).ok());
+        let Some(response) = typed else {
+            violations.push(Violation {
+                oracle: OracleKind::ChaosLiveness,
+                detail: format!("{label}: response line #{index} is untyped: {line:?}"),
+            });
+            continue;
+        };
+        if let Ok(outcomes) = &response.outcome {
+            for outcome in outcomes {
+                if let QueryOutcome::StorePut(put) = outcome {
+                    acked.push((put.version, put.deduped));
+                }
+            }
+        }
+    }
+    (lines.len(), acked)
+}
+
+/// Invariants of one fuzzed chaos schedule; see
+/// [`OracleKind::ChaosLiveness`].
+fn check_chaos_run(run: &ChaosRun, label: &str, violations: &mut Vec<Violation>) {
+    let (responses, acked) = chaos_acks(run, label, violations);
+
+    // Exactly one terminal response per admitted request: never more,
+    // and never fewer while the write side stayed healthy.
+    if responses > run.summary.requests {
+        violations.push(Violation {
+            oracle: OracleKind::ChaosLiveness,
+            detail: format!(
+                "{label}: {responses} terminal response(s) for {} admitted request(s)",
+                run.summary.requests
+            ),
+        });
+    } else if run.write_resets == 0 && responses != run.summary.requests {
+        violations.push(Violation {
+            oracle: OracleKind::ChaosLiveness,
+            detail: format!(
+                "{label}: {} admitted request(s) but {responses} terminal response(s) \
+                 with a healthy write side",
+                run.summary.requests
+            ),
+        });
+    }
+
+    // An acknowledged put is never lost, and the store never applies
+    // more puts than the script sent.
+    for &(version, _) in &acked {
+        if version > run.final_version {
+            violations.push(Violation {
+                oracle: OracleKind::ChaosLiveness,
+                detail: format!(
+                    "{label}: acked store_put version {version} lost — the store holds \
+                     version {}",
+                    run.final_version
+                ),
+            });
+        }
+    }
+    if run.final_version > 2 {
+        violations.push(Violation {
+            oracle: OracleKind::ChaosLiveness,
+            detail: format!(
+                "{label}: the store applied {} put(s) for 2 sent",
+                run.final_version
+            ),
+        });
+    }
+
+    // At-most-once: with the request bytes uncorrupted, the two
+    // identically-dedup-tagged puts draw at most one fresh apply.
+    // (Corruption may legitimately mutate the dedup id in flight.)
+    if run.read_corrupted == 0 {
+        let fresh = acked.iter().filter(|(_, deduped)| !deduped).count();
+        if fresh > 1 {
+            violations.push(Violation {
+                oracle: OracleKind::ChaosLiveness,
+                detail: format!("{label}: a dedup-tagged put was applied {fresh} times: {acked:?}"),
+            });
+        }
+    }
+
+    // Counter reconciliation: the lane ends `Reset` exactly when a read
+    // reset was injected, and the edge counters record exactly that.
+    let reset_end = matches!(run.end, twca_service::LaneEnd::Reset);
+    if reset_end != (run.read_resets > 0) {
+        violations.push(Violation {
+            oracle: OracleKind::ChaosLiveness,
+            detail: format!(
+                "{label}: lane ended {:?} but {} read reset(s) were injected",
+                run.end, run.read_resets
+            ),
+        });
+    }
+    if run.summary.edge.resets != u64::from(reset_end) {
+        violations.push(Violation {
+            oracle: OracleKind::ChaosLiveness,
+            detail: format!(
+                "{label}: edge counters claim {} reset(s) for a lane that ended {:?}",
+                run.summary.edge.resets, run.end
+            ),
+        });
+    }
+    if run.summary.edge.reaped != 0 || run.summary.edge.timeouts != 0 {
+        violations.push(Violation {
+            oracle: OracleKind::ChaosLiveness,
+            detail: format!(
+                "{label}: reap/timeout counters moved with no timeouts armed: {:?}",
+                run.summary.edge
+            ),
+        });
+    }
+}
+
+/// Oracle 13: chaos liveness. One fault-free schedule proves the chaos
+/// transport byte-transparent against the plain lane (and the dedup
+/// handshake exact); two fuzzed schedules seeded from
+/// [`VerifyOptions::seed`] then stress every liveness and delivery
+/// invariant under injected transport faults.
+pub fn check_chaos_liveness(
+    body: &ScenarioBody,
+    opts: &VerifyOptions,
+    violations: &mut Vec<Violation>,
+) {
+    use twca_service::{serve_connection, FaultPlan, ServiceConfig, WorkerPool};
+
+    let input = chaos_input(body);
+    let max_frame_bytes = (input.len() + 1024).max(4096);
+
+    // The reference: the same script through the plain (chaos-free)
+    // single-worker lane.
+    let reference = {
+        let session = Session::new()
+            .with_options(opts.options)
+            .with_max_sweeps(opts.max_sweeps)
+            .with_store(Arc::new(SystemStore::new()));
+        let pool = WorkerPool::new(
+            session,
+            &ServiceConfig {
+                workers: 1,
+                deadline: None,
+                max_frame_bytes,
+                ..ServiceConfig::default()
+            },
+        );
+        let sink = CapturedOutput::default();
+        serve_connection(
+            &pool,
+            input.as_bytes(),
+            Box::new(sink.clone()),
+            max_frame_bytes,
+        );
+        let _ = pool.shutdown();
+        let bytes = sink.0.lock().unwrap();
+        String::from_utf8_lossy(&bytes).into_owned()
+    };
+    let clean = run_chaos_schedule(&input, opts, 1, FaultPlan::none(), FaultPlan::none());
+    if clean.output != reference {
+        violations.push(Violation {
+            oracle: OracleKind::ChaosLiveness,
+            detail: format!(
+                "the fault-free chaos transport diverged from the plain lane: {:?} vs {reference:?}",
+                clean.output
+            ),
+        });
+    }
+    // The dedup handshake, exact on the deterministic run: the first
+    // put applies version 1 fresh, the second repeats that receipt.
+    if clean.final_version > 0 {
+        let (_, acked) = chaos_acks(&clean, "fault-free schedule", violations);
+        if acked != vec![(1, false), (1, true)] {
+            violations.push(Violation {
+                oracle: OracleKind::ChaosLiveness,
+                detail: format!(
+                    "the fault-free dedup handshake broke: acks {acked:?}, expected \
+                     [(1, false), (1, true)]"
+                ),
+            });
+        }
+    }
+
+    for round in 0..2u64 {
+        let seed = opts
+            .seed
+            .wrapping_add((round + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let run = run_chaos_schedule(
+            &input,
+            opts,
+            2,
+            FaultPlan::fuzzed_read(seed, 96),
+            FaultPlan::fuzzed_write(seed, 96),
+        );
+        check_chaos_run(&run, &format!("schedule {seed:#x}"), violations);
     }
 }
 

@@ -1,0 +1,102 @@
+//! The chaos-liveness gate: ≥ 1000 fuzzed transport fault schedules
+//! (three per generated scenario: one fault-free identity probe plus
+//! two fuzzed schedules, profiles rotating round-robin over the whole
+//! default battery) driven through real worker-pool lanes. The battery
+//! must terminate — a watchdog turns a deadlock into a diagnosed
+//! failure instead of a hung test run — and every schedule must honor
+//! the delivery, dedup, and counter-reconciliation invariants.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use twca_verify::{check_chaos_liveness, ScenarioProfile, VerifyOptions, Violation};
+
+const SCENARIOS: usize = 340;
+const SCHEDULES_PER_SCENARIO: usize = 3;
+const LANES: usize = 8;
+
+// The gate is ≥ 1000 schedules; keep the arithmetic honest at compile
+// time so shrinking SCENARIOS can't silently weaken it.
+const _: () = assert!(SCENARIOS * SCHEDULES_PER_SCENARIO >= 1000);
+
+#[test]
+fn a_thousand_fuzzed_fault_schedules_never_wedge_the_service_edge() {
+    let profiles = ScenarioProfile::default_battery();
+    let opts = VerifyOptions::default();
+
+    // Liveness is the point: if any schedule wedges a lane, fail with a
+    // diagnosis instead of letting the harness hang forever.
+    let done = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicUsize::new(0));
+    let watchdog = {
+        let done = Arc::clone(&done);
+        let progress = Arc::clone(&progress);
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(300);
+            while !done.load(Ordering::Relaxed) {
+                if Instant::now() >= deadline {
+                    eprintln!(
+                        "chaos-liveness battery wedged: only {} of {SCENARIOS} scenario(s) \
+                         finished within the watchdog deadline — a fault schedule \
+                         deadlocked a service lane",
+                        progress.load(Ordering::Relaxed)
+                    );
+                    std::process::exit(101);
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        })
+    };
+
+    let next = Arc::new(AtomicUsize::new(0));
+    let violations: Arc<Mutex<Vec<(String, Violation)>>> = Arc::new(Mutex::new(Vec::new()));
+    std::thread::scope(|scope| {
+        for _ in 0..LANES {
+            let next = Arc::clone(&next);
+            let progress = Arc::clone(&progress);
+            let violations = Arc::clone(&violations);
+            let profiles = &profiles;
+            let opts = &opts;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= SCENARIOS {
+                    break;
+                }
+                let profile = profiles[i % profiles.len()];
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    0xC4A0 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let scenario = profile.generate(&mut rng, i);
+                // A distinct seed per scenario fuzzes distinct read and
+                // write fault schedules.
+                let opts = VerifyOptions {
+                    seed: 0xC4A0 ^ i as u64,
+                    ..opts.clone()
+                };
+                let mut found = Vec::new();
+                check_chaos_liveness(&scenario.body, &opts, &mut found);
+                progress.fetch_add(1, Ordering::Relaxed);
+                if !found.is_empty() {
+                    violations
+                        .lock()
+                        .unwrap()
+                        .extend(found.into_iter().map(|v| (scenario.label.clone(), v)));
+                }
+            });
+        }
+    });
+    done.store(true, Ordering::Relaxed);
+    watchdog.join().unwrap();
+
+    assert_eq!(progress.load(Ordering::Relaxed), SCENARIOS);
+    let violations = violations.lock().unwrap();
+    assert!(
+        violations.is_empty(),
+        "{} chaos-liveness violation(s), first: {:?}",
+        violations.len(),
+        violations.first()
+    );
+}
